@@ -1,0 +1,30 @@
+# Development targets for the repro library.
+
+PYTHON ?= python3
+
+.PHONY: install test bench examples docs all clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+docs:
+	$(PYTHON) tools/gen_api_docs.py > docs/API.md
+	@echo "docs/API.md regenerated"
+
+all: test bench examples
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
+	rm -rf .pytest_cache .benchmarks src/*.egg-info

@@ -1,0 +1,72 @@
+"""ABL4 — ablation of the array floorplan: shared vs individual membranes.
+
+The paper's 4-cantilever array must decide how the backside KOH mask is
+drawn: one shared membrane under the whole row, or one pit per beam.
+The 54.74-degree sidewalls (each pit opening exceeds its membrane by
+~1.5 wafer thicknesses per axis) decide it:
+
+* at practical pitches the four individual pits either merge outright
+  or leave an illegally thin silicon ridge (backside min-spacing);
+* legal individual pits force a ~2 mm beam pitch and pay ~2.5x the die
+  area of the shared membrane.
+
+The bench sweeps the pitch and prints the DRC verdict and die area per
+option — a physical-design trade-off study run entirely on the model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fabrication import (
+    array_layout,
+    die_area_for_array,
+    post_cmos_rule_deck,
+)
+from repro.units import um
+
+
+def floorplan_study():
+    deck = post_cmos_rule_deck()
+    rows = []
+    for pitch_mm in (0.16, 0.5, 1.1, 2.0):
+        for shared in (True, False):
+            layout = array_layout(
+                um(500), um(100), pitch=pitch_mm * 1e-3, shared_membrane=shared
+            )
+            violations = deck.check(layout)
+            rows.append(
+                {
+                    "pitch_mm": pitch_mm,
+                    "membrane": "shared" if shared else "individual",
+                    "drc": "clean" if not violations else f"{len(violations)} viol.",
+                    "die_mm2": die_area_for_array(layout) * 1e6,
+                }
+            )
+    return rows
+
+
+def test_abl_membrane_floorplan(benchmark):
+    rows = benchmark.pedantic(floorplan_study, rounds=1, iterations=1)
+    print("\nABL4: array backside floorplan (4 beams, 500 x 100 um)")
+    print(f"{'pitch [mm]':>11s} {'membrane':>12s} {'DRC':>10s} {'die [mm^2]':>11s}")
+    for r in rows:
+        print(f"{r['pitch_mm']:>11.2f} {r['membrane']:>12s} "
+              f"{r['drc']:>10s} {r['die_mm2']:>11.2f}")
+
+    by_key = {(r["pitch_mm"], r["membrane"]): r for r in rows}
+    # shared membranes are DRC-clean at every pitch
+    for pitch in (0.16, 0.5, 1.1, 2.0):
+        assert by_key[(pitch, "shared")]["drc"] == "clean"
+    # individual pits at 1.1 mm: illegal ridge
+    assert by_key[(1.1, "individual")]["drc"] != "clean"
+    # legal individual pits (2 mm pitch) cost much more die than the
+    # compact shared option
+    compact_shared = by_key[(0.16, "shared")]["die_mm2"]
+    legal_individual = by_key[(2.0, "individual")]["die_mm2"]
+    assert legal_individual > 2.0 * compact_shared
+
+
+if __name__ == "__main__":
+    for row in floorplan_study():
+        print(row)

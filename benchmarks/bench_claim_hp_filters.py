@@ -1,0 +1,114 @@
+"""CLM4 — "high-pass filters in the feedback loop improve the
+signal-to-noise ratio by damping the low-frequency noise originating in
+the MOS-based Wheatstone bridge".
+
+Two measurements:
+
+1. **Noise-path transfer (open chain).**  The MOS bridge's synthesized
+   thermal + 1/f noise is run through the loop's electrical chain
+   (DDA -> [HP filters] -> phase conditioning -> VGA) with and without
+   the high-pass filters, and the low-frequency residue at the limiter
+   input is compared — the directly claimed effect, isolated from the
+   oscillation line.
+2. **Closed-loop stability.**  The full loop runs with noise injected,
+   with and without the filters, and the counter's gate-to-gate Allan
+   deviation is compared — the system-level payoff.
+
+Shape targets: the filters cut the sub-kHz noise residue by an order of
+magnitude and measurably improve the closed-loop frequency stability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import allan_deviation, band_rms, fractional_frequencies
+from repro.biochem import FunctionalizedSurface, get_analyte
+from repro.circuits import FrequencyCounter, Signal
+from repro.circuits.noise import amplifier_input_noise
+from repro.core import ResonantCantileverSensor
+from repro.core.presets import reference_cantilever
+from repro.materials import get_liquid
+
+
+def open_chain_noise_residue(device, with_highpass):
+    """RMS LF noise at the limiter input for a pure bridge-noise input."""
+    surface = FunctionalizedSurface(get_analyte("igg"), device.geometry)
+    sensor = ResonantCantileverSensor(surface, get_liquid("water"))
+    loop = sensor.build_loop()
+    fs = 1.0 / loop.resonator.timestep
+    f0 = loop.resonator.natural_frequency
+
+    rng = np.random.default_rng(7)
+    n = int(0.5 * fs)
+    corner = loop.bridge.corner_frequency()
+    white = float(loop.bridge.noise_psd(np.asarray([f0]))[0])
+    noise = Signal(
+        amplifier_input_noise(white / (1.0 + corner / f0), corner, n, fs, rng),
+        fs,
+    )
+
+    loop.dda.prepare(fs)
+    stage = loop.dda.process(noise)
+    if with_highpass:
+        for hp in loop.highpasses:
+            hp.reset()
+            stage = hp.process(stage)
+    loop.phase_lead.reset()
+    stage = loop.phase_lead.process(stage)
+    stage = loop.vga.process(stage)
+    # the deep-LF band (< f0/30), where the 1/f shelf lives
+    return band_rms(stage.settle(0.2), 5.0, 300.0)
+
+
+def closed_loop_stability(device, with_highpass):
+    surface = FunctionalizedSurface(get_analyte("igg"), device.geometry)
+    sensor = ResonantCantileverSensor(surface, get_liquid("water"))
+    loop = sensor.build_loop()
+    loop.include_bridge_noise = True
+    if not with_highpass:
+        loop.highpasses = []
+    fs = 1.0 / loop.resonator.timestep
+    loop.auto_gain(fs)
+    record = loop.run(duration=0.3)
+    counter = FrequencyCounter(gate_time=0.02)
+    _, readings = counter.frequency_series(record.bridge_signal())
+    readings = readings[3:]
+    y = fractional_frequencies(readings, float(np.mean(readings)))
+    return allan_deviation(y, 1)
+
+
+def test_claim_hp_filters(benchmark, reference_device):
+    def experiment():
+        return (
+            open_chain_noise_residue(reference_device, True),
+            open_chain_noise_residue(reference_device, False),
+            closed_loop_stability(reference_device, True),
+            closed_loop_stability(reference_device, False),
+        )
+
+    lf_with, lf_without, sigma_with, sigma_without = benchmark.pedantic(
+        experiment, rounds=1, iterations=1
+    )
+
+    print("\nCLM4: high-pass filters vs the MOS bridge's LF noise")
+    print(f"  LF (<300 Hz) residue at limiter input, with HP   : "
+          f"{lf_with * 1e6:9.3f} uV rms")
+    print(f"  LF (<300 Hz) residue at limiter input, without HP: "
+          f"{lf_without * 1e6:9.3f} uV rms")
+    print(f"  closed-loop Allan dev (20 ms gates), with HP     : "
+          f"{sigma_with:.3e}")
+    print(f"  closed-loop Allan dev (20 ms gates), without HP  : "
+          f"{sigma_without:.3e}")
+
+    # the filters strip the LF residue by an order of magnitude
+    assert lf_with < 0.1 * lf_without
+    # and the closed-loop frequency stability improves
+    assert sigma_with < 0.9 * sigma_without
+
+
+if __name__ == "__main__":
+    device = reference_cantilever()
+    print(open_chain_noise_residue(device, True))
+    print(open_chain_noise_residue(device, False))

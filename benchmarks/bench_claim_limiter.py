@@ -1,0 +1,75 @@
+"""CLM5 — "a non-linear amplifier limits the amplitude of the feedback
+loop for stable operation".
+
+Runs the loop with the designed tanh limiter against an ablated variant
+whose limiter is replaced by a linear stage of the same small-signal
+gain (the class-AB buffer's hard current clip then becomes the only
+amplitude bound), and sweeps the VGA setting to show the limiter makes
+the amplitude insensitive to excess loop gain.
+
+Shape targets:
+* with the limiter: amplitude settles, stays below the buffer clip, and
+  moves only weakly (sub-proportionally) with extra VGA gain;
+* without it: the drive slams the class-AB current limit — the
+  amplitude is set by an unplanned hard clip (visible as drive-waveform
+  distortion: the drive spends most of its time pinned at the rail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.biochem import FunctionalizedSurface, get_analyte
+from repro.circuits import Gain
+from repro.core import ResonantCantileverSensor
+from repro.core.presets import reference_cantilever
+from repro.materials import get_liquid
+
+
+def run_variant(device, use_limiter, extra_vga_steps=0):
+    surface = FunctionalizedSurface(get_analyte("igg"), device.geometry)
+    sensor = ResonantCantileverSensor(surface, get_liquid("water"))
+    loop = sensor.build_loop()
+    if not use_limiter:
+        loop.limiter = Gain(loop.limiter.small_signal_gain)
+    fs = 1.0 / loop.resonator.timestep
+    if use_limiter:
+        loop.auto_gain(fs)
+    setting = min(loop.vga.setting + extra_vga_steps, loop.vga.steps - 1)
+    loop.vga.set_setting(setting)
+    record = loop.run(duration=0.1)
+    drive = record.drive_signal().settle(0.5)
+    clip_fraction = float(
+        np.mean(np.abs(drive.samples) > 0.98 * loop.buffer.max_output_voltage)
+    )
+    return record.steady_amplitude(), clip_fraction
+
+
+def test_claim_limiter(benchmark, reference_device):
+    def experiment():
+        base = run_variant(reference_device, use_limiter=True)
+        hot = run_variant(reference_device, use_limiter=True, extra_vga_steps=2)
+        unlimited = run_variant(reference_device, use_limiter=False)
+        return base, hot, unlimited
+
+    base, hot, unlimited = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    print("\nCLM5: amplitude limiting (water, loop gain target 3)")
+    print(f"  with limiter           : amp {base[0] * 1e9:7.1f} nm, "
+          f"drive clipped {base[1] * 100:5.1f}% of the time")
+    print(f"  with limiter, +5dB VGA : amp {hot[0] * 1e9:7.1f} nm, "
+          f"drive clipped {hot[1] * 100:5.1f}% of the time")
+    print(f"  limiter ablated        : amp {unlimited[0] * 1e9:7.1f} nm, "
+          f"drive clipped {unlimited[1] * 100:5.1f}% of the time")
+
+    # limiter keeps the drive off the class-AB current clip
+    assert base[1] < 0.05
+    # extra gain moves the amplitude sub-proportionally (5 dB = 1.78x)
+    assert hot[0] / base[0] < 1.5
+    # without the limiter the buffer clip takes over: drive pinned hard
+    assert unlimited[1] > 0.3
+
+
+if __name__ == "__main__":
+    device = reference_cantilever()
+    print(run_variant(device, True), run_variant(device, False))

@@ -1,0 +1,61 @@
+"""CLM1 — "monolithic integrated readout ... lowers the sensitivity to
+external interference".
+
+The same 50 uV bridge signal is read through the on-chip path and
+through a bond-wire/cable path to an external amplifier, under growing
+ambient interference (mains-band pickup).  The bench reports output SNR
+for both paths across interference amplitude.
+
+Shape targets:
+* the monolithic path wins by > 40 dB at every interference level;
+* the external path degrades below usability (SNR < 10 dB) at the
+  100 mV interference a lab bench routinely has; the monolithic path
+  barely notices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep
+from repro.circuits import Signal
+from repro.core import compare_paths
+
+FS = 100e3
+
+
+def build_interference_table():
+    bridge_signal = Signal.sine(10.0, 0.5, FS, amplitude=50e-6)
+
+    def evaluate(interference_mv):
+        interferer = Signal.sine(50.0, 0.5, FS, amplitude=interference_mv * 1e-3)
+        mono, ext = compare_paths(bridge_signal, interferer)
+        return {
+            "mono_snr_dB": mono.snr_db,
+            "ext_snr_dB": ext.snr_db,
+            "advantage_dB": mono.snr_db - ext.snr_db,
+        }
+
+    return sweep("interf_mV", [1.0, 10.0, 100.0, 1000.0], evaluate)
+
+
+def test_claim_monolithic_interference(benchmark):
+    result = benchmark.pedantic(build_interference_table, rounds=1, iterations=1)
+    print("\nCLM1: monolithic vs external readout under interference")
+    print(result.format_table())
+
+    mono = result.column("mono_snr_dB")
+    ext = result.column("ext_snr_dB")
+    # monolithic wins everywhere, massively
+    assert np.all(mono - ext > 40.0)
+    # at 100 mV interference: external unusable, monolithic fine
+    idx = result.parameters.index(100.0)
+    assert ext[idx] < 10.0
+    assert mono[idx] > 40.0
+    # both degrade monotonically with interference
+    assert np.all(np.diff(ext) < 0.0)
+
+
+if __name__ == "__main__":
+    print(build_interference_table().format_table())

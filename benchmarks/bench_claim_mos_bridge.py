@@ -1,0 +1,74 @@
+"""CLM2 — "p-channel MOS transistors biased in the linear region ...
+higher resistivity and lower power consumption compared to
+diffusion-type silicon resistors".
+
+Compares the two bridge technologies at the same 3.3 V bias: element
+resistance, bridge supply current and power, stress sensitivity, and the
+price the paper pays one sentence later — the 1/f corner frequency.
+
+Shape targets:
+* MOS element resistance > diffusion -> bridge power lower by the same
+  factor;
+* stress sensitivity comparable (same p-carrier piezo coefficients);
+* MOS 1/f corner orders of magnitude above the diffusion corner (the
+  motivation for CLM4's high-pass filters).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transduction import DiffusedResistor, MOSBridgeTransistor, matched_bridge
+from repro.transduction.noise import HOOGE_ALPHA_DIFFUSED, HOOGE_ALPHA_MOS
+
+
+def build_comparison():
+    diffused_elem = DiffusedResistor(nominal_resistance=10e3)
+    mos_elem = MOSBridgeTransistor()
+    diffused = matched_bridge(
+        diffused_elem, bias_voltage=3.3, hooge_alpha=HOOGE_ALPHA_DIFFUSED
+    )
+    mos = matched_bridge(mos_elem, bias_voltage=3.3, hooge_alpha=HOOGE_ALPHA_MOS)
+
+    def row(name, elem, bridge):
+        return {
+            "technology": name,
+            "R_element_kOhm": elem.nominal_resistance / 1e3,
+            "supply_uA": bridge.supply_current() * 1e6,
+            "power_mW": bridge.power_dissipation() * 1e3,
+            "sens_uV_per_MPa": bridge.sensitivity() * 1e6 * 1e6,
+            "corner_Hz": bridge.corner_frequency(),
+        }
+
+    return [
+        row("diffused", diffused_elem, diffused),
+        row("pmos_triode", mos_elem, mos),
+    ]
+
+
+def test_claim_mos_bridge(benchmark):
+    rows = benchmark.pedantic(build_comparison, rounds=3, iterations=1)
+    print("\nCLM2: diffused vs PMOS-triode Wheatstone bridge at 3.3 V")
+    keys = list(rows[0])
+    print("".join(f"{k:>18s}" for k in keys))
+    for r in rows:
+        cells = []
+        for k in keys:
+            v = r[k]
+            cells.append(f"{v:>18.4g}" if not isinstance(v, str) else f"{v:>18s}")
+        print("".join(cells))
+
+    diffused, mos = rows
+    # the paper's claim: higher resistivity, lower power
+    assert mos["R_element_kOhm"] > 2.0 * diffused["R_element_kOhm"]
+    assert mos["power_mW"] < 0.5 * diffused["power_mW"]
+    # sensitivity of the same order (both p-carrier <110>)
+    ratio = mos["sens_uV_per_MPa"] / diffused["sens_uV_per_MPa"]
+    assert 0.3 < abs(ratio) < 3.0
+    # the price: a 1/f corner hundreds of times higher
+    assert mos["corner_Hz"] > 100.0 * diffused["corner_Hz"]
+
+
+if __name__ == "__main__":
+    for row in build_comparison():
+        print(row)

@@ -1,0 +1,121 @@
+"""EXT10 — mode competition: the loop's filters pick the mode.
+
+Extension experiment behind EXT5's premise: a self-oscillating loop
+locks onto whichever mode satisfies Barkhausen with the most margin.
+With the Fig. 5 chain as drawn (differentiating phase conditioner, HP
+filters), *higher* modes get *more* electrical gain — so the untamed
+loop wakes up on mode 2, not the fundamental.  Band-limiting is not a
+nicety; it is the mode-selection mechanism.
+
+The bench closes the loop around modes 1 AND 2 simultaneously (exact
+per-mode propagators, shared electrical chain, air operation for clean
+high-Q competition) under three filter configurations and reports the
+per-mode small-signal loop gains plus the frequency the time-domain
+simulation actually locks to.
+
+Shape targets:
+* wideband chain: gain(mode2) > gain(mode1) -> locks at ~172 kHz;
+* a 40 kHz low-pass added: gain ordering flips -> locks at ~27.5 kHz;
+* HP cutoffs raised above mode 1: only mode 2 survives -> ~172 kHz.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.actuation import ActuationCoil, LorentzActuator, PermanentMagnet
+from repro.analysis import fft_peak_frequency
+from repro.circuits import HighPassFilter, LowPassFilter
+from repro.core.presets import resonant_bridge
+from repro.feedback import ResonantFeedbackLoop, displacement_to_stress_gain
+from repro.feedback.multimode import MultiModeLoop
+from repro.fluidics import immersed_mode
+from repro.materials import get_liquid
+from repro.mechanics import ModalResonator, analyze_modes
+
+
+def run_configurations(device):
+    geometry = device.geometry
+    air = get_liquid("air")
+    q1 = immersed_mode(geometry, air, 1).quality_factor
+    q2 = immersed_mode(geometry, air, 2).quality_factor
+    modes = analyze_modes(geometry, 2)
+    actuator = LorentzActuator(ActuationCoil(geometry=geometry), PermanentMagnet())
+
+    def make_loop(extra_filters=None, hp_cutoff=None):
+        resonator = ModalResonator(
+            modes[0].effective_mass,
+            modes[0].effective_stiffness,
+            q1,
+            1.0 / (modes[1].frequency * 40),
+        )
+        loop = ResonantFeedbackLoop(
+            resonator,
+            resonant_bridge(mismatch_sigma=0.0),
+            displacement_to_stress_gain(geometry),
+            actuator,
+            include_bridge_noise=False,
+        )
+        if hp_cutoff is not None:
+            loop.highpasses = [
+                HighPassFilter(hp_cutoff),
+                HighPassFilter(hp_cutoff),
+            ]
+        if extra_filters:
+            loop.highpasses = list(loop.highpasses) + extra_filters
+        return loop
+
+    rows = []
+    configurations = [
+        ("wideband (as drawn)", make_loop()),
+        ("+ LP 40 kHz", make_loop(extra_filters=[LowPassFilter(40e3, order=2)])),
+        ("HP raised to 60 kHz", make_loop(hp_cutoff=60e3)),
+    ]
+    for label, loop in configurations:
+        mm = MultiModeLoop.for_geometry(geometry, [q1, q2], loop)
+        fs = 1.0 / mm.resonators[0].timestep
+        gains = mm.modal_loop_gains(fs)
+        signal = mm.run(0.015)
+        f_lock = fft_peak_frequency(signal.settle(0.5))
+        rows.append(
+            {
+                "config": label,
+                "gain_m1": gains[0],
+                "gain_m2": gains[1],
+                "lock_kHz": f_lock / 1e3,
+            }
+        )
+    f1 = modes[0].frequency
+    f2 = modes[1].frequency
+    return rows, f1, f2
+
+
+def test_ext_mode_competition(benchmark, reference_device):
+    rows, f1, f2 = benchmark.pedantic(
+        run_configurations, args=(reference_device,), rounds=1, iterations=1
+    )
+    print("\nEXT10: mode competition in the dual-mode loop (air, "
+          f"f1 = {f1 / 1e3:.1f} kHz, f2 = {f2 / 1e3:.1f} kHz)")
+    print(f"{'configuration':>22s} {'|L| m1':>8s} {'|L| m2':>8s} {'locks at [kHz]':>15s}")
+    for r in rows:
+        print(f"{r['config']:>22s} {r['gain_m1']:>8.1f} {r['gain_m2']:>8.1f} "
+              f"{r['lock_kHz']:>15.2f}")
+
+    wideband, lowpassed, hp_raised = rows
+    # wideband: mode 2 wins the gain race and the oscillation
+    assert wideband["gain_m2"] > wideband["gain_m1"]
+    assert wideband["lock_kHz"] * 1e3 == pytest.approx(f2, rel=0.02)
+    # low-passed: ordering flips, fundamental wins
+    assert lowpassed["gain_m1"] > 3.0 * lowpassed["gain_m2"]
+    assert lowpassed["lock_kHz"] * 1e3 == pytest.approx(f1, rel=0.02)
+    # HP raised above f1: mode 2 by design
+    assert hp_raised["lock_kHz"] * 1e3 == pytest.approx(f2, rel=0.02)
+
+
+if __name__ == "__main__":
+    from repro.core.presets import reference_cantilever
+
+    rows, f1, f2 = run_configurations(reference_cantilever())
+    for r in rows:
+        print(r)

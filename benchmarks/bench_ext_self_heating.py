@@ -1,0 +1,116 @@
+"""EXT9 — bridge self-heating: the hidden cost of the bias voltage.
+
+Extension experiment: the released cantilever is a near-perfect thermal
+insulator, so the static bridge's ~1 mW heats the very transducer it
+reads.  Sensitivity scales with the bias (V_b), heating with its square
+(V_b^2/R) — a genuine design trade the paper's architecture addresses
+three separate ways, all quantified here:
+
+* the resonant bridge sits at the clamped edge: zero on-beam power;
+* the mux scan gives each static bridge a ~25 % duty cycle;
+* operation in liquid cools the beam convectively.
+
+The error currency is Section EXT1's bridge-drift channel: each kelvin
+of (uncompensated) rise is worth ~21 uV of offset drift, a signal-sized
+error — but because the reference beams carry *identical* bridges at
+*identical* duty, referencing cancels self-heating as common mode too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep
+from repro.environment import bridge_self_heating, thermal_time_constant
+from repro.environment.temperature import bridge_offset_drift
+from repro.transduction import DiffusedResistor, matched_bridge
+
+
+def build_bias_table(device):
+    geometry = device.geometry
+    element = DiffusedResistor(nominal_resistance=10e3)
+
+    def evaluate(bias):
+        bridge = matched_bridge(element, bias_voltage=bias)
+        report = bridge_self_heating(
+            geometry, bridge.power_dissipation(), duty_cycle=0.25
+        )
+        rise = report.effective_wet_rise
+        return {
+            "sens_uV_per_MPa": bridge.sensitivity() * 1e12,
+            "power_mW": bridge.power_dissipation() * 1e3,
+            "wet_rise_K": rise,
+            "drift_uV": bridge_offset_drift(bias, 2.5e-3, 0.01, rise) * 1e6,
+        }
+
+    return sweep("bias_V", [0.5, 1.0, 2.0, 3.3, 5.0], evaluate)
+
+
+def test_ext_self_heating_bias_trade(benchmark, reference_device):
+    table = benchmark.pedantic(
+        build_bias_table, args=(reference_device,), rounds=1, iterations=1
+    )
+    print("\nEXT9: bridge bias trade-off (distributed bridge, 25% duty, "
+          "water-cooled)")
+    print(table.format_table())
+    tau = thermal_time_constant(reference_device.geometry)
+    print(f"  beam thermal time constant: {tau * 1e3:.2f} ms "
+          "(fast vs assays, slow vs the chopper)")
+
+    sens = table.column("sens_uV_per_MPa")
+    rise = table.column("wet_rise_K")
+    bias = np.asarray(table.parameters)
+    # sensitivity linear in bias, heating quadratic
+    assert sens[-1] / sens[0] == pytest.approx(bias[-1] / bias[0], rel=1e-3)
+    assert rise[-1] / rise[0] == pytest.approx((bias[-1] / bias[0]) ** 2, rel=1e-3)
+    # at the paper's 3.3 V the duty-cycled wet rise is a fraction of a K
+    idx = table.parameters.index(3.3)
+    assert 0.05 < rise[idx] < 1.0
+
+
+def architecture_comparison(device):
+    geometry = device.geometry
+    from repro.core.presets import resonant_bridge, static_bridge
+
+    rows = []
+    static = static_bridge(mismatch_sigma=0.0)
+    for label, power, duty, on_beam in (
+        ("static, DC bias", static.power_dissipation(), 1.0, 1.0),
+        ("static, mux 25%", static.power_dissipation(), 0.25, 1.0),
+        ("resonant @ clamp", resonant_bridge(mismatch_sigma=0.0).power_dissipation(), 1.0, 0.0),
+    ):
+        report = bridge_self_heating(
+            geometry, power, duty_cycle=duty, on_beam_fraction=on_beam
+        )
+        rows.append(
+            {
+                "config": label,
+                "power_mW": power * 1e3,
+                "rise_K": report.effective_wet_rise,
+            }
+        )
+    return rows
+
+
+def test_ext_self_heating_architectures(benchmark, reference_device):
+    rows = benchmark.pedantic(
+        architecture_comparison, args=(reference_device,), rounds=1, iterations=1
+    )
+    print("\nEXT9b: self-heating by architecture (in water)")
+    print(f"{'configuration':>18s} {'power [mW]':>11s} {'rise [K]':>9s}")
+    for r in rows:
+        print(f"{r['config']:>18s} {r['power_mW']:>11.2f} {r['rise_K']:>9.3f}")
+    print("  (reference beams carry identical bridges at identical duty: "
+          "referencing cancels this channel as common mode)")
+
+    dc, muxed, resonant = rows
+    assert muxed["rise_K"] == pytest.approx(dc["rise_K"] / 4.0)
+    assert resonant["rise_K"] == 0.0
+    assert dc["rise_K"] > 0.5  # the un-mitigated case really is Kelvin-scale
+
+
+if __name__ == "__main__":
+    from repro.core.presets import reference_cantilever
+
+    print(build_bias_table(reference_cantilever()).format_table())

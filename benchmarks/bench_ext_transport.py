@@ -1,0 +1,74 @@
+"""EXT7 — mass-transport limitation of the assay kinetics.
+
+Extension experiment: the Langmuir model assumes the surface sees the
+bulk concentration; a real flow cell depletes it.  The bench sweeps the
+boundary-layer thickness (i.e. the flow rate) and reports the
+Damkoehler number, the early-time binding-rate penalty, and the time to
+half coverage — the numbers that decide a cartridge's required flow.
+
+Shape targets:
+* Da crosses 1 around delta ~ 25 um for IgG-class kinetics;
+* the initial binding rate saturates at the flux limit for thick
+  layers (no amount of affinity helps);
+* time-to-half-coverage stretches by ~(1 + Da).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep
+from repro.biochem import (
+    TransportModel,
+    get_analyte,
+    initial_binding_rate,
+    initial_rate_transport_limited,
+    transport_limited_transient,
+)
+from repro.units import nM
+
+
+def build_transport_table():
+    igg = get_analyte("igg")
+    c = nM(10)
+    free_rate = initial_binding_rate(igg, c)
+
+    def evaluate(delta_um):
+        transport = TransportModel(boundary_layer=delta_um * 1e-6)
+        da = transport.damkoehler(igg)
+        rate = initial_rate_transport_limited(igg, transport, c)
+        # time to theta = 0.2 by direct integration
+        t = np.linspace(1.0, 3.0e4, 400)
+        theta = transport_limited_transient(igg, transport, c, t)
+        reached = t[theta >= 0.2]
+        t_fifth = float(reached[0]) if len(reached) else float("inf")
+        return {
+            "Da": da,
+            "rate_rel": rate / free_rate,
+            "t_20pct_s": t_fifth,
+        }
+
+    return sweep("delta_um", [1.0, 5.0, 25.0, 100.0, 400.0], evaluate)
+
+
+def test_ext_transport_limitation(benchmark):
+    table = benchmark.pedantic(build_transport_table, rounds=1, iterations=1)
+    print("\nEXT7: boundary-layer (flow) dependence of IgG binding at 10 nM")
+    print(table.format_table())
+
+    da = table.column("Da")
+    rate = table.column("rate_rel")
+    t20 = table.column("t_20pct_s")
+    # Da crosses unity inside the swept range
+    assert da[0] < 1.0 < da[-1]
+    # rate penalty grows monotonically with the layer
+    assert np.all(np.diff(rate) < 0.0)
+    # heavy limitation cuts the initial rate by > 5x
+    assert rate[-1] < 0.2
+    # binding time stretches correspondingly
+    assert t20[-1] > 3.0 * t20[0]
+
+
+if __name__ == "__main__":
+    print(build_transport_table().format_table())

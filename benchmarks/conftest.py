@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Every bench prints the table/series it regenerates (run with ``-s`` to
+see them, or read the captured output), asserts the *shape* of the
+result — who wins, which direction, roughly what factor — and times the
+underlying computation with pytest-benchmark.
+
+Heavy benches (closed-loop time simulations) use
+``benchmark.pedantic(..., rounds=1)`` so the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # benches live outside the main testpaths; make sure they are found
+    # when invoked as `pytest benchmarks/ --benchmark-only`
+    pass
+
+
+@pytest.fixture(scope="session")
+def reference_device():
+    """The fabricated reference cantilever shared by all benches."""
+    from repro.core.presets import reference_cantilever
+
+    return reference_cantilever()

@@ -1,0 +1,64 @@
+"""Temperature-compensated resonant sensing with a dual-oscillator chip.
+
+Runs two Fig. 5 loops on one simulated die — a streptavidin-capture
+sensing beam and a blocked reference beam — under a wandering cell
+temperature, and shows the frequency-*ratio* readout rejecting the
+thermal drift that corrupts the raw counter trace.
+
+Run:  python examples/dual_oscillator.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import AssayProtocol, FunctionalizedSurface, get_analyte, get_liquid
+from repro.core import ResonantArrayChip
+from repro.core.presets import reference_geometry
+from repro.units import nM
+
+# 1. Build the chip: sensing + 2%-detuned blocked reference in PBS.
+surface = FunctionalizedSurface(get_analyte("streptavidin"), reference_geometry())
+chip = ResonantArrayChip(surface, get_liquid("pbs"))
+print("dual-oscillator chip:")
+print(f"  sensing beam   : {chip.sensing.fluid_mode.frequency:9.1f} Hz "
+      f"(Q = {chip.sensing.fluid_mode.quality_factor:.2f})")
+print(f"  reference beam : {chip.reference.fluid_mode.frequency:9.1f} Hz "
+      "(blocked surface)")
+print(f"  shared TCF     : {chip.tcf * 1e6:+.1f} ppm/K "
+      f"(matching floor {chip.tcf_mismatch * 1e9:.0f} ppb/K)")
+
+# 2. Both loops really close and lock (short live measurement).
+f_s, f_r = chip.measure_frequencies(gate_time=0.02, gates=2)
+print(f"  live lock      : sensing {f_s:.0f} Hz, reference {f_r:.0f} Hz")
+
+# 3. Assay under a +/-1 K slow thermal wobble (20-minute period).
+protocol = AssayProtocol.injection(nM(100), baseline=600, exposure=2400, wash=600)
+wobble = lambda t: 1.0 * math.sin(2.0 * math.pi * t / 1200.0)
+result = chip.run_compensated_assay(protocol, wobble, gate_time=30.0)
+
+raw_thermal_swing = abs(chip.tcf) * 1.0 * result.sensing_frequency[0]
+true_shift_frac = float(result.true_binding_ratio[-1] - 1.0)
+print("assay under a +/-1 K thermal wobble:")
+print(f"  thermal swing on the raw counter : +/-{raw_thermal_swing * 1e3:.0f} mHz")
+print(f"  true binding shift               : "
+      f"{true_shift_frac * result.sensing_frequency[0] * 1e3:+.0f} mHz "
+      f"({true_shift_frac:+.2e} fractional)")
+print(f"  ratio-readout shift              : "
+      f"{result.compensated_shift_fraction:+.2e} fractional")
+
+# 4. Print the two traces side by side.
+print(f"{'t [min]':>8s} {'dT [K]':>8s} {'raw f_s [Hz]':>14s} "
+      f"{'ratio - 1 [ppm]':>16s}")
+stride = 13  # co-prime with the 40-gate wobble period: samples all phases
+for i in range(0, len(result.times), stride):
+    print(f"{result.times[i] / 60.0:8.1f} {result.temperature[i]:8.2f} "
+          f"{result.sensing_frequency[i]:14.3f} "
+          f"{(result.ratio[i] / result.ratio[0] - 1.0) * 1e6:16.3f}")
+
+raw_error = np.std(
+    result.sensing_frequency - np.mean(result.sensing_frequency)
+)
+print(f"\nverdict: the raw trace wanders {raw_error * 1e3:.0f} mHz rms with "
+      "temperature; the ratio trace shows the binding step at the "
+      "counter-quantization floor.")

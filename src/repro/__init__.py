@@ -1,0 +1,100 @@
+"""repro — Cantilever-Based Biosensors in CMOS Technology, reproduced.
+
+A simulation library reproducing Kirstein et al., *Cantilever-Based
+Biosensors in CMOS Technology* (DATE 2005): single-chip CMOS biosensors
+using micromachined cantilevers as transducers, with monolithically
+integrated piezoresistive readout.
+
+The package mirrors the chip's architecture:
+
+* :mod:`repro.materials` — solids, anisotropic silicon, liquids
+* :mod:`repro.mechanics` — beam statics, modes, surface stress, dynamics
+* :mod:`repro.fluidics` — hydrodynamic loading in liquid (Sader model)
+* :mod:`repro.biochem` — analytes, Langmuir binding, assay protocols
+* :mod:`repro.transduction` — piezoresistors, Wheatstone bridges
+* :mod:`repro.circuits` — the behavioral analog/mixed-signal blocks
+* :mod:`repro.actuation` — Lorentz-force coil + magnet
+* :mod:`repro.fabrication` — 0.8 um CMOS stack, post-CMOS etch, DRC
+* :mod:`repro.feedback` — the Fig. 5 closed oscillation loop
+* :mod:`repro.analysis` — frequency estimation, Allan deviation, LOD
+* :mod:`repro.core` — the assembled static/resonant sensors and chip
+
+Quickstart::
+
+    from repro import StaticCantileverSensor, FunctionalizedSurface
+    from repro.biochem import get_analyte, AssayProtocol
+    from repro.core.presets import reference_geometry
+    from repro.units import nM
+
+    surface = FunctionalizedSurface(get_analyte("igg"), reference_geometry())
+    sensor = StaticCantileverSensor(surface)
+    sensor.calibrate_offset()
+    result = sensor.run_assay(AssayProtocol.injection(nM(10)))
+    print(result.output_step())
+"""
+
+from __future__ import annotations
+
+from . import (
+    actuation,
+    analysis,
+    biochem,
+    circuits,
+    constants,
+    core,
+    environment,
+    errors,
+    fabrication,
+    feedback,
+    fluidics,
+    materials,
+    mechanics,
+    transduction,
+    units,
+)
+from .biochem import Analyte, AssayProtocol, FunctionalizedSurface, get_analyte
+from .core import (
+    BiosensorChip,
+    ChannelConfig,
+    ResonantCantileverSensor,
+    StaticCantileverSensor,
+)
+from .errors import ReproError
+from .fabrication import PostCMOSFlow, fabricate_cantilever
+from .materials import get_liquid, get_material
+from .mechanics import CantileverGeometry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analyte",
+    "AssayProtocol",
+    "BiosensorChip",
+    "CantileverGeometry",
+    "ChannelConfig",
+    "FunctionalizedSurface",
+    "PostCMOSFlow",
+    "ReproError",
+    "ResonantCantileverSensor",
+    "StaticCantileverSensor",
+    "__version__",
+    "actuation",
+    "analysis",
+    "biochem",
+    "circuits",
+    "constants",
+    "core",
+    "environment",
+    "errors",
+    "fabricate_cantilever",
+    "fabrication",
+    "feedback",
+    "fluidics",
+    "get_analyte",
+    "get_liquid",
+    "get_material",
+    "materials",
+    "mechanics",
+    "transduction",
+    "units",
+]

@@ -1,0 +1,14 @@
+"""Electromagnetic actuation: coil, magnet, and drive synthesis."""
+
+from .drive import burst, instantaneous_frequency, linear_chirp, tone
+from .lorentz import ActuationCoil, LorentzActuator, PermanentMagnet
+
+__all__ = [
+    "ActuationCoil",
+    "LorentzActuator",
+    "PermanentMagnet",
+    "burst",
+    "instantaneous_frequency",
+    "linear_chirp",
+    "tone",
+]

@@ -1,0 +1,77 @@
+"""Drive-waveform synthesis for open-loop actuation experiments.
+
+The closed loop of Fig. 5 generates its own drive, but characterization
+(finding the resonance before closing the loop, measuring the response
+curve) uses open-loop drives: single tones, frequency sweeps (chirps),
+and bursts for ring-down Q measurement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SignalError
+from ..circuits.signal import Signal
+from ..units import require_positive
+
+
+def tone(
+    frequency: float, amplitude: float, duration: float, sample_rate: float
+) -> Signal:
+    """Constant-frequency sinusoidal drive [V]."""
+    return Signal.sine(frequency, duration, sample_rate, amplitude=amplitude)
+
+
+def linear_chirp(
+    f_start: float,
+    f_end: float,
+    amplitude: float,
+    duration: float,
+    sample_rate: float,
+) -> Signal:
+    """Linear frequency sweep for response-curve measurement."""
+    require_positive("f_start", f_start)
+    require_positive("f_end", f_end)
+    require_positive("duration", duration)
+    nyquist = sample_rate / 2.0
+    if max(f_start, f_end) >= nyquist:
+        raise SignalError("chirp endpoint above Nyquist")
+    n = max(2, int(round(duration * sample_rate)))
+    t = np.arange(n) / sample_rate
+    k = (f_end - f_start) / duration
+    phase = 2.0 * math.pi * (f_start * t + 0.5 * k * t**2)
+    return Signal(amplitude * np.sin(phase), sample_rate)
+
+
+def burst(
+    frequency: float,
+    amplitude: float,
+    on_time: float,
+    total_time: float,
+    sample_rate: float,
+) -> Signal:
+    """Tone burst followed by silence — the ring-down Q measurement drive."""
+    require_positive("on_time", on_time)
+    if total_time <= on_time:
+        raise SignalError("total_time must exceed on_time")
+    n = max(2, int(round(total_time * sample_rate)))
+    t = np.arange(n) / sample_rate
+    wave = amplitude * np.sin(2.0 * math.pi * frequency * t)
+    wave[t >= on_time] = 0.0
+    return Signal(wave, sample_rate)
+
+
+def instantaneous_frequency(signal: Signal) -> np.ndarray:
+    """Zero-crossing-based instantaneous frequency estimate [Hz].
+
+    One value per detected full period; rough but model-free, used to
+    verify chirp synthesis and loop startup behaviour.
+    """
+    x = signal.samples
+    crossings = np.where((x[:-1] < 0.0) & (x[1:] >= 0.0))[0]
+    if len(crossings) < 2:
+        return np.asarray([])
+    periods = np.diff(crossings) / signal.sample_rate
+    return 1.0 / periods

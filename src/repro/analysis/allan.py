@@ -1,0 +1,120 @@
+"""Allan deviation: frequency-stability analysis of the oscillator.
+
+The resonant biosensor's mass resolution is set by how stable the
+oscillation frequency is over the measurement interval, and the Allan
+deviation is the standard way to express that: for fractional-frequency
+samples ``y_k`` averaged over tau,
+
+    sigma_y^2(tau) = 1/2 < (y_{k+1} - y_k)^2 >.
+
+White frequency noise falls as ``tau^-1/2``; flicker frequency noise
+flattens; drift rises as ``tau`` — the minimum of the curve is the
+optimal gate time, which bench ABL2 compares against the counter's
+quantization limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SignalError
+from ..units import require_positive
+
+
+def fractional_frequencies(
+    frequency_readings: np.ndarray, nominal_frequency: float
+) -> np.ndarray:
+    """Convert absolute frequency readings [Hz] to fractional offsets."""
+    require_positive("nominal_frequency", nominal_frequency)
+    readings = np.asarray(frequency_readings, dtype=float)
+    return (readings - nominal_frequency) / nominal_frequency
+
+
+def allan_variance(y: np.ndarray, m: int = 1) -> float:
+    """Non-overlapping Allan variance of fractional-frequency data.
+
+    Parameters
+    ----------
+    y:
+        Fractional frequency samples at the base averaging time tau0.
+    m:
+        Averaging factor: the variance is evaluated at ``tau = m tau0``.
+    """
+    y = np.asarray(y, dtype=float)
+    if m < 1:
+        raise SignalError("averaging factor must be >= 1")
+    n_groups = len(y) // m
+    if n_groups < 2:
+        raise SignalError(
+            f"need at least 2 groups of {m} samples, have {len(y)}"
+        )
+    grouped = y[: n_groups * m].reshape(n_groups, m).mean(axis=1)
+    diffs = np.diff(grouped)
+    return float(0.5 * np.mean(diffs**2))
+
+
+def allan_deviation(y: np.ndarray, m: int = 1) -> float:
+    """Allan deviation ``sigma_y(m tau0)``."""
+    return math.sqrt(allan_variance(y, m))
+
+
+@dataclass(frozen=True)
+class AllanCurve:
+    """Allan deviation across averaging times."""
+
+    taus: np.ndarray
+    deviations: np.ndarray
+
+    def optimal_tau(self) -> float:
+        """Averaging time of the minimum deviation [s]."""
+        return float(self.taus[int(np.argmin(self.deviations))])
+
+    def minimum_deviation(self) -> float:
+        """Best achievable fractional-frequency stability."""
+        return float(np.min(self.deviations))
+
+
+def allan_curve(
+    y: np.ndarray, tau0: float, max_factor: int | None = None
+) -> AllanCurve:
+    """Allan deviation over octave-spaced averaging factors.
+
+    Parameters
+    ----------
+    y:
+        Fractional frequency samples at base time tau0.
+    tau0:
+        Base sampling/averaging interval [s].
+    max_factor:
+        Largest averaging factor; defaults to ``len(y) // 4`` so every
+        point averages at least four groups.
+    """
+    require_positive("tau0", tau0)
+    y = np.asarray(y, dtype=float)
+    if max_factor is None:
+        max_factor = max(1, len(y) // 4)
+    factors = []
+    m = 1
+    while m <= max_factor:
+        factors.append(m)
+        m *= 2
+    taus = np.asarray([m * tau0 for m in factors])
+    devs = np.asarray([allan_deviation(y, m) for m in factors])
+    return AllanCurve(taus=taus, deviations=devs)
+
+
+def frequency_noise_to_mass_noise(
+    sigma_y: float, nominal_frequency: float, responsivity: float
+) -> float:
+    """Translate fractional-frequency stability into rms mass noise [kg].
+
+    ``sigma_m = sigma_y * f0 / |df/dm|`` — the chain that turns an Allan
+    plot into a biosensor limit of detection.
+    """
+    require_positive("nominal_frequency", nominal_frequency)
+    if responsivity == 0.0:
+        raise SignalError("zero responsivity cannot resolve any mass")
+    return sigma_y * nominal_frequency / abs(responsivity)

@@ -1,0 +1,88 @@
+"""Sensor calibration: responsivity, noise floor, limit of detection.
+
+The quantities a biosensor datasheet reports, computed from the models:
+
+* **static responsivity** — output volts per N/m of surface stress (and
+  per molar analyte concentration at the assay operating point);
+* **resonant responsivity** — Hz per kg (and Hz per nM);
+* **noise floor** — rms output noise in the measurement band;
+* **limit of detection** — 3-sigma noise divided by responsivity.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..biochem.analytes import Analyte
+from ..biochem.functionalization import FunctionalizedSurface
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class DetectionLimit:
+    """Limit-of-detection summary for one sensor configuration."""
+
+    responsivity: float
+    noise_rms: float
+    lod: float
+    units: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return (
+            f"responsivity {self.responsivity:.4g}, noise {self.noise_rms:.4g}, "
+            f"LOD {self.lod:.4g} [{self.units}]"
+        )
+
+
+def limit_of_detection(
+    responsivity: float, noise_rms: float, units: str, sigma: float = 3.0
+) -> DetectionLimit:
+    """``LOD = sigma * noise / |responsivity|``."""
+    if responsivity == 0.0:
+        raise ValueError("zero responsivity cannot detect anything")
+    require_positive("noise_rms", noise_rms) if noise_rms else None
+    return DetectionLimit(
+        responsivity=responsivity,
+        noise_rms=noise_rms,
+        lod=sigma * noise_rms / abs(responsivity),
+        units=units,
+    )
+
+
+def concentration_responsivity(
+    surface: FunctionalizedSurface,
+    per_coverage_responsivity: float,
+    operating_concentration: float,
+) -> float:
+    """Small-signal output change per unit concentration change.
+
+    Chains the sensor's per-coverage responsivity (output per unit theta,
+    e.g. volts or hertz) through the slope of the Langmuir isotherm at
+    the operating concentration:
+    ``d theta / dC = K_D / (C + K_D)^2``.
+    """
+    analyte = surface.analyte
+    kd = analyte.dissociation_constant
+    slope = kd / (operating_concentration + kd) ** 2
+    return per_coverage_responsivity * slope
+
+
+def coverage_lod_to_concentration(
+    coverage_lod: float, analyte: Analyte
+) -> float:
+    """Concentration [molecules/m^3] producing an equilibrium coverage
+    equal to a coverage LOD.
+
+    Inverts the Langmuir isotherm: ``C = K_D theta / (1 - theta)``.
+    """
+    if not 0.0 < coverage_lod < 1.0:
+        raise ValueError("coverage LOD must lie strictly inside (0, 1)")
+    return analyte.dissociation_constant * coverage_lod / (1.0 - coverage_lod)
+
+
+def snr_db(signal_rms: float, noise_rms: float) -> float:
+    """Signal-to-noise ratio in dB."""
+    require_positive("signal_rms", signal_rms)
+    require_positive("noise_rms", noise_rms)
+    return 20.0 * math.log10(signal_rms / noise_rms)

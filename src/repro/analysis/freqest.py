@@ -1,0 +1,84 @@
+"""Frequency estimators for oscillator waveforms.
+
+The on-chip readout is the digital counter
+(:mod:`repro.circuits.counter`); offline analysis wants better
+estimators for the same records: interpolated zero-crossing averaging
+and FFT-peak with parabolic interpolation.  Cross-checking all three on
+the same waveform is how the tests pin the loop's oscillation frequency.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..circuits.counter import comparator_edges
+from ..circuits.signal import Signal
+from ..errors import SignalError
+
+
+def zero_crossing_frequency(signal: Signal, hysteresis: float = 0.0) -> float:
+    """Mean frequency from interpolated rising zero crossings [Hz].
+
+    Uses the comparator model of the counter but averages *all* periods,
+    so the quantization is set by edge interpolation rather than gate
+    counting.
+    """
+    edges = comparator_edges(signal, threshold=0.0, hysteresis=hysteresis)
+    if len(edges) < 2:
+        raise SignalError("fewer than two rising edges; cannot estimate frequency")
+    return float((len(edges) - 1) / (edges[-1] - edges[0]))
+
+
+def fft_peak_frequency(signal: Signal, window: str = "hann") -> float:
+    """Frequency of the dominant spectral line, parabolic-interpolated [Hz].
+
+    Windowed FFT plus a three-point parabolic fit on the log magnitude
+    around the peak bin; resolves far below the bin spacing for a clean
+    tone.
+    """
+    x = signal.samples - np.mean(signal.samples)
+    n = len(x)
+    if n < 8:
+        raise SignalError("signal too short for spectral estimation")
+    if window == "hann":
+        x = x * np.hanning(n)
+    elif window != "none":
+        raise SignalError(f"unknown window {window!r}")
+
+    spectrum = np.abs(np.fft.rfft(x))
+    k = int(np.argmax(spectrum[1:])) + 1  # skip DC
+    if k == 0 or k >= len(spectrum) - 1:
+        raise SignalError("spectral peak at the edge of the band")
+
+    s_m, s_0, s_p = spectrum[k - 1], spectrum[k], spectrum[k + 1]
+    if s_m <= 0.0 or s_0 <= 0.0 or s_p <= 0.0:
+        delta = 0.0
+    else:
+        lm, l0, lp = math.log(s_m), math.log(s_0), math.log(s_p)
+        denominator = lm - 2.0 * l0 + lp
+        delta = 0.0 if denominator == 0.0 else 0.5 * (lm - lp) / denominator
+    return (k + delta) * signal.sample_rate / n
+
+
+def ring_down_quality_factor(signal: Signal, frequency: float) -> float:
+    """Q from the exponential decay of a ring-down record.
+
+    Fits ``ln(envelope)`` vs time; ``Q = pi f tau``.  The envelope is the
+    per-cycle peak amplitude.
+    """
+    env = signal.amplitude_envelope(window_cycles=1.0, frequency=frequency)
+    if len(env) < 4:
+        raise SignalError("too few cycles for a ring-down fit")
+    # keep the clean part of the decay (above 5 % of the start)
+    mask = env > 0.05 * env[0]
+    env = env[mask]
+    if len(env) < 4:
+        raise SignalError("decay too fast for a ring-down fit")
+    t = np.arange(len(env)) / frequency
+    slope = np.polyfit(t, np.log(env), 1)[0]
+    if slope >= 0.0:
+        raise SignalError("envelope is not decaying; not a ring-down record")
+    tau = -1.0 / slope
+    return math.pi * frequency * tau

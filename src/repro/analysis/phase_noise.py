@@ -1,0 +1,155 @@
+"""Oscillator phase noise: the Leeson model for the Fig. 5 loop.
+
+The closed loop turns additive noise at the sustaining-amplifier input
+into phase noise of the oscillation.  Leeson's classic result: with
+carrier rms ``V_sig`` and one-sided noise PSD ``S_v`` at that node, the
+single-sideband phase-noise spectrum is
+
+    L(df) = (S_v / (2 V_sig^2)) * (1 + (f0 / (2 Q df))^2)
+
+— flat white-phase noise far out, rising 20 dB/decade inside the
+resonator half-bandwidth ``f0 / 2Q``.  Inside that region the oscillator
+performs a random walk of phase, equivalent to *white frequency noise*
+with coefficient
+
+    h0 = S_v / (V_sig^2 (2 Q)^2)
+
+whose Allan deviation is ``sigma_y(tau) = sqrt(h0 / (2 tau))`` — the
+intrinsic stability floor the counter quantization (EXT2b) is compared
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SignalError
+from ..units import require_positive
+
+
+def leeson_phase_noise(
+    offset_frequency: np.ndarray,
+    carrier_frequency: float,
+    quality_factor: float,
+    signal_rms: float,
+    noise_psd: float,
+) -> np.ndarray:
+    """Single-sideband phase noise ``L(df)`` [1/Hz] (linear, not dBc).
+
+    Parameters
+    ----------
+    offset_frequency:
+        Offsets from the carrier [Hz]; must be positive.
+    carrier_frequency / quality_factor:
+        The resonator.
+    signal_rms:
+        RMS carrier amplitude at the noise-injection node [V].
+    noise_psd:
+        One-sided additive noise PSD at the same node [V^2/Hz].
+    """
+    require_positive("carrier_frequency", carrier_frequency)
+    require_positive("quality_factor", quality_factor)
+    require_positive("signal_rms", signal_rms)
+    require_positive("noise_psd", noise_psd)
+    df = np.asarray(offset_frequency, dtype=float)
+    if np.any(df <= 0.0):
+        raise SignalError("offset frequencies must be positive")
+    half_bandwidth = carrier_frequency / (2.0 * quality_factor)
+    return (
+        noise_psd
+        / (2.0 * signal_rms**2)
+        * (1.0 + (half_bandwidth / df) ** 2)
+    )
+
+
+def leeson_phase_noise_dbc(
+    offset_frequency: np.ndarray,
+    carrier_frequency: float,
+    quality_factor: float,
+    signal_rms: float,
+    noise_psd: float,
+) -> np.ndarray:
+    """``L(df)`` in dBc/Hz — the datasheet unit."""
+    linear = leeson_phase_noise(
+        offset_frequency, carrier_frequency, quality_factor, signal_rms, noise_psd
+    )
+    return 10.0 * np.log10(linear)
+
+
+def white_fm_coefficient(
+    quality_factor: float, signal_rms: float, noise_psd: float
+) -> float:
+    """White-frequency-noise coefficient ``h0`` [1/Hz].
+
+    ``S_y(f) = h0`` for offsets inside the resonator half-bandwidth.
+    """
+    require_positive("quality_factor", quality_factor)
+    require_positive("signal_rms", signal_rms)
+    require_positive("noise_psd", noise_psd)
+    return noise_psd / (signal_rms**2 * (2.0 * quality_factor) ** 2)
+
+
+def allan_from_white_fm(h0: float, averaging_time: float) -> float:
+    """Allan deviation of white FM: ``sigma_y = sqrt(h0 / (2 tau))``."""
+    require_positive("h0", h0)
+    require_positive("averaging_time", averaging_time)
+    return math.sqrt(h0 / (2.0 * averaging_time))
+
+
+@dataclass(frozen=True)
+class OscillatorNoiseBudget:
+    """Leeson-model stability summary of one closed loop."""
+
+    carrier_frequency: float
+    quality_factor: float
+    signal_rms: float
+    noise_psd: float
+    h0: float
+
+    def allan_deviation(self, averaging_time: float) -> float:
+        """Intrinsic (electronics-limited) Allan floor at ``tau``."""
+        return allan_from_white_fm(self.h0, averaging_time)
+
+    def frequency_noise(self, averaging_time: float) -> float:
+        """RMS frequency noise [Hz] at ``tau``."""
+        return self.allan_deviation(averaging_time) * self.carrier_frequency
+
+    def phase_noise_dbc(self, offset_frequency: float) -> float:
+        """``L(df)`` at one offset [dBc/Hz]."""
+        return float(
+            leeson_phase_noise_dbc(
+                np.asarray([offset_frequency]),
+                self.carrier_frequency,
+                self.quality_factor,
+                self.signal_rms,
+                self.noise_psd,
+            )[0]
+        )
+
+
+def loop_noise_budget(loop, sample_rate: float) -> OscillatorNoiseBudget:
+    """Build the Leeson budget of a :class:`ResonantFeedbackLoop`.
+
+    The dominant additive noise enters at the bridge (the loop's most
+    sensitive node); the carrier there is the bridge signal at the
+    predicted oscillation amplitude.
+    """
+    from ..feedback.agc import predict_amplitude
+
+    prediction = predict_amplitude(loop, sample_rate)
+    f0 = loop.resonator.natural_frequency
+    v_sig_rms = (
+        loop.displacement_to_voltage * prediction.tip_amplitude / math.sqrt(2.0)
+    )
+    s_v = float(loop.bridge.noise_psd(np.asarray([f0]))[0])
+    q = loop.resonator.quality_factor
+    return OscillatorNoiseBudget(
+        carrier_frequency=f0,
+        quality_factor=q,
+        signal_rms=v_sig_rms,
+        noise_psd=s_v,
+        h0=white_fm_coefficient(q, v_sig_rms, s_v),
+    )

@@ -1,0 +1,95 @@
+"""Parameter-sweep utilities for benches and characterization scripts.
+
+Thin, dependency-free helpers that keep every bench's sweep loop
+identical: run a function over a parameter grid, collect named result
+columns, and render an aligned text table (the "same rows the paper
+reports" output format required of the benchmark harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+
+@dataclass
+class SweepResult:
+    """Columnar results of a parameter sweep."""
+
+    parameter_name: str
+    parameters: list
+    columns: dict[str, list] = field(default_factory=dict)
+
+    def column(self, name: str) -> np.ndarray:
+        """One result column as an array."""
+        return np.asarray(self.columns[name], dtype=float)
+
+    def rows(self) -> list[tuple]:
+        """Row tuples: (parameter, col1, col2, ...)."""
+        names = list(self.columns)
+        return [
+            (p, *[self.columns[n][i] for n in names])
+            for i, p in enumerate(self.parameters)
+        ]
+
+    def format_table(self) -> str:
+        """Aligned text table of the sweep.
+
+        Column widths adapt to the header names so long labels never run
+        together.
+        """
+        names = list(self.columns)
+        p_width = max(12, len(self.parameter_name) + 2)
+        widths = [max(14, len(n) + 2) for n in names]
+        header = f"{self.parameter_name:>{p_width}s}" + "".join(
+            f"{n:>{w + 1}s}" for n, w in zip(names, widths)
+        )
+        lines = [header, "-" * len(header)]
+        for i, p in enumerate(self.parameters):
+            cells = [f"{p:>{p_width}.4g}" if not isinstance(p, str) else f"{p:>{p_width}s}"]
+            for n, w in zip(names, widths):
+                value = self.columns[n][i]
+                if isinstance(value, str):
+                    cells.append(f"{value:>{w}s} ")
+                else:
+                    cells.append(f"{value:>{w}.5g} ")
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+
+def sweep(
+    parameter_name: str,
+    values: Iterable,
+    evaluate: Callable[[object], Mapping[str, object]],
+) -> SweepResult:
+    """Evaluate ``evaluate(v)`` over values; collect dict results by key.
+
+    Every call must return the same keys; a missing key raises
+    immediately so a half-filled table never silently prints.
+    """
+    result = SweepResult(parameter_name=parameter_name, parameters=[])
+    expected: list[str] | None = None
+    for value in values:
+        outcome = evaluate(value)
+        if expected is None:
+            expected = list(outcome)
+            for key in expected:
+                result.columns[key] = []
+        if list(outcome) != expected:
+            raise KeyError(
+                f"sweep result keys changed: expected {expected}, "
+                f"got {list(outcome)}"
+            )
+        result.parameters.append(value)
+        for key in expected:
+            result.columns[key].append(outcome[key])
+    return result
+
+
+def geometric_space(start: float, stop: float, count: int) -> np.ndarray:
+    """Log-spaced grid including both endpoints."""
+    if start <= 0.0 or stop <= 0.0:
+        raise ValueError("geometric_space needs positive endpoints")
+    return np.geomspace(start, stop, count)

@@ -1,0 +1,63 @@
+"""Bio-affinity recognition: analytes, binding kinetics, assay protocols."""
+
+from .analytes import (
+    Analyte,
+    dna_oligo,
+    get_analyte,
+    list_analytes,
+    register_analyte,
+)
+from .assay import AssayProtocol, AssayStep, AssayTrace, run_assay, run_binding
+from .binding import (
+    BindingCurve,
+    binding_time_constant,
+    coverage_transient,
+    equilibrium_coverage,
+    initial_binding_rate,
+    time_to_coverage,
+)
+from .competition import (
+    CrossReactivityReport,
+    competitive_equilibrium,
+    competitive_transient,
+    cross_reactivity,
+    weakened_analyte,
+)
+from .functionalization import FunctionalizedSurface
+from .transport import (
+    TransportModel,
+    effective_time_constant_ratio,
+    initial_rate_transport_limited,
+    surface_concentration,
+    transport_limited_transient,
+)
+
+__all__ = [
+    "Analyte",
+    "AssayProtocol",
+    "AssayStep",
+    "AssayTrace",
+    "BindingCurve",
+    "CrossReactivityReport",
+    "competitive_equilibrium",
+    "competitive_transient",
+    "cross_reactivity",
+    "weakened_analyte",
+    "FunctionalizedSurface",
+    "TransportModel",
+    "effective_time_constant_ratio",
+    "initial_rate_transport_limited",
+    "surface_concentration",
+    "transport_limited_transient",
+    "binding_time_constant",
+    "coverage_transient",
+    "dna_oligo",
+    "equilibrium_coverage",
+    "get_analyte",
+    "initial_binding_rate",
+    "list_analytes",
+    "register_analyte",
+    "run_assay",
+    "run_binding",
+    "time_to_coverage",
+]

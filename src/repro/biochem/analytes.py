@@ -1,0 +1,184 @@
+"""Analyte and probe-molecule database.
+
+The paper motivates the sensors with immunoassays ("for the detection of
+a specific antigen in the patient's sample, the corresponding antibody is
+immobilized on the cantilever surface") and DNA capture.  This module
+describes the molecular players: their mass (what the resonant sensor
+weighs), the surface stress their binding generates (what the static
+sensor feels), and their binding kinetics (how fast either signal
+develops).
+
+Values are representative literature numbers — e.g. IgG at 150 kDa,
+antibody-antigen K_D in the nM range, DNA hybridization surface stress of
+a few mN/m (Fritz et al., Science 288, 2000) — chosen so that simulated
+assays land in the regimes the real devices operate in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..constants import DALTON
+from ..errors import MaterialError
+from ..units import require_positive, require_nonnegative
+
+
+@dataclass(frozen=True)
+class Analyte:
+    """A detectable molecule and its probe-binding characteristics.
+
+    Parameters
+    ----------
+    name:
+        Registry key.
+    molecular_mass:
+        Mass of one molecule [kg].
+    k_on:
+        Association rate constant [m^3 / (molecule * s)].
+        (Divide literature 1/(M s) values by ``AVOGADRO * 1e3``.)
+    k_off:
+        Dissociation rate constant [1/s].
+    surface_stress_full_coverage:
+        Differential surface stress at full monolayer coverage [N/m];
+        positive = tensile.  Compressive (negative) values are typical
+        for DNA hybridization.
+    full_coverage_density:
+        Molecules per square metre at a full monolayer.
+    """
+
+    name: str
+    molecular_mass: float
+    k_on: float
+    k_off: float
+    surface_stress_full_coverage: float
+    full_coverage_density: float
+
+    def __post_init__(self) -> None:
+        require_positive("molecular_mass", self.molecular_mass)
+        require_positive("k_on", self.k_on)
+        require_nonnegative("k_off", self.k_off)
+        require_positive("full_coverage_density", self.full_coverage_density)
+
+    @property
+    def dissociation_constant(self) -> float:
+        """Equilibrium ``K_D = k_off / k_on`` [molecules/m^3]."""
+        return self.k_off / self.k_on
+
+    @property
+    def dissociation_constant_molar(self) -> float:
+        """``K_D`` expressed in mol/L for comparison with literature."""
+        from ..constants import AVOGADRO
+
+        return self.dissociation_constant / (AVOGADRO * 1e3)
+
+    @property
+    def full_coverage_mass_density(self) -> float:
+        """Areal mass at full coverage [kg/m^2]."""
+        return self.molecular_mass * self.full_coverage_density
+
+
+def _per_molar_second(value: float) -> float:
+    """Convert a rate constant from 1/(M s) to m^3/(molecule s)."""
+    from ..constants import AVOGADRO
+
+    return value / (AVOGADRO * 1e3)
+
+
+def _builtin_analytes() -> dict[str, Analyte]:
+    kda = 1e3 * DALTON
+    return {
+        a.name: a
+        for a in (
+            # IgG antibody captured by immobilized protein A / antigen.
+            Analyte(
+                name="igg",
+                molecular_mass=150.0 * kda,
+                k_on=_per_molar_second(1e5),
+                k_off=1e-4,
+                surface_stress_full_coverage=-4e-3,
+                full_coverage_density=1.2e16,  # ~3 mg/m^2 monolayer
+            ),
+            # Small antigen (e.g. PSA ~ 30 kDa) captured by an antibody layer.
+            Analyte(
+                name="psa",
+                molecular_mass=30.0 * kda,
+                k_on=_per_molar_second(2e5),
+                k_off=5e-4,
+                surface_stress_full_coverage=-2e-3,
+                full_coverage_density=2.5e16,  # ~1.2 mg/m^2
+            ),
+            # C-reactive protein, a standard blood-panel marker (pentamer).
+            Analyte(
+                name="crp",
+                molecular_mass=115.0 * kda,
+                k_on=_per_molar_second(3e5),
+                k_off=2e-4,
+                surface_stress_full_coverage=-3e-3,
+                full_coverage_density=1.0e16,  # ~1.9 mg/m^2
+            ),
+            # 20-mer DNA oligonucleotide hybridizing to a thiolated probe.
+            Analyte(
+                name="dna_20mer",
+                molecular_mass=20 * 650.0 * DALTON,
+                k_on=_per_molar_second(1e6),
+                k_off=1e-3,
+                surface_stress_full_coverage=-5e-3,
+                full_coverage_density=3.0e16,  # dense SAM-like packing
+            ),
+            # Streptavidin on biotinylated surface: near-irreversible anchor.
+            Analyte(
+                name="streptavidin",
+                molecular_mass=53.0 * kda,
+                k_on=_per_molar_second(4.5e7),
+                k_off=5.4e-6,
+                surface_stress_full_coverage=-6e-3,
+                full_coverage_density=2.8e16,  # ~2.5 mg/m^2
+            ),
+        )
+    }
+
+
+_REGISTRY: dict[str, Analyte] = _builtin_analytes()
+
+
+def get_analyte(name: str) -> Analyte:
+    """Look up an analyte by name; raises :class:`MaterialError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MaterialError(f"unknown analyte {name!r}; known: {known}") from None
+
+
+def register_analyte(analyte: Analyte, *, overwrite: bool = False) -> None:
+    """Add a user-defined analyte to the registry."""
+    if analyte.name in _REGISTRY and not overwrite:
+        raise MaterialError(
+            f"analyte {analyte.name!r} already registered; pass overwrite=True"
+        )
+    _REGISTRY[analyte.name] = analyte
+
+
+def list_analytes() -> list[str]:
+    """Names of all registered analytes, sorted."""
+    return sorted(_REGISTRY)
+
+
+def dna_oligo(bases: int, name: str | None = None) -> Analyte:
+    """Construct a single-stranded DNA oligo analyte of given length.
+
+    Mass uses 650 Da per base (duplex-forming strand, sodium salt);
+    hybridization kinetics scale weakly with length and are kept at the
+    20-mer reference values.
+    """
+    if bases < 4:
+        raise MaterialError("DNA oligos shorter than 4 bases are not modeled")
+    ref = get_analyte("dna_20mer")
+    return Analyte(
+        name=name or f"dna_{bases}mer",
+        molecular_mass=bases * 650.0 * DALTON,
+        k_on=ref.k_on,
+        k_off=ref.k_off,
+        surface_stress_full_coverage=ref.surface_stress_full_coverage,
+        full_coverage_density=ref.full_coverage_density,
+    )

@@ -1,0 +1,211 @@
+"""Assay protocols: concentration-vs-time programs and their binding traces.
+
+A real cantilever immunoassay is a sequence of liquid-handling steps:
+baseline buffer, sample injection, optionally a wash, sometimes a second
+injection (titration).  This module describes such protocols as ordered
+segments of constant analyte concentration and evaluates the exact
+piecewise-exponential Langmuir coverage across them, producing the
+coverage/mass/surface-stress time series that drive both sensor systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AssayError
+from ..units import require_nonnegative, require_positive
+from .analytes import Analyte
+from .binding import BindingCurve, coverage_transient
+from .functionalization import FunctionalizedSurface
+
+
+@dataclass(frozen=True)
+class AssayStep:
+    """One constant-concentration segment of an assay protocol.
+
+    Parameters
+    ----------
+    label:
+        Human-readable name ("baseline", "inject 10 nM", "wash").
+    duration:
+        Segment length [s].
+    concentration:
+        Bulk analyte concentration during the segment [molecules/m^3];
+        0 for buffer/wash steps.
+    """
+
+    label: str
+    duration: float
+    concentration: float
+
+    def __post_init__(self) -> None:
+        require_positive("duration", self.duration)
+        require_nonnegative("concentration", self.concentration)
+
+
+@dataclass(frozen=True)
+class AssayProtocol:
+    """Ordered sequence of assay steps.
+
+    Use the convenience constructors for the two standard shapes:
+    :meth:`injection` (baseline - sample - wash) and
+    :meth:`titration` (baseline, then increasing concentrations).
+    """
+
+    steps: tuple[AssayStep, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise AssayError("an assay protocol needs at least one step")
+
+    @property
+    def total_duration(self) -> float:
+        """Protocol length [s]."""
+        return sum(step.duration for step in self.steps)
+
+    def step_boundaries(self) -> list[float]:
+        """Cumulative start times of each step plus the final end time."""
+        times = [0.0]
+        for step in self.steps:
+            times.append(times[-1] + step.duration)
+        return times
+
+    def concentration_at(self, times: np.ndarray) -> np.ndarray:
+        """Concentration program sampled at arbitrary times [s]."""
+        t = np.asarray(times, dtype=float)
+        bounds = self.step_boundaries()
+        out = np.zeros_like(t)
+        for step, start, end in zip(self.steps, bounds[:-1], bounds[1:]):
+            mask = (t >= start) & (t < end)
+            out[mask] = step.concentration
+        out[t >= bounds[-1]] = self.steps[-1].concentration
+        return out
+
+    # -- standard protocol shapes --------------------------------------------
+
+    @classmethod
+    def injection(
+        cls,
+        concentration: float,
+        *,
+        baseline: float = 300.0,
+        exposure: float = 1800.0,
+        wash: float = 600.0,
+    ) -> "AssayProtocol":
+        """Baseline -> sample injection -> buffer wash."""
+        return cls(
+            steps=(
+                AssayStep("baseline", baseline, 0.0),
+                AssayStep("inject", exposure, concentration),
+                AssayStep("wash", wash, 0.0),
+            )
+        )
+
+    @classmethod
+    def titration(
+        cls,
+        concentrations: list[float],
+        *,
+        baseline: float = 300.0,
+        exposure_each: float = 900.0,
+    ) -> "AssayProtocol":
+        """Baseline followed by successive concentration steps."""
+        if not concentrations:
+            raise AssayError("titration needs at least one concentration")
+        steps = [AssayStep("baseline", baseline, 0.0)]
+        for i, c in enumerate(concentrations):
+            steps.append(AssayStep(f"step{i + 1}", exposure_each, c))
+        return cls(steps=tuple(steps))
+
+
+def run_binding(
+    analyte: Analyte,
+    protocol: AssayProtocol,
+    sample_interval: float = 1.0,
+    initial_coverage: float = 0.0,
+) -> BindingCurve:
+    """Evaluate the exact Langmuir coverage across a whole protocol.
+
+    Each constant-concentration segment uses the closed-form exponential
+    solution, chained so coverage is continuous at step boundaries.
+    """
+    require_positive("sample_interval", sample_interval)
+    all_t: list[np.ndarray] = []
+    all_theta: list[np.ndarray] = []
+    all_c: list[np.ndarray] = []
+
+    t_offset = 0.0
+    theta = initial_coverage
+    for step in protocol.steps:
+        n = max(2, int(round(step.duration / sample_interval)) + 1)
+        local_t = np.linspace(0.0, step.duration, n)
+        local_theta = coverage_transient(
+            analyte, step.concentration, local_t, initial_coverage=theta
+        )
+        all_t.append(local_t[:-1] + t_offset)
+        all_theta.append(local_theta[:-1])
+        all_c.append(np.full(n - 1, step.concentration))
+        theta = float(local_theta[-1])
+        t_offset += step.duration
+
+    all_t.append(np.asarray([t_offset]))
+    all_theta.append(np.asarray([theta]))
+    all_c.append(np.asarray([protocol.steps[-1].concentration]))
+
+    return BindingCurve(
+        times=np.concatenate(all_t),
+        coverage=np.concatenate(all_theta),
+        concentration=np.concatenate(all_c),
+    )
+
+
+@dataclass(frozen=True)
+class AssayTrace:
+    """Mechanical input time series produced by an assay on one surface.
+
+    Attributes
+    ----------
+    times:
+        Sample times [s].
+    coverage:
+        Fractional coverage.
+    added_mass:
+        Bound mass [kg] at each time.
+    surface_stress:
+        Differential surface stress [N/m] at each time.
+    """
+
+    times: np.ndarray
+    coverage: np.ndarray
+    added_mass: np.ndarray
+    surface_stress: np.ndarray
+
+
+def run_assay(
+    surface: FunctionalizedSurface,
+    protocol: AssayProtocol,
+    sample_interval: float = 1.0,
+) -> AssayTrace:
+    """Run a protocol on a functionalized surface.
+
+    Reference (blocked) surfaces short-circuit to an all-zero trace —
+    nothing binds, so nothing needs integrating.
+    """
+    if surface.is_reference:
+        bounds = protocol.step_boundaries()
+        n = max(2, int(round(bounds[-1] / sample_interval)) + 1)
+        times = np.linspace(0.0, bounds[-1], n)
+        zeros = np.zeros_like(times)
+        return AssayTrace(
+            times=times, coverage=zeros, added_mass=zeros, surface_stress=zeros
+        )
+
+    curve = run_binding(surface.analyte, protocol, sample_interval)
+    return AssayTrace(
+        times=curve.times,
+        coverage=curve.coverage,
+        added_mass=np.asarray(surface.added_mass(curve.coverage)),
+        surface_stress=np.asarray(surface.surface_stress(curve.coverage)),
+    )

@@ -1,0 +1,100 @@
+"""Cantilever surface functionalization: coverage to mechanical inputs.
+
+"The cantilevers are functionalized for the capturing of specific
+analytes" — this module is that functional layer.  It owns the probe
+chemistry on one cantilever's top face and converts a fractional analyte
+coverage ``theta`` into the two quantities the mechanics understands:
+
+* added mass  ``dm = theta * Gamma_max * A * m_molecule``  [kg]
+* differential surface stress  ``d sigma = theta * sigma_max``  [N/m]
+
+A probe-immobilization efficiency < 1 models the real-world loss between
+a perfect monolayer and what wet chemistry delivers; a *reference*
+(unfunctionalized or blocked) cantilever uses efficiency 0 and produces
+no specific signal — the paper's 4-cantilever array exists largely so
+reference beams can cancel drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mechanics.geometry import CantileverGeometry
+from ..units import require_fraction
+from .analytes import Analyte
+
+
+@dataclass(frozen=True)
+class FunctionalizedSurface:
+    """Probe layer on the top face of one cantilever.
+
+    Parameters
+    ----------
+    analyte:
+        The target molecule this surface captures.
+    geometry:
+        The host cantilever (provides the functionalizable area).
+    immobilization_efficiency:
+        Fraction of the ideal full-coverage site density actually
+        available; 0 turns the beam into a reference cantilever.
+    """
+
+    analyte: Analyte
+    geometry: CantileverGeometry
+    immobilization_efficiency: float = 0.7
+
+    def __post_init__(self) -> None:
+        require_fraction(
+            "immobilization_efficiency", self.immobilization_efficiency
+        )
+
+    @property
+    def is_reference(self) -> bool:
+        """True for a blocked/reference beam that captures nothing."""
+        return self.immobilization_efficiency == 0.0
+
+    @property
+    def site_count(self) -> float:
+        """Number of available probe sites on the beam."""
+        return (
+            self.analyte.full_coverage_density
+            * self.immobilization_efficiency
+            * self.geometry.planform_area
+        )
+
+    @property
+    def saturation_mass(self) -> float:
+        """Added mass at full coverage [kg]."""
+        return self.site_count * self.analyte.molecular_mass
+
+    @property
+    def saturation_surface_stress(self) -> float:
+        """Surface stress at full coverage [N/m]."""
+        return (
+            self.analyte.surface_stress_full_coverage
+            * self.immobilization_efficiency
+        )
+
+    # -- coverage -> mechanical inputs ---------------------------------------
+
+    def added_mass(self, coverage: float | np.ndarray) -> float | np.ndarray:
+        """Bound analyte mass [kg] at fractional coverage ``theta``."""
+        theta = np.clip(np.asarray(coverage, dtype=float), 0.0, 1.0)
+        result = theta * self.saturation_mass
+        return float(result) if result.ndim == 0 else result
+
+    def surface_stress(self, coverage: float | np.ndarray) -> float | np.ndarray:
+        """Differential surface stress [N/m] at coverage ``theta``.
+
+        Linear in coverage — the standard first-order model; the full-
+        coverage value already includes the immobilization efficiency.
+        """
+        theta = np.clip(np.asarray(coverage, dtype=float), 0.0, 1.0)
+        result = theta * self.saturation_surface_stress
+        return float(result) if result.ndim == 0 else result
+
+    def bound_molecules(self, coverage: float) -> float:
+        """Number of bound analyte molecules at coverage ``theta``."""
+        return float(np.clip(coverage, 0.0, 1.0)) * self.site_count

@@ -1,0 +1,60 @@
+"""Behavioral analog/mixed-signal circuit blocks for the readout chains."""
+
+from .adc import ADC
+from .amplifier import Amplifier, DifferenceAmplifier
+from .block import Block, Chain, Gain, Passthrough, Saturation
+from .buffer import ClassABBuffer
+from .chopper import ChopperAmplifier, square_carrier
+from .counter import (
+    FrequencyCounter,
+    FrequencyMeasurement,
+    ReciprocalCounter,
+    comparator_edges,
+)
+from .dda import DDAInstrumentationAmplifier
+from .filters import HighPassFilter, LowPassFilter, RCLowPass
+from .limiter import LimitingAmplifier
+from .lockin import ACBridgeReadout, LockInAmplifier, ac_bridge_output
+from .mux import AnalogMultiplexer, MuxTimeslot
+from .noise import amplifier_input_noise, noise_signal, pink_noise, white_noise
+from .offset_dac import OffsetCompensationDAC
+from .pll import PLLReading, PhaseLockedLoop
+from .signal import Signal
+from .vga import VariableGainAmplifier
+
+__all__ = [
+    "ADC",
+    "Amplifier",
+    "AnalogMultiplexer",
+    "Block",
+    "Chain",
+    "ChopperAmplifier",
+    "ClassABBuffer",
+    "DDAInstrumentationAmplifier",
+    "DifferenceAmplifier",
+    "FrequencyCounter",
+    "FrequencyMeasurement",
+    "Gain",
+    "HighPassFilter",
+    "ACBridgeReadout",
+    "LimitingAmplifier",
+    "LockInAmplifier",
+    "ac_bridge_output",
+    "LowPassFilter",
+    "MuxTimeslot",
+    "OffsetCompensationDAC",
+    "PLLReading",
+    "Passthrough",
+    "PhaseLockedLoop",
+    "RCLowPass",
+    "ReciprocalCounter",
+    "Saturation",
+    "Signal",
+    "VariableGainAmplifier",
+    "amplifier_input_noise",
+    "comparator_edges",
+    "noise_signal",
+    "pink_noise",
+    "square_carrier",
+    "white_noise",
+]

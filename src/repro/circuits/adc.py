@@ -1,0 +1,62 @@
+"""Analog-to-digital converter closing the static channel.
+
+Fig. 4 ends in gain stages; a practical autonomous chip (the paper's
+"autonomous device operation") digitizes the result.  A simple uniform
+mid-tread quantizer with saturation models the on-chip SAR: enough to
+budget quantization noise against the analog chain's residual noise and
+to exercise full-digital assay pipelines in the examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .block import Block
+from .signal import Signal
+
+
+class ADC(Block):
+    """Uniform mid-tread quantizer with saturation.
+
+    Parameters
+    ----------
+    full_scale:
+        Input range is [-full_scale, +full_scale] [V].
+    bits:
+        Resolution; LSB = 2 * full_scale / 2^bits.
+    """
+
+    def __init__(self, full_scale: float, bits: int = 12) -> None:
+        self.full_scale = require_positive("full_scale", full_scale)
+        if not 2 <= bits <= 24:
+            raise CircuitError(f"bits must be in [2, 24], got {bits}")
+        self.bits = int(bits)
+
+    @property
+    def lsb(self) -> float:
+        """One code step [V]."""
+        return 2.0 * self.full_scale / (2**self.bits)
+
+    @property
+    def quantization_noise_rms(self) -> float:
+        """Theoretical quantization noise ``LSB / sqrt(12)`` [V rms]."""
+        return self.lsb / (12.0**0.5)
+
+    def codes(self, signal: Signal) -> np.ndarray:
+        """Integer output codes (saturating)."""
+        max_code = 2 ** (self.bits - 1) - 1
+        min_code = -(2 ** (self.bits - 1))
+        raw = np.round(signal.samples / self.lsb).astype(int)
+        return np.clip(raw, min_code, max_code)
+
+    def process(self, signal: Signal) -> Signal:
+        """Quantized waveform (codes scaled back to volts)."""
+        return Signal(self.codes(signal) * self.lsb, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        max_code = 2 ** (self.bits - 1) - 1
+        min_code = -(2 ** (self.bits - 1))
+        code = int(round(x / self.lsb))
+        return min(max(code, min_code), max_code) * self.lsb

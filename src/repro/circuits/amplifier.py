@@ -1,0 +1,166 @@
+"""Voltage amplifier with the non-idealities the paper's chains manage.
+
+The behavioral model covers exactly the imperfections the Fig. 4 / Fig. 5
+architectures exist to fight:
+
+* input-referred **offset** (millivolts in CMOS — 1000x the signal) —
+  motivates chopping and the programmable offset-compensation stage;
+* input-referred **noise**, white + 1/f with a corner — motivates
+  chopping (static chain) and high-pass filtering (resonant loop);
+* finite **gain-bandwidth product** — one dominant pole at
+  ``gbw / gain``;
+* **supply rails** — hard clipping, which is what makes uncompensated
+  offset fatal rather than merely annoying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_nonnegative, require_positive
+from .block import Block
+from .filters import RCLowPass
+from .noise import amplifier_input_noise
+from .signal import Signal
+
+
+class Amplifier(Block):
+    """Single-ended voltage amplifier.
+
+    Parameters
+    ----------
+    gain:
+        Low-frequency voltage gain [V/V]; must be positive (use an ideal
+        :class:`~repro.circuits.block.Gain` of -1 for inversions).
+    gbw:
+        Gain-bandwidth product [Hz]; ``None`` for an ideal wideband amp.
+    input_offset:
+        Input-referred DC offset [V].
+    noise_density:
+        Input-referred white noise density [V/sqrt(Hz)].
+    noise_corner:
+        1/f corner frequency of the input noise [Hz].
+    rails:
+        Output saturation limits (low, high) [V]; ``None`` disables.
+    rng:
+        Random generator for the noise realization; pass a seeded
+        generator for reproducible simulations.
+    """
+
+    def __init__(
+        self,
+        gain: float,
+        gbw: float | None = None,
+        input_offset: float = 0.0,
+        noise_density: float = 0.0,
+        noise_corner: float = 0.0,
+        rails: tuple[float, float] | None = (-2.5, 2.5),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.gain = require_positive("gain", gain)
+        if gbw is not None:
+            require_positive("gbw", gbw)
+            if gbw <= gain:
+                raise CircuitError(
+                    f"gbw ({gbw} Hz) must exceed the DC gain ({gain}) for a "
+                    "meaningful closed-loop bandwidth"
+                )
+        self.gbw = gbw
+        self.input_offset = float(input_offset)
+        self.noise_density = require_nonnegative("noise_density", noise_density)
+        self.noise_corner = require_nonnegative("noise_corner", noise_corner)
+        if rails is not None and rails[1] <= rails[0]:
+            raise CircuitError(f"rails must be (low, high), got {rails}")
+        self.rails = rails
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._pole = RCLowPass(self.bandwidth) if gbw is not None else None
+
+    @property
+    def bandwidth(self) -> float:
+        """Closed-loop -3 dB bandwidth ``gbw / gain`` [Hz] (inf if ideal)."""
+        return float("inf") if self.gbw is None else self.gbw / self.gain
+
+    def process(self, signal: Signal) -> Signal:
+        x = signal.samples + self.input_offset
+        if self.noise_density > 0.0:
+            x = x + amplifier_input_noise(
+                self.noise_density**2,
+                self.noise_corner,
+                len(x),
+                signal.sample_rate,
+                self._rng,
+            )
+        y = x * self.gain
+        if self._pole is not None:
+            filtered = self._pole.process(Signal(y, signal.sample_rate))
+            y = filtered.samples
+        if self.rails is not None:
+            y = np.clip(y, self.rails[0], self.rails[1])
+        return Signal(y, signal.sample_rate)
+
+    def prepare(self, sample_rate: float) -> None:
+        """Fix the sample rate before per-sample stepping."""
+        if self._pole is not None:
+            self._pole.prepare(sample_rate)
+        self._step_rate = sample_rate
+
+    def step(self, x: float) -> float:
+        x = x + self.input_offset
+        if self.noise_density > 0.0:
+            # white component only in stepping mode; 1/f needs record-level
+            # synthesis and is negligible within a loop's short memory.
+            sigma = self.noise_density * (self._step_sigma_factor())
+            x += self._rng.normal(0.0, sigma)
+        y = x * self.gain
+        if self._pole is not None:
+            y = self._pole.step(y)
+        if self.rails is not None:
+            y = min(max(y, self.rails[0]), self.rails[1])
+        return y
+
+    def _step_sigma_factor(self) -> float:
+        rate = getattr(self, "_step_rate", None)
+        if rate is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        return (rate / 2.0) ** 0.5
+
+    def reset(self) -> None:
+        if self._pole is not None:
+            self._pole.reset()
+
+
+class DifferenceAmplifier(Amplifier):
+    """Two-input difference amplifier with finite CMRR.
+
+    Processes a differential input directly; when the common-mode
+    waveform is known (e.g. bridge mid-supply plus interference), use
+    :meth:`process_with_common_mode` so the CMRR leakage appears in the
+    output — this is how the monolithic-vs-external interference claim is
+    evaluated.
+
+    Parameters
+    ----------
+    cmrr_db:
+        Common-mode rejection ratio [dB].
+    """
+
+    def __init__(self, *args, cmrr_db: float = 90.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.cmrr_db = require_positive("cmrr_db", cmrr_db)
+
+    @property
+    def common_mode_gain(self) -> float:
+        """Gain from common-mode input to output [V/V]."""
+        return self.gain / (10.0 ** (self.cmrr_db / 20.0))
+
+    def process_with_common_mode(
+        self, differential: Signal, common_mode: Signal
+    ) -> Signal:
+        """Amplify a differential input in the presence of common mode."""
+        leak = self.common_mode_gain / self.gain
+        effective = Signal(
+            differential.samples + leak * common_mode.samples,
+            differential.sample_rate,
+        )
+        return self.process(effective)

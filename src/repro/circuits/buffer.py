@@ -1,0 +1,107 @@
+"""Class-AB output buffer driving the actuation coil (Fig. 5).
+
+"...and drives the low-resistance coil via a class AB output buffer."
+The on-cantilever coil is a few tens of ohms of thin aluminium, so the
+loop's last stage must source real current.  The model is a unity-gain
+voltage buffer with:
+
+* output current limit (the class-AB bias sets how much it can source/
+  sink) — voltage into the coil clips at ``i_max * R_coil``;
+* slew-rate limit;
+* crossover distortion residue, the classic class-AB imperfection,
+  modeled as a small dead zone around zero crossing.
+
+The buffer also reports the coil current, which is what the Lorentz
+actuator converts to force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_nonnegative, require_positive
+from .block import Block
+from .signal import Signal
+
+
+class ClassABBuffer(Block):
+    """Current-limited unity-gain buffer into a resistive load.
+
+    Parameters
+    ----------
+    load_resistance:
+        Coil resistance [Ohm].
+    max_current:
+        Source/sink current limit [A].
+    slew_rate:
+        Output slew-rate limit [V/s]; ``None`` disables.
+    crossover_deadzone:
+        Dead-zone half-width around zero [V] (class-AB crossover
+        residue); 0 for an ideally biased stage.
+    """
+
+    def __init__(
+        self,
+        load_resistance: float,
+        max_current: float,
+        slew_rate: float | None = None,
+        crossover_deadzone: float = 0.0,
+    ) -> None:
+        self.load_resistance = require_positive("load_resistance", load_resistance)
+        self.max_current = require_positive("max_current", max_current)
+        if slew_rate is not None:
+            require_positive("slew_rate", slew_rate)
+        self.slew_rate = slew_rate
+        self.crossover_deadzone = require_nonnegative(
+            "crossover_deadzone", crossover_deadzone
+        )
+        self._last_output = 0.0
+        self._step_rate: float | None = None
+
+    @property
+    def max_output_voltage(self) -> float:
+        """Voltage clip at the current limit [V]."""
+        return self.max_current * self.load_resistance
+
+    def prepare(self, sample_rate: float) -> None:
+        """Fix the sample rate before per-sample stepping."""
+        self._step_rate = sample_rate
+
+    def _shape(self, x: float, dt: float) -> float:
+        # crossover dead zone
+        if self.crossover_deadzone > 0.0:
+            if abs(x) <= self.crossover_deadzone:
+                x = 0.0
+            else:
+                x = x - np.sign(x) * self.crossover_deadzone
+        # current limit
+        vmax = self.max_output_voltage
+        x = min(max(x, -vmax), vmax)
+        # slew limit
+        if self.slew_rate is not None:
+            max_step = self.slew_rate * dt
+            delta = x - self._last_output
+            if abs(delta) > max_step:
+                x = self._last_output + np.sign(delta) * max_step
+        self._last_output = x
+        return x
+
+    def process(self, signal: Signal) -> Signal:
+        dt = 1.0 / signal.sample_rate
+        out = np.empty_like(signal.samples)
+        for i, x in enumerate(signal.samples):
+            out[i] = self._shape(float(x), dt)
+        return Signal(out, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        if self._step_rate is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        return self._shape(x, 1.0 / self._step_rate)
+
+    def reset(self) -> None:
+        self._last_output = 0.0
+
+    def coil_current(self, output_voltage: float | np.ndarray):
+        """Current delivered into the coil [A] for a buffer output voltage."""
+        return np.asarray(output_voltage) / self.load_resistance

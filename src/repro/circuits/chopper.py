@@ -1,0 +1,102 @@
+"""Chopper-stabilized amplifier — the first stage of the static chain.
+
+"A chopper-stabilized amplifier as first stage performs a low-noise,
+low-offset amplification of the weak sensor signal" (paper, Sec. 3.1).
+
+Principle: the input is modulated by a square carrier at ``f_chop``
+*before* the amplifier, so the signal passes through the amplifier
+translated to ``f_chop`` — above the amplifier's 1/f corner.  The
+amplifier's own offset and low-frequency noise enter *after* the input
+modulator, so the output demodulator translates *them* up to ``f_chop``
+(as ripple) while bringing the signal back to baseband.  A following
+low-pass filter (the separate LP stage of Fig. 4) removes the ripple.
+
+The block deliberately does **not** include the ripple filter: Fig. 4
+draws it as its own stage, and keeping it separate lets the benches
+show the raw chopper output ripple.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .amplifier import Amplifier
+from .block import Block
+from .signal import Signal
+
+
+def square_carrier(
+    frequency: float, n_samples: int, sample_rate: float
+) -> np.ndarray:
+    """A +/-1 square wave sampled at the signal rate.
+
+    On a real chip the chopper clock is an integer division of the
+    master clock, so when ``sample_rate / (2 * frequency)`` is close to
+    an integer the carrier is built from exact integer half-periods.
+    (Naively thresholding ``(t * f) % 1`` flips isolated samples through
+    float rounding at the edges, which aliases spurious noise into the
+    baseband — a purely numerical artifact a real chopper cannot have.)
+    """
+    require_positive("frequency", frequency)
+    if frequency >= sample_rate / 2.0:
+        raise CircuitError(
+            f"chop frequency {frequency} Hz is above Nyquist "
+            f"({sample_rate / 2} Hz)"
+        )
+    half_period = sample_rate / (2.0 * frequency)
+    m = int(round(half_period))
+    if m >= 1 and abs(half_period - m) < 1e-9 * half_period:
+        pattern = np.concatenate([np.ones(m), -np.ones(m)])
+        reps = n_samples // (2 * m) + 1
+        return np.tile(pattern, reps)[:n_samples]
+    # incommensurate clock: integer half-period indexing avoids the
+    # modulo-threshold float flips
+    k = np.floor(np.arange(n_samples) * (2.0 * frequency / sample_rate))
+    return np.where(k.astype(np.int64) % 2 == 0, 1.0, -1.0)
+
+
+class ChopperAmplifier(Block):
+    """Input-modulated, output-demodulated amplifier.
+
+    Parameters
+    ----------
+    amplifier:
+        The core amplifier whose offset and 1/f noise are to be chopped
+        out.  Its offset/noise settings are the *unchopped* values, so a
+        bench can run the identical core with and without chopping.
+    chop_frequency:
+        Carrier frequency [Hz]; must exceed the signal band and ideally
+        the amplifier's 1/f corner.
+    """
+
+    def __init__(self, amplifier: Amplifier, chop_frequency: float) -> None:
+        self.amplifier = amplifier
+        self.chop_frequency = require_positive("chop_frequency", chop_frequency)
+
+    def process(self, signal: Signal) -> Signal:
+        carrier = square_carrier(
+            self.chop_frequency, len(signal), signal.sample_rate
+        )
+        modulated = Signal(signal.samples * carrier, signal.sample_rate)
+        amplified = self.amplifier.process(modulated)
+        demodulated = Signal(amplified.samples * carrier, signal.sample_rate)
+        return demodulated
+
+    def reset(self) -> None:
+        self.amplifier.reset()
+
+    def residual_offset(
+        self, sample_rate: float, duration: float = 0.5
+    ) -> float:
+        """Measured output DC with zero input [V].
+
+        With ideal switches the only residue is the demodulated ripple
+        that survives averaging; real chopper residues (charge injection)
+        are not modeled, so this quantifies the architecture's ceiling.
+        """
+        zero = Signal.constant(0.0, duration, sample_rate)
+        out = self.process(zero)
+        self.reset()
+        return out.mean()

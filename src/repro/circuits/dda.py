@@ -1,0 +1,90 @@
+"""Fully differential DDA instrumentation amplifier (Fig. 5 first stage).
+
+"The first amplifier stage is a low-noise, fully differential
+instrumentation amplifier using a fully differential-difference
+amplifier (DDA) in a non-inverting feedback configuration."
+
+A DDA has two differential input ports; with the bridge across port 1
+and the feedback divider across port 2, the closed-loop gain is the
+classic non-inverting ``1 + R2 / R1`` without loading the bridge — the
+property that makes it the right in-amp for a kilo-ohm source.  The
+behavioral model is a :class:`~repro.circuits.amplifier.DifferenceAmplifier`
+whose gain is *set by the resistor ratio*, carrying the noise/offset/
+GBW/CMRR parameters of the underlying DDA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .amplifier import DifferenceAmplifier
+
+
+class DDAInstrumentationAmplifier(DifferenceAmplifier):
+    """Non-inverting feedback DDA in-amp with ratio-defined gain.
+
+    Parameters
+    ----------
+    feedback_r1 / feedback_r2:
+        Feedback divider [Ohm]; closed-loop gain = ``1 + r2/r1``.
+    gbw:
+        DDA gain-bandwidth product [Hz].
+    noise_density / noise_corner:
+        Input-referred noise of the DDA.
+    input_offset:
+        DDA input offset [V].
+    cmrr_db:
+        Common-mode rejection [dB].
+    rails:
+        Output swing limits [V].
+    rng:
+        Noise generator.
+    """
+
+    def __init__(
+        self,
+        feedback_r1: float = 1e3,
+        feedback_r2: float = 49e3,
+        gbw: float = 10e6,
+        noise_density: float = 20e-9,
+        noise_corner: float = 1e3,
+        input_offset: float = 0.0,
+        cmrr_db: float = 90.0,
+        rails: tuple[float, float] | None = (-2.5, 2.5),
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.feedback_r1 = require_positive("feedback_r1", feedback_r1)
+        self.feedback_r2 = require_positive("feedback_r2", feedback_r2)
+        gain = 1.0 + self.feedback_r2 / self.feedback_r1
+        if gbw is not None and gbw <= gain:
+            raise CircuitError(
+                f"DDA gbw {gbw} Hz cannot realize closed-loop gain {gain}"
+            )
+        super().__init__(
+            gain=gain,
+            gbw=gbw,
+            input_offset=input_offset,
+            noise_density=noise_density,
+            noise_corner=noise_corner,
+            rails=rails,
+            rng=rng,
+            cmrr_db=cmrr_db,
+        )
+
+    @property
+    def closed_loop_gain(self) -> float:
+        """``1 + R2/R1`` [V/V]."""
+        return 1.0 + self.feedback_r2 / self.feedback_r1
+
+    def input_impedance_advantage(self, bridge_resistance: float) -> float:
+        """Gain error avoided by not loading the bridge.
+
+        A plain resistive in-amp of input resistance ``R_in ~ R1`` would
+        attenuate the bridge by ``R_in / (R_in + R_bridge)``; the DDA's
+        MOS-gate inputs make that factor 1.  Returns the error factor the
+        DDA avoids (1 = no advantage).
+        """
+        require_positive("bridge_resistance", bridge_resistance)
+        return (self.feedback_r1 + bridge_resistance) / self.feedback_r1

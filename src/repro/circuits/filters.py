@@ -1,0 +1,152 @@
+"""Low-pass and high-pass filter blocks.
+
+Fig. 4 places a low-pass filter after the chopper amplifier "to improve
+the signal-to-noise ratio"; Fig. 5 places high-pass filters in the
+feedback loop to damp the MOS bridge's low-frequency noise.  Both are
+modeled as Butterworth sections discretized with the bilinear transform,
+with per-sample stepping (transposed direct-form II state) so they can
+run inside the closed loop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import signal as sps
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .block import Block
+from .signal import Signal
+
+
+class _SOSFilter(Block):
+    """Shared machinery: an SOS-cascade IIR filter with stepping state."""
+
+    def __init__(self, cutoff: float, order: int, kind: str) -> None:
+        self.cutoff = require_positive("cutoff", cutoff)
+        if order < 1:
+            raise CircuitError(f"filter order must be >= 1, got {order}")
+        self.order = int(order)
+        self._kind = kind
+        self._sos: np.ndarray | None = None
+        self._zi: np.ndarray | None = None
+        self._design_rate: float | None = None
+
+    def _ensure_designed(self, sample_rate: float) -> None:
+        if self._sos is not None and self._design_rate == sample_rate:
+            return
+        nyquist = sample_rate / 2.0
+        if self.cutoff >= nyquist:
+            raise CircuitError(
+                f"cutoff {self.cutoff} Hz is at/above Nyquist ({nyquist} Hz)"
+            )
+        self._sos = sps.butter(
+            self.order, self.cutoff, btype=self._kind, fs=sample_rate, output="sos"
+        )
+        self._zi = np.zeros((self._sos.shape[0], 2))
+        self._design_rate = sample_rate
+
+    def process(self, signal: Signal) -> Signal:
+        self._ensure_designed(signal.sample_rate)
+        out, self._zi = sps.sosfilt(self._sos, signal.samples, zi=self._zi)
+        return Signal(out, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        if self._sos is None:
+            raise CircuitError(
+                "call prepare(sample_rate) or process() once before stepping"
+            )
+        # transposed direct-form II per SOS section
+        for i in range(self._sos.shape[0]):
+            b0, b1, b2, _, a1, a2 = self._sos[i]
+            z = self._zi[i]
+            y = b0 * x + z[0]
+            z[0] = b1 * x - a1 * y + z[1]
+            z[1] = b2 * x - a2 * y
+            x = y
+        return x
+
+    def prepare(self, sample_rate: float) -> None:
+        """Design the filter for a sample rate before per-sample stepping."""
+        self._ensure_designed(sample_rate)
+
+    def reset(self) -> None:
+        if self._zi is not None:
+            self._zi = np.zeros_like(self._zi)
+
+    def response(self, frequency: np.ndarray, sample_rate: float) -> np.ndarray:
+        """Complex frequency response at the given sample rate."""
+        self._ensure_designed(sample_rate)
+        _, h = sps.sosfreqz(
+            self._sos, worN=np.asarray(frequency, dtype=float), fs=sample_rate
+        )
+        return h
+
+
+class LowPassFilter(_SOSFilter):
+    """Butterworth low-pass (Fig. 4's post-chopper SNR filter).
+
+    Parameters
+    ----------
+    cutoff:
+        -3 dB frequency [Hz].
+    order:
+        Butterworth order (default 2: one biquad, what a compact on-chip
+        gm-C filter realizes).
+    """
+
+    def __init__(self, cutoff: float, order: int = 2) -> None:
+        super().__init__(cutoff, order, "lowpass")
+
+
+class HighPassFilter(_SOSFilter):
+    """Butterworth high-pass (Fig. 5's loop LF-noise dampers)."""
+
+    def __init__(self, cutoff: float, order: int = 2) -> None:
+        super().__init__(cutoff, order, "highpass")
+
+
+class RCLowPass(Block):
+    """Single-pole RC low-pass with exact per-sample recursion.
+
+    ``y[n] = y[n-1] + (1 - exp(-2 pi fc / fs)) (x[n] - y[n-1])`` — the
+    lightest-weight anti-alias/settling model, used for pole roll-offs
+    inside other blocks.
+    """
+
+    def __init__(self, cutoff: float) -> None:
+        self.cutoff = require_positive("cutoff", cutoff)
+        self._y = 0.0
+        self._alpha: float | None = None
+        self._design_rate: float | None = None
+
+    def _ensure(self, sample_rate: float) -> None:
+        if self._alpha is None or self._design_rate != sample_rate:
+            self._alpha = 1.0 - math.exp(-2.0 * math.pi * self.cutoff / sample_rate)
+            self._design_rate = sample_rate
+
+    def prepare(self, sample_rate: float) -> None:
+        """Fix the sample rate before per-sample stepping."""
+        self._ensure(sample_rate)
+
+    def process(self, signal: Signal) -> Signal:
+        self._ensure(signal.sample_rate)
+        out = np.empty_like(signal.samples)
+        y = self._y
+        a = self._alpha
+        for i, x in enumerate(signal.samples):
+            y += a * (x - y)
+            out[i] = y
+        self._y = y
+        return Signal(out, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        if self._alpha is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        self._y += self._alpha * (x - self._y)
+        return self._y
+
+    def reset(self) -> None:
+        self._y = 0.0

@@ -1,0 +1,102 @@
+"""Non-linear amplitude-limiting amplifier (Fig. 5).
+
+"A non-linear amplifier limits the amplitude of the feedback loop for
+stable operation."  Without it, a loop gain above unity grows the
+oscillation until something saturates unpredictably; the limiter makes
+the saturation *defined*: small signals see gain ``A``, large signals
+converge to a fixed output level, and the oscillation amplitude settles
+where the *effective* (describing-function) gain times the rest of the
+loop equals one.
+
+Model: ``y = level * tanh(A x / level)`` — smooth, memoryless,
+monotonic, with exact small-signal gain ``A`` and exact asymptote
+``|y| < level``.  The describing function (fundamental-harmonic gain vs
+input amplitude) is computed numerically for the AGC analysis.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..units import require_positive
+from .block import Block
+from .signal import Signal
+
+
+class LimitingAmplifier(Block):
+    """Soft-limiting (tanh) amplifier.
+
+    Parameters
+    ----------
+    small_signal_gain:
+        Gain for vanishing input [V/V].
+    output_level:
+        Asymptotic output amplitude [V].
+    """
+
+    def __init__(self, small_signal_gain: float, output_level: float) -> None:
+        self.small_signal_gain = require_positive(
+            "small_signal_gain", small_signal_gain
+        )
+        self.output_level = require_positive("output_level", output_level)
+
+    def process(self, signal: Signal) -> Signal:
+        scaled = self.small_signal_gain * signal.samples / self.output_level
+        return Signal(self.output_level * np.tanh(scaled), signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        scaled = self.small_signal_gain * x / self.output_level
+        return self.output_level * math.tanh(scaled)
+
+    def describing_function(self, amplitude: float, harmonics: int = 1024) -> float:
+        """Effective sinusoidal gain at a given input amplitude.
+
+        Fundamental-harmonic output amplitude of ``y(level*tanh(A sin/level))``
+        divided by the input amplitude; decreases monotonically from the
+        small-signal gain toward 0 — the mechanism that stabilizes the
+        loop amplitude.
+        """
+        require_positive("amplitude", amplitude)
+        theta = np.linspace(0.0, 2.0 * math.pi, harmonics, endpoint=False)
+        x = amplitude * np.sin(theta)
+        y = self.output_level * np.tanh(
+            self.small_signal_gain * x / self.output_level
+        )
+        fundamental = 2.0 * np.mean(y * np.sin(theta))
+        return float(fundamental / amplitude)
+
+    def amplitude_for_gain(
+        self, target_gain: float, tolerance: float = 1e-9
+    ) -> float:
+        """Input amplitude at which the describing function equals a target.
+
+        Solves ``N(a) = target_gain`` by bisection; this is the predicted
+        steady-state loop amplitude when the rest of the loop contributes
+        gain ``1 / target_gain``.  Raises if the target is not reachable
+        (>= small-signal gain).
+        """
+        require_positive("target_gain", target_gain)
+        if target_gain >= self.small_signal_gain:
+            from ..errors import OscillationError
+
+            raise OscillationError(
+                f"target gain {target_gain} not below small-signal gain "
+                f"{self.small_signal_gain}; the loop cannot limit"
+            )
+        lo, hi = 1e-12, 1.0
+        # expand hi until the describing function drops below target
+        while self.describing_function(hi) > target_gain:
+            hi *= 4.0
+            if hi > 1e9:  # pragma: no cover - defensive
+                raise RuntimeError("describing-function bracket failed")
+        for _ in range(200):
+            mid = math.sqrt(lo * hi)
+            if self.describing_function(mid) > target_gain:
+                lo = mid
+            else:
+                hi = mid
+            if hi / lo < 1.0 + tolerance:
+                break
+        return math.sqrt(lo * hi)

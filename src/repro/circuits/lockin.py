@@ -1,0 +1,134 @@
+"""Lock-in detection: the alternative to chopping for bridge readout.
+
+A chopper modulates the *signal path*; a lock-in instead excites the
+*bridge* with an AC carrier and demodulates the bridge output.  Both
+move the measurement away from the amplifier's 1/f region, but they are
+not equivalent: AC bridge excitation also strips the **bridge's own
+1/f noise** (resistance fluctuations only modulate a carrier when
+current flows, so their baseband component vanishes), which chopping
+cannot do — the bridge offset/noise enters the chopper *before* the
+input modulator.
+
+The model: the bridge output under AC bias is the carrier scaled by the
+instantaneous bridge unbalance; the lock-in multiplies by the reference
+and low-pass filters.  Bench ABL3 races it against the Fig. 4 chopper.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .amplifier import Amplifier
+from .block import Block
+from .filters import LowPassFilter
+from .signal import Signal
+
+
+class LockInAmplifier(Block):
+    """Synchronous demodulator: mixer + output low-pass.
+
+    Parameters
+    ----------
+    carrier_frequency:
+        Reference/excitation frequency [Hz].
+    output_cutoff:
+        Post-mixer low-pass corner [Hz]; sets the measurement bandwidth.
+    phase:
+        Reference phase [rad]; 0 detects the in-phase component.
+    preamp:
+        Optional amplifier ahead of the mixer (its 1/f noise lands far
+        from the carrier and is rejected — the architecture's point).
+    """
+
+    def __init__(
+        self,
+        carrier_frequency: float,
+        output_cutoff: float,
+        phase: float = 0.0,
+        preamp: Amplifier | None = None,
+    ) -> None:
+        self.carrier_frequency = require_positive(
+            "carrier_frequency", carrier_frequency
+        )
+        self.output_cutoff = require_positive("output_cutoff", output_cutoff)
+        if output_cutoff >= carrier_frequency / 2.0:
+            raise CircuitError(
+                "output cutoff must sit well below the carrier"
+            )
+        self.phase = float(phase)
+        self.preamp = preamp
+        self._lowpass = LowPassFilter(output_cutoff, order=2)
+
+    def process(self, signal: Signal) -> Signal:
+        x = signal
+        if self.preamp is not None:
+            x = self.preamp.process(x)
+        t = x.times
+        reference = np.cos(
+            2.0 * math.pi * self.carrier_frequency * t + self.phase
+        )
+        mixed = Signal(2.0 * x.samples * reference, x.sample_rate)
+        return self._lowpass.process(mixed)
+
+    def reset(self) -> None:
+        self._lowpass.reset()
+        if self.preamp is not None:
+            self.preamp.reset()
+
+
+def ac_bridge_output(
+    unbalance: Signal,
+    bias_amplitude: float,
+    carrier_frequency: float,
+) -> Signal:
+    """Bridge differential output under AC excitation [V].
+
+    ``v(t) = V_ac cos(w t) * u(t)`` with ``u`` the fractional bridge
+    unbalance waveform (signal + mismatch); amplitude modulation of the
+    carrier by the measurand.
+    """
+    require_positive("bias_amplitude", bias_amplitude)
+    require_positive("carrier_frequency", carrier_frequency)
+    if carrier_frequency >= unbalance.sample_rate / 2.0:
+        raise CircuitError("carrier above Nyquist")
+    t = unbalance.times
+    carrier = bias_amplitude * np.cos(2.0 * math.pi * carrier_frequency * t)
+    return Signal(carrier * unbalance.samples, unbalance.sample_rate)
+
+
+class ACBridgeReadout(Block):
+    """Complete AC-excitation bridge readout: excitation + lock-in.
+
+    Consumes the *fractional unbalance* waveform (dimensionless, e.g.
+    ``bridge.sensitivity() * sigma(t) / V_bias``... in practice
+    ``output_voltage / V_bias`` at DC bias) and produces the demodulated
+    baseband voltage, as if the same bridge were AC-biased.
+    """
+
+    def __init__(
+        self,
+        bias_amplitude: float,
+        carrier_frequency: float,
+        output_cutoff: float,
+        preamp: Amplifier | None = None,
+    ) -> None:
+        self.bias_amplitude = require_positive("bias_amplitude", bias_amplitude)
+        self.carrier_frequency = require_positive(
+            "carrier_frequency", carrier_frequency
+        )
+        self.lockin = LockInAmplifier(
+            carrier_frequency, output_cutoff, preamp=preamp
+        )
+
+    def process(self, unbalance: Signal) -> Signal:
+        modulated = ac_bridge_output(
+            unbalance, self.bias_amplitude, self.carrier_frequency
+        )
+        return self.lockin.process(modulated)
+
+    def reset(self) -> None:
+        self.lockin.reset()

@@ -1,0 +1,161 @@
+"""Analog multiplexer for the 4-cantilever array (Fig. 4).
+
+"An array of four cantilevers is connected to the readout amplifiers by
+an analog multiplexer."  One readout chain is shared across the array:
+the mux scans channels so each beam (including reference beams) is
+sampled in turn.  Modeled behaviors: channel selection, switching
+transient (RC settling of the switch on-resistance into the chain input
+capacitance), and inter-channel crosstalk through parasitic coupling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CircuitError
+from ..units import require_nonnegative, require_positive
+from .signal import Signal
+
+
+@dataclass(frozen=True)
+class MuxTimeslot:
+    """One dwell of the scan schedule: which channel, from when to when."""
+
+    channel: int
+    start_time: float
+    end_time: float
+
+
+class AnalogMultiplexer:
+    """N:1 analog multiplexer with settling and crosstalk.
+
+    Parameters
+    ----------
+    channel_count:
+        Number of inputs (4 in the paper).
+    settling_time_constant:
+        RC constant of the switch + input capacitance [s]; the output
+        exponentially approaches the new channel after a switch.
+    crosstalk_db:
+        Attenuation of the *sum of unselected channels* leaking into the
+        output [dB]; ``math.inf`` for ideal isolation.
+    """
+
+    def __init__(
+        self,
+        channel_count: int = 4,
+        settling_time_constant: float = 1e-6,
+        crosstalk_db: float = 80.0,
+    ) -> None:
+        if channel_count < 2:
+            raise CircuitError("a multiplexer needs at least 2 channels")
+        self.channel_count = int(channel_count)
+        self.settling_time_constant = require_nonnegative(
+            "settling_time_constant", settling_time_constant
+        )
+        if crosstalk_db <= 0.0:
+            raise CircuitError("crosstalk_db must be positive (attenuation)")
+        self.crosstalk_db = float(crosstalk_db)
+
+    @property
+    def crosstalk_gain(self) -> float:
+        """Linear leak gain from unselected channels."""
+        if math.isinf(self.crosstalk_db):
+            return 0.0
+        return 10.0 ** (-self.crosstalk_db / 20.0)
+
+    def _check_channels(self, channels: list[Signal]) -> None:
+        if len(channels) != self.channel_count:
+            raise CircuitError(
+                f"expected {self.channel_count} channel signals, "
+                f"got {len(channels)}"
+            )
+        first = channels[0]
+        for ch in channels[1:]:
+            first._check_compatible(ch)
+
+    def select(self, channels: list[Signal], channel: int) -> Signal:
+        """Static selection of one channel (with crosstalk, no transient)."""
+        self._check_channels(channels)
+        if not 0 <= channel < self.channel_count:
+            raise CircuitError(
+                f"channel {channel} outside [0, {self.channel_count - 1}]"
+            )
+        out = channels[channel].samples.copy()
+        leak = self.crosstalk_gain
+        if leak > 0.0:
+            for i, ch in enumerate(channels):
+                if i != channel:
+                    out += leak * ch.samples
+        return Signal(out, channels[0].sample_rate)
+
+    def scan(
+        self, channels: list[Signal], dwell_time: float
+    ) -> tuple[Signal, list[MuxTimeslot]]:
+        """Time-multiplex all channels round-robin over the signal length.
+
+        Returns the muxed waveform plus the schedule, including the
+        exponential settling transient at each channel switch.
+        """
+        self._check_channels(channels)
+        require_positive("dwell_time", dwell_time)
+        rate = channels[0].sample_rate
+        n = len(channels[0])
+        dwell_samples = max(1, int(round(dwell_time * rate)))
+
+        out = np.empty(n)
+        slots: list[MuxTimeslot] = []
+        previous_value = 0.0
+        tau = self.settling_time_constant
+        leak = self.crosstalk_gain
+
+        index = 0
+        slot = 0
+        while index < n:
+            channel = slot % self.channel_count
+            end = min(n, index + dwell_samples)
+            selected = channels[channel].samples[index:end].copy()
+            if leak > 0.0:
+                for i, ch in enumerate(channels):
+                    if i != channel:
+                        selected += leak * ch.samples[index:end]
+            if tau > 0.0:
+                t_local = np.arange(end - index) / rate
+                settle = np.exp(-t_local / tau)
+                selected = selected + (previous_value - selected[0]) * settle
+            out[index:end] = selected
+            previous_value = float(out[end - 1])
+            slots.append(
+                MuxTimeslot(
+                    channel=channel, start_time=index / rate, end_time=end / rate
+                )
+            )
+            index = end
+            slot += 1
+
+        return Signal(out, rate), slots
+
+    def demultiplex_means(
+        self, muxed: Signal, slots: list[MuxTimeslot], settle_fraction: float = 0.2
+    ) -> dict[int, list[float]]:
+        """Per-channel dwell means, skipping the settling head of each slot.
+
+        This is what the digital backend of a scanned array reports: one
+        value per channel per scan cycle.
+        """
+        if not 0.0 <= settle_fraction < 1.0:
+            raise CircuitError("settle_fraction must be in [0, 1)")
+        rate = muxed.sample_rate
+        results: dict[int, list[float]] = {}
+        for slot in slots:
+            i0 = int(round(slot.start_time * rate))
+            i1 = int(round(slot.end_time * rate))
+            skip = int((i1 - i0) * settle_fraction)
+            window = muxed.samples[i0 + skip : i1]
+            if len(window) == 0:
+                continue
+            results.setdefault(slot.channel, []).append(float(np.mean(window)))
+        return results

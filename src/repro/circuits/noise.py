@@ -1,0 +1,107 @@
+"""Noise waveform synthesis: white and 1/f generators.
+
+Circuit blocks need sample-domain noise consistent with the PSDs of
+:mod:`repro.transduction.noise`.  White noise of one-sided density
+``S0`` [V^2/Hz] sampled at ``fs`` has per-sample variance ``S0 fs / 2``.
+Flicker noise is synthesized by shaping a white spectrum with
+``1/sqrt(f)`` in the frequency domain (exact 1/f PSD for the generated
+record length).
+
+All generators take an explicit :class:`numpy.random.Generator` so
+simulations are reproducible and blocks sharing an RNG stay
+uncorrelated.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SignalError
+from ..units import require_nonnegative, require_positive
+from .signal import Signal
+
+
+def white_noise(
+    density: float,
+    n_samples: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """White noise samples with one-sided PSD ``density`` [V^2/Hz]."""
+    require_nonnegative("density", density)
+    require_positive("sample_rate", sample_rate)
+    if n_samples < 1:
+        raise SignalError("n_samples must be >= 1")
+    sigma = math.sqrt(density * sample_rate / 2.0)
+    return rng.normal(0.0, sigma, size=n_samples) if sigma > 0.0 else np.zeros(n_samples)
+
+
+def pink_noise(
+    density_at_1hz: float,
+    n_samples: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """1/f noise with one-sided PSD ``density_at_1hz / f`` [V^2/Hz].
+
+    Synthesized in the frequency domain: each positive-frequency bin gets
+    a complex Gaussian amplitude scaled by ``1/sqrt(f)``; DC is zeroed
+    (an infinite-power bin has no finite sample realization).
+    """
+    require_nonnegative("density_at_1hz", density_at_1hz)
+    require_positive("sample_rate", sample_rate)
+    if n_samples < 1:
+        raise SignalError("n_samples must be >= 1")
+    if density_at_1hz == 0.0 or n_samples == 1:
+        return np.zeros(n_samples)
+
+    freqs = np.fft.rfftfreq(n_samples, d=1.0 / sample_rate)
+    spectrum = np.zeros(len(freqs), dtype=complex)
+    # target one-sided PSD S(f) = density_at_1hz / f; bin spacing df = fs/N
+    df = sample_rate / n_samples
+    positive = freqs > 0.0
+    psd = density_at_1hz / freqs[positive]
+    # one-sided PSD -> rFFT amplitude: |X_k|^2 = S(f) * df * N^2 / 2
+    amplitude = np.sqrt(psd * df / 2.0) * n_samples
+    phases = rng.normal(size=amplitude.shape) + 1j * rng.normal(size=amplitude.shape)
+    spectrum[positive] = amplitude * phases / math.sqrt(2.0)
+    out = np.fft.irfft(spectrum, n=n_samples)
+    return out
+
+
+def amplifier_input_noise(
+    white_density: float,
+    corner_frequency: float,
+    n_samples: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Standard amplifier input-referred noise: white + 1/f with a corner.
+
+    ``S(f) = white_density * (1 + corner_frequency / f)`` — the canonical
+    en-model of a CMOS amplifier datasheet.
+    """
+    require_nonnegative("corner_frequency", corner_frequency)
+    noise = white_noise(white_density, n_samples, sample_rate, rng)
+    if corner_frequency > 0.0:
+        noise = noise + pink_noise(
+            white_density * corner_frequency, n_samples, sample_rate, rng
+        )
+    return noise
+
+
+def noise_signal(
+    white_density: float,
+    corner_frequency: float,
+    duration: float,
+    sample_rate: float,
+    rng: np.random.Generator,
+) -> Signal:
+    """Convenience: an amplifier-noise waveform as a :class:`Signal`."""
+    n = max(1, int(round(duration * sample_rate)))
+    return Signal(
+        amplifier_input_noise(white_density, corner_frequency, n, sample_rate, rng),
+        sample_rate,
+    )

@@ -1,0 +1,94 @@
+"""Programmable offset-compensation stage (Fig. 4).
+
+After the chopper amplifier and low-pass filter, the static chain
+subtracts a programmable DC level before the final gain stages.  Its job
+is to absorb the *sensor* offset — bridge mismatch times first-stage
+gain — so the remaining gain stages can amplify the biological signal
+without clipping.  (The chopper already removed the *amplifier* offset;
+the bridge's own mismatch rides through modulation untouched, because it
+enters before the input modulator.)
+
+Modeled as an N-bit bipolar DAC subtracted from the signal, plus the
+one-shot auto-zero calibration routine a real chip would run at power-up.
+"""
+
+from __future__ import annotations
+
+
+from ..errors import CircuitError
+from ..units import require_positive
+from .block import Block
+from .signal import Signal
+
+
+class OffsetCompensationDAC(Block):
+    """N-bit bipolar offset-subtraction stage.
+
+    Parameters
+    ----------
+    full_scale:
+        Compensation range: codes span [-full_scale, +full_scale] [V].
+    bits:
+        DAC resolution; LSB = 2 * full_scale / (2^bits - 1).
+    """
+
+    def __init__(self, full_scale: float, bits: int = 8) -> None:
+        self.full_scale = require_positive("full_scale", full_scale)
+        if not 2 <= bits <= 24:
+            raise CircuitError(f"bits must be in [2, 24], got {bits}")
+        self.bits = int(bits)
+        self._code = 0
+
+    @property
+    def lsb(self) -> float:
+        """One code step [V]."""
+        return 2.0 * self.full_scale / (2**self.bits - 1)
+
+    @property
+    def code(self) -> int:
+        """Current signed code."""
+        return self._code
+
+    @property
+    def compensation(self) -> float:
+        """Voltage currently subtracted from the signal [V]."""
+        return self._code * self.lsb
+
+    @property
+    def code_range(self) -> tuple[int, int]:
+        """(min, max) signed codes."""
+        half = (2**self.bits - 1) // 2
+        return (-half, half)
+
+    def set_code(self, code: int) -> None:
+        """Program a signed DAC code; out-of-range codes raise."""
+        lo, hi = self.code_range
+        if not lo <= code <= hi:
+            raise CircuitError(f"code {code} outside [{lo}, {hi}]")
+        self._code = int(code)
+
+    def set_voltage(self, voltage: float) -> float:
+        """Program the nearest representable compensation [V]; returns it.
+
+        Voltages beyond the range clamp to full scale (and the residual
+        shows up in the output — exactly what happens on silicon).
+        """
+        code = int(round(voltage / self.lsb))
+        lo, hi = self.code_range
+        self._code = min(max(code, lo), hi)
+        return self.compensation
+
+    def calibrate(self, measured_offset: float) -> float:
+        """Auto-zero: program the DAC to cancel a measured offset [V].
+
+        Returns the residual offset after compensation (quantization plus
+        any out-of-range remainder).
+        """
+        self.set_voltage(measured_offset)
+        return measured_offset - self.compensation
+
+    def process(self, signal: Signal) -> Signal:
+        return Signal(signal.samples - self.compensation, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        return x - self.compensation

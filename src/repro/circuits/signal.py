@@ -1,0 +1,173 @@
+"""Uniformly sampled signal container used by all circuit blocks.
+
+A :class:`Signal` is an immutable-by-convention pair of (samples, rate).
+Circuit blocks consume and produce Signals, which keeps sampling-rate
+bookkeeping honest across a chain: mixing rates raises instead of
+silently mis-filtering.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SignalError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A real-valued, uniformly sampled waveform.
+
+    Parameters
+    ----------
+    samples:
+        Sample values [V unless stated otherwise].
+    sample_rate:
+        Sampling rate [Hz].
+    """
+
+    samples: np.ndarray
+    sample_rate: float
+
+    def __post_init__(self) -> None:
+        require_positive("sample_rate", self.sample_rate)
+        arr = np.asarray(self.samples, dtype=float)
+        if arr.ndim != 1:
+            raise SignalError(f"samples must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise SignalError("a signal needs at least one sample")
+        if not np.all(np.isfinite(arr)):
+            raise SignalError("samples contain NaN or infinity")
+        object.__setattr__(self, "samples", arr)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls, func, duration: float, sample_rate: float
+    ) -> "Signal":
+        """Sample ``func(t)`` on ``[0, duration)`` at the given rate."""
+        n = max(1, int(round(duration * sample_rate)))
+        t = np.arange(n) / sample_rate
+        return cls(samples=np.asarray(func(t), dtype=float), sample_rate=sample_rate)
+
+    @classmethod
+    def sine(
+        cls,
+        frequency: float,
+        duration: float,
+        sample_rate: float,
+        amplitude: float = 1.0,
+        phase: float = 0.0,
+        offset: float = 0.0,
+    ) -> "Signal":
+        """A sine tone — the workhorse test input."""
+        require_positive("frequency", frequency)
+        if frequency >= sample_rate / 2.0:
+            raise SignalError(
+                f"tone at {frequency} Hz is above Nyquist ({sample_rate / 2} Hz)"
+            )
+        return cls.from_function(
+            lambda t: offset + amplitude * np.sin(2.0 * math.pi * frequency * t + phase),
+            duration,
+            sample_rate,
+        )
+
+    @classmethod
+    def constant(
+        cls, value: float, duration: float, sample_rate: float
+    ) -> "Signal":
+        """A DC level."""
+        n = max(1, int(round(duration * sample_rate)))
+        return cls(samples=np.full(n, float(value)), sample_rate=sample_rate)
+
+    # -- basic properties ---------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Signal length [s]."""
+        return len(self.samples) / self.sample_rate
+
+    @property
+    def times(self) -> np.ndarray:
+        """Sample instants [s]."""
+        return np.arange(len(self.samples)) / self.sample_rate
+
+    def rms(self) -> float:
+        """Root-mean-square value."""
+        return float(np.sqrt(np.mean(self.samples**2)))
+
+    def mean(self) -> float:
+        """Mean (DC) value."""
+        return float(np.mean(self.samples))
+
+    def std(self) -> float:
+        """Standard deviation (AC rms)."""
+        return float(np.std(self.samples))
+
+    def peak(self) -> float:
+        """Maximum absolute value."""
+        return float(np.max(np.abs(self.samples)))
+
+    def amplitude_envelope(self, window_cycles: float, frequency: float) -> np.ndarray:
+        """Sliding-window amplitude estimate (peak of |x| per window)."""
+        window = max(1, int(round(window_cycles * self.sample_rate / frequency)))
+        n_windows = len(self.samples) // window
+        if n_windows == 0:
+            return np.asarray([self.peak()])
+        trimmed = self.samples[: n_windows * window]
+        return np.abs(trimmed).reshape(n_windows, window).max(axis=1)
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def _check_compatible(self, other: "Signal") -> None:
+        if not math.isclose(self.sample_rate, other.sample_rate, rel_tol=1e-12):
+            raise SignalError(
+                f"sample rates differ: {self.sample_rate} vs {other.sample_rate}"
+            )
+        if len(self.samples) != len(other.samples):
+            raise SignalError(
+                f"lengths differ: {len(self.samples)} vs {len(other.samples)}"
+            )
+
+    def __add__(self, other: "Signal | float") -> "Signal":
+        if isinstance(other, Signal):
+            self._check_compatible(other)
+            return Signal(self.samples + other.samples, self.sample_rate)
+        return Signal(self.samples + float(other), self.sample_rate)
+
+    def __sub__(self, other: "Signal | float") -> "Signal":
+        if isinstance(other, Signal):
+            self._check_compatible(other)
+            return Signal(self.samples - other.samples, self.sample_rate)
+        return Signal(self.samples - float(other), self.sample_rate)
+
+    def __mul__(self, factor: float) -> "Signal":
+        return Signal(self.samples * float(factor), self.sample_rate)
+
+    __rmul__ = __mul__
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    # -- segments ---------------------------------------------------------------------
+
+    def slice_time(self, start: float, end: float) -> "Signal":
+        """Sub-signal on the time window [start, end) seconds."""
+        if not 0.0 <= start < end:
+            raise SignalError(f"need 0 <= start < end, got [{start}, {end})")
+        i0 = int(round(start * self.sample_rate))
+        i1 = min(len(self.samples), int(round(end * self.sample_rate)))
+        if i1 <= i0:
+            raise SignalError("time slice contains no samples")
+        return Signal(self.samples[i0:i1].copy(), self.sample_rate)
+
+    def settle(self, fraction: float = 0.5) -> "Signal":
+        """Drop the first ``fraction`` of the signal (transient removal)."""
+        if not 0.0 <= fraction < 1.0:
+            raise SignalError("settle fraction must be in [0, 1)")
+        i0 = int(len(self.samples) * fraction)
+        return Signal(self.samples[i0:].copy(), self.sample_rate)

@@ -1,0 +1,103 @@
+"""Variable-gain amplifier (Fig. 5).
+
+"A variable gain amplifier allows to adjust to different mechanical
+damping of the cantilever, due to different liquids presented to the
+biosensor."  Lower Q means less displacement per drive, so the loop
+needs more electrical gain to satisfy the oscillation condition; the
+VGA provides it in programmable steps.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+from ..errors import CircuitError
+from .block import Block
+from .signal import Signal
+
+
+class VariableGainAmplifier(Block):
+    """Digitally programmable gain in uniform dB steps.
+
+    Parameters
+    ----------
+    min_gain_db / max_gain_db:
+        Gain range [dB].
+    steps:
+        Number of programmable settings across the range (>= 2).
+    setting:
+        Initial setting index (0 = minimum gain).
+    """
+
+    def __init__(
+        self,
+        min_gain_db: float = 0.0,
+        max_gain_db: float = 40.0,
+        steps: int = 16,
+        setting: int = 0,
+    ) -> None:
+        if max_gain_db <= min_gain_db:
+            raise CircuitError("max_gain_db must exceed min_gain_db")
+        if steps < 2:
+            raise CircuitError("a VGA needs at least 2 settings")
+        self.min_gain_db = float(min_gain_db)
+        self.max_gain_db = float(max_gain_db)
+        self.steps = int(steps)
+        self._setting = 0
+        self.set_setting(setting)
+
+    @property
+    def step_db(self) -> float:
+        """Gain increment between adjacent settings [dB]."""
+        return (self.max_gain_db - self.min_gain_db) / (self.steps - 1)
+
+    @property
+    def setting(self) -> int:
+        """Current setting index."""
+        return self._setting
+
+    def set_setting(self, setting: int) -> None:
+        """Program a setting index; out-of-range raises."""
+        if not 0 <= setting < self.steps:
+            raise CircuitError(
+                f"setting {setting} outside [0, {self.steps - 1}]"
+            )
+        self._setting = int(setting)
+
+    @property
+    def gain_db(self) -> float:
+        """Current gain [dB]."""
+        return self.min_gain_db + self._setting * self.step_db
+
+    @property
+    def gain(self) -> float:
+        """Current gain [V/V]."""
+        return 10.0 ** (self.gain_db / 20.0)
+
+    def set_gain_at_least(self, required_gain: float) -> float:
+        """Program the lowest setting whose gain meets a requirement.
+
+        Returns the programmed linear gain; raises if the requirement
+        exceeds the VGA's range (the loop then cannot oscillate, which is
+        a real failure mode in viscous liquids).
+        """
+        if required_gain <= 0.0:
+            raise CircuitError("required gain must be positive")
+        required_db = 20.0 * math.log10(required_gain)
+        if required_db > self.max_gain_db + 1e-12:
+            raise CircuitError(
+                f"required gain {required_db:.1f} dB exceeds VGA range "
+                f"[{self.min_gain_db}, {self.max_gain_db}] dB"
+            )
+        steps_needed = math.ceil(
+            max(0.0, (required_db - self.min_gain_db)) / self.step_db - 1e-12
+        )
+        self.set_setting(min(steps_needed, self.steps - 1))
+        return self.gain
+
+    def process(self, signal: Signal) -> Signal:
+        return Signal(signal.samples * self.gain, signal.sample_rate)
+
+    def step(self, x: float) -> float:
+        return x * self.gain

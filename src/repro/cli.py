@@ -1,0 +1,192 @@
+"""Command-line interface: `python -m repro.cli <command>`.
+
+Gives the library a tool face for quick, scriptable use:
+
+* ``info``         — reference-device datasheet (geometry, modes, bridges)
+* ``fabricate``    — run the post-CMOS flow, print before/after + DRC
+* ``characterize`` — swept-sine bring-up of the resonant beam in a liquid
+* ``assay``        — run a static immunoassay and print the trace
+* ``track``        — run a resonant tracking assay and print the trace
+
+Every command accepts ``--length/--width`` (um) for custom beams and
+prints plain text, one value per line where scripts want to parse it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .units import nM, um
+
+
+def _build_device(args):
+    from .fabrication import PostCMOSFlow, fabricate_cantilever
+
+    flow = PostCMOSFlow(
+        keep_dielectrics_on_beam=getattr(args, "coated", False),
+        nwell_depth=getattr(args, "nwell_um", 5.0) * 1e-6,
+    )
+    return fabricate_cantilever(um(args.length), um(args.width), flow)
+
+
+def cmd_info(args) -> int:
+    from .fluidics import immersed_mode
+    from .materials import get_liquid
+    from .mechanics import analyze_modes
+    from .mechanics.beam import spring_constant
+    from .core.presets import resonant_bridge, static_bridge
+
+    device = _build_device(args)
+    g = device.geometry
+    print(f"device: {g.length * 1e6:.0f} x {g.width * 1e6:.0f} x "
+          f"{g.thickness * 1e6:.2f} um released silicon cantilever")
+    print(f"spring constant : {spring_constant(g):.3f} N/m")
+    for mode in analyze_modes(g, 2):
+        print(f"mode {mode.number}          : {mode.frequency / 1e3:.2f} kHz "
+              f"(m_eff {mode.effective_mass * 1e12:.1f} ng)")
+    wet = immersed_mode(g, get_liquid(args.liquid))
+    print(f"in {args.liquid:<12s} : {wet.frequency / 1e3:.2f} kHz, "
+          f"Q = {wet.quality_factor:.2f}")
+    sb, rb = static_bridge(mismatch_sigma=0.0), resonant_bridge(mismatch_sigma=0.0)
+    print(f"static bridge   : {sb.output_resistance() / 1e3:.1f} kOhm, "
+          f"{sb.power_dissipation() * 1e3:.2f} mW")
+    print(f"resonant bridge : {rb.output_resistance() / 1e3:.1f} kOhm, "
+          f"{rb.power_dissipation() * 1e3:.2f} mW")
+    return 0
+
+
+def cmd_fabricate(args) -> int:
+    from .fabrication import cantilever_layout, post_cmos_rule_deck
+
+    device = _build_device(args)
+    print("== before post-processing ==")
+    print(device.process.before.describe())
+    print("== after (beam site) ==")
+    print(device.process.beam_site.describe())
+    print(f"KOH etch time   : {device.process.koh_time / 3600:.2f} h")
+    print(f"backside opening: {device.backside_opening * 1e6:.0f} um")
+    layout = cantilever_layout(um(args.length), um(args.width))
+    violations = post_cmos_rule_deck().check(layout)
+    print(f"DRC             : {'clean' if not violations else violations}")
+    return 0 if not violations else 1
+
+
+def cmd_characterize(args) -> int:
+    from .analysis import measure_resonance
+    from .fluidics import immersed_mode
+    from .materials import get_liquid
+    from .mechanics import ModalResonator, analyze_modes
+
+    device = _build_device(args)
+    liquid = get_liquid(args.liquid)
+    wet = immersed_mode(device.geometry, liquid)
+    mode = analyze_modes(device.geometry, 1)[0]
+    resonator = ModalResonator(
+        effective_mass=wet.effective_mass,
+        effective_stiffness=mode.effective_stiffness,
+        quality_factor=wet.quality_factor,
+        timestep=1.0 / (wet.frequency * 40),
+    )
+    span = 0.5 if wet.quality_factor < 20 else 0.05
+    fit = measure_resonance(resonator, span_factor=span, points=25)
+    print(f"model f0 = {wet.frequency:.1f} Hz, Q = {wet.quality_factor:.2f}")
+    print(f"sweep f0 = {fit.frequency:.1f} Hz, Q = {fit.quality_factor:.2f}")
+    return 0
+
+
+def cmd_assay(args) -> int:
+    from .biochem import AssayProtocol, FunctionalizedSurface, get_analyte
+    from .core import StaticCantileverSensor
+
+    device = _build_device(args)
+    surface = FunctionalizedSurface(get_analyte(args.analyte), device.geometry)
+    sensor = StaticCantileverSensor(surface)
+    sensor.calibrate_offset()
+    protocol = AssayProtocol.injection(
+        nM(args.conc_nm), baseline=300, exposure=args.exposure, wash=600
+    )
+    result = sensor.run_assay(protocol, sample_interval=args.interval)
+    step = result.output_step()
+    for t, v in zip(result.times[:: args.stride], result.output_voltage[:: args.stride]):
+        print(f"{t:10.1f} {v * 1e3:+10.3f}")
+    print(f"# step = {step * 1e3:+.2f} mV "
+          f"({abs(step) / sensor.output_noise_rms:.1f} x noise)", file=sys.stderr)
+    return 0 if abs(step) > 3.0 * sensor.output_noise_rms else 1
+
+
+def cmd_track(args) -> int:
+    from .biochem import AssayProtocol, FunctionalizedSurface, get_analyte
+    from .core import ResonantCantileverSensor
+    from .materials import get_liquid
+
+    device = _build_device(args)
+    surface = FunctionalizedSurface(get_analyte(args.analyte), device.geometry)
+    sensor = ResonantCantileverSensor(
+        surface, get_liquid(args.liquid), mode=args.mode
+    )
+    protocol = AssayProtocol.injection(
+        nM(args.conc_nm), baseline=300, exposure=args.exposure, wash=600
+    )
+    result = sensor.run_tracking_assay(protocol, gate_time=args.gate)
+    for t, f in zip(
+        result.times[:: args.stride], result.measured_frequency[:: args.stride]
+    ):
+        print(f"{t:10.1f} {f:14.3f}")
+    print(f"# shift = {result.total_shift:+.3f} Hz "
+          f"(resolution {1.0 / result.gate_time:.3f} Hz)", file=sys.stderr)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CMOS cantilever biosensor simulator (DATE 2005 repro)",
+    )
+    parser.add_argument("--length", type=float, default=500.0, help="beam length [um]")
+    parser.add_argument("--width", type=float, default=100.0, help="beam width [um]")
+    parser.add_argument("--nwell-um", type=float, default=5.0, dest="nwell_um",
+                        help="n-well etch-stop depth [um]")
+    parser.add_argument("--coated", action="store_true",
+                        help="keep CMOS dielectrics on the beam")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="device datasheet")
+    p.add_argument("--liquid", default="water")
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("fabricate", help="run the post-CMOS flow + DRC")
+    p.set_defaults(func=cmd_fabricate)
+
+    p = sub.add_parser("characterize", help="swept-sine bring-up")
+    p.add_argument("--liquid", default="water")
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("assay", help="static immunoassay")
+    p.add_argument("--analyte", default="igg")
+    p.add_argument("--conc-nm", type=float, default=10.0, dest="conc_nm")
+    p.add_argument("--exposure", type=float, default=1800.0)
+    p.add_argument("--interval", type=float, default=5.0)
+    p.add_argument("--stride", type=int, default=30)
+    p.set_defaults(func=cmd_assay)
+
+    p = sub.add_parser("track", help="resonant tracking assay")
+    p.add_argument("--analyte", default="streptavidin")
+    p.add_argument("--liquid", default="pbs")
+    p.add_argument("--conc-nm", type=float, default=100.0, dest="conc_nm")
+    p.add_argument("--exposure", type=float, default=1800.0)
+    p.add_argument("--gate", type=float, default=10.0)
+    p.add_argument("--mode", type=int, default=1)
+    p.add_argument("--stride", type=int, default=30)
+    p.set_defaults(func=cmd_track)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Physical constants used throughout the library.
+
+All values are CODATA-2018 in SI units.  The library uses strict SI
+everywhere (metres, kilograms, seconds, kelvin, pascal, newton per metre
+for surface stress); helpers for common non-SI laboratory units live in
+:mod:`repro.units`.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant [J/K].
+BOLTZMANN: float = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE: float = 1.602176634e-19
+
+#: Avogadro constant [1/mol].
+AVOGADRO: float = 6.02214076e23
+
+#: Vacuum permeability [H/m].
+MU_0: float = 1.25663706212e-6
+
+#: Vacuum permittivity [F/m].
+EPSILON_0: float = 8.8541878128e-12
+
+#: Standard gravity [m/s^2].
+STANDARD_GRAVITY: float = 9.80665
+
+#: Room temperature used as default for noise calculations [K].
+ROOM_TEMPERATURE: float = 300.0
+
+#: Atomic mass unit (dalton) [kg].
+DALTON: float = 1.66053906660e-27
+
+#: Clamped-free (cantilever) Euler-Bernoulli eigenvalue coefficients
+#: ``lambda_n`` solving ``cos(l) * cosh(l) = -1``; the resonant frequency of
+#: mode *n* is ``f_n = (lambda_n^2 / 2 pi) * sqrt(E I / (rho A)) / L^2``.
+CLAMPED_FREE_EIGENVALUES: tuple[float, ...] = (
+    1.8751040687119611,
+    4.694091132974175,
+    7.854757438237613,
+    10.995540734875467,
+    14.13716839104647,
+)
+
+#: KOH anisotropic etching exposes (111) planes at this angle from the
+#: (100) wafer surface [degrees].
+KOH_SIDEWALL_ANGLE_DEG: float = 54.7356103172

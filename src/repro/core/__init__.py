@@ -1,0 +1,34 @@
+"""The paper's systems, assembled from the substrate packages."""
+
+from . import presets
+from .chip import ArrayAssayResult, BiosensorChip, ChannelConfig
+from .interference import (
+    EXTERNAL_PATH,
+    MONOLITHIC_PATH,
+    InterferenceResult,
+    ReadoutPath,
+    compare_paths,
+    evaluate_path,
+)
+from .resonant_chip import CompensatedAssayResult, ResonantArrayChip
+from .resonant_sensor import ResonantAssayResult, ResonantCantileverSensor
+from .static_sensor import StaticAssayResult, StaticCantileverSensor
+
+__all__ = [
+    "ArrayAssayResult",
+    "BiosensorChip",
+    "ChannelConfig",
+    "EXTERNAL_PATH",
+    "InterferenceResult",
+    "MONOLITHIC_PATH",
+    "ReadoutPath",
+    "CompensatedAssayResult",
+    "ResonantArrayChip",
+    "ResonantAssayResult",
+    "ResonantCantileverSensor",
+    "StaticAssayResult",
+    "StaticCantileverSensor",
+    "compare_paths",
+    "evaluate_path",
+    "presets",
+]

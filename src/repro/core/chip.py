@@ -1,0 +1,193 @@
+"""The single-chip biosensor: 4-cantilever array + multiplexed readout.
+
+"An array of four cantilevers is connected to the readout amplifiers by
+an analog multiplexer."  The array exists for two reasons the chip model
+makes concrete: multiple assays in parallel (different probes per beam)
+and *referencing* — blocked beams see every common-mode disturbance
+(temperature, nonspecific adsorption, drift) but no specific binding,
+so the channel difference isolates the biology.
+
+The chip owns the fabricated cantilevers, their functionalization, the
+shared Fig. 4 readout (characterized once), the mux scan schedule, and
+the differential post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..biochem.analytes import Analyte
+from ..biochem.assay import AssayProtocol
+from ..biochem.functionalization import FunctionalizedSurface
+from ..circuits.mux import AnalogMultiplexer
+from ..circuits.signal import Signal
+from ..errors import AssayError
+from ..fabrication.release import ReleasedCantilever
+from ..units import require_positive
+from . import presets
+from .static_sensor import StaticCantileverSensor
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Functionalization plan for one array channel.
+
+    ``analyte = None`` makes the channel a blocked reference beam.
+    """
+
+    analyte: Analyte | None
+    immobilization_efficiency: float = 0.7
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ArrayAssayResult:
+    """Per-channel and differential outputs of an array assay."""
+
+    times: np.ndarray
+    channel_outputs: dict[int, np.ndarray]
+    channel_labels: dict[int, str]
+    reference_channels: tuple[int, ...]
+
+    def referenced(self, channel: int) -> np.ndarray:
+        """Channel output minus the mean of the reference channels.
+
+        This is the drift-cancelled trace the array architecture buys.
+        """
+        if channel in self.reference_channels:
+            raise AssayError(f"channel {channel} is itself a reference")
+        if not self.reference_channels:
+            raise AssayError("no reference channels configured")
+        reference = np.mean(
+            [self.channel_outputs[r] for r in self.reference_channels], axis=0
+        )
+        return self.channel_outputs[channel] - reference
+
+
+class BiosensorChip:
+    """Four static cantilevers, an analog mux, and one shared readout.
+
+    Parameters
+    ----------
+    cantilever:
+        The fabricated beam replicated across the array (one mask, four
+        copies — how the real chip is drawn).
+    channels:
+        Functionalization plan, one entry per channel.
+    temperature_drift:
+        Common-mode output drift rate [V/s] applied to *all* channels
+        (what referencing exists to cancel).
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        cantilever: ReleasedCantilever | None = None,
+        channels: list[ChannelConfig] | None = None,
+        temperature_drift: float = 0.0,
+        seed: int = 99,
+    ) -> None:
+        self.cantilever = (
+            cantilever if cantilever is not None else presets.reference_cantilever()
+        )
+        if channels is None:
+            raise AssayError(
+                "a chip needs an explicit channel plan (use ChannelConfig; "
+                "analyte=None marks a reference beam)"
+            )
+        if len(channels) != 4:
+            raise AssayError(f"the array has exactly 4 channels, got {len(channels)}")
+        self.channels = list(channels)
+        self.temperature_drift = float(temperature_drift)
+        self.seed = seed
+        self.mux = AnalogMultiplexer(channel_count=4)
+
+        self.sensors: list[StaticCantileverSensor] = []
+        for i, config in enumerate(self.channels):
+            if config.analyte is None:
+                # reference beam: efficiency 0 surface with any chemistry
+                surface = FunctionalizedSurface(
+                    analyte=_reference_analyte(),
+                    geometry=self.cantilever.geometry,
+                    immobilization_efficiency=0.0,
+                )
+            else:
+                surface = FunctionalizedSurface(
+                    analyte=config.analyte,
+                    geometry=self.cantilever.geometry,
+                    immobilization_efficiency=config.immobilization_efficiency,
+                )
+            self.sensors.append(
+                StaticCantileverSensor(
+                    surface,
+                    bridge=presets.static_bridge(seed=seed + i),
+                    seed=seed + 10 * i,
+                )
+            )
+
+    @property
+    def reference_channels(self) -> tuple[int, ...]:
+        """Indices of the blocked reference beams."""
+        return tuple(
+            i for i, c in enumerate(self.channels) if c.analyte is None
+        )
+
+    def calibrate(self) -> list[float]:
+        """Auto-zero every channel; returns residual offsets [V]."""
+        return [sensor.calibrate_offset() for sensor in self.sensors]
+
+    def run_array_assay(
+        self,
+        protocol: AssayProtocol,
+        sample_interval: float = 2.0,
+        include_noise: bool = True,
+    ) -> ArrayAssayResult:
+        """Run the protocol on all four channels through the shared chain."""
+        require_positive("sample_interval", sample_interval)
+        outputs: dict[int, np.ndarray] = {}
+        labels: dict[int, str] = {}
+        times: np.ndarray | None = None
+        for i, sensor in enumerate(self.sensors):
+            result = sensor.run_assay(
+                protocol,
+                sample_interval=sample_interval,
+                include_noise=include_noise,
+                seed=self.seed + 100 + i,
+            )
+            drifted = result.output_voltage + self.temperature_drift * result.times
+            outputs[i] = drifted
+            labels[i] = self.channels[i].label or f"ch{i}"
+            times = result.times
+        assert times is not None
+        return ArrayAssayResult(
+            times=times,
+            channel_outputs=outputs,
+            channel_labels=labels,
+            reference_channels=self.reference_channels,
+        )
+
+    def scan_bridges(
+        self, dwell_time: float = 5e-3, duration: float = 0.05
+    ) -> tuple[Signal, list]:
+        """Mux scan of the four raw bridge outputs (full-rate, FIG4 bench).
+
+        Each channel contributes its static mismatch offset — the scan
+        shows the settling transients and per-channel levels the shared
+        chain must handle.
+        """
+        rate = presets.CIRCUIT_SAMPLE_RATE
+        signals = [
+            Signal.constant(sensor.bridge_voltage(0.0), duration, rate)
+            for sensor in self.sensors
+        ]
+        return self.mux.scan(signals, dwell_time)
+
+
+def _reference_analyte() -> Analyte:
+    """Inert placeholder chemistry for blocked reference beams."""
+    from ..biochem.analytes import get_analyte
+
+    return get_analyte("igg")

@@ -1,0 +1,171 @@
+"""Monolithic vs. external readout: the paper's integration claim.
+
+"The monolithic integrated readout allows for a high signal-to-noise
+ratio, lowers the sensitivity to external interference and enables
+autonomous device operation."
+
+The physical content: a microvolt-level bridge signal travelling to an
+*external* amplifier crosses bond wires, package leads, and centimetres
+of board trace.  That path picks up ambient interference (mains hum, RF,
+digital switching) both as common mode — large loop area — and, through
+unavoidable path asymmetry, converted into differential error.  The
+on-chip path is hundreds of micrometres long, symmetric to lithographic
+precision, and shares the sensor's substrate shielding.
+
+The model compares the same bridge + amplifier through two
+:class:`ReadoutPath` parameter sets and reports output SNR versus
+interference amplitude — the CLM1 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+from ..circuits.amplifier import DifferenceAmplifier
+from ..circuits.signal import Signal
+from ..units import require_nonnegative, require_positive
+
+
+@dataclass(frozen=True)
+class ReadoutPath:
+    """Coupling parameters of one bridge-to-amplifier connection.
+
+    Parameters
+    ----------
+    name:
+        Label for reports.
+    common_mode_coupling:
+        Fraction of the interferer's amplitude arriving as common mode
+        at the amplifier input.
+    asymmetry:
+        Fractional mismatch of the two signal wires; common-mode pickup
+        times asymmetry appears directly as differential error.
+    parasitic_capacitance:
+        Wiring capacitance [F]; with the bridge's output resistance it
+        forms the input pole that band-limits the signal.
+    """
+
+    name: str
+    common_mode_coupling: float
+    asymmetry: float
+    parasitic_capacitance: float
+
+    def __post_init__(self) -> None:
+        require_nonnegative("common_mode_coupling", self.common_mode_coupling)
+        require_nonnegative("asymmetry", self.asymmetry)
+        require_nonnegative("parasitic_capacitance", self.parasitic_capacitance)
+
+    def differential_pickup(self) -> float:
+        """Interferer-to-differential-input gain."""
+        return self.common_mode_coupling * self.asymmetry
+
+    def input_pole(self, source_resistance: float) -> float:
+        """Input-pole frequency [Hz] from wiring capacitance."""
+        require_positive("source_resistance", source_resistance)
+        if self.parasitic_capacitance == 0.0:
+            return math.inf
+        return 1.0 / (
+            2.0 * math.pi * source_resistance * self.parasitic_capacitance
+        )
+
+
+#: On-chip path: hundreds of micrometres of matched metal over a quiet
+#: substrate.  Residual coupling through the substrate and supply.
+MONOLITHIC_PATH = ReadoutPath(
+    name="monolithic",
+    common_mode_coupling=1e-4,
+    asymmetry=1e-3,
+    parasitic_capacitance=0.5e-12,
+)
+
+#: External path: bond wires + package + 10 cm of board trace to a
+#: discrete instrumentation amplifier.
+EXTERNAL_PATH = ReadoutPath(
+    name="external",
+    common_mode_coupling=3e-2,
+    asymmetry=2e-2,
+    parasitic_capacitance=20e-12,
+)
+
+
+@dataclass(frozen=True)
+class InterferenceResult:
+    """SNR comparison at one interference level."""
+
+    path_name: str
+    signal_rms: float
+    error_rms: float
+    snr_db: float
+
+
+def evaluate_path(
+    path: ReadoutPath,
+    amplifier: DifferenceAmplifier,
+    bridge_signal: Signal,
+    interferer: Signal,
+) -> InterferenceResult:
+    """Output SNR of one readout path under interference.
+
+    The bridge signal plus the path's differential pickup of the
+    interferer form the differential input; the common-mode pickup
+    leaks through the amplifier's CMRR.  SNR compares the amplified
+    signal against everything else in the output.
+    """
+    diff_pickup = path.differential_pickup()
+    differential = Signal(
+        bridge_signal.samples + diff_pickup * interferer.samples,
+        bridge_signal.sample_rate,
+    )
+    common_mode = Signal(
+        path.common_mode_coupling * interferer.samples,
+        bridge_signal.sample_rate,
+    )
+    amplifier.reset()
+    output = amplifier.process_with_common_mode(differential, common_mode)
+    amplifier.reset()
+    clean = amplifier.process(bridge_signal)
+    amplifier.reset()
+
+    out = output.settle(0.2)
+    ref = clean.settle(0.2)
+    error = Signal(out.samples - ref.samples, out.sample_rate)
+    signal_rms = ref.std()
+    error_rms = error.rms()
+    snr = (
+        20.0 * math.log10(signal_rms / error_rms)
+        if error_rms > 0.0
+        else math.inf
+    )
+    return InterferenceResult(
+        path_name=path.name,
+        signal_rms=signal_rms,
+        error_rms=error_rms,
+        snr_db=snr,
+    )
+
+
+def compare_paths(
+    bridge_signal: Signal,
+    interferer: Signal,
+    amplifier_factory=None,
+) -> tuple[InterferenceResult, InterferenceResult]:
+    """(monolithic, external) SNR results for the same signals.
+
+    A fresh noiseless amplifier per path keeps the comparison about the
+    *paths*; pass a factory for noisy amplifiers.
+    """
+    if amplifier_factory is None:
+        def amplifier_factory() -> DifferenceAmplifier:
+            return DifferenceAmplifier(
+                gain=100.0, gbw=2e6, cmrr_db=90.0, noise_density=0.0
+            )
+
+    mono = evaluate_path(
+        MONOLITHIC_PATH, amplifier_factory(), bridge_signal, interferer
+    )
+    ext = evaluate_path(
+        EXTERNAL_PATH, amplifier_factory(), bridge_signal, interferer
+    )
+    return mono, ext

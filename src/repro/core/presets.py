@@ -1,0 +1,125 @@
+"""Paper-calibrated default configurations.
+
+One place holding the "device as published" parameter set: the 0.8 um
+process with its 5 um n-well etch stop, a 500 x 100 um released silicon
+cantilever, the diffused bridge of the static system, the PMOS bridge of
+the resonant system, and the two readout chains of Figs. 4 and 5.  Every
+example and bench starts from these factories so results are comparable
+across the repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..circuits.amplifier import Amplifier
+from ..circuits.chopper import ChopperAmplifier
+from ..circuits.filters import LowPassFilter
+from ..circuits.offset_dac import OffsetCompensationDAC
+from ..fabrication.process import PostCMOSFlow
+from ..fabrication.release import ReleasedCantilever, fabricate_cantilever
+from ..mechanics.geometry import CantileverGeometry
+from ..transduction.mos_resistor import MOSBridgeTransistor
+from ..transduction.noise import HOOGE_ALPHA_DIFFUSED, HOOGE_ALPHA_MOS
+from ..transduction.piezoresistor import DiffusedResistor
+from ..transduction.wheatstone import WheatstoneBridge, matched_bridge
+
+#: Drawn cantilever dimensions of the reference device [m].
+CANTILEVER_LENGTH: float = 500e-6
+CANTILEVER_WIDTH: float = 100e-6
+
+#: Supply/bridge bias of the 0.8 um chip [V].
+SUPPLY_VOLTAGE: float = 3.3
+
+#: Chopper carrier of the static first stage [Hz].
+CHOP_FREQUENCY: float = 10e3
+
+#: Sample rate used for full-rate circuit simulation [Hz].
+CIRCUIT_SAMPLE_RATE: float = 200e3
+
+
+def reference_cantilever(
+    keep_dielectrics: bool = False,
+) -> ReleasedCantilever:
+    """Fabricate the reference 500 x 100 x 5 um cantilever."""
+    flow = PostCMOSFlow(keep_dielectrics_on_beam=keep_dielectrics)
+    return fabricate_cantilever(CANTILEVER_LENGTH, CANTILEVER_WIDTH, flow)
+
+
+def reference_geometry() -> CantileverGeometry:
+    """Geometry of the reference released beam (bare silicon)."""
+    return reference_cantilever().geometry
+
+
+def static_bridge(
+    mismatch_sigma: float = 2e-3, seed: int | None = 42
+) -> WheatstoneBridge:
+    """Diffused-resistor bridge of the static system.
+
+    2e-3 (0.2 %) per-element mismatch is a realistic matched-diffusion
+    figure and produces the millivolt-scale offset the offset DAC of
+    Fig. 4 is sized for.
+    """
+    element = DiffusedResistor(nominal_resistance=10e3)
+    return matched_bridge(
+        element,
+        bias_voltage=SUPPLY_VOLTAGE,
+        mismatch_sigma=mismatch_sigma,
+        hooge_alpha=HOOGE_ALPHA_DIFFUSED,
+        seed=seed,
+    )
+
+
+def resonant_bridge(
+    mismatch_sigma: float = 5e-3, seed: int | None = 43
+) -> WheatstoneBridge:
+    """PMOS-in-triode bridge of the resonant system."""
+    element = MOSBridgeTransistor()
+    return matched_bridge(
+        element,
+        bias_voltage=SUPPLY_VOLTAGE,
+        mismatch_sigma=mismatch_sigma,
+        hooge_alpha=HOOGE_ALPHA_MOS,
+        seed=seed,
+    )
+
+
+def first_stage_amplifier(rng: np.random.Generator | None = None) -> Amplifier:
+    """The core amplifier inside the chopper stage.
+
+    Millivolt offset and a kilohertz-range 1/f corner — ordinary 0.8 um
+    CMOS figures, i.e. exactly what makes chopping necessary.
+    """
+    return Amplifier(
+        gain=100.0,
+        gbw=2e6,
+        input_offset=2e-3,
+        noise_density=25e-9,
+        noise_corner=2e3,
+        rails=(-2.5, 2.5),
+        rng=rng,
+    )
+
+
+def static_readout_blocks(
+    rng: np.random.Generator | None = None,
+) -> dict[str, object]:
+    """All blocks of the Fig. 4 chain, keyed by stage name.
+
+    Stage order: ``chopper`` -> ``lowpass`` -> ``offset_dac`` ->
+    ``gain2`` -> ``gain3``.
+    """
+    rng = rng if rng is not None else np.random.default_rng()
+    return {
+        "chopper": ChopperAmplifier(first_stage_amplifier(rng), CHOP_FREQUENCY),
+        "lowpass": LowPassFilter(cutoff=100.0, order=2),
+        "offset_dac": OffsetCompensationDAC(full_scale=1.0, bits=10),
+        "gain2": Amplifier(
+            gain=10.0, gbw=2e6, input_offset=0.5e-3,
+            noise_density=15e-9, noise_corner=1e3, rng=rng,
+        ),
+        "gain3": Amplifier(
+            gain=5.0, gbw=2e6, input_offset=0.5e-3,
+            noise_density=15e-9, noise_corner=1e3, rng=rng,
+        ),
+    }

@@ -1,0 +1,224 @@
+"""The static cantilever biosensor (Fig. 1 mechanics + Fig. 4 readout).
+
+One functionalized cantilever read out by the chopper-stabilized chain:
+analyte coverage produces surface stress, the distributed diffused
+bridge converts the resulting uniform surface strain into microvolts,
+and the Fig. 4 chain (chopper amp -> low-pass -> offset DAC -> two gain
+stages) turns that into the volt-scale output an ADC digitizes.
+
+Two time scales coexist: the chopper runs at 10 kHz while an assay runs
+for tens of minutes, so simulating the full chain sample-by-sample over
+an assay is both impossible and pointless.  The sensor therefore
+characterizes the chain once at full rate — DC transfer and output noise
+in the signal band — and applies that calibrated transfer to the slow
+assay trace, adding output noise of the measured rms.  The full-rate
+path stays available (:meth:`process_waveform`) for the FIG4 benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..biochem.assay import AssayProtocol, AssayTrace, run_assay
+from ..biochem.functionalization import FunctionalizedSurface
+from ..circuits.block import Chain
+from ..circuits.signal import Signal
+from ..errors import CircuitError
+from ..mechanics.geometry import CantileverGeometry
+from ..mechanics.surface_stress import surface_bending_stress
+from ..transduction.wheatstone import WheatstoneBridge
+from ..units import require_positive
+from . import presets
+
+
+@dataclass(frozen=True)
+class StaticAssayResult:
+    """Output of a static-mode assay run."""
+
+    times: np.ndarray
+    coverage: np.ndarray
+    surface_stress: np.ndarray
+    bridge_voltage: np.ndarray
+    output_voltage: np.ndarray
+
+    @property
+    def final_output(self) -> float:
+        """Output at the end of the protocol [V]."""
+        return float(self.output_voltage[-1])
+
+    def output_step(self, baseline_samples: int = 30) -> float:
+        """Signal step: final output minus the initial baseline mean [V]."""
+        return self.final_output - float(
+            np.mean(self.output_voltage[:baseline_samples])
+        )
+
+
+class StaticCantileverSensor:
+    """A functionalized static cantilever with the Fig. 4 readout chain.
+
+    Parameters
+    ----------
+    surface:
+        Functionalized surface (provides geometry + analyte chemistry).
+    bridge:
+        Distributed diffused-resistor bridge; defaults to the preset.
+    blocks:
+        Readout chain stages keyed as in
+        :func:`repro.core.presets.static_readout_blocks`.
+    sample_rate:
+        Full-rate circuit simulation rate [Hz].
+    seed:
+        RNG seed for the chain's noise realizations.
+    """
+
+    def __init__(
+        self,
+        surface: FunctionalizedSurface,
+        bridge: WheatstoneBridge | None = None,
+        blocks: dict | None = None,
+        sample_rate: float = presets.CIRCUIT_SAMPLE_RATE,
+        seed: int = 2024,
+    ) -> None:
+        self.surface = surface
+        self.geometry: CantileverGeometry = surface.geometry
+        self.bridge = bridge if bridge is not None else presets.static_bridge()
+        rng = np.random.default_rng(seed)
+        self.blocks = (
+            blocks if blocks is not None else presets.static_readout_blocks(rng)
+        )
+        self.sample_rate = require_positive("sample_rate", sample_rate)
+        self._chain = Chain(list(self.blocks.values()))
+        self._dc_gain: float | None = None
+        self._noise_rms: float | None = None
+
+    # -- transduction -------------------------------------------------------------
+
+    def bridge_voltage(self, surface_stress: float) -> float:
+        """Bridge differential output [V] for a surface stress [N/m].
+
+        Includes the bridge's mismatch offset — the readout chain must
+        deal with it, exactly as on silicon.
+        """
+        sigma_l = surface_bending_stress(self.geometry, surface_stress)
+        return self.bridge.output_voltage(sigma_l)
+
+    def stress_responsivity(self) -> float:
+        """Bridge volts per N/m of surface stress [V/(N/m)]."""
+        probe = 1e-5  # N/m, deep in the linear regime
+        return (
+            self.bridge_voltage(probe) - self.bridge_voltage(-probe)
+        ) / (2.0 * probe)
+
+    # -- chain characterization ------------------------------------------------------
+
+    def characterize_chain(
+        self, duration: float = 0.6, test_level: float = 100e-6
+    ) -> tuple[float, float]:
+        """(DC gain, output noise rms) of the readout chain.
+
+        Runs the full-rate chain twice: once on a DC test level to get
+        the end-to-end transfer (chopping and filtering included), once
+        on zero input to get the output noise in the signal band.  The
+        chain's own offsets cancel in the two-point gain measurement.
+        """
+        self._chain.reset()
+        level = Signal.constant(test_level, duration, self.sample_rate)
+        out_hi = self._chain.process(level).settle(0.5).mean()
+        self._chain.reset()
+        zero = Signal.constant(0.0, duration, self.sample_rate)
+        out_zero_signal = self._chain.process(zero).settle(0.5)
+        self._chain.reset()
+
+        dc_gain = (out_hi - out_zero_signal.mean()) / test_level
+        if abs(dc_gain) < 1e-9:
+            raise CircuitError("readout chain shows no DC transfer")
+        noise_rms = out_zero_signal.std()
+        self._dc_gain = float(dc_gain)
+        self._noise_rms = float(noise_rms)
+        return self._dc_gain, self._noise_rms
+
+    @property
+    def dc_gain(self) -> float:
+        """Calibrated end-to-end DC gain (characterizing on first use)."""
+        if self._dc_gain is None:
+            self.characterize_chain()
+        return self._dc_gain  # type: ignore[return-value]
+
+    @property
+    def output_noise_rms(self) -> float:
+        """Output noise rms in the signal band [V]."""
+        if self._noise_rms is None:
+            self.characterize_chain()
+        return self._noise_rms  # type: ignore[return-value]
+
+    # -- offset management ------------------------------------------------------------
+
+    def calibrate_offset(self) -> float:
+        """Auto-zero: program the offset DAC to null the baseline output.
+
+        Measures the zero-analyte output (bridge mismatch offset times
+        first-stage gain), refers it to the DAC plane (after the chopper
+        and low-pass, before the final gain stages), and programs the
+        DAC.  Returns the residual output offset [V].
+        """
+        dac = self.blocks["offset_dac"]
+        dac.set_code(0)
+        baseline_bridge = self.bridge_voltage(0.0)
+        # what arrives at the DAC plane: bridge offset x chopper stage gain
+        pre_dac_gain = self.dc_gain / (
+            self.blocks["gain2"].gain * self.blocks["gain3"].gain
+        )
+        dac.calibrate(baseline_bridge * pre_dac_gain)
+        return self.output_for_stress(0.0)
+
+    def output_for_stress(self, surface_stress: float) -> float:
+        """Predicted DC output [V] for a static surface stress [N/m]."""
+        dac = self.blocks["offset_dac"]
+        post_gain = self.blocks["gain2"].gain * self.blocks["gain3"].gain
+        pre_dac_gain = self.dc_gain / post_gain
+        v_pre_dac = self.bridge_voltage(surface_stress) * pre_dac_gain
+        return (v_pre_dac - dac.compensation) * post_gain
+
+    # -- full-rate path ------------------------------------------------------------------
+
+    def process_waveform(self, bridge_signal: Signal) -> Signal:
+        """Run an arbitrary bridge waveform through the full-rate chain."""
+        self._chain.reset()
+        out = self._chain.process(bridge_signal)
+        self._chain.reset()
+        return out
+
+    # -- assay ---------------------------------------------------------------------------
+
+    def run_assay(
+        self,
+        protocol: AssayProtocol,
+        sample_interval: float = 2.0,
+        include_noise: bool = True,
+        seed: int = 77,
+    ) -> StaticAssayResult:
+        """Run a full assay and return the sensor's output trace.
+
+        Uses the calibrated DC transfer on the slow binding trace plus
+        output noise at the characterized rms; run
+        :meth:`calibrate_offset` first for a zero-based output.
+        """
+        trace: AssayTrace = run_assay(self.surface, protocol, sample_interval)
+        bridge = np.asarray(
+            [self.bridge_voltage(s) for s in trace.surface_stress]
+        )
+        output = np.asarray(
+            [self.output_for_stress(s) for s in trace.surface_stress]
+        )
+        if include_noise:
+            rng = np.random.default_rng(seed)
+            output = output + rng.normal(0.0, self.output_noise_rms, len(output))
+        return StaticAssayResult(
+            times=trace.times,
+            coverage=trace.coverage,
+            surface_stress=trace.surface_stress,
+            bridge_voltage=bridge,
+            output_voltage=output,
+        )

@@ -1,0 +1,45 @@
+"""Environmental effects: temperature drift channels of the chip."""
+
+from .compensation import DualOscillatorReadout
+from .self_heating import (
+    WATER_CONVECTION,
+    SelfHeatingReport,
+    bridge_self_heating,
+    dry_temperature_rise,
+    thermal_time_constant,
+    wet_temperature_profile,
+    wet_temperature_rise,
+)
+from .temperature import (
+    SILICON_DE_OVER_E,
+    ThermalErrorBudget,
+    bimorph_curvature_per_kelvin,
+    bimorph_tip_drift,
+    bridge_offset_drift,
+    equivalent_surface_stress_drift,
+    frequency_drift,
+    frequency_temperature_coefficient,
+    thermal_error_budget,
+    water_at,
+)
+
+__all__ = [
+    "DualOscillatorReadout",
+    "SelfHeatingReport",
+    "WATER_CONVECTION",
+    "bridge_self_heating",
+    "dry_temperature_rise",
+    "thermal_time_constant",
+    "wet_temperature_profile",
+    "wet_temperature_rise",
+    "SILICON_DE_OVER_E",
+    "ThermalErrorBudget",
+    "bimorph_curvature_per_kelvin",
+    "bimorph_tip_drift",
+    "bridge_offset_drift",
+    "equivalent_surface_stress_drift",
+    "frequency_drift",
+    "frequency_temperature_coefficient",
+    "thermal_error_budget",
+    "water_at",
+]

@@ -1,0 +1,124 @@
+"""Temperature compensation by dual-oscillator ratio readout.
+
+The resonant sensor's -31 ppm/K frequency TC turns a 0.1 K cell
+excursion into a ~28 mHz error — the size of a 35 pg binding signal.
+The array architecture offers the cure: run a *reference* cantilever
+(blocked surface, same die, same temperature) as a second oscillator
+and read the frequency **ratio**.  Both frequencies share the
+multiplicative temperature factor, so it cancels exactly to first
+order, while binding only moves the sensing beam.
+
+    f_s(T, m) / f_r(T) = [f_s0 (1 + TCF dT) (1 + S_m dm)] /
+                         [f_r0 (1 + TCF dT)]
+                       = (f_s0 / f_r0)(1 + S_m dm)
+
+The module evaluates both the raw and ratio readouts over a temperature
+excursion + binding scenario, quantifying the rejection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+from ..mechanics.geometry import CantileverGeometry
+from ..units import require_positive
+from .temperature import frequency_temperature_coefficient
+
+
+@dataclass(frozen=True)
+class DualOscillatorReadout:
+    """Sensing + reference oscillator pair on one die.
+
+    Parameters
+    ----------
+    sensing_frequency / reference_frequency:
+        Nominal oscillation frequencies [Hz]; they need not match (and
+        deliberately should not, to avoid injection locking).
+    tcf:
+        Shared fractional temperature coefficient [1/K].
+    tcf_mismatch:
+        Residual fractional TCF difference between the two beams
+        (process gradients across the die); sets the compensation floor.
+    """
+
+    sensing_frequency: float
+    reference_frequency: float
+    tcf: float
+    tcf_mismatch: float = 1e-7
+
+    def __post_init__(self) -> None:
+        require_positive("sensing_frequency", self.sensing_frequency)
+        require_positive("reference_frequency", self.reference_frequency)
+
+    @classmethod
+    def for_geometry(
+        cls,
+        geometry: CantileverGeometry,
+        sensing_frequency: float,
+        reference_detune: float = 0.02,
+        tcf_mismatch: float = 1e-7,
+    ) -> "DualOscillatorReadout":
+        """Build the pair from the device geometry's TCF.
+
+        The reference beam is drawn slightly shorter so the two
+        oscillators sit ``reference_detune`` apart in frequency.
+        """
+        return cls(
+            sensing_frequency=sensing_frequency,
+            reference_frequency=sensing_frequency * (1.0 + reference_detune),
+            tcf=frequency_temperature_coefficient(geometry),
+            tcf_mismatch=tcf_mismatch,
+        )
+
+    # -- readouts -------------------------------------------------------------
+
+    def raw_sensing_frequency(
+        self, delta_temperature: float, fractional_mass_shift: float = 0.0
+    ) -> float:
+        """Sensing oscillator frequency [Hz] with temperature + binding."""
+        return (
+            self.sensing_frequency
+            * (1.0 + self.tcf * delta_temperature)
+            * (1.0 + fractional_mass_shift)
+        )
+
+    def raw_reference_frequency(self, delta_temperature: float) -> float:
+        """Reference oscillator frequency [Hz] (temperature only)."""
+        return self.reference_frequency * (
+            1.0 + (self.tcf + self.tcf_mismatch) * delta_temperature
+        )
+
+    def ratio_readout(
+        self, delta_temperature: float, fractional_mass_shift: float = 0.0
+    ) -> float:
+        """The compensated observable: frequency ratio, normalized to 1.
+
+        Returns ``(f_s / f_r) / (f_s0 / f_r0)``; deviations from 1 are
+        (to the mismatch floor) pure binding signal.
+        """
+        fs = self.raw_sensing_frequency(delta_temperature, fractional_mass_shift)
+        fr = self.raw_reference_frequency(delta_temperature)
+        return (fs / fr) / (self.sensing_frequency / self.reference_frequency)
+
+    # -- figures of merit --------------------------------------------------------
+
+    def raw_thermal_error(self, delta_temperature: float) -> float:
+        """Fractional frequency error of the raw readout for an excursion."""
+        return abs(self.tcf * delta_temperature)
+
+    def compensated_thermal_error(self, delta_temperature: float) -> float:
+        """Residual fractional error of the ratio readout.
+
+        First-order exact cancellation leaves only the TCF mismatch.
+        """
+        return abs(
+            self.ratio_readout(delta_temperature, 0.0) - 1.0
+        )
+
+    def rejection_ratio(self, delta_temperature: float) -> float:
+        """Thermal-error suppression factor of the ratio readout."""
+        raw = self.raw_thermal_error(delta_temperature)
+        residual = self.compensated_thermal_error(delta_temperature)
+        return math.inf if residual == 0.0 else raw / residual

@@ -1,0 +1,190 @@
+"""Bridge self-heating of the thermally isolated cantilever.
+
+The released beam is an excellent thermal insulator by construction: its
+only solid heat path is the beam cross-section back to the clamp.  The
+static system's Wheatstone bridge dissipates ~1 mW *on the beam*, so the
+beam warms up — and Section 8's error channels (bimorph bending, TCF,
+TCR drift) turn that Kelvin-scale rise into signal-sized error.  This is
+a design force behind several choices the paper makes:
+
+* the resonant bridge sits at the **clamped edge** (heat exits without
+  crossing the beam) and dissipates 3.6x less (PMOS);
+* the **mux** gives each static bridge a 25 % duty cycle;
+* the beam operates **in liquid**, which cools it convectively.
+
+Models:
+
+* dry (vacuum/air) conduction-only temperature profile — uniform line
+  heating ``p`` gives ``T(x) = (p/kappa A)(Lx - x^2/2)``, so the tip
+  rise is ``P L / 2 kappa A`` and the beam-average ``P L / 3 kappa A``;
+* liquid-cooled fin equation ``kappa A T'' - h P_w T + p = 0`` with
+  convection coefficient ``h`` and wetted perimeter ``P_w``:
+  ``T(x) = (p/h P_w) [1 - cosh(m (L - x)) / cosh(m L)]``,
+  ``m = sqrt(h P_w / kappa A)``;
+* lumped thermal time constant ``tau = R_th C_th``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MaterialError
+from ..mechanics.geometry import CantileverGeometry
+from ..units import require_nonnegative, require_positive
+
+#: Representative microscale convection coefficient of water [W/(m^2 K)].
+WATER_CONVECTION: float = 5000.0
+
+
+def _conduction_parameters(geometry: CantileverGeometry) -> tuple[float, float]:
+    """(kappa*A [W m/K], wetted perimeter [m]) of the beam section."""
+    kappa_a = 0.0
+    for layer in geometry.stack.layers:
+        k = layer.material.thermal_conductivity
+        if k <= 0.0:
+            raise MaterialError(
+                f"material {layer.material.name!r} has no thermal "
+                "conductivity; register it with thermal_conductivity set"
+            )
+        kappa_a += k * layer.thickness * geometry.width
+    perimeter = 2.0 * (geometry.width + geometry.thickness)
+    return kappa_a, perimeter
+
+
+def dry_temperature_rise(
+    geometry: CantileverGeometry, power: float, position: str = "average"
+) -> float:
+    """Conduction-only beam heating [K] for on-beam power [W].
+
+    ``position``: ``"tip"`` (= P L / 2 kappa A), ``"average"``
+    (= P L / 3 kappa A), both for power dissipated uniformly along the
+    beam (the distributed static bridge).
+    """
+    require_nonnegative("power", power)
+    kappa_a, _ = _conduction_parameters(geometry)
+    base = power * geometry.length / kappa_a
+    if position == "tip":
+        return base / 2.0
+    if position == "average":
+        return base / 3.0
+    raise MaterialError(f"position must be 'tip' or 'average', got {position!r}")
+
+
+def wet_temperature_profile(
+    geometry: CantileverGeometry,
+    power: float,
+    convection: float = WATER_CONVECTION,
+    positions: np.ndarray | None = None,
+) -> np.ndarray:
+    """Fin-equation temperature rise along the liquid-immersed beam [K].
+
+    Uniform line heating with convective loss to the liquid; the clamp is
+    the isothermal heat sink.
+    """
+    require_nonnegative("power", power)
+    require_positive("convection", convection)
+    kappa_a, perimeter = _conduction_parameters(geometry)
+    length = geometry.length
+    x = (
+        np.linspace(0.0, length, 101)
+        if positions is None
+        else np.asarray(positions, dtype=float)
+    )
+    p_line = power / length
+    hp = convection * perimeter
+    m = math.sqrt(hp / kappa_a)
+    return (p_line / hp) * (
+        1.0 - np.cosh(m * (length - x)) / math.cosh(m * length)
+    )
+
+
+def wet_temperature_rise(
+    geometry: CantileverGeometry,
+    power: float,
+    convection: float = WATER_CONVECTION,
+    position: str = "average",
+) -> float:
+    """Liquid-cooled beam heating [K] (tip or beam-average)."""
+    profile = wet_temperature_profile(geometry, power, convection)
+    if position == "tip":
+        return float(profile[-1])
+    if position == "average":
+        return float(np.mean(profile))
+    raise MaterialError(f"position must be 'tip' or 'average', got {position!r}")
+
+
+def thermal_time_constant(geometry: CantileverGeometry) -> float:
+    """Lumped beam thermal time constant ``R_th C_th`` [s] (dry).
+
+    ``R_th = L / 3 kappa A`` (average-temperature resistance) and
+    ``C_th = sum(rho c_p V)``; milliseconds for these beams — fast
+    against assay timescales, slow against the chopper.
+    """
+    kappa_a, _ = _conduction_parameters(geometry)
+    r_th = geometry.length / (3.0 * kappa_a)
+    c_th = 0.0
+    for layer in geometry.stack.layers:
+        c_p = layer.material.specific_heat
+        if c_p <= 0.0:
+            raise MaterialError(
+                f"material {layer.material.name!r} has no specific heat"
+            )
+        volume = layer.thickness * geometry.width * geometry.length
+        c_th += layer.material.density * c_p * volume
+    return r_th * c_th
+
+
+@dataclass(frozen=True)
+class SelfHeatingReport:
+    """Self-heating of one bridge configuration on one beam."""
+
+    power: float
+    duty_cycle: float
+    dry_rise_avg: float
+    wet_rise_avg: float
+    wet_rise_tip: float
+    time_constant: float
+
+    @property
+    def effective_wet_rise(self) -> float:
+        """Duty-cycled average rise in liquid [K] — the operating number."""
+        return self.wet_rise_avg * self.duty_cycle
+
+
+def bridge_self_heating(
+    geometry: CantileverGeometry,
+    bridge_power: float,
+    duty_cycle: float = 1.0,
+    convection: float = WATER_CONVECTION,
+    on_beam_fraction: float = 1.0,
+) -> SelfHeatingReport:
+    """Evaluate the self-heating of a bridge on (or off) the beam.
+
+    Parameters
+    ----------
+    bridge_power:
+        Total bridge dissipation [W].
+    duty_cycle:
+        Fraction of time the bridge is biased (the mux scan of Fig. 4
+        gives each channel ~1/4).
+    on_beam_fraction:
+        Fraction of the power dissipated *on the released beam*: ~1 for
+        the distributed static bridge, ~0 for the resonant bridge at the
+        clamped edge (its heat exits through the bulk).
+    """
+    from ..units import require_fraction
+
+    require_fraction("duty_cycle", duty_cycle)
+    require_fraction("on_beam_fraction", on_beam_fraction)
+    p_beam = bridge_power * on_beam_fraction
+    return SelfHeatingReport(
+        power=bridge_power,
+        duty_cycle=duty_cycle,
+        dry_rise_avg=dry_temperature_rise(geometry, p_beam, "average"),
+        wet_rise_avg=wet_temperature_rise(geometry, p_beam, convection, "average"),
+        wet_rise_tip=wet_temperature_rise(geometry, p_beam, convection, "tip"),
+        time_constant=thermal_time_constant(geometry),
+    )

@@ -1,0 +1,176 @@
+"""Temperature effects: the slow enemy of both sensor modes.
+
+A biosensor lives in a liquid cell whose temperature wanders by tens of
+millikelvin per minute, and every part of the chip responds:
+
+* **mechanics** — silicon softens with temperature
+  (``dE/E/dT ~ -64 ppm/K``), shifting the resonant frequency by
+  ``TCF ~ +1/2 dE/E + alpha/2 ~ -31 ppm/K``; a composite (coated) beam
+  additionally *bends* like a bimetal strip, producing fake static
+  signal;
+* **transduction** — the bridge elements' TCR is huge (2500 ppm/K), so
+  any TCR mismatch between arms converts temperature directly into
+  offset drift;
+* **fluidics** — water's viscosity drops ~2 %/K, moving both Q and the
+  fluid-loaded frequency.
+
+These models quantify each channel, so the benches can show what the
+paper's array referencing (blocked beams seeing the same temperature)
+actually buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..materials import Liquid
+from ..materials.liquids import glycerol_water_mixture
+from ..mechanics.composite import LayerStack
+from ..mechanics.geometry import CantileverGeometry
+from ..units import require_positive
+
+#: Temperature coefficient of silicon's Young's modulus [1/K].
+SILICON_DE_OVER_E: float = -64e-6
+
+
+def frequency_temperature_coefficient(
+    geometry: CantileverGeometry,
+    de_over_e: float = SILICON_DE_OVER_E,
+) -> float:
+    """Fractional resonant-frequency drift per kelvin [1/K].
+
+    ``f ~ sqrt(E) t / L^2`` gives ``TCF = dE/(2E) + alpha/2`` (thickness
+    grows like ``alpha``, length like ``alpha``: ``t/L^2`` contributes
+    ``-alpha``; plus ``sqrt(1/rho)`` contributing ``+3 alpha/2``), which
+    for silicon is dominated by the modulus term: about -31 ppm/K.
+    """
+    alpha = geometry.stack.layers[0].material.thermal_expansion
+    return de_over_e / 2.0 + alpha / 2.0
+
+
+def frequency_drift(
+    geometry: CantileverGeometry, delta_temperature: float
+) -> float:
+    """Resonant-frequency change [Hz] for a temperature change [K]."""
+    from ..mechanics.modal import natural_frequency
+
+    f0 = natural_frequency(geometry)
+    return f0 * frequency_temperature_coefficient(geometry) * delta_temperature
+
+
+def bimorph_curvature_per_kelvin(stack: LayerStack) -> float:
+    """Thermal-mismatch curvature rate [1/(m K)] of a layer stack.
+
+    Each layer develops a thermal stress ``E_i (alpha_ref - alpha_i)``
+    per kelvin relative to the stack's strain-weighted mean expansion;
+    the resulting moment over the stack rigidity is the bimetal-strip
+    curvature.  Exactly zero for single-material beams — the quantitative
+    reason the paper releases *bare silicon* cantilevers for the static
+    system.
+    """
+    # strain-matching reference expansion (modulus-thickness weighted)
+    total = stack.extensional_stiffness_per_width
+    alpha_ref = (
+        sum(
+            l.material.youngs_modulus * l.thickness * l.material.thermal_expansion
+            for l in stack.layers
+        )
+        / total
+    )
+    z_na = stack.neutral_axis
+    moment_per_k = 0.0
+    zs = stack.interfaces()
+    for layer, z_low, z_high in zip(stack.layers, zs[:-1], zs[1:]):
+        mid = 0.5 * (z_low + z_high)
+        sigma_per_k = layer.material.youngs_modulus * (
+            alpha_ref - layer.material.thermal_expansion
+        )
+        moment_per_k += sigma_per_k * layer.thickness * (mid - z_na)
+    return moment_per_k / stack.flexural_rigidity_per_width
+
+
+def bimorph_tip_drift(
+    geometry: CantileverGeometry, delta_temperature: float
+) -> float:
+    """Thermal tip deflection [m] of a (possibly composite) beam.
+
+    ``z = kappa_T dT L^2 / 2``; fake signal indistinguishable from
+    surface stress without a reference beam.
+    """
+    kappa = bimorph_curvature_per_kelvin(geometry.stack) * delta_temperature
+    return kappa * geometry.length**2 / 2.0
+
+
+def equivalent_surface_stress_drift(
+    geometry: CantileverGeometry, delta_temperature: float
+) -> float:
+    """Surface stress [N/m] that would produce the bimorph drift.
+
+    Puts the thermal error in the static sensor's signal units so it can
+    be compared against binding signals (mN/m scale) directly.
+    """
+    from ..mechanics.surface_stress import tip_deflection
+
+    drift = bimorph_tip_drift(geometry, delta_temperature)
+    per_unit = tip_deflection(geometry, 1.0)
+    return drift / per_unit
+
+
+def bridge_offset_drift(
+    bias_voltage: float,
+    tcr: float,
+    tcr_mismatch_fraction: float,
+    delta_temperature: float,
+) -> float:
+    """Bridge output drift [V] from TCR mismatch between the arms.
+
+    With all four arms at TCR but one arm's coefficient off by the
+    fractional mismatch, the bridge unbalances by
+    ``V_b / 4 * tcr * mismatch * dT`` — at 2500 ppm/K and 1 % matching
+    this is ~20 uV/K on 3.3 V, i.e. a binding-signal-sized error for a
+    1 K excursion.  Referencing kills it because the reference beam's
+    bridge drifts identically.
+    """
+    require_positive("bias_voltage", bias_voltage)
+    return bias_voltage / 4.0 * tcr * tcr_mismatch_fraction * delta_temperature
+
+
+def water_at(temperature: float) -> Liquid:
+    """Water density/viscosity at a temperature [K].
+
+    Reuses the validated pure-water limits of the glycerol-mixture
+    correlation (Cheng 2008).
+    """
+    return glycerol_water_mixture(0.0, temperature=temperature)
+
+
+@dataclass(frozen=True)
+class ThermalErrorBudget:
+    """All thermal error channels of one device for a given excursion."""
+
+    delta_temperature: float
+    frequency_drift_hz: float
+    bimorph_tip_drift_m: float
+    equivalent_stress_drift: float
+    bridge_offset_drift_v: float
+
+
+def thermal_error_budget(
+    geometry: CantileverGeometry,
+    delta_temperature: float,
+    bias_voltage: float = 3.3,
+    tcr: float = 2.5e-3,
+    tcr_mismatch_fraction: float = 0.01,
+) -> ThermalErrorBudget:
+    """Evaluate every thermal error channel at once."""
+    return ThermalErrorBudget(
+        delta_temperature=delta_temperature,
+        frequency_drift_hz=frequency_drift(geometry, delta_temperature),
+        bimorph_tip_drift_m=bimorph_tip_drift(geometry, delta_temperature),
+        equivalent_stress_drift=equivalent_surface_stress_drift(
+            geometry, delta_temperature
+        ),
+        bridge_offset_drift_v=bridge_offset_drift(
+            bias_voltage, tcr, tcr_mismatch_fraction, delta_temperature
+        ),
+    )

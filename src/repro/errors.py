@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity was outside its physically meaningful range."""
+
+
+class MaterialError(ReproError, KeyError):
+    """An unknown material or liquid was requested from the database."""
+
+
+class GeometryError(ReproError, ValueError):
+    """A cantilever or layout geometry is invalid or inconsistent."""
+
+
+class FabricationError(ReproError, RuntimeError):
+    """A process step cannot be applied to the current wafer state."""
+
+
+class DesignRuleViolation(ReproError):
+    """Raised by the DRC engine when `raise_on_error` is requested."""
+
+    def __init__(self, violations: list) -> None:
+        self.violations = list(violations)
+        lines = "; ".join(str(v) for v in self.violations)
+        super().__init__(f"{len(self.violations)} design-rule violation(s): {lines}")
+
+
+class CircuitError(ReproError, ValueError):
+    """A circuit block was configured or driven inconsistently."""
+
+
+class SignalError(ReproError, ValueError):
+    """Two signals are incompatible (sampling rate, length) or malformed."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver failed to converge."""
+
+
+class OscillationError(ReproError, RuntimeError):
+    """The closed feedback loop failed to start or sustain oscillation."""
+
+
+class AssayError(ReproError, ValueError):
+    """An assay protocol is malformed (bad step ordering or parameters)."""

@@ -1,0 +1,76 @@
+"""CMOS process stack, post-CMOS micromachining, release, and DRC."""
+
+from .drc import (
+    DesignRule,
+    RuleDeck,
+    Violation,
+    cantilever_layout,
+    post_cmos_rule_deck,
+)
+from .etch import KOHEtch, RIEStep, dielectric_release_etch, silicon_release_etch
+from .layers import (
+    NWELL_DEPTH,
+    WAFER_THICKNESS,
+    LayerRole,
+    ProcessLayer,
+    WaferCrossSection,
+    cmos_08um_stack,
+)
+from .layout import (
+    LAYER_METAL2,
+    LAYER_NWELL,
+    MASK_BACKSIDE_ETCH,
+    MASK_DIELECTRIC_ETCH,
+    MASK_SILICON_ETCH,
+    Layout,
+    Rect,
+)
+from .array_layout import array_layout, die_area_for_array
+from .process import PostCMOSFlow, PostProcessResult
+from .variation import (
+    ProcessCorners,
+    VariationResult,
+    expected_frequency_spread,
+    monte_carlo_devices,
+    spec_window_for_yield,
+    yield_fraction,
+)
+from .release import ReleasedCantilever, fabricate_cantilever, stack_from_cross_section
+
+__all__ = [
+    "DesignRule",
+    "KOHEtch",
+    "LAYER_METAL2",
+    "LAYER_NWELL",
+    "LayerRole",
+    "Layout",
+    "MASK_BACKSIDE_ETCH",
+    "MASK_DIELECTRIC_ETCH",
+    "MASK_SILICON_ETCH",
+    "NWELL_DEPTH",
+    "PostCMOSFlow",
+    "PostProcessResult",
+    "ProcessCorners",
+    "VariationResult",
+    "expected_frequency_spread",
+    "monte_carlo_devices",
+    "spec_window_for_yield",
+    "yield_fraction",
+    "ProcessLayer",
+    "RIEStep",
+    "Rect",
+    "ReleasedCantilever",
+    "RuleDeck",
+    "Violation",
+    "WAFER_THICKNESS",
+    "WaferCrossSection",
+    "array_layout",
+    "die_area_for_array",
+    "cantilever_layout",
+    "cmos_08um_stack",
+    "dielectric_release_etch",
+    "fabricate_cantilever",
+    "post_cmos_rule_deck",
+    "silicon_release_etch",
+    "stack_from_cross_section",
+]

@@ -1,0 +1,137 @@
+"""Array-level layout: four cantilevers sharing one die (Fig. 4 system).
+
+The single-beam layout of :func:`repro.fabrication.drc.cantilever_layout`
+generalizes to the chip: four cantilevers in a row, each with its own
+outline trench and dielectric window, and the key *array-level* decision
+— one shared backside membrane versus four individual KOH pits.  The
+54.74-degree sidewalls make individual pits expensive (each needs
+~1.4 mm of die for a 0.7 mm membrane) and the spacing rule between
+backside openings makes them *impossible* below a minimum pitch, so
+real chips share one membrane; the generator supports both for the
+trade-off bench.
+"""
+
+from __future__ import annotations
+
+from ..errors import GeometryError
+from ..units import require_positive
+from .etch import KOHEtch
+from .layers import WAFER_THICKNESS
+from .layout import (
+    LAYER_NWELL,
+    MASK_BACKSIDE_ETCH,
+    MASK_DIELECTRIC_ETCH,
+    MASK_SILICON_ETCH,
+    Layout,
+    Rect,
+)
+
+
+def array_layout(
+    length: float,
+    width: float,
+    count: int = 4,
+    pitch: float | None = None,
+    trench_width: float = 20e-6,
+    membrane_margin: float = 50e-6,
+    shared_membrane: bool = True,
+    wafer_thickness: float = WAFER_THICKNESS,
+) -> Layout:
+    """Layout for a row of ``count`` cantilevers.
+
+    Parameters
+    ----------
+    pitch:
+        Beam-to-beam spacing [m]; defaults to ``width + 3 * trench_width``
+        (adjacent dielectric windows just clear each other).
+    shared_membrane:
+        One backside opening for the whole row (the practical choice) or
+        one KOH pit per beam (pedagogical, usually DRC-illegal below a
+        large pitch).
+    """
+    require_positive("length", length)
+    require_positive("width", width)
+    if count < 1:
+        raise GeometryError("array needs at least one cantilever")
+    if pitch is None:
+        pitch = width + 3.0 * trench_width
+    require_positive("pitch", pitch)
+    if pitch < width + 2.0 * trench_width:
+        raise GeometryError(
+            "pitch too small: adjacent outline trenches would merge"
+        )
+
+    layout = Layout()
+    t = trench_width
+    for i in range(count):
+        y0 = i * pitch  # beam centreline
+        # outline trench: two rails + tip bar, open at the clamp (x = 0)
+        layout.add(
+            MASK_SILICON_ETCH,
+            Rect(0.0, y0 - width / 2.0 - t, length + t, y0 - width / 2.0),
+        )
+        layout.add(
+            MASK_SILICON_ETCH,
+            Rect(0.0, y0 + width / 2.0, length + t, y0 + width / 2.0 + t),
+        )
+        layout.add(
+            MASK_SILICON_ETCH,
+            Rect(length, y0 - width / 2.0 - t, length + t, y0 + width / 2.0 + t),
+        )
+        # per-beam dielectric window
+        layout.add(
+            MASK_DIELECTRIC_ETCH,
+            Rect(
+                -5e-6,
+                y0 - width / 2.0 - t - 5e-6,
+                length + t + 5e-6,
+                y0 + width / 2.0 + t + 5e-6,
+            ),
+        )
+
+    row_height = (count - 1) * pitch + width + 2.0 * t
+
+    # n-well covers the whole membrane region
+    layout.add(
+        LAYER_NWELL,
+        Rect(
+            -membrane_margin,
+            -width / 2.0 - t - membrane_margin,
+            length + t + membrane_margin,
+            (count - 1) * pitch + width / 2.0 + t + membrane_margin,
+        ),
+    )
+
+    membrane_w = length + t + 2.0 * membrane_margin
+    if shared_membrane:
+        membrane_h = row_height + 2.0 * membrane_margin
+        opening_w = KOHEtch.mask_opening_for_membrane(membrane_w, wafer_thickness)
+        opening_h = KOHEtch.mask_opening_for_membrane(membrane_h, wafer_thickness)
+        cy = (count - 1) * pitch / 2.0
+        layout.add(
+            MASK_BACKSIDE_ETCH,
+            Rect.from_size(length / 2.0, cy, opening_w, opening_h),
+        )
+    else:
+        membrane_h = width + 2.0 * t + 2.0 * membrane_margin
+        opening_w = KOHEtch.mask_opening_for_membrane(membrane_w, wafer_thickness)
+        opening_h = KOHEtch.mask_opening_for_membrane(membrane_h, wafer_thickness)
+        for i in range(count):
+            layout.add(
+                MASK_BACKSIDE_ETCH,
+                Rect.from_size(length / 2.0, i * pitch, opening_w, opening_h),
+            )
+
+    return layout
+
+
+def die_area_for_array(layout: Layout, margin: float = 100e-6) -> float:
+    """Die area [m^2] demanded by the layout's backside mask plus margin.
+
+    The backside opening, not the beams, dominates the die budget — the
+    quantity the shared-vs-individual membrane bench compares.
+    """
+    box = layout.bounding_box(MASK_BACKSIDE_ETCH)
+    if box is None:
+        raise GeometryError("layout has no backside opening")
+    return (box.width + 2.0 * margin) * (box.height + 2.0 * margin)

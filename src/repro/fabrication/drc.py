@@ -1,0 +1,327 @@
+"""Design-rule checking for the three post-CMOS mask layers.
+
+The paper's cost argument rests on the added masks riding the standard
+physical-design flow, "so that the physical design verification, e.g.,
+design-rule checks, can be performed with respect to the CMOS layers".
+This module is that deck: geometric rules connecting the three
+micromachining masks to each other and to the CMOS layers (n-well,
+metal2, pads).
+
+Rules implemented:
+
+* minimum width per mask (etch openings below a minimum don't clear);
+* minimum spacing within a mask (ridges between openings collapse);
+* enclosure: the dielectric-etch opening must enclose the silicon-etch
+  trench (the silicon etch needs the dielectrics gone first);
+* enclosure: the n-well must enclose the silicon-etch outline (the etch
+  stop only exists under the well);
+* keep-out: metal2 (and pads) must not lie inside the dielectric-etch
+  window unless it is coil metal on the beam;
+* backside window size: the KOH opening must be large enough for the
+  sloped (111) sidewalls to reach the front with the required membrane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..errors import DesignRuleViolation
+from ..units import require_positive
+from .etch import KOHEtch
+from .layers import WAFER_THICKNESS
+from .layout import (
+    LAYER_NWELL,
+    LAYER_METAL2,
+    MASK_BACKSIDE_ETCH,
+    MASK_DIELECTRIC_ETCH,
+    MASK_SILICON_ETCH,
+    Layout,
+    Rect,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One design-rule violation."""
+
+    rule: str
+    layer: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.rule}] {self.layer}: {self.message}"
+
+
+@dataclass(frozen=True)
+class DesignRule:
+    """A named check over a layout."""
+
+    name: str
+    description: str
+    check: Callable[[Layout], list[Violation]]
+
+
+def _min_width_rule(layer: str, minimum: float) -> DesignRule:
+    require_positive("minimum", minimum)
+
+    def check(layout: Layout) -> list[Violation]:
+        violations = []
+        for i, shape in enumerate(layout.shapes(layer)):
+            if shape.min_dimension < minimum:
+                violations.append(
+                    Violation(
+                        rule=f"{layer}.min_width",
+                        layer=layer,
+                        message=(
+                            f"shape {i} min dimension "
+                            f"{shape.min_dimension * 1e6:.2f} um < "
+                            f"{minimum * 1e6:.2f} um"
+                        ),
+                    )
+                )
+        return violations
+
+    return DesignRule(
+        name=f"{layer}.min_width",
+        description=f"{layer} openings must be at least {minimum * 1e6:.1f} um wide",
+        check=check,
+    )
+
+
+def _min_spacing_rule(layer: str, minimum: float) -> DesignRule:
+    require_positive("minimum", minimum)
+
+    def check(layout: Layout) -> list[Violation]:
+        violations = []
+        shapes = layout.shapes(layer)
+        for i in range(len(shapes)):
+            for j in range(i + 1, len(shapes)):
+                # touching/overlapping shapes merge into one opening and
+                # are legal; only a thin *ridge* between openings fails.
+                gap = shapes[i].separation(shapes[j])
+                if 0.0 < gap < minimum:
+                    violations.append(
+                        Violation(
+                            rule=f"{layer}.min_spacing",
+                            layer=layer,
+                            message=(
+                                f"shapes {i} and {j} spaced "
+                                f"{gap * 1e6:.2f} um < {minimum * 1e6:.2f} um"
+                            ),
+                        )
+                    )
+        return violations
+
+    return DesignRule(
+        name=f"{layer}.min_spacing",
+        description=f"{layer} shapes must be {minimum * 1e6:.1f} um apart",
+        check=check,
+    )
+
+
+def _enclosure_rule(outer: str, inner: str, margin: float) -> DesignRule:
+    def check(layout: Layout) -> list[Violation]:
+        violations = []
+        outers = layout.shapes(outer)
+        for i, shape in enumerate(layout.shapes(inner)):
+            enclosed = any(
+                o.enclosure_of(shape) >= margin - 1e-12 for o in outers
+            )
+            if not enclosed:
+                violations.append(
+                    Violation(
+                        rule=f"{outer}.encloses.{inner}",
+                        layer=inner,
+                        message=(
+                            f"shape {i} not enclosed by any {outer} shape "
+                            f"with margin {margin * 1e6:.2f} um"
+                        ),
+                    )
+                )
+        return violations
+
+    return DesignRule(
+        name=f"{outer}.encloses.{inner}",
+        description=(
+            f"every {inner} shape needs {margin * 1e6:.1f} um of {outer} around it"
+        ),
+        check=check,
+    )
+
+
+def _keepout_rule(mask: str, victim: str) -> DesignRule:
+    def check(layout: Layout) -> list[Violation]:
+        violations = []
+        masks = layout.shapes(mask)
+        for i, shape in enumerate(layout.shapes(victim)):
+            for j, window in enumerate(masks):
+                if window.intersects(shape):
+                    violations.append(
+                        Violation(
+                            rule=f"{mask}.keepout.{victim}",
+                            layer=victim,
+                            message=(
+                                f"{victim} shape {i} intersects {mask} window {j}; "
+                                "unprotected metal is destroyed by the etch"
+                            ),
+                        )
+                    )
+        return violations
+
+    return DesignRule(
+        name=f"{mask}.keepout.{victim}",
+        description=f"{victim} must stay outside {mask} windows",
+        check=check,
+    )
+
+
+def _backside_window_rule(wafer_thickness: float) -> DesignRule:
+    def membrane_of(opening: Rect) -> Rect | None:
+        """Front-side membrane footprint of a backside opening."""
+        try:
+            w = KOHEtch.membrane_for_mask_opening(opening.width, wafer_thickness)
+            h = KOHEtch.membrane_for_mask_opening(opening.height, wafer_thickness)
+        except Exception:
+            return None  # pit self-terminates before reaching the front
+        cx, cy = opening.center
+        return Rect.from_size(cx, cy, w, h)
+
+    def check(layout: Layout) -> list[Violation]:
+        violations = []
+        membranes = [
+            m
+            for m in (
+                membrane_of(o) for o in layout.shapes(MASK_BACKSIDE_ETCH)
+            )
+            if m is not None
+        ]
+        for i, shape in enumerate(layout.shapes(MASK_SILICON_ETCH)):
+            if not any(m.contains(shape) for m in membranes):
+                violations.append(
+                    Violation(
+                        rule="backside.window_size",
+                        layer=MASK_SILICON_ETCH,
+                        message=(
+                            f"front-side etch shape {i} not covered by any "
+                            "backside opening's membrane (54.74-degree "
+                            "sidewalls shrink the opening by "
+                            f"{2.0 * wafer_thickness / 1.414 * 1e6:.0f} um "
+                            "per axis)"
+                        ),
+                    )
+                )
+        return violations
+
+    return DesignRule(
+        name="backside.window_size",
+        description=(
+            "every front-side etch shape must sit inside a KOH opening's "
+            "projected membrane (54.74-degree sidewalls)"
+        ),
+        check=check,
+    )
+
+
+class RuleDeck:
+    """An ordered collection of design rules."""
+
+    def __init__(self, rules: Iterable[DesignRule]) -> None:
+        self.rules = list(rules)
+
+    def check(self, layout: Layout) -> list[Violation]:
+        """All violations across all rules."""
+        violations: list[Violation] = []
+        for rule in self.rules:
+            violations.extend(rule.check(layout))
+        return violations
+
+    def verify(self, layout: Layout) -> None:
+        """Raise :class:`DesignRuleViolation` if anything fails."""
+        violations = self.check(layout)
+        if violations:
+            raise DesignRuleViolation(violations)
+
+    def rule_names(self) -> list[str]:
+        """Names of all rules in the deck."""
+        return [rule.name for rule in self.rules]
+
+
+def post_cmos_rule_deck(
+    wafer_thickness: float = WAFER_THICKNESS,
+) -> RuleDeck:
+    """The standard deck for the three added masks."""
+    return RuleDeck(
+        [
+            _min_width_rule(MASK_SILICON_ETCH, 4e-6),
+            _min_width_rule(MASK_DIELECTRIC_ETCH, 4e-6),
+            _min_width_rule(MASK_BACKSIDE_ETCH, 100e-6),
+            _min_spacing_rule(MASK_SILICON_ETCH, 4e-6),
+            _min_spacing_rule(MASK_BACKSIDE_ETCH, 200e-6),
+            _enclosure_rule(MASK_DIELECTRIC_ETCH, MASK_SILICON_ETCH, 2e-6),
+            _enclosure_rule(LAYER_NWELL, MASK_SILICON_ETCH, 5e-6),
+            _keepout_rule(MASK_DIELECTRIC_ETCH, LAYER_METAL2),
+            _backside_window_rule(wafer_thickness),
+        ]
+    )
+
+
+def cantilever_layout(
+    length: float,
+    width: float,
+    trench_width: float = 20e-6,
+    membrane_margin: float = 50e-6,
+    wafer_thickness: float = WAFER_THICKNESS,
+) -> Layout:
+    """A DRC-clean layout for one cantilever.
+
+    Builds the U-shaped outline trench (as its bounding frame), the
+    dielectric window over it, the enclosing n-well, and a correctly
+    sized backside opening — the reference pattern the DRC tests and
+    the FIG3 bench use.
+    """
+    require_positive("length", length)
+    require_positive("width", width)
+    layout = Layout()
+
+    # Outline trench: frame around the beam, open at the clamped (x=0) edge.
+    t = trench_width
+    layout.add(
+        MASK_SILICON_ETCH, Rect(0.0, -width / 2.0 - t, length + t, -width / 2.0)
+    )
+    layout.add(
+        MASK_SILICON_ETCH, Rect(0.0, width / 2.0, length + t, width / 2.0 + t)
+    )
+    layout.add(
+        MASK_SILICON_ETCH,
+        Rect(length, -width / 2.0 - t, length + t, width / 2.0 + t),
+    )
+
+    # Dielectric window encloses the whole moving structure.
+    layout.add(
+        MASK_DIELECTRIC_ETCH,
+        Rect(-5e-6, -width / 2.0 - t - 5e-6, length + t + 5e-6, width / 2.0 + t + 5e-6),
+    )
+
+    # n-well covers the membrane with margin.
+    layout.add(
+        LAYER_NWELL,
+        Rect(
+            -membrane_margin,
+            -width / 2.0 - t - membrane_margin,
+            length + t + membrane_margin,
+            width / 2.0 + t + membrane_margin,
+        ),
+    )
+
+    # Backside opening sized for the sloped sidewalls.
+    membrane_w = length + t + 2.0 * membrane_margin
+    membrane_h = width + 2.0 * t + 2.0 * membrane_margin
+    opening_w = KOHEtch.mask_opening_for_membrane(membrane_w, wafer_thickness)
+    opening_h = KOHEtch.mask_opening_for_membrane(membrane_h, wafer_thickness)
+    cx, cy = length / 2.0, 0.0
+    layout.add(
+        MASK_BACKSIDE_ETCH, Rect.from_size(cx, cy, opening_w, opening_h)
+    )
+
+    return layout

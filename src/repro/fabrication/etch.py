@@ -1,0 +1,210 @@
+"""Etch-step models: backside KOH with electrochemical etch stop, and RIE.
+
+"After completion of the CMOS process, a back-side anisotropic silicon
+etch is performed using potassium hydroxide (KOH) together with an
+electro-chemical etch-stop.  The pn-junction for this etch-stop is
+defined by the n-well diffusion layer of the CMOS-technology, providing
+a well-defined thickness of the crystalline silicon layer forming the
+cantilever.  The cantilever is released by two successive anisotropic
+front-side dry etch steps, which remove the dielectric layers and the
+bulk silicon, respectively."
+
+Models here:
+
+* **KOH etch** — (100) etch rate with Arrhenius temperature dependence,
+  the 54.74-degree (111) sidewall geometry relating backside mask
+  opening to the membrane size on the front, and the electrochemical
+  etch stop that halts at the n-well junction.
+* **RIE steps** — role-selective removal: step 1 takes the dielectric/
+  passivation stack inside its mask, step 2 takes the exposed silicon
+  membrane around the cantilever outline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import KOH_SIDEWALL_ANGLE_DEG
+from ..errors import FabricationError
+from ..units import require_positive
+from .layers import LayerRole, WaferCrossSection
+
+
+@dataclass(frozen=True)
+class KOHEtch:
+    """Anisotropic KOH etching of (100) silicon.
+
+    Parameters
+    ----------
+    concentration_percent:
+        KOH weight concentration (controls rate/roughness trade-off);
+        30 % is the classic micromachining point.
+    temperature:
+        Bath temperature [K].
+    """
+
+    concentration_percent: float = 30.0
+    temperature: float = 363.15  # 90 degC
+
+    #: Arrhenius parameters for the (100) rate, calibrated to the classic
+    #: Seidel-era operating point: 1.40 um/min at 90 degC / 30 wt%.
+    _rate_prefactor: float = 4.27  # m/s
+    _activation_energy_ev: float = 0.595
+
+    def __post_init__(self) -> None:
+        if not 10.0 <= self.concentration_percent <= 60.0:
+            raise FabricationError(
+                "KOH concentration must be 10-60 wt% for the rate model"
+            )
+        require_positive("temperature", self.temperature)
+
+    @property
+    def rate_100(self) -> float:
+        """(100) etch rate [m/s] at the configured bath conditions.
+
+        Arrhenius in temperature; the concentration dependence (weak and
+        non-monotonic) is folded in as the standard ``c^(1/4) (1 - c)``
+        shape normalized to the 30 % reference.
+        """
+        kb_ev = 8.617333262e-5
+        arrhenius = math.exp(
+            -self._activation_energy_ev / (kb_ev * self.temperature)
+        )
+        c = self.concentration_percent / 100.0
+        c_ref = 0.30
+        shape = (c**0.25 * (1.0 - c)) / (c_ref**0.25 * (1.0 - c_ref))
+        return self._rate_prefactor * arrhenius * shape
+
+    @property
+    def anisotropy(self) -> float:
+        """(100)/(111) rate ratio (~400 for 30 % KOH)."""
+        return 400.0
+
+    def etch_time(self, depth: float) -> float:
+        """Time [s] to reach a given depth on (100)."""
+        require_positive("depth", depth)
+        return depth / self.rate_100
+
+    def sidewall_undercut(self, depth: float) -> float:
+        """Lateral (111) undercut at a mask edge after etching ``depth`` [m]."""
+        require_positive("depth", depth)
+        return depth / self.anisotropy
+
+    @staticmethod
+    def mask_opening_for_membrane(membrane_size: float, etch_depth: float) -> float:
+        """Backside mask opening [m] for a target front-side membrane size.
+
+        The (111) sidewalls slope inward at 54.74 degrees, so the opening
+        must exceed the membrane by ``2 * depth / tan(54.74 deg)`` —
+        almost 1.5x the wafer thickness in total.  This is the rule the
+        DRC deck checks on the backside-etch mask.
+        """
+        require_positive("membrane_size", membrane_size)
+        require_positive("etch_depth", etch_depth)
+        slope = math.tan(math.radians(KOH_SIDEWALL_ANGLE_DEG))
+        return membrane_size + 2.0 * etch_depth / slope
+
+    @staticmethod
+    def membrane_for_mask_opening(opening: float, etch_depth: float) -> float:
+        """Front-side membrane size [m] from a backside opening.
+
+        Raises when the opening is too small to reach the front at all
+        (the pyramid self-terminates).
+        """
+        require_positive("opening", opening)
+        require_positive("etch_depth", etch_depth)
+        slope = math.tan(math.radians(KOH_SIDEWALL_ANGLE_DEG))
+        membrane = opening - 2.0 * etch_depth / slope
+        if membrane <= 0.0:
+            raise FabricationError(
+                f"backside opening {opening * 1e6:.1f} um self-terminates "
+                f"before reaching the front at depth {etch_depth * 1e6:.1f} um"
+            )
+        return membrane
+
+    def apply(self, section: WaferCrossSection) -> float:
+        """Run the backside etch with electrochemical etch stop.
+
+        Removes the substrate layer, leaving the n-well as the remaining
+        crystalline silicon (the etch stop passivates the junction at the
+        well).  Returns the etch time [s].
+
+        Raises when there is no n-well in the stack — the etch-stop
+        anode has nothing to hold and the etch would punch through.
+        """
+        names = section.layer_names()
+        if "nwell" not in names:
+            raise FabricationError(
+                "electrochemical etch stop requires an n-well in the stack"
+            )
+        if "substrate" not in names:
+            raise FabricationError("backside etch already performed")
+        depth = section.find("substrate").thickness
+        section.remove(
+            ["substrate"],
+            f"backside KOH etch ({self.concentration_percent:.0f} wt%, "
+            f"{self.temperature - 273.15:.0f} degC) with electrochemical "
+            "etch stop at the n-well junction",
+        )
+        return self.etch_time(depth)
+
+
+@dataclass(frozen=True)
+class RIEStep:
+    """One anisotropic front-side dry etch.
+
+    Parameters
+    ----------
+    name:
+        Step label for the process history.
+    target_roles:
+        Which layer roles this chemistry attacks (everything else is a
+        natural etch stop).
+    """
+
+    name: str
+    target_roles: tuple[LayerRole, ...]
+
+    def apply(self, section: WaferCrossSection) -> list[str]:
+        """Etch all target-role layers from the cross-section.
+
+        Returns the removed layer names.  Removing nothing raises:
+        running an etch that touches nothing indicates the flow is out
+        of order.
+        """
+        victims = [
+            layer.name for layer in section.layers if layer.role in self.target_roles
+        ]
+        if not victims:
+            raise FabricationError(
+                f"RIE step {self.name!r} found no layers of roles "
+                f"{[r.value for r in self.target_roles]} to remove"
+            )
+        section.remove(victims, f"front-side RIE: {self.name}")
+        return victims
+
+
+def dielectric_release_etch() -> RIEStep:
+    """First dry etch: removes dielectrics, polysilicon, metal and
+    passivation above the beam outline (everything that is not
+    crystalline silicon)."""
+    return RIEStep(
+        name="dielectric etch (CHF3/O2)",
+        target_roles=(
+            LayerRole.DIELECTRIC,
+            LayerRole.POLYSILICON,
+            LayerRole.METAL,
+            LayerRole.PASSIVATION,
+        ),
+    )
+
+
+def silicon_release_etch() -> RIEStep:
+    """Second dry etch: cuts the exposed membrane silicon, releasing the
+    beam (at the beam site itself the silicon stays — this step acts on
+    the *outline* trench, modeled as a neighbouring cross-section)."""
+    return RIEStep(
+        name="silicon etch (SF6)",
+        target_roles=(LayerRole.WELL, LayerRole.SUBSTRATE),
+    )

@@ -1,0 +1,230 @@
+"""The 0.8 um double-poly double-metal CMOS layer stack.
+
+"The cantilever-based biosensors are fabricated in a standard 0.8 um
+double-poly, double-metal CMOS process with post-CMOS micromachining."
+
+This module describes that process's vertical structure at the future
+cantilever site: bulk p-substrate, the n-well whose junction depth will
+define the beam thickness via the electrochemical etch stop, and the
+full dielectric/poly/metal back end.  The post-processing steps of
+:mod:`repro.fabrication.process` transform this stack; the released
+result feeds :class:`repro.mechanics.CantileverGeometry` directly.
+
+Thicknesses are representative of a 0.8 um-era industrial CMOS process
+(cf. the paper's ref [2], the ETH/austriamicrosystems process family).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import FabricationError
+from ..materials import Material, get_material
+from ..units import require_positive
+
+
+class LayerRole(enum.Enum):
+    """What a process layer does — drives which etch steps attack it."""
+
+    SUBSTRATE = "substrate"
+    WELL = "well"
+    DIELECTRIC = "dielectric"
+    POLYSILICON = "polysilicon"
+    METAL = "metal"
+    PASSIVATION = "passivation"
+
+
+@dataclass(frozen=True)
+class ProcessLayer:
+    """One layer of the as-fabricated wafer cross-section.
+
+    Parameters
+    ----------
+    name:
+        Process name ("nwell", "metal1", ...).
+    material:
+        Physical material (registry name or object).
+    thickness:
+        Layer thickness [m].
+    role:
+        Functional role, used by the etch models.
+    """
+
+    name: str
+    material: Material
+    thickness: float
+    role: LayerRole
+
+    def __post_init__(self) -> None:
+        if isinstance(self.material, str):
+            object.__setattr__(self, "material", get_material(self.material))
+        require_positive("thickness", self.thickness)
+
+
+#: Wafer (substrate) thickness of a 100 mm-era wafer [m].
+WAFER_THICKNESS: float = 525e-6
+
+#: Metallurgical n-well junction depth [m] — the electrochemical
+#: etch-stop plane, hence the released silicon beam thickness.
+NWELL_DEPTH: float = 5.0e-6
+
+
+def cmos_08um_stack(nwell_depth: float = NWELL_DEPTH) -> list[ProcessLayer]:
+    """The full cross-section at the cantilever site, bottom to top.
+
+    The n-well is carved out of the top of the substrate: substrate
+    thickness is reduced accordingly so the total equals
+    ``WAFER_THICKNESS`` below the dielectrics.
+    """
+    require_positive("nwell_depth", nwell_depth)
+    if nwell_depth >= WAFER_THICKNESS:
+        raise FabricationError("n-well depth cannot exceed the wafer thickness")
+    return [
+        ProcessLayer(
+            name="substrate",
+            material=get_material("silicon"),
+            thickness=WAFER_THICKNESS - nwell_depth,
+            role=LayerRole.SUBSTRATE,
+        ),
+        ProcessLayer(
+            name="nwell",
+            material=get_material("silicon"),
+            thickness=nwell_depth,
+            role=LayerRole.WELL,
+        ),
+        ProcessLayer(
+            name="field_oxide",
+            material=get_material("silicon_dioxide"),
+            thickness=0.6e-6,
+            role=LayerRole.DIELECTRIC,
+        ),
+        ProcessLayer(
+            name="poly1",
+            material=get_material("polysilicon"),
+            thickness=0.3e-6,
+            role=LayerRole.POLYSILICON,
+        ),
+        ProcessLayer(
+            name="interpoly_oxide",
+            material=get_material("silicon_dioxide"),
+            thickness=0.08e-6,
+            role=LayerRole.DIELECTRIC,
+        ),
+        ProcessLayer(
+            name="poly2",
+            material=get_material("polysilicon"),
+            thickness=0.3e-6,
+            role=LayerRole.POLYSILICON,
+        ),
+        ProcessLayer(
+            name="ild_oxide",
+            material=get_material("silicon_dioxide"),
+            thickness=0.9e-6,
+            role=LayerRole.DIELECTRIC,
+        ),
+        ProcessLayer(
+            name="metal1",
+            material=get_material("aluminum"),
+            thickness=0.6e-6,
+            role=LayerRole.METAL,
+        ),
+        ProcessLayer(
+            name="imd_oxide",
+            material=get_material("silicon_dioxide"),
+            thickness=1.0e-6,
+            role=LayerRole.DIELECTRIC,
+        ),
+        ProcessLayer(
+            name="metal2",
+            material=get_material("aluminum"),
+            thickness=1.0e-6,
+            role=LayerRole.METAL,
+        ),
+        ProcessLayer(
+            name="passivation",
+            material=get_material("silicon_nitride"),
+            thickness=1.0e-6,
+            role=LayerRole.PASSIVATION,
+        ),
+    ]
+
+
+class WaferCrossSection:
+    """Mutable layer stack at one lateral site, transformed by etch steps."""
+
+    def __init__(self, layers: list[ProcessLayer]) -> None:
+        if not layers:
+            raise FabricationError("a cross-section needs at least one layer")
+        self._layers = list(layers)
+        self._history: list[str] = ["as-fabricated CMOS stack"]
+
+    @property
+    def layers(self) -> tuple[ProcessLayer, ...]:
+        """Layers bottom-to-top."""
+        return tuple(self._layers)
+
+    @property
+    def history(self) -> tuple[str, ...]:
+        """Applied process steps, in order."""
+        return tuple(self._history)
+
+    @property
+    def total_thickness(self) -> float:
+        """Stack thickness [m]."""
+        return sum(layer.thickness for layer in self._layers)
+
+    def layer_names(self) -> list[str]:
+        """Layer names, bottom-to-top."""
+        return [layer.name for layer in self._layers]
+
+    def find(self, name: str) -> ProcessLayer:
+        """Look up a layer by name; raises if absent (e.g. already etched)."""
+        for layer in self._layers:
+            if layer.name == name:
+                return layer
+        raise FabricationError(f"layer {name!r} not present in the stack")
+
+    def remove(self, names: list[str], step_label: str) -> None:
+        """Etch away the named layers (ignoring already-absent ones).
+
+        The stack may end up empty — that is a through-hole, which is
+        exactly what the outline trench around the beam must become.
+        """
+        self._layers = [l for l in self._layers if l.name not in names]
+        self._history.append(step_label)
+
+    def thin(self, name: str, new_thickness: float, step_label: str) -> None:
+        """Reduce a layer's thickness (partial etch)."""
+        require_positive("new_thickness", new_thickness)
+        layer = self.find(name)
+        if new_thickness > layer.thickness:
+            raise FabricationError(
+                f"cannot thin {name!r} from {layer.thickness:.3g} m to "
+                f"{new_thickness:.3g} m (growth is not etching)"
+            )
+        index = self._layers.index(layer)
+        self._layers[index] = ProcessLayer(
+            name=layer.name,
+            material=layer.material,
+            thickness=new_thickness,
+            role=layer.role,
+        )
+        self._history.append(step_label)
+
+    def describe(self) -> str:
+        """Human-readable cross-section, bottom to top."""
+        lines = [f"cross-section ({len(self._layers)} layers):"]
+        for layer in self._layers:
+            lines.append(
+                f"  {layer.name:<16s} {layer.material.name:<16s} "
+                f"{layer.thickness * 1e6:9.3f} um  [{layer.role.value}]"
+            )
+        lines.append(f"  total: {self.total_thickness * 1e6:.3f} um")
+        return "\n".join(lines)
+
+    def copy(self) -> "WaferCrossSection":
+        """Independent copy (for before/after comparisons)."""
+        clone = WaferCrossSection(list(self._layers))
+        clone._history = list(self._history)
+        return clone

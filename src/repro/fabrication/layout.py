@@ -1,0 +1,158 @@
+"""Rectangle-based layout primitives for the post-CMOS mask layers.
+
+"The design of the three additional mask layers is completely integrated
+in the physical design flow of the CMOS technology, so that the physical
+design verification, e.g., design-rule checks, can be performed with
+respect to the CMOS layers."
+
+The three added masks are (1) the backside KOH etch window, (2) the
+front-side dielectric-etch opening, and (3) the front-side silicon-etch
+trench defining the cantilever outline.  The library models masks as
+named sets of axis-aligned rectangles — enough to express every rule the
+deck in :mod:`repro.fabrication.drc` checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+
+#: Canonical names of the three post-CMOS masks.
+MASK_BACKSIDE_ETCH = "backside_etch"
+MASK_DIELECTRIC_ETCH = "dielectric_etch"
+MASK_SILICON_ETCH = "silicon_etch"
+
+#: CMOS layers the post-masks interact with in the DRC deck.
+LAYER_NWELL = "nwell"
+LAYER_METAL2 = "metal2"
+LAYER_PAD = "pad"
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle, coordinates in metres.
+
+    ``(x0, y0)`` is the lower-left corner, ``(x1, y1)`` the upper-right.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise GeometryError(
+                f"degenerate rectangle ({self.x0}, {self.y0}, {self.x1}, {self.y1})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along x [m]."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        """Extent along y [m]."""
+        return self.y1 - self.y0
+
+    @property
+    def min_dimension(self) -> float:
+        """Smaller of width and height [m]."""
+        return min(self.width, self.height)
+
+    @property
+    def area(self) -> float:
+        """Area [m^2]."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> tuple[float, float]:
+        """Centre point (x, y)."""
+        return (0.5 * (self.x0 + self.x1), 0.5 * (self.y0 + self.y1))
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the interiors overlap (edge contact is not overlap)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True when ``other`` lies fully inside (or on the edge of) self."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and self.x1 >= other.x1
+            and self.y1 >= other.y1
+        )
+
+    def enclosure_of(self, other: "Rect") -> float:
+        """Smallest margin by which self encloses ``other`` [m].
+
+        Negative when ``other`` pokes out on some side.
+        """
+        return min(
+            other.x0 - self.x0,
+            other.y0 - self.y0,
+            self.x1 - other.x1,
+            self.y1 - other.y1,
+        )
+
+    def separation(self, other: "Rect") -> float:
+        """Gap between two rectangles [m]; 0 when they touch or overlap."""
+        dx = max(0.0, max(self.x0, other.x0) - min(self.x1, other.x1))
+        dy = max(0.0, max(self.y0, other.y0) - min(self.y1, other.y1))
+        return (dx**2 + dy**2) ** 0.5
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side."""
+        return Rect(
+            self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin
+        )
+
+    @classmethod
+    def from_size(
+        cls, center_x: float, center_y: float, width: float, height: float
+    ) -> "Rect":
+        """Construct from centre and dimensions."""
+        return cls(
+            center_x - width / 2.0,
+            center_y - height / 2.0,
+            center_x + width / 2.0,
+            center_y + height / 2.0,
+        )
+
+
+class Layout:
+    """Named mask layers, each a list of rectangles."""
+
+    def __init__(self) -> None:
+        self._layers: dict[str, list[Rect]] = {}
+
+    def add(self, layer: str, rect: Rect) -> None:
+        """Add a shape to a mask layer."""
+        self._layers.setdefault(layer, []).append(rect)
+
+    def shapes(self, layer: str) -> list[Rect]:
+        """Shapes on a layer (empty list when the layer is unused)."""
+        return list(self._layers.get(layer, []))
+
+    def layer_names(self) -> list[str]:
+        """All populated layer names, sorted."""
+        return sorted(self._layers)
+
+    def bounding_box(self, layer: str) -> Rect | None:
+        """Bounding box of a layer, or ``None`` when empty."""
+        shapes = self.shapes(layer)
+        if not shapes:
+            return None
+        return Rect(
+            min(s.x0 for s in shapes),
+            min(s.y0 for s in shapes),
+            max(s.x1 for s in shapes),
+            max(s.y1 for s in shapes),
+        )

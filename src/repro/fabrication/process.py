@@ -1,0 +1,108 @@
+"""The post-CMOS micromachining flow (Fig. 3).
+
+Runs the three post-CMOS steps on wafer cross-sections and reports the
+before/after states the paper's Figure 3 sketches:
+
+1. backside KOH etch with electrochemical etch stop (wafer-level),
+2. front-side RIE of the dielectric stack over the cantilever,
+3. front-side RIE of the membrane silicon around the outline.
+
+Two lateral sites are tracked: the **beam site** (becomes the released
+cantilever: silicon, optionally with retained dielectrics for a
+passivated variant) and the **trench site** (the outline around the
+beam, which must clear completely for the beam to be free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..units import require_positive
+from .etch import KOHEtch, dielectric_release_etch, silicon_release_etch
+from .layers import (
+    LayerRole,
+    ProcessLayer,
+    WaferCrossSection,
+    cmos_08um_stack,
+)
+
+
+@dataclass
+class PostProcessResult:
+    """Everything the post-CMOS flow produced.
+
+    Attributes
+    ----------
+    before:
+        The as-fabricated CMOS cross-section at the beam site.
+    beam_site:
+        Cross-section at the cantilever after all steps.
+    trench_site:
+        Cross-section at the outline trench (must be empty of silicon).
+    koh_time:
+        Duration of the backside etch [s].
+    released:
+        True when the trench cleared and a free beam exists.
+    """
+
+    before: WaferCrossSection
+    beam_site: WaferCrossSection
+    trench_site: WaferCrossSection
+    koh_time: float
+    released: bool
+
+
+@dataclass(frozen=True)
+class PostCMOSFlow:
+    """The complete post-CMOS micromachining recipe.
+
+    Parameters
+    ----------
+    koh:
+        Backside etch configuration.
+    keep_dielectrics_on_beam:
+        When True, the first front-side etch spares the beam site
+        (dielectrics stay on the cantilever — heavier, stiffer variant
+        used when circuit layers must ride on the beam, e.g. the coil).
+    nwell_depth:
+        n-well junction depth [m]: the released silicon thickness.
+    """
+
+    koh: KOHEtch = field(default_factory=KOHEtch)
+    keep_dielectrics_on_beam: bool = False
+    nwell_depth: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive("nwell_depth", self.nwell_depth)
+
+    def run(self) -> PostProcessResult:
+        """Execute the flow on fresh cross-sections."""
+        beam = WaferCrossSection(cmos_08um_stack(self.nwell_depth))
+        before = beam.copy()
+        trench = WaferCrossSection(cmos_08um_stack(self.nwell_depth))
+
+        # Step 1: backside KOH (acts on the whole membrane region).
+        koh_time = self.koh.apply(beam)
+        self.koh.apply(trench)
+
+        # Step 2: front-side dielectric RIE.
+        dielectric_etch = dielectric_release_etch()
+        dielectric_etch.apply(trench)
+        if not self.keep_dielectrics_on_beam:
+            dielectric_etch.apply(beam)
+
+        # Step 3: front-side silicon RIE cuts the outline trench.
+        silicon_release_etch().apply(trench)
+
+        released = all(
+            layer.role not in (LayerRole.WELL, LayerRole.SUBSTRATE)
+            for layer in trench.layers
+        ) if trench.layers else True
+
+        return PostProcessResult(
+            before=before,
+            beam_site=beam,
+            trench_site=trench,
+            koh_time=koh_time,
+            released=released,
+        )

@@ -1,0 +1,104 @@
+"""From process flow to mechanical cantilever geometry.
+
+The bridge between fabrication and mechanics: run the post-CMOS flow,
+convert the surviving beam-site layers into a
+:class:`~repro.mechanics.composite.LayerStack`, and attach the drawn
+lateral dimensions to produce the :class:`CantileverGeometry` every
+downstream model consumes.  This is the library's answer to "the n-well
+diffusion layer ... providing a well-defined thickness of the
+crystalline silicon layer forming the cantilever".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FabricationError
+from ..mechanics.composite import Layer, LayerStack
+from ..mechanics.geometry import CantileverGeometry
+from ..units import require_positive
+from .etch import KOHEtch
+from .layers import LayerRole, WaferCrossSection
+from .process import PostCMOSFlow, PostProcessResult
+
+
+def stack_from_cross_section(section: WaferCrossSection) -> LayerStack:
+    """Convert a processed cross-section into a mechanical layer stack.
+
+    Raises when bulk substrate is still present (the backside etch has
+    not run — a 525 um "cantilever" is a die, not a beam).
+    """
+    roles = [layer.role for layer in section.layers]
+    if LayerRole.SUBSTRATE in roles:
+        raise FabricationError(
+            "cross-section still contains bulk substrate; run the backside "
+            "etch before deriving beam mechanics"
+        )
+    return LayerStack(
+        [
+            Layer(material=layer.material, thickness=layer.thickness)
+            for layer in section.layers
+        ]
+    )
+
+
+@dataclass(frozen=True)
+class ReleasedCantilever:
+    """A fabricated cantilever: geometry plus its fabrication record."""
+
+    geometry: CantileverGeometry
+    process: PostProcessResult
+    backside_opening: float
+
+    @property
+    def silicon_thickness(self) -> float:
+        """Thickness of the crystalline-silicon layer [m]."""
+        for layer in self.process.beam_site.layers:
+            if layer.role == LayerRole.WELL:
+                return layer.thickness
+        raise FabricationError("released beam has no crystalline silicon")
+
+
+def fabricate_cantilever(
+    length: float,
+    width: float,
+    flow: PostCMOSFlow | None = None,
+    membrane_margin: float = 50e-6,
+) -> ReleasedCantilever:
+    """Run the full post-CMOS flow and return the released cantilever.
+
+    Parameters
+    ----------
+    length / width:
+        Drawn cantilever dimensions [m].
+    flow:
+        Process recipe; defaults to the bare-silicon-beam flow with the
+        standard 5 um n-well.
+    membrane_margin:
+        Extra membrane clearance around the beam on each side [m], used
+        to size the backside mask opening.
+
+    Raises
+    ------
+    FabricationError
+        If the trench failed to clear (beam not released).
+    """
+    require_positive("length", length)
+    require_positive("width", width)
+    require_positive("membrane_margin", membrane_margin)
+    flow = flow or PostCMOSFlow()
+
+    result = flow.run()
+    if not result.released:
+        raise FabricationError("outline trench did not clear; beam not released")
+
+    stack = stack_from_cross_section(result.beam_site)
+    geometry = CantileverGeometry(length=length, width=width, stack=stack)
+
+    etch_depth = result.before.find("substrate").thickness
+    membrane_size = max(length, width) + 2.0 * membrane_margin
+    opening = KOHEtch.mask_opening_for_membrane(membrane_size, etch_depth)
+
+    return ReleasedCantilever(
+        geometry=geometry, process=result, backside_opening=opening
+    )

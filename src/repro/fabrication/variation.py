@@ -1,0 +1,171 @@
+"""Process variation: wafer-level spread of the released devices.
+
+The electrochemical etch stop gives a "well-defined thickness", but
+well-defined is not identical: the n-well drive-in varies a few percent
+across a wafer, lithography biases the drawn length/width, and the KOH
+bath temperature wanders.  This module Monte-Carlo-samples those knobs
+through the full fabrication model and reports the resulting device
+spread — resonant frequency, stiffness, static responsivity — the
+numbers that decide whether devices need per-die calibration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..mechanics.beam import spring_constant
+from ..mechanics.modal import natural_frequency
+from ..mechanics.surface_stress import tip_deflection
+from ..units import require_nonnegative, require_positive
+from .process import PostCMOSFlow
+from .release import fabricate_cantilever
+
+
+@dataclass(frozen=True)
+class ProcessCorners:
+    """1-sigma fractional variations of the fabrication knobs.
+
+    Defaults are representative of a 0.8 um-era process: the n-well
+    depth (the thickness knob) at 3 %, lithographic length/width bias at
+    0.2 % / 1 % of the drawn dimension.
+    """
+
+    nwell_depth_sigma: float = 0.03
+    length_sigma: float = 0.002
+    width_sigma: float = 0.01
+
+    def __post_init__(self) -> None:
+        require_nonnegative("nwell_depth_sigma", self.nwell_depth_sigma)
+        require_nonnegative("length_sigma", self.length_sigma)
+        require_nonnegative("width_sigma", self.width_sigma)
+
+
+@dataclass
+class VariationResult:
+    """Monte-Carlo sample of device parameters across a wafer."""
+
+    frequencies: np.ndarray
+    spring_constants: np.ndarray
+    static_responsivities: np.ndarray
+
+    def frequency_spread_ppm(self) -> float:
+        """1-sigma fractional frequency spread [ppm]."""
+        return float(
+            np.std(self.frequencies) / np.mean(self.frequencies) * 1e6
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Mean / sigma of every tracked parameter."""
+        return {
+            "f_mean_Hz": float(np.mean(self.frequencies)),
+            "f_sigma_Hz": float(np.std(self.frequencies)),
+            "f_spread_ppm": self.frequency_spread_ppm(),
+            "k_mean_N_per_m": float(np.mean(self.spring_constants)),
+            "k_sigma_N_per_m": float(np.std(self.spring_constants)),
+            "resp_sigma_frac": float(
+                np.std(self.static_responsivities)
+                / np.mean(self.static_responsivities)
+            ),
+        }
+
+
+def monte_carlo_devices(
+    length: float,
+    width: float,
+    corners: ProcessCorners | None = None,
+    samples: int = 100,
+    seed: int = 2718,
+    nominal_nwell: float = 5.0e-6,
+) -> VariationResult:
+    """Fabricate ``samples`` devices with randomized process knobs.
+
+    Each sample runs the *full* flow (etch stop, release, geometry), so
+    correlations between outputs are physical, not assumed.
+    """
+    require_positive("length", length)
+    require_positive("width", width)
+    if samples < 2:
+        raise ValueError("need at least 2 Monte-Carlo samples")
+    corners = corners or ProcessCorners()
+    rng = np.random.default_rng(seed)
+
+    frequencies = np.empty(samples)
+    ks = np.empty(samples)
+    responsivities = np.empty(samples)
+    for i in range(samples):
+        depth = nominal_nwell * (
+            1.0 + corners.nwell_depth_sigma * rng.standard_normal()
+        )
+        l_i = length * (1.0 + corners.length_sigma * rng.standard_normal())
+        w_i = width * (1.0 + corners.width_sigma * rng.standard_normal())
+        device = fabricate_cantilever(
+            l_i, w_i, PostCMOSFlow(nwell_depth=max(depth, 0.5e-6))
+        )
+        frequencies[i] = natural_frequency(device.geometry)
+        ks[i] = spring_constant(device.geometry)
+        responsivities[i] = abs(tip_deflection(device.geometry, 1e-3))
+
+    return VariationResult(
+        frequencies=frequencies,
+        spring_constants=ks,
+        static_responsivities=responsivities,
+    )
+
+
+def yield_fraction(
+    result: VariationResult,
+    f_low: float,
+    f_high: float,
+) -> float:
+    """Fraction of sampled devices whose f1 lands inside a spec window.
+
+    The practical question behind EXT3: if the loop's lock range (or a
+    shared reference oscillator plan) demands the resonance within
+    [f_low, f_high], what does the process deliver?
+    """
+    if f_high <= f_low:
+        raise ValueError("need f_high > f_low")
+    inside = np.logical_and(
+        result.frequencies >= f_low, result.frequencies <= f_high
+    )
+    return float(np.mean(inside))
+
+
+def spec_window_for_yield(
+    result: VariationResult, target_yield: float = 0.95
+) -> tuple[float, float]:
+    """Symmetric frequency window around the mean that captures the target.
+
+    Returns (f_low, f_high); the spec a test-floor engineer would write
+    down from the Monte-Carlo data.
+    """
+    if not 0.0 < target_yield <= 1.0:
+        raise ValueError("target_yield must be in (0, 1]")
+    mean = float(np.mean(result.frequencies))
+    deviations = np.sort(np.abs(result.frequencies - mean))
+    index = min(
+        int(math.ceil(target_yield * len(deviations))) - 1,
+        len(deviations) - 1,
+    )
+    half = float(deviations[max(index, 0)])
+    return (mean - half, mean + half)
+
+
+def expected_frequency_spread(
+    corners: ProcessCorners | None = None,
+) -> float:
+    """First-order fractional frequency spread from the corner sigmas.
+
+    ``f ~ t / L^2`` gives
+    ``sigma_f/f = sqrt(sigma_t^2 + (2 sigma_L)^2)`` (width cancels);
+    the analytic check the Monte Carlo must agree with.
+    """
+    corners = corners or ProcessCorners()
+    return float(
+        np.sqrt(
+            corners.nwell_depth_sigma**2 + (2.0 * corners.length_sigma) ** 2
+        )
+    )

@@ -1,0 +1,27 @@
+"""The resonant feedback loop: time-domain simulation and loop analysis."""
+
+from .agc import (
+    AmplitudePrediction,
+    GainAdaptation,
+    adapt_to_damping,
+    predict_amplitude,
+    predicted_startup_time,
+)
+from .barkhausen import BarkhausenResult, analyze, loop_gain
+from .loop import LoopRecord, ResonantFeedbackLoop, displacement_to_stress_gain
+from .multimode import MultiModeLoop
+
+__all__ = [
+    "AmplitudePrediction",
+    "BarkhausenResult",
+    "GainAdaptation",
+    "LoopRecord",
+    "MultiModeLoop",
+    "ResonantFeedbackLoop",
+    "adapt_to_damping",
+    "analyze",
+    "displacement_to_stress_gain",
+    "loop_gain",
+    "predict_amplitude",
+    "predicted_startup_time",
+]

@@ -1,0 +1,326 @@
+"""The resonant feedback loop of Fig. 5, simulated in the time domain.
+
+The loop closes the full physical path:
+
+    cantilever tip displacement
+      -> surface stress at the clamped-edge PMOS bridge
+      -> bridge differential voltage (plus its thermal + 1/f noise)
+      -> DDA instrumentation amplifier
+      -> high-pass filters (LF-noise damping)
+      -> +90-degree phase conditioning
+      -> variable-gain amplifier
+      -> non-linear limiting amplifier
+      -> class-AB buffer
+      -> coil current -> Lorentz tip force
+      -> cantilever dynamics (exact ZOH integration)
+
+Every stage is the corresponding block from :mod:`repro.circuits` /
+:mod:`repro.actuation`, stepped sample-by-sample, so every claimed
+behaviour of the paper — startup, amplitude limiting, gain adjustment to
+liquid damping, LF-noise suppression — emerges from the same simulation
+rather than being asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..actuation.lorentz import LorentzActuator
+from ..circuits.buffer import ClassABBuffer
+from ..circuits.dda import DDAInstrumentationAmplifier
+from ..circuits.filters import HighPassFilter
+from ..circuits.limiter import LimitingAmplifier
+from ..circuits.noise import amplifier_input_noise
+from ..circuits.phase import PhaseLead
+from ..circuits.signal import Signal
+from ..circuits.vga import VariableGainAmplifier
+from ..errors import OscillationError
+from ..mechanics.dynamics import ModalResonator
+from ..transduction.placement import BridgePlacement, CLAMPED_EDGE, bridge_average_stress
+from ..transduction.wheatstone import WheatstoneBridge
+from ..units import require_positive
+
+
+@dataclass
+class LoopRecord:
+    """Waveforms captured during a closed-loop run."""
+
+    times: np.ndarray
+    displacement: np.ndarray
+    bridge_voltage: np.ndarray
+    limiter_input: np.ndarray
+    limiter_output: np.ndarray
+    drive_voltage: np.ndarray
+    sample_rate: float
+
+    def displacement_signal(self) -> Signal:
+        """Tip displacement as a Signal [m]."""
+        return Signal(self.displacement, self.sample_rate)
+
+    def bridge_signal(self) -> Signal:
+        """Bridge output as a Signal [V]."""
+        return Signal(self.bridge_voltage, self.sample_rate)
+
+    def limiter_input_signal(self) -> Signal:
+        """Pre-limiter node as a Signal [V] — where the high-pass
+        filters' low-frequency cleanup is visible."""
+        return Signal(self.limiter_input, self.sample_rate)
+
+    def drive_signal(self) -> Signal:
+        """Buffer output as a Signal [V]."""
+        return Signal(self.drive_voltage, self.sample_rate)
+
+    def steady_amplitude(self, tail_fraction: float = 0.25) -> float:
+        """Tip oscillation amplitude over the trailing fraction [m]."""
+        n = len(self.displacement)
+        tail = self.displacement[int(n * (1.0 - tail_fraction)):]
+        return float(np.sqrt(2.0) * np.std(tail))
+
+
+class ResonantFeedbackLoop:
+    """Closed-loop oscillator around one cantilever mode.
+
+    Parameters
+    ----------
+    resonator:
+        The cantilever mode (vacuum or fluid-loaded parameters).
+    bridge:
+        The PMOS Wheatstone bridge at the clamped edge.
+    displacement_to_stress:
+        Longitudinal bridge-average surface stress per metre of tip
+        displacement [Pa/m]; compute with
+        :func:`displacement_to_stress_gain`.
+    actuator:
+        Coil + magnet converting drive voltage to tip force.
+    dda / highpasses / phase_lead / vga / limiter / buffer:
+        The electrical chain of Fig. 5; any may be replaced for
+        ablations (e.g. no high-pass filters).
+    include_bridge_noise:
+        Synthesize the bridge's thermal + 1/f noise into the loop.
+    seed:
+        RNG seed for noise realizations.
+    """
+
+    def __init__(
+        self,
+        resonator: ModalResonator,
+        bridge: WheatstoneBridge,
+        displacement_to_stress: float,
+        actuator: LorentzActuator,
+        dda: DDAInstrumentationAmplifier | None = None,
+        highpasses: list[HighPassFilter] | None = None,
+        phase_lead: PhaseLead | None = None,
+        vga: VariableGainAmplifier | None = None,
+        limiter: LimitingAmplifier | None = None,
+        buffer: ClassABBuffer | None = None,
+        include_bridge_noise: bool = True,
+        seed: int = 1234,
+    ) -> None:
+        self.resonator = resonator
+        self.bridge = bridge
+        self.displacement_to_stress = require_positive(
+            "displacement_to_stress", abs(displacement_to_stress)
+        )
+        self.actuator = actuator
+
+        f0 = resonator.natural_frequency
+        self.dda = dda if dda is not None else DDAInstrumentationAmplifier(
+            feedback_r2=9e3, noise_density=0.0
+        )
+        self.highpasses = (
+            highpasses
+            if highpasses is not None
+            else [HighPassFilter(f0 / 20.0), HighPassFilter(f0 / 20.0)]
+        )
+        self.phase_lead = phase_lead if phase_lead is not None else PhaseLead(f0)
+        self.vga = vga if vga is not None else VariableGainAmplifier()
+        self.buffer = (
+            buffer
+            if buffer is not None
+            else ClassABBuffer(
+                load_resistance=self.actuator.coil.resistance,
+                max_current=self.actuator.coil.max_current,
+            )
+        )
+        # The limiter must saturate *below* the buffer's current-limit
+        # ceiling, otherwise the class-AB clip (not the designed
+        # non-linearity) would set the amplitude.
+        self.limiter = (
+            limiter
+            if limiter is not None
+            else LimitingAmplifier(2.0, 0.5 * self.buffer.max_output_voltage)
+        )
+        self.include_bridge_noise = include_bridge_noise
+        self.seed = seed
+
+    # -- gains -------------------------------------------------------------------
+
+    @property
+    def displacement_to_voltage(self) -> float:
+        """Bridge output per metre of tip displacement [V/m]."""
+        return abs(self.bridge.sensitivity()) * self.displacement_to_stress
+
+    def electrical_gain_at(self, frequency: float, sample_rate: float) -> complex:
+        """Complex gain of the electrical chain at one frequency."""
+        f = np.asarray([frequency])
+        gain = complex(self.dda.gain, 0.0)
+        if self.dda.gbw is not None:
+            gain /= 1.0 + 1j * frequency / self.dda.bandwidth
+        for hp in self.highpasses:
+            gain *= hp.response(f, sample_rate)[0]
+        gain *= self.phase_lead.response(f, sample_rate)[0]
+        gain *= self.vga.gain
+        gain *= self.limiter.small_signal_gain
+        return gain
+
+    def loop_gain_at_resonance(self, sample_rate: float) -> complex:
+        """Small-signal Barkhausen loop gain at the resonator frequency.
+
+        |value| > 1 with phase near 0 means the loop starts up.
+        """
+        f0 = self.resonator.natural_frequency
+        mech = self.resonator.transfer_function(np.asarray([f0]))[0]
+        elec = self.electrical_gain_at(f0, sample_rate)
+        return (
+            self.displacement_to_voltage
+            * elec
+            * self.actuator.force_per_volt
+            * mech
+        )
+
+    def required_vga_gain(self, sample_rate: float, startup_factor: float = 3.0) -> float:
+        """VGA gain needed for |loop gain| = ``startup_factor``."""
+        require_positive("startup_factor", startup_factor)
+        current = abs(self.loop_gain_at_resonance(sample_rate))
+        if current == 0.0:
+            raise OscillationError("loop gain is zero; check the chain")
+        return self.vga.gain * startup_factor / current
+
+    def auto_gain(self, sample_rate: float, startup_factor: float = 3.0) -> float:
+        """Program the VGA for reliable startup; returns the set gain.
+
+        Raises :class:`OscillationError` (via the VGA) when the damping
+        is too heavy for the available range — the real failure mode in
+        viscous samples.
+        """
+        needed = self.required_vga_gain(sample_rate, startup_factor)
+        return self.vga.set_gain_at_least(needed)
+
+    # -- simulation -----------------------------------------------------------------
+
+    def run(
+        self,
+        duration: float,
+        initial_kick: float | None = None,
+    ) -> LoopRecord:
+        """Close the loop for ``duration`` seconds.
+
+        Parameters
+        ----------
+        initial_kick:
+            Initial tip displacement [m]; defaults to a thermal-scale
+            1 pm so startup happens from noise-level motion, as on the
+            real chip.
+        """
+        require_positive("duration", duration)
+        h = self.resonator.timestep
+        sample_rate = 1.0 / h
+        n = max(2, int(round(duration * sample_rate)))
+
+        for hp in self.highpasses:
+            hp.prepare(sample_rate)
+        self.phase_lead.prepare(sample_rate)
+        self.dda.prepare(sample_rate)
+        self.buffer.prepare(sample_rate)
+
+        if initial_kick is None:
+            initial_kick = 1e-12
+        self.resonator.reset(displacement=initial_kick)
+
+        if self.include_bridge_noise:
+            rng = np.random.default_rng(self.seed)
+            psd_white = float(
+                self.bridge.noise_psd(np.asarray([self.resonator.natural_frequency]))[0]
+            )
+            corner = self.bridge.corner_frequency()
+            bridge_noise = amplifier_input_noise(
+                psd_white / (1.0 + corner / self.resonator.natural_frequency),
+                corner,
+                n,
+                sample_rate,
+                rng,
+            )
+        else:
+            bridge_noise = np.zeros(n)
+
+        k_dv = self.displacement_to_voltage
+        sign = 1.0 if self.bridge.sensitivity() >= 0.0 else -1.0
+
+        times = np.arange(n) * h
+        displacement = np.empty(n)
+        bridge_voltage = np.empty(n)
+        limiter_input = np.empty(n)
+        limiter_output = np.empty(n)
+        drive_voltage = np.empty(n)
+
+        x = self.resonator.state.displacement
+        for i in range(n):
+            v_bridge = sign * k_dv * x + bridge_noise[i]
+            v = self.dda.step(v_bridge)
+            for hp in self.highpasses:
+                v = hp.step(v)
+            v = self.phase_lead.step(v)
+            v = self.vga.step(v)
+            v_lim = self.limiter.step(v)
+            v_drive = self.buffer.step(v_lim)
+            force = float(self.actuator.tip_force_from_voltage(v_drive))
+            x = self.resonator.step(force)
+
+            displacement[i] = x
+            bridge_voltage[i] = v_bridge
+            limiter_input[i] = v
+            limiter_output[i] = v_lim
+            drive_voltage[i] = v_drive
+
+        return LoopRecord(
+            times=times,
+            displacement=displacement,
+            bridge_voltage=bridge_voltage,
+            limiter_input=limiter_input,
+            limiter_output=limiter_output,
+            drive_voltage=drive_voltage,
+            sample_rate=sample_rate,
+        )
+
+    def reset(self) -> None:
+        """Clear all loop state for a fresh run."""
+        self.dda.reset()
+        for hp in self.highpasses:
+            hp.reset()
+        self.phase_lead.reset()
+        self.limiter.reset()
+        self.buffer.reset()
+        self.resonator.reset()
+
+
+def displacement_to_stress_gain(
+    geometry,
+    placement: BridgePlacement = CLAMPED_EDGE,
+    mode: int = 1,
+) -> float:
+    """Bridge-average longitudinal stress per metre of tip displacement.
+
+    [Pa/m]; multiply by the bridge's V/Pa sensitivity for the loop's
+    displacement-to-voltage gain.
+    """
+    return abs(
+        bridge_average_stress(
+            geometry,
+            placement,
+            operation="resonant",
+            tip_amplitude=1.0,
+            mode=mode,
+        )
+    )

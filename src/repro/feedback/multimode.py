@@ -1,0 +1,163 @@
+"""Multi-mode loop dynamics: which mode does the oscillator pick?
+
+The real cantilever has *many* modes inside the electrical chain's
+bandwidth, and a self-oscillating loop locks onto whichever satisfies
+Barkhausen with the most margin — a classic design trap: a loop meant
+to run on mode 1 can wake up on mode 2 if the filters leave it more
+gain.  This module closes the Fig. 5 loop around several modes at once:
+
+* each mode advances with its own exact-ZOH propagator (the modes are
+  orthogonal, so the mechanics stay block-diagonal);
+* the bridge output sums the modes' contributions with their own
+  displacement-to-stress gains (mode curvature at the bridge);
+* the Lorentz tip force drives every mode (tip-normalized shapes all
+  see the tip force with weight 1).
+
+EXT10 demonstrates mode *selection by filtering*: identical hardware,
+two filter configurations, two different winning modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..actuation.lorentz import LorentzActuator
+from ..circuits.signal import Signal
+from ..errors import OscillationError
+from ..mechanics.dynamics import ModalResonator
+from ..transduction.placement import CLAMPED_EDGE
+from ..transduction.wheatstone import WheatstoneBridge
+from ..units import require_positive
+from .loop import ResonantFeedbackLoop, displacement_to_stress_gain
+
+
+class MultiModeLoop:
+    """The Fig. 5 loop closed around several cantilever modes at once.
+
+    Parameters
+    ----------
+    resonators:
+        One :class:`ModalResonator` per mode, all sharing the *same*
+        timestep (enforced).
+    mode_gains:
+        Bridge stress-per-displacement gain of each mode [Pa/m] at the
+        clamped-edge placement.
+    loop:
+        The electrical chain (a :class:`ResonantFeedbackLoop` whose
+        resonator field is ignored except for the timestep reference).
+    """
+
+    def __init__(
+        self,
+        resonators: list[ModalResonator],
+        mode_gains: list[float],
+        loop: ResonantFeedbackLoop,
+    ) -> None:
+        if not resonators or len(resonators) != len(mode_gains):
+            raise OscillationError(
+                "need one bridge gain per modal resonator"
+            )
+        h0 = resonators[0].timestep
+        for r in resonators[1:]:
+            if abs(r.timestep - h0) > 1e-18:
+                raise OscillationError("all modes must share one timestep")
+        self.resonators = resonators
+        self.mode_gains = [require_positive("mode_gain", abs(g)) for g in mode_gains]
+        self.loop = loop
+
+    @classmethod
+    def for_geometry(
+        cls,
+        geometry,
+        quality_factors: list[float],
+        loop: ResonantFeedbackLoop,
+        steps_per_cycle_of_highest: int = 40,
+    ) -> "MultiModeLoop":
+        """Build the first N modes of a beam (N = len(quality_factors))."""
+        from ..mechanics.modal import analyze_modes
+
+        count = len(quality_factors)
+        modes = analyze_modes(geometry, count)
+        # one common timestep resolving the highest mode
+        timestep = 1.0 / (modes[-1].frequency * steps_per_cycle_of_highest)
+        resonators = [
+            ModalResonator(
+                effective_mass=m.effective_mass,
+                effective_stiffness=m.effective_stiffness,
+                quality_factor=q,
+                timestep=timestep,
+            )
+            for m, q in zip(modes, quality_factors)
+        ]
+        gains = [
+            displacement_to_stress_gain(geometry, CLAMPED_EDGE, mode=m.number)
+            for m in modes
+        ]
+        return cls(resonators, gains, loop)
+
+    def run(self, duration: float, initial_kick: float = 1e-12) -> Signal:
+        """Close the loop; returns the bridge-output waveform.
+
+        Every mode starts with the same tiny kick (broadband excitation,
+        like thermal motion); the filters decide who wins.
+        """
+        require_positive("duration", duration)
+        h = self.resonators[0].timestep
+        sample_rate = 1.0 / h
+        n = max(2, int(round(duration * sample_rate)))
+
+        loop = self.loop
+        for hp in loop.highpasses:
+            hp.reset()
+            hp.prepare(sample_rate)
+        loop.phase_lead.reset()
+        loop.phase_lead.prepare(sample_rate)
+        loop.dda.reset()
+        loop.dda.prepare(sample_rate)
+        loop.buffer.reset()
+        loop.buffer.prepare(sample_rate)
+
+        for r in self.resonators:
+            r.reset(displacement=initial_kick)
+
+        bridge_sens = abs(loop.bridge.sensitivity())
+        out = np.empty(n)
+        for i in range(n):
+            v_bridge = sum(
+                bridge_sens * g * r.state.displacement
+                for g, r in zip(self.mode_gains, self.resonators)
+            )
+            v = loop.dda.step(v_bridge)
+            for hp in loop.highpasses:
+                v = hp.step(v)
+            v = loop.phase_lead.step(v)
+            v = loop.vga.step(v)
+            v = loop.limiter.step(v)
+            v_drive = loop.buffer.step(v)
+            force = float(loop.actuator.tip_force_from_voltage(v_drive))
+            for r in self.resonators:
+                r.step(force)
+            out[i] = v_bridge
+
+        return Signal(out, sample_rate)
+
+    def modal_loop_gains(self, sample_rate: float) -> list[float]:
+        """Small-signal |loop gain| at each mode's resonance.
+
+        The startup race in numbers: the mode with the largest value
+        above 1 wins (grows fastest).
+        """
+        gains = []
+        for g, r in zip(self.mode_gains, self.resonators):
+            f_n = r.natural_frequency
+            mech = r.transfer_function(np.asarray([f_n]))[0]
+            elec = self.loop.electrical_gain_at(f_n, sample_rate)
+            total = (
+                abs(self.loop.bridge.sensitivity())
+                * g
+                * abs(elec)
+                * self.loop.actuator.force_per_volt
+                * abs(mech)
+            )
+            gains.append(float(total))
+        return gains

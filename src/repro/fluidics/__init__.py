@@ -1,0 +1,31 @@
+"""Hydrodynamic loading of cantilevers operating in liquid."""
+
+from .hydrodynamics import (
+    REYNOLDS_VALID_RANGE,
+    added_mass_per_length,
+    circular_hydrodynamic_function,
+    hydrodynamic_function,
+    mass_loading_ratio,
+    rectangular_correction,
+    reynolds_number,
+)
+from .immersion import (
+    FluidLoadedMode,
+    frequency_in_liquid,
+    immersed_mode,
+    quality_factor_in_liquid,
+)
+
+__all__ = [
+    "FluidLoadedMode",
+    "REYNOLDS_VALID_RANGE",
+    "added_mass_per_length",
+    "circular_hydrodynamic_function",
+    "frequency_in_liquid",
+    "hydrodynamic_function",
+    "immersed_mode",
+    "mass_loading_ratio",
+    "quality_factor_in_liquid",
+    "rectangular_correction",
+    "reynolds_number",
+]

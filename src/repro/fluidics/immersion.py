@@ -1,0 +1,116 @@
+"""Fluid-loaded resonance: frequency and quality factor in liquid.
+
+Combines the cantilever's vacuum mode with the Sader hydrodynamic
+function to predict the immersed resonant frequency and Q:
+
+    omega_fluid = omega_vac / sqrt(1 + T_r(omega_fluid))
+    Q_fluid     = (1 / T_r_coeff + Gamma_r) / Gamma_i   (Sader Eq. 33)
+
+where ``T_r`` is the real mass-loading ratio.  The frequency equation is
+implicit (Gamma depends on omega) and is solved by damped fixed-point
+iteration; convergence is fast because Gamma varies slowly with omega.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConvergenceError
+from ..materials.liquids import Liquid
+from ..mechanics.geometry import CantileverGeometry
+from ..mechanics.modal import effective_mass_fraction, natural_frequency
+from .hydrodynamics import hydrodynamic_function, reynolds_number
+
+
+@dataclass(frozen=True)
+class FluidLoadedMode:
+    """Resonant properties of one cantilever mode immersed in a liquid.
+
+    Attributes
+    ----------
+    mode:
+        Mode number (1 = fundamental).
+    vacuum_frequency:
+        Unloaded natural frequency [Hz].
+    frequency:
+        Fluid-loaded resonant frequency [Hz].
+    quality_factor:
+        Fluid-limited quality factor.
+    added_mass_ratio:
+        Fluid added modal mass / beam modal mass (real part of T).
+    reynolds:
+        Oscillatory Reynolds number at the loaded frequency.
+    effective_mass:
+        Total (beam + fluid) tip-referenced modal mass [kg].
+    """
+
+    mode: int
+    vacuum_frequency: float
+    frequency: float
+    quality_factor: float
+    added_mass_ratio: float
+    reynolds: float
+    effective_mass: float
+
+
+def immersed_mode(
+    geometry: CantileverGeometry,
+    liquid: Liquid,
+    mode: int = 1,
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-12,
+) -> FluidLoadedMode:
+    """Solve for the fluid-loaded frequency and Q of one mode.
+
+    Raises
+    ------
+    ConvergenceError
+        If the fixed-point iteration does not converge (it always does for
+        physically meaningful inputs; this guards solver misuse).
+    """
+    f_vac = natural_frequency(geometry, mode)
+    mu_beam = geometry.mass_per_length
+    t_coeff = math.pi * liquid.density * geometry.width**2 / (4.0 * mu_beam)
+
+    f = f_vac
+    for _ in range(max_iterations):
+        gamma = hydrodynamic_function(f, geometry.width, liquid)
+        f_next = f_vac / math.sqrt(1.0 + t_coeff * gamma.real)
+        if abs(f_next - f) <= tolerance * f_vac:
+            f = f_next
+            break
+        f = 0.5 * (f + f_next)  # damped update for robustness
+    else:
+        raise ConvergenceError(
+            f"immersed-mode iteration did not converge in {max_iterations} steps"
+        )
+
+    gamma = hydrodynamic_function(f, geometry.width, liquid)
+    q = (1.0 / t_coeff + gamma.real) / gamma.imag
+    m_eff_beam = effective_mass_fraction(mode) * geometry.mass
+    added_ratio = t_coeff * gamma.real
+    return FluidLoadedMode(
+        mode=mode,
+        vacuum_frequency=f_vac,
+        frequency=f,
+        quality_factor=q,
+        added_mass_ratio=added_ratio,
+        reynolds=reynolds_number(f, geometry.width, liquid),
+        effective_mass=m_eff_beam * (1.0 + added_ratio),
+    )
+
+
+def frequency_in_liquid(
+    geometry: CantileverGeometry, liquid: Liquid, mode: int = 1
+) -> float:
+    """Convenience: fluid-loaded resonant frequency [Hz]."""
+    return immersed_mode(geometry, liquid, mode).frequency
+
+
+def quality_factor_in_liquid(
+    geometry: CantileverGeometry, liquid: Liquid, mode: int = 1
+) -> float:
+    """Convenience: fluid-limited quality factor."""
+    return immersed_mode(geometry, liquid, mode).quality_factor

@@ -1,0 +1,34 @@
+"""Material and liquid property databases."""
+
+from .database import Material, get_material, list_materials, register_material
+from .liquids import (
+    AIR,
+    Liquid,
+    get_liquid,
+    glycerol_water_mixture,
+    list_liquids,
+    register_liquid,
+)
+from .silicon import (
+    PiezoCoefficients,
+    gauge_factor,
+    piezo_coefficients,
+    youngs_modulus,
+)
+
+__all__ = [
+    "AIR",
+    "Liquid",
+    "Material",
+    "PiezoCoefficients",
+    "gauge_factor",
+    "get_liquid",
+    "get_material",
+    "glycerol_water_mixture",
+    "list_liquids",
+    "list_materials",
+    "piezo_coefficients",
+    "register_liquid",
+    "register_material",
+    "youngs_modulus",
+]

@@ -1,0 +1,193 @@
+"""Solid material property database.
+
+The cantilevers in the paper are composite stacks released from a 0.8 um
+double-poly double-metal CMOS process: crystalline silicon (defined by the
+n-well electrochemical etch-stop), thermal/deposited oxides, nitride
+passivation, polysilicon, and aluminium metallization.  This module holds
+the isotropic engineering properties of those layers; anisotropic
+crystalline-silicon detail (orientation-dependent stiffness and the
+piezoresistive tensor) lives in :mod:`repro.materials.silicon`.
+
+All properties are SI:  Young's modulus in Pa, density in kg/m^3,
+thermal expansion in 1/K, resistivity in Ohm*m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MaterialError
+from ..units import require_positive, require_in_range
+
+
+@dataclass(frozen=True)
+class Material:
+    """Isotropic engineering properties of a thin-film or bulk material.
+
+    Parameters
+    ----------
+    name:
+        Unique key used to look the material up in the registry.
+    youngs_modulus:
+        Young's modulus ``E`` [Pa].
+    density:
+        Mass density ``rho`` [kg/m^3].
+    poisson_ratio:
+        Poisson's ratio ``nu`` [-]; must lie in (-1, 0.5).
+    thermal_expansion:
+        Linear coefficient of thermal expansion [1/K].
+    resistivity:
+        Electrical resistivity [Ohm*m]; ``None`` for insulators where the
+        value is irrelevant to the models in this library.
+    intrinsic_stress:
+        Typical as-deposited residual film stress [Pa]; positive = tensile.
+    thermal_conductivity:
+        Thermal conductivity [W/(m K)]; 0 when unused.
+    specific_heat:
+        Specific heat capacity [J/(kg K)]; 0 when unused.
+    """
+
+    name: str
+    youngs_modulus: float
+    density: float
+    poisson_ratio: float
+    thermal_expansion: float = 0.0
+    resistivity: float | None = None
+    intrinsic_stress: float = 0.0
+    thermal_conductivity: float = 0.0
+    specific_heat: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("youngs_modulus", self.youngs_modulus)
+        require_positive("density", self.density)
+        require_in_range("poisson_ratio", self.poisson_ratio, -0.999, 0.4999)
+        if self.resistivity is not None:
+            require_positive("resistivity", self.resistivity)
+
+    @property
+    def biaxial_modulus(self) -> float:
+        """Biaxial modulus ``E / (1 - nu)`` [Pa], used in Stoney bending."""
+        return self.youngs_modulus / (1.0 - self.poisson_ratio)
+
+    @property
+    def plate_modulus(self) -> float:
+        """Plate modulus ``E / (1 - nu^2)`` [Pa], for wide beams."""
+        return self.youngs_modulus / (1.0 - self.poisson_ratio**2)
+
+
+def _builtin_materials() -> dict[str, Material]:
+    return {
+        m.name: m
+        for m in (
+            # Crystalline silicon: <110> in-plane direction of a (100) wafer,
+            # the orientation of KOH-released CMOS cantilevers.
+            Material(
+                name="silicon",
+                youngs_modulus=169e9,
+                density=2329.0,
+                poisson_ratio=0.064,
+                thermal_expansion=2.6e-6,
+                resistivity=1e-1,
+                thermal_conductivity=150.0,
+                specific_heat=700.0,
+            ),
+            # <100> in-plane direction, for comparison studies.
+            Material(
+                name="silicon_100",
+                youngs_modulus=130e9,
+                density=2329.0,
+                poisson_ratio=0.28,
+                thermal_expansion=2.6e-6,
+                resistivity=1e-1,
+            ),
+            Material(
+                name="silicon_dioxide",
+                youngs_modulus=70e9,
+                density=2200.0,
+                poisson_ratio=0.17,
+                thermal_expansion=0.5e-6,
+                intrinsic_stress=-300e6,  # thermal oxide is compressive
+            ),
+            Material(
+                name="silicon_nitride",
+                youngs_modulus=250e9,
+                density=3100.0,
+                poisson_ratio=0.23,
+                thermal_expansion=3.3e-6,
+                intrinsic_stress=1000e6,  # LPCVD nitride is tensile
+            ),
+            Material(
+                name="polysilicon",
+                youngs_modulus=160e9,
+                density=2320.0,
+                poisson_ratio=0.22,
+                thermal_expansion=2.8e-6,
+                resistivity=1e-5,  # heavily doped gate poly
+            ),
+            Material(
+                name="aluminum",
+                youngs_modulus=70e9,
+                density=2700.0,
+                poisson_ratio=0.35,
+                thermal_expansion=23.1e-6,
+                resistivity=2.82e-8,
+                intrinsic_stress=100e6,
+            ),
+            Material(
+                name="gold",
+                youngs_modulus=79e9,
+                density=19300.0,
+                poisson_ratio=0.44,
+                thermal_expansion=14.2e-6,
+                resistivity=2.44e-8,
+            ),
+            Material(
+                name="titanium",
+                youngs_modulus=116e9,
+                density=4506.0,
+                poisson_ratio=0.32,
+                thermal_expansion=8.6e-6,
+                resistivity=4.2e-7,
+            ),
+        )
+    }
+
+
+_REGISTRY: dict[str, Material] = _builtin_materials()
+
+
+def get_material(name: str) -> Material:
+    """Look up a material by name.
+
+    Raises
+    ------
+    MaterialError
+        If the name is unknown; the message lists the available names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MaterialError(f"unknown material {name!r}; known: {known}") from None
+
+
+def register_material(material: Material, *, overwrite: bool = False) -> None:
+    """Add a user-defined material to the registry.
+
+    Parameters
+    ----------
+    material:
+        The material to add.
+    overwrite:
+        Allow replacing an existing entry with the same name.
+    """
+    if material.name in _REGISTRY and not overwrite:
+        raise MaterialError(
+            f"material {material.name!r} already registered; pass overwrite=True"
+        )
+    _REGISTRY[material.name] = material
+
+
+def list_materials() -> list[str]:
+    """Names of all registered materials, sorted."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,133 @@
+"""Liquid property database for biosensor operating environments.
+
+The paper's variable-gain amplifier exists precisely because "different
+liquids presented to the biosensor" change the mechanical damping of the
+resonant cantilever.  This module provides the density and viscosity of
+the liquids a cantilever immunoassay actually sees: water, buffer (PBS),
+diluted serum, and glycerol mixtures used to emulate elevated viscosity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import MaterialError
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class Liquid:
+    """Newtonian liquid described by density and dynamic viscosity.
+
+    Parameters
+    ----------
+    name:
+        Registry key.
+    density:
+        Mass density [kg/m^3].
+    viscosity:
+        Dynamic viscosity [Pa*s].
+    """
+
+    name: str
+    density: float
+    viscosity: float
+
+    def __post_init__(self) -> None:
+        require_positive("density", self.density)
+        require_positive("viscosity", self.viscosity)
+
+    def kinematic_viscosity(self) -> float:
+        """Kinematic viscosity ``mu / rho`` [m^2/s]."""
+        return self.viscosity / self.density
+
+
+#: Vacuum/air sentinel: the library treats ``None`` as "no fluid loading",
+#: but an explicit thin-air entry is useful for comparison benches.
+AIR = Liquid(name="air", density=1.184, viscosity=1.849e-5)
+
+
+def _builtin_liquids() -> dict[str, Liquid]:
+    return {
+        liq.name: liq
+        for liq in (
+            AIR,
+            Liquid(name="water", density=997.0, viscosity=0.89e-3),
+            Liquid(name="pbs", density=1005.0, viscosity=0.92e-3),
+            Liquid(name="serum_10pct", density=1008.0, viscosity=1.05e-3),
+            Liquid(name="serum", density=1024.0, viscosity=1.6e-3),
+            Liquid(name="glycerol_20pct", density=1047.0, viscosity=1.54e-3),
+            Liquid(name="glycerol_40pct", density=1099.0, viscosity=3.18e-3),
+            Liquid(name="glycerol_60pct", density=1154.0, viscosity=8.82e-3),
+        )
+    }
+
+
+_REGISTRY: dict[str, Liquid] = _builtin_liquids()
+
+
+def get_liquid(name: str) -> Liquid:
+    """Look up a liquid by name; raises :class:`MaterialError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise MaterialError(f"unknown liquid {name!r}; known: {known}") from None
+
+
+def register_liquid(liquid: Liquid, *, overwrite: bool = False) -> None:
+    """Add a user-defined liquid to the registry."""
+    if liquid.name in _REGISTRY and not overwrite:
+        raise MaterialError(
+            f"liquid {liquid.name!r} already registered; pass overwrite=True"
+        )
+    _REGISTRY[liquid.name] = liquid
+
+
+def list_liquids() -> list[str]:
+    """Names of all registered liquids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def glycerol_water_mixture(weight_fraction: float, temperature: float = 293.15) -> Liquid:
+    """Density/viscosity of a glycerol-water mixture by weight fraction.
+
+    Density interpolates linearly between water and glycerol; viscosity
+    follows the Cheng (2008) empirical correlation, accurate to a few
+    percent over 0-100 % and 0-100 degC — good enough for damping studies.
+
+    Parameters
+    ----------
+    weight_fraction:
+        Glycerol mass fraction in [0, 1].
+    temperature:
+        Temperature [K].
+    """
+    import math
+
+    from ..units import require_fraction, require_in_range
+
+    cm = require_fraction("weight_fraction", weight_fraction)
+    t_c = require_in_range("temperature", temperature, 273.15, 373.15) - 273.15
+
+    rho_w = 1000.0 * (1.0 - ((t_c + 288.9414) / (508929.2 * (t_c + 68.12963)))
+                      * (t_c - 3.9863) ** 2)
+    rho_g = 1277.0 - 0.654 * t_c
+    density = rho_g * cm + rho_w * (1.0 - cm)
+
+    mu_w = 1.790e-3 * math.exp((-1230.0 - t_c) * t_c / (36100.0 + 360.0 * t_c))
+    mu_g = 12.100 * math.exp((-1233.0 + t_c) * t_c / (9900.0 + 70.0 * t_c))
+    a = 0.705 - 0.0017 * t_c
+    b = (4.9 + 0.036 * t_c) * a**2.5
+    alpha = (
+        1.0
+        - cm
+        + (a * b * cm * (1.0 - cm)) / (a * cm + b * (1.0 - cm))
+    )
+    viscosity = mu_w**alpha * mu_g ** (1.0 - alpha)
+
+    return Liquid(
+        name=f"glycerol_{cm * 100.0:.0f}pct_custom",
+        density=density,
+        viscosity=viscosity,
+    )

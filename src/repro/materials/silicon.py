@@ -1,0 +1,132 @@
+"""Anisotropic crystalline silicon: stiffness and piezoresistance.
+
+The released cantilever of the paper is crystalline silicon whose
+thickness is set by the n-well electrochemical etch-stop.  Standard CMOS
+wafers are (100)-oriented with the flat along <110>, and KOH-defined
+cantilevers point along <110>.  Both the Young's modulus relevant to the
+beam and the piezoresistive response of the diffused bridge resistors
+therefore depend on crystal direction; this module evaluates both from
+the elastic compliances and the fundamental piezoresistive coefficients.
+
+References used for constants: Hall (1967) elastic constants;
+Smith (1954) piezoresistive coefficients.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import UnitError
+
+# Elastic compliances of silicon [1/Pa] (Hall 1967).
+S11: float = 7.68e-12
+S12: float = -2.14e-12
+S44: float = 12.6e-12
+
+# Smith (1954) room-temperature piezoresistive coefficients [1/Pa].
+#: p-type silicon (the bridge resistors of the paper are p-diffusions in
+#: the n-well cantilever, and the resonant bridge uses p-channel MOSFETs).
+PI11_P: float = 6.6e-11
+PI12_P: float = -1.1e-11
+PI44_P: float = 138.1e-11
+
+#: n-type silicon, for comparison studies.
+PI11_N: float = -102.2e-11
+PI12_N: float = 53.4e-11
+PI44_N: float = -13.6e-11
+
+
+def _direction_cosines(direction: tuple[float, float, float]) -> tuple[float, float, float]:
+    norm = math.sqrt(sum(c * c for c in direction))
+    if norm == 0.0:
+        raise UnitError("crystal direction must be a non-zero vector")
+    return tuple(c / norm for c in direction)  # type: ignore[return-value]
+
+
+def youngs_modulus(direction: tuple[float, float, float]) -> float:
+    """Young's modulus of silicon along an arbitrary crystal direction [Pa].
+
+    Uses ``1/E = S11 - 2(S11 - S12 - S44/2)(l^2 m^2 + m^2 n^2 + n^2 l^2)``
+    with (l, m, n) the direction cosines.
+
+    >>> round(youngs_modulus((1, 1, 0)) / 1e9)  # <110>
+    169
+    """
+    l, m, n = _direction_cosines(direction)
+    anisotropy = S11 - S12 - S44 / 2.0
+    inv_e = S11 - 2.0 * anisotropy * (l * l * m * m + m * m * n * n + n * n * l * l)
+    return 1.0 / inv_e
+
+
+@dataclass(frozen=True)
+class PiezoCoefficients:
+    """Longitudinal and transverse piezoresistive coefficients [1/Pa].
+
+    ``pi_l`` relates resistance change to stress along the current
+    direction, ``pi_t`` to in-plane stress perpendicular to it:
+    ``dR/R = pi_l * sigma_l + pi_t * sigma_t``.
+    """
+
+    longitudinal: float
+    transverse: float
+
+    def fractional_resistance_change(
+        self, sigma_longitudinal: float, sigma_transverse: float = 0.0
+    ) -> float:
+        """``dR/R`` for the given in-plane stress components [Pa]."""
+        return (
+            self.longitudinal * sigma_longitudinal
+            + self.transverse * sigma_transverse
+        )
+
+
+def piezo_coefficients(
+    direction: str = "<110>", carrier: str = "p"
+) -> PiezoCoefficients:
+    """Piezoresistive coefficients for a resistor along a crystal direction.
+
+    Parameters
+    ----------
+    direction:
+        ``"<110>"`` (the usual CMOS layout orientation) or ``"<100>"``.
+    carrier:
+        ``"p"`` for p-type diffusions / PMOS channels (the paper's choice),
+        ``"n"`` for n-type.
+
+    Notes
+    -----
+    For <110> resistors on a (100) wafer:
+    ``pi_l = (pi11 + pi12 + pi44)/2``, ``pi_t = (pi11 + pi12 - pi44)/2``.
+    For <100>: ``pi_l = pi11``, ``pi_t = pi12``.  For p-type silicon
+    ``pi44`` dominates, giving the familiar ``pi_l ~ +pi44/2``,
+    ``pi_t ~ -pi44/2`` of <110> p-resistors.
+    """
+    if carrier == "p":
+        pi11, pi12, pi44 = PI11_P, PI12_P, PI44_P
+    elif carrier == "n":
+        pi11, pi12, pi44 = PI11_N, PI12_N, PI44_N
+    else:
+        raise UnitError(f"carrier must be 'p' or 'n', got {carrier!r}")
+
+    if direction == "<110>":
+        return PiezoCoefficients(
+            longitudinal=(pi11 + pi12 + pi44) / 2.0,
+            transverse=(pi11 + pi12 - pi44) / 2.0,
+        )
+    if direction == "<100>":
+        return PiezoCoefficients(longitudinal=pi11, transverse=pi12)
+    raise UnitError(f"direction must be '<110>' or '<100>', got {direction!r}")
+
+
+def gauge_factor(direction: str = "<110>", carrier: str = "p") -> float:
+    """Longitudinal strain gauge factor ``(dR/R)/epsilon`` [-].
+
+    The gauge factor is the longitudinal piezoresistive coefficient times
+    the Young's modulus along the same direction; for <110> p-type silicon
+    it comes out near 120, far above the ~2 of metal gauges — the reason
+    integrated piezoresistive readout works at all.
+    """
+    coeffs = piezo_coefficients(direction, carrier)
+    axis = (1, 1, 0) if direction == "<110>" else (1, 0, 0)
+    return coeffs.longitudinal * youngs_modulus(axis)

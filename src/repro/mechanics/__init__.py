@@ -1,0 +1,44 @@
+"""Cantilever beam mechanics: geometry, statics, modes, and dynamics."""
+
+from .composite import Layer, LayerStack
+from .geometry import CantileverGeometry
+from . import beam, duffing, modal, resonance, surface_stress, thermal_noise
+from .dynamics import ModalResonator, ResonatorState
+from .modal import Mode, analyze_modes, natural_frequency
+from .resonance import (
+    ResonantResponse,
+    frequency_shift,
+    frequency_with_added_mass,
+    mass_from_frequency_shift,
+    mass_responsivity,
+    minimum_detectable_mass,
+    resonant_response,
+)
+from .surface_stress import StaticResponse, static_response, stoney_uniform
+
+__all__ = [
+    "CantileverGeometry",
+    "Layer",
+    "LayerStack",
+    "ModalResonator",
+    "Mode",
+    "ResonantResponse",
+    "ResonatorState",
+    "StaticResponse",
+    "analyze_modes",
+    "beam",
+    "duffing",
+    "frequency_shift",
+    "frequency_with_added_mass",
+    "mass_from_frequency_shift",
+    "mass_responsivity",
+    "minimum_detectable_mass",
+    "modal",
+    "natural_frequency",
+    "resonance",
+    "resonant_response",
+    "static_response",
+    "stoney_uniform",
+    "surface_stress",
+    "thermal_noise",
+]

@@ -1,0 +1,117 @@
+"""Euler-Bernoulli statics of the clamped-free cantilever.
+
+Static deflection under tip loads, distributed loads, and end moments —
+the building blocks both for the surface-stress bending model
+(:mod:`repro.mechanics.surface_stress`) and for calibration/actuation
+studies (Lorentz force applied along the beam).
+
+Sign convention: ``z`` positive upward (toward the functionalized top
+surface); a positive tip force deflects the tip upward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import CantileverGeometry
+
+
+def spring_constant(geometry: CantileverGeometry) -> float:
+    """Static tip spring constant ``k = 3 EI / L^3`` [N/m]."""
+    return 3.0 * geometry.flexural_rigidity / geometry.length**3
+
+
+def tip_deflection_point_force(geometry: CantileverGeometry, force: float) -> float:
+    """Tip deflection under a point force at the tip, ``F L^3 / (3 EI)`` [m]."""
+    return force * geometry.length**3 / (3.0 * geometry.flexural_rigidity)
+
+
+def tip_deflection_distributed_force(
+    geometry: CantileverGeometry, force_per_length: float
+) -> float:
+    """Tip deflection under a uniform line load ``q`` [N/m]: ``q L^4 / (8 EI)``."""
+    return (
+        force_per_length
+        * geometry.length**4
+        / (8.0 * geometry.flexural_rigidity)
+    )
+
+
+def tip_deflection_end_moment(geometry: CantileverGeometry, moment: float) -> float:
+    """Tip deflection under a moment applied at the free end: ``M L^2 / (2 EI)``."""
+    return moment * geometry.length**2 / (2.0 * geometry.flexural_rigidity)
+
+
+def deflection_profile_point_force(
+    geometry: CantileverGeometry, force: float, x: np.ndarray
+) -> np.ndarray:
+    """Deflection ``z(x)`` under a tip point force.
+
+    ``z(x) = F x^2 (3L - x) / (6 EI)`` for ``0 <= x <= L``.
+    """
+    x = _validated_positions(geometry, x)
+    ei = geometry.flexural_rigidity
+    return force * x**2 * (3.0 * geometry.length - x) / (6.0 * ei)
+
+
+def deflection_profile_distributed_force(
+    geometry: CantileverGeometry, force_per_length: float, x: np.ndarray
+) -> np.ndarray:
+    """Deflection ``z(x)`` under a uniform line load ``q`` [N/m].
+
+    ``z(x) = q x^2 (6L^2 - 4Lx + x^2) / (24 EI)``.
+    """
+    x = _validated_positions(geometry, x)
+    ei = geometry.flexural_rigidity
+    length = geometry.length
+    return (
+        force_per_length
+        * x**2
+        * (6.0 * length**2 - 4.0 * length * x + x**2)
+        / (24.0 * ei)
+    )
+
+
+def bending_moment_point_force(
+    geometry: CantileverGeometry, force: float, x: np.ndarray
+) -> np.ndarray:
+    """Internal bending moment ``M(x) = F (L - x)`` for a tip point force [N*m].
+
+    Maximum at the clamped edge — the reason the resonant-mode Wheatstone
+    bridge sits there (paper, Section 3).
+    """
+    x = _validated_positions(geometry, x)
+    return force * (geometry.length - x)
+
+
+def surface_strain_from_moment(
+    geometry: CantileverGeometry, moment: np.ndarray | float
+) -> np.ndarray | float:
+    """Longitudinal strain at the top surface for a bending moment [N*m].
+
+    ``epsilon = M c / EI`` with ``c`` the distance from the neutral axis
+    to the top surface.
+    """
+    c = geometry.thickness - geometry.stack.neutral_axis
+    return np.asarray(moment) * c / geometry.flexural_rigidity
+
+
+def static_deflection_under_gravity(geometry: CantileverGeometry) -> float:
+    """Sag of the tip under the beam's own weight [m].
+
+    A sanity quantity: micromachined cantilevers sag by picometres, which
+    is why gravity never appears in cantilever-sensor error budgets.
+    """
+    from ..constants import STANDARD_GRAVITY
+
+    q = geometry.mass_per_length * STANDARD_GRAVITY
+    return tip_deflection_distributed_force(geometry, q)
+
+
+def _validated_positions(geometry: CantileverGeometry, x: np.ndarray) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(x, dtype=float))
+    if np.any(arr < -1e-15) or np.any(arr > geometry.length * (1.0 + 1e-12)):
+        raise ValueError(
+            f"positions must lie within [0, L={geometry.length:.3g} m]"
+        )
+    return np.clip(arr, 0.0, geometry.length)

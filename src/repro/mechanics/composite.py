@@ -1,0 +1,189 @@
+"""Composite (multilayer) beam cross-sections.
+
+The released cantilever of a post-CMOS process is rarely a single
+material: depending on which front-side etch steps are used, the beam can
+be bare crystalline silicon, or silicon plus residual field oxide,
+inter-metal dielectric, passivation nitride, or an aluminium coil layer.
+The bending stiffness and mass of such a stack follow from the classical
+transformed-section method: the neutral axis is the modulus-weighted
+centroid, and the flexural rigidity sums each layer's contribution about
+that axis.
+
+Everything here is *per unit width*; multiply by the beam width to get
+beam-level quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import GeometryError
+from ..materials import Material, get_material
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class Layer:
+    """One layer of a through-thickness stack.
+
+    Parameters
+    ----------
+    material:
+        Layer material (or registry name).
+    thickness:
+        Layer thickness [m].
+    """
+
+    material: Material
+    thickness: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.material, str):
+            object.__setattr__(self, "material", get_material(self.material))
+        require_positive("thickness", self.thickness)
+
+
+class LayerStack:
+    """Ordered stack of layers, bottom (z = 0) to top.
+
+    The stack exposes the transformed-section properties a beam model
+    needs: modulus-weighted neutral axis, flexural rigidity per width,
+    mass per area, and the extensional stiffness used for surface-stress
+    bending of composite beams.
+    """
+
+    def __init__(self, layers: Sequence[Layer] | Iterable[Layer]) -> None:
+        self._layers: tuple[Layer, ...] = tuple(layers)
+        if not self._layers:
+            raise GeometryError("a layer stack needs at least one layer")
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def layers(self) -> tuple[Layer, ...]:
+        """Layers bottom-to-top."""
+        return self._layers
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    @property
+    def total_thickness(self) -> float:
+        """Total stack thickness [m]."""
+        return sum(layer.thickness for layer in self._layers)
+
+    def interfaces(self) -> list[float]:
+        """z-coordinates of layer boundaries, ``[0, z1, ..., t_total]``."""
+        zs = [0.0]
+        for layer in self._layers:
+            zs.append(zs[-1] + layer.thickness)
+        return zs
+
+    # -- transformed-section mechanics ---------------------------------------
+
+    @property
+    def extensional_stiffness_per_width(self) -> float:
+        """``sum(E_i t_i)`` [N/m]: axial stiffness per unit width."""
+        return sum(
+            layer.material.youngs_modulus * layer.thickness for layer in self._layers
+        )
+
+    @property
+    def neutral_axis(self) -> float:
+        """Modulus-weighted centroid height above the bottom surface [m]."""
+        weighted = 0.0
+        zs = self.interfaces()
+        for layer, z_low, z_high in zip(self._layers, zs[:-1], zs[1:]):
+            mid = 0.5 * (z_low + z_high)
+            weighted += layer.material.youngs_modulus * layer.thickness * mid
+        return weighted / self.extensional_stiffness_per_width
+
+    @property
+    def flexural_rigidity_per_width(self) -> float:
+        """``EI`` per unit width [N*m] about the stack's neutral axis.
+
+        Each layer contributes its own-axis term ``E t^3 / 12`` plus a
+        parallel-axis term ``E t d^2`` with ``d`` the layer-centroid offset
+        from the neutral axis.
+        """
+        z_na = self.neutral_axis
+        rigidity = 0.0
+        zs = self.interfaces()
+        for layer, z_low, z_high in zip(self._layers, zs[:-1], zs[1:]):
+            e = layer.material.youngs_modulus
+            t = layer.thickness
+            mid = 0.5 * (z_low + z_high)
+            rigidity += e * (t**3 / 12.0 + t * (mid - z_na) ** 2)
+        return rigidity
+
+    @property
+    def mass_per_area(self) -> float:
+        """``sum(rho_i t_i)`` [kg/m^2]."""
+        return sum(layer.material.density * layer.thickness for layer in self._layers)
+
+    @property
+    def effective_youngs_modulus(self) -> float:
+        """Modulus of the uniform beam with the same ``EI`` and thickness [Pa].
+
+        Defined by ``E_eff t^3 / 12 = flexural_rigidity_per_width``; useful
+        for plugging a composite stack into single-material formulas such
+        as Stoney's equation.
+        """
+        t = self.total_thickness
+        return 12.0 * self.flexural_rigidity_per_width / t**3
+
+    @property
+    def effective_density(self) -> float:
+        """Density of the uniform beam with the same mass and thickness."""
+        return self.mass_per_area / self.total_thickness
+
+    # -- residual stress -----------------------------------------------------
+
+    @property
+    def residual_moment_per_width(self) -> float:
+        """Bending moment per width [N] from as-deposited film stresses.
+
+        Each layer's intrinsic stress ``sigma_i`` acting over thickness
+        ``t_i`` at offset ``d_i`` from the neutral axis produces a moment
+        ``sigma_i t_i d_i``; a non-zero total is what curls real released
+        cantilevers even before any analyte arrives.
+        """
+        z_na = self.neutral_axis
+        moment = 0.0
+        zs = self.interfaces()
+        for layer, z_low, z_high in zip(self._layers, zs[:-1], zs[1:]):
+            mid = 0.5 * (z_low + z_high)
+            moment += layer.material.intrinsic_stress * layer.thickness * (mid - z_na)
+        return moment
+
+    def residual_curvature(self) -> float:
+        """Beam curvature [1/m] induced by the residual film stresses."""
+        return self.residual_moment_per_width / self.flexural_rigidity_per_width
+
+    # -- utilities -----------------------------------------------------------
+
+    def scaled(self, thickness_factor: float) -> "LayerStack":
+        """Stack with every layer thickness multiplied by ``factor``."""
+        require_positive("thickness_factor", thickness_factor)
+        return LayerStack(
+            Layer(material=layer.material, thickness=layer.thickness * thickness_factor)
+            for layer in self._layers
+        )
+
+    def with_layer_on_top(self, layer: Layer) -> "LayerStack":
+        """Stack with an extra layer added on top (e.g. a gold coating)."""
+        return LayerStack(self._layers + (layer,))
+
+    def describe(self) -> str:
+        """Human-readable stack inventory, bottom to top."""
+        lines = []
+        for i, layer in enumerate(self._layers):
+            lines.append(
+                f"  [{i}] {layer.material.name:<16s} {layer.thickness * 1e6:8.3f} um"
+            )
+        lines.append(f"  total thickness {self.total_thickness * 1e6:.3f} um")
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Cantilever geometry description.
+
+A cantilever is a clamped-free rectangular beam of length ``L`` (from the
+clamped edge at ``x = 0`` to the free tip at ``x = L``), width ``w``, and
+a through-thickness layer stack.  The paper's devices are crystalline-
+silicon beams (thickness set by the n-well etch-stop) optionally carrying
+residual dielectric or metal layers, so the geometry object stores a
+:class:`~repro.mechanics.composite.LayerStack` rather than a single
+thickness.  For the common single-material case use
+:meth:`CantileverGeometry.uniform`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GeometryError
+from ..materials import Material, get_material
+from ..units import require_positive
+from .composite import Layer, LayerStack
+
+
+@dataclass(frozen=True)
+class CantileverGeometry:
+    """Rectangular clamped-free cantilever.
+
+    Parameters
+    ----------
+    length:
+        Beam length ``L`` [m], clamped edge to free tip.
+    width:
+        Beam width ``w`` [m].
+    stack:
+        Through-thickness layer stack, bottom to top.
+
+    Notes
+    -----
+    A plausibility window of aspect ratios is enforced: a "cantilever" with
+    ``L < t`` is not a beam and every formula downstream (Euler-Bernoulli,
+    Stoney, Sader) would silently produce nonsense for it.
+    """
+
+    length: float
+    width: float
+    stack: LayerStack
+
+    def __post_init__(self) -> None:
+        require_positive("length", self.length)
+        require_positive("width", self.width)
+        if self.thickness <= 0.0:
+            raise GeometryError("layer stack must have positive total thickness")
+        if self.length < 2.0 * self.thickness:
+            raise GeometryError(
+                f"length ({self.length:.3g} m) must be at least twice the "
+                f"thickness ({self.thickness:.3g} m) for beam theory to apply"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls,
+        length: float,
+        width: float,
+        thickness: float,
+        material: Material | str = "silicon",
+    ) -> "CantileverGeometry":
+        """Single-material cantilever (the released all-silicon beam)."""
+        if isinstance(material, str):
+            material = get_material(material)
+        stack = LayerStack([Layer(material=material, thickness=thickness)])
+        return cls(length=length, width=width, stack=stack)
+
+    # -- derived scalars ----------------------------------------------------
+
+    @property
+    def thickness(self) -> float:
+        """Total stack thickness [m]."""
+        return self.stack.total_thickness
+
+    @property
+    def planform_area(self) -> float:
+        """Top-surface area ``L * w`` [m^2] — the functionalizable area."""
+        return self.length * self.width
+
+    @property
+    def cross_section_area(self) -> float:
+        """Cross-section area ``w * t`` [m^2]."""
+        return self.width * self.thickness
+
+    @property
+    def mass(self) -> float:
+        """Total beam mass [kg]."""
+        return self.stack.mass_per_area * self.planform_area
+
+    @property
+    def mass_per_length(self) -> float:
+        """Mass per unit length ``rho A`` [kg/m]."""
+        return self.stack.mass_per_area * self.width
+
+    @property
+    def flexural_rigidity(self) -> float:
+        """Composite flexural rigidity ``EI`` [N*m^2] about the neutral axis."""
+        return self.stack.flexural_rigidity_per_width * self.width
+
+    @property
+    def is_wide(self) -> bool:
+        """True when ``w >= 5 t``: plate modulus is the better choice."""
+        return self.width >= 5.0 * self.thickness
+
+    def scaled(
+        self,
+        length_factor: float = 1.0,
+        width_factor: float = 1.0,
+        thickness_factor: float = 1.0,
+    ) -> "CantileverGeometry":
+        """Return a geometrically scaled copy (for sweep studies)."""
+        return CantileverGeometry(
+            length=self.length * require_positive("length_factor", length_factor),
+            width=self.width * require_positive("width_factor", width_factor),
+            stack=self.stack.scaled(
+                require_positive("thickness_factor", thickness_factor)
+            ),
+        )

@@ -1,0 +1,136 @@
+"""Static cantilever bending from analyte-induced surface stress (Fig. 1).
+
+When analyte molecules bind to the functionalized top surface, the
+in-plane surface stress of that face changes by ``d sigma_s`` [N/m].
+For a thin beam the differential surface stress between top and bottom
+faces bends the beam to a uniform curvature — the Stoney-type result
+
+    kappa = 6 (1 - nu) d sigma_s / (E t^2)
+
+(with the plate factor ``(1 - nu)`` for wide beams), giving a tip
+deflection ``z = kappa L^2 / 2`` and a *uniform* longitudinal surface
+strain along the beam.  The uniform strain is why the static system's
+Wheatstone bridge is distributed over the cantilever length (paper,
+Section 3): unlike a point-force load there is no unique stress maximum
+at the clamp, so a larger bridge area lowers 1/f noise at no signal cost.
+
+Composite beams use the transformed-section rigidity and the stress
+couple produced by the surface-stress change at the top face.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import require_positive
+from .geometry import CantileverGeometry
+
+
+def curvature(geometry: CantileverGeometry, surface_stress: float) -> float:
+    """Beam curvature [1/m] produced by differential surface stress [N/m].
+
+    The surface stress acts as a line force per unit width at the top
+    surface, at lever arm ``c_top`` from the composite neutral axis; the
+    moment per width ``d sigma_s * c_top`` over the rigidity per width
+    gives the curvature.  For a uniform single-material beam this reduces
+    exactly to Stoney's ``6 d sigma_s / (E t^2)`` (uniaxial form); wide
+    beams pick up the biaxial factor ``(1 - nu)`` because the surface
+    stress is isotropic in-plane and transverse bending is suppressed,
+    recovering Stoney's plate form ``6 (1 - nu) d sigma_s / (E t^2)``.
+    """
+    stack = geometry.stack
+    c_top = stack.total_thickness - stack.neutral_axis
+    kappa = surface_stress * c_top / stack.flexural_rigidity_per_width
+    if geometry.is_wide:
+        nu = stack.layers[-1].material.poisson_ratio
+        kappa *= 1.0 - nu
+    return kappa
+
+
+def tip_deflection(geometry: CantileverGeometry, surface_stress: float) -> float:
+    """Tip deflection ``z = kappa L^2 / 2`` [m] for a surface stress [N/m].
+
+    Positive surface-stress change (tensile increase on top) bends the
+    beam *away* from the functionalized side; we report the deflection
+    with that sign (positive = downward curl for tensile top stress is a
+    matter of convention — here positive stress gives positive deflection
+    magnitude with curvature toward the bottom, reported as positive).
+    """
+    return curvature(geometry, surface_stress) * geometry.length**2 / 2.0
+
+
+def deflection_profile(
+    geometry: CantileverGeometry, surface_stress: float, x: np.ndarray
+) -> np.ndarray:
+    """Deflection ``z(x) = kappa x^2 / 2``: parabolic for uniform curvature."""
+    x = np.asarray(x, dtype=float)
+    return curvature(geometry, surface_stress) * x**2 / 2.0
+
+
+def surface_strain(geometry: CantileverGeometry, surface_stress: float) -> float:
+    """Uniform longitudinal strain at the top surface, ``kappa * c_top``.
+
+    This is the strain the distributed piezoresistive bridge of the static
+    system sees; it is constant along the beam for uniform surface stress.
+    """
+    stack = geometry.stack
+    c_top = stack.total_thickness - stack.neutral_axis
+    return curvature(geometry, surface_stress) * c_top
+
+
+def surface_bending_stress(
+    geometry: CantileverGeometry, surface_stress: float
+) -> float:
+    """Longitudinal bending stress [Pa] at the top surface.
+
+    ``sigma = E_top * epsilon`` with the top layer's modulus; what the
+    piezoresistive coefficients multiply.
+    """
+    e_top = geometry.stack.layers[-1].material.youngs_modulus
+    return e_top * surface_strain(geometry, surface_stress)
+
+
+def stoney_uniform(
+    youngs_modulus: float,
+    poisson_ratio: float,
+    thickness: float,
+    surface_stress: float,
+    *,
+    wide: bool = True,
+) -> float:
+    """Textbook Stoney curvature for a uniform beam [1/m].
+
+    ``kappa = 6 (1 - nu) d sigma / (E t^2)`` for wide beams (plate), or
+    ``6 d sigma / (E t^2)`` for narrow (uniaxial) beams.  Provided as a
+    closed-form anchor for tests and quick estimates.
+    """
+    require_positive("youngs_modulus", youngs_modulus)
+    require_positive("thickness", thickness)
+    factor = (1.0 - poisson_ratio) if wide else 1.0
+    return 6.0 * factor * surface_stress / (youngs_modulus * thickness**2)
+
+
+@dataclass(frozen=True)
+class StaticResponse:
+    """Complete static response of a cantilever to a surface-stress step."""
+
+    surface_stress: float
+    curvature: float
+    tip_deflection: float
+    surface_strain: float
+    surface_bending_stress: float
+
+
+def static_response(
+    geometry: CantileverGeometry, surface_stress: float
+) -> StaticResponse:
+    """Evaluate all static-response quantities at once."""
+    return StaticResponse(
+        surface_stress=surface_stress,
+        curvature=curvature(geometry, surface_stress),
+        tip_deflection=tip_deflection(geometry, surface_stress),
+        surface_strain=surface_strain(geometry, surface_stress),
+        surface_bending_stress=surface_bending_stress(geometry, surface_stress),
+    )

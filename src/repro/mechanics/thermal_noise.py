@@ -1,0 +1,181 @@
+"""Thermomechanical (Brownian) noise — the transducer's physical floor.
+
+The cantilever is a damped mechanical resonator in thermal equilibrium,
+so the fluctuation-dissipation theorem forces it to move on its own:
+the Langevin force PSD is
+
+    S_F = 4 k_B T c = 4 k_B T sqrt(k m_eff) / Q     [N^2/Hz]
+
+No readout can resolve signals below the motion this force produces,
+which makes these formulas the reference line every electronics noise
+budget in the library is compared against:
+
+* static mode — the below-resonance displacement noise floor
+  ``sqrt(S_F) / k`` and its equivalent surface stress;
+* resonant mode — the phase diffusion of the oscillation, which sets
+  the frequency stability at a given drive amplitude (Robins/Leeson
+  form) and hence the thermomechanical mass-resolution limit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import BOLTZMANN, ROOM_TEMPERATURE
+from ..units import require_positive
+
+
+def langevin_force_psd(
+    effective_mass: float,
+    effective_stiffness: float,
+    quality_factor: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """One-sided thermal force PSD ``4 k_B T sqrt(k m) / Q`` [N^2/Hz]."""
+    require_positive("effective_mass", effective_mass)
+    require_positive("effective_stiffness", effective_stiffness)
+    require_positive("quality_factor", quality_factor)
+    require_positive("temperature", temperature)
+    damping = math.sqrt(effective_stiffness * effective_mass) / quality_factor
+    return 4.0 * BOLTZMANN * temperature * damping
+
+
+def displacement_noise_psd(
+    frequency: np.ndarray,
+    effective_mass: float,
+    effective_stiffness: float,
+    quality_factor: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> np.ndarray:
+    """Thermomechanical displacement noise PSD [m^2/Hz] vs frequency.
+
+    ``S_x(f) = S_F |H(f)|^2`` with the resonator's force-to-displacement
+    response; peaks at resonance, flattens to ``S_F / k^2`` below it.
+    """
+    s_f = langevin_force_psd(
+        effective_mass, effective_stiffness, quality_factor, temperature
+    )
+    w = 2.0 * math.pi * np.asarray(frequency, dtype=float)
+    damping = math.sqrt(effective_stiffness * effective_mass) / quality_factor
+    h2 = 1.0 / (
+        (effective_stiffness - effective_mass * w**2) ** 2 + (w * damping) ** 2
+    )
+    return s_f * h2
+
+
+def static_displacement_floor(
+    effective_stiffness: float,
+    effective_mass: float,
+    quality_factor: float,
+    bandwidth: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """RMS below-resonance Brownian deflection [m] in a bandwidth [Hz].
+
+    Uses the flat low-frequency plateau ``S_x = S_F / k^2``; valid while
+    the measurement band sits well below resonance — the static sensor's
+    operating condition.
+    """
+    require_positive("bandwidth", bandwidth)
+    s_f = langevin_force_psd(
+        effective_mass, effective_stiffness, quality_factor, temperature
+    )
+    return math.sqrt(s_f * bandwidth) / effective_stiffness
+
+
+def rms_thermal_displacement(
+    effective_stiffness: float, temperature: float = ROOM_TEMPERATURE
+) -> float:
+    """Total (all-band) equipartition rms motion ``sqrt(kT/k)`` [m]."""
+    require_positive("effective_stiffness", effective_stiffness)
+    return math.sqrt(BOLTZMANN * temperature / effective_stiffness)
+
+
+def noise_equivalent_surface_stress(
+    geometry,
+    quality_factor: float,
+    bandwidth: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """Surface stress [N/m] whose deflection equals the Brownian floor.
+
+    The static system's thermomechanical limit of detection: combine
+    with the readout-noise equivalent stress to see which dominates.
+    """
+    from .beam import spring_constant
+    from .modal import analyze_modes
+    from .surface_stress import tip_deflection
+
+    mode = analyze_modes(geometry, 1)[0]
+    floor = static_displacement_floor(
+        spring_constant(geometry),
+        mode.effective_mass,
+        quality_factor,
+        bandwidth,
+        temperature,
+    )
+    per_unit = abs(tip_deflection(geometry, 1.0))
+    return floor / per_unit
+
+
+@dataclass(frozen=True)
+class OscillatorStability:
+    """Thermomechanical frequency-stability summary of a driven resonator."""
+
+    fractional_frequency_noise: float
+    frequency_noise: float
+    mass_resolution: float
+
+
+def thermomechanical_frequency_stability(
+    geometry,
+    fluid_mode,
+    drive_amplitude: float,
+    averaging_time: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> OscillatorStability:
+    """Thermal-noise-limited oscillator stability (Robins formula).
+
+    For a self-oscillating resonator at amplitude ``a`` the Allan
+    deviation floor from additive thermal motion is
+
+        sigma_y = sqrt( k_B T / (k_eff a^2) ) * sqrt(1 / (2 Q^2 w0 tau))
+
+    — the standard driven-resonator result (Ekinci/Roukes form).  The
+    corresponding mass resolution uses the sensor's responsivity.
+
+    Parameters
+    ----------
+    fluid_mode:
+        A :class:`repro.fluidics.immersion.FluidLoadedMode` (or anything
+        with ``frequency``, ``quality_factor``, ``effective_mass``).
+    drive_amplitude:
+        Steady oscillation tip amplitude [m].
+    averaging_time:
+        Counter gate / averaging time [s].
+    """
+    require_positive("drive_amplitude", drive_amplitude)
+    require_positive("averaging_time", averaging_time)
+    w0 = 2.0 * math.pi * fluid_mode.frequency
+    k_eff = fluid_mode.effective_mass * w0**2
+    energy_ratio = BOLTZMANN * temperature / (k_eff * drive_amplitude**2)
+    q = fluid_mode.quality_factor
+    sigma_y = math.sqrt(energy_ratio) * math.sqrt(
+        1.0 / (2.0 * q**2 * w0 * averaging_time)
+    )
+    from .modal import effective_mass_fraction
+
+    responsivity = (
+        fluid_mode.frequency
+        * effective_mass_fraction(1)
+        / (2.0 * fluid_mode.effective_mass)
+    )
+    df = sigma_y * fluid_mode.frequency
+    return OscillatorStability(
+        fractional_frequency_noise=sigma_y,
+        frequency_noise=df,
+        mass_resolution=df / responsivity,
+    )

@@ -1,0 +1,34 @@
+"""Piezoresistive transduction: bridge elements, bridges, placement, noise."""
+
+from . import noise
+from .mos_resistor import MOSBridgeTransistor
+from .piezoresistor import DiffusedResistor, sheet_resistance_to_resistance
+from .placement import (
+    CLAMPED_EDGE,
+    DISTRIBUTED,
+    BridgePlacement,
+    bridge_average_stress,
+    mode_curvature,
+    placement_signal_noise_gain,
+    resonant_surface_stress_profile,
+    static_surface_stress_profile,
+)
+from .wheatstone import BridgeOutput, WheatstoneBridge, matched_bridge
+
+__all__ = [
+    "BridgeOutput",
+    "BridgePlacement",
+    "CLAMPED_EDGE",
+    "DISTRIBUTED",
+    "DiffusedResistor",
+    "MOSBridgeTransistor",
+    "WheatstoneBridge",
+    "bridge_average_stress",
+    "matched_bridge",
+    "mode_curvature",
+    "noise",
+    "placement_signal_noise_gain",
+    "resonant_surface_stress_profile",
+    "sheet_resistance_to_resistance",
+    "static_surface_stress_profile",
+]

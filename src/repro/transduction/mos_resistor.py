@@ -1,0 +1,125 @@
+"""PMOS transistors in the linear region as bridge elements (Fig. 5).
+
+For resonant operation "the piezoresistive Wheatstone bridge has been
+accomplished by p-channel MOS transistors biased in the linear region,
+which has the advantage of a higher resistivity and lower power
+consumption compared to diffusion-type silicon resistors" (paper,
+Section 3.2).  The price, stated one sentence later, is worse
+low-frequency noise — the reason the feedback loop carries high-pass
+filters.
+
+The model: a PMOS in deep triode presents
+
+    R_on = 1 / (mu_p C_ox (W/L) (V_ov - V_SD / 2))
+
+and mechanical stress modulates the channel mobility through the same
+piezoresistive tensor as bulk p-silicon (current along <110>), so
+``dR/R = -d mu/mu = pi_l sigma_l + pi_t sigma_t`` to first order.
+Flicker noise uses the carrier count of the inversion layer
+``N = C_ox W L V_ov / q`` — orders of magnitude below a diffusion
+resistor's, hence the much higher 1/f corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import ELEMENTARY_CHARGE
+from ..errors import CircuitError
+from ..materials.silicon import PiezoCoefficients, piezo_coefficients
+from ..units import require_positive
+
+
+@dataclass(frozen=True)
+class MOSBridgeTransistor:
+    """A PMOS biased in the linear (triode) region as a bridge resistor.
+
+    Parameters
+    ----------
+    width / length:
+        Channel dimensions [m].
+    oxide_capacitance:
+        Gate-oxide capacitance per area ``C_ox`` [F/m^2]; ~2 mF/m^2 for a
+        0.8 um process (t_ox ~ 17 nm).
+    mobility:
+        Hole channel mobility [m^2/(V s)].
+    threshold_voltage:
+        |V_T| of the PMOS [V].
+    gate_overdrive:
+        ``V_ov = V_SG - |V_T|`` [V]; must be positive (device on).
+    drain_source_voltage:
+        Operating |V_SD| [V]; must satisfy the triode condition
+        ``V_SD < V_ov`` with margin.
+    coefficients:
+        Piezoresistive coefficients of the channel; defaults to <110>
+        p-type (channel current along <110>).
+    """
+
+    width: float = 10e-6
+    length: float = 20e-6
+    oxide_capacitance: float = 2.0e-3
+    mobility: float = 0.019
+    threshold_voltage: float = 0.85
+    gate_overdrive: float = 1.5
+    drain_source_voltage: float = 0.1
+    coefficients: PiezoCoefficients = field(
+        default_factory=lambda: piezo_coefficients("<110>", "p")
+    )
+
+    def __post_init__(self) -> None:
+        require_positive("width", self.width)
+        require_positive("length", self.length)
+        require_positive("oxide_capacitance", self.oxide_capacitance)
+        require_positive("mobility", self.mobility)
+        require_positive("threshold_voltage", self.threshold_voltage)
+        require_positive("gate_overdrive", self.gate_overdrive)
+        require_positive("drain_source_voltage", self.drain_source_voltage)
+        if self.drain_source_voltage >= 0.5 * self.gate_overdrive:
+            raise CircuitError(
+                "triode bias requires V_SD well below the overdrive: "
+                f"V_SD={self.drain_source_voltage} V, V_ov={self.gate_overdrive} V"
+            )
+
+    @property
+    def nominal_resistance(self) -> float:
+        """On-resistance at zero stress [Ohm]."""
+        beta = (
+            self.mobility
+            * self.oxide_capacitance
+            * self.width
+            / self.length
+        )
+        return 1.0 / (
+            beta * (self.gate_overdrive - self.drain_source_voltage / 2.0)
+        )
+
+    @property
+    def carrier_count(self) -> float:
+        """Inversion-layer carriers ``C_ox W L V_ov / q`` (for 1/f noise)."""
+        return (
+            self.oxide_capacitance
+            * self.width
+            * self.length
+            * self.gate_overdrive
+            / ELEMENTARY_CHARGE
+        )
+
+    def fractional_change(
+        self, sigma_longitudinal: float, sigma_transverse: float = 0.0
+    ) -> float:
+        """``dR/R`` from channel-mobility piezoresistance."""
+        return self.coefficients.fractional_resistance_change(
+            sigma_longitudinal, sigma_transverse
+        )
+
+    def resistance(
+        self, sigma_longitudinal: float = 0.0, sigma_transverse: float = 0.0
+    ) -> float:
+        """On-resistance [Ohm] under in-plane stress [Pa]."""
+        return self.nominal_resistance * (
+            1.0 + self.fractional_change(sigma_longitudinal, sigma_transverse)
+        )
+
+    def power_dissipation(self, bias_voltage: float) -> float:
+        """Static power [W] with ``bias_voltage`` across the element."""
+        return bias_voltage**2 / self.nominal_resistance

@@ -1,0 +1,117 @@
+"""Electrical noise of bridge elements: Johnson and Hooge/flicker models.
+
+Two noise mechanisms set the resolution of a piezoresistive readout:
+
+* **Johnson (thermal) noise** — white, ``S_v = 4 k_B T R`` [V^2/Hz].
+* **Flicker (1/f) noise** — Hooge's empirical law for a resistor carrying
+  a DC bias: ``S_v(f) = alpha_H V^2 / (N f)`` with ``N`` the number of
+  free carriers and ``alpha_H`` the (material-quality) Hooge parameter.
+
+MOS-channel resistors have far fewer carriers than diffusions of the
+same resistance, so their 1/f corner sits orders of magnitude higher —
+the quantitative content behind the paper's "high-pass filters in the
+feedback loop improve the signal-to-noise ratio by damping the
+low-frequency noise originating in the MOS-based Wheatstone bridge".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..constants import BOLTZMANN, ROOM_TEMPERATURE
+from ..units import require_positive, require_nonnegative
+
+#: Default Hooge parameters: diffused resistors in good crystalline
+#: silicon versus surface-channel MOS devices (trap-rich Si/SiO2
+#: interface).  Representative literature orders of magnitude.
+HOOGE_ALPHA_DIFFUSED: float = 2e-6
+HOOGE_ALPHA_MOS: float = 2e-4
+
+
+def johnson_psd(resistance: float, temperature: float = ROOM_TEMPERATURE) -> float:
+    """One-sided thermal-noise voltage PSD ``4 k T R`` [V^2/Hz]."""
+    require_positive("resistance", resistance)
+    require_positive("temperature", temperature)
+    return 4.0 * BOLTZMANN * temperature * resistance
+
+
+def hooge_psd(
+    bias_voltage: float,
+    carrier_count: float,
+    frequency: np.ndarray,
+    hooge_alpha: float,
+) -> np.ndarray:
+    """One-sided 1/f voltage PSD ``alpha V^2 / (N f)`` [V^2/Hz]."""
+    require_nonnegative("bias_voltage", bias_voltage)
+    require_positive("carrier_count", carrier_count)
+    require_nonnegative("hooge_alpha", hooge_alpha)
+    f = np.asarray(frequency, dtype=float)
+    if np.any(f <= 0.0):
+        raise ValueError("frequencies must be positive for a 1/f PSD")
+    return hooge_alpha * bias_voltage**2 / (carrier_count * f)
+
+
+def element_noise_psd(
+    resistance: float,
+    bias_voltage: float,
+    carrier_count: float,
+    frequency: np.ndarray,
+    hooge_alpha: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> np.ndarray:
+    """Total (Johnson + 1/f) voltage PSD of one biased resistor [V^2/Hz]."""
+    return johnson_psd(resistance, temperature) + hooge_psd(
+        bias_voltage, carrier_count, frequency, hooge_alpha
+    )
+
+
+def corner_frequency(
+    resistance: float,
+    bias_voltage: float,
+    carrier_count: float,
+    hooge_alpha: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """1/f corner: frequency where flicker equals thermal noise [Hz]."""
+    if bias_voltage == 0.0 or hooge_alpha == 0.0:
+        return 0.0
+    return (
+        hooge_alpha
+        * bias_voltage**2
+        / (carrier_count * johnson_psd(resistance, temperature))
+    )
+
+
+def integrate_psd(psd: np.ndarray, frequency: np.ndarray) -> float:
+    """RMS value [V] of a one-sided PSD integrated over its frequency grid."""
+    f = np.asarray(frequency, dtype=float)
+    p = np.asarray(psd, dtype=float)
+    if f.shape != p.shape:
+        raise ValueError("psd and frequency grids must have the same shape")
+    return math.sqrt(float(np.trapezoid(p, f)))
+
+
+def rms_in_band(
+    resistance: float,
+    bias_voltage: float,
+    carrier_count: float,
+    hooge_alpha: float,
+    f_low: float,
+    f_high: float,
+    temperature: float = ROOM_TEMPERATURE,
+) -> float:
+    """Closed-form rms noise [V] of one element over [f_low, f_high].
+
+    Thermal part integrates to ``4kTR (f_high - f_low)``; the 1/f part to
+    ``alpha V^2 / N * ln(f_high / f_low)``.
+    """
+    require_positive("f_low", f_low)
+    if f_high <= f_low:
+        raise ValueError("f_high must exceed f_low")
+    thermal = johnson_psd(resistance, temperature) * (f_high - f_low)
+    flicker = (
+        hooge_alpha * bias_voltage**2 / carrier_count * math.log(f_high / f_low)
+    )
+    return math.sqrt(thermal + flicker)

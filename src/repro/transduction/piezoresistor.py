@@ -1,0 +1,110 @@
+"""Diffused piezoresistors — the bridge elements of the static system.
+
+The static cantilever's Wheatstone bridge uses p-type diffusion resistors
+in the crystalline-silicon beam.  Their resistance responds to in-plane
+mechanical stress through the piezoresistive coefficients of silicon
+(:mod:`repro.materials.silicon`) and to temperature through a TCR; both
+enter the readout error budget.
+
+Carrier count (for 1/f noise, see :mod:`repro.transduction.noise`) is
+estimated from the diffusion geometry and doping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..materials.silicon import PiezoCoefficients, piezo_coefficients
+from ..units import require_positive, require_nonnegative
+
+
+@dataclass(frozen=True)
+class DiffusedResistor:
+    """A p-diffusion piezoresistor.
+
+    Parameters
+    ----------
+    nominal_resistance:
+        Resistance at zero stress and reference temperature [Ohm].
+    coefficients:
+        Longitudinal/transverse piezoresistive coefficients; defaults to
+        <110> p-type silicon, the standard CMOS layout orientation.
+    tcr:
+        Temperature coefficient of resistance [1/K]; p-diffusions are a
+        few 1e-3/K, which is why bridges (ratiometric) beat single
+        resistors for static sensing.
+    length / width / junction_depth:
+        Diffusion geometry [m], used for the carrier-count estimate.
+    doping:
+        Acceptor concentration [1/m^3].
+    """
+
+    nominal_resistance: float
+    coefficients: PiezoCoefficients = field(
+        default_factory=lambda: piezo_coefficients("<110>", "p")
+    )
+    tcr: float = 2.5e-3
+    length: float = 40e-6
+    width: float = 4e-6
+    junction_depth: float = 0.6e-6
+    doping: float = 1e24
+
+    def __post_init__(self) -> None:
+        require_positive("nominal_resistance", self.nominal_resistance)
+        require_positive("length", self.length)
+        require_positive("width", self.width)
+        require_positive("junction_depth", self.junction_depth)
+        require_positive("doping", self.doping)
+
+    @property
+    def carrier_count(self) -> float:
+        """Total free carriers in the resistor body (for Hooge 1/f noise)."""
+        volume = self.length * self.width * self.junction_depth
+        return self.doping * volume
+
+    def fractional_change(
+        self,
+        sigma_longitudinal: float,
+        sigma_transverse: float = 0.0,
+        delta_temperature: float = 0.0,
+    ) -> float:
+        """``dR/R`` for in-plane stress [Pa] and temperature change [K]."""
+        return (
+            self.coefficients.fractional_resistance_change(
+                sigma_longitudinal, sigma_transverse
+            )
+            + self.tcr * delta_temperature
+        )
+
+    def resistance(
+        self,
+        sigma_longitudinal: float = 0.0,
+        sigma_transverse: float = 0.0,
+        delta_temperature: float = 0.0,
+    ) -> float:
+        """Resistance [Ohm] under stress and temperature offset."""
+        return self.nominal_resistance * (
+            1.0
+            + self.fractional_change(
+                sigma_longitudinal, sigma_transverse, delta_temperature
+            )
+        )
+
+    def power_dissipation(self, bias_voltage: float) -> float:
+        """Static power [W] with the full bias across this element."""
+        require_nonnegative("bias_voltage", bias_voltage)
+        return bias_voltage**2 / self.nominal_resistance
+
+
+def sheet_resistance_to_resistance(
+    sheet_resistance: float, squares: float
+) -> float:
+    """Resistance of a diffusion of given sheet rho [Ohm/sq] and square count.
+
+    A 0.8 um CMOS p-base diffusion runs ~1-2 kOhm/sq, so a practical
+    bridge resistor of 10 kOhm needs only ~10 squares — small enough to
+    fit four of them at the cantilever clamp.
+    """
+    require_positive("sheet_resistance", sheet_resistance)
+    require_positive("squares", squares)
+    return sheet_resistance * squares

@@ -1,0 +1,291 @@
+"""The integrated Wheatstone bridge.
+
+Both sensor systems of the paper read the cantilever's mechanical
+deformation through a Wheatstone bridge of piezoresistive elements —
+diffused resistors distributed over the beam for the static system,
+PMOS-in-triode devices at the clamped edge for the resonant system.
+
+The model covers the full-bridge and half-bridge topologies, element
+mismatch (the dominant source of static offset that the programmable
+offset-compensation stage of Fig. 4 must absorb), temperature response,
+bridge output impedance, and the combined Johnson + 1/f noise PSD
+referred to the bridge output.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..constants import ROOM_TEMPERATURE
+from ..errors import CircuitError
+from ..units import require_positive
+from . import noise as noise_model
+
+
+class BridgeElement(Protocol):
+    """Anything that behaves as a stress-sensitive bridge resistor."""
+
+    @property
+    def nominal_resistance(self) -> float: ...
+
+    @property
+    def carrier_count(self) -> float: ...
+
+    def fractional_change(
+        self, sigma_longitudinal: float, sigma_transverse: float = 0.0
+    ) -> float: ...
+
+
+@dataclass(frozen=True)
+class BridgeOutput:
+    """Differential output of the bridge for one operating point."""
+
+    voltage: float
+    common_mode: float
+    fractional_unbalance: float
+
+
+class WheatstoneBridge:
+    """Four-element Wheatstone bridge with configurable active arms.
+
+    The bridge is drawn with elements R1..R4: R1 (top left) and R2
+    (bottom left) form the left divider, R3 (top right) and R4 (bottom
+    right) the right divider; the differential output is
+    ``V_left - V_right`` with each mid-node at
+    ``V_bias * R_bottom / (R_top + R_bottom)``.
+
+    Parameters
+    ----------
+    elements:
+        The four bridge elements ``(R1, R2, R3, R4)``.
+    active:
+        Stress-sensitivity sign of each element: +1 if mechanical stress
+        increases its resistance contribution, -1 if it decreases (element
+        oriented transversally or placed on a reference region), 0 for a
+        stress-blind reference element.  The default full active bridge
+        ``(-1, +1, +1, -1)`` yields positive output for positive (tensile)
+        longitudinal stress; a half bridge is ``(0, +1, 0, -1)`` etc.
+    bias_voltage:
+        Bridge excitation [V].
+    mismatch:
+        Fractional nominal-resistance mismatch of each element (static
+        manufacturing error); produces the offset the readout must cancel.
+    hooge_alpha:
+        Hooge parameter used for all elements' 1/f noise.
+    """
+
+    def __init__(
+        self,
+        elements: Sequence[BridgeElement],
+        active: Sequence[int] = (-1, 1, 1, -1),
+        bias_voltage: float = 3.3,
+        mismatch: Sequence[float] = (0.0, 0.0, 0.0, 0.0),
+        hooge_alpha: float = noise_model.HOOGE_ALPHA_DIFFUSED,
+    ) -> None:
+        if len(elements) != 4:
+            raise CircuitError("a Wheatstone bridge needs exactly 4 elements")
+        if len(active) != 4 or any(a not in (-1, 0, 1) for a in active):
+            raise CircuitError("active must be four values from {-1, 0, +1}")
+        if len(mismatch) != 4:
+            raise CircuitError("mismatch needs exactly 4 entries")
+        self.elements = tuple(elements)
+        self.active = tuple(int(a) for a in active)
+        self.bias_voltage = require_positive("bias_voltage", bias_voltage)
+        self.mismatch = tuple(float(m) for m in mismatch)
+        self.hooge_alpha = hooge_alpha
+
+    # -- resistances -----------------------------------------------------------
+
+    def _resistances(
+        self, sigma_longitudinal: float, sigma_transverse: float
+    ) -> list[float]:
+        values = []
+        for element, sign, mm in zip(self.elements, self.active, self.mismatch):
+            change = sign * element.fractional_change(
+                sigma_longitudinal, sigma_transverse
+            )
+            values.append(element.nominal_resistance * (1.0 + mm) * (1.0 + change))
+        return values
+
+    # -- outputs ----------------------------------------------------------------
+
+    def output(
+        self, sigma_longitudinal: float = 0.0, sigma_transverse: float = 0.0
+    ) -> BridgeOutput:
+        """Differential bridge output for an in-plane stress state [Pa]."""
+        r1, r2, r3, r4 = self._resistances(sigma_longitudinal, sigma_transverse)
+        v_left = self.bias_voltage * r2 / (r1 + r2)
+        v_right = self.bias_voltage * r4 / (r3 + r4)
+        return BridgeOutput(
+            voltage=v_left - v_right,
+            common_mode=0.5 * (v_left + v_right),
+            fractional_unbalance=(v_left - v_right) / self.bias_voltage,
+        )
+
+    def output_voltage(
+        self, sigma_longitudinal: float = 0.0, sigma_transverse: float = 0.0
+    ) -> float:
+        """Differential output voltage [V]."""
+        return self.output(sigma_longitudinal, sigma_transverse).voltage
+
+    def offset_voltage(self) -> float:
+        """Zero-stress output [V]: pure manufacturing mismatch."""
+        return self.output_voltage(0.0, 0.0)
+
+    def sensitivity(self) -> float:
+        """Small-signal output per unit longitudinal stress [V/Pa].
+
+        Evaluated by symmetric finite difference at a stress scale small
+        enough to stay deep in the linear regime.
+        """
+        probe = 1e3  # Pa; dR/R ~ 1e-7 — utterly linear
+        v_plus = self.output_voltage(probe)
+        v_minus = self.output_voltage(-probe)
+        return (v_plus - v_minus) / (2.0 * probe)
+
+    def active_arm_count(self) -> int:
+        """Number of stress-sensitive arms (|sign| = 1)."""
+        return sum(abs(a) for a in self.active)
+
+    # -- electrical properties ---------------------------------------------------
+
+    def output_resistance(self) -> float:
+        """Differential output resistance of the bridge [Ohm].
+
+        For a bridge of equal nominal arms R this is simply R (two
+        parallel pairs in series).
+        """
+        r1, r2, r3, r4 = (e.nominal_resistance for e in self.elements)
+        return r1 * r2 / (r1 + r2) + r3 * r4 / (r3 + r4)
+
+    def supply_current(self) -> float:
+        """DC current drawn from the bias source [A]."""
+        r1, r2, r3, r4 = (e.nominal_resistance for e in self.elements)
+        return self.bias_voltage / (r1 + r2) + self.bias_voltage / (r3 + r4)
+
+    def power_dissipation(self) -> float:
+        """Static power of the whole bridge [W].
+
+        The headline quantity of the paper's MOS-vs-diffusion comparison.
+        """
+        return self.bias_voltage * self.supply_current()
+
+    # -- supply sensitivity -------------------------------------------------------
+
+    def output_with_supply(
+        self,
+        sigma_longitudinal: float,
+        actual_bias: float,
+    ) -> float:
+        """Output [V] when the excitation deviates from nominal.
+
+        The bridge is a pure divider: its output scales linearly with
+        the actual bias, so supply ripple amplitude-modulates both the
+        signal *and* the mismatch offset.
+        """
+        require_positive("actual_bias", actual_bias)
+        return (
+            self.output_voltage(sigma_longitudinal)
+            * actual_bias
+            / self.bias_voltage
+        )
+
+    def ratiometric_reading(
+        self, sigma_longitudinal: float, actual_bias: float
+    ) -> float:
+        """Supply-referenced (ratiometric) reading: ``V_out / V_bias``.
+
+        An ADC whose reference is the bridge excitation measures this
+        quantity; the linear supply dependence cancels exactly — the
+        standard instrumentation trick, and one more thing monolithic
+        integration makes free (the same on-chip supply feeds both).
+        """
+        return (
+            self.output_with_supply(sigma_longitudinal, actual_bias)
+            / actual_bias
+        )
+
+    # -- noise --------------------------------------------------------------------
+
+    def noise_psd(
+        self, frequency: np.ndarray, temperature: float = ROOM_TEMPERATURE
+    ) -> np.ndarray:
+        """Output-referred voltage noise PSD [V^2/Hz].
+
+        Johnson noise of the output resistance plus the 1/f noise of the
+        four biased elements; each element carries half the bias, and
+        each divider's noise couples with a factor 1/4 in power to the
+        differential output (two dividers add).
+        """
+        f = np.asarray(frequency, dtype=float)
+        thermal = noise_model.johnson_psd(self.output_resistance(), temperature)
+        flicker = np.zeros_like(f)
+        for element in self.elements:
+            flicker += 0.25 * noise_model.hooge_psd(
+                self.bias_voltage / 2.0,
+                element.carrier_count,
+                f,
+                self.hooge_alpha,
+            )
+        return thermal + flicker
+
+    def noise_rms(
+        self,
+        f_low: float,
+        f_high: float,
+        points: int = 2001,
+        temperature: float = ROOM_TEMPERATURE,
+    ) -> float:
+        """RMS output noise [V] over a band, by log-grid integration."""
+        require_positive("f_low", f_low)
+        if f_high <= f_low:
+            raise CircuitError("f_high must exceed f_low")
+        f = np.logspace(math.log10(f_low), math.log10(f_high), points)
+        return noise_model.integrate_psd(self.noise_psd(f, temperature), f)
+
+    def corner_frequency(self, temperature: float = ROOM_TEMPERATURE) -> float:
+        """Bridge-output 1/f corner frequency [Hz]."""
+        thermal = noise_model.johnson_psd(self.output_resistance(), temperature)
+        flicker_at_1hz = sum(
+            0.25
+            * noise_model.hooge_psd(
+                self.bias_voltage / 2.0,
+                element.carrier_count,
+                np.asarray([1.0]),
+                self.hooge_alpha,
+            )[0]
+            for element in self.elements
+        )
+        return flicker_at_1hz / thermal
+
+
+def matched_bridge(
+    element: BridgeElement,
+    *,
+    active: Sequence[int] = (-1, 1, 1, -1),
+    bias_voltage: float = 3.3,
+    mismatch_sigma: float = 0.0,
+    hooge_alpha: float = noise_model.HOOGE_ALPHA_DIFFUSED,
+    seed: int | None = None,
+) -> WheatstoneBridge:
+    """Bridge of four copies of one element, with optional random mismatch.
+
+    ``mismatch_sigma`` is the per-element fractional standard deviation;
+    a 0.8 um process matches adjacent diffusions to ~0.1-1 %.
+    """
+    if mismatch_sigma:
+        rng = np.random.default_rng(seed)
+        mismatch = tuple(rng.normal(0.0, mismatch_sigma, size=4))
+    else:
+        mismatch = (0.0, 0.0, 0.0, 0.0)
+    return WheatstoneBridge(
+        elements=(element, element, element, element),
+        active=active,
+        bias_voltage=bias_voltage,
+        mismatch=mismatch,
+        hooge_alpha=hooge_alpha,
+    )

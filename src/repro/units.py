@@ -1,0 +1,137 @@
+"""Unit helpers and argument validation.
+
+The library is strict-SI internally.  These helpers convert the
+laboratory units that appear in the cantilever-biosensor literature
+(micrometres, millinewton-per-metre surface stress, picograms,
+nanomolar concentrations, kilodalton masses) to SI and back, and provide
+small validators used by constructors throughout the package.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .constants import AVOGADRO, DALTON
+from .errors import UnitError
+
+# ---------------------------------------------------------------------------
+# conversions to SI
+# ---------------------------------------------------------------------------
+
+
+def um(value: float) -> float:
+    """Micrometres to metres."""
+    return value * 1e-6
+
+
+def nm(value: float) -> float:
+    """Nanometres to metres."""
+    return value * 1e-9
+
+
+def mm(value: float) -> float:
+    """Millimetres to metres."""
+    return value * 1e-3
+
+
+def mN_per_m(value: float) -> float:
+    """Millinewton-per-metre (surface stress) to N/m."""
+    return value * 1e-3
+
+def pg(value: float) -> float:
+    """Picograms to kilograms."""
+    return value * 1e-15
+
+
+def ng(value: float) -> float:
+    """Nanograms to kilograms."""
+    return value * 1e-12
+
+
+def kda(value: float) -> float:
+    """Kilodaltons (molecular mass) to kilograms per molecule."""
+    return value * 1e3 * DALTON
+
+
+def nM(value: float) -> float:  # noqa: N802 - conventional unit symbol
+    """Nanomolar concentration to molecules per cubic metre."""
+    return value * 1e-9 * AVOGADRO * 1e3
+
+
+def molar(value: float) -> float:
+    """Molar concentration (mol/L) to molecules per cubic metre."""
+    return value * AVOGADRO * 1e3
+
+
+# ---------------------------------------------------------------------------
+# conversions from SI (used by reports and benches)
+# ---------------------------------------------------------------------------
+
+
+def to_um(metres: float) -> float:
+    """Metres to micrometres."""
+    return metres * 1e6
+
+
+def to_nm(metres: float) -> float:
+    """Metres to nanometres."""
+    return metres * 1e9
+
+
+def to_pg(kilograms: float) -> float:
+    """Kilograms to picograms."""
+    return kilograms * 1e15
+
+
+def to_mN_per_m(newtons_per_metre: float) -> float:
+    """N/m to mN/m."""
+    return newtons_per_metre * 1e3
+
+
+def to_khz(hertz: float) -> float:
+    """Hertz to kilohertz."""
+    return hertz * 1e-3
+
+
+def to_uV(volts: float) -> float:  # noqa: N802 - conventional unit symbol
+    """Volts to microvolts."""
+    return volts * 1e6
+
+
+# ---------------------------------------------------------------------------
+# validators
+# ---------------------------------------------------------------------------
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number > 0, else raise UnitError."""
+    if not _is_finite_number(value) or value <= 0.0:
+        raise UnitError(f"{name} must be a positive finite number, got {value!r}")
+    return float(value)
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    """Return ``value`` if it is a finite number >= 0, else raise UnitError."""
+    if not _is_finite_number(value) or value < 0.0:
+        raise UnitError(f"{name} must be a non-negative finite number, got {value!r}")
+    return float(value)
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Return ``value`` if it lies in [0, 1], else raise UnitError."""
+    if not _is_finite_number(value) or not 0.0 <= value <= 1.0:
+        raise UnitError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def require_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Return ``value`` if it lies in [low, high], else raise UnitError."""
+    if not _is_finite_number(value) or not low <= value <= high:
+        raise UnitError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def _is_finite_number(value: object) -> bool:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)

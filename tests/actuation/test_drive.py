@@ -1,0 +1,65 @@
+"""Drive-waveform synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.actuation import burst, instantaneous_frequency, linear_chirp, tone
+from repro.errors import SignalError
+
+FS = 200e3
+
+
+class TestTone:
+    def test_amplitude_and_length(self):
+        s = tone(1e3, 0.5, 0.1, FS)
+        assert s.peak() == pytest.approx(0.5, rel=1e-3)
+        assert len(s) == 20000
+
+
+class TestChirp:
+    def test_frequency_sweeps(self):
+        s = linear_chirp(1e3, 5e3, 1.0, 0.1, FS)
+        f_inst = instantaneous_frequency(s)
+        # each reading averages one period, so the first sits slightly
+        # above the start frequency
+        assert f_inst[0] == pytest.approx(1e3, rel=0.10)
+        assert f_inst[-1] == pytest.approx(5e3, rel=0.05)
+
+    def test_monotone_sweep(self):
+        s = linear_chirp(1e3, 5e3, 1.0, 0.1, FS)
+        f_inst = instantaneous_frequency(s)
+        smooth = np.convolve(f_inst, np.ones(5) / 5, mode="valid")
+        # allow the period-quantization jitter (~fs/period^2) near 5 kHz
+        assert np.all(np.diff(smooth) > -30.0)
+
+    def test_above_nyquist_rejected(self):
+        with pytest.raises(SignalError):
+            linear_chirp(1e3, 150e3, 1.0, 0.1, FS)
+
+
+class TestBurst:
+    def test_silence_after_on_time(self):
+        s = burst(1e3, 1.0, on_time=0.02, total_time=0.05, sample_rate=FS)
+        tail = s.slice_time(0.03, 0.05)
+        assert tail.peak() == 0.0
+
+    def test_active_during_on_time(self):
+        s = burst(1e3, 1.0, on_time=0.02, total_time=0.05, sample_rate=FS)
+        head = s.slice_time(0.0, 0.02)
+        assert head.peak() == pytest.approx(1.0, rel=1e-2)
+
+    def test_invalid_times(self):
+        with pytest.raises(SignalError):
+            burst(1e3, 1.0, on_time=0.05, total_time=0.02, sample_rate=FS)
+
+
+class TestInstantaneousFrequency:
+    def test_constant_tone(self):
+        s = tone(2e3, 1.0, 0.05, FS)
+        f = instantaneous_frequency(s)
+        assert np.median(f) == pytest.approx(2e3, rel=1e-3)
+        assert np.all(np.abs(f - 2e3) < 0.05 * 2e3)
+
+    def test_too_short_returns_empty(self):
+        s = tone(100.0, 1.0, 0.001, FS)
+        assert len(instantaneous_frequency(s)) == 0

@@ -1,0 +1,100 @@
+"""Lorentz-force actuator: coil electrical limits and force conversion."""
+
+import numpy as np
+import pytest
+
+from repro.actuation import ActuationCoil, LorentzActuator, PermanentMagnet
+from repro.errors import CircuitError
+
+
+@pytest.fixture()
+def coil(geometry):
+    return ActuationCoil(geometry=geometry, turns=2)
+
+
+@pytest.fixture()
+def actuator(coil):
+    return LorentzActuator(coil, PermanentMagnet(field=0.25))
+
+
+class TestCoilElectrical:
+    def test_trace_length(self, coil, geometry):
+        per_turn = 2.0 * geometry.length + geometry.width
+        assert coil.trace_length == pytest.approx(2 * per_turn)
+
+    def test_resistance_low_tens_of_ohms(self, coil):
+        # "the low-resistance coil" of the paper
+        assert 5.0 < coil.resistance < 50.0
+
+    def test_resistance_scales_with_turns(self, geometry):
+        one = ActuationCoil(geometry=geometry, turns=1)
+        three = ActuationCoil(geometry=geometry, turns=3)
+        assert three.resistance == pytest.approx(3.0 * one.resistance)
+
+    def test_electromigration_limit(self, coil):
+        assert coil.max_current == pytest.approx(2e9 * 4e-6 * 1e-6)
+
+    def test_drive_power(self, coil):
+        i = 1e-3
+        assert coil.drive_power(i) == pytest.approx(i**2 * coil.resistance)
+
+    def test_zero_turns_rejected(self, geometry):
+        with pytest.raises(CircuitError):
+            ActuationCoil(geometry=geometry, turns=0)
+
+
+class TestForce:
+    def test_force_per_current(self, coil):
+        magnet = PermanentMagnet(field=0.25)
+        # F/I = n B w
+        assert coil.force_per_current(magnet) == pytest.approx(
+            2 * 0.25 * coil.geometry.width
+        )
+
+    def test_force_linear_below_limit(self, coil):
+        magnet = PermanentMagnet()
+        f1 = coil.tip_force(1e-3, magnet)
+        f2 = coil.tip_force(2e-3, magnet)
+        assert f2 == pytest.approx(2.0 * f1)
+
+    def test_force_clips_at_current_limit(self, coil):
+        magnet = PermanentMagnet()
+        f_max = coil.tip_force(coil.max_current, magnet)
+        f_over = coil.tip_force(10.0 * coil.max_current, magnet)
+        assert f_over == pytest.approx(f_max)
+
+    def test_force_sign_follows_current(self, coil):
+        magnet = PermanentMagnet()
+        assert coil.tip_force(-1e-3, magnet) == pytest.approx(
+            -coil.tip_force(1e-3, magnet)
+        )
+
+    def test_array_input(self, coil):
+        magnet = PermanentMagnet()
+        f = coil.tip_force(np.asarray([0.0, 1e-3]), magnet)
+        assert f.shape == (2,)
+        assert f[0] == 0.0
+
+
+class TestActuator:
+    def test_force_per_volt(self, actuator):
+        expected = actuator.coil.force_per_current(actuator.magnet) / (
+            actuator.coil.resistance
+        )
+        assert actuator.force_per_volt == pytest.approx(expected)
+
+    def test_voltage_to_force(self, actuator):
+        v = 0.05
+        assert float(actuator.tip_force_from_voltage(v)) == pytest.approx(
+            actuator.force_per_volt * v
+        )
+
+    def test_max_force_nanonewtons(self, actuator):
+        # hundreds of nN: ample to drive nm-scale resonant motion
+        assert 1e-8 < actuator.max_force < 1e-5
+
+    def test_voltage_clipping(self, actuator):
+        v_huge = 100.0
+        assert float(actuator.tip_force_from_voltage(v_huge)) == pytest.approx(
+            actuator.max_force
+        )

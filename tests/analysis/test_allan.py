@@ -1,0 +1,88 @@
+"""Allan deviation: known scaling laws and conversion to mass noise."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    allan_curve,
+    allan_deviation,
+    allan_variance,
+    fractional_frequencies,
+    frequency_noise_to_mass_noise,
+)
+from repro.errors import SignalError
+
+
+class TestAllanBasics:
+    def test_constant_data_zero_deviation(self):
+        y = np.zeros(100)
+        assert allan_deviation(y) == 0.0
+
+    def test_alternating_data(self):
+        y = np.asarray([1.0, -1.0] * 50)
+        # successive differences are +/-2: sigma^2 = 0.5*4 = 2
+        assert allan_variance(y, 1) == pytest.approx(2.0)
+
+    def test_white_noise_scaling(self, rng):
+        # white frequency noise: sigma_y(tau) ~ tau^-1/2
+        y = rng.normal(0.0, 1e-6, 65536)
+        s1 = allan_deviation(y, 1)
+        s16 = allan_deviation(y, 16)
+        assert s1 / s16 == pytest.approx(4.0, rel=0.15)
+
+    def test_linear_drift_scaling(self):
+        # pure drift: sigma_y(tau) ~ tau
+        y = np.linspace(0.0, 1e-3, 4096)
+        s1 = allan_deviation(y, 1)
+        s8 = allan_deviation(y, 8)
+        assert s8 / s1 == pytest.approx(8.0, rel=0.05)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(SignalError):
+            allan_deviation(np.ones(3), 2)
+
+    def test_invalid_factor(self):
+        with pytest.raises(SignalError):
+            allan_deviation(np.ones(10), 0)
+
+
+class TestAllanCurve:
+    def test_octave_spacing(self, rng):
+        y = rng.normal(0.0, 1e-6, 1024)
+        curve = allan_curve(y, tau0=0.1)
+        ratios = curve.taus[1:] / curve.taus[:-1]
+        assert np.allclose(ratios, 2.0)
+
+    def test_white_noise_optimal_is_longest(self, rng):
+        y = rng.normal(0.0, 1e-6, 4096)
+        curve = allan_curve(y, tau0=1.0)
+        # pure white FM keeps improving with averaging
+        assert curve.optimal_tau() == curve.taus[-1]
+
+    def test_drift_limited_optimum_interior(self, rng):
+        n = 4096
+        y = rng.normal(0.0, 1e-6, n) + np.linspace(0.0, 2e-5, n)
+        curve = allan_curve(y, tau0=1.0)
+        assert curve.optimal_tau() < curve.taus[-1]
+
+    def test_minimum_deviation(self, rng):
+        y = rng.normal(0.0, 1e-6, 1024)
+        curve = allan_curve(y, tau0=1.0)
+        assert curve.minimum_deviation() == pytest.approx(
+            np.min(curve.deviations)
+        )
+
+
+class TestConversions:
+    def test_fractional(self):
+        y = fractional_frequencies(np.asarray([10010.0, 9990.0]), 10000.0)
+        assert y == pytest.approx([1e-3, -1e-3])
+
+    def test_mass_noise(self):
+        # sigma_y = 1e-6 at f0 = 10 kHz with |df/dm| = 1 Hz/pg
+        sigma_m = frequency_noise_to_mass_noise(1e-6, 10e3, -1.0 / 1e-15)
+        assert sigma_m == pytest.approx(1e-2 * 1e-15)
+
+    def test_zero_responsivity_rejected(self):
+        with pytest.raises(SignalError):
+            frequency_noise_to_mass_noise(1e-6, 1e4, 0.0)

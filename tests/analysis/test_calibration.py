@@ -1,0 +1,68 @@
+"""Responsivity / LOD calibration chain."""
+
+import pytest
+
+from repro.analysis import (
+    concentration_responsivity,
+    coverage_lod_to_concentration,
+    limit_of_detection,
+    snr_db,
+)
+from repro.biochem import equilibrium_coverage, get_analyte
+
+
+class TestLimitOfDetection:
+    def test_three_sigma(self):
+        lod = limit_of_detection(responsivity=2.0, noise_rms=0.1, units="V per X")
+        assert lod.lod == pytest.approx(0.15)
+
+    def test_sigma_parameter(self):
+        lod = limit_of_detection(2.0, 0.1, "x", sigma=5.0)
+        assert lod.lod == pytest.approx(0.25)
+
+    def test_negative_responsivity_ok(self):
+        lod = limit_of_detection(-2.0, 0.1, "Hz/kg")
+        assert lod.lod == pytest.approx(0.15)
+
+    def test_zero_responsivity_rejected(self):
+        with pytest.raises(ValueError):
+            limit_of_detection(0.0, 0.1, "x")
+
+    def test_str_contains_units(self):
+        text = str(limit_of_detection(2.0, 0.1, "mN/m"))
+        assert "mN/m" in text
+
+
+class TestConcentrationChain:
+    def test_isotherm_slope_at_zero(self, igg_surface):
+        igg = igg_surface.analyte
+        # at C = 0 the slope is 1/K_D
+        r = concentration_responsivity(igg_surface, 1.0, 0.0)
+        assert r == pytest.approx(1.0 / igg.dissociation_constant)
+
+    def test_slope_decreases_with_concentration(self, igg_surface):
+        kd = igg_surface.analyte.dissociation_constant
+        r0 = concentration_responsivity(igg_surface, 1.0, 0.0)
+        r_kd = concentration_responsivity(igg_surface, 1.0, kd)
+        assert r_kd == pytest.approx(r0 / 4.0)
+
+    def test_coverage_lod_inversion(self):
+        igg = get_analyte("igg")
+        c = coverage_lod_to_concentration(0.5, igg)
+        assert c == pytest.approx(igg.dissociation_constant)
+        assert equilibrium_coverage(igg, c) == pytest.approx(0.5)
+
+    def test_invalid_coverage_lod(self):
+        igg = get_analyte("igg")
+        with pytest.raises(ValueError):
+            coverage_lod_to_concentration(1.0, igg)
+
+
+class TestSNR:
+    def test_20db_per_decade(self):
+        assert snr_db(1.0, 0.1) == pytest.approx(20.0)
+        assert snr_db(1.0, 0.01) == pytest.approx(40.0)
+
+    def test_zero_noise_rejected(self):
+        with pytest.raises(Exception):
+            snr_db(1.0, 0.0)

@@ -1,0 +1,119 @@
+"""Autonomous-detection algorithms: baseline, CUSUM, dose-response."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cusum_detect,
+    fit_baseline,
+    fit_dose_response,
+)
+from repro.biochem import equilibrium_coverage, get_analyte
+from repro.errors import SignalError
+from repro.units import nM
+
+
+def make_trace(rng, step=0.05, onset=300.0, drift=1e-5, noise=5e-3, n=600):
+    t = np.arange(n, dtype=float) * 2.0
+    v = drift * t + noise * rng.standard_normal(n)
+    v[t >= onset] += step
+    return t, v
+
+
+class TestBaseline:
+    def test_recovers_offset_and_slope(self, rng):
+        t = np.arange(200, dtype=float)
+        v = 0.5 + 1e-4 * t + 1e-4 * rng.standard_normal(200)
+        baseline = fit_baseline(t, v, window=199.0)
+        assert baseline.offset == pytest.approx(0.5, abs=1e-3)
+        assert baseline.slope == pytest.approx(1e-4, rel=0.05)
+
+    def test_noise_estimate(self, rng):
+        t = np.arange(500, dtype=float)
+        v = 2e-3 * rng.standard_normal(500)
+        baseline = fit_baseline(t, v, window=499.0)
+        assert baseline.noise_rms == pytest.approx(2e-3, rel=0.1)
+
+    def test_window_too_small(self):
+        with pytest.raises(SignalError):
+            fit_baseline(np.arange(10.0), np.zeros(10), window=1.0)
+
+
+class TestCusum:
+    def test_detects_step(self, rng):
+        t, v = make_trace(rng)
+        baseline = fit_baseline(t, v, window=250.0)
+        detection = cusum_detect(t, v, baseline)
+        assert detection.detected
+        # onset found shortly after (never before) the true event
+        assert detection.onset_time == pytest.approx(300.0, abs=150.0)
+        assert detection.onset_time >= 300.0 - 10.0
+
+    def test_no_false_alarm_on_baseline(self, rng):
+        t = np.arange(600, dtype=float) * 2.0
+        v = 1e-5 * t + 5e-3 * rng.standard_normal(len(t))
+        baseline = fit_baseline(t, v, window=400.0)
+        # conservative operating point: the default k=0.5/h=5 CUSUM has
+        # an in-control ARL (~900 samples) comparable to this trace
+        detection = cusum_detect(t, v, baseline, sigmas=8.0, drift_sigmas=1.0)
+        assert not detection.detected
+
+    def test_detects_negative_steps(self, rng):
+        t, v = make_trace(rng, step=-0.05)
+        baseline = fit_baseline(t, v, window=250.0)
+        detection = cusum_detect(t, v, baseline)
+        assert detection.detected
+
+    def test_threshold_scales_with_sigmas(self, rng):
+        t, v = make_trace(rng)
+        baseline = fit_baseline(t, v, window=250.0)
+        loose = cusum_detect(t, v, baseline, sigmas=3.0)
+        tight = cusum_detect(t, v, baseline, sigmas=8.0)
+        assert tight.threshold > loose.threshold
+
+    def test_small_step_below_threshold_ignored(self, rng):
+        t, v = make_trace(rng, step=0.002, noise=5e-3)
+        baseline = fit_baseline(t, v, window=250.0)
+        detection = cusum_detect(t, v, baseline, sigmas=8.0, drift_sigmas=1.0)
+        assert not detection.detected
+
+
+class TestDoseResponse:
+    def test_recovers_kd_from_clean_isotherm(self):
+        igg = get_analyte("igg")
+        kd = igg.dissociation_constant
+        c = np.asarray([nM(0.1), nM(0.3), nM(1), nM(3), nM(10), nM(100)])
+        r = np.asarray([equilibrium_coverage(igg, ci) for ci in c]) * 0.05
+        fit = fit_dose_response(c, r)
+        assert fit.k_d == pytest.approx(kd, rel=0.01)
+        assert fit.max_response == pytest.approx(0.05, rel=0.01)
+
+    def test_sign_agnostic(self):
+        igg = get_analyte("igg")
+        c = np.asarray([nM(0.3), nM(1), nM(3), nM(10), nM(100)])
+        r = -np.asarray([equilibrium_coverage(igg, ci) for ci in c]) * 0.02
+        fit = fit_dose_response(c, r)
+        assert fit.k_d == pytest.approx(igg.dissociation_constant, rel=0.05)
+
+    def test_concentration_inversion(self):
+        igg = get_analyte("igg")
+        c = np.asarray([nM(0.3), nM(1), nM(3), nM(10), nM(100)])
+        r = np.asarray([equilibrium_coverage(igg, ci) for ci in c]) * 0.05
+        fit = fit_dose_response(c, r)
+        unknown_c = nM(2.5)
+        response = fit.response_at(np.asarray([unknown_c]))[0]
+        assert fit.concentration_from_response(response) == pytest.approx(
+            unknown_c, rel=1e-6
+        )
+
+    def test_inversion_range_guard(self):
+        igg = get_analyte("igg")
+        c = np.asarray([nM(1), nM(10), nM(100)])
+        r = np.asarray([equilibrium_coverage(igg, ci) for ci in c])
+        fit = fit_dose_response(c, r)
+        with pytest.raises(SignalError):
+            fit.concentration_from_response(fit.max_response * 1.1)
+
+    def test_too_few_points(self):
+        with pytest.raises(SignalError):
+            fit_dose_response(np.asarray([1.0, 2.0]), np.asarray([0.1, 0.2]))

@@ -1,0 +1,81 @@
+"""Frequency estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    fft_peak_frequency,
+    ring_down_quality_factor,
+    zero_crossing_frequency,
+)
+from repro.circuits import Signal
+from repro.errors import SignalError
+from repro.mechanics import ModalResonator
+
+FS = 500e3
+
+
+class TestZeroCrossing:
+    def test_clean_tone(self):
+        s = Signal.sine(8877.3, 0.05, FS)
+        assert zero_crossing_frequency(s) == pytest.approx(8877.3, rel=1e-5)
+
+    def test_with_offset_fails_gracefully(self):
+        s = Signal.constant(1.0, 0.01, FS)
+        with pytest.raises(SignalError):
+            zero_crossing_frequency(s)
+
+    def test_robust_to_moderate_noise(self, rng):
+        t = np.arange(int(0.05 * FS)) / FS
+        x = np.sin(2 * np.pi * 5e3 * t) + 0.05 * rng.normal(size=len(t))
+        s = Signal(x, FS)
+        f = zero_crossing_frequency(s, hysteresis=0.5)
+        assert f == pytest.approx(5e3, rel=1e-3)
+
+
+class TestFFTPeak:
+    def test_resolves_below_bin_spacing(self):
+        # 0.02 s record: bin spacing 50 Hz; interpolation should do ~ Hz
+        s = Signal.sine(8877.3, 0.02, FS)
+        assert fft_peak_frequency(s) == pytest.approx(8877.3, abs=5.0)
+
+    def test_ignores_dc(self):
+        s = Signal.sine(1e3, 0.05, FS, offset=5.0)
+        assert fft_peak_frequency(s) == pytest.approx(1e3, rel=1e-3)
+
+    def test_rejects_tiny_records(self):
+        with pytest.raises(SignalError):
+            fft_peak_frequency(Signal(np.ones(4), FS))
+
+    def test_windows(self):
+        s = Signal.sine(2e3, 0.05, FS)
+        assert fft_peak_frequency(s, window="none") == pytest.approx(2e3, rel=1e-2)
+        with pytest.raises(SignalError):
+            fft_peak_frequency(s, window="kaiser")
+
+
+class TestRingDownQ:
+    def test_recovers_modal_q(self):
+        q_true = 80.0
+        f0 = 10e3
+        m = 1e-9
+        k = m * (2 * math.pi * f0) ** 2
+        res = ModalResonator(m, k, q_true, 1.0 / (f0 * 60))
+        res.reset(displacement=1e-8)
+        x = res.ring_down(cycles=120)
+        s = Signal(x, 1.0 / res.timestep)
+        q_est = ring_down_quality_factor(s, f0)
+        assert q_est == pytest.approx(q_true, rel=0.1)
+
+    def test_rejects_growing_signal(self):
+        t = np.arange(int(0.01 * FS)) / FS
+        x = np.exp(3.0 * t / t[-1]) * np.sin(2 * np.pi * 5e3 * t)
+        with pytest.raises(SignalError):
+            ring_down_quality_factor(Signal(x, FS), 5e3)
+
+    def test_rejects_short_record(self):
+        s = Signal.sine(100.0, 0.005, FS)
+        with pytest.raises(SignalError):
+            ring_down_quality_factor(s, 100.0)

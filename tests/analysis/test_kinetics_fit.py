@@ -1,0 +1,114 @@
+"""SPR-style kinetics extraction from binding transients."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.kinetics_fit import (
+    extract_kinetics,
+    fit_kobs_line,
+    fit_transient,
+)
+from repro.biochem import coverage_transient, get_analyte
+from repro.errors import ConvergenceError, SignalError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def igg():
+    return get_analyte("igg")
+
+
+class TestTransientFit:
+    def test_recovers_kobs_exactly(self, igg):
+        c = nM(10)
+        k_true = igg.k_on * c + igg.k_off
+        t = np.linspace(0.0, 5.0 / k_true, 200)
+        theta = coverage_transient(igg, c, t)
+        fit = fit_transient(t, theta)
+        assert fit.k_obs == pytest.approx(k_true, rel=1e-6)
+        assert fit.residual_rms < 1e-9
+
+    def test_works_on_scaled_signals(self, igg):
+        # volts instead of coverage: same k_obs
+        c = nM(10)
+        k_true = igg.k_on * c + igg.k_off
+        t = np.linspace(0.0, 5.0 / k_true, 200)
+        volts = -0.035 * coverage_transient(igg, c, t) + 1.2
+        fit = fit_transient(t, volts)
+        assert fit.k_obs == pytest.approx(k_true, rel=1e-6)
+        assert fit.amplitude < 0.0
+
+    def test_with_noise(self, igg, rng):
+        c = nM(30)
+        k_true = igg.k_on * c + igg.k_off
+        t = np.linspace(0.0, 5.0 / k_true, 400)
+        theta = coverage_transient(igg, c, t)
+        noisy = theta + 0.01 * rng.standard_normal(len(t))
+        fit = fit_transient(t, noisy)
+        assert fit.k_obs == pytest.approx(k_true, rel=0.1)
+
+    def test_input_validation(self):
+        with pytest.raises(SignalError):
+            fit_transient(np.asarray([1.0, 2.0]), np.asarray([0.0, 1.0]))
+        with pytest.raises(SignalError):
+            fit_transient(np.asarray([1.0, 1.0, 2.0, 3.0, 4.0]), np.zeros(5))
+
+
+class TestKobsLine:
+    def test_recovers_constants(self, igg):
+        cs = np.asarray([nM(1), nM(3), nM(10), nM(30)])
+        ks = igg.k_on * cs + igg.k_off
+        fit = fit_kobs_line(cs, ks)
+        assert fit.k_on == pytest.approx(igg.k_on, rel=1e-9)
+        assert fit.k_off == pytest.approx(igg.k_off, rel=1e-6)
+        assert fit.dissociation_constant == pytest.approx(
+            igg.dissociation_constant, rel=1e-6
+        )
+
+    def test_flat_line_rejected(self):
+        cs = np.asarray([nM(1), nM(3), nM(10)])
+        with pytest.raises(ConvergenceError):
+            fit_kobs_line(cs, np.asarray([1e-3, 1e-3, 1e-3]))
+
+    def test_negative_intercept_clamped(self, igg):
+        cs = np.asarray([nM(1), nM(3), nM(10)])
+        ks = igg.k_on * cs - 1e-6  # unphysical but plausible noisy data
+        fit = fit_kobs_line(cs, ks)
+        assert fit.k_off == 0.0
+
+    def test_too_few_points(self):
+        with pytest.raises(SignalError):
+            fit_kobs_line(np.asarray([1.0, 2.0]), np.asarray([1.0, 2.0]))
+
+
+class TestEndToEnd:
+    def test_full_pipeline_from_sensor_traces(self, igg_surface):
+        """From static-sensor outputs to K_D, across a titration."""
+        from repro.biochem import AssayProtocol
+        from repro.core import StaticCantileverSensor
+
+        igg = igg_surface.analyte
+        sensor = StaticCantileverSensor(igg_surface)
+        sensor.calibrate_offset()
+
+        concentrations = [nM(3), nM(10), nM(30)]
+        traces = []
+        for c in concentrations:
+            k_true = igg.k_on * c + igg.k_off
+            exposure = 5.0 / k_true
+            protocol = AssayProtocol.injection(
+                c, baseline=60, exposure=exposure, wash=1.0
+            )
+            run = sensor.run_assay(
+                protocol, sample_interval=exposure / 200, include_noise=False
+            )
+            mask = (run.times >= 60.0) & (run.times <= 60.0 + exposure)
+            traces.append((run.times[mask] - 60.0, run.output_voltage[mask]))
+
+        fit = extract_kinetics(concentrations, traces)
+        assert fit.k_on == pytest.approx(igg.k_on, rel=0.05)
+        assert fit.k_off == pytest.approx(igg.k_off, rel=0.25)
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(SignalError):
+            extract_kinetics([1.0], [])

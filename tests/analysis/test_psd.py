@@ -1,0 +1,59 @@
+"""Welch PSD helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import band_power, band_rms, psd_slope, welch_psd
+from repro.circuits import Signal
+from repro.errors import SignalError
+
+FS = 100e3
+
+
+class TestWelch:
+    def test_tone_power_in_band(self):
+        s = Signal.sine(5e3, 1.0, FS, amplitude=1.0)
+        power = band_power(s, 4e3, 6e3)
+        assert power == pytest.approx(0.5, rel=0.05)  # A^2/2
+
+    def test_tone_absent_outside_band(self):
+        s = Signal.sine(5e3, 1.0, FS, amplitude=1.0)
+        assert band_power(s, 10e3, 20e3) < 1e-6
+
+    def test_band_rms(self):
+        s = Signal.sine(5e3, 1.0, FS, amplitude=1.0)
+        assert band_rms(s, 4e3, 6e3) == pytest.approx(np.sqrt(0.5), rel=0.05)
+
+    def test_white_noise_level(self, rng):
+        density = 1e-10
+        x = rng.normal(0.0, np.sqrt(density * FS / 2.0), 200000)
+        s = Signal(x, FS)
+        freqs, psd = welch_psd(s, segments=16)
+        mid = psd[(freqs > 1e3) & (freqs < 40e3)]
+        assert np.mean(mid) == pytest.approx(density, rel=0.1)
+
+    def test_invalid_band(self):
+        s = Signal.sine(1e3, 0.1, FS)
+        with pytest.raises(SignalError):
+            band_power(s, 5e3, 1e3)
+
+    def test_empty_band_rejected(self):
+        s = Signal.sine(1e3, 0.01, FS)
+        with pytest.raises(SignalError):
+            band_power(s, 49.99e3, 49.995e3)
+
+
+class TestSlope:
+    def test_white_slope_zero(self, rng):
+        x = rng.normal(0.0, 1.0, 200000)
+        assert abs(psd_slope(Signal(x, FS), 100.0, 40e3)) < 0.1
+
+    def test_integrated_noise_slope_minus_two(self, rng):
+        x = np.cumsum(rng.normal(0.0, 1.0, 400000))
+        slope = psd_slope(Signal(x, FS), 100.0, 10e3)
+        assert slope == pytest.approx(-2.0, abs=0.2)
+
+    def test_too_few_bins_rejected(self, rng):
+        x = rng.normal(0.0, 1.0, 64)
+        with pytest.raises(SignalError):
+            psd_slope(Signal(x, FS), 1.0, 2.0)

@@ -1,0 +1,86 @@
+"""Swept-sine resonance measurement and Lorentzian fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_resonance, measure_resonance, swept_sine_response
+from repro.analysis.resonance_fit import _magnitude_model
+from repro.errors import ConvergenceError, SignalError
+from repro.mechanics import ModalResonator
+
+
+def make_resonator(f0=10e3, q=50.0, steps_per_cycle=50):
+    m = 1e-10
+    k = m * (2 * math.pi * f0) ** 2
+    return ModalResonator(m, k, q, 1.0 / (f0 * steps_per_cycle))
+
+
+class TestFitOnSyntheticData:
+    def test_exact_recovery(self):
+        f = np.linspace(8e3, 12e3, 101)
+        a = _magnitude_model(f, 10e3, 40.0, 1e-9)
+        fit = fit_resonance(f, a)
+        assert fit.frequency == pytest.approx(10e3, rel=1e-6)
+        assert fit.quality_factor == pytest.approx(40.0, rel=1e-6)
+        assert fit.residual_rms < 1e-15
+
+    def test_recovery_with_noise(self, rng):
+        f = np.linspace(8e3, 12e3, 201)
+        a = _magnitude_model(f, 10e3, 40.0, 1e-9)
+        noisy = a * (1.0 + 0.02 * rng.standard_normal(len(a)))
+        fit = fit_resonance(f, noisy)
+        assert fit.frequency == pytest.approx(10e3, rel=1e-3)
+        assert fit.quality_factor == pytest.approx(40.0, rel=0.1)
+
+    def test_low_q_curve(self):
+        f = np.linspace(2e3, 18e3, 101)
+        a = _magnitude_model(f, 10e3, 3.0, 1e-9)
+        fit = fit_resonance(f, a)
+        assert fit.quality_factor == pytest.approx(3.0, rel=1e-3)
+
+    def test_input_validation(self):
+        with pytest.raises(SignalError):
+            fit_resonance(np.asarray([1.0, 2.0]), np.asarray([1.0, 2.0]))
+        with pytest.raises(SignalError):
+            fit_resonance(
+                np.linspace(1, 10, 10), -np.ones(10)
+            )
+
+
+class TestSweptSine:
+    def test_peak_near_resonance(self):
+        res = make_resonator(q=25.0)
+        f = np.linspace(9e3, 11e3, 21)
+        amps = swept_sine_response(res, f, force_amplitude=1e-9)
+        f_peak = f[np.argmax(amps)]
+        assert f_peak == pytest.approx(res.resonance_peak_frequency(), rel=0.01)
+
+    def test_amplitude_at_resonance_is_q_times_static(self):
+        res = make_resonator(q=25.0)
+        force = 1e-9
+        amps = swept_sine_response(
+            res, np.asarray([res.natural_frequency]), force
+        )
+        static = force / res.effective_stiffness
+        assert amps[0] == pytest.approx(25.0 * static, rel=0.05)
+
+
+class TestEndToEnd:
+    def test_measure_resonance_recovers_parameters(self):
+        res = make_resonator(f0=10e3, q=30.0)
+        fit = measure_resonance(res, span_factor=0.3, points=25)
+        assert fit.frequency == pytest.approx(10e3, rel=0.005)
+        assert fit.quality_factor == pytest.approx(30.0, rel=0.1)
+
+    def test_liquid_damped_resonator(self):
+        res = make_resonator(f0=9e3, q=6.0)
+        fit = measure_resonance(res, span_factor=0.5, points=31)
+        assert fit.frequency == pytest.approx(9e3, rel=0.01)
+        assert fit.quality_factor == pytest.approx(6.0, rel=0.15)
+
+    def test_too_few_points_rejected(self):
+        res = make_resonator()
+        with pytest.raises(SignalError):
+            measure_resonance(res, points=5)

@@ -1,0 +1,70 @@
+"""Analyte database sanity and derived molecular quantities."""
+
+import pytest
+
+from repro.constants import DALTON
+from repro.errors import MaterialError
+from repro.biochem import Analyte, dna_oligo, get_analyte, list_analytes, register_analyte
+
+
+class TestDatabase:
+    def test_igg_mass(self):
+        igg = get_analyte("igg")
+        assert igg.molecular_mass == pytest.approx(150e3 * DALTON, rel=1e-9)
+
+    def test_kd_in_nanomolar_range(self):
+        # antibody-antigen affinities: 0.1-100 nM
+        for name in ("igg", "psa", "crp"):
+            kd = get_analyte(name).dissociation_constant_molar
+            assert 1e-10 < kd < 1e-7
+
+    def test_streptavidin_biotin_femtomolar(self):
+        kd = get_analyte("streptavidin").dissociation_constant_molar
+        assert kd < 1e-12  # the strongest non-covalent pair known
+
+    def test_monolayer_areal_mass_realistic(self):
+        # protein monolayers: 1-5 mg/m^2
+        for name in ("igg", "psa", "crp", "streptavidin"):
+            m = get_analyte(name).full_coverage_mass_density
+            assert 0.5e-6 < m < 6e-6
+
+    def test_surface_stress_compressive(self):
+        # binding-induced stress in the literature is mostly compressive
+        for name in list_analytes():
+            assert get_analyte(name).surface_stress_full_coverage < 0.0
+
+    def test_unknown_raises(self):
+        with pytest.raises(MaterialError):
+            get_analyte("unicornase")
+
+    def test_register_duplicate(self):
+        a = get_analyte("igg")
+        clone = Analyte(
+            name="igg",
+            molecular_mass=a.molecular_mass,
+            k_on=a.k_on,
+            k_off=a.k_off,
+            surface_stress_full_coverage=a.surface_stress_full_coverage,
+            full_coverage_density=a.full_coverage_density,
+        )
+        with pytest.raises(MaterialError):
+            register_analyte(clone)
+
+
+class TestDnaOligo:
+    def test_mass_scales_with_length(self):
+        d20 = dna_oligo(20)
+        d40 = dna_oligo(40)
+        assert d40.molecular_mass == pytest.approx(2.0 * d20.molecular_mass)
+
+    def test_matches_builtin_20mer(self):
+        assert dna_oligo(20).molecular_mass == pytest.approx(
+            get_analyte("dna_20mer").molecular_mass
+        )
+
+    def test_custom_name(self):
+        assert dna_oligo(25, name="probe_x").name == "probe_x"
+
+    def test_too_short_rejected(self):
+        with pytest.raises(MaterialError):
+            dna_oligo(3)

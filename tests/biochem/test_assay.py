@@ -1,0 +1,123 @@
+"""Assay protocols and piecewise-exponential binding traces."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import (
+    AssayProtocol,
+    AssayStep,
+    equilibrium_coverage,
+    get_analyte,
+    run_assay,
+    run_binding,
+)
+from repro.errors import AssayError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def igg():
+    return get_analyte("igg")
+
+
+class TestProtocolConstruction:
+    def test_injection_shape(self):
+        p = AssayProtocol.injection(nM(10), baseline=100, exposure=500, wash=200)
+        assert [s.label for s in p.steps] == ["baseline", "inject", "wash"]
+        assert p.total_duration == pytest.approx(800.0)
+
+    def test_titration_shape(self):
+        p = AssayProtocol.titration([nM(1), nM(10)], baseline=60, exposure_each=120)
+        assert len(p.steps) == 3
+        assert p.steps[1].concentration == pytest.approx(nM(1))
+        assert p.steps[2].concentration == pytest.approx(nM(10))
+
+    def test_empty_protocol_rejected(self):
+        with pytest.raises(AssayError):
+            AssayProtocol(steps=())
+
+    def test_empty_titration_rejected(self):
+        with pytest.raises(AssayError):
+            AssayProtocol.titration([])
+
+    def test_step_boundaries(self):
+        p = AssayProtocol.injection(nM(1), baseline=10, exposure=20, wash=5)
+        assert p.step_boundaries() == pytest.approx([0.0, 10.0, 30.0, 35.0])
+
+    def test_concentration_program(self):
+        p = AssayProtocol.injection(nM(10), baseline=10, exposure=20, wash=5)
+        t = np.asarray([5.0, 15.0, 32.0])
+        c = p.concentration_at(t)
+        assert c[0] == 0.0
+        assert c[1] == pytest.approx(nM(10))
+        assert c[2] == 0.0
+
+
+class TestRunBinding:
+    def test_coverage_continuous_at_boundaries(self, igg):
+        p = AssayProtocol.injection(nM(50), baseline=60, exposure=600, wash=300)
+        curve = run_binding(igg, p, sample_interval=1.0)
+        # no jumps bigger than the local rate allows
+        dtheta = np.abs(np.diff(curve.coverage))
+        assert np.max(dtheta) < 0.02
+
+    def test_baseline_flat(self, igg):
+        p = AssayProtocol.injection(nM(50), baseline=120, exposure=60, wash=60)
+        curve = run_binding(igg, p, sample_interval=1.0)
+        mask = curve.times < 115.0
+        assert np.all(curve.coverage[mask] == 0.0)
+
+    def test_wash_decreases_coverage(self, igg):
+        p = AssayProtocol.injection(nM(50), baseline=60, exposure=1800, wash=600)
+        curve = run_binding(igg, p, sample_interval=2.0)
+        peak = np.max(curve.coverage)
+        assert curve.final_coverage < peak
+
+    def test_long_exposure_reaches_equilibrium(self, igg):
+        c = nM(100)
+        p = AssayProtocol(steps=(AssayStep("long", 3e5, c),))
+        curve = run_binding(igg, p, sample_interval=500.0)
+        assert curve.final_coverage == pytest.approx(
+            equilibrium_coverage(igg, c), rel=1e-3
+        )
+
+    def test_times_strictly_increasing(self, igg):
+        p = AssayProtocol.titration([nM(1), nM(5), nM(25)])
+        curve = run_binding(igg, p, sample_interval=3.0)
+        assert np.all(np.diff(curve.times) > 0.0)
+
+    def test_titration_steps_monotone(self, igg):
+        p = AssayProtocol.titration([nM(1), nM(10), nM(100)], exposure_each=3000)
+        curve = run_binding(igg, p, sample_interval=5.0)
+        assert np.all(np.diff(curve.coverage) >= -1e-12)
+
+
+class TestRunAssay:
+    def test_active_surface_produces_signal(self, igg_surface):
+        p = AssayProtocol.injection(nM(10), baseline=60, exposure=600, wash=60)
+        trace = run_assay(igg_surface, p, sample_interval=2.0)
+        assert trace.added_mass[-1] > 0.0
+        assert trace.surface_stress[-1] < 0.0  # compressive
+
+    def test_reference_surface_flat(self, geometry):
+        from repro.biochem import FunctionalizedSurface
+
+        ref = FunctionalizedSurface(
+            get_analyte("igg"), geometry, immobilization_efficiency=0.0
+        )
+        p = AssayProtocol.injection(nM(100))
+        trace = run_assay(ref, p, sample_interval=10.0)
+        assert np.all(trace.added_mass == 0.0)
+        assert np.all(trace.surface_stress == 0.0)
+
+    def test_mass_stress_consistent_with_coverage(self, igg_surface):
+        p = AssayProtocol.injection(nM(10), baseline=60, exposure=300, wash=60)
+        trace = run_assay(igg_surface, p, sample_interval=5.0)
+        i = len(trace.times) // 2
+        assert trace.added_mass[i] == pytest.approx(
+            igg_surface.saturation_mass * trace.coverage[i]
+        )
+
+    def test_invalid_step_duration(self):
+        with pytest.raises(Exception):
+            AssayStep("bad", -5.0, 0.0)

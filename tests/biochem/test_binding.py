@@ -1,0 +1,107 @@
+"""Langmuir binding kinetics: closed-form solution properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.biochem import (
+    binding_time_constant,
+    coverage_transient,
+    equilibrium_coverage,
+    get_analyte,
+    initial_binding_rate,
+    time_to_coverage,
+)
+from repro.errors import AssayError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def igg():
+    return get_analyte("igg")
+
+
+class TestEquilibrium:
+    def test_at_kd_half_coverage(self, igg):
+        assert equilibrium_coverage(igg, igg.dissociation_constant) == pytest.approx(0.5)
+
+    def test_zero_concentration(self, igg):
+        assert equilibrium_coverage(igg, 0.0) == 0.0
+
+    def test_saturation(self, igg):
+        theta = equilibrium_coverage(igg, 1e4 * igg.dissociation_constant)
+        assert theta == pytest.approx(1.0, abs=1e-3)
+
+    def test_monotone_in_concentration(self, igg):
+        cs = [nM(c) for c in (0.1, 1.0, 10.0, 100.0)]
+        thetas = [equilibrium_coverage(igg, c) for c in cs]
+        assert all(a < b for a, b in zip(thetas, thetas[1:]))
+
+
+class TestTransient:
+    def test_starts_at_initial(self, igg):
+        theta = coverage_transient(igg, nM(10), np.asarray([0.0]), 0.3)
+        assert theta[0] == pytest.approx(0.3)
+
+    def test_converges_to_equilibrium(self, igg):
+        tau = binding_time_constant(igg, nM(10))
+        theta = coverage_transient(igg, nM(10), np.asarray([20.0 * tau]))
+        assert theta[0] == pytest.approx(equilibrium_coverage(igg, nM(10)), rel=1e-6)
+
+    def test_one_tau_63_percent(self, igg):
+        tau = binding_time_constant(igg, nM(10))
+        theta_eq = equilibrium_coverage(igg, nM(10))
+        theta = coverage_transient(igg, nM(10), np.asarray([tau]))
+        assert theta[0] == pytest.approx(theta_eq * (1.0 - math.exp(-1.0)), rel=1e-9)
+
+    def test_wash_decays_with_koff(self, igg):
+        # during a wash (C = 0), coverage decays at k_off
+        t = np.asarray([1.0 / igg.k_off])
+        theta = coverage_transient(igg, 0.0, t, initial_coverage=0.8)
+        assert theta[0] == pytest.approx(0.8 * math.exp(-1.0), rel=1e-9)
+
+    def test_bounded_in_unit_interval(self, igg):
+        t = np.linspace(0.0, 1e5, 500)
+        for c in (0.0, nM(0.1), nM(1e3)):
+            theta = coverage_transient(igg, c, t, initial_coverage=0.5)
+            assert np.all(theta >= 0.0)
+            assert np.all(theta <= 1.0)
+
+    def test_negative_time_rejected(self, igg):
+        with pytest.raises(AssayError):
+            coverage_transient(igg, nM(1), np.asarray([-1.0]))
+
+
+class TestTimeToCoverage:
+    def test_round_trip(self, igg):
+        c = nM(10)
+        target = 0.4
+        t = time_to_coverage(igg, c, target)
+        theta = coverage_transient(igg, c, np.asarray([t]))
+        assert theta[0] == pytest.approx(target, rel=1e-9)
+
+    def test_zero_time_for_current_coverage(self, igg):
+        assert time_to_coverage(igg, nM(10), 0.25, initial_coverage=0.25) == 0.0
+
+    def test_unreachable_target_raises(self, igg):
+        c = nM(0.1)
+        theta_eq = equilibrium_coverage(igg, c)
+        with pytest.raises(AssayError):
+            time_to_coverage(igg, c, theta_eq * 1.5)
+
+
+class TestRates:
+    def test_time_constant_shrinks_with_concentration(self, igg):
+        assert binding_time_constant(igg, nM(100)) < binding_time_constant(igg, nM(1))
+
+    def test_zero_everything_infinite_tau(self, igg):
+        import dataclasses
+
+        frozen = dataclasses.replace(igg, name="frozen_igg", k_off=0.0)
+        assert math.isinf(binding_time_constant(frozen, 0.0))
+
+    def test_initial_rate_linear_in_concentration(self, igg):
+        assert initial_binding_rate(igg, nM(20)) == pytest.approx(
+            2.0 * initial_binding_rate(igg, nM(10))
+        )

@@ -1,0 +1,123 @@
+"""Competitive binding and cross-reactivity."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import (
+    competitive_equilibrium,
+    competitive_transient,
+    cross_reactivity,
+    equilibrium_coverage,
+    get_analyte,
+    weakened_analyte,
+)
+from repro.errors import AssayError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def igg():
+    return get_analyte("igg")
+
+
+@pytest.fixture(scope="module")
+def cross(igg):
+    return weakened_analyte(igg, affinity_penalty=100.0)
+
+
+class TestEquilibrium:
+    def test_single_species_reduces_to_langmuir(self, igg):
+        c = nM(10)
+        theta = competitive_equilibrium([igg], [c])
+        assert theta[0] == pytest.approx(equilibrium_coverage(igg, c))
+
+    def test_competitor_suppresses_target(self, igg, cross):
+        alone = competitive_equilibrium([igg], [nM(1)])[0]
+        with_comp = competitive_equilibrium([igg, cross], [nM(1), nM(1000)])[0]
+        assert with_comp < alone
+
+    def test_total_coverage_below_one(self, igg, cross):
+        thetas = competitive_equilibrium(
+            [igg, cross], [nM(1e4), nM(1e4)]
+        )
+        assert float(np.sum(thetas)) < 1.0
+
+    def test_equal_load_equal_coverage(self, igg, cross):
+        # C_i/K_i equal -> identical coverages despite 100x affinity gap
+        thetas = competitive_equilibrium([igg, cross], [nM(1), nM(100)])
+        assert thetas[0] == pytest.approx(thetas[1], rel=1e-9)
+
+    def test_irreversible_binder_rejected(self, igg):
+        import dataclasses
+
+        sticky = dataclasses.replace(igg, name="sticky", k_off=0.0)
+        with pytest.raises(AssayError):
+            competitive_equilibrium([sticky], [nM(1)])
+
+    def test_mismatched_lists_rejected(self, igg):
+        with pytest.raises(AssayError):
+            competitive_equilibrium([igg], [nM(1), nM(2)])
+
+
+class TestTransient:
+    def test_converges_to_competitive_equilibrium(self, igg, cross):
+        concentrations = [nM(5), nM(200)]
+        t = np.linspace(1.0, 5e5, 60)
+        traj = competitive_transient([igg, cross], concentrations, t)
+        expected = competitive_equilibrium([igg, cross], concentrations)
+        assert traj[0, -1] == pytest.approx(expected[0], rel=0.02)
+        assert traj[1, -1] == pytest.approx(expected[1], rel=0.02)
+
+    def test_coverages_bounded(self, igg, cross):
+        t = np.linspace(1.0, 1e4, 50)
+        traj = competitive_transient([igg, cross], [nM(1e3), nM(1e3)], t)
+        assert np.all(traj >= 0.0)
+        assert np.all(np.sum(traj, axis=0) <= 1.0 + 1e-9)
+
+    def test_wash_separates_species(self, igg, cross):
+        # load both, then wash: the weak binder leaves much faster
+        t_load = np.linspace(1.0, 3600.0, 30)
+        loaded = competitive_transient([igg, cross], [nM(2), nM(200)], t_load)
+        theta0 = loaded[:, -1]
+        t_wash = np.linspace(1.0, 1800.0, 30)
+        washed = competitive_transient(
+            [igg, cross], [0.0, 0.0], t_wash, initial_coverages=theta0
+        )
+        target_retained = washed[0, -1] / theta0[0]
+        interferent_retained = washed[1, -1] / theta0[1]
+        assert target_retained > 0.7
+        assert interferent_retained < 0.3 * target_retained
+
+    def test_initial_coverage_validation(self, igg, cross):
+        with pytest.raises(AssayError):
+            competitive_transient(
+                [igg, cross], [nM(1), nM(1)], np.asarray([1.0]),
+                initial_coverages=np.asarray([0.7, 0.6]),
+            )
+
+
+class TestCrossReactivityReport:
+    def test_selectivity_equals_affinity_ratio(self, igg, cross):
+        report = cross_reactivity(igg, nM(1), cross, nM(1))
+        # with equal concentrations the coverage ratio is K_i/K_t = 100
+        assert report.selectivity == pytest.approx(100.0, rel=1e-6)
+
+    def test_excess_fraction_at_equal_load(self, igg, cross):
+        report = cross_reactivity(igg, nM(1), cross, nM(100))
+        assert report.apparent_excess_fraction == pytest.approx(0.5, rel=1e-6)
+
+    def test_trace_target_overwhelmed(self, igg, cross):
+        # 10000x excess of the weak binder dominates the signal
+        report = cross_reactivity(igg, nM(0.1), cross, nM(1000))
+        assert report.apparent_excess_fraction > 0.9
+
+
+class TestWeakenedAnalyte:
+    def test_kd_scaled(self, igg, cross):
+        assert cross.dissociation_constant == pytest.approx(
+            100.0 * igg.dissociation_constant
+        )
+
+    def test_penalty_validation(self, igg):
+        with pytest.raises(AssayError):
+            weakened_analyte(igg, 0.5)

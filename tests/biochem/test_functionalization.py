@@ -1,0 +1,77 @@
+"""Functionalized surface: coverage to mass and surface stress."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import FunctionalizedSurface, get_analyte
+from repro.errors import UnitError
+
+
+class TestSiteBookkeeping:
+    def test_site_count(self, geometry):
+        igg = get_analyte("igg")
+        s = FunctionalizedSurface(igg, geometry, immobilization_efficiency=0.5)
+        expected = igg.full_coverage_density * 0.5 * geometry.planform_area
+        assert s.site_count == pytest.approx(expected)
+
+    def test_saturation_mass(self, igg_surface):
+        assert igg_surface.saturation_mass == pytest.approx(
+            igg_surface.site_count * igg_surface.analyte.molecular_mass
+        )
+
+    def test_saturation_mass_realistic(self, igg_surface):
+        # tens to hundreds of pg on a 500x100 um beam
+        assert 10e-15 < igg_surface.saturation_mass < 1e-12
+
+    def test_efficiency_bounds(self, geometry):
+        with pytest.raises(UnitError):
+            FunctionalizedSurface(get_analyte("igg"), geometry, immobilization_efficiency=1.2)
+
+
+class TestCoverageMapping:
+    def test_added_mass_linear(self, igg_surface):
+        assert igg_surface.added_mass(0.5) == pytest.approx(
+            igg_surface.saturation_mass * 0.5
+        )
+
+    def test_surface_stress_linear(self, igg_surface):
+        full = igg_surface.saturation_surface_stress
+        assert igg_surface.surface_stress(0.25) == pytest.approx(full * 0.25)
+
+    def test_stress_includes_efficiency(self, geometry):
+        igg = get_analyte("igg")
+        half = FunctionalizedSurface(igg, geometry, immobilization_efficiency=0.35)
+        assert half.saturation_surface_stress == pytest.approx(
+            igg.surface_stress_full_coverage * 0.35
+        )
+
+    def test_array_input(self, igg_surface):
+        theta = np.asarray([0.0, 0.5, 1.0])
+        masses = igg_surface.added_mass(theta)
+        assert masses.shape == (3,)
+        assert masses[0] == 0.0
+        assert masses[2] == pytest.approx(igg_surface.saturation_mass)
+
+    def test_coverage_clipped(self, igg_surface):
+        assert igg_surface.added_mass(1.5) == pytest.approx(
+            igg_surface.saturation_mass
+        )
+        assert igg_surface.added_mass(-0.5) == 0.0
+
+    def test_bound_molecules(self, igg_surface):
+        assert igg_surface.bound_molecules(1.0) == pytest.approx(
+            igg_surface.site_count
+        )
+
+
+class TestReferenceSurface:
+    def test_zero_efficiency_is_reference(self, geometry):
+        ref = FunctionalizedSurface(
+            get_analyte("igg"), geometry, immobilization_efficiency=0.0
+        )
+        assert ref.is_reference
+        assert ref.saturation_mass == 0.0
+        assert ref.surface_stress(1.0) == 0.0
+
+    def test_active_surface_is_not_reference(self, igg_surface):
+        assert not igg_surface.is_reference

@@ -1,0 +1,132 @@
+"""Mass-transport-limited binding kinetics."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import (
+    TransportModel,
+    coverage_transient,
+    effective_time_constant_ratio,
+    equilibrium_coverage,
+    get_analyte,
+    initial_binding_rate,
+    initial_rate_transport_limited,
+    surface_concentration,
+    transport_limited_transient,
+)
+from repro.errors import AssayError, UnitError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def igg():
+    return get_analyte("igg")
+
+
+@pytest.fixture()
+def slow_cell():
+    return TransportModel(boundary_layer=100e-6)
+
+
+@pytest.fixture()
+def fast_cell():
+    return TransportModel(boundary_layer=0.1e-6)
+
+
+class TestDamkoehler:
+    def test_definition(self, igg):
+        tr = TransportModel()
+        expected = igg.k_on * tr.site_density / tr.mass_transfer_coefficient
+        assert tr.damkoehler(igg) == pytest.approx(expected)
+
+    def test_thicker_layer_more_limited(self, igg):
+        thin = TransportModel(boundary_layer=5e-6)
+        thick = TransportModel(boundary_layer=100e-6)
+        assert thick.damkoehler(igg) > thin.damkoehler(igg)
+
+    def test_slowdown_factor(self, igg, slow_cell):
+        assert effective_time_constant_ratio(igg, slow_cell) == pytest.approx(
+            1.0 + slow_cell.damkoehler(igg)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(UnitError):
+            TransportModel(boundary_layer=-1.0)
+
+
+class TestSurfaceConcentration:
+    def test_depleted_below_bulk_at_zero_coverage(self, igg, slow_cell):
+        c_bulk = nM(10)
+        c_s = surface_concentration(igg, slow_cell, c_bulk, 0.0)
+        assert 0.0 < c_s < c_bulk
+
+    def test_fast_transport_no_depletion(self, igg, fast_cell):
+        c_bulk = nM(10)
+        c_s = surface_concentration(igg, fast_cell, c_bulk, 0.0)
+        # Da ~ 0.004 leaves sub-percent depletion
+        assert c_s == pytest.approx(c_bulk, rel=1e-2)
+
+    def test_saturated_surface_stops_depleting(self, igg, slow_cell):
+        c_bulk = nM(10)
+        # at theta = theta_eq the net flux vanishes and C_s -> near bulk
+        theta_eq = equilibrium_coverage(igg, c_bulk)
+        c_s = surface_concentration(igg, slow_cell, c_bulk, theta_eq)
+        assert c_s == pytest.approx(c_bulk, rel=0.05)
+
+    def test_desorbing_surface_enriches(self, igg, slow_cell):
+        # washing (C_bulk = 0) with a loaded surface: C_s > 0 from k_off flux
+        c_s = surface_concentration(igg, slow_cell, 0.0, 0.9)
+        assert c_s > 0.0
+
+
+class TestTransient:
+    def test_fast_transport_recovers_langmuir(self, igg, fast_cell):
+        t = np.linspace(1.0, 3000.0, 40)
+        limited = transport_limited_transient(igg, fast_cell, nM(10), t)
+        free = coverage_transient(igg, nM(10), t)
+        assert np.allclose(limited, free, rtol=0.02)
+
+    def test_slow_transport_slows_binding(self, igg, slow_cell):
+        t = np.linspace(1.0, 2000.0, 40)
+        limited = transport_limited_transient(igg, slow_cell, nM(10), t)
+        free = coverage_transient(igg, nM(10), t)
+        assert np.all(limited <= free + 1e-9)
+        assert limited[-1] < 0.95 * free[-1]
+
+    def test_same_equilibrium_eventually(self, igg, slow_cell):
+        # transport changes the rate, never the thermodynamics
+        t = np.linspace(1.0, 3e5, 60)
+        limited = transport_limited_transient(igg, slow_cell, nM(100), t)
+        assert limited[-1] == pytest.approx(
+            equilibrium_coverage(igg, nM(100)), rel=0.02
+        )
+
+    def test_bounded(self, igg, slow_cell):
+        t = np.linspace(1.0, 1e4, 50)
+        theta = transport_limited_transient(igg, slow_cell, nM(1000), t, 0.5)
+        assert np.all(theta >= 0.0)
+        assert np.all(theta <= 1.0)
+
+    def test_invalid_times(self, igg, slow_cell):
+        with pytest.raises(AssayError):
+            transport_limited_transient(
+                igg, slow_cell, nM(1), np.asarray([3.0, 1.0])
+            )
+
+
+class TestInitialRate:
+    def test_interpolates_between_limits(self, igg):
+        c = nM(10)
+        reaction_rate = initial_binding_rate(igg, c)
+        slow = TransportModel(boundary_layer=100e-6)
+        limited = initial_rate_transport_limited(igg, slow, c)
+        assert limited < reaction_rate
+        # flux-limited asymptote: k_m C / Gamma_max
+        flux_limit = slow.mass_transfer_coefficient * c / slow.site_density
+        assert limited > 0.8 * flux_limit
+
+    def test_fast_transport_reaction_limited(self, igg, fast_cell):
+        c = nM(10)
+        assert initial_rate_transport_limited(
+            igg, fast_cell, c
+        ) == pytest.approx(initial_binding_rate(igg, c), rel=1e-2)

@@ -1,0 +1,54 @@
+"""ADC quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ADC, Signal
+from repro.errors import CircuitError
+
+FS = 10e3
+
+
+@pytest.fixture()
+def adc():
+    return ADC(full_scale=2.5, bits=12)
+
+
+class TestQuantization:
+    def test_lsb(self, adc):
+        assert adc.lsb == pytest.approx(5.0 / 4096)
+
+    def test_round_trip_within_half_lsb(self, adc):
+        s = Signal.sine(100.0, 0.05, FS, amplitude=1.0)
+        out = adc.process(s)
+        assert np.max(np.abs(out.samples - s.samples)) <= adc.lsb / 2.0 + 1e-12
+
+    def test_quantization_noise_rms(self, adc, rng):
+        s = Signal(rng.uniform(-2.0, 2.0, 100000), FS)
+        out = adc.process(s)
+        err = out.samples - s.samples
+        assert np.std(err) == pytest.approx(adc.quantization_noise_rms, rel=0.05)
+
+    def test_saturation(self, adc):
+        s = Signal.constant(10.0, 0.01, FS)
+        out = adc.process(s)
+        max_code = 2**11 - 1
+        assert out.samples[0] == pytest.approx(max_code * adc.lsb)
+
+    def test_codes_integer(self, adc):
+        s = Signal.sine(100.0, 0.01, FS)
+        codes = adc.codes(s)
+        assert codes.dtype.kind == "i"
+
+    def test_step(self, adc):
+        assert adc.step(0.0) == 0.0
+        assert abs(adc.step(1.234) - 1.234) <= adc.lsb / 2.0
+
+    def test_more_bits_less_noise(self):
+        coarse = ADC(2.5, bits=8)
+        fine = ADC(2.5, bits=14)
+        assert fine.quantization_noise_rms < coarse.quantization_noise_rms / 50.0
+
+    def test_invalid_bits(self):
+        with pytest.raises(CircuitError):
+            ADC(2.5, bits=30)

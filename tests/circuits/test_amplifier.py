@@ -1,0 +1,125 @@
+"""Amplifier block: gain, bandwidth, offset, noise, rails, CMRR."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Amplifier, DifferenceAmplifier, Signal
+from repro.errors import CircuitError
+
+FS = 200e3
+
+
+class TestGainAndBandwidth:
+    def test_ideal_gain(self):
+        a = Amplifier(gain=10.0, rails=None)
+        out = a.process(Signal.constant(0.1, 0.01, FS))
+        assert out.samples[-1] == pytest.approx(1.0)
+
+    def test_bandwidth_is_gbw_over_gain(self):
+        a = Amplifier(gain=100.0, gbw=1e6)
+        assert a.bandwidth == pytest.approx(1e4)
+
+    def test_gain_rolls_off_at_bandwidth(self):
+        a = Amplifier(gain=10.0, gbw=1e5, rails=None)
+        g = a.small_signal_gain(1e4, FS, amplitude=1e-3)
+        assert g == pytest.approx(10.0 / np.sqrt(2.0), rel=0.05)
+
+    def test_low_frequency_full_gain(self):
+        a = Amplifier(gain=10.0, gbw=1e6, rails=None)
+        g = a.small_signal_gain(10.0, FS, amplitude=1e-3)
+        assert g == pytest.approx(10.0, rel=0.01)
+
+    def test_gbw_below_gain_rejected(self):
+        with pytest.raises(CircuitError):
+            Amplifier(gain=100.0, gbw=50.0)
+
+    def test_negative_gain_rejected(self):
+        with pytest.raises(Exception):
+            Amplifier(gain=-10.0)
+
+
+class TestOffsetAndRails:
+    def test_offset_amplified(self):
+        a = Amplifier(gain=100.0, input_offset=1e-3, rails=None)
+        out = a.process(Signal.constant(0.0, 0.01, FS))
+        assert out.mean() == pytest.approx(0.1)
+
+    def test_rails_clip(self):
+        a = Amplifier(gain=100.0, rails=(-1.0, 1.0))
+        out = a.process(Signal.constant(0.1, 0.01, FS))
+        assert out.peak() <= 1.0
+
+    def test_offset_can_saturate_chain(self):
+        # 5 mV offset x 1000 = 5 V > rails: the fundamental problem
+        # the chopper + offset DAC solve
+        a = Amplifier(gain=1000.0, input_offset=5e-3, rails=(-2.5, 2.5))
+        out = a.process(Signal.constant(0.0, 0.01, FS))
+        assert out.mean() == pytest.approx(2.5)
+
+    def test_invalid_rails(self):
+        with pytest.raises(CircuitError):
+            Amplifier(gain=10.0, rails=(1.0, -1.0))
+
+
+class TestNoise:
+    def test_output_noise_scales_with_gain(self, rng):
+        a = Amplifier(gain=10.0, noise_density=100e-9, rails=None,
+                      rng=np.random.default_rng(1))
+        b = Amplifier(gain=100.0, noise_density=100e-9, rails=None,
+                      rng=np.random.default_rng(1))
+        sa = a.process(Signal.constant(0.0, 0.2, FS)).std()
+        sb = b.process(Signal.constant(0.0, 0.2, FS)).std()
+        assert sb / sa == pytest.approx(10.0, rel=0.01)
+
+    def test_noiseless_is_deterministic(self):
+        a = Amplifier(gain=10.0, rails=None)
+        s = Signal.sine(1e3, 0.01, FS)
+        out1 = a.process(s)
+        out2 = a.process(s)
+        assert np.array_equal(out1.samples, out2.samples)
+
+    def test_white_level_matches_density(self):
+        density = 50e-9
+        a = Amplifier(gain=1.0, noise_density=density, rails=None,
+                      rng=np.random.default_rng(2))
+        out = a.process(Signal.constant(0.0, 0.5, FS))
+        expected = density * np.sqrt(FS / 2.0)
+        assert out.std() == pytest.approx(expected, rel=0.05)
+
+
+class TestStepping:
+    def test_step_matches_process_noiseless(self):
+        a1 = Amplifier(gain=5.0, gbw=1e5, rails=(-2.0, 2.0))
+        a2 = Amplifier(gain=5.0, gbw=1e5, rails=(-2.0, 2.0))
+        sig = Signal.sine(1e3, 0.01, FS, amplitude=0.1)
+        batch = a1.process(sig)
+        a2.prepare(FS)
+        stepped = np.asarray([a2.step(float(x)) for x in sig.samples])
+        assert np.allclose(batch.samples, stepped)
+
+    def test_step_noise_requires_prepare(self):
+        a = Amplifier(gain=1.0, noise_density=1e-9, gbw=None)
+        with pytest.raises(CircuitError):
+            a.step(0.0)
+
+
+class TestDifferenceAmplifier:
+    def test_common_mode_gain(self):
+        d = DifferenceAmplifier(gain=100.0, cmrr_db=80.0, rails=None)
+        assert d.common_mode_gain == pytest.approx(100.0 / 1e4)
+
+    def test_common_mode_leaks(self):
+        d = DifferenceAmplifier(gain=100.0, cmrr_db=60.0, rails=None)
+        diff = Signal.constant(0.0, 0.01, FS)
+        cm = Signal.constant(1.0, 0.01, FS)
+        out = d.process_with_common_mode(diff, cm)
+        assert out.mean() == pytest.approx(100.0 / 1e3, rel=1e-6)
+
+    def test_higher_cmrr_less_leak(self):
+        lo = DifferenceAmplifier(gain=100.0, cmrr_db=60.0, rails=None)
+        hi = DifferenceAmplifier(gain=100.0, cmrr_db=100.0, rails=None)
+        cm = Signal.constant(1.0, 0.01, FS)
+        diff = Signal.constant(0.0, 0.01, FS)
+        assert abs(hi.process_with_common_mode(diff, cm).mean()) < abs(
+            lo.process_with_common_mode(diff, cm).mean()
+        )

@@ -1,0 +1,107 @@
+"""Block abstraction, chains, and elementary blocks."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Chain, Gain, Passthrough, Saturation, Signal
+from repro.errors import CircuitError
+
+
+class TestGain:
+    def test_scales(self):
+        g = Gain(3.0)
+        out = g.process(Signal.constant(2.0, 0.01, 1e3))
+        assert np.all(out.samples == 6.0)
+
+    def test_step(self):
+        assert Gain(-2.0).step(1.5) == -3.0
+
+    def test_inverting(self):
+        g = Gain(-1.0)
+        out = g.process(Signal.constant(1.0, 0.01, 1e3))
+        assert np.all(out.samples == -1.0)
+
+
+class TestPassthrough:
+    def test_identity(self):
+        p = Passthrough()
+        s = Signal.sine(10.0, 0.1, 1e3)
+        out = p.process(s)
+        assert np.array_equal(out.samples, s.samples)
+
+    def test_copy_not_alias(self):
+        p = Passthrough()
+        s = Signal.constant(1.0, 0.01, 1e3)
+        out = p.process(s)
+        out.samples[0] = 99.0
+        assert s.samples[0] == 1.0
+
+
+class TestSaturation:
+    def test_clips(self):
+        sat = Saturation(-1.0, 1.0)
+        s = Signal.sine(10.0, 0.5, 1e3, amplitude=2.0)
+        out = sat.process(s)
+        assert out.peak() <= 1.0
+
+    def test_passes_small(self):
+        sat = Saturation(-1.0, 1.0)
+        s = Signal.sine(10.0, 0.5, 1e3, amplitude=0.5)
+        out = sat.process(s)
+        assert np.array_equal(out.samples, s.samples)
+
+    def test_step(self):
+        sat = Saturation(-1.0, 1.0)
+        assert sat.step(5.0) == 1.0
+        assert sat.step(-5.0) == -1.0
+
+    def test_invalid_rails(self):
+        with pytest.raises(CircuitError):
+            Saturation(1.0, -1.0)
+
+
+class TestChain:
+    def test_composition_order(self):
+        chain = Chain([Gain(2.0), Saturation(-3.0, 3.0)])
+        out = chain.process(Signal.constant(5.0, 0.01, 1e3))
+        assert np.all(out.samples == 3.0)  # 5*2 clipped to 3
+
+    def test_step_matches_process(self):
+        chain = Chain([Gain(2.0), Gain(0.5), Gain(-1.0)])
+        assert chain.step(3.0) == pytest.approx(-3.0)
+
+    def test_stagewise(self):
+        chain = Chain([Gain(2.0), Gain(3.0)])
+        stages = chain.process_stagewise(Signal.constant(1.0, 0.01, 1e3))
+        assert stages[0].samples[0] == pytest.approx(2.0)
+        assert stages[1].samples[0] == pytest.approx(6.0)
+
+    def test_nested_chain(self):
+        inner = Chain([Gain(2.0)])
+        outer = Chain([inner, Gain(5.0)])
+        out = outer.process(Signal.constant(1.0, 0.01, 1e3))
+        assert np.all(out.samples == 10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CircuitError):
+            Chain([])
+
+    def test_len(self):
+        assert len(Chain([Gain(1.0), Gain(2.0)])) == 2
+
+
+class TestSmallSignalGain:
+    def test_measures_gain(self):
+        g = Gain(7.0)
+        measured = g.small_signal_gain(100.0, 10e3)
+        assert measured == pytest.approx(7.0, rel=1e-6)
+
+    def test_default_step_raises(self):
+        from repro.circuits.block import Block
+
+        class NoStep(Block):
+            def process(self, signal):
+                return signal
+
+        with pytest.raises(CircuitError):
+            NoStep().step(1.0)

@@ -1,0 +1,90 @@
+"""Class-AB output buffer driving the coil (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import ClassABBuffer, Signal
+from repro.errors import CircuitError
+
+FS = 100e3
+
+
+@pytest.fixture()
+def buffer():
+    return ClassABBuffer(load_resistance=15.0, max_current=10e-3)
+
+
+class TestCurrentLimit:
+    def test_max_output_voltage(self, buffer):
+        assert buffer.max_output_voltage == pytest.approx(0.15)
+
+    def test_clips_at_current_limit(self, buffer):
+        s = Signal.sine(1e3, 0.01, FS, amplitude=1.0)
+        out = buffer.process(s)
+        assert out.peak() <= buffer.max_output_voltage + 1e-12
+
+    def test_small_signal_unity(self, buffer):
+        s = Signal.sine(1e3, 0.05, FS, amplitude=0.05)
+        out = buffer.process(s)
+        assert out.settle(0.2).std() == pytest.approx(
+            s.settle(0.2).std(), rel=1e-6
+        )
+
+    def test_coil_current(self, buffer):
+        assert float(buffer.coil_current(0.15)) == pytest.approx(10e-3)
+
+
+class TestSlewRate:
+    def test_step_slewed(self):
+        buf = ClassABBuffer(load_resistance=1e3, max_current=1.0, slew_rate=100.0)
+        buf.prepare(FS)
+        # a unit step cannot move more than slew/fs per sample
+        y = buf.step(1.0)
+        assert y == pytest.approx(100.0 / FS)
+
+    def test_slow_signal_unaffected(self):
+        buf = ClassABBuffer(load_resistance=1e3, max_current=1.0, slew_rate=1e6)
+        s = Signal.sine(100.0, 0.05, FS, amplitude=0.1)
+        out = buf.process(s)
+        assert np.allclose(out.settle(0.1).samples, s.settle(0.1).samples, atol=1e-6)
+
+
+class TestCrossover:
+    def test_deadzone_zeroes_small_signals(self):
+        buf = ClassABBuffer(
+            load_resistance=1e3, max_current=1.0, crossover_deadzone=0.01
+        )
+        out = buf.process(Signal.constant(0.005, 0.01, FS))
+        assert np.all(out.samples == 0.0)
+
+    def test_deadzone_shifts_large_signals(self):
+        buf = ClassABBuffer(
+            load_resistance=1e3, max_current=1.0, crossover_deadzone=0.01
+        )
+        out = buf.process(Signal.constant(0.5, 0.01, FS))
+        assert out.samples[-1] == pytest.approx(0.49)
+
+    def test_ideal_biasing_no_distortion(self, buffer):
+        out = buffer.process(Signal.constant(0.05, 0.01, FS))
+        assert out.samples[-1] == pytest.approx(0.05)
+
+
+class TestStepping:
+    def test_step_requires_prepare(self, buffer):
+        with pytest.raises(CircuitError):
+            buffer.step(0.1)
+
+    def test_step_matches_process(self):
+        b1 = ClassABBuffer(15.0, 10e-3, slew_rate=1e4)
+        b2 = ClassABBuffer(15.0, 10e-3, slew_rate=1e4)
+        sig = Signal.sine(1e3, 0.01, FS, amplitude=0.2)
+        batch = b1.process(sig)
+        b2.prepare(FS)
+        stepped = np.asarray([b2.step(float(x)) for x in sig.samples])
+        assert np.allclose(batch.samples, stepped)
+
+    def test_reset(self, buffer):
+        buffer.prepare(FS)
+        buffer.step(0.1)
+        buffer.reset()
+        assert buffer._last_output == 0.0

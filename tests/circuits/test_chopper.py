@@ -1,0 +1,106 @@
+"""Chopper-stabilized amplifier: offset and 1/f rejection (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import welch_psd
+from repro.circuits import (
+    Amplifier,
+    Chain,
+    ChopperAmplifier,
+    LowPassFilter,
+    Signal,
+    square_carrier,
+)
+from repro.errors import CircuitError
+
+FS = 200e3
+FCHOP = 10e3
+
+
+class TestCarrier:
+    def test_levels(self):
+        c = square_carrier(FCHOP, 1000, FS)
+        assert set(np.unique(c)) == {-1.0, 1.0}
+
+    def test_period(self):
+        c = square_carrier(FCHOP, 100, FS)
+        # 20 samples per period at 200 kHz / 10 kHz
+        assert np.all(c[:10] == 1.0)
+        assert np.all(c[10:20] == -1.0)
+
+    def test_zero_mean_over_full_periods(self):
+        c = square_carrier(FCHOP, 2000, FS)
+        assert abs(np.mean(c)) < 1e-12
+
+    def test_no_spurious_edge_flips(self):
+        # the regression that motivated integer half-periods: every
+        # half-period must be exactly m samples long
+        c = square_carrier(FCHOP, 200000, FS)
+        edges = np.where(np.diff(c) != 0.0)[0]
+        assert len(set(np.diff(edges))) == 1
+
+    def test_incommensurate_clock_supported(self):
+        c = square_carrier(9873.0, 5000, FS)
+        assert set(np.unique(c)) == {-1.0, 1.0}
+
+    def test_above_nyquist_rejected(self):
+        with pytest.raises(CircuitError):
+            square_carrier(150e3, 100, FS)
+
+
+class TestOffsetRejection:
+    def test_offset_removed(self):
+        core = Amplifier(gain=100.0, input_offset=5e-3, rails=None)
+        chopped = Chain([ChopperAmplifier(core, FCHOP), LowPassFilter(100.0)])
+        out = chopped.process(Signal.constant(0.0, 0.3, FS)).settle(0.5)
+        # unchopped would read 0.5 V; chopped residual is ~zero
+        assert abs(out.mean()) < 1e-3
+
+    def test_signal_preserved(self):
+        core = Amplifier(gain=100.0, input_offset=5e-3, rails=None)
+        chopped = Chain([ChopperAmplifier(core, FCHOP), LowPassFilter(200.0)])
+        tone = Signal.sine(20.0, 0.5, FS, amplitude=10e-6)
+        out = chopped.process(tone).settle(0.5)
+        assert out.std() == pytest.approx(100.0 * 10e-6 / np.sqrt(2), rel=0.1)
+
+    def test_offset_appears_as_ripple_at_fchop(self):
+        core = Amplifier(gain=100.0, input_offset=5e-3, rails=None)
+        ch = ChopperAmplifier(core, FCHOP)
+        out = ch.process(Signal.constant(0.0, 0.2, FS))
+        freqs, psd = welch_psd(out, segments=4)
+        peak_f = freqs[np.argmax(psd)]
+        assert peak_f == pytest.approx(FCHOP, rel=0.05)
+
+    def test_residual_offset_helper(self):
+        core = Amplifier(gain=100.0, input_offset=5e-3, rails=None)
+        ch = ChopperAmplifier(core, FCHOP)
+        assert abs(ch.residual_offset(FS)) < 5e-3  # << 0.5 V unchopped
+
+
+class TestFlickerRejection:
+    def test_low_frequency_noise_suppressed(self):
+        def make_core(seed):
+            return Amplifier(
+                gain=100.0, noise_density=50e-9, noise_corner=5e3,
+                rails=None, rng=np.random.default_rng(seed),
+            )
+
+        fs, dur = 50e3, 4.0
+        plain_out = make_core(1).process(Signal.constant(0.0, dur, fs))
+        chop_out = ChopperAmplifier(make_core(1), 5e3).process(
+            Signal.constant(0.0, dur, fs)
+        )
+        f_p, psd_p = welch_psd(plain_out, segments=8)
+        f_c, psd_c = welch_psd(chop_out, segments=8)
+        low = (f_p > 1.0) & (f_p < 20.0)
+        # chopping strips the 1/f shelf below the corner
+        assert np.mean(psd_c[low]) < 0.2 * np.mean(psd_p[low])
+
+    def test_reset_propagates(self):
+        core = Amplifier(gain=10.0, gbw=1e5)
+        ch = ChopperAmplifier(core, FCHOP)
+        ch.process(Signal.constant(1.0, 0.01, FS))
+        ch.reset()  # must not raise and must clear the core's pole state
+        out = ch.process(Signal.constant(0.0, 0.01, FS))
+        assert abs(out.samples[-1]) < 1e-9

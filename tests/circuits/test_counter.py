@@ -1,0 +1,103 @@
+"""Digital frequency counter: quantization and comparator behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    FrequencyCounter,
+    ReciprocalCounter,
+    Signal,
+    comparator_edges,
+)
+from repro.errors import SignalError
+
+FS = 1e6
+
+
+class TestComparator:
+    def test_edge_count_of_tone(self):
+        s = Signal.sine(1000.0, 0.1, FS)
+        edges = comparator_edges(s)
+        assert len(edges) == pytest.approx(100, abs=1)
+
+    def test_edge_spacing_is_period(self):
+        s = Signal.sine(1000.0, 0.05, FS)
+        edges = comparator_edges(s)
+        periods = np.diff(edges)
+        assert np.allclose(periods, 1e-3, rtol=1e-4)
+
+    def test_hysteresis_rejects_noise_chatter(self, rng):
+        t = np.arange(int(0.05 * FS)) / FS
+        noisy = np.sin(2 * np.pi * 100.0 * t) + 0.1 * rng.normal(size=len(t))
+        s = Signal(noisy, FS)
+        without = comparator_edges(s, hysteresis=0.0)
+        with_h = comparator_edges(s, hysteresis=1.0)
+        assert len(with_h) == pytest.approx(5, abs=1)
+        assert len(without) > len(with_h)
+
+    def test_interpolation_subsample_accuracy(self):
+        # coarse sampling, fine edges
+        s = Signal.sine(997.0, 0.1, 50e3)
+        edges = comparator_edges(s)
+        f_est = (len(edges) - 1) / (edges[-1] - edges[0])
+        assert f_est == pytest.approx(997.0, rel=1e-5)
+
+
+class TestGatedCounter:
+    def test_exact_tone(self):
+        counter = FrequencyCounter(gate_time=0.1)
+        s = Signal.sine(2000.0, 0.25, FS)
+        assert counter.measure_single(s) == pytest.approx(2000.0, abs=counter.resolution)
+
+    def test_resolution_is_inverse_gate(self):
+        assert FrequencyCounter(gate_time=0.01).resolution == pytest.approx(100.0)
+
+    def test_quantization(self):
+        counter = FrequencyCounter(gate_time=0.01)
+        s = Signal.sine(1234.5, 0.05, FS)
+        reading = counter.measure_single(s)
+        assert reading % counter.resolution == pytest.approx(0.0, abs=1e-9)
+        assert abs(reading - 1234.5) <= counter.resolution
+
+    def test_multiple_gates(self):
+        counter = FrequencyCounter(gate_time=0.02)
+        s = Signal.sine(1000.0, 0.1, FS)
+        ms = counter.measure(s)
+        assert len(ms) == 5
+        for m in ms:
+            assert abs(m.frequency - 1000.0) <= counter.resolution
+
+    def test_frequency_series_times(self):
+        counter = FrequencyCounter(gate_time=0.02)
+        s = Signal.sine(1000.0, 0.1, FS)
+        t, f = counter.frequency_series(s)
+        assert t[0] == pytest.approx(0.01)
+        assert np.all(np.diff(t) == pytest.approx(0.02))
+
+    def test_short_signal_rejected(self):
+        counter = FrequencyCounter(gate_time=1.0)
+        with pytest.raises(SignalError):
+            counter.measure(Signal.sine(100.0, 0.1, FS))
+
+
+class TestReciprocalCounter:
+    def test_beats_gated_at_low_frequency(self):
+        f_true = 1234.5
+        s = Signal.sine(f_true, 0.05, FS)
+        gated = FrequencyCounter(gate_time=0.01).measure_single(s)
+        recip = ReciprocalCounter(gate_time=0.01).measure_single(s)
+        assert abs(recip - f_true) < abs(gated - f_true)
+
+    def test_high_accuracy(self):
+        s = Signal.sine(8876.5, 0.1, FS)
+        reading = ReciprocalCounter(gate_time=0.05).measure_single(s)
+        assert reading == pytest.approx(8876.5, rel=1e-5)
+
+    def test_too_few_edges_reads_zero(self):
+        counter = ReciprocalCounter(gate_time=0.01)
+        s = Signal.constant(1.0, 0.02, FS)
+        assert counter.measure_single(s) == 0.0
+
+    def test_short_signal_rejected(self):
+        with pytest.raises(SignalError):
+            ReciprocalCounter(gate_time=1.0).measure(Signal.sine(100.0, 0.5, FS))

@@ -1,0 +1,46 @@
+"""DDA instrumentation amplifier (Fig. 5 first stage)."""
+
+import pytest
+
+from repro.circuits import DDAInstrumentationAmplifier, Signal
+from repro.errors import CircuitError
+
+FS = 200e3
+
+
+class TestGainSetting:
+    def test_ratio_defined_gain(self):
+        dda = DDAInstrumentationAmplifier(feedback_r1=1e3, feedback_r2=9e3)
+        assert dda.closed_loop_gain == pytest.approx(10.0)
+        assert dda.gain == pytest.approx(10.0)
+
+    def test_default_preset(self):
+        dda = DDAInstrumentationAmplifier()
+        assert dda.closed_loop_gain == pytest.approx(50.0)
+
+    def test_processes_with_gain(self):
+        dda = DDAInstrumentationAmplifier(
+            feedback_r1=1e3, feedback_r2=9e3, noise_density=0.0
+        )
+        out = dda.process(Signal.constant(10e-3, 0.02, FS))
+        assert out.samples[-1] == pytest.approx(0.1, rel=1e-3)
+
+    def test_gbw_must_exceed_gain(self):
+        with pytest.raises(CircuitError):
+            DDAInstrumentationAmplifier(feedback_r1=1.0, feedback_r2=1e6, gbw=1e3)
+
+
+class TestBridgeInterface:
+    def test_no_loading_advantage(self):
+        dda = DDAInstrumentationAmplifier(feedback_r1=1e3)
+        # a 10 kOhm bridge would lose 11x of its signal into a 1 kOhm
+        # resistive input; the DDA's gate input avoids that entirely
+        assert dda.input_impedance_advantage(10e3) == pytest.approx(11.0)
+
+    def test_cmrr_present(self):
+        dda = DDAInstrumentationAmplifier(cmrr_db=90.0, noise_density=0.0)
+        cm = Signal.constant(1.0, 0.02, FS)
+        diff = Signal.constant(0.0, 0.02, FS)
+        out = dda.process_with_common_mode(diff, cm)
+        expected = dda.gain / 10 ** (90.0 / 20.0)
+        assert out.samples[-1] == pytest.approx(expected, rel=0.01)

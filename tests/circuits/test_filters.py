@@ -1,0 +1,115 @@
+"""Filter blocks: responses, stepping consistency, state handling."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import HighPassFilter, LowPassFilter, RCLowPass, Signal
+from repro.errors import CircuitError
+
+
+FS = 100e3
+
+
+class TestLowPass:
+    def test_dc_passes(self):
+        lp = LowPassFilter(100.0)
+        out = lp.process(Signal.constant(1.0, 0.5, FS))
+        assert out.samples[-1] == pytest.approx(1.0, rel=1e-3)
+
+    def test_minus_3db_at_cutoff(self):
+        lp = LowPassFilter(1000.0, order=2)
+        gain = lp.small_signal_gain(1000.0, FS, amplitude=1.0)
+        assert gain == pytest.approx(1.0 / np.sqrt(2.0), rel=0.02)
+
+    def test_rolloff_40db_per_decade(self):
+        lp = LowPassFilter(100.0, order=2)
+        g1k = abs(lp.response(np.asarray([1e3]), FS))[0]
+        g10k = abs(lp.response(np.asarray([1e4]), FS))[0]
+        assert g1k / g10k == pytest.approx(100.0, rel=0.15)
+
+    def test_cutoff_above_nyquist_rejected(self):
+        lp = LowPassFilter(60e3)
+        with pytest.raises(CircuitError):
+            lp.process(Signal.constant(0.0, 0.01, FS))
+
+    def test_step_matches_process(self):
+        lp1 = LowPassFilter(500.0)
+        lp2 = LowPassFilter(500.0)
+        sig = Signal.sine(200.0, 0.05, FS)
+        batch = lp1.process(sig)
+        lp2.prepare(FS)
+        stepped = np.asarray([lp2.step(float(x)) for x in sig.samples])
+        assert np.allclose(batch.samples, stepped, atol=1e-12)
+
+    def test_step_without_prepare_raises(self):
+        with pytest.raises(CircuitError):
+            LowPassFilter(100.0).step(1.0)
+
+    def test_reset_clears_state(self):
+        lp = LowPassFilter(100.0)
+        lp.process(Signal.constant(1.0, 0.1, FS))
+        lp.reset()
+        out = lp.process(Signal.constant(0.0, 0.01, FS))
+        assert abs(out.samples[-1]) < 1e-9
+
+    def test_state_continuity_across_calls(self):
+        lp1 = LowPassFilter(100.0)
+        whole = lp1.process(Signal.constant(1.0, 0.1, FS))
+        lp2 = LowPassFilter(100.0)
+        first = lp2.process(Signal.constant(1.0, 0.05, FS))
+        second = lp2.process(Signal.constant(1.0, 0.05, FS))
+        rejoined = np.concatenate([first.samples, second.samples])
+        assert np.allclose(whole.samples, rejoined, atol=1e-12)
+
+    def test_invalid_order(self):
+        with pytest.raises(CircuitError):
+            LowPassFilter(100.0, order=0)
+
+
+class TestHighPass:
+    def test_dc_blocked(self):
+        hp = HighPassFilter(100.0)
+        out = hp.process(Signal.constant(1.0, 0.5, FS))
+        assert abs(out.samples[-1]) < 1e-3
+
+    def test_high_frequency_passes(self):
+        hp = HighPassFilter(100.0, order=2)
+        gain = hp.small_signal_gain(10e3, FS)
+        assert gain == pytest.approx(1.0, rel=0.01)
+
+    def test_minus_3db_at_cutoff(self):
+        hp = HighPassFilter(1000.0, order=2)
+        gain = hp.small_signal_gain(1000.0, FS)
+        assert gain == pytest.approx(1.0 / np.sqrt(2.0), rel=0.02)
+
+    def test_removes_drift_keeps_tone(self):
+        hp = HighPassFilter(50.0, order=2)
+        drift = Signal.from_function(lambda t: 0.5 * t, 1.0, FS)
+        tone = Signal.sine(5e3, 1.0, FS, amplitude=0.1)
+        out = hp.process(drift + tone).settle(0.5)
+        assert out.std() == pytest.approx(0.1 / np.sqrt(2.0), rel=0.05)
+        assert abs(out.mean()) < 5e-3
+
+
+class TestRCLowPass:
+    def test_dc_gain_unity(self):
+        rc = RCLowPass(1e3)
+        out = rc.process(Signal.constant(2.0, 0.05, FS))
+        assert out.samples[-1] == pytest.approx(2.0, rel=1e-4)
+
+    def test_approximately_minus_3db(self):
+        rc = RCLowPass(1e3)
+        gain = rc.small_signal_gain(1e3, FS)
+        assert gain == pytest.approx(1.0 / np.sqrt(2.0), rel=0.05)
+
+    def test_step_matches_process(self):
+        rc1, rc2 = RCLowPass(1e3), RCLowPass(1e3)
+        sig = Signal.sine(300.0, 0.02, FS)
+        batch = rc1.process(sig)
+        rc2.prepare(FS)
+        stepped = np.asarray([rc2.step(float(x)) for x in sig.samples])
+        assert np.allclose(batch.samples, stepped)
+
+    def test_step_without_prepare_raises(self):
+        with pytest.raises(CircuitError):
+            RCLowPass(100.0).step(1.0)

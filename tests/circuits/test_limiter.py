@@ -1,0 +1,73 @@
+"""Non-linear limiting amplifier and its describing function (Fig. 5)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import LimitingAmplifier, Signal
+from repro.errors import OscillationError
+
+
+@pytest.fixture()
+def limiter():
+    return LimitingAmplifier(small_signal_gain=10.0, output_level=1.0)
+
+
+class TestTransfer:
+    def test_small_signal_gain(self, limiter):
+        assert limiter.step(1e-6) == pytest.approx(10.0 * 1e-6, rel=1e-3)
+
+    def test_output_bounded(self, limiter):
+        s = Signal.sine(100.0, 0.1, 10e3, amplitude=100.0)
+        out = limiter.process(s)
+        assert out.peak() <= 1.0
+
+    def test_asymptote(self, limiter):
+        assert limiter.step(1e6) == pytest.approx(1.0, rel=1e-9)
+
+    def test_odd_symmetry(self, limiter):
+        assert limiter.step(-0.3) == pytest.approx(-limiter.step(0.3))
+
+    def test_monotonic(self, limiter):
+        # stay where tanh is numerically distinguishable from +/-1
+        xs = np.linspace(-0.5, 0.5, 101)
+        ys = [limiter.step(float(x)) for x in xs]
+        assert all(a < b for a, b in zip(ys, ys[1:]))
+
+
+class TestDescribingFunction:
+    def test_small_amplitude_limit(self, limiter):
+        n = limiter.describing_function(1e-6)
+        assert n == pytest.approx(10.0, rel=1e-3)
+
+    def test_monotone_decreasing(self, limiter):
+        amps = [0.001, 0.01, 0.1, 1.0, 10.0]
+        gains = [limiter.describing_function(a) for a in amps]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+    def test_large_amplitude_rolloff(self, limiter):
+        # hard limiter asymptote: N(a) ~ 4 level / (pi a)
+        a = 100.0
+        assert limiter.describing_function(a) == pytest.approx(
+            4.0 * 1.0 / (math.pi * a), rel=0.05
+        )
+
+    def test_amplitude_for_gain_round_trip(self, limiter):
+        target = 2.5
+        a = limiter.amplitude_for_gain(target)
+        assert limiter.describing_function(a) == pytest.approx(target, rel=1e-4)
+
+    def test_unreachable_gain_raises(self, limiter):
+        with pytest.raises(OscillationError):
+            limiter.amplitude_for_gain(11.0)
+
+    def test_oscillation_amplitude_prediction(self, limiter):
+        # if the rest of the loop has gain 1/2.0, steady state sits where
+        # N(a) = 2.0; the output amplitude then is N(a)*a
+        a_in = limiter.amplitude_for_gain(2.0)
+        a_out = limiter.describing_function(a_in) * a_in
+        # the *fundamental* of a clipped wave can exceed the clip level,
+        # up to 4/pi for a hard square
+        assert a_out < 4.0 / math.pi
+        assert a_out > 0.5  # but well into limiting

@@ -1,0 +1,81 @@
+"""Analog multiplexer: selection, scanning, settling, crosstalk."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import AnalogMultiplexer, Signal
+from repro.errors import CircuitError
+
+FS = 100e3
+
+
+def four_dc_channels(levels=(0.1, 0.2, 0.3, 0.4), duration=0.04):
+    return [Signal.constant(v, duration, FS) for v in levels]
+
+
+class TestSelect:
+    def test_selects_channel(self):
+        mux = AnalogMultiplexer(crosstalk_db=math.inf)
+        out = mux.select(four_dc_channels(), 2)
+        assert out.samples[0] == pytest.approx(0.3)
+
+    def test_crosstalk_adds_other_channels(self):
+        mux = AnalogMultiplexer(crosstalk_db=40.0)
+        out = mux.select(four_dc_channels(), 0)
+        leak = 10 ** (-40.0 / 20.0)
+        assert out.samples[0] == pytest.approx(0.1 + leak * (0.2 + 0.3 + 0.4))
+
+    def test_invalid_channel(self):
+        mux = AnalogMultiplexer()
+        with pytest.raises(CircuitError):
+            mux.select(four_dc_channels(), 4)
+
+    def test_wrong_channel_count(self):
+        mux = AnalogMultiplexer(channel_count=4)
+        with pytest.raises(CircuitError):
+            mux.select(four_dc_channels()[:3], 0)
+
+
+class TestScan:
+    def test_round_robin_schedule(self):
+        mux = AnalogMultiplexer(settling_time_constant=0.0, crosstalk_db=math.inf)
+        out, slots = mux.scan(four_dc_channels(), dwell_time=5e-3)
+        assert [s.channel for s in slots[:5]] == [0, 1, 2, 3, 0]
+
+    def test_levels_reached_after_settling(self):
+        mux = AnalogMultiplexer(settling_time_constant=1e-4, crosstalk_db=math.inf)
+        out, slots = mux.scan(four_dc_channels(), dwell_time=5e-3)
+        means = mux.demultiplex_means(out, slots, settle_fraction=0.5)
+        for ch, level in enumerate((0.1, 0.2, 0.3, 0.4)):
+            assert np.mean(means[ch]) == pytest.approx(level, rel=1e-3)
+
+    def test_settling_transient_visible(self):
+        mux = AnalogMultiplexer(settling_time_constant=1e-3, crosstalk_db=math.inf)
+        out, slots = mux.scan(four_dc_channels(), dwell_time=5e-3)
+        # at the start of slot 1 the output is still near channel 0's level
+        i = int(round(slots[1].start_time * FS))
+        assert out.samples[i] == pytest.approx(0.1, abs=0.02)
+
+    def test_ideal_mux_instant(self):
+        mux = AnalogMultiplexer(settling_time_constant=0.0, crosstalk_db=math.inf)
+        out, slots = mux.scan(four_dc_channels(), dwell_time=5e-3)
+        i = int(round(slots[1].start_time * FS))
+        assert out.samples[i] == pytest.approx(0.2)
+
+    def test_invalid_settle_fraction(self):
+        mux = AnalogMultiplexer()
+        out, slots = mux.scan(four_dc_channels(), dwell_time=5e-3)
+        with pytest.raises(CircuitError):
+            mux.demultiplex_means(out, slots, settle_fraction=1.0)
+
+
+class TestConstruction:
+    def test_needs_two_channels(self):
+        with pytest.raises(CircuitError):
+            AnalogMultiplexer(channel_count=1)
+
+    def test_crosstalk_must_be_attenuation(self):
+        with pytest.raises(CircuitError):
+            AnalogMultiplexer(crosstalk_db=-10.0)

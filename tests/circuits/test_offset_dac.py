@@ -1,0 +1,72 @@
+"""Programmable offset-compensation DAC (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import OffsetCompensationDAC, Signal
+from repro.errors import CircuitError
+
+
+@pytest.fixture()
+def dac():
+    return OffsetCompensationDAC(full_scale=1.0, bits=10)
+
+
+class TestCodes:
+    def test_lsb(self, dac):
+        assert dac.lsb == pytest.approx(2.0 / (2**10 - 1))
+
+    def test_code_range_symmetric(self, dac):
+        lo, hi = dac.code_range
+        assert lo == -hi
+
+    def test_set_code(self, dac):
+        dac.set_code(100)
+        assert dac.compensation == pytest.approx(100 * dac.lsb)
+
+    def test_out_of_range_code_rejected(self, dac):
+        lo, hi = dac.code_range
+        with pytest.raises(CircuitError):
+            dac.set_code(hi + 1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(CircuitError):
+            OffsetCompensationDAC(1.0, bits=1)
+
+
+class TestVoltageProgramming:
+    def test_nearest_code(self, dac):
+        programmed = dac.set_voltage(0.1234)
+        assert abs(programmed - 0.1234) <= dac.lsb / 2.0
+
+    def test_clamps_beyond_range(self, dac):
+        programmed = dac.set_voltage(5.0)
+        assert programmed == pytest.approx(dac.code_range[1] * dac.lsb)
+
+    def test_negative_voltages(self, dac):
+        programmed = dac.set_voltage(-0.5)
+        assert programmed == pytest.approx(-0.5, abs=dac.lsb)
+
+
+class TestCalibration:
+    def test_residual_within_half_lsb(self, dac):
+        residual = dac.calibrate(0.3141)
+        assert abs(residual) <= dac.lsb / 2.0
+
+    def test_out_of_range_offset_leaves_remainder(self, dac):
+        residual = dac.calibrate(1.5)
+        assert residual == pytest.approx(0.5, abs=dac.lsb)
+
+    def test_process_subtracts(self, dac):
+        dac.set_voltage(0.25)
+        out = dac.process(Signal.constant(1.0, 0.01, 1e3))
+        assert out.samples[0] == pytest.approx(1.0 - dac.compensation)
+
+    def test_step_matches_process(self, dac):
+        dac.set_voltage(0.1)
+        assert dac.step(0.5) == pytest.approx(0.5 - dac.compensation)
+
+    def test_more_bits_smaller_residual(self):
+        coarse = OffsetCompensationDAC(1.0, bits=4)
+        fine = OffsetCompensationDAC(1.0, bits=12)
+        assert abs(fine.calibrate(0.3)) < abs(coarse.calibrate(0.3))

@@ -1,0 +1,77 @@
+"""Phase-lead (differentiator) loop conditioning block."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.phase import PhaseLead
+from repro.circuits import Signal
+from repro.errors import CircuitError
+
+FS = 400e3
+
+
+class TestGain:
+    def test_unity_at_reference(self):
+        pl = PhaseLead(reference_frequency=10e3)
+        gain = pl.small_signal_gain(10e3, FS)
+        assert gain == pytest.approx(1.0, rel=0.01)
+
+    def test_gain_proportional_to_frequency(self):
+        pl = PhaseLead(reference_frequency=10e3)
+        g5 = pl.small_signal_gain(5e3, FS)
+        pl.reset()
+        g20 = pl.small_signal_gain(20e3, FS)
+        assert g20 / g5 == pytest.approx(4.0, rel=0.02)
+
+    def test_dc_blocked(self):
+        pl = PhaseLead(reference_frequency=1e3)
+        out = pl.process(Signal.constant(1.0, 0.01, FS))
+        assert abs(out.samples[-1]) < 1e-12
+
+
+class TestPhase:
+    def test_ninety_degree_lead(self):
+        pl = PhaseLead(reference_frequency=10e3)
+        h = pl.response(np.asarray([10e3]), FS)[0]
+        phase_deg = math.degrees(np.angle(h))
+        # +90 deg minus the half-sample delay (pi f / fs = 4.5 deg here)
+        assert phase_deg == pytest.approx(90.0 - 4.5, abs=1.0)
+
+    def test_sine_becomes_cosine(self):
+        pl = PhaseLead(reference_frequency=1e3)
+        s = Signal.sine(1e3, 0.02, FS)
+        out = pl.process(s).settle(0.25)
+        ref = Signal.from_function(
+            lambda t: np.cos(2 * np.pi * 1e3 * t), 0.02, FS
+        ).settle(0.25)
+        # correlation with the cosine should be near 1
+        corr = np.corrcoef(out.samples, ref.samples)[0, 1]
+        assert corr > 0.99
+
+
+class TestStepping:
+    def test_step_matches_process(self):
+        p1, p2 = PhaseLead(1e3), PhaseLead(1e3)
+        sig = Signal.sine(500.0, 0.01, FS)
+        batch = p1.process(sig)
+        p2.prepare(FS)
+        stepped = np.asarray([p2.step(float(x)) for x in sig.samples])
+        assert np.allclose(batch.samples, stepped)
+
+    def test_step_requires_prepare(self):
+        with pytest.raises(CircuitError):
+            PhaseLead(1e3).step(1.0)
+
+    def test_reference_above_nyquist_rejected(self):
+        pl = PhaseLead(300e3)
+        with pytest.raises(CircuitError):
+            pl.prepare(FS)
+
+    def test_reset(self):
+        pl = PhaseLead(1e3)
+        pl.prepare(FS)
+        pl.step(1.0)
+        pl.reset()
+        assert pl.step(0.0) == 0.0

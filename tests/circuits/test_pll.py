@@ -1,0 +1,83 @@
+"""PLL frequency tracker."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Signal
+from repro.circuits.pll import PhaseLockedLoop
+from repro.errors import CircuitError
+
+FS = 400e3
+F_TRUE = 8893.7
+
+
+@pytest.fixture()
+def tone():
+    return Signal.sine(F_TRUE, 0.3, FS, amplitude=0.5)
+
+
+class TestLocking:
+    def test_locks_and_reads_exactly(self, tone):
+        pll = PhaseLockedLoop(8800.0, 200.0, amplitude=0.5)
+        reading = pll.track(tone)
+        assert reading.locked
+        assert reading.final_frequency() == pytest.approx(F_TRUE, abs=0.01)
+
+    def test_locks_from_below_and_above(self, tone):
+        for start in (8600.0, 9200.0):
+            pll = PhaseLockedLoop(start, 300.0, amplitude=0.5)
+            assert pll.measure(tone) == pytest.approx(F_TRUE, abs=0.05)
+
+    def test_far_off_center_fails_visibly(self, tone):
+        # well outside the pull-in range, narrow loop: must not lie
+        pll = PhaseLockedLoop(4000.0, 20.0, amplitude=0.5)
+        reading = pll.track(tone)
+        assert (not reading.locked) or abs(
+            reading.final_frequency() - F_TRUE
+        ) > 100.0
+
+    def test_tracks_frequency_step(self):
+        # two tones back to back: the PLL follows the hop
+        a = Signal.sine(8800.0, 0.15, FS, amplitude=0.5)
+        b = Signal.sine(9000.0, 0.15, FS, amplitude=0.5)
+        both = Signal(np.concatenate([a.samples, b.samples]), FS)
+        pll = PhaseLockedLoop(8800.0, 300.0, amplitude=0.5)
+        reading = pll.track(both)
+        # instantaneous samples carry ~5 Hz of 2f0 PD ripple at this
+        # wide bandwidth; averages are exact
+        assert reading.frequency[len(both) // 4] == pytest.approx(8800.0, abs=10.0)
+        assert reading.final_frequency(0.2) == pytest.approx(9000.0, abs=2.0)
+
+
+class TestResolutionTradeoff:
+    def test_narrow_loop_less_wander(self, tone):
+        wide = PhaseLockedLoop(8800.0, 200.0, amplitude=0.5).track(tone)
+        narrow = PhaseLockedLoop(8800.0, 20.0, amplitude=0.5).track(tone)
+        assert narrow.frequency_noise() < 0.1 * wide.frequency_noise()
+
+    def test_narrow_loop_slower_settling(self, tone):
+        wide = PhaseLockedLoop(8800.0, 200.0, amplitude=0.5).track(tone)
+        narrow = PhaseLockedLoop(8800.0, 20.0, amplitude=0.5).track(tone)
+        assert narrow.settling_time > 5.0 * wide.settling_time
+
+    def test_beats_counter_grid_with_no_gate(self, tone):
+        # 20 Hz loop: mHz-class wander on a 0.3 s record, where a gated
+        # counter would be stuck on a 3.3 Hz grid
+        pll = PhaseLockedLoop(8800.0, 20.0, amplitude=0.5)
+        reading = pll.track(tone)
+        assert reading.frequency_noise() < 0.1
+
+
+class TestValidation:
+    def test_bandwidth_guard(self):
+        with pytest.raises(CircuitError):
+            PhaseLockedLoop(1000.0, 300.0)
+
+    def test_measure_raises_unlocked(self):
+        noise_only = Signal(
+            np.random.default_rng(0).normal(0.0, 0.01, int(0.1 * FS)), FS
+        )
+        pll = PhaseLockedLoop(8800.0, 20.0, amplitude=0.5)
+        reading = pll.track(noise_only)
+        # on pure noise the loop must either flag unlock or visibly wander
+        assert (not reading.locked) or reading.frequency_noise() > 1.0

@@ -1,0 +1,119 @@
+"""Signal container: construction, statistics, arithmetic, slicing."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Signal
+from repro.errors import SignalError
+
+
+class TestConstruction:
+    def test_sine(self):
+        s = Signal.sine(100.0, 1.0, 10e3, amplitude=2.0)
+        assert len(s) == 10000
+        assert s.peak() == pytest.approx(2.0, rel=1e-3)
+
+    def test_sine_above_nyquist_rejected(self):
+        with pytest.raises(SignalError):
+            Signal.sine(6e3, 0.1, 10e3)
+
+    def test_constant(self):
+        s = Signal.constant(1.5, 0.01, 1e3)
+        assert np.all(s.samples == 1.5)
+
+    def test_from_function(self):
+        s = Signal.from_function(lambda t: t * 2.0, 0.01, 1e3)
+        assert s.samples[5] == pytest.approx(2.0 * 5.0 / 1e3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(np.asarray([]), 1e3)
+
+    def test_nan_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(np.asarray([1.0, float("nan")]), 1e3)
+
+    def test_2d_rejected(self):
+        with pytest.raises(SignalError):
+            Signal(np.zeros((2, 2)), 1e3)
+
+
+class TestStatistics:
+    def test_sine_rms(self):
+        s = Signal.sine(100.0, 1.0, 100e3, amplitude=1.0)
+        assert s.rms() == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-3)
+
+    def test_mean_of_offset_sine(self):
+        s = Signal.sine(100.0, 1.0, 100e3, amplitude=1.0, offset=0.5)
+        assert s.mean() == pytest.approx(0.5, abs=1e-3)
+
+    def test_std_ignores_offset(self):
+        a = Signal.sine(100.0, 1.0, 100e3)
+        b = Signal.sine(100.0, 1.0, 100e3, offset=2.0)
+        assert a.std() == pytest.approx(b.std(), rel=1e-9)
+
+    def test_duration_and_times(self):
+        s = Signal.constant(0.0, 0.5, 1e3)
+        assert s.duration == pytest.approx(0.5)
+        assert s.times[1] - s.times[0] == pytest.approx(1e-3)
+
+    def test_amplitude_envelope_constant_tone(self):
+        s = Signal.sine(1e3, 0.1, 100e3, amplitude=0.7)
+        env = s.amplitude_envelope(window_cycles=2.0, frequency=1e3)
+        assert np.all(np.abs(env - 0.7) < 0.01)
+
+
+class TestArithmetic:
+    def test_add_signals(self):
+        a = Signal.constant(1.0, 0.01, 1e3)
+        b = Signal.constant(2.0, 0.01, 1e3)
+        assert np.all((a + b).samples == 3.0)
+
+    def test_add_scalar(self):
+        a = Signal.constant(1.0, 0.01, 1e3)
+        assert np.all((a + 0.5).samples == 1.5)
+
+    def test_subtract(self):
+        a = Signal.constant(3.0, 0.01, 1e3)
+        b = Signal.constant(1.0, 0.01, 1e3)
+        assert np.all((a - b).samples == 2.0)
+
+    def test_scale(self):
+        a = Signal.constant(2.0, 0.01, 1e3)
+        assert np.all((3.0 * a).samples == 6.0)
+
+    def test_rate_mismatch_rejected(self):
+        a = Signal.constant(1.0, 0.01, 1e3)
+        b = Signal.constant(1.0, 0.005, 2e3)
+        with pytest.raises(SignalError):
+            a + b
+
+    def test_length_mismatch_rejected(self):
+        a = Signal(np.zeros(10), 1e3)
+        b = Signal(np.zeros(11), 1e3)
+        with pytest.raises(SignalError):
+            a + b
+
+
+class TestSegments:
+    def test_slice_time(self):
+        s = Signal.from_function(lambda t: t, 1.0, 1e3)
+        part = s.slice_time(0.25, 0.5)
+        assert len(part) == 250
+        assert part.samples[0] == pytest.approx(0.25, abs=2e-3)
+
+    def test_slice_invalid(self):
+        s = Signal.constant(0.0, 1.0, 1e3)
+        with pytest.raises(SignalError):
+            s.slice_time(0.5, 0.2)
+
+    def test_settle_drops_head(self):
+        s = Signal.from_function(lambda t: t, 1.0, 1e3)
+        tail = s.settle(0.75)
+        assert len(tail) == 250
+        assert tail.samples[0] >= 0.74
+
+    def test_settle_invalid_fraction(self):
+        s = Signal.constant(0.0, 1.0, 1e3)
+        with pytest.raises(SignalError):
+            s.settle(1.0)

@@ -1,0 +1,73 @@
+"""Variable-gain amplifier (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Signal, VariableGainAmplifier
+from repro.errors import CircuitError
+
+
+@pytest.fixture()
+def vga():
+    return VariableGainAmplifier(min_gain_db=0.0, max_gain_db=30.0, steps=16)
+
+
+class TestSettings:
+    def test_step_size(self, vga):
+        assert vga.step_db == pytest.approx(2.0)
+
+    def test_min_setting_gain(self, vga):
+        vga.set_setting(0)
+        assert vga.gain == pytest.approx(1.0)
+
+    def test_max_setting_gain(self, vga):
+        vga.set_setting(15)
+        assert vga.gain_db == pytest.approx(30.0)
+
+    def test_out_of_range_setting(self, vga):
+        with pytest.raises(CircuitError):
+            vga.set_setting(16)
+
+    def test_invalid_range(self):
+        with pytest.raises(CircuitError):
+            VariableGainAmplifier(min_gain_db=10.0, max_gain_db=5.0)
+
+    def test_needs_two_steps(self):
+        with pytest.raises(CircuitError):
+            VariableGainAmplifier(steps=1)
+
+
+class TestAutoRanging:
+    def test_meets_requirement(self, vga):
+        gain = vga.set_gain_at_least(7.0)
+        assert gain >= 7.0
+        # and not more than one step above
+        assert gain <= 7.0 * 10 ** (vga.step_db / 20.0)
+
+    def test_minimum_for_small_requirement(self, vga):
+        vga.set_gain_at_least(0.5)
+        assert vga.setting == 0
+
+    def test_exact_boundary(self, vga):
+        vga.set_gain_at_least(10 ** (2.0 / 20.0))  # exactly one step
+        assert vga.setting == 1
+
+    def test_beyond_range_raises(self, vga):
+        with pytest.raises(CircuitError):
+            vga.set_gain_at_least(10 ** (31.0 / 20.0))
+
+    def test_nonpositive_requirement(self, vga):
+        with pytest.raises(CircuitError):
+            vga.set_gain_at_least(0.0)
+
+
+class TestProcessing:
+    def test_scales_signal(self, vga):
+        vga.set_setting(5)
+        s = Signal.constant(0.1, 0.01, 1e3)
+        out = vga.process(s)
+        assert out.samples[0] == pytest.approx(0.1 * vga.gain)
+
+    def test_step(self, vga):
+        vga.set_setting(3)
+        assert vga.step(1.0) == pytest.approx(vga.gain)

@@ -1,0 +1,105 @@
+"""The 4-cantilever array chip with multiplexed readout."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import AssayProtocol, get_analyte
+from repro.core import BiosensorChip, ChannelConfig
+from repro.errors import AssayError
+from repro.units import nM
+
+
+@pytest.fixture(scope="module")
+def chip(fabricated):
+    return BiosensorChip(
+        cantilever=fabricated,
+        channels=[
+            ChannelConfig(analyte=get_analyte("igg"), label="anti-IgG"),
+            ChannelConfig(analyte=get_analyte("crp"), label="anti-CRP"),
+            ChannelConfig(analyte=None, label="ref1"),
+            ChannelConfig(analyte=None, label="ref2"),
+        ],
+        temperature_drift=20e-6,
+    )
+
+
+@pytest.fixture(scope="module")
+def calibrated_chip(chip):
+    chip.calibrate()
+    return chip
+
+
+class TestConstruction:
+    def test_reference_channels_detected(self, chip):
+        assert chip.reference_channels == (2, 3)
+
+    def test_needs_exactly_four_channels(self, fabricated):
+        with pytest.raises(AssayError):
+            BiosensorChip(
+                cantilever=fabricated,
+                channels=[ChannelConfig(analyte=None)] * 3,
+            )
+
+    def test_channel_plan_mandatory(self, fabricated):
+        with pytest.raises(AssayError):
+            BiosensorChip(cantilever=fabricated, channels=None)
+
+    def test_four_sensors_built(self, chip):
+        assert len(chip.sensors) == 4
+
+    def test_distinct_bridges_per_channel(self, chip):
+        offsets = [s.bridge.offset_voltage() for s in chip.sensors]
+        assert len(set(offsets)) == 4  # different mismatch per beam
+
+
+class TestArrayAssay:
+    def test_active_channels_respond(self, calibrated_chip):
+        protocol = AssayProtocol.injection(nM(50), baseline=60, exposure=900, wash=60)
+        result = calibrated_chip.run_array_assay(
+            protocol, sample_interval=10.0, include_noise=False
+        )
+        for ch in (0, 1):
+            signal = result.referenced(ch)
+            assert abs(signal[-1] - signal[0]) > 1e-3
+
+    def test_referencing_cancels_drift(self, calibrated_chip):
+        protocol = AssayProtocol.injection(nM(50), baseline=60, exposure=900, wash=60)
+        result = calibrated_chip.run_array_assay(
+            protocol, sample_interval=10.0, include_noise=False
+        )
+        raw = result.channel_outputs[0]
+        referenced = result.referenced(0)
+        drift = 20e-6 * (result.times[-1] - result.times[0])
+        # the blocked reference beams carry the full thermal drift...
+        ref_trace = result.channel_outputs[2]
+        assert ref_trace[-1] - ref_trace[0] == pytest.approx(drift, abs=1e-9)
+        # ...and subtracting them removes it from the active channel
+        step_ref = referenced[-1] - referenced[0]
+        step_raw_minus_drift = (raw[-1] - raw[0]) - drift
+        assert step_ref == pytest.approx(step_raw_minus_drift, abs=1e-9)
+
+    def test_reference_channel_cannot_be_referenced(self, calibrated_chip):
+        protocol = AssayProtocol.injection(nM(10), baseline=30, exposure=60, wash=30)
+        result = calibrated_chip.run_array_assay(protocol, sample_interval=10.0)
+        with pytest.raises(AssayError):
+            result.referenced(2)
+
+    def test_labels(self, calibrated_chip):
+        protocol = AssayProtocol.injection(nM(10), baseline=30, exposure=60, wash=30)
+        result = calibrated_chip.run_array_assay(protocol, sample_interval=10.0)
+        assert result.channel_labels[0] == "anti-IgG"
+        assert result.channel_labels[2] == "ref1"
+
+
+class TestMuxScan:
+    def test_scan_visits_all_channels(self, chip):
+        muxed, slots = chip.scan_bridges(dwell_time=5e-3, duration=0.05)
+        visited = {s.channel for s in slots}
+        assert visited == {0, 1, 2, 3}
+
+    def test_scan_levels_match_bridge_offsets(self, chip):
+        muxed, slots = chip.scan_bridges(dwell_time=5e-3, duration=0.08)
+        means = chip.mux.demultiplex_means(muxed, slots, settle_fraction=0.5)
+        for ch in range(4):
+            expected = chip.sensors[ch].bridge_voltage(0.0)
+            assert np.mean(means[ch]) == pytest.approx(expected, abs=5e-5)

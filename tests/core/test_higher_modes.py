@@ -1,0 +1,57 @@
+"""Higher-mode operation of the resonant sensor."""
+
+import pytest
+
+from repro.biochem import FunctionalizedSurface, get_analyte
+from repro.core import ResonantCantileverSensor
+
+
+@pytest.fixture(scope="module")
+def mode1(geometry, water):
+    surface = FunctionalizedSurface(get_analyte("igg"), geometry)
+    return ResonantCantileverSensor(surface, water, mode=1)
+
+
+@pytest.fixture(scope="module")
+def mode2(geometry, water):
+    surface = FunctionalizedSurface(get_analyte("igg"), geometry)
+    return ResonantCantileverSensor(surface, water, mode=2)
+
+
+class TestModePhysics:
+    def test_mode2_higher_frequency(self, mode1, mode2):
+        ratio = mode2.fluid_mode.frequency / mode1.fluid_mode.frequency
+        # vacuum ratio is 6.27; fluid loading compresses it somewhat
+        assert 5.0 < ratio < 7.5
+
+    def test_mode2_higher_q_in_liquid(self, mode1, mode2):
+        assert mode2.fluid_mode.quality_factor > (
+            1.5 * mode1.fluid_mode.quality_factor
+        )
+
+    def test_mode2_better_mass_responsivity(self, mode1, mode2):
+        # the central reason to go up in mode number
+        assert abs(mode2.mass_responsivity()) > 4.0 * abs(
+            mode1.mass_responsivity()
+        )
+
+    def test_mode2_better_counter_lod(self, mode1, mode2):
+        assert mode2.minimum_detectable_mass(1.0) < 0.25 * (
+            mode1.minimum_detectable_mass(1.0)
+        )
+
+
+class TestMode2Loop:
+    def test_loop_locks_on_mode2(self, mode2):
+        mean_f, _ = mode2.measure_frequency(gate_time=0.02, gates=3)
+        assert mean_f == pytest.approx(mode2.fluid_mode.frequency, rel=0.02)
+
+    def test_mode2_frequency_for_mass_consistent(self, mode2):
+        from repro.units import pg
+
+        f0 = mode2.frequency_for_added_mass(0.0)
+        f1 = mode2.frequency_for_added_mass(pg(100))
+        assert f1 < f0
+        assert (f1 - f0) / pg(100) == pytest.approx(
+            mode2.mass_responsivity(), rel=1e-3
+        )

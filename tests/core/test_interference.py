@@ -1,0 +1,83 @@
+"""Monolithic vs external readout (the paper's integration claim)."""
+
+import math
+
+import pytest
+
+from repro.circuits import DifferenceAmplifier, Signal
+from repro.core import (
+    EXTERNAL_PATH,
+    MONOLITHIC_PATH,
+    ReadoutPath,
+    compare_paths,
+    evaluate_path,
+)
+
+FS = 100e3
+
+
+@pytest.fixture()
+def bridge_signal():
+    return Signal.sine(10.0, 0.5, FS, amplitude=50e-6)
+
+
+@pytest.fixture()
+def interferer():
+    # 100 mV of mains-frequency pickup
+    return Signal.sine(50.0, 0.5, FS, amplitude=0.1)
+
+
+class TestPaths:
+    def test_monolithic_pickup_tiny(self):
+        assert MONOLITHIC_PATH.differential_pickup() < 1e-6
+
+    def test_external_pickup_large(self):
+        assert EXTERNAL_PATH.differential_pickup() > 100.0 * (
+            MONOLITHIC_PATH.differential_pickup()
+        )
+
+    def test_input_pole(self):
+        pole = EXTERNAL_PATH.input_pole(10e3)
+        assert pole == pytest.approx(
+            1.0 / (2.0 * math.pi * 10e3 * 20e-12), rel=1e-9
+        )
+
+    def test_no_capacitance_infinite_pole(self):
+        path = ReadoutPath("x", 0.0, 0.0, 0.0)
+        assert math.isinf(path.input_pole(10e3))
+
+
+class TestComparison:
+    def test_monolithic_wins_decisively(self, bridge_signal, interferer):
+        mono, ext = compare_paths(bridge_signal, interferer)
+        assert mono.snr_db > ext.snr_db + 40.0
+
+    def test_monolithic_snr_stays_high(self, bridge_signal, interferer):
+        mono, _ = compare_paths(bridge_signal, interferer)
+        assert mono.snr_db > 40.0
+
+    def test_external_fails_at_high_interference(self, bridge_signal):
+        strong = Signal.sine(50.0, 0.5, FS, amplitude=1.0)
+        _, ext = compare_paths(bridge_signal, strong)
+        assert ext.snr_db < 10.0
+
+    def test_snr_falls_with_interference(self, bridge_signal):
+        results = []
+        for amp in (0.01, 0.1, 1.0):
+            interferer = Signal.sine(50.0, 0.5, FS, amplitude=amp)
+            _, ext = compare_paths(bridge_signal, interferer)
+            results.append(ext.snr_db)
+        assert results[0] > results[1] > results[2]
+
+    def test_no_interference_no_error(self, bridge_signal):
+        silent = Signal.constant(0.0, 0.5, FS)
+        mono, ext = compare_paths(bridge_signal, silent)
+        assert mono.snr_db > 100.0
+        assert ext.snr_db > 100.0
+
+    def test_evaluate_path_fields(self, bridge_signal, interferer):
+        amp = DifferenceAmplifier(gain=100.0, cmrr_db=90.0, noise_density=0.0)
+        result = evaluate_path(EXTERNAL_PATH, amp, bridge_signal, interferer)
+        assert result.path_name == "external"
+        assert result.signal_rms > 0.0
+        assert result.error_rms > 0.0

@@ -1,0 +1,61 @@
+"""Paper-calibrated preset configurations."""
+
+import pytest
+
+from repro.core import presets
+from repro.mechanics import natural_frequency
+
+
+class TestReferenceDevice:
+    def test_geometry_dimensions(self):
+        g = presets.reference_geometry()
+        assert g.length == pytest.approx(500e-6)
+        assert g.width == pytest.approx(100e-6)
+        assert g.thickness == pytest.approx(5e-6)
+
+    def test_reference_frequency(self):
+        g = presets.reference_geometry()
+        assert natural_frequency(g) == pytest.approx(27.5e3, rel=0.01)
+
+    def test_dielectric_variant(self):
+        coated = presets.reference_cantilever(keep_dielectrics=True)
+        bare = presets.reference_cantilever()
+        assert coated.geometry.thickness > bare.geometry.thickness
+
+
+class TestBridges:
+    def test_static_bridge_offset_mv_scale(self):
+        b = presets.static_bridge()
+        assert 0.0 < abs(b.offset_voltage()) < 20e-3
+
+    def test_static_bridge_deterministic(self):
+        assert presets.static_bridge().offset_voltage() == pytest.approx(
+            presets.static_bridge().offset_voltage()
+        )
+
+    def test_resonant_bridge_higher_resistance(self):
+        static = presets.static_bridge(mismatch_sigma=0.0)
+        resonant = presets.resonant_bridge(mismatch_sigma=0.0)
+        assert resonant.output_resistance() > static.output_resistance()
+
+    def test_resonant_bridge_lower_power(self):
+        static = presets.static_bridge(mismatch_sigma=0.0)
+        resonant = presets.resonant_bridge(mismatch_sigma=0.0)
+        assert resonant.power_dissipation() < static.power_dissipation()
+
+    def test_resonant_bridge_worse_corner(self):
+        static = presets.static_bridge(mismatch_sigma=0.0)
+        resonant = presets.resonant_bridge(mismatch_sigma=0.0)
+        assert resonant.corner_frequency() > 10.0 * static.corner_frequency()
+
+
+class TestReadoutBlocks:
+    def test_stage_names(self):
+        blocks = presets.static_readout_blocks()
+        assert list(blocks) == ["chopper", "lowpass", "offset_dac", "gain2", "gain3"]
+
+    def test_first_stage_needs_chopping(self):
+        amp = presets.first_stage_amplifier()
+        # offset x full chain gain would slam the rails without chopping
+        total_gain = 100.0 * 10.0 * 5.0
+        assert abs(amp.input_offset) * total_gain > 2.5

@@ -1,0 +1,100 @@
+"""The assembled resonant biosensor (Fig. 2 + Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.biochem import AssayProtocol, FunctionalizedSurface, get_analyte
+from repro.core import ResonantCantileverSensor
+from repro.units import nM, pg
+
+
+@pytest.fixture(scope="module")
+def sensor(geometry, water):
+    surface = FunctionalizedSurface(get_analyte("streptavidin"), geometry)
+    return ResonantCantileverSensor(surface, water)
+
+
+class TestPhysics:
+    def test_baseline_frequency_is_fluid_loaded(self, sensor):
+        assert sensor.frequency_for_added_mass(0.0) == pytest.approx(
+            sensor.fluid_mode.frequency, rel=1e-6
+        )
+
+    def test_mass_lowers_frequency(self, sensor):
+        assert sensor.frequency_for_added_mass(pg(100)) < (
+            sensor.frequency_for_added_mass(0.0)
+        )
+
+    def test_responsivity_matches_finite_difference(self, sensor):
+        dm = pg(1.0)
+        fd = (
+            sensor.frequency_for_added_mass(dm)
+            - sensor.frequency_for_added_mass(0.0)
+        ) / dm
+        assert sensor.mass_responsivity() == pytest.approx(fd, rel=1e-3)
+
+    def test_liquid_blunts_responsivity(self, geometry, water):
+        from repro.mechanics import mass_responsivity
+
+        surface = FunctionalizedSurface(get_analyte("streptavidin"), geometry)
+        wet = ResonantCantileverSensor(surface, water)
+        dry_resp = mass_responsivity(geometry, distribution="uniform")
+        # fluid loading raises the modal mass, cutting |df/dm|
+        assert abs(wet.mass_responsivity()) < abs(dry_resp) / 3.0
+
+    def test_counter_limited_lod(self, sensor):
+        lod_1s = sensor.minimum_detectable_mass(gate_time=1.0)
+        lod_10s = sensor.minimum_detectable_mass(gate_time=10.0)
+        assert lod_10s == pytest.approx(lod_1s / 10.0)
+
+
+class TestClosedLoopMeasurement:
+    def test_measured_frequency_near_truth(self, sensor):
+        mean_f, readings = sensor.measure_frequency(gate_time=0.05, gates=3)
+        truth = sensor.frequency_for_added_mass(0.0)
+        assert mean_f == pytest.approx(truth, rel=0.02)
+        assert len(readings) == 3
+
+    def test_readings_quantized_by_gate(self, sensor):
+        _, readings = sensor.measure_frequency(gate_time=0.05, gates=3)
+        resolution = 1.0 / 0.05
+        for r in readings:
+            assert r % resolution == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTrackingAssay:
+    def test_tracks_binding(self, sensor):
+        protocol = AssayProtocol.injection(
+            nM(100), baseline=120, exposure=1800, wash=120
+        )
+        result = sensor.run_tracking_assay(
+            protocol, gate_time=10.0, include_noise=False
+        )
+        # frequency falls while mass binds
+        assert result.true_frequency[-1] < result.true_frequency[0]
+        assert result.total_shift < 0.0
+
+    def test_shift_magnitude_matches_physics(self, sensor):
+        protocol = AssayProtocol.injection(
+            nM(100), baseline=60, exposure=1800, wash=60
+        )
+        result = sensor.run_tracking_assay(
+            protocol, gate_time=10.0, include_noise=False
+        )
+        expected = sensor.mass_responsivity() * result.added_mass[-1]
+        true_shift = result.true_frequency[-1] - result.true_frequency[0]
+        assert true_shift == pytest.approx(expected, rel=0.05)
+
+    def test_measured_includes_closed_loop_offset(self, sensor):
+        protocol = AssayProtocol.injection(nM(10), baseline=60, exposure=300, wash=60)
+        result = sensor.run_tracking_assay(protocol, gate_time=10.0, include_noise=False)
+        # measured frequency differs from truth by the calibrated loop
+        # offset, not by much more
+        frac = result.measured_frequency[0] / result.true_frequency[0] - 1.0
+        assert abs(frac) < 0.02
+
+    def test_quantization_applied(self, sensor):
+        protocol = AssayProtocol.injection(nM(10), baseline=60, exposure=300, wash=60)
+        result = sensor.run_tracking_assay(protocol, gate_time=2.0, include_noise=False)
+        steps = result.measured_frequency * 2.0
+        assert np.allclose(steps, np.round(steps))

@@ -1,0 +1,131 @@
+"""Design-rule checking of the three post-CMOS masks."""
+
+import pytest
+
+from repro.errors import DesignRuleViolation
+from repro.fabrication import (
+    KOHEtch,
+    LAYER_METAL2,
+    LAYER_NWELL,
+    MASK_BACKSIDE_ETCH,
+    MASK_DIELECTRIC_ETCH,
+    MASK_SILICON_ETCH,
+    Layout,
+    Rect,
+    cantilever_layout,
+    post_cmos_rule_deck,
+)
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def deck():
+    return post_cmos_rule_deck()
+
+
+@pytest.fixture()
+def clean_layout():
+    return cantilever_layout(um(500), um(100))
+
+
+class TestCleanLayout:
+    def test_reference_layout_passes(self, deck, clean_layout):
+        assert deck.check(clean_layout) == []
+
+    def test_verify_does_not_raise(self, deck, clean_layout):
+        deck.verify(clean_layout)
+
+    def test_rule_names(self, deck):
+        names = deck.rule_names()
+        assert "backside.window_size" in names
+        assert any("min_width" in n for n in names)
+
+
+class TestMinWidth:
+    def test_narrow_trench_flagged(self, deck, clean_layout):
+        clean_layout.add(MASK_SILICON_ETCH, Rect(0.0, 500e-6, 2e-6, 600e-6))
+        violations = deck.check(clean_layout)
+        assert any("min_width" in v.rule for v in violations)
+
+    def test_verify_raises_with_violations(self, deck, clean_layout):
+        clean_layout.add(MASK_SILICON_ETCH, Rect(0.0, 500e-6, 2e-6, 600e-6))
+        with pytest.raises(DesignRuleViolation) as excinfo:
+            deck.verify(clean_layout)
+        assert len(excinfo.value.violations) >= 1
+
+
+class TestMinSpacing:
+    def test_thin_ridge_flagged(self, deck):
+        layout = cantilever_layout(um(500), um(100))
+        # a second trench 1 um away from the frame: ridge collapses
+        layout.add(
+            MASK_SILICON_ETCH,
+            Rect(0.0, 71e-6, 100e-6, 91e-6),
+        )
+        violations = deck.check(layout)
+        assert any("min_spacing" in v.rule for v in violations)
+
+    def test_touching_shapes_legal(self, deck, clean_layout):
+        # the clean layout's trench frame shares edges: no violation
+        assert not any(
+            "min_spacing" in v.rule for v in deck.check(clean_layout)
+        )
+
+
+class TestEnclosure:
+    def test_trench_outside_dielectric_window_flagged(self, deck, clean_layout):
+        clean_layout.add(
+            MASK_SILICON_ETCH, Rect(900e-6, 0.0, 950e-6, 50e-6)
+        )
+        violations = deck.check(clean_layout)
+        assert any("dielectric_etch.encloses" in v.rule for v in violations)
+
+    def test_trench_outside_nwell_flagged(self, deck):
+        layout = Layout()
+        layout.add(MASK_SILICON_ETCH, Rect(0.0, 0.0, 50e-6, 20e-6))
+        layout.add(MASK_DIELECTRIC_ETCH, Rect(-5e-6, -5e-6, 60e-6, 30e-6))
+        # no nwell at all
+        violations = deck.check(layout)
+        assert any("nwell.encloses" in v.rule for v in violations)
+
+
+class TestKeepout:
+    def test_metal_in_etch_window_flagged(self, deck, clean_layout):
+        box = clean_layout.bounding_box(MASK_DIELECTRIC_ETCH)
+        clean_layout.add(
+            LAYER_METAL2,
+            Rect(box.x0 + 1e-6, box.y0 + 1e-6, box.x0 + 10e-6, box.y0 + 10e-6),
+        )
+        violations = deck.check(clean_layout)
+        assert any("keepout" in v.rule for v in violations)
+
+    def test_metal_outside_window_fine(self, deck, clean_layout):
+        clean_layout.add(LAYER_METAL2, Rect(-200e-6, -200e-6, -100e-6, -100e-6))
+        assert not any("keepout" in v.rule for v in deck.check(clean_layout))
+
+
+class TestBacksideWindow:
+    def test_undersized_opening_flagged(self, deck):
+        layout = cantilever_layout(um(500), um(100))
+        # replace with a too-small backside opening
+        layout._layers[MASK_BACKSIDE_ETCH] = [
+            Rect.from_size(250e-6, 0.0, 300e-6, 300e-6)
+        ]
+        violations = deck.check(layout)
+        assert any(v.rule == "backside.window_size" for v in violations)
+
+    def test_message_mentions_needed_size(self, deck):
+        layout = cantilever_layout(um(500), um(100))
+        layout._layers[MASK_BACKSIDE_ETCH] = [
+            Rect.from_size(250e-6, 0.0, 300e-6, 300e-6)
+        ]
+        v = [x for x in deck.check(layout) if x.rule == "backside.window_size"][0]
+        assert "um" in v.message
+
+
+class TestViolationReporting:
+    def test_violation_str(self, deck, clean_layout):
+        clean_layout.add(MASK_SILICON_ETCH, Rect(0.0, 500e-6, 2e-6, 600e-6))
+        violation = deck.check(clean_layout)[0]
+        text = str(violation)
+        assert violation.layer in text

@@ -1,0 +1,114 @@
+"""KOH and RIE etch models."""
+
+import math
+
+import pytest
+
+from repro.constants import KOH_SIDEWALL_ANGLE_DEG
+from repro.errors import FabricationError
+from repro.fabrication import (
+    KOHEtch,
+    WaferCrossSection,
+    cmos_08um_stack,
+    dielectric_release_etch,
+    silicon_release_etch,
+)
+from repro.fabrication.layers import LayerRole
+
+
+class TestKOHRate:
+    def test_reference_point(self):
+        # ~1.4 um/min at 90 C / 30 wt%
+        koh = KOHEtch()
+        assert koh.rate_100 * 60e6 == pytest.approx(1.4, rel=0.05)
+
+    def test_arrhenius_slows_at_lower_temperature(self):
+        hot = KOHEtch(temperature=363.15)
+        cold = KOHEtch(temperature=333.15)
+        assert cold.rate_100 < hot.rate_100 / 3.0
+
+    def test_etch_time_of_wafer(self):
+        koh = KOHEtch()
+        hours = koh.etch_time(520e-6) / 3600.0
+        assert 4.0 < hours < 9.0
+
+    def test_invalid_concentration(self):
+        with pytest.raises(FabricationError):
+            KOHEtch(concentration_percent=80.0)
+
+    def test_undercut_small(self):
+        koh = KOHEtch()
+        assert koh.sidewall_undercut(500e-6) == pytest.approx(500e-6 / 400.0)
+
+
+class TestSidewallGeometry:
+    def test_opening_larger_than_membrane(self):
+        opening = KOHEtch.mask_opening_for_membrane(500e-6, 520e-6)
+        assert opening > 500e-6
+
+    def test_slope_factor(self):
+        depth = 520e-6
+        opening = KOHEtch.mask_opening_for_membrane(100e-6, depth)
+        slope = math.tan(math.radians(KOH_SIDEWALL_ANGLE_DEG))
+        assert opening == pytest.approx(100e-6 + 2.0 * depth / slope)
+
+    def test_round_trip(self):
+        opening = KOHEtch.mask_opening_for_membrane(300e-6, 520e-6)
+        membrane = KOHEtch.membrane_for_mask_opening(opening, 520e-6)
+        assert membrane == pytest.approx(300e-6)
+
+    def test_self_terminating_pit_raises(self):
+        with pytest.raises(FabricationError):
+            KOHEtch.membrane_for_mask_opening(100e-6, 520e-6)
+
+
+class TestKOHApply:
+    def test_removes_substrate_keeps_nwell(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        KOHEtch().apply(cs)
+        assert "substrate" not in cs.layer_names()
+        assert "nwell" in cs.layer_names()
+
+    def test_returns_etch_time(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        t = KOHEtch().apply(cs)
+        assert t > 3600.0
+
+    def test_requires_nwell(self):
+        stack = [l for l in cmos_08um_stack() if l.name != "nwell"]
+        cs = WaferCrossSection(stack)
+        with pytest.raises(FabricationError):
+            KOHEtch().apply(cs)
+
+    def test_double_etch_rejected(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        KOHEtch().apply(cs)
+        with pytest.raises(FabricationError):
+            KOHEtch().apply(cs)
+
+    def test_history_records_recipe(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        KOHEtch().apply(cs)
+        assert any("KOH" in h for h in cs.history)
+
+
+class TestRIE:
+    def test_dielectric_etch_strips_backend(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        removed = dielectric_release_etch().apply(cs)
+        assert "passivation" in removed
+        assert "metal1" in removed
+        assert cs.layer_names() == ["substrate", "nwell"]
+
+    def test_silicon_etch_after_dielectric(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        KOHEtch().apply(cs)
+        dielectric_release_etch().apply(cs)
+        silicon_release_etch().apply(cs)
+        assert cs.layer_names() == []
+
+    def test_etch_with_nothing_to_remove_raises(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        dielectric_release_etch().apply(cs)
+        with pytest.raises(FabricationError):
+            dielectric_release_etch().apply(cs)

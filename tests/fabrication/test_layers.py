@@ -1,0 +1,95 @@
+"""CMOS layer stack and wafer cross-section bookkeeping."""
+
+import pytest
+
+from repro.errors import FabricationError
+from repro.fabrication import (
+    NWELL_DEPTH,
+    WAFER_THICKNESS,
+    LayerRole,
+    WaferCrossSection,
+    cmos_08um_stack,
+)
+
+
+class TestStackDefinition:
+    def test_layer_order(self):
+        names = [l.name for l in cmos_08um_stack()]
+        assert names[0] == "substrate"
+        assert names[1] == "nwell"
+        assert names[-1] == "passivation"
+        assert names.index("metal1") < names.index("metal2")
+        assert names.index("poly1") < names.index("poly2")
+
+    def test_double_poly_double_metal(self):
+        stack = cmos_08um_stack()
+        polys = [l for l in stack if l.role == LayerRole.POLYSILICON]
+        metals = [l for l in stack if l.role == LayerRole.METAL]
+        assert len(polys) == 2
+        assert len(metals) == 2
+
+    def test_total_silicon_is_wafer_thickness(self):
+        stack = cmos_08um_stack()
+        silicon = sum(
+            l.thickness
+            for l in stack
+            if l.role in (LayerRole.SUBSTRATE, LayerRole.WELL)
+        )
+        assert silicon == pytest.approx(WAFER_THICKNESS)
+
+    def test_custom_nwell_depth(self):
+        stack = cmos_08um_stack(nwell_depth=3e-6)
+        nwell = next(l for l in stack if l.name == "nwell")
+        assert nwell.thickness == pytest.approx(3e-6)
+
+    def test_unreasonable_nwell_rejected(self):
+        with pytest.raises(FabricationError):
+            cmos_08um_stack(nwell_depth=1e-3)
+
+
+class TestCrossSection:
+    def test_find(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        assert cs.find("metal1").role == LayerRole.METAL
+
+    def test_find_missing_raises(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        with pytest.raises(FabricationError):
+            cs.find("metal3")
+
+    def test_remove(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        cs.remove(["passivation", "metal2"], "test etch")
+        assert "passivation" not in cs.layer_names()
+        assert "test etch" in cs.history
+
+    def test_remove_to_empty_allowed(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        cs.remove(cs.layer_names(), "punch through")
+        assert cs.layer_names() == []
+
+    def test_thin(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        cs.thin("nwell", 2e-6, "timed etch")
+        assert cs.find("nwell").thickness == pytest.approx(2e-6)
+
+    def test_thin_cannot_grow(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        with pytest.raises(FabricationError):
+            cs.thin("nwell", 10e-6, "impossible")
+
+    def test_copy_independent(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        clone = cs.copy()
+        cs.remove(["passivation"], "etch")
+        assert "passivation" in clone.layer_names()
+
+    def test_describe(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        text = cs.describe()
+        assert "nwell" in text
+        assert "passivation" in text
+
+    def test_history_starts_with_fabrication(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        assert "as-fabricated" in cs.history[0]

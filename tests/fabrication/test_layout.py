@@ -1,0 +1,88 @@
+"""Rectangle/layout primitives."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.fabrication import Layout, Rect
+
+
+class TestRect:
+    def test_dimensions(self):
+        r = Rect(0.0, 0.0, 3.0, 2.0)
+        assert r.width == 3.0
+        assert r.height == 2.0
+        assert r.min_dimension == 2.0
+        assert r.area == 6.0
+        assert r.center == (1.5, 1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0.0, 0.0, 0.0, 1.0)
+
+    def test_from_size(self):
+        r = Rect.from_size(5.0, 5.0, 2.0, 4.0)
+        assert (r.x0, r.y0, r.x1, r.y1) == (4.0, 3.0, 6.0, 7.0)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 2, 2)
+        assert a.intersects(Rect(1, 1, 3, 3))
+        assert not a.intersects(Rect(3, 3, 4, 4))
+
+    def test_edge_contact_is_not_overlap(self):
+        a = Rect(0, 0, 2, 2)
+        assert not a.intersects(Rect(2, 0, 4, 2))
+
+    def test_contains(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains(Rect(1, 1, 9, 9))
+        assert not outer.contains(Rect(5, 5, 11, 9))
+
+    def test_enclosure_margin(self):
+        outer = Rect(0, 0, 10, 10)
+        inner = Rect(2, 3, 8, 9)
+        assert outer.enclosure_of(inner) == pytest.approx(1.0)
+
+    def test_enclosure_negative_when_outside(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.enclosure_of(Rect(-1, 2, 5, 5)) < 0.0
+
+    def test_separation(self):
+        a = Rect(0, 0, 1, 1)
+        assert a.separation(Rect(3, 0, 4, 1)) == pytest.approx(2.0)
+        assert a.separation(Rect(0.5, 0.5, 2, 2)) == 0.0
+
+    def test_diagonal_separation(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(4, 5, 5, 6)
+        assert a.separation(b) == pytest.approx(5.0)  # 3-4-5 triangle
+
+    def test_expanded(self):
+        r = Rect(1, 1, 2, 2).expanded(0.5)
+        assert (r.x0, r.y0, r.x1, r.y1) == (0.5, 0.5, 2.5, 2.5)
+
+
+class TestLayout:
+    def test_add_and_shapes(self):
+        layout = Layout()
+        layout.add("m1", Rect(0, 0, 1, 1))
+        layout.add("m1", Rect(2, 2, 3, 3))
+        assert len(layout.shapes("m1")) == 2
+
+    def test_unknown_layer_empty(self):
+        assert Layout().shapes("nothing") == []
+
+    def test_layer_names_sorted(self):
+        layout = Layout()
+        layout.add("z", Rect(0, 0, 1, 1))
+        layout.add("a", Rect(0, 0, 1, 1))
+        assert layout.layer_names() == ["a", "z"]
+
+    def test_bounding_box(self):
+        layout = Layout()
+        layout.add("m", Rect(0, 0, 1, 1))
+        layout.add("m", Rect(5, 5, 6, 7))
+        bb = layout.bounding_box("m")
+        assert (bb.x0, bb.y0, bb.x1, bb.y1) == (0, 0, 6, 7)
+
+    def test_bounding_box_empty(self):
+        assert Layout().bounding_box("m") is None

@@ -1,0 +1,53 @@
+"""The complete post-CMOS flow (Fig. 3)."""
+
+import pytest
+
+from repro.fabrication import PostCMOSFlow
+from repro.fabrication.layers import LayerRole
+
+
+class TestDefaultFlow:
+    def test_before_after_layer_counts(self):
+        result = PostCMOSFlow().run()
+        assert len(result.before.layers) == 11
+        assert result.before.layer_names()[0] == "substrate"
+        # bare-silicon beam: only the n-well survives at the beam site
+        assert result.beam_site.layer_names() == ["nwell"]
+
+    def test_trench_cleared(self):
+        result = PostCMOSFlow().run()
+        assert result.trench_site.layer_names() == []
+        assert result.released
+
+    def test_koh_time_reported(self):
+        result = PostCMOSFlow().run()
+        assert result.koh_time > 3600.0
+
+    def test_beam_thickness_is_nwell_depth(self):
+        result = PostCMOSFlow(nwell_depth=4e-6).run()
+        assert result.beam_site.total_thickness == pytest.approx(4e-6)
+
+    def test_history_preserved_on_before(self):
+        result = PostCMOSFlow().run()
+        assert len(result.before.history) == 1  # untouched snapshot
+        assert len(result.beam_site.history) > 1
+
+
+class TestDielectricVariant:
+    def test_dielectrics_retained(self):
+        result = PostCMOSFlow(keep_dielectrics_on_beam=True).run()
+        names = result.beam_site.layer_names()
+        assert "nwell" in names
+        assert "passivation" in names
+        assert "metal2" in names  # the coil metal can stay on the beam
+
+    def test_trench_still_cleared(self):
+        result = PostCMOSFlow(keep_dielectrics_on_beam=True).run()
+        assert result.released
+
+    def test_heavier_beam(self):
+        bare = PostCMOSFlow().run()
+        coated = PostCMOSFlow(keep_dielectrics_on_beam=True).run()
+        assert (
+            coated.beam_site.total_thickness > bare.beam_site.total_thickness
+        )

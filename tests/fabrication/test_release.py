@@ -1,0 +1,70 @@
+"""Fabrication-to-mechanics bridge."""
+
+import pytest
+
+from repro.errors import FabricationError
+from repro.fabrication import (
+    PostCMOSFlow,
+    WaferCrossSection,
+    cmos_08um_stack,
+    fabricate_cantilever,
+    stack_from_cross_section,
+)
+from repro.mechanics import natural_frequency
+from repro.units import um
+
+
+class TestStackConversion:
+    def test_rejects_unreleased_section(self):
+        cs = WaferCrossSection(cmos_08um_stack())
+        with pytest.raises(FabricationError):
+            stack_from_cross_section(cs)
+
+    def test_converts_released_section(self):
+        result = PostCMOSFlow().run()
+        stack = stack_from_cross_section(result.beam_site)
+        assert stack.total_thickness == pytest.approx(5e-6)
+        assert stack.layers[0].material.name == "silicon"
+
+
+class TestFabricateCantilever:
+    def test_geometry_matches_drawn_dimensions(self, fabricated):
+        assert fabricated.geometry.length == pytest.approx(500e-6)
+        assert fabricated.geometry.width == pytest.approx(100e-6)
+        assert fabricated.geometry.thickness == pytest.approx(5e-6)
+
+    def test_silicon_thickness_from_etch_stop(self, fabricated):
+        assert fabricated.silicon_thickness == pytest.approx(5e-6)
+
+    def test_frequency_of_fabricated_beam(self, fabricated):
+        # the etch-stop-defined beam resonates where the design predicts
+        assert natural_frequency(fabricated.geometry) == pytest.approx(
+            27.5e3, rel=0.01
+        )
+
+    def test_nwell_depth_controls_frequency(self):
+        thin = fabricate_cantilever(
+            um(500), um(100), PostCMOSFlow(nwell_depth=2.5e-6)
+        )
+        thick = fabricate_cantilever(
+            um(500), um(100), PostCMOSFlow(nwell_depth=5e-6)
+        )
+        ratio = natural_frequency(thick.geometry) / natural_frequency(thin.geometry)
+        assert ratio == pytest.approx(2.0, rel=1e-6)
+
+    def test_backside_opening_exceeds_beam(self, fabricated):
+        # the 54.74-degree sidewalls demand a much larger backside window
+        assert fabricated.backside_opening > 1e-3
+
+    def test_dielectric_variant_stiffer(self):
+        bare = fabricate_cantilever(um(500), um(100))
+        coated = fabricate_cantilever(
+            um(500), um(100), PostCMOSFlow(keep_dielectrics_on_beam=True)
+        )
+        assert (
+            coated.geometry.flexural_rigidity > bare.geometry.flexural_rigidity
+        )
+
+    def test_process_record_attached(self, fabricated):
+        assert fabricated.process.released
+        assert fabricated.process.koh_time > 0.0

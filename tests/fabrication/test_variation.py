@@ -1,0 +1,108 @@
+"""Process-variation Monte Carlo."""
+
+import numpy as np
+import pytest
+
+from repro.fabrication import (
+    ProcessCorners,
+    expected_frequency_spread,
+    monte_carlo_devices,
+)
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def mc_result():
+    return monte_carlo_devices(um(500), um(100), samples=120, seed=5)
+
+
+class TestMonteCarlo:
+    def test_sample_count(self, mc_result):
+        assert len(mc_result.frequencies) == 120
+
+    def test_mean_near_nominal(self, mc_result):
+        assert np.mean(mc_result.frequencies) == pytest.approx(27.5e3, rel=0.02)
+
+    def test_spread_matches_first_order(self, mc_result):
+        measured = mc_result.frequency_spread_ppm() / 1e6
+        expected = expected_frequency_spread()
+        assert measured == pytest.approx(expected, rel=0.3)
+
+    def test_reproducible_with_seed(self):
+        a = monte_carlo_devices(um(500), um(100), samples=10, seed=9)
+        b = monte_carlo_devices(um(500), um(100), samples=10, seed=9)
+        assert np.array_equal(a.frequencies, b.frequencies)
+
+    def test_summary_keys(self, mc_result):
+        summary = mc_result.summary()
+        assert set(summary) >= {
+            "f_mean_Hz",
+            "f_sigma_Hz",
+            "f_spread_ppm",
+            "k_mean_N_per_m",
+        }
+
+    def test_zero_corners_zero_spread(self):
+        corners = ProcessCorners(
+            nwell_depth_sigma=0.0, length_sigma=0.0, width_sigma=0.0
+        )
+        result = monte_carlo_devices(um(500), um(100), corners, samples=5)
+        assert result.frequency_spread_ppm() == pytest.approx(0.0, abs=1e-6)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            monte_carlo_devices(um(500), um(100), samples=1)
+
+
+class TestAnalytic:
+    def test_thickness_dominates(self):
+        thick_only = ProcessCorners(
+            nwell_depth_sigma=0.03, length_sigma=0.0, width_sigma=0.0
+        )
+        litho_only = ProcessCorners(
+            nwell_depth_sigma=0.0, length_sigma=0.002, width_sigma=0.0
+        )
+        assert expected_frequency_spread(thick_only) > 5.0 * (
+            expected_frequency_spread(litho_only)
+        )
+
+    def test_width_irrelevant_to_frequency(self):
+        narrow = ProcessCorners(width_sigma=0.0)
+        wide = ProcessCorners(width_sigma=0.2)
+        assert expected_frequency_spread(narrow) == pytest.approx(
+            expected_frequency_spread(wide)
+        )
+
+
+class TestYield:
+    def test_full_window_full_yield(self, mc_result):
+        from repro.fabrication import yield_fraction
+
+        assert yield_fraction(mc_result, 0.0, 1e9) == 1.0
+
+    def test_tight_window_partial_yield(self, mc_result):
+        from repro.fabrication import yield_fraction
+
+        inside = yield_fraction(mc_result, 27.5e3 * 0.99, 27.5e3 * 1.01)
+        assert 0.05 < inside < 0.95
+
+    def test_spec_window_round_trip(self, mc_result):
+        from repro.fabrication import spec_window_for_yield, yield_fraction
+
+        low, high = spec_window_for_yield(mc_result, target_yield=0.90)
+        assert yield_fraction(mc_result, low, high) >= 0.90
+
+    def test_wider_target_wider_window(self, mc_result):
+        from repro.fabrication import spec_window_for_yield
+
+        narrow = spec_window_for_yield(mc_result, 0.5)
+        wide = spec_window_for_yield(mc_result, 0.99)
+        assert (wide[1] - wide[0]) > (narrow[1] - narrow[0])
+
+    def test_invalid_inputs(self, mc_result):
+        from repro.fabrication import spec_window_for_yield, yield_fraction
+
+        with pytest.raises(ValueError):
+            yield_fraction(mc_result, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            spec_window_for_yield(mc_result, 0.0)

@@ -1,0 +1,2 @@
+"""Loop fixtures live in the root conftest (shared with the
+failure-injection suite)."""

@@ -1,0 +1,64 @@
+"""Amplitude prediction and VGA adaptation to liquid damping."""
+
+import pytest
+
+from repro.errors import OscillationError
+from repro.feedback import adapt_to_damping, predict_amplitude
+
+
+class TestAmplitudePrediction:
+    def test_matches_time_domain(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        predicted = predict_amplitude(loop, fs)
+        record = loop.run(duration=0.15)
+        assert record.steady_amplitude() == pytest.approx(
+            predicted.tip_amplitude, rel=0.05
+        )
+
+    def test_effective_gain_below_small_signal(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        predicted = predict_amplitude(loop, fs)
+        assert predicted.effective_limiter_gain < loop.limiter.small_signal_gain
+
+    def test_subunity_loop_raises(self, make_loop):
+        loop = make_loop(quality_factor=1.2)
+        loop.vga.set_setting(0)
+        loop.limiter.small_signal_gain = 0.2
+        fs = 1.0 / loop.resonator.timestep
+        with pytest.raises(OscillationError):
+            predict_amplitude(loop, fs)
+
+    def test_higher_loop_gain_larger_amplitude(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs, startup_factor=2.0)
+        a_low = predict_amplitude(loop, fs).tip_amplitude
+        loop.vga.set_setting(min(loop.vga.setting + 3, loop.vga.steps - 1))
+        a_high = predict_amplitude(loop, fs).tip_amplitude
+        assert a_high > a_low
+
+
+class TestAdaptation:
+    def test_adapts_across_damping(self, make_loop):
+        settings = []
+        for q in (6.0, 3.0, 1.5):
+            loop = make_loop(quality_factor=q)
+            fs = 1.0 / loop.resonator.timestep
+            adaptation = adapt_to_damping(loop, fs)
+            settings.append(adaptation.vga_setting)
+            assert adaptation.loop_gain_magnitude >= 3.0
+        assert settings[0] < settings[2]
+
+    def test_report_fields(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        adaptation = adapt_to_damping(loop, fs)
+        assert adaptation.quality_factor == pytest.approx(
+            loop.resonator.quality_factor
+        )
+        assert adaptation.vga_gain_db == pytest.approx(loop.vga.gain_db)
+        assert adaptation.predicted_tip_amplitude > 0.0

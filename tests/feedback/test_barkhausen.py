@@ -1,0 +1,79 @@
+"""Small-signal Barkhausen analysis vs. the time-domain loop."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import zero_crossing_frequency
+from repro.errors import OscillationError
+from repro.feedback import analyze, loop_gain
+
+
+class TestLoopGainCurve:
+    def test_peak_near_resonance(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        f0 = loop.resonator.natural_frequency
+        f = np.linspace(0.8 * f0, 1.2 * f0, 801)
+        g = np.abs(loop_gain(loop, f, fs))
+        f_peak = f[np.argmax(g)]
+        assert f_peak == pytest.approx(loop.resonator.resonance_peak_frequency(), rel=0.05)
+
+    def test_gain_proportional_to_vga(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        f0 = np.asarray([loop.resonator.natural_frequency])
+        loop.vga.set_setting(0)
+        g0 = abs(loop_gain(loop, f0, fs)[0])
+        loop.vga.set_setting(4)
+        g4 = abs(loop_gain(loop, f0, fs)[0])
+        assert g4 / g0 == pytest.approx(loop.vga.gain, rel=1e-6)
+
+
+class TestAnalyze:
+    def test_zero_phase_near_resonance(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        result = analyze(loop, fs)
+        assert result.oscillation_frequency == pytest.approx(
+            loop.resonator.natural_frequency, rel=0.02
+        )
+
+    def test_predicts_startup(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs, startup_factor=3.0)
+        result = analyze(loop, fs)
+        assert result.will_oscillate
+        assert result.gain_margin_db > 0.0
+
+    def test_predicts_no_startup_when_gain_starved(self, make_loop):
+        loop = make_loop(quality_factor=1.2)
+        loop.vga.set_setting(0)
+        loop.limiter.small_signal_gain = 0.2
+        fs = 1.0 / loop.resonator.timestep
+        result = analyze(loop, fs)
+        assert not result.will_oscillate
+
+    def test_agrees_with_time_domain(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        predicted = analyze(loop, fs).oscillation_frequency
+        record = loop.run(duration=0.1)
+        measured = zero_crossing_frequency(
+            record.displacement_signal().settle(0.5)
+        )
+        # the large-signal oscillation pulls slightly off the small-signal
+        # zero-phase point (drive harmonics); ~1% agreement is physical
+        assert measured == pytest.approx(predicted, rel=0.01)
+
+    def test_broken_loop_raises(self, make_loop):
+        from repro.circuits import Passthrough
+
+        loop = make_loop()
+        # remove the +90 phase conditioning: no zero-phase crossing exists
+        loop.phase_lead = Passthrough()
+        loop.phase_lead.response = lambda f, fs: np.ones(len(np.atleast_1d(f)))
+        fs = 1.0 / loop.resonator.timestep
+        with pytest.raises(OscillationError):
+            analyze(loop, fs)

@@ -1,0 +1,122 @@
+"""Closed-loop oscillator: startup, frequency lock, amplitude control."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fft_peak_frequency, zero_crossing_frequency
+from repro.circuits import VariableGainAmplifier
+from repro.errors import CircuitError, OscillationError
+
+
+class TestLoopGain:
+    def test_displacement_to_voltage_positive(self, make_loop):
+        loop = make_loop()
+        assert loop.displacement_to_voltage > 0.0
+
+    def test_auto_gain_reaches_target(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs, startup_factor=3.0)
+        magnitude = abs(loop.loop_gain_at_resonance(fs))
+        assert magnitude >= 3.0
+        # not more than one VGA step above target
+        assert magnitude <= 3.0 * 10 ** (loop.vga.step_db / 20.0)
+
+    def test_heavier_damping_needs_more_gain(self, make_loop):
+        fs = None
+        gains = []
+        for q in (6.0, 3.0, 1.5):
+            loop = make_loop(quality_factor=q)
+            fs = 1.0 / loop.resonator.timestep
+            gains.append(loop.required_vga_gain(fs))
+        assert gains[0] < gains[1] < gains[2]
+
+    def test_impossible_damping_raises(self, make_loop):
+        # Q = 0.1: far beyond the VGA's 40 dB range
+        loop = make_loop(quality_factor=0.1)
+        fs = 1.0 / loop.resonator.timestep
+        with pytest.raises(CircuitError):
+            loop.auto_gain(fs)
+
+
+class TestOscillation:
+    def test_startup_and_lock(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        record = loop.run(duration=0.12)
+        f_osc = zero_crossing_frequency(record.displacement_signal().settle(0.5))
+        f0 = loop.resonator.natural_frequency
+        assert f_osc == pytest.approx(f0, rel=0.02)
+
+    def test_amplitude_grows_then_settles(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        record = loop.run(duration=0.12)
+        n = len(record.displacement)
+        fs = record.sample_rate
+        # startup from the 1 pm kick completes within ~2 ms; the first
+        # 0.3 ms must still be far below steady state
+        early = np.std(record.displacement[: int(0.3e-3 * fs)])
+        late = np.std(record.displacement[-n // 10 :])
+        assert late > 10.0 * early
+        # steady: last two tenths agree
+        prev = np.std(record.displacement[-2 * n // 10 : -n // 10])
+        assert late == pytest.approx(prev, rel=0.05)
+
+    def test_no_oscillation_below_unity_gain(self, make_loop):
+        loop = make_loop()
+        loop.vga.set_setting(0)
+        # cripple the loop: tiny gain
+        loop.limiter.small_signal_gain = 0.01
+        record = loop.run(duration=0.05)
+        assert record.steady_amplitude() < 1e-10
+
+    def test_drive_respects_buffer_limit(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        record = loop.run(duration=0.06)
+        assert np.max(np.abs(record.drive_voltage)) <= (
+            loop.buffer.max_output_voltage + 1e-12
+        )
+
+    def test_record_arrays_consistent(self, make_loop):
+        loop = make_loop()
+        record = loop.run(duration=0.02)
+        n = len(record.times)
+        assert (
+            len(record.displacement)
+            == len(record.bridge_voltage)
+            == len(record.limiter_output)
+            == len(record.drive_voltage)
+            == n
+        )
+
+    def test_bridge_noise_injected_when_enabled(self, make_loop):
+        quiet = make_loop(include_noise=False)
+        noisy = make_loop(include_noise=True)
+        r_quiet = quiet.run(duration=0.01)
+        r_noisy = noisy.run(duration=0.01)
+        # with the same 1 pm kick, the noisy bridge voltage jitters
+        assert r_noisy.bridge_signal().std() > 5.0 * r_quiet.bridge_signal().std()
+
+
+class TestFrequencyTracking:
+    def test_added_mass_lowers_locked_frequency(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        rec1 = loop.run(duration=0.1)
+        f1 = fft_peak_frequency(rec1.displacement_signal().settle(0.5))
+
+        # bind 5% more effective mass, rerun
+        loop.resonator.set_parameters(
+            effective_mass=loop.resonator.effective_mass * 1.05
+        )
+        loop.reset()
+        rec2 = loop.run(duration=0.1)
+        f2 = fft_peak_frequency(rec2.displacement_signal().settle(0.5))
+        assert f2 < f1
+        assert f2 / f1 == pytest.approx(1.0 / np.sqrt(1.05), rel=5e-3)

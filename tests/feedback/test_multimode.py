@@ -1,0 +1,108 @@
+"""Multi-mode loop: mode competition and selection."""
+
+import numpy as np
+import pytest
+
+from repro.actuation import ActuationCoil, LorentzActuator, PermanentMagnet
+from repro.analysis import fft_peak_frequency
+from repro.circuits import LowPassFilter
+from repro.core.presets import resonant_bridge
+from repro.errors import OscillationError
+from repro.feedback import ResonantFeedbackLoop, displacement_to_stress_gain
+from repro.feedback.multimode import MultiModeLoop
+from repro.fluidics import immersed_mode
+from repro.materials import get_liquid
+from repro.mechanics import ModalResonator, analyze_modes
+
+
+@pytest.fixture(scope="module")
+def air_qs(geometry):
+    air = get_liquid("air")
+    return (
+        immersed_mode(geometry, air, 1).quality_factor,
+        immersed_mode(geometry, air, 2).quality_factor,
+    )
+
+
+def make_electrical_loop(geometry, q1):
+    modes = analyze_modes(geometry, 2)
+    resonator = ModalResonator(
+        modes[0].effective_mass,
+        modes[0].effective_stiffness,
+        q1,
+        1.0 / (modes[1].frequency * 40),
+    )
+    actuator = LorentzActuator(ActuationCoil(geometry=geometry), PermanentMagnet())
+    return ResonantFeedbackLoop(
+        resonator,
+        resonant_bridge(mismatch_sigma=0.0),
+        displacement_to_stress_gain(geometry),
+        actuator,
+        include_bridge_noise=False,
+    )
+
+
+class TestConstruction:
+    def test_mismatched_gains_rejected(self, geometry, air_qs):
+        loop = make_electrical_loop(geometry, air_qs[0])
+        modes = analyze_modes(geometry, 2)
+        resonators = [
+            ModalResonator(m.effective_mass, m.effective_stiffness, 100.0, 1e-7)
+            for m in modes
+        ]
+        with pytest.raises(OscillationError):
+            MultiModeLoop(resonators, [1.0], loop)
+
+    def test_mismatched_timesteps_rejected(self, geometry, air_qs):
+        loop = make_electrical_loop(geometry, air_qs[0])
+        modes = analyze_modes(geometry, 2)
+        resonators = [
+            ModalResonator(modes[0].effective_mass, modes[0].effective_stiffness, 100.0, 1e-7),
+            ModalResonator(modes[1].effective_mass, modes[1].effective_stiffness, 100.0, 2e-7),
+        ]
+        with pytest.raises(OscillationError):
+            MultiModeLoop(resonators, [1.0, 1.0], loop)
+
+
+class TestModeCompetition:
+    def test_wideband_loop_prefers_mode2(self, geometry, air_qs):
+        """With no band shaping the differentiator hands mode 2 more
+        gain: the loop wakes up on the wrong mode."""
+        loop = make_electrical_loop(geometry, air_qs[0])
+        mm = MultiModeLoop.for_geometry(geometry, list(air_qs), loop)
+        fs = 1.0 / mm.resonators[0].timestep
+        gains = mm.modal_loop_gains(fs)
+        assert gains[1] > gains[0] > 1.0
+
+        signal = mm.run(0.015)
+        f_peak = fft_peak_frequency(signal.settle(0.5))
+        f2 = mm.resonators[1].natural_frequency
+        assert f_peak == pytest.approx(f2, rel=0.02)
+
+    def test_lowpass_selects_mode1(self, geometry, air_qs):
+        """A 40 kHz low-pass in the chain strips mode 2's gain: the
+        same hardware now locks on the fundamental."""
+        loop = make_electrical_loop(geometry, air_qs[0])
+        loop.highpasses = list(loop.highpasses) + [LowPassFilter(40e3, order=2)]
+        mm = MultiModeLoop.for_geometry(geometry, list(air_qs), loop)
+        fs = 1.0 / mm.resonators[0].timestep
+        gains = mm.modal_loop_gains(fs)
+        assert gains[0] > 1.0
+        assert gains[1] < gains[0] / 3.0
+
+        signal = mm.run(0.015)
+        f_peak = fft_peak_frequency(signal.settle(0.5))
+        f1 = mm.resonators[0].natural_frequency
+        assert f_peak == pytest.approx(f1, rel=0.02)
+
+    def test_single_mode_reduces_to_plain_loop(self, geometry, air_qs):
+        """One mode in the multimode machinery = the ordinary loop."""
+        loop = make_electrical_loop(geometry, air_qs[0])
+        mm = MultiModeLoop.for_geometry(geometry, [air_qs[0]], loop)
+        signal = mm.run(0.01)
+        from repro.analysis import zero_crossing_frequency
+
+        f = zero_crossing_frequency(signal.settle(0.5))
+        assert f == pytest.approx(
+            mm.resonators[0].natural_frequency, rel=0.02
+        )

@@ -1,0 +1,53 @@
+"""Oscillator startup-time prediction vs the time-domain simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OscillationError
+from repro.feedback import predicted_startup_time
+
+
+def simulated_startup_time(loop, duration=0.06):
+    record = loop.run(duration)
+    steady = record.steady_amplitude()
+    envelope = np.abs(record.displacement)
+    index = int(np.argmax(envelope > 0.9 * steady))
+    return float(record.times[index])
+
+
+class TestStartupTime:
+    def test_matches_simulation(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        predicted = predicted_startup_time(loop, fs)
+        simulated = simulated_startup_time(loop)
+        # the exponential-envelope estimate ignores the limiter's final
+        # compression phase; factor-of-2 agreement is its design accuracy
+        assert 0.4 < simulated / predicted < 2.5
+        assert predicted < 10e-3  # milliseconds, not seconds
+
+    def test_more_gain_faster_startup(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs, startup_factor=2.0)
+        slow = predicted_startup_time(loop, fs)
+        loop.vga.set_setting(min(loop.vga.setting + 3, loop.vga.steps - 1))
+        fast = predicted_startup_time(loop, fs)
+        assert fast < slow
+
+    def test_smaller_seed_slower(self, make_loop):
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        from_pm = predicted_startup_time(loop, fs, initial_amplitude=1e-12)
+        from_nm = predicted_startup_time(loop, fs, initial_amplitude=1e-9)
+        assert from_nm < from_pm
+
+    def test_dead_loop_raises(self, make_loop):
+        loop = make_loop()
+        loop.vga.set_setting(0)
+        loop.limiter.small_signal_gain = 0.01
+        fs = 1.0 / loop.resonator.timestep
+        with pytest.raises(OscillationError):
+            predicted_startup_time(loop, fs)

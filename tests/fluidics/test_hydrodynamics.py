@@ -1,0 +1,104 @@
+"""Sader hydrodynamic function: limits and published anchors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import UnitError
+from repro.fluidics import (
+    REYNOLDS_VALID_RANGE,
+    added_mass_per_length,
+    circular_hydrodynamic_function,
+    hydrodynamic_function,
+    mass_loading_ratio,
+    rectangular_correction,
+    reynolds_number,
+)
+from repro.materials import get_liquid
+from repro.units import um
+
+
+class TestReynolds:
+    def test_definition(self, water):
+        re = reynolds_number(10e3, um(100), water)
+        expected = 997.0 * (100e-6) ** 2 * 2 * np.pi * 10e3 / (4 * 0.89e-3)
+        assert re == pytest.approx(expected)
+
+    def test_scales_with_width_squared(self, water):
+        assert reynolds_number(1e3, um(200), water) == pytest.approx(
+            4.0 * reynolds_number(1e3, um(100), water)
+        )
+
+    def test_invalid_inputs(self, water):
+        with pytest.raises(UnitError):
+            reynolds_number(-1.0, um(100), water)
+
+
+class TestCircularFunction:
+    def test_inviscid_limit(self):
+        # Re -> inf: Gamma -> 1 (pure added mass of the displaced cylinder)
+        g = circular_hydrodynamic_function(1e8)
+        assert g.real == pytest.approx(1.0, abs=0.01)
+        assert g.imag == pytest.approx(0.0, abs=0.01)
+
+    def test_viscous_regime_large_imaginary(self):
+        g = circular_hydrodynamic_function(0.01)
+        assert g.imag > g.real > 1.0
+
+    def test_imaginary_positive_everywhere(self):
+        for re in (1e-3, 1e-1, 1.0, 1e2, 1e4):
+            assert circular_hydrodynamic_function(re).imag > 0.0
+
+    def test_real_monotone_decreasing(self):
+        res = np.logspace(-2, 4, 30)
+        reals = [circular_hydrodynamic_function(r).real for r in res]
+        assert all(a >= b for a, b in zip(reals, reals[1:]))
+
+
+class TestRectangularCorrection:
+    def test_near_unity_at_moderate_re(self):
+        omega = rectangular_correction(1.0)
+        assert abs(omega) == pytest.approx(1.0, rel=0.3)
+
+    def test_out_of_range_raises(self):
+        lo, hi = REYNOLDS_VALID_RANGE
+        with pytest.raises(UnitError):
+            rectangular_correction(lo / 10.0)
+        with pytest.raises(UnitError):
+            rectangular_correction(hi * 10.0)
+
+    def test_high_re_limit(self):
+        # at high Re the rectangular beam's added mass approaches the
+        # displaced-cylinder value: Omega_r -> ~1
+        omega = rectangular_correction(1e4)
+        assert omega.real == pytest.approx(1.0, rel=0.2)
+
+
+class TestCompositeFunction:
+    def test_water_values_physical(self, water, geometry):
+        g = hydrodynamic_function(10e3, geometry.width, water)
+        # literature: Gamma_r ~ 1-1.3, Gamma_i ~ 0.1-0.5 for Re ~ 10^2-10^3
+        assert 0.5 < g.real < 3.0
+        assert 0.0 < g.imag < 1.0
+
+    def test_added_mass_positive_and_large(self, water, geometry):
+        mu_added = added_mass_per_length(10e3, geometry.width, water)
+        # in water the added mass rivals the beam's own mass per length
+        assert mu_added > geometry.mass_per_length
+
+    def test_mass_loading_ratio(self, water, geometry):
+        t = mass_loading_ratio(
+            10e3, geometry.width, water, geometry.mass_per_length
+        )
+        g = hydrodynamic_function(10e3, geometry.width, water)
+        expected = np.pi * 997.0 * geometry.width**2 / (
+            4.0 * geometry.mass_per_length
+        )
+        assert t.real == pytest.approx(expected * g.real)
+        assert t.imag == pytest.approx(expected * g.imag)
+
+    def test_air_loading_small(self, geometry):
+        air = get_liquid("air")
+        t = mass_loading_ratio(
+            27e3, geometry.width, air, geometry.mass_per_length
+        )
+        assert abs(t) < 0.02  # air barely loads the beam

@@ -1,0 +1,71 @@
+"""Fluid-loaded resonance: frequency drop and Q collapse in liquid."""
+
+import pytest
+
+from repro.fluidics import (
+    frequency_in_liquid,
+    immersed_mode,
+    quality_factor_in_liquid,
+)
+from repro.materials import get_liquid
+from repro.mechanics import natural_frequency
+
+
+class TestWaterImmersion:
+    def test_frequency_drops_substantially(self, geometry, water):
+        f_vac = natural_frequency(geometry)
+        f_wet = frequency_in_liquid(geometry, water)
+        # literature: CMOS cantilevers lose ~2-4x of their frequency in water
+        assert 0.2 < f_wet / f_vac < 0.5
+
+    def test_q_single_digit(self, geometry, water):
+        q = quality_factor_in_liquid(geometry, water)
+        assert 2.0 < q < 15.0
+
+    def test_consistency_of_bundle(self, geometry, water):
+        mode = immersed_mode(geometry, water)
+        assert mode.frequency == pytest.approx(
+            frequency_in_liquid(geometry, water)
+        )
+        assert mode.vacuum_frequency == pytest.approx(natural_frequency(geometry))
+        assert mode.frequency < mode.vacuum_frequency
+
+    def test_frequency_from_mass_ratio(self, geometry, water):
+        # f = f_vac / sqrt(1 + T_r) must hold self-consistently
+        mode = immersed_mode(geometry, water)
+        assert mode.frequency == pytest.approx(
+            mode.vacuum_frequency / (1.0 + mode.added_mass_ratio) ** 0.5, rel=1e-9
+        )
+
+    def test_effective_mass_grows(self, geometry, water):
+        from repro.mechanics.modal import effective_mass_fraction
+
+        mode = immersed_mode(geometry, water)
+        beam_modal = effective_mass_fraction(1) * geometry.mass
+        assert mode.effective_mass > 5.0 * beam_modal
+
+
+class TestAcrossLiquids:
+    def test_viscosity_ordering_of_q(self, geometry):
+        qs = [
+            quality_factor_in_liquid(geometry, get_liquid(name))
+            for name in ("water", "serum", "glycerol_40pct", "glycerol_60pct")
+        ]
+        assert all(a > b for a, b in zip(qs, qs[1:]))
+
+    def test_density_ordering_of_frequency(self, geometry):
+        f_water = frequency_in_liquid(geometry, get_liquid("water"))
+        f_glyc = frequency_in_liquid(geometry, get_liquid("glycerol_60pct"))
+        assert f_glyc < f_water
+
+    def test_air_nearly_vacuum(self, geometry):
+        air = get_liquid("air")
+        mode = immersed_mode(geometry, air)
+        assert mode.frequency == pytest.approx(mode.vacuum_frequency, rel=0.01)
+        assert mode.quality_factor > 100.0
+
+    def test_higher_mode_higher_q(self, geometry, water):
+        # higher frequency -> higher Reynolds -> relatively less dissipation
+        q1 = immersed_mode(geometry, water, mode=1).quality_factor
+        q2 = immersed_mode(geometry, water, mode=2).quality_factor
+        assert q2 > q1

@@ -1,0 +1,90 @@
+"""Solid material database."""
+
+import pytest
+
+from repro.errors import MaterialError, UnitError
+from repro.materials import (
+    Material,
+    get_material,
+    list_materials,
+    register_material,
+)
+
+
+class TestLookup:
+    def test_silicon_present(self):
+        si = get_material("silicon")
+        assert si.youngs_modulus == pytest.approx(169e9)
+        assert si.density == pytest.approx(2329.0)
+
+    def test_unknown_raises_with_known_names(self):
+        with pytest.raises(MaterialError, match="silicon"):
+            get_material("unobtainium")
+
+    def test_list_is_sorted(self):
+        names = list_materials()
+        assert names == sorted(names)
+        assert "aluminum" in names
+        assert "silicon_nitride" in names
+
+    def test_builtin_count(self):
+        assert len(list_materials()) >= 8
+
+
+class TestMaterialProperties:
+    def test_biaxial_modulus(self):
+        m = Material(name="m", youngs_modulus=100e9, density=1000.0, poisson_ratio=0.25)
+        assert m.biaxial_modulus == pytest.approx(100e9 / 0.75)
+
+    def test_plate_modulus(self):
+        m = Material(name="m", youngs_modulus=100e9, density=1000.0, poisson_ratio=0.25)
+        assert m.plate_modulus == pytest.approx(100e9 / (1 - 0.0625))
+
+    def test_plate_below_biaxial(self):
+        si = get_material("silicon_dioxide")
+        assert si.plate_modulus < si.biaxial_modulus
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(UnitError):
+            Material(name="bad", youngs_modulus=-1.0, density=1.0, poisson_ratio=0.2)
+
+    def test_invalid_poisson_rejected(self):
+        with pytest.raises(UnitError):
+            Material(name="bad", youngs_modulus=1e9, density=1.0, poisson_ratio=0.6)
+
+    def test_thermal_oxide_is_compressive(self):
+        assert get_material("silicon_dioxide").intrinsic_stress < 0.0
+
+    def test_nitride_is_tensile(self):
+        assert get_material("silicon_nitride").intrinsic_stress > 0.0
+
+    def test_metal_resistivities_ordered(self):
+        # gold is a better conductor than titanium
+        assert (
+            get_material("gold").resistivity
+            < get_material("titanium").resistivity
+        )
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        custom = Material(
+            name="_test_su8", youngs_modulus=4e9, density=1200.0, poisson_ratio=0.22
+        )
+        register_material(custom)
+        assert get_material("_test_su8") is custom
+
+    def test_duplicate_rejected(self):
+        custom = Material(
+            name="_test_dup", youngs_modulus=1e9, density=1.0, poisson_ratio=0.2
+        )
+        register_material(custom)
+        with pytest.raises(MaterialError, match="overwrite"):
+            register_material(custom)
+
+    def test_overwrite_allowed(self):
+        a = Material(name="_test_ow", youngs_modulus=1e9, density=1.0, poisson_ratio=0.2)
+        b = Material(name="_test_ow", youngs_modulus=2e9, density=2.0, poisson_ratio=0.2)
+        register_material(a)
+        register_material(b, overwrite=True)
+        assert get_material("_test_ow").youngs_modulus == pytest.approx(2e9)

@@ -1,0 +1,93 @@
+"""Liquid property database and glycerol-mixture correlation."""
+
+import pytest
+
+from repro.errors import MaterialError, UnitError
+from repro.materials import (
+    AIR,
+    Liquid,
+    get_liquid,
+    glycerol_water_mixture,
+    list_liquids,
+    register_liquid,
+)
+
+
+class TestDatabase:
+    def test_water_properties(self):
+        w = get_liquid("water")
+        assert w.density == pytest.approx(997.0)
+        assert w.viscosity == pytest.approx(0.89e-3)
+
+    def test_air_much_lighter_than_water(self):
+        assert AIR.density < get_liquid("water").density / 500.0
+
+    def test_viscosity_ordering_of_glycerol_series(self):
+        v20 = get_liquid("glycerol_20pct").viscosity
+        v40 = get_liquid("glycerol_40pct").viscosity
+        v60 = get_liquid("glycerol_60pct").viscosity
+        assert v20 < v40 < v60
+
+    def test_serum_more_viscous_than_buffer(self):
+        assert get_liquid("serum").viscosity > get_liquid("pbs").viscosity
+
+    def test_unknown_raises(self):
+        with pytest.raises(MaterialError):
+            get_liquid("mercury")
+
+    def test_list_sorted(self):
+        names = list_liquids()
+        assert names == sorted(names)
+
+    def test_kinematic_viscosity(self):
+        w = get_liquid("water")
+        assert w.kinematic_viscosity() == pytest.approx(w.viscosity / w.density)
+
+    def test_register_duplicate_rejected(self):
+        liq = Liquid(name="_test_oil", density=900.0, viscosity=0.05)
+        register_liquid(liq)
+        with pytest.raises(MaterialError):
+            register_liquid(liq)
+
+    def test_invalid_properties_rejected(self):
+        with pytest.raises(UnitError):
+            Liquid(name="bad", density=-1.0, viscosity=1e-3)
+        with pytest.raises(UnitError):
+            Liquid(name="bad", density=1000.0, viscosity=0.0)
+
+
+class TestGlycerolMixture:
+    def test_pure_water_limit(self):
+        mix = glycerol_water_mixture(0.0)
+        assert mix.density == pytest.approx(998.0, rel=0.01)
+        assert mix.viscosity == pytest.approx(1.0e-3, rel=0.15)
+
+    def test_pure_glycerol_limit(self):
+        mix = glycerol_water_mixture(1.0)
+        assert mix.density == pytest.approx(1263.0, rel=0.01)
+        # ~1.4 Pa s at 20 C
+        assert mix.viscosity == pytest.approx(1.4, rel=0.3)
+
+    def test_60pct_matches_table_entry(self):
+        mix = glycerol_water_mixture(0.60)
+        table = get_liquid("glycerol_60pct")
+        assert mix.density == pytest.approx(table.density, rel=0.02)
+        assert mix.viscosity == pytest.approx(table.viscosity, rel=0.35)
+
+    def test_viscosity_monotone_in_fraction(self):
+        fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+        values = [glycerol_water_mixture(c).viscosity for c in fractions]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_viscosity_decreases_with_temperature(self):
+        cold = glycerol_water_mixture(0.5, temperature=283.15)
+        warm = glycerol_water_mixture(0.5, temperature=313.15)
+        assert warm.viscosity < cold.viscosity
+
+    def test_fraction_out_of_range(self):
+        with pytest.raises(UnitError):
+            glycerol_water_mixture(1.2)
+
+    def test_temperature_out_of_range(self):
+        with pytest.raises(UnitError):
+            glycerol_water_mixture(0.5, temperature=150.0)

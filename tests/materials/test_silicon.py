@@ -1,0 +1,88 @@
+"""Anisotropic silicon: direction-dependent stiffness and piezoresistance."""
+
+import pytest
+
+from repro.errors import UnitError
+from repro.materials.silicon import (
+    PI44_P,
+    gauge_factor,
+    piezo_coefficients,
+    youngs_modulus,
+)
+
+
+class TestYoungsModulus:
+    def test_110_value(self):
+        # textbook anchor: E<110> = 169 GPa
+        assert youngs_modulus((1, 1, 0)) == pytest.approx(169e9, rel=0.01)
+
+    def test_100_value(self):
+        # E<100> = 1/S11 = 130 GPa
+        assert youngs_modulus((1, 0, 0)) == pytest.approx(130e9, rel=0.01)
+
+    def test_111_is_stiffest(self):
+        e111 = youngs_modulus((1, 1, 1))
+        assert e111 > youngs_modulus((1, 1, 0)) > youngs_modulus((1, 0, 0))
+        assert e111 == pytest.approx(188e9, rel=0.02)
+
+    def test_direction_normalization_irrelevant(self):
+        assert youngs_modulus((2, 2, 0)) == pytest.approx(youngs_modulus((1, 1, 0)))
+
+    def test_equivalent_directions(self):
+        assert youngs_modulus((1, 0, 0)) == pytest.approx(youngs_modulus((0, 0, 1)))
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(UnitError):
+            youngs_modulus((0, 0, 0))
+
+
+class TestPiezoCoefficients:
+    def test_p_type_110_dominated_by_pi44(self):
+        c = piezo_coefficients("<110>", "p")
+        assert c.longitudinal == pytest.approx(PI44_P / 2.0, rel=0.1)
+        assert c.transverse == pytest.approx(-PI44_P / 2.0, rel=0.1)
+
+    def test_p_type_signs(self):
+        c = piezo_coefficients("<110>", "p")
+        assert c.longitudinal > 0.0
+        assert c.transverse < 0.0
+
+    def test_n_type_100_longitudinal_negative(self):
+        c = piezo_coefficients("<100>", "n")
+        assert c.longitudinal < 0.0
+
+    def test_p_type_100_small(self):
+        # pi44 does not act along <100>: p-type <100> resistors are poor gauges
+        c100 = piezo_coefficients("<100>", "p")
+        c110 = piezo_coefficients("<110>", "p")
+        assert abs(c100.longitudinal) < abs(c110.longitudinal) / 5.0
+
+    def test_fractional_change_linear(self):
+        c = piezo_coefficients("<110>", "p")
+        one = c.fractional_resistance_change(1e6)
+        two = c.fractional_resistance_change(2e6)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_transverse_stress_contributes(self):
+        c = piezo_coefficients("<110>", "p")
+        assert c.fractional_resistance_change(0.0, 1e6) == pytest.approx(
+            c.transverse * 1e6
+        )
+
+    def test_invalid_carrier(self):
+        with pytest.raises(UnitError):
+            piezo_coefficients("<110>", "x")
+
+    def test_invalid_direction(self):
+        with pytest.raises(UnitError):
+            piezo_coefficients("<123>", "p")
+
+
+class TestGaugeFactor:
+    def test_p_110_is_large(self):
+        gf = gauge_factor("<110>", "p")
+        assert 80.0 < gf < 160.0  # silicon >> metal-foil ~2
+
+    def test_n_100_is_negative_and_large(self):
+        gf = gauge_factor("<100>", "n")
+        assert gf < -80.0

@@ -1,0 +1,105 @@
+"""Euler-Bernoulli statics against textbook closed forms."""
+
+import numpy as np
+import pytest
+
+from repro.mechanics import CantileverGeometry
+from repro.mechanics import beam
+from repro.units import um
+
+
+class TestSpringConstant:
+    def test_value(self, geometry):
+        # k = 3EI/L^3 = E w t^3 / (4 L^3)
+        e = 169e9
+        expected = e * 100e-6 * (5e-6) ** 3 / (4.0 * (500e-6) ** 3)
+        assert beam.spring_constant(geometry) == pytest.approx(expected)
+
+    def test_scaling_with_length(self, geometry):
+        double = geometry.scaled(length_factor=2.0)
+        assert beam.spring_constant(double) == pytest.approx(
+            beam.spring_constant(geometry) / 8.0
+        )
+
+    def test_scaling_with_thickness(self, geometry):
+        double = geometry.scaled(thickness_factor=2.0)
+        assert beam.spring_constant(double) == pytest.approx(
+            beam.spring_constant(geometry) * 8.0
+        )
+
+
+class TestDeflections:
+    def test_point_force_consistent_with_spring(self, geometry):
+        f = 1e-9
+        z = beam.tip_deflection_point_force(geometry, f)
+        assert z == pytest.approx(f / beam.spring_constant(geometry))
+
+    def test_distributed_vs_point(self, geometry):
+        # same total force: distributed gives 3/8 of point-at-tip deflection
+        total = 1e-9
+        z_point = beam.tip_deflection_point_force(geometry, total)
+        z_dist = beam.tip_deflection_distributed_force(
+            geometry, total / geometry.length
+        )
+        assert z_dist == pytest.approx(0.375 * z_point)
+
+    def test_end_moment(self, geometry):
+        m = 1e-12
+        z = beam.tip_deflection_end_moment(geometry, m)
+        assert z == pytest.approx(
+            m * geometry.length**2 / (2.0 * geometry.flexural_rigidity)
+        )
+
+    def test_profile_matches_tip_value(self, geometry):
+        f = 1e-9
+        profile = beam.deflection_profile_point_force(
+            geometry, f, np.asarray([geometry.length])
+        )
+        assert profile[0] == pytest.approx(
+            beam.tip_deflection_point_force(geometry, f)
+        )
+
+    def test_profile_zero_at_clamp(self, geometry):
+        profile = beam.deflection_profile_point_force(
+            geometry, 1e-9, np.asarray([0.0])
+        )
+        assert profile[0] == 0.0
+
+    def test_distributed_profile_tip(self, geometry):
+        q = 1e-6
+        profile = beam.deflection_profile_distributed_force(
+            geometry, q, np.asarray([geometry.length])
+        )
+        assert profile[0] == pytest.approx(
+            beam.tip_deflection_distributed_force(geometry, q)
+        )
+
+    def test_profile_monotone(self, geometry):
+        x = np.linspace(0, geometry.length, 100)
+        z = beam.deflection_profile_point_force(geometry, 1e-9, x)
+        assert np.all(np.diff(z) >= 0.0)
+
+    def test_out_of_range_position_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            beam.deflection_profile_point_force(
+                geometry, 1e-9, np.asarray([2.0 * geometry.length])
+            )
+
+
+class TestMomentAndStrain:
+    def test_moment_max_at_clamp(self, geometry):
+        x = np.linspace(0, geometry.length, 50)
+        m = beam.bending_moment_point_force(geometry, 1e-9, x)
+        assert m[0] == pytest.approx(1e-9 * geometry.length)
+        assert m[-1] == pytest.approx(0.0, abs=1e-30)
+        assert np.all(np.diff(m) <= 0.0)
+
+    def test_surface_strain_from_moment(self, geometry):
+        m = 1e-12
+        eps = beam.surface_strain_from_moment(geometry, m)
+        c = geometry.thickness / 2.0
+        assert float(eps) == pytest.approx(m * c / geometry.flexural_rigidity)
+
+    def test_gravity_sag_negligible(self, geometry):
+        # sub-nm: gravity never appears in cantilever-sensor error budgets
+        assert beam.static_deflection_under_gravity(geometry) < 1e-9

@@ -1,0 +1,128 @@
+"""Transformed-section mechanics of multilayer stacks."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.materials import get_material
+from repro.mechanics import Layer, LayerStack
+from repro.units import um
+
+
+@pytest.fixture()
+def silicon_layer():
+    return Layer(material=get_material("silicon"), thickness=um(5))
+
+
+@pytest.fixture()
+def oxide_layer():
+    return Layer(material=get_material("silicon_dioxide"), thickness=um(1))
+
+
+class TestSingleLayer:
+    def test_neutral_axis_at_midplane(self, silicon_layer):
+        stack = LayerStack([silicon_layer])
+        assert stack.neutral_axis == pytest.approx(2.5e-6)
+
+    def test_rigidity_matches_et3_over_12(self, silicon_layer):
+        stack = LayerStack([silicon_layer])
+        e = silicon_layer.material.youngs_modulus
+        t = silicon_layer.thickness
+        assert stack.flexural_rigidity_per_width == pytest.approx(e * t**3 / 12.0)
+
+    def test_effective_modulus_recovers_material(self, silicon_layer):
+        stack = LayerStack([silicon_layer])
+        assert stack.effective_youngs_modulus == pytest.approx(
+            silicon_layer.material.youngs_modulus
+        )
+
+    def test_effective_density_recovers_material(self, silicon_layer):
+        stack = LayerStack([silicon_layer])
+        assert stack.effective_density == pytest.approx(
+            silicon_layer.material.density
+        )
+
+
+class TestTwoLayers:
+    def test_total_thickness(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        assert stack.total_thickness == pytest.approx(6e-6)
+
+    def test_neutral_axis_shifts_toward_stiffer(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        # silicon (bottom) is stiffer, so NA sits below the geometric mid
+        assert stack.neutral_axis < stack.total_thickness / 2.0
+
+    def test_rigidity_exceeds_sum_of_own_axes(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        own_axes = sum(
+            l.material.youngs_modulus * l.thickness**3 / 12.0
+            for l in (silicon_layer, oxide_layer)
+        )
+        # parallel-axis terms always add
+        assert stack.flexural_rigidity_per_width > own_axes
+
+    def test_symmetric_sandwich_neutral_axis_centered(self, oxide_layer):
+        si = Layer(material=get_material("silicon"), thickness=um(4))
+        stack = LayerStack([oxide_layer, si, oxide_layer])
+        assert stack.neutral_axis == pytest.approx(stack.total_thickness / 2.0)
+
+    def test_mass_per_area_additive(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        expected = 2329.0 * 5e-6 + 2200.0 * 1e-6
+        assert stack.mass_per_area == pytest.approx(expected)
+
+    def test_interfaces(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        assert stack.interfaces() == pytest.approx([0.0, 5e-6, 6e-6])
+
+
+class TestResidualStress:
+    def test_symmetric_stack_no_moment(self):
+        ox = Layer(material=get_material("silicon_dioxide"), thickness=um(1))
+        si = Layer(material=get_material("silicon"), thickness=um(4))
+        stack = LayerStack([ox, si, ox])
+        assert stack.residual_moment_per_width == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_layer_no_moment(self):
+        si = Layer(material=get_material("silicon"), thickness=um(5))
+        assert LayerStack([si]).residual_moment_per_width == pytest.approx(0.0)
+
+    def test_compressive_top_oxide_curls(self):
+        si = Layer(material=get_material("silicon"), thickness=um(5))
+        ox = Layer(material=get_material("silicon_dioxide"), thickness=um(1))
+        stack = LayerStack([si, ox])
+        # compressive film above the NA -> negative moment -> curvature
+        assert stack.residual_curvature() != 0.0
+
+    def test_residual_curvature_scales_with_stress(self):
+        si = Layer(material=get_material("silicon"), thickness=um(5))
+        ox = Layer(material=get_material("silicon_dioxide"), thickness=um(1))
+        kappa = LayerStack([si, ox]).residual_curvature()
+        ox_material = get_material("silicon_dioxide")
+        assert kappa * ox_material.intrinsic_stress >= 0.0 or kappa != 0.0
+
+
+class TestUtilities:
+    def test_scaled(self, silicon_layer, oxide_layer):
+        stack = LayerStack([silicon_layer, oxide_layer])
+        doubled = stack.scaled(2.0)
+        assert doubled.total_thickness == pytest.approx(12e-6)
+        # rigidity scales as t^3
+        assert doubled.flexural_rigidity_per_width == pytest.approx(
+            8.0 * stack.flexural_rigidity_per_width
+        )
+
+    def test_with_layer_on_top(self, silicon_layer):
+        gold = Layer(material=get_material("gold"), thickness=um(0.05))
+        stack = LayerStack([silicon_layer]).with_layer_on_top(gold)
+        assert len(stack) == 2
+        assert stack.layers[-1].material.name == "gold"
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(GeometryError):
+            LayerStack([])
+
+    def test_describe_mentions_all_layers(self, silicon_layer, oxide_layer):
+        text = LayerStack([silicon_layer, oxide_layer]).describe()
+        assert "silicon" in text
+        assert "silicon_dioxide" in text

@@ -1,0 +1,126 @@
+"""Duffing (geometric) nonlinearity of the cantilever."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import zero_crossing_frequency
+from repro.circuits import Signal
+from repro.mechanics.duffing import (
+    DuffingResonator,
+    amplitude_to_frequency_slope,
+    backbone_frequency,
+    critical_amplitude,
+    cubic_stiffness,
+)
+
+
+@pytest.fixture()
+def duffing(geometry):
+    return DuffingResonator.from_geometry(
+        geometry, quality_factor=200.0, steps_per_cycle=60
+    )
+
+
+class TestCoefficients:
+    def test_cubic_stiffness_scale(self, geometry):
+        from repro.mechanics.beam import spring_constant
+
+        k3 = cubic_stiffness(geometry)
+        k = spring_constant(geometry)
+        # at x = t the cubic force ~ alpha * linear force
+        assert k3 * geometry.thickness**2 == pytest.approx(0.4 * k, rel=0.05)
+
+    def test_backbone_hardening(self):
+        f = backbone_frequency(1e4, 4.0, 1e11, 1e-6)
+        assert f > 1e4
+
+    def test_backbone_quadratic_in_amplitude(self):
+        f0, k, k3 = 1e4, 4.0, 1e11
+        df1 = backbone_frequency(f0, k, k3, 1e-6) - f0
+        df2 = backbone_frequency(f0, k, k3, 2e-6) - f0
+        assert df2 == pytest.approx(4.0 * df1)
+
+    def test_slope_is_derivative(self):
+        f0, k, k3, a = 1e4, 4.0, 1e11, 1e-6
+        da = 1e-9
+        fd = (
+            backbone_frequency(f0, k, k3, a + da)
+            - backbone_frequency(f0, k, k3, a - da)
+        ) / (2 * da)
+        assert amplitude_to_frequency_slope(f0, k, k3, a) == pytest.approx(
+            fd, rel=1e-6
+        )
+
+    def test_critical_amplitude_scale(self, geometry):
+        # sub-thickness for high-Q beams: nonlinearity is a real constraint
+        a_c = critical_amplitude(geometry, quality_factor=200.0)
+        assert 0.05 * geometry.thickness < a_c < geometry.thickness
+
+
+class TestDuffingIntegration:
+    def test_zero_cubic_matches_linear(self, geometry):
+        from repro.mechanics import ModalResonator
+
+        lin = ModalResonator.from_geometry(geometry, 200.0, steps_per_cycle=60)
+        duf = DuffingResonator(
+            lin.effective_mass,
+            lin.effective_stiffness,
+            200.0,
+            lin.timestep,
+            cubic_stiffness=0.0,
+        )
+        lin.reset(displacement=1e-7)
+        duf.reset(displacement=1e-7)
+        x_lin = lin.run(np.zeros(2000))
+        x_duf = duf.run(np.zeros(2000))
+        assert np.allclose(x_lin, x_duf)
+
+    def test_free_vibration_follows_backbone(self, duffing):
+        # ring down from a large amplitude: the measured frequency at the
+        # start must match the backbone prediction at that amplitude
+        a0 = duffing._m and 2e-6  # 2 um ~ 0.4 t: strongly nonlinear
+        duffing.reset(displacement=a0)
+        n = int(40 / (duffing.natural_frequency * duffing.timestep))
+        x = duffing.run(np.zeros(n))
+        # use the first few cycles, where amplitude ~ a0
+        head = Signal(x[: n // 8], 1.0 / duffing.timestep)
+        f_meas = zero_crossing_frequency(head)
+        f_pred = duffing.backbone(a0)
+        assert f_pred > duffing.natural_frequency * 1.005  # visibly stiffened
+        assert f_meas == pytest.approx(f_pred, rel=0.03)
+
+    def test_small_amplitude_recovers_linear_frequency(self, duffing):
+        duffing.reset(displacement=1e-9)  # t/5000: linear regime
+        n = int(40 / (duffing.natural_frequency * duffing.timestep))
+        x = duffing.run(np.zeros(n))
+        f_meas = zero_crossing_frequency(Signal(x, 1.0 / duffing.timestep))
+        assert f_meas == pytest.approx(duffing.natural_frequency, rel=1e-3)
+
+    def test_frequency_falls_during_ringdown(self, duffing):
+        # hardening spring: as the amplitude decays the frequency drops
+        duffing.reset(displacement=2e-6)
+        n = int(120 / (duffing.natural_frequency * duffing.timestep))
+        x = duffing.run(np.zeros(n))
+        fs = 1.0 / duffing.timestep
+        early = zero_crossing_frequency(Signal(x[: n // 10], fs))
+        late = zero_crossing_frequency(Signal(x[-n // 10 :], fs))
+        assert early > late
+
+
+class TestAmFmConversion:
+    def test_amplitude_drift_masquerades_as_binding(self, geometry):
+        """The design argument for precise amplitude control (CLM5):
+        a 1 % amplitude drift at 300 nm produces a frequency error
+        comparable to tens of pg of analyte."""
+        from repro.mechanics.beam import spring_constant
+        from repro.mechanics import mass_responsivity
+
+        k = spring_constant(geometry)
+        k3 = cubic_stiffness(geometry)
+        a = 300e-9
+        slope = amplitude_to_frequency_slope(27.5e3, k, k3, a)
+        df_from_1pct = slope * 0.01 * a
+        mass_equivalent = abs(df_from_1pct / mass_responsivity(geometry))
+        assert mass_equivalent > 1e-15  # > 1 pg of fake signal

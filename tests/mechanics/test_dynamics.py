@@ -1,0 +1,142 @@
+"""Time-domain modal resonator: exact discretization properties."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError, UnitError
+from repro.mechanics import ModalResonator
+from repro.mechanics.dynamics import ResonatorState
+
+
+@pytest.fixture()
+def resonator():
+    # 10 kHz, Q = 50 reference oscillator
+    m = 1e-9
+    f0 = 10e3
+    k = m * (2 * math.pi * f0) ** 2
+    return ModalResonator(
+        effective_mass=m, effective_stiffness=k, quality_factor=50.0,
+        timestep=1.0 / (f0 * 50),
+    )
+
+
+class TestBasics:
+    def test_natural_frequency(self, resonator):
+        assert resonator.natural_frequency == pytest.approx(10e3)
+
+    def test_damping_coefficient(self, resonator):
+        c = resonator.damping_coefficient
+        assert c == pytest.approx(
+            math.sqrt(resonator.effective_stiffness * resonator.effective_mass) / 50.0
+        )
+
+    def test_damped_frequency_below_natural(self, resonator):
+        assert 0.0 < resonator.damped_frequency < resonator.natural_frequency
+
+    def test_overdamped_frequency_zero(self):
+        r = ModalResonator(1e-9, 1e-9 * (2 * math.pi * 1e3) ** 2, 0.4, 1e-6)
+        assert r.damped_frequency == 0.0
+
+    def test_from_geometry(self, geometry):
+        r = ModalResonator.from_geometry(geometry, quality_factor=100.0)
+        from repro.mechanics import natural_frequency
+
+        assert r.natural_frequency == pytest.approx(
+            natural_frequency(geometry), rel=1e-9
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(UnitError):
+            ModalResonator(-1.0, 1.0, 10.0, 1e-6)
+
+    def test_too_few_steps_per_cycle_rejected(self, geometry):
+        with pytest.raises(GeometryError):
+            ModalResonator.from_geometry(geometry, 10.0, steps_per_cycle=2)
+
+
+class TestFreeDecay:
+    def test_ring_down_frequency(self, resonator):
+        resonator.reset(displacement=1e-9)
+        x = resonator.ring_down(cycles=30)
+        # count zero crossings to estimate the frequency
+        crossings = np.where((x[:-1] < 0) & (x[1:] >= 0))[0]
+        periods = np.diff(crossings) * resonator.timestep
+        f_est = 1.0 / np.mean(periods)
+        assert f_est == pytest.approx(resonator.damped_frequency, rel=1e-3)
+
+    def test_ring_down_q(self, resonator):
+        resonator.reset(displacement=1e-9)
+        x = resonator.ring_down(cycles=40)
+        # amplitude after n cycles: exp(-pi n / Q)
+        n_cycles = 40
+        expected_ratio = math.exp(-math.pi * n_cycles / 50.0)
+        peak_start = np.max(np.abs(x[: len(x) // 20]))
+        peak_end = np.max(np.abs(x[-len(x) // 20 :]))
+        assert peak_end / peak_start == pytest.approx(expected_ratio, rel=0.15)
+
+    def test_energy_never_grows_unforced(self, resonator):
+        resonator.reset(displacement=1e-9)
+        m, k = resonator.effective_mass, resonator.effective_stiffness
+        x = resonator.state.displacement
+        v = resonator.state.velocity
+        energy = 0.5 * k * x**2 + 0.5 * m * v**2
+        for _ in range(500):
+            resonator.step(0.0)
+            x, v = resonator.state.displacement, resonator.state.velocity
+            new_energy = 0.5 * k * x**2 + 0.5 * m * v**2
+            assert new_energy <= energy * (1.0 + 1e-12)
+            energy = new_energy
+
+
+class TestForcedResponse:
+    def test_static_force_gives_hooke(self, resonator):
+        f = 1e-12
+        for _ in range(50000):
+            resonator.step(f)
+        assert resonator.state.displacement == pytest.approx(
+            f / resonator.effective_stiffness, rel=1e-6
+        )
+
+    def test_resonant_drive_amplification(self, resonator):
+        # steady-state amplitude at resonance = Q * F/k
+        f0 = resonator.natural_frequency
+        h = resonator.timestep
+        n = int(60 * 50 / (f0 * h))  # ~ 3000 cycles >> Q
+        t = np.arange(n) * h
+        force = 1e-12 * np.sin(2 * math.pi * f0 * t)
+        resonator.reset()
+        x = resonator.run(force)
+        steady = x[-n // 5 :]
+        amp = (np.max(steady) - np.min(steady)) / 2.0
+        expected = 50.0 * 1e-12 / resonator.effective_stiffness
+        assert amp == pytest.approx(expected, rel=0.03)
+
+    def test_transfer_function_peak(self, resonator):
+        f = np.linspace(9e3, 11e3, 2001)
+        h = np.abs(resonator.transfer_function(f))
+        f_peak = f[np.argmax(h)]
+        assert f_peak == pytest.approx(resonator.resonance_peak_frequency(), rel=1e-3)
+
+    def test_dc_transfer_is_compliance(self, resonator):
+        h0 = resonator.transfer_function(np.asarray([1e-3]))[0]
+        assert abs(h0) == pytest.approx(1.0 / resonator.effective_stiffness, rel=1e-6)
+
+
+class TestParameterUpdates:
+    def test_mass_update_changes_frequency(self, resonator):
+        f_before = resonator.natural_frequency
+        resonator.set_parameters(effective_mass=resonator.effective_mass * 4.0)
+        assert resonator.natural_frequency == pytest.approx(f_before / 2.0)
+
+    def test_state_preserved_across_update(self, resonator):
+        resonator.reset(displacement=2e-9, velocity=1e-6)
+        resonator.set_parameters(quality_factor=10.0)
+        assert resonator.state.displacement == pytest.approx(2e-9)
+        assert resonator.state.velocity == pytest.approx(1e-6)
+
+    def test_reset(self, resonator):
+        resonator.reset(displacement=1.0)
+        resonator.reset()
+        assert resonator.state == ResonatorState(0.0, 0.0)

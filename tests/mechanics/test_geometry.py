@@ -1,0 +1,72 @@
+"""Cantilever geometry and derived scalars."""
+
+import pytest
+
+from repro.errors import GeometryError, UnitError
+from repro.materials import get_material
+from repro.mechanics import CantileverGeometry, Layer, LayerStack
+from repro.units import um
+
+
+class TestConstruction:
+    def test_uniform_constructor(self, geometry):
+        assert geometry.length == pytest.approx(500e-6)
+        assert geometry.width == pytest.approx(100e-6)
+        assert geometry.thickness == pytest.approx(5e-6)
+
+    def test_material_by_name(self):
+        g = CantileverGeometry.uniform(um(300), um(50), um(2), "silicon_nitride")
+        assert g.stack.layers[0].material.name == "silicon_nitride"
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(UnitError):
+            CantileverGeometry.uniform(-um(500), um(100), um(5))
+
+    def test_stubby_beam_rejected(self):
+        # L < 2t violates beam theory
+        with pytest.raises(GeometryError):
+            CantileverGeometry.uniform(um(8), um(100), um(5))
+
+
+class TestDerivedScalars:
+    def test_planform_area(self, geometry):
+        assert geometry.planform_area == pytest.approx(500e-6 * 100e-6)
+
+    def test_cross_section(self, geometry):
+        assert geometry.cross_section_area == pytest.approx(100e-6 * 5e-6)
+
+    def test_mass(self, geometry):
+        expected = 2329.0 * 500e-6 * 100e-6 * 5e-6
+        assert geometry.mass == pytest.approx(expected)
+
+    def test_mass_per_length(self, geometry):
+        assert geometry.mass_per_length == pytest.approx(
+            geometry.mass / geometry.length
+        )
+
+    def test_flexural_rigidity_formula(self, geometry):
+        e = get_material("silicon").youngs_modulus
+        i = 100e-6 * (5e-6) ** 3 / 12.0
+        assert geometry.flexural_rigidity == pytest.approx(e * i)
+
+    def test_is_wide(self, geometry):
+        assert geometry.is_wide  # w = 20 t
+        narrow = CantileverGeometry.uniform(um(500), um(10), um(5))
+        assert not narrow.is_wide
+
+
+class TestScaling:
+    def test_scaled_dimensions(self, geometry):
+        g2 = geometry.scaled(length_factor=2.0, thickness_factor=0.5)
+        assert g2.length == pytest.approx(2.0 * geometry.length)
+        assert g2.thickness == pytest.approx(0.5 * geometry.thickness)
+        assert g2.width == pytest.approx(geometry.width)
+
+    def test_scaled_rejects_nonpositive(self, geometry):
+        with pytest.raises(UnitError):
+            geometry.scaled(length_factor=0.0)
+
+    def test_original_unchanged(self, geometry):
+        before = geometry.length
+        geometry.scaled(length_factor=3.0)
+        assert geometry.length == before

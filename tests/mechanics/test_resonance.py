@@ -1,0 +1,109 @@
+"""Added-mass frequency shift (Fig. 2 physics)."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.mechanics import (
+    frequency_shift,
+    frequency_with_added_mass,
+    mass_from_frequency_shift,
+    mass_responsivity,
+    minimum_detectable_mass,
+    natural_frequency,
+    resonant_response,
+)
+from repro.mechanics.modal import effective_mass_fraction
+from repro.units import pg
+
+
+class TestFrequencyShift:
+    def test_zero_mass_no_shift(self, geometry):
+        assert frequency_shift(geometry, 0.0) == pytest.approx(0.0)
+
+    def test_added_mass_lowers_frequency(self, geometry):
+        assert frequency_shift(geometry, pg(100.0)) < 0.0
+
+    def test_first_order_limit(self, geometry):
+        # small mass: df = -f0 dm_eff / (2 m_eff)
+        dm = pg(1.0)
+        f0 = natural_frequency(geometry)
+        m_eff = effective_mass_fraction(1) * geometry.mass
+        expected = -f0 * (dm * effective_mass_fraction(1)) / (2.0 * m_eff)
+        assert frequency_shift(geometry, dm, distribution="uniform") == pytest.approx(
+            expected, rel=1e-3
+        )
+
+    def test_tip_mass_four_times_uniform(self, geometry):
+        dm = pg(1.0)
+        tip = frequency_shift(geometry, dm, distribution="tip")
+        uniform = frequency_shift(geometry, dm, distribution="uniform")
+        assert tip / uniform == pytest.approx(
+            1.0 / effective_mass_fraction(1), rel=1e-3
+        )
+
+    def test_exact_sqrt_form(self, geometry):
+        dm = geometry.mass  # equal to the beam mass, deliberately huge
+        f = frequency_with_added_mass(geometry, dm, distribution="tip")
+        m_eff = effective_mass_fraction(1) * geometry.mass
+        f0 = natural_frequency(geometry)
+        assert f == pytest.approx(f0 * (m_eff / (m_eff + dm)) ** 0.5)
+
+    def test_invalid_distribution(self, geometry):
+        with pytest.raises(GeometryError):
+            frequency_shift(geometry, pg(1.0), distribution="gaussian")
+
+
+class TestResponsivityAndLOD:
+    def test_responsivity_negative(self, geometry):
+        assert mass_responsivity(geometry) < 0.0
+
+    def test_responsivity_matches_finite_difference(self, geometry):
+        dm = pg(0.01)
+        fd = frequency_shift(geometry, dm) / dm
+        assert mass_responsivity(geometry) == pytest.approx(fd, rel=1e-3)
+
+    def test_smaller_beam_more_responsive(self, geometry):
+        small = geometry.scaled(length_factor=0.5, width_factor=0.5)
+        assert abs(mass_responsivity(small)) > abs(mass_responsivity(geometry))
+
+    def test_lod_scales_with_noise(self, geometry):
+        lod1 = minimum_detectable_mass(geometry, frequency_noise=1.0)
+        lod2 = minimum_detectable_mass(geometry, frequency_noise=2.0)
+        assert lod2 == pytest.approx(2.0 * lod1)
+
+    def test_lod_magnitude(self, geometry):
+        # 1 Hz noise on the reference beam: sub-ng resolution in vacuum
+        lod = minimum_detectable_mass(geometry, frequency_noise=1.0)
+        assert 1e-15 < lod < 1e-9
+
+
+class TestInversion:
+    def test_round_trip(self, geometry):
+        dm = pg(50.0)
+        shift = frequency_shift(geometry, dm)
+        recovered = mass_from_frequency_shift(geometry, shift)
+        assert recovered == pytest.approx(dm, rel=1e-9)
+
+    def test_round_trip_tip(self, geometry):
+        dm = pg(10.0)
+        shift = frequency_shift(geometry, dm, distribution="tip")
+        recovered = mass_from_frequency_shift(geometry, shift, distribution="tip")
+        assert recovered == pytest.approx(dm, rel=1e-9)
+
+    def test_positive_shift_gives_negative_mass(self, geometry):
+        assert mass_from_frequency_shift(geometry, +1.0) < 0.0
+
+    def test_unphysical_shift_rejected(self, geometry):
+        f0 = natural_frequency(geometry)
+        with pytest.raises(GeometryError):
+            mass_from_frequency_shift(geometry, -1.1 * f0)
+
+
+class TestBundle:
+    def test_resonant_response_consistency(self, geometry):
+        r = resonant_response(geometry, pg(10.0))
+        assert r.base_frequency == pytest.approx(natural_frequency(geometry))
+        assert r.frequency_shift == pytest.approx(
+            r.loaded_frequency - r.base_frequency
+        )
+        assert r.frequency_shift < 0.0

@@ -1,0 +1,105 @@
+"""Stoney-type surface-stress bending (Fig. 1 physics)."""
+
+import numpy as np
+import pytest
+
+from repro.materials import get_material
+from repro.mechanics import CantileverGeometry, static_response, stoney_uniform
+from repro.mechanics.surface_stress import (
+    curvature,
+    deflection_profile,
+    surface_strain,
+    tip_deflection,
+)
+from repro.units import mN_per_m, um
+
+
+class TestStoneyAnchor:
+    def test_uniform_wide_beam_matches_stoney(self, geometry):
+        sigma = mN_per_m(5.0)
+        si = get_material("silicon")
+        expected = stoney_uniform(
+            si.youngs_modulus, si.poisson_ratio, geometry.thickness, sigma, wide=True
+        )
+        assert curvature(geometry, sigma) == pytest.approx(expected, rel=1e-9)
+
+    def test_narrow_beam_uniaxial(self):
+        narrow = CantileverGeometry.uniform(um(500), um(10), um(5))
+        sigma = mN_per_m(5.0)
+        si = get_material("silicon")
+        expected = stoney_uniform(
+            si.youngs_modulus, si.poisson_ratio, narrow.thickness, sigma, wide=False
+        )
+        assert curvature(narrow, sigma) == pytest.approx(expected, rel=1e-9)
+
+    def test_stoney_closed_form(self):
+        # kappa = 6 (1-nu) dsigma / (E t^2)
+        kappa = stoney_uniform(100e9, 0.25, 1e-6, 1e-3, wide=True)
+        assert kappa == pytest.approx(6.0 * 0.75 * 1e-3 / (100e9 * 1e-12))
+
+
+class TestLinearityAndScaling:
+    def test_linearity_in_stress(self, geometry):
+        z1 = tip_deflection(geometry, mN_per_m(1.0))
+        z5 = tip_deflection(geometry, mN_per_m(5.0))
+        assert z5 == pytest.approx(5.0 * z1)
+
+    def test_sign_follows_stress(self, geometry):
+        assert tip_deflection(geometry, mN_per_m(-3.0)) == pytest.approx(
+            -tip_deflection(geometry, mN_per_m(3.0))
+        )
+
+    def test_thickness_squared_scaling(self, geometry):
+        thin = geometry.scaled(thickness_factor=0.5)
+        assert curvature(thin, 1e-3) == pytest.approx(
+            4.0 * curvature(geometry, 1e-3), rel=1e-6
+        )
+
+    def test_length_squared_in_deflection(self, geometry):
+        long = geometry.scaled(length_factor=2.0)
+        assert tip_deflection(long, 1e-3) == pytest.approx(
+            4.0 * tip_deflection(geometry, 1e-3), rel=1e-6
+        )
+
+    def test_deflection_is_half_kappa_l_squared(self, geometry):
+        sigma = 1e-3
+        assert tip_deflection(geometry, sigma) == pytest.approx(
+            curvature(geometry, sigma) * geometry.length**2 / 2.0
+        )
+
+
+class TestProfileAndStrain:
+    def test_profile_parabolic(self, geometry):
+        sigma = 1e-3
+        x = np.asarray([0.0, geometry.length / 2.0, geometry.length])
+        z = deflection_profile(geometry, sigma, x)
+        assert z[0] == 0.0
+        # parabolic: z(L/2) = z(L)/4
+        assert z[1] == pytest.approx(z[2] / 4.0)
+
+    def test_strain_uniform_equals_kappa_c(self, geometry):
+        sigma = 1e-3
+        eps = surface_strain(geometry, sigma)
+        c = geometry.thickness / 2.0
+        assert eps == pytest.approx(curvature(geometry, sigma) * c)
+
+    def test_magnitude_realistic(self, geometry):
+        # 5 mN/m on a 5 um beam: sub-nm tip deflection (the reason
+        # integrated readout is needed at all)
+        z = tip_deflection(geometry, mN_per_m(5.0))
+        assert 0.1e-9 < abs(z) < 10e-9
+
+
+class TestStaticResponse:
+    def test_bundle_consistency(self, geometry):
+        sigma = mN_per_m(2.0)
+        r = static_response(geometry, sigma)
+        assert r.surface_stress == sigma
+        assert r.curvature == pytest.approx(curvature(geometry, sigma))
+        assert r.tip_deflection == pytest.approx(tip_deflection(geometry, sigma))
+        assert r.surface_strain == pytest.approx(surface_strain(geometry, sigma))
+
+    def test_bending_stress_is_modulus_times_strain(self, geometry):
+        r = static_response(geometry, 1e-3)
+        e = get_material("silicon").youngs_modulus
+        assert r.surface_bending_stress == pytest.approx(e * r.surface_strain)

@@ -1,0 +1,123 @@
+"""Thermomechanical noise: fluctuation-dissipation bookkeeping."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN
+from repro.fluidics import immersed_mode
+from repro.mechanics.beam import spring_constant
+from repro.mechanics.modal import analyze_modes
+from repro.mechanics.thermal_noise import (
+    displacement_noise_psd,
+    langevin_force_psd,
+    noise_equivalent_surface_stress,
+    rms_thermal_displacement,
+    static_displacement_floor,
+    thermomechanical_frequency_stability,
+)
+
+
+class TestLangevinForce:
+    def test_definition(self):
+        m, k, q, temp = 1e-10, 4.0, 50.0, 300.0
+        c = math.sqrt(k * m) / q
+        assert langevin_force_psd(m, k, q, temp) == pytest.approx(
+            4.0 * BOLTZMANN * temp * c
+        )
+
+    def test_lower_q_more_force_noise(self):
+        hi_q = langevin_force_psd(1e-10, 4.0, 100.0)
+        lo_q = langevin_force_psd(1e-10, 4.0, 5.0)
+        assert lo_q == pytest.approx(20.0 * hi_q)
+
+    def test_scales_with_temperature(self):
+        cold = langevin_force_psd(1e-10, 4.0, 50.0, 150.0)
+        warm = langevin_force_psd(1e-10, 4.0, 50.0, 300.0)
+        assert warm == pytest.approx(2.0 * cold)
+
+
+class TestDisplacementNoise:
+    def test_peaks_at_resonance(self):
+        m, k, q = 1e-10, 4.0, 50.0
+        f0 = math.sqrt(k / m) / (2 * math.pi)
+        f = np.linspace(0.5 * f0, 1.5 * f0, 2001)
+        psd = displacement_noise_psd(f, m, k, q)
+        assert abs(f[np.argmax(psd)] - f0) / f0 < 0.01
+
+    def test_low_frequency_plateau(self):
+        m, k, q = 1e-10, 4.0, 50.0
+        s_f = langevin_force_psd(m, k, q)
+        psd = displacement_noise_psd(np.asarray([1.0]), m, k, q)
+        assert psd[0] == pytest.approx(s_f / k**2, rel=1e-3)
+
+    def test_equipartition_integral(self):
+        # integral of S_x over all f equals kT/k (one-sided)
+        m, k, q = 1e-10, 4.0, 10.0
+        f0 = math.sqrt(k / m) / (2 * math.pi)
+        f = np.linspace(1e-3, 60 * f0, 2_000_001)
+        psd = displacement_noise_psd(f, m, k, q)
+        variance = np.trapezoid(psd, f)
+        assert variance == pytest.approx(BOLTZMANN * 300.0 / k, rel=0.02)
+
+
+class TestSensorFloors:
+    def test_equipartition_rms(self, geometry):
+        mode = analyze_modes(geometry, 1)[0]
+        x = rms_thermal_displacement(mode.effective_stiffness)
+        # tens of pm for a ~4 N/m beam
+        assert 1e-12 < x < 1e-10
+
+    def test_static_floor_grows_with_bandwidth(self, geometry):
+        mode = analyze_modes(geometry, 1)[0]
+        k = spring_constant(geometry)
+        narrow = static_displacement_floor(k, mode.effective_mass, 6.0, 10.0)
+        wide = static_displacement_floor(k, mode.effective_mass, 6.0, 1000.0)
+        assert wide == pytest.approx(10.0 * narrow)
+
+    def test_noise_equivalent_stress_below_signals(self, geometry):
+        # the Brownian stress floor must sit far below mN/m signals,
+        # otherwise the static biosensor could never work
+        ne_stress = noise_equivalent_surface_stress(geometry, 6.0, 100.0)
+        assert ne_stress < 0.1e-3  # << 1 mN/m
+
+    def test_floor_worse_in_liquid(self, geometry):
+        mode = analyze_modes(geometry, 1)[0]
+        k = spring_constant(geometry)
+        vac = static_displacement_floor(k, mode.effective_mass, 10000.0, 100.0)
+        wet = static_displacement_floor(k, mode.effective_mass, 6.0, 100.0)
+        assert wet > 10.0 * vac
+
+
+class TestOscillatorStability:
+    def test_improves_with_amplitude(self, geometry, water):
+        fl = immersed_mode(geometry, water)
+        small = thermomechanical_frequency_stability(geometry, fl, 10e-9, 1.0)
+        large = thermomechanical_frequency_stability(geometry, fl, 300e-9, 1.0)
+        assert large.fractional_frequency_noise == pytest.approx(
+            small.fractional_frequency_noise / 30.0, rel=1e-6
+        )
+
+    def test_improves_with_averaging(self, geometry, water):
+        fl = immersed_mode(geometry, water)
+        fast = thermomechanical_frequency_stability(geometry, fl, 300e-9, 0.1)
+        slow = thermomechanical_frequency_stability(geometry, fl, 300e-9, 10.0)
+        assert slow.fractional_frequency_noise == pytest.approx(
+            fast.fractional_frequency_noise / 10.0, rel=1e-6
+        )
+
+    def test_far_below_counter_limit(self, geometry, water):
+        # the gated counter (1 Hz at 1 s) dominates over thermomechanical
+        # noise by orders of magnitude: the readout, not physics, limits
+        fl = immersed_mode(geometry, water)
+        st = thermomechanical_frequency_stability(geometry, fl, 300e-9, 1.0)
+        assert st.frequency_noise < 0.1  # Hz, vs 1 Hz counter grid
+
+    def test_consistent_mass_resolution(self, geometry, water):
+        fl = immersed_mode(geometry, water)
+        st = thermomechanical_frequency_stability(geometry, fl, 300e-9, 1.0)
+        assert st.mass_resolution > 0.0
+        assert st.frequency_noise == pytest.approx(
+            st.fractional_frequency_noise * fl.frequency
+        )

@@ -1,0 +1,62 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_global_geometry_flags(self):
+        args = build_parser().parse_args(
+            ["--length", "300", "--width", "60", "info"]
+        )
+        assert args.length == 300.0
+        assert args.width == 60.0
+
+    def test_subcommand_defaults(self):
+        args = build_parser().parse_args(["assay"])
+        assert args.analyte == "igg"
+        assert args.conc_nm == 10.0
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "spring constant" in out
+        assert "mode 1" in out
+        assert "resonant bridge" in out
+
+    def test_info_custom_geometry(self, capsys):
+        assert main(["--length", "300", "--width", "60", "info"]) == 0
+        assert "300 x 60" in capsys.readouterr().out
+
+    def test_fabricate_clean(self, capsys):
+        assert main(["fabricate"]) == 0
+        out = capsys.readouterr().out
+        assert "KOH etch time" in out
+        assert "clean" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--liquid", "water"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep f0" in out
+
+    def test_assay_detects(self, capsys):
+        code = main(
+            ["assay", "--conc-nm", "50", "--exposure", "900", "--stride", "50"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "step" in captured.err
+
+    def test_track(self, capsys):
+        code = main(
+            ["track", "--exposure", "900", "--gate", "10", "--stride", "40"]
+        )
+        assert code == 0
+        assert "shift" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Dual-oscillator temperature compensation."""
+
+import math
+
+import pytest
+
+from repro.environment import DualOscillatorReadout
+from repro.environment.temperature import frequency_temperature_coefficient
+
+
+@pytest.fixture()
+def dual(geometry):
+    return DualOscillatorReadout.for_geometry(geometry, 8900.0)
+
+
+class TestConstruction:
+    def test_for_geometry_uses_tcf(self, geometry, dual):
+        assert dual.tcf == pytest.approx(
+            frequency_temperature_coefficient(geometry)
+        )
+
+    def test_reference_detuned(self, dual):
+        assert dual.reference_frequency > dual.sensing_frequency
+
+
+class TestCompensation:
+    def test_raw_readout_drifts(self, dual):
+        f_cold = dual.raw_sensing_frequency(0.0)
+        f_warm = dual.raw_sensing_frequency(5.0)
+        assert f_warm != f_cold
+        assert abs(f_warm - f_cold) / f_cold == pytest.approx(
+            abs(dual.tcf) * 5.0, rel=1e-9
+        )
+
+    def test_ratio_cancels_temperature(self, dual):
+        ratio = dual.ratio_readout(delta_temperature=5.0)
+        # residual limited by the 1e-7/K mismatch, not the 31 ppm/K TCF
+        assert abs(ratio - 1.0) < 1e-6
+
+    def test_binding_survives_compensation(self, dual):
+        mass_shift = -1e-5
+        ratio = dual.ratio_readout(2.0, mass_shift)
+        # the 1e-7/K mismatch adds ~2% of this particular signal
+        assert ratio - 1.0 == pytest.approx(mass_shift, rel=0.05)
+
+    def test_rejection_ratio_large(self, dual):
+        assert dual.rejection_ratio(1.0) > 100.0
+
+    def test_perfect_matching_enormous_rejection(self, geometry):
+        dual = DualOscillatorReadout.for_geometry(
+            geometry, 8900.0, tcf_mismatch=0.0
+        )
+        # float rounding leaves ~1e-16 residual; rejection is effectively
+        # unbounded
+        assert dual.rejection_ratio(1.0) > 1e9
+
+    def test_compensated_error_scales_with_mismatch(self, geometry):
+        tight = DualOscillatorReadout.for_geometry(
+            geometry, 8900.0, tcf_mismatch=1e-8
+        )
+        loose = DualOscillatorReadout.for_geometry(
+            geometry, 8900.0, tcf_mismatch=1e-6
+        )
+        assert loose.compensated_thermal_error(1.0) > (
+            10.0 * tight.compensated_thermal_error(1.0)
+        )
+
+    def test_signal_sized_drift_becomes_negligible(self, dual):
+        # 0.1 K raw error vs a 1e-5 binding signal: raw comparable,
+        # compensated far below
+        raw = dual.raw_thermal_error(0.1)
+        compensated = dual.compensated_thermal_error(0.1)
+        assert raw > 1e-6  # would mask a 1e-6-level signal
+        assert compensated < 1e-7

@@ -1,0 +1,113 @@
+"""Temperature-effect models."""
+
+import pytest
+
+from repro.environment import (
+    bimorph_curvature_per_kelvin,
+    bimorph_tip_drift,
+    bridge_offset_drift,
+    equivalent_surface_stress_drift,
+    frequency_drift,
+    frequency_temperature_coefficient,
+    thermal_error_budget,
+    water_at,
+)
+from repro.fabrication import PostCMOSFlow, fabricate_cantilever
+from repro.materials import get_liquid
+from repro.units import um
+
+
+@pytest.fixture(scope="module")
+def coated():
+    return fabricate_cantilever(
+        um(500), um(100), PostCMOSFlow(keep_dielectrics_on_beam=True)
+    ).geometry
+
+
+class TestFrequencyTC:
+    def test_silicon_tcf_ballpark(self, geometry):
+        tcf = frequency_temperature_coefficient(geometry)
+        # literature: ~ -30 ppm/K for silicon resonators
+        assert -40e-6 < tcf < -25e-6
+
+    def test_drift_sign_and_scale(self, geometry):
+        df = frequency_drift(geometry, 1.0)
+        assert df < 0.0
+        assert abs(df) < 2.0  # Hz/K on a 27.5 kHz device
+
+    def test_drift_linear(self, geometry):
+        assert frequency_drift(geometry, 2.0) == pytest.approx(
+            2.0 * frequency_drift(geometry, 1.0)
+        )
+
+
+class TestBimorph:
+    def test_bare_silicon_immune(self, geometry):
+        assert bimorph_curvature_per_kelvin(geometry.stack) == pytest.approx(
+            0.0, abs=1e-12
+        )
+        assert bimorph_tip_drift(geometry, 10.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_coated_beam_drifts(self, coated):
+        drift = bimorph_tip_drift(coated, 1.0)
+        # tens of nm per kelvin: far larger than binding signals
+        assert abs(drift) > 10e-9
+
+    def test_coated_drift_dwarfs_binding_signal(self, coated):
+        # 1 K on the coated beam vs a 5 mN/m binding event
+        from repro.mechanics.surface_stress import tip_deflection
+
+        thermal = abs(bimorph_tip_drift(coated, 1.0))
+        binding = abs(tip_deflection(coated, 5e-3))
+        assert thermal > 5.0 * binding
+
+    def test_equivalent_stress_units(self, coated):
+        eq = equivalent_surface_stress_drift(coated, 0.1)
+        # even 0.1 K looks like a mN/m-scale event on a coated beam
+        assert abs(eq) > 0.1e-3
+
+    def test_drift_linear_in_temperature(self, coated):
+        assert bimorph_tip_drift(coated, 2.0) == pytest.approx(
+            2.0 * bimorph_tip_drift(coated, 1.0)
+        )
+
+
+class TestBridgeDrift:
+    def test_scale(self):
+        # 3.3 V, 2500 ppm/K TCR, 1% mismatch: ~20 uV/K
+        drift = bridge_offset_drift(3.3, 2.5e-3, 0.01, 1.0)
+        assert drift == pytest.approx(20.6e-6, rel=0.01)
+
+    def test_perfect_matching_immune(self):
+        assert bridge_offset_drift(3.3, 2.5e-3, 0.0, 5.0) == 0.0
+
+
+class TestWaterTemperature:
+    def test_viscosity_falls_with_temperature(self):
+        cold = water_at(283.15)
+        warm = water_at(313.15)
+        assert warm.viscosity < cold.viscosity
+
+    def test_room_temperature_matches_database(self):
+        w20 = water_at(293.15)
+        ref = get_liquid("water")
+        assert w20.density == pytest.approx(ref.density, rel=0.01)
+        assert w20.viscosity == pytest.approx(ref.viscosity, rel=0.2)
+
+    def test_q_rises_with_temperature(self, geometry):
+        from repro.fluidics import quality_factor_in_liquid
+
+        q_cold = quality_factor_in_liquid(geometry, water_at(283.15))
+        q_warm = quality_factor_in_liquid(geometry, water_at(313.15))
+        assert q_warm > q_cold
+
+
+class TestBudget:
+    def test_budget_consistency(self, geometry):
+        budget = thermal_error_budget(geometry, 0.5)
+        assert budget.delta_temperature == 0.5
+        assert budget.frequency_drift_hz == pytest.approx(
+            frequency_drift(geometry, 0.5)
+        )
+        assert budget.bimorph_tip_drift_m == pytest.approx(0.0, abs=1e-15)
+        assert budget.bridge_offset_drift_v > 0.0

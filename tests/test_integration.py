@@ -1,0 +1,143 @@
+"""End-to-end integration: fabrication -> sensing -> readout -> analysis.
+
+These tests exercise the complete chains the paper describes, crossing
+every package boundary in the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AssayProtocol,
+    BiosensorChip,
+    ChannelConfig,
+    FunctionalizedSurface,
+    PostCMOSFlow,
+    ResonantCantileverSensor,
+    StaticCantileverSensor,
+    fabricate_cantilever,
+    get_analyte,
+    get_liquid,
+)
+from repro.analysis import allan_curve, fractional_frequencies
+from repro.fabrication import cantilever_layout, post_cmos_rule_deck
+from repro.units import nM, um
+
+
+class TestFabricationToSensor:
+    """DRC-clean layout -> process flow -> released beam -> live sensor."""
+
+    def test_full_static_pipeline(self):
+        # 1. layout passes DRC
+        layout = cantilever_layout(um(500), um(100))
+        post_cmos_rule_deck().verify(layout)
+
+        # 2. process flow releases the beam
+        device = fabricate_cantilever(um(500), um(100))
+        assert device.process.released
+
+        # 3. functionalize and assemble the static sensor
+        surface = FunctionalizedSurface(get_analyte("crp"), device.geometry)
+        sensor = StaticCantileverSensor(surface)
+        sensor.calibrate_offset()
+
+        # 4. run an immunoassay and detect the step
+        protocol = AssayProtocol.injection(nM(20), baseline=60, exposure=900, wash=120)
+        result = sensor.run_assay(protocol, sample_interval=5.0, include_noise=False)
+        assert abs(result.output_step(10)) > 3.0 * sensor.output_noise_rms
+
+    def test_full_resonant_pipeline(self):
+        device = fabricate_cantilever(um(500), um(100))
+        surface = FunctionalizedSurface(get_analyte("streptavidin"), device.geometry)
+        sensor = ResonantCantileverSensor(surface, get_liquid("pbs"))
+
+        # the closed loop oscillates at the fluid-loaded resonance
+        mean_f, _ = sensor.measure_frequency(gate_time=0.05, gates=3)
+        assert mean_f == pytest.approx(sensor.fluid_mode.frequency, rel=0.02)
+
+        # a saturating assay shifts the frequency down
+        protocol = AssayProtocol.injection(nM(100), baseline=60, exposure=1200, wash=60)
+        result = sensor.run_tracking_assay(protocol, gate_time=10.0, include_noise=False)
+        assert result.true_frequency[-1] < result.true_frequency[0]
+
+
+class TestEtchStopControlsEverything:
+    """The n-well depth propagates from process to sensor behaviour."""
+
+    def test_thinner_beam_softer_and_more_sensitive(self):
+        thin = fabricate_cantilever(um(500), um(100), PostCMOSFlow(nwell_depth=2.5e-6))
+        thick = fabricate_cantilever(um(500), um(100), PostCMOSFlow(nwell_depth=5e-6))
+
+        from repro.mechanics.surface_stress import tip_deflection
+
+        # Stoney: deflection ~ 1/t^2 -> thin beam bends 4x more
+        z_thin = tip_deflection(thin.geometry, 1e-3)
+        z_thick = tip_deflection(thick.geometry, 1e-3)
+        assert z_thin / z_thick == pytest.approx(4.0, rel=1e-3)
+
+
+class TestTwoTransductionModesAgree:
+    """Static and resonant sensors see the same binding event."""
+
+    def test_same_assay_both_modalities(self, geometry, water):
+        surface = FunctionalizedSurface(get_analyte("igg"), geometry)
+        protocol = AssayProtocol.injection(nM(50), baseline=60, exposure=900, wash=60)
+
+        static = StaticCantileverSensor(surface)
+        static.calibrate_offset()
+        static_result = static.run_assay(protocol, 10.0, include_noise=False)
+
+        resonant = ResonantCantileverSensor(surface, water)
+        resonant_result = resonant.run_tracking_assay(
+            protocol, gate_time=10.0, include_noise=False
+        )
+
+        # both track the same coverage curve
+        assert static_result.coverage[-1] == pytest.approx(
+            resonant_result.coverage[-1], rel=1e-6
+        )
+        # both respond in their native units
+        assert static_result.output_step(5) < 0.0
+        assert (
+            resonant_result.true_frequency[-1]
+            < resonant_result.true_frequency[0]
+        )
+
+
+class TestArrayScreening:
+    """Multiplexed array: two assays + referencing on one chip."""
+
+    def test_specificity(self, fabricated):
+        chip = BiosensorChip(
+            cantilever=fabricated,
+            channels=[
+                ChannelConfig(analyte=get_analyte("igg"), label="anti-IgG"),
+                ChannelConfig(analyte=get_analyte("psa"), label="anti-PSA"),
+                ChannelConfig(analyte=None, label="ref1"),
+                ChannelConfig(analyte=None, label="ref2"),
+            ],
+        )
+        chip.calibrate()
+        protocol = AssayProtocol.injection(nM(20), baseline=60, exposure=600, wash=60)
+        result = chip.run_array_assay(protocol, sample_interval=10.0, include_noise=False)
+        # both active channels respond; the references stay flat
+        for active in (0, 1):
+            trace = result.referenced(active)
+            assert abs(trace[-1] - trace[0]) > 1e-3
+        ref = result.channel_outputs[2]
+        assert abs(ref[-1] - ref[0]) < 1e-6
+
+
+class TestFrequencyStabilityChain:
+    """Loop -> counter -> Allan -> mass resolution."""
+
+    def test_allan_from_loop_readings(self, geometry, water):
+        surface = FunctionalizedSurface(get_analyte("igg"), geometry)
+        sensor = ResonantCantileverSensor(surface, water)
+        _, readings = sensor.measure_frequency(gate_time=0.02, gates=16)
+        y = fractional_frequencies(readings, np.mean(readings))
+        curve = allan_curve(y, tau0=0.02)
+        assert np.all(curve.deviations > 0.0)
+        # counter quantization at 50 Hz resolution dominates: sigma_y of
+        # order 50 Hz / 8.9 kHz
+        assert curve.deviations[0] < 0.05

@@ -1,0 +1,159 @@
+"""Second integration batch: cross-module paths the first batch missed."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import ADC, Signal
+from repro.circuits.lockin import LockInAmplifier
+
+
+class TestBurstRingDownPipeline:
+    """Open-loop Q measurement: burst drive -> decay -> ring-down fit."""
+
+    def test_q_from_burst_experiment(self, water_resonator):
+        from repro.actuation import burst
+        from repro.analysis import ring_down_quality_factor
+
+        resonator = water_resonator
+        f0 = resonator.natural_frequency
+        fs = 1.0 / resonator.timestep
+
+        # drive at resonance for 60 cycles, then watch the decay
+        on_time = 60.0 / f0
+        total = on_time + 40.0 / f0
+        drive_v = burst(f0, 1.0, on_time, total, fs)
+        force = 1e-9 * drive_v.samples
+        resonator.reset()
+        x = resonator.run(force)
+
+        decay_start = int(on_time * fs)
+        decay = Signal(x[decay_start:], fs)
+        q_est = ring_down_quality_factor(decay, f0)
+        assert q_est == pytest.approx(resonator.quality_factor, rel=0.2)
+        resonator.reset()
+
+    def test_burst_then_silence_amplitude_drops(self, water_resonator):
+        from repro.actuation import burst
+
+        resonator = water_resonator
+        f0 = resonator.natural_frequency
+        fs = 1.0 / resonator.timestep
+        drive = burst(f0, 1.0, 40.0 / f0, 80.0 / f0, fs)
+        resonator.reset()
+        x = resonator.run(1e-9 * drive.samples)
+        n_on = int(40.0 / f0 * fs)
+        driven_amp = np.max(np.abs(x[n_on - 200 : n_on]))
+        final_amp = np.max(np.abs(x[-200:]))
+        assert final_amp < 0.05 * driven_amp
+        resonator.reset()
+
+
+class TestDigitizedAssay:
+    """The autonomous chip digitizes its own output: the binding step
+    must survive the ADC."""
+
+    def test_step_survives_quantization(self, igg_surface):
+        from repro.biochem import AssayProtocol
+        from repro.core import StaticCantileverSensor
+        from repro.units import nM
+
+        sensor = StaticCantileverSensor(igg_surface)
+        sensor.calibrate_offset()
+        protocol = AssayProtocol.injection(nM(20), baseline=60, exposure=900, wash=60)
+        result = sensor.run_assay(protocol, 10.0, include_noise=False)
+
+        adc = ADC(full_scale=2.5, bits=12)
+        codes = adc.codes(Signal(result.output_voltage, 1.0))
+        digital_step = (codes[-1] - codes[0]) * adc.lsb
+        analog_step = result.output_voltage[-1] - result.output_voltage[0]
+        assert digital_step == pytest.approx(analog_step, abs=adc.lsb)
+        # and the step spans many LSBs: quantization is not the limit
+        assert abs(codes[-1] - codes[0]) >= 8
+
+    def test_coarse_adc_loses_small_steps(self, igg_surface):
+        from repro.biochem import AssayProtocol
+        from repro.core import StaticCantileverSensor
+        from repro.units import nM
+
+        sensor = StaticCantileverSensor(igg_surface)
+        sensor.calibrate_offset()
+        protocol = AssayProtocol.injection(
+            nM(0.05), baseline=60, exposure=600, wash=60
+        )
+        result = sensor.run_assay(protocol, 10.0, include_noise=False)
+        coarse = ADC(full_scale=2.5, bits=4)
+        codes = coarse.codes(Signal(result.output_voltage, 1.0))
+        # a trace-level signal vanishes on a 4-bit grid (LSB 0.31 V)
+        assert codes[-1] == codes[0]
+
+
+class TestLockInPhase:
+    def test_quadrature_reference_reads_sine(self):
+        fs, fc = 200e3, 20e3
+        s = Signal.from_function(
+            lambda t: 0.4 * np.sin(2 * np.pi * fc * t), 0.3, fs
+        )
+        in_phase = LockInAmplifier(fc, 100.0, phase=0.0)
+        quadrature = LockInAmplifier(fc, 100.0, phase=-math.pi / 2.0)
+        assert abs(in_phase.process(s).settle(0.5).mean()) < 5e-3
+        assert quadrature.process(s).settle(0.5).mean() == pytest.approx(
+            0.4, rel=0.02
+        )
+
+    def test_iq_magnitude_phase_invariant(self):
+        fs, fc = 200e3, 20e3
+        for phi in (0.0, 0.7, 2.1):
+            s = Signal.from_function(
+                lambda t: 0.4 * np.cos(2 * np.pi * fc * t + phi), 0.3, fs
+            )
+            i = LockInAmplifier(fc, 100.0, phase=0.0).process(s).settle(0.5).mean()
+            q = (
+                LockInAmplifier(fc, 100.0, phase=math.pi / 2.0)
+                .process(s)
+                .settle(0.5)
+                .mean()
+            )
+            assert math.hypot(i, q) == pytest.approx(0.4, rel=0.02)
+
+
+class TestChipScaleConsistency:
+    """Numbers that must agree across unrelated code paths."""
+
+    def test_three_ways_to_the_same_q(self, geometry, water):
+        from repro.analysis import measure_resonance, ring_down_quality_factor
+        from repro.fluidics import immersed_mode
+        from repro.mechanics import ModalResonator, analyze_modes
+
+        fl = immersed_mode(geometry, water)
+        mode = analyze_modes(geometry, 1)[0]
+        resonator = ModalResonator(
+            fl.effective_mass,
+            mode.effective_stiffness,
+            fl.quality_factor,
+            1.0 / (fl.frequency * 60),
+        )
+        # 1) Sader model, 2) swept-sine fit, 3) ring-down fit
+        fit = measure_resonance(resonator, span_factor=0.5, points=25)
+        resonator.reset(displacement=1e-8)
+        decay = Signal(resonator.ring_down(cycles=30), 1.0 / resonator.timestep)
+        q_ring = ring_down_quality_factor(decay, fl.frequency)
+
+        assert fit.quality_factor == pytest.approx(fl.quality_factor, rel=0.15)
+        assert q_ring == pytest.approx(fl.quality_factor, rel=0.2)
+
+    def test_counter_and_pll_agree_on_loop(self, make_loop):
+        from repro.circuits import ReciprocalCounter
+        from repro.circuits.pll import PhaseLockedLoop
+
+        loop = make_loop()
+        fs = 1.0 / loop.resonator.timestep
+        loop.auto_gain(fs)
+        record = loop.run(0.2)
+        waveform = record.bridge_signal().settle(0.25)
+        f_recip = ReciprocalCounter(gate_time=0.05).measure_single(waveform)
+        amplitude = float(np.sqrt(2.0) * waveform.std())
+        pll = PhaseLockedLoop(f_recip * 0.99, 50.0, amplitude=amplitude)
+        f_pll = pll.measure(waveform)
+        assert f_pll == pytest.approx(f_recip, abs=1.0)

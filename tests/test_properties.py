@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each property encodes a physical law or structural invariant that must
+hold over the whole parameter space, not just at the calibration points
+the unit tests pin down.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.biochem import (
+    coverage_transient,
+    equilibrium_coverage,
+    get_analyte,
+)
+from repro.circuits import LimitingAmplifier, OffsetCompensationDAC, Signal
+from repro.circuits.chopper import square_carrier
+from repro.mechanics import CantileverGeometry, stoney_uniform
+from repro.mechanics.beam import spring_constant
+from repro.mechanics.modal import natural_frequency
+from repro.mechanics.resonance import (
+    frequency_with_added_mass,
+    mass_from_frequency_shift,
+)
+from repro.mechanics.surface_stress import curvature, tip_deflection
+from repro.transduction import DiffusedResistor, matched_bridge
+from repro.units import um
+
+
+# -- strategies ---------------------------------------------------------------
+
+lengths = st.floats(min_value=100.0, max_value=1000.0)  # um
+widths = st.floats(min_value=20.0, max_value=200.0)  # um
+thicknesses = st.floats(min_value=1.0, max_value=10.0)  # um
+stresses = st.floats(min_value=-50e-3, max_value=50e-3)  # N/m
+concentrations = st.floats(min_value=0.0, max_value=1e22)  # molecules/m^3
+coverages = st.floats(min_value=0.0, max_value=1.0)
+
+
+def build_geometry(length_um, width_um, thickness_um):
+    return CantileverGeometry.uniform(
+        um(length_um), um(width_um), um(thickness_um)
+    )
+
+
+# -- mechanics ----------------------------------------------------------------
+
+
+class TestMechanicsProperties:
+    @given(lengths, widths, thicknesses)
+    @settings(max_examples=60, deadline=None)
+    def test_spring_constant_scaling(self, l, w, t):
+        assume(l > 2.5 * t)
+        g = build_geometry(l, w, t)
+        doubled = g.scaled(length_factor=2.0)
+        assert spring_constant(doubled) == pytest.approx(
+            spring_constant(g) / 8.0, rel=1e-9
+        )
+
+    @given(lengths, widths, thicknesses)
+    @settings(max_examples=60, deadline=None)
+    def test_frequency_scaling_t_over_l2(self, l, w, t):
+        assume(l > 5.0 * t)
+        g = build_geometry(l, w, t)
+        f = natural_frequency(g)
+        g2 = g.scaled(length_factor=2.0, thickness_factor=2.0)
+        assert natural_frequency(g2) == pytest.approx(f / 2.0, rel=1e-9)
+
+    @given(lengths, widths, thicknesses, stresses, stresses)
+    @settings(max_examples=60, deadline=None)
+    def test_stoney_superposition(self, l, w, t, s1, s2):
+        assume(l > 2.5 * t)
+        g = build_geometry(l, w, t)
+        z1 = tip_deflection(g, s1)
+        z2 = tip_deflection(g, s2)
+        z12 = tip_deflection(g, s1 + s2)
+        assert z12 == pytest.approx(z1 + z2, rel=1e-9, abs=1e-18)
+
+    @given(lengths, widths, thicknesses, stresses)
+    @settings(max_examples=60, deadline=None)
+    def test_wide_beam_bends_less_than_uniaxial(self, l, w, t, s):
+        assume(l > 2.5 * t)
+        assume(abs(s) > 1e-6)
+        g = build_geometry(l, w, t)
+        si = g.stack.layers[0].material
+        uniaxial = stoney_uniform(
+            si.youngs_modulus, si.poisson_ratio, g.thickness, s, wide=False
+        )
+        # narrow beams equal the uniaxial value through a different
+        # float path; allow rounding headroom
+        assert abs(curvature(g, s)) <= abs(uniaxial) * (1.0 + 1e-12)
+
+    @given(
+        lengths,
+        widths,
+        thicknesses,
+        st.floats(min_value=1e-16, max_value=1e-10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_mass_inversion_round_trip(self, l, w, t, dm):
+        assume(l > 2.5 * t)
+        g = build_geometry(l, w, t)
+        f = frequency_with_added_mass(g, dm)
+        f0 = natural_frequency(g)
+        recovered = mass_from_frequency_shift(g, f - f0)
+        assert recovered == pytest.approx(dm, rel=1e-6)
+
+    @given(lengths, widths, thicknesses, st.floats(min_value=0.0, max_value=1e-9))
+    @settings(max_examples=60, deadline=None)
+    def test_added_mass_never_raises_frequency(self, l, w, t, dm):
+        assume(l > 2.5 * t)
+        g = build_geometry(l, w, t)
+        assert frequency_with_added_mass(g, dm) <= natural_frequency(g) + 1e-9
+
+
+# -- biochemistry ---------------------------------------------------------------
+
+
+class TestBindingProperties:
+    @given(concentrations)
+    @settings(max_examples=60, deadline=None)
+    def test_equilibrium_in_unit_interval(self, c):
+        igg = get_analyte("igg")
+        theta = equilibrium_coverage(igg, c)
+        assert 0.0 <= theta <= 1.0
+
+    @given(concentrations, concentrations)
+    @settings(max_examples=60, deadline=None)
+    def test_isotherm_monotone(self, c1, c2):
+        igg = get_analyte("igg")
+        low, high = sorted((c1, c2))
+        assert equilibrium_coverage(igg, low) <= equilibrium_coverage(igg, high)
+
+    @given(concentrations, coverages, st.floats(min_value=0.1, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_transient_bounded(self, c, theta0, t_end):
+        igg = get_analyte("igg")
+        t = np.linspace(0.0, t_end, 50)
+        theta = coverage_transient(igg, c, t, initial_coverage=theta0)
+        assert np.all(theta >= -1e-12)
+        assert np.all(theta <= 1.0 + 1e-12)
+
+    @given(concentrations, coverages, st.floats(min_value=0.1, max_value=1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_transient_monotone_toward_equilibrium(self, c, theta0, t_end):
+        igg = get_analyte("igg")
+        t = np.linspace(0.0, t_end, 50)
+        theta = coverage_transient(igg, c, t, initial_coverage=theta0)
+        theta_eq = equilibrium_coverage(igg, c)
+        if theta0 <= theta_eq:
+            assert np.all(np.diff(theta) >= -1e-12)
+        else:
+            assert np.all(np.diff(theta) <= 1e-12)
+
+
+# -- transduction -----------------------------------------------------------------
+
+
+class TestBridgeProperties:
+    @given(st.floats(min_value=-50e6, max_value=50e6))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_bridge_odd_response(self, sigma):
+        bridge = matched_bridge(DiffusedResistor(nominal_resistance=10e3))
+        v_plus = bridge.output_voltage(sigma)
+        v_minus = bridge.output_voltage(-sigma)
+        assert v_plus == pytest.approx(-v_minus, rel=1e-3, abs=1e-12)
+
+    @given(
+        st.floats(min_value=1e3, max_value=100e3),
+        st.floats(min_value=0.5, max_value=5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_bounded_by_supply(self, resistance, bias):
+        bridge = matched_bridge(
+            DiffusedResistor(nominal_resistance=resistance), bias_voltage=bias
+        )
+        for sigma in (-1e9, -1e6, 0.0, 1e6, 1e9):
+            assert abs(bridge.output_voltage(sigma)) <= bias
+
+
+# -- circuits ----------------------------------------------------------------------
+
+
+class TestCircuitProperties:
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_describing_function_below_small_signal_gain(self, amplitude):
+        limiter = LimitingAmplifier(small_signal_gain=5.0, output_level=1.0)
+        assert limiter.describing_function(amplitude) <= 5.0 + 1e-9
+
+    @given(st.floats(min_value=-0.999, max_value=0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_dac_residual_within_half_lsb(self, offset):
+        dac = OffsetCompensationDAC(full_scale=1.0, bits=10)
+        residual = dac.calibrate(offset)
+        assert abs(residual) <= dac.lsb / 2.0 + 1e-12
+
+    @given(
+        st.floats(min_value=100.0, max_value=40e3),
+        st.integers(min_value=100, max_value=5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_carrier_is_binary(self, f_chop, n):
+        carrier = square_carrier(f_chop, n, 100e3)
+        assert set(np.unique(carrier)).issubset({-1.0, 1.0})
+        assert len(carrier) == n
+
+    @given(st.floats(min_value=-10.0, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_limiter_output_strictly_bounded(self, x):
+        limiter = LimitingAmplifier(small_signal_gain=3.0, output_level=0.7)
+        assert abs(limiter.step(x)) <= 0.7

@@ -1,0 +1,179 @@
+"""Property-based tests (hypothesis) on the extension modules."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.biochem import (
+    TransportModel,
+    competitive_equilibrium,
+    get_analyte,
+    surface_concentration,
+    weakened_analyte,
+)
+from repro.environment import DualOscillatorReadout, bridge_offset_drift
+from repro.environment.temperature import bimorph_tip_drift
+from repro.fabrication import KOHEtch
+from repro.mechanics import CantileverGeometry
+from repro.units import um
+
+concentrations = st.floats(min_value=0.0, max_value=1e22)
+coverages = st.floats(min_value=0.0, max_value=1.0)
+temperatures = st.floats(min_value=-20.0, max_value=20.0)
+
+
+class TestTransportProperties:
+    @given(concentrations, coverages, st.floats(min_value=1e-6, max_value=1e-3))
+    @settings(max_examples=60, deadline=None)
+    def test_surface_concentration_bounded(self, c_bulk, theta, delta):
+        igg = get_analyte("igg")
+        transport = TransportModel(boundary_layer=delta)
+        c_s = surface_concentration(igg, transport, c_bulk, theta)
+        assert c_s >= 0.0
+        # never exceeds bulk plus the fully-desorbing-surface source term
+        ceiling = c_bulk + (
+            transport.site_density
+            * igg.k_off
+            * theta
+            / transport.mass_transfer_coefficient
+        )
+        assert c_s <= ceiling * (1.0 + 1e-9) + 1e-30
+
+    @given(concentrations, st.floats(min_value=1e-6, max_value=1e-3))
+    @settings(max_examples=60, deadline=None)
+    def test_depletion_only_at_zero_coverage(self, c_bulk, delta):
+        # with theta = 0 there is no desorption source: C_s <= C_bulk
+        igg = get_analyte("igg")
+        transport = TransportModel(boundary_layer=delta)
+        c_s = surface_concentration(igg, transport, c_bulk, 0.0)
+        assert c_s <= c_bulk * (1.0 + 1e-12)
+
+
+class TestCompetitionProperties:
+    @given(concentrations, concentrations)
+    @settings(max_examples=60, deadline=None)
+    def test_coverages_in_simplex(self, c1, c2):
+        igg = get_analyte("igg")
+        cross = weakened_analyte(igg, 50.0)
+        thetas = competitive_equilibrium([igg, cross], [c1, c2])
+        assert np.all(thetas >= 0.0)
+        assert float(np.sum(thetas)) <= 1.0 + 1e-12
+
+    @given(concentrations, concentrations)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_competitor_never_helps_target(self, c_target, c_comp):
+        assume(c_target > 0.0)
+        igg = get_analyte("igg")
+        cross = weakened_analyte(igg, 50.0)
+        alone = competitive_equilibrium([igg], [c_target])[0]
+        together = competitive_equilibrium([igg, cross], [c_target, c_comp])[0]
+        assert together <= alone * (1.0 + 1e-12)
+
+    @given(concentrations)
+    @settings(max_examples=40, deadline=None)
+    def test_stronger_binder_wins_at_equal_concentration(self, c):
+        assume(c > 0.0)
+        igg = get_analyte("igg")
+        cross = weakened_analyte(igg, 50.0)
+        thetas = competitive_equilibrium([igg, cross], [c, c])
+        assert thetas[0] >= thetas[1]
+
+
+class TestThermalProperties:
+    @given(temperatures)
+    @settings(max_examples=40, deadline=None)
+    def test_bare_beam_never_bends_thermally(self, delta_t):
+        g = CantileverGeometry.uniform(um(500), um(100), um(5))
+        assert bimorph_tip_drift(g, delta_t) == pytest.approx(0.0, abs=1e-15)
+
+    @given(temperatures, st.floats(min_value=0.0, max_value=0.05))
+    @settings(max_examples=60, deadline=None)
+    def test_bridge_drift_odd_in_temperature(self, delta_t, mismatch):
+        plus = bridge_offset_drift(3.3, 2.5e-3, mismatch, delta_t)
+        minus = bridge_offset_drift(3.3, 2.5e-3, mismatch, -delta_t)
+        assert plus == pytest.approx(-minus)
+
+    @given(
+        temperatures,
+        st.floats(min_value=-1e-4, max_value=1e-4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ratio_readout_separates_signal_from_temperature(
+        self, delta_t, mass_shift
+    ):
+        g = CantileverGeometry.uniform(um(500), um(100), um(5))
+        dual = DualOscillatorReadout.for_geometry(
+            g, 8900.0, tcf_mismatch=0.0
+        )
+        ratio = dual.ratio_readout(delta_t, mass_shift)
+        assert ratio - 1.0 == pytest.approx(mass_shift, abs=1e-9)
+
+
+class TestKOHGeometryProperties:
+    @given(
+        st.floats(min_value=10e-6, max_value=2e-3),
+        st.floats(min_value=100e-6, max_value=700e-6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_opening_membrane_round_trip(self, membrane, depth):
+        opening = KOHEtch.mask_opening_for_membrane(membrane, depth)
+        recovered = KOHEtch.membrane_for_mask_opening(opening, depth)
+        assert recovered == pytest.approx(membrane, rel=1e-9)
+
+    @given(
+        st.floats(min_value=10e-6, max_value=2e-3),
+        st.floats(min_value=100e-6, max_value=700e-6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_opening_always_larger_than_membrane(self, membrane, depth):
+        opening = KOHEtch.mask_opening_for_membrane(membrane, depth)
+        assert opening > membrane
+
+
+class TestDuffingProperties:
+    @given(
+        st.floats(min_value=1e-9, max_value=2e-6),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_backbone_always_hardens(self, amplitude, alpha):
+        from repro.mechanics.beam import spring_constant
+        from repro.mechanics.duffing import backbone_frequency, cubic_stiffness
+
+        g = CantileverGeometry.uniform(um(500), um(100), um(5))
+        k = spring_constant(g)
+        k3 = cubic_stiffness(g, alpha)
+        assert backbone_frequency(27.5e3, k, k3, amplitude) >= 27.5e3
+
+    @given(st.floats(min_value=1e-9, max_value=1e-6))
+    @settings(max_examples=40, deadline=None)
+    def test_slope_consistent_with_backbone(self, amplitude):
+        from repro.mechanics.beam import spring_constant
+        from repro.mechanics.duffing import (
+            amplitude_to_frequency_slope,
+            backbone_frequency,
+            cubic_stiffness,
+        )
+
+        g = CantileverGeometry.uniform(um(500), um(100), um(5))
+        k = spring_constant(g)
+        k3 = cubic_stiffness(g)
+        da = amplitude * 1e-4
+        fd = (
+            backbone_frequency(27.5e3, k, k3, amplitude + da)
+            - backbone_frequency(27.5e3, k, k3, amplitude - da)
+        ) / (2.0 * da)
+        slope = amplitude_to_frequency_slope(27.5e3, k, k3, amplitude)
+        assert slope == pytest.approx(fd, rel=1e-4)
+
+    @given(st.floats(min_value=10.0, max_value=10000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_critical_amplitude_shrinks_with_q(self, q):
+        from repro.mechanics.duffing import critical_amplitude
+
+        g = CantileverGeometry.uniform(um(500), um(100), um(5))
+        a_c = critical_amplitude(g, q)
+        a_c_higher_q = critical_amplitude(g, 2.0 * q)
+        assert a_c_higher_q < a_c
+        assert a_c > 0.0

@@ -1,0 +1,114 @@
+"""Bridge self-heating of the released beam."""
+
+import numpy as np
+import pytest
+
+from repro.environment import (
+    WATER_CONVECTION,
+    bridge_self_heating,
+    dry_temperature_rise,
+    thermal_time_constant,
+    wet_temperature_profile,
+    wet_temperature_rise,
+)
+from repro.errors import MaterialError
+from repro.mechanics import CantileverGeometry
+from repro.units import um
+
+
+class TestDryConduction:
+    def test_closed_form_average(self, geometry):
+        # P L / 3 kappa A
+        kappa_a = 150.0 * 5e-6 * 100e-6
+        expected = 1e-3 * 500e-6 / (3.0 * kappa_a)
+        assert dry_temperature_rise(geometry, 1e-3, "average") == pytest.approx(
+            expected
+        )
+
+    def test_tip_is_1p5x_average(self, geometry):
+        tip = dry_temperature_rise(geometry, 1e-3, "tip")
+        avg = dry_temperature_rise(geometry, 1e-3, "average")
+        assert tip / avg == pytest.approx(1.5)
+
+    def test_kelvin_scale_at_milliwatt(self, geometry):
+        # the headline: a 1 mW bridge heats the beam by KELVINS dry
+        assert dry_temperature_rise(geometry, 1e-3, "average") > 1.0
+
+    def test_linear_in_power(self, geometry):
+        assert dry_temperature_rise(geometry, 2e-3) == pytest.approx(
+            2.0 * dry_temperature_rise(geometry, 1e-3)
+        )
+
+    def test_longer_beam_hotter(self, geometry):
+        long = geometry.scaled(length_factor=2.0)
+        assert dry_temperature_rise(long, 1e-3) == pytest.approx(
+            2.0 * dry_temperature_rise(geometry, 1e-3)
+        )
+
+    def test_material_without_conductivity_rejected(self):
+        g = CantileverGeometry.uniform(um(500), um(100), um(5), "silicon_nitride")
+        with pytest.raises(MaterialError):
+            dry_temperature_rise(g, 1e-3)
+
+
+class TestWetFinCooling:
+    def test_clamp_is_cold(self, geometry):
+        profile = wet_temperature_profile(geometry, 1e-3)
+        assert profile[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_toward_tip(self, geometry):
+        profile = wet_temperature_profile(geometry, 1e-3)
+        assert np.all(np.diff(profile) >= -1e-12)
+
+    def test_liquid_cools_below_dry(self, geometry):
+        wet = wet_temperature_rise(geometry, 1e-3, position="average")
+        dry = dry_temperature_rise(geometry, 1e-3, "average")
+        assert wet < dry
+
+    def test_stronger_convection_cooler(self, geometry):
+        weak = wet_temperature_rise(geometry, 1e-3, convection=1000.0)
+        strong = wet_temperature_rise(geometry, 1e-3, convection=20000.0)
+        assert strong < 0.5 * weak
+
+    def test_no_convection_limit_approaches_dry(self, geometry):
+        nearly_dry = wet_temperature_rise(geometry, 1e-3, convection=1e-3)
+        dry = dry_temperature_rise(geometry, 1e-3, "average")
+        assert nearly_dry == pytest.approx(dry, rel=0.01)
+
+
+class TestTimeConstant:
+    def test_millisecond_scale(self, geometry):
+        tau = thermal_time_constant(geometry)
+        assert 0.1e-3 < tau < 10e-3
+
+    def test_scales_with_length_squared(self, geometry):
+        tau = thermal_time_constant(geometry)
+        long = geometry.scaled(length_factor=2.0)
+        assert thermal_time_constant(long) == pytest.approx(4.0 * tau, rel=1e-6)
+
+
+class TestBridgeReport:
+    def test_static_bridge_heats_resonant_does_not(self, geometry):
+        static = bridge_self_heating(
+            geometry, 1.09e-3, duty_cycle=0.25, on_beam_fraction=1.0
+        )
+        resonant = bridge_self_heating(
+            geometry, 0.30e-3, duty_cycle=1.0, on_beam_fraction=0.0
+        )
+        assert static.wet_rise_avg > 0.5
+        assert resonant.wet_rise_avg == 0.0
+
+    def test_duty_cycling_helps(self, geometry):
+        full = bridge_self_heating(geometry, 1e-3, duty_cycle=1.0)
+        quarter = bridge_self_heating(geometry, 1e-3, duty_cycle=0.25)
+        assert quarter.effective_wet_rise == pytest.approx(
+            full.effective_wet_rise / 4.0
+        )
+
+    def test_report_consistency(self, geometry):
+        report = bridge_self_heating(geometry, 1e-3)
+        assert report.wet_rise_tip > report.wet_rise_avg
+        assert report.dry_rise_avg > report.wet_rise_avg
+        assert report.time_constant == pytest.approx(
+            thermal_time_constant(geometry)
+        )

@@ -1,0 +1,118 @@
+"""Unit conversions and validators."""
+
+import math
+
+import pytest
+
+from repro.constants import AVOGADRO, DALTON
+from repro.errors import UnitError
+from repro import units
+
+
+class TestConversionsToSI:
+    def test_um(self):
+        assert units.um(500.0) == pytest.approx(500e-6)
+
+    def test_nm(self):
+        assert units.nm(1.0) == pytest.approx(1e-9)
+
+    def test_mm(self):
+        assert units.mm(2.0) == pytest.approx(2e-3)
+
+    def test_mn_per_m(self):
+        assert units.mN_per_m(5.0) == pytest.approx(5e-3)
+
+    def test_pg(self):
+        assert units.pg(1.0) == pytest.approx(1e-15)
+
+    def test_ng(self):
+        assert units.ng(1.0) == pytest.approx(1e-12)
+
+    def test_kda(self):
+        assert units.kda(150.0) == pytest.approx(150e3 * DALTON)
+
+    def test_nanomolar(self):
+        # 1 nM = 1e-9 mol/L = 1e-9 * NA * 1e3 molecules per m^3
+        assert units.nM(1.0) == pytest.approx(1e-9 * AVOGADRO * 1e3)
+
+    def test_molar(self):
+        assert units.molar(1.0) == pytest.approx(AVOGADRO * 1e3)
+
+    def test_molar_nanomolar_consistent(self):
+        assert units.molar(1e-9) == pytest.approx(units.nM(1.0))
+
+
+class TestConversionsFromSI:
+    def test_round_trip_um(self):
+        assert units.to_um(units.um(123.4)) == pytest.approx(123.4)
+
+    def test_round_trip_nm(self):
+        assert units.to_nm(units.nm(7.0)) == pytest.approx(7.0)
+
+    def test_round_trip_pg(self):
+        assert units.to_pg(units.pg(3.3)) == pytest.approx(3.3)
+
+    def test_round_trip_surface_stress(self):
+        assert units.to_mN_per_m(units.mN_per_m(5.5)) == pytest.approx(5.5)
+
+    def test_to_khz(self):
+        assert units.to_khz(27500.0) == pytest.approx(27.5)
+
+    def test_to_uv(self):
+        assert units.to_uV(3e-6) == pytest.approx(3.0)
+
+
+class TestValidators:
+    def test_require_positive_accepts(self):
+        assert units.require_positive("x", 2.5) == 2.5
+
+    def test_require_positive_rejects_zero(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", 0.0)
+
+    def test_require_positive_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", -1.0)
+
+    def test_require_positive_rejects_nan(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", float("nan"))
+
+    def test_require_positive_rejects_inf(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", math.inf)
+
+    def test_require_positive_rejects_bool(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", True)
+
+    def test_require_positive_rejects_string(self):
+        with pytest.raises(UnitError):
+            units.require_positive("x", "5")
+
+    def test_require_nonnegative_accepts_zero(self):
+        assert units.require_nonnegative("x", 0.0) == 0.0
+
+    def test_require_nonnegative_rejects_negative(self):
+        with pytest.raises(UnitError):
+            units.require_nonnegative("x", -1e-30)
+
+    def test_require_fraction_bounds(self):
+        assert units.require_fraction("x", 0.0) == 0.0
+        assert units.require_fraction("x", 1.0) == 1.0
+
+    def test_require_fraction_rejects_above_one(self):
+        with pytest.raises(UnitError):
+            units.require_fraction("x", 1.0001)
+
+    def test_require_in_range(self):
+        assert units.require_in_range("x", 5.0, 0.0, 10.0) == 5.0
+        with pytest.raises(UnitError):
+            units.require_in_range("x", 11.0, 0.0, 10.0)
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(UnitError, match="thickness"):
+            units.require_positive("thickness", -2.0)
+
+    def test_validators_return_float(self):
+        assert isinstance(units.require_positive("x", 3), float)

@@ -1,0 +1,67 @@
+"""PMOS-in-triode bridge element: the paper's MOS-vs-diffusion claims."""
+
+import pytest
+
+from repro.errors import CircuitError
+from repro.transduction import DiffusedResistor, MOSBridgeTransistor
+
+
+@pytest.fixture()
+def pmos():
+    return MOSBridgeTransistor()
+
+
+class TestTriodeModel:
+    def test_on_resistance_formula(self, pmos):
+        beta = pmos.mobility * pmos.oxide_capacitance * pmos.width / pmos.length
+        expected = 1.0 / (
+            beta * (pmos.gate_overdrive - pmos.drain_source_voltage / 2.0)
+        )
+        assert pmos.nominal_resistance == pytest.approx(expected)
+
+    def test_wider_device_lower_resistance(self):
+        narrow = MOSBridgeTransistor(width=5e-6)
+        wide = MOSBridgeTransistor(width=20e-6)
+        assert wide.nominal_resistance < narrow.nominal_resistance
+
+    def test_more_overdrive_lower_resistance(self):
+        weak = MOSBridgeTransistor(gate_overdrive=1.0)
+        strong = MOSBridgeTransistor(gate_overdrive=2.0)
+        assert strong.nominal_resistance < weak.nominal_resistance
+
+    def test_saturation_bias_rejected(self):
+        with pytest.raises(CircuitError):
+            MOSBridgeTransistor(gate_overdrive=0.2, drain_source_voltage=0.15)
+
+
+class TestPaperClaims:
+    def test_higher_resistivity_than_diffusion(self, pmos):
+        diffused = DiffusedResistor(nominal_resistance=10e3)
+        assert pmos.nominal_resistance > diffused.nominal_resistance
+
+    def test_lower_power_than_diffusion(self, pmos):
+        diffused = DiffusedResistor(nominal_resistance=10e3)
+        v = 3.3
+        assert pmos.power_dissipation(v) < diffused.power_dissipation(v)
+
+    def test_fewer_carriers_than_diffusion(self, pmos):
+        # the flip side: far fewer carriers -> far worse 1/f noise
+        diffused = DiffusedResistor(nominal_resistance=10e3)
+        assert pmos.carrier_count < diffused.carrier_count / 5.0
+
+
+class TestStressResponse:
+    def test_stress_modulates_resistance(self, pmos):
+        assert pmos.resistance(sigma_longitudinal=10e6) != pmos.nominal_resistance
+
+    def test_same_sign_as_diffused(self, pmos):
+        # both use p-carrier <110> piezo coefficients
+        diffused = DiffusedResistor(nominal_resistance=10e3)
+        s_mos = pmos.fractional_change(1e6)
+        s_dif = diffused.fractional_change(1e6)
+        assert s_mos * s_dif > 0.0
+
+    def test_linearity(self, pmos):
+        assert pmos.fractional_change(2e6) == pytest.approx(
+            2.0 * pmos.fractional_change(1e6)
+        )

@@ -1,0 +1,99 @@
+"""Johnson and Hooge noise models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN
+from repro.transduction.noise import (
+    corner_frequency,
+    element_noise_psd,
+    hooge_psd,
+    integrate_psd,
+    johnson_psd,
+    rms_in_band,
+)
+
+
+class TestJohnson:
+    def test_4ktr(self):
+        assert johnson_psd(10e3, 300.0) == pytest.approx(
+            4.0 * BOLTZMANN * 300.0 * 10e3
+        )
+
+    def test_standard_value(self):
+        # 1 kOhm at 300 K: ~4.07 nV/rtHz
+        en = math.sqrt(johnson_psd(1e3, 300.0))
+        assert en == pytest.approx(4.07e-9, rel=0.01)
+
+    def test_linear_in_temperature(self):
+        assert johnson_psd(1e3, 600.0) == pytest.approx(2.0 * johnson_psd(1e3, 300.0))
+
+
+class TestHooge:
+    def test_one_over_f_shape(self):
+        f = np.asarray([1.0, 10.0, 100.0])
+        psd = hooge_psd(1.0, 1e8, f, 2e-6)
+        assert psd[0] / psd[1] == pytest.approx(10.0)
+        assert psd[1] / psd[2] == pytest.approx(10.0)
+
+    def test_scales_with_bias_squared(self):
+        f = np.asarray([1.0])
+        p1 = hooge_psd(1.0, 1e8, f, 2e-6)[0]
+        p2 = hooge_psd(2.0, 1e8, f, 2e-6)[0]
+        assert p2 == pytest.approx(4.0 * p1)
+
+    def test_inverse_in_carriers(self):
+        f = np.asarray([1.0])
+        small = hooge_psd(1.0, 1e6, f, 2e-6)[0]
+        large = hooge_psd(1.0, 1e8, f, 2e-6)[0]
+        assert small == pytest.approx(100.0 * large)
+
+    def test_zero_bias_silent(self):
+        psd = hooge_psd(0.0, 1e8, np.asarray([1.0]), 2e-6)
+        assert psd[0] == 0.0
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            hooge_psd(1.0, 1e8, np.asarray([0.0]), 2e-6)
+
+
+class TestCombined:
+    def test_total_is_sum(self):
+        f = np.asarray([10.0])
+        total = element_noise_psd(10e3, 1.0, 1e8, f, 2e-6)[0]
+        assert total == pytest.approx(
+            johnson_psd(10e3) + hooge_psd(1.0, 1e8, f, 2e-6)[0]
+        )
+
+    def test_corner_definition(self):
+        fc = corner_frequency(10e3, 1.0, 1e8, 2e-6)
+        f = np.asarray([fc])
+        assert hooge_psd(1.0, 1e8, f, 2e-6)[0] == pytest.approx(
+            johnson_psd(10e3), rel=1e-9
+        )
+
+    def test_corner_zero_without_bias(self):
+        assert corner_frequency(10e3, 0.0, 1e8, 2e-6) == 0.0
+
+
+class TestIntegration:
+    def test_white_rms(self):
+        f = np.linspace(1.0, 101.0, 5001)
+        psd = np.full_like(f, 1e-12)
+        assert integrate_psd(psd, f) == pytest.approx(math.sqrt(1e-12 * 100.0), rel=1e-6)
+
+    def test_closed_form_band_rms(self):
+        value = rms_in_band(10e3, 1.0, 1e8, 2e-6, 1.0, 100.0)
+        thermal = johnson_psd(10e3) * 99.0
+        flicker = 2e-6 * 1.0 / 1e8 * math.log(100.0)
+        assert value == pytest.approx(math.sqrt(thermal + flicker))
+
+    def test_band_validation(self):
+        with pytest.raises(ValueError):
+            rms_in_band(1e3, 1.0, 1e8, 2e-6, 100.0, 1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_psd(np.ones(3), np.ones(4))

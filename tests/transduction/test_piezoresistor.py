@@ -1,0 +1,59 @@
+"""Diffused piezoresistor element."""
+
+import pytest
+
+from repro.materials.silicon import piezo_coefficients
+from repro.transduction import DiffusedResistor, sheet_resistance_to_resistance
+
+
+@pytest.fixture()
+def resistor():
+    return DiffusedResistor(nominal_resistance=10e3)
+
+
+class TestResistance:
+    def test_nominal_at_zero_stress(self, resistor):
+        assert resistor.resistance() == pytest.approx(10e3)
+
+    def test_longitudinal_stress_increases_p_type(self, resistor):
+        # <110> p-type: tensile longitudinal stress raises R
+        assert resistor.resistance(sigma_longitudinal=10e6) > 10e3
+
+    def test_transverse_stress_decreases(self, resistor):
+        assert resistor.resistance(sigma_transverse=10e6) < 10e3
+
+    def test_fractional_change_matches_coefficients(self, resistor):
+        c = piezo_coefficients("<110>", "p")
+        assert resistor.fractional_change(1e6, 2e6) == pytest.approx(
+            c.longitudinal * 1e6 + c.transverse * 2e6
+        )
+
+    def test_temperature_term(self, resistor):
+        assert resistor.fractional_change(0.0, 0.0, delta_temperature=10.0) == (
+            pytest.approx(resistor.tcr * 10.0)
+        )
+
+    def test_temperature_swamps_small_signals(self, resistor):
+        # 1 K of drift exceeds the signal of ~10 kPa stress: the reason
+        # for bridges and reference beams
+        thermal = abs(resistor.fractional_change(0.0, 0.0, 1.0))
+        signal = abs(resistor.fractional_change(1e4))
+        assert thermal > 100.0 * signal
+
+
+class TestCarriersAndPower:
+    def test_carrier_count(self, resistor):
+        expected = 1e24 * 40e-6 * 4e-6 * 0.6e-6
+        assert resistor.carrier_count == pytest.approx(expected)
+
+    def test_power(self, resistor):
+        assert resistor.power_dissipation(3.3) == pytest.approx(3.3**2 / 10e3)
+
+
+class TestSheetResistance:
+    def test_squares(self):
+        assert sheet_resistance_to_resistance(1.5e3, 10.0) == pytest.approx(15e3)
+
+    def test_invalid(self):
+        with pytest.raises(Exception):
+            sheet_resistance_to_resistance(-1.0, 10.0)

@@ -1,0 +1,124 @@
+"""Bridge placement: the paper's Section 3 design choice, quantified."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.transduction import (
+    CLAMPED_EDGE,
+    DISTRIBUTED,
+    BridgePlacement,
+    bridge_average_stress,
+    mode_curvature,
+    placement_signal_noise_gain,
+    resonant_surface_stress_profile,
+    static_surface_stress_profile,
+)
+
+
+class TestModeCurvature:
+    def test_maximum_at_clamp(self):
+        xi = np.linspace(0.0, 1.0, 500)
+        kappa = np.abs(mode_curvature(1, xi))
+        assert np.argmax(kappa) == 0
+
+    def test_zero_at_tip(self):
+        kappa = mode_curvature(1, np.asarray([1.0]))
+        assert kappa[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_out_of_range(self):
+        with pytest.raises(GeometryError):
+            mode_curvature(1, np.asarray([1.2]))
+
+
+class TestProfiles:
+    def test_static_profile_uniform(self, geometry):
+        xi = np.linspace(0.0, 1.0, 100)
+        profile = static_surface_stress_profile(geometry, 1e-3, xi)
+        assert np.all(profile == profile[0])
+
+    def test_resonant_profile_decays_along_beam(self, geometry):
+        xi = np.linspace(0.0, 1.0, 100)
+        profile = np.abs(
+            resonant_surface_stress_profile(geometry, 100e-9, xi)
+        )
+        assert profile[0] > 10.0 * profile[-2]
+
+    def test_resonant_profile_scales_with_amplitude(self, geometry):
+        xi = np.asarray([0.05])
+        p1 = resonant_surface_stress_profile(geometry, 100e-9, xi)[0]
+        p2 = resonant_surface_stress_profile(geometry, 200e-9, xi)[0]
+        assert p2 == pytest.approx(2.0 * p1)
+
+
+class TestPlacementChoice:
+    def test_paper_constants(self):
+        assert CLAMPED_EDGE.extent == pytest.approx(0.1)
+        assert DISTRIBUTED.extent == pytest.approx(0.9)
+
+    def test_invalid_placement(self):
+        with pytest.raises(GeometryError):
+            BridgePlacement(start=0.5, end=0.5)
+
+    def test_static_mode_placement_irrelevant_for_signal(self, geometry):
+        clamp = bridge_average_stress(
+            geometry, CLAMPED_EDGE, operation="static", surface_stress=1e-3
+        )
+        spread = bridge_average_stress(
+            geometry, DISTRIBUTED, operation="static", surface_stress=1e-3
+        )
+        assert spread == pytest.approx(clamp, rel=1e-9)
+
+    def test_resonant_mode_prefers_clamp(self, geometry):
+        clamp = abs(
+            bridge_average_stress(
+                geometry, CLAMPED_EDGE, operation="resonant", tip_amplitude=1e-7
+            )
+        )
+        spread = abs(
+            bridge_average_stress(
+                geometry, DISTRIBUTED, operation="resonant", tip_amplitude=1e-7
+            )
+        )
+        assert clamp > 2.0 * spread
+
+    def test_missing_arguments_raise(self, geometry):
+        with pytest.raises(GeometryError):
+            bridge_average_stress(geometry, CLAMPED_EDGE, operation="static")
+        with pytest.raises(GeometryError):
+            bridge_average_stress(geometry, CLAMPED_EDGE, operation="resonant")
+        with pytest.raises(GeometryError):
+            bridge_average_stress(
+                geometry, CLAMPED_EDGE, operation="magic", surface_stress=1.0
+            )
+
+
+class TestSignalNoiseTradeoff:
+    def test_static_distributed_wins_snr(self, geometry):
+        # signal flat, noise falls with area: bigger extent, better SNR
+        s_small, n_small = placement_signal_noise_gain(
+            geometry, CLAMPED_EDGE, operation="static", surface_stress=1e-3
+        )
+        s_big, n_big = placement_signal_noise_gain(
+            geometry, DISTRIBUTED, operation="static", surface_stress=1e-3
+        )
+        assert s_big / n_big > s_small / n_small
+
+    def test_resonant_same_area_clamp_wins(self, geometry):
+        # for a fixed bridge area (fixed noise), position is everything:
+        # the clamped edge captures several times the mid/tip signal
+        placements = [
+            CLAMPED_EDGE,
+            BridgePlacement(start=0.45, end=0.55),
+            BridgePlacement(start=0.85, end=0.95),
+        ]
+        signals = [
+            abs(
+                bridge_average_stress(
+                    geometry, p, operation="resonant", tip_amplitude=1e-7
+                )
+            )
+            for p in placements
+        ]
+        assert signals[0] > 2.5 * signals[1]
+        assert signals[1] > 5.0 * signals[2]

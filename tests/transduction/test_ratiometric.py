@@ -1,0 +1,74 @@
+"""Supply sensitivity and ratiometric readout of the bridge."""
+
+import numpy as np
+import pytest
+
+from repro.transduction import DiffusedResistor, matched_bridge
+
+
+@pytest.fixture()
+def bridge():
+    return matched_bridge(
+        DiffusedResistor(nominal_resistance=10e3),
+        bias_voltage=3.3,
+        mismatch_sigma=2e-3,
+        seed=8,
+    )
+
+
+class TestSupplySensitivity:
+    def test_output_linear_in_supply(self, bridge):
+        sigma = 1e6
+        nominal = bridge.output_with_supply(sigma, 3.3)
+        drooped = bridge.output_with_supply(sigma, 3.0)
+        assert drooped == pytest.approx(nominal * 3.0 / 3.3)
+
+    def test_nominal_supply_recovers_output(self, bridge):
+        sigma = 1e6
+        assert bridge.output_with_supply(sigma, 3.3) == pytest.approx(
+            bridge.output_voltage(sigma)
+        )
+
+    def test_ripple_modulates_offset_too(self, bridge):
+        # even at zero stress, supply ripple moves the output: a fake
+        # signal for any absolute-referenced readout
+        quiet = bridge.output_with_supply(0.0, 3.3)
+        rippled = bridge.output_with_supply(0.0, 3.33)
+        assert rippled != pytest.approx(quiet, abs=1e-9)
+
+    def test_one_percent_ripple_rivals_small_signals(self, bridge):
+        # 1% supply ripple on the ~1 mV mismatch offset produces a fake
+        # signal the size of a ~5 kPa stress event
+        fake = abs(
+            bridge.output_with_supply(0.0, 3.3 * 1.01)
+            - bridge.output_with_supply(0.0, 3.3)
+        )
+        small_signal = abs(
+            bridge.output_voltage(5e3) - bridge.output_voltage(0.0)
+        )
+        assert fake > 0.5 * small_signal
+
+
+class TestRatiometric:
+    def test_ratiometric_supply_independent(self, bridge):
+        sigma = 1e6
+        readings = [
+            bridge.ratiometric_reading(sigma, vb) for vb in (2.8, 3.3, 3.6)
+        ]
+        assert readings[0] == pytest.approx(readings[1], rel=1e-12)
+        assert readings[1] == pytest.approx(readings[2], rel=1e-12)
+
+    def test_ratiometric_still_measures_stress(self, bridge):
+        low = bridge.ratiometric_reading(0.0, 3.3)
+        high = bridge.ratiometric_reading(1e6, 3.3)
+        assert high != pytest.approx(low, abs=1e-12)
+
+    def test_equals_fractional_unbalance(self, bridge):
+        sigma = 5e5
+        assert bridge.ratiometric_reading(sigma, 3.1) == pytest.approx(
+            bridge.output_voltage(sigma) / 3.3
+        )
+
+    def test_invalid_supply(self, bridge):
+        with pytest.raises(Exception):
+            bridge.output_with_supply(0.0, -1.0)

@@ -1,0 +1,119 @@
+"""Wheatstone bridge: balance, sensitivity, mismatch, noise, power."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.transduction import DiffusedResistor, WheatstoneBridge, matched_bridge
+from repro.transduction.noise import HOOGE_ALPHA_DIFFUSED, HOOGE_ALPHA_MOS, johnson_psd
+
+
+@pytest.fixture()
+def element():
+    return DiffusedResistor(nominal_resistance=10e3)
+
+
+@pytest.fixture()
+def bridge(element):
+    return matched_bridge(element, bias_voltage=3.3)
+
+
+class TestBalance:
+    def test_balanced_bridge_zero_output(self, bridge):
+        assert bridge.output_voltage(0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_common_mode_half_supply(self, bridge):
+        assert bridge.output(0.0).common_mode == pytest.approx(3.3 / 2.0)
+
+    def test_full_bridge_output_formula(self, bridge, element):
+        # small-signal full bridge: V_out = V_b * dR/R
+        sigma = 1e6
+        dr = element.fractional_change(sigma)
+        assert bridge.output_voltage(sigma) == pytest.approx(
+            3.3 * dr, rel=1e-3
+        )
+
+    def test_sensitivity_positive_default(self, bridge):
+        assert bridge.sensitivity() > 0.0
+
+    def test_half_bridge_half_sensitivity(self, element):
+        full = matched_bridge(element)
+        half = WheatstoneBridge(
+            elements=(element,) * 4, active=(0, 1, 0, -1), bias_voltage=3.3
+        )
+        assert half.sensitivity() == pytest.approx(full.sensitivity() / 2.0, rel=1e-3)
+
+    def test_sensitivity_proportional_to_bias(self, element):
+        b1 = matched_bridge(element, bias_voltage=1.0)
+        b3 = matched_bridge(element, bias_voltage=3.0)
+        assert b3.sensitivity() == pytest.approx(3.0 * b1.sensitivity(), rel=1e-6)
+
+
+class TestMismatch:
+    def test_mismatch_produces_offset(self, element):
+        b = matched_bridge(element, mismatch_sigma=2e-3, seed=7)
+        assert b.offset_voltage() != 0.0
+        # mV scale for 0.2 % mismatch on 3.3 V
+        assert abs(b.offset_voltage()) < 20e-3
+
+    def test_offset_reproducible_with_seed(self, element):
+        b1 = matched_bridge(element, mismatch_sigma=2e-3, seed=11)
+        b2 = matched_bridge(element, mismatch_sigma=2e-3, seed=11)
+        assert b1.offset_voltage() == pytest.approx(b2.offset_voltage())
+
+    def test_explicit_mismatch(self, element):
+        b = WheatstoneBridge(
+            elements=(element,) * 4, mismatch=(1e-3, 0.0, 0.0, 0.0)
+        )
+        # R1 high by 0.1% -> left mid-node lower -> negative output
+        assert b.offset_voltage() < 0.0
+
+
+class TestElectrical:
+    def test_output_resistance_equals_element(self, bridge):
+        assert bridge.output_resistance() == pytest.approx(10e3)
+
+    def test_supply_current(self, bridge):
+        assert bridge.supply_current() == pytest.approx(2.0 * 3.3 / 20e3)
+
+    def test_power(self, bridge):
+        assert bridge.power_dissipation() == pytest.approx(3.3 * bridge.supply_current())
+
+    def test_construction_guards(self, element):
+        with pytest.raises(CircuitError):
+            WheatstoneBridge(elements=(element,) * 3)
+        with pytest.raises(CircuitError):
+            WheatstoneBridge(elements=(element,) * 4, active=(2, 0, 0, 0))
+        with pytest.raises(CircuitError):
+            WheatstoneBridge(elements=(element,) * 4, mismatch=(0.0,))
+
+
+class TestNoise:
+    def test_white_floor_is_johnson(self, bridge):
+        f = np.asarray([1e6])  # far above any 1/f corner
+        psd = bridge.noise_psd(f)[0]
+        assert psd == pytest.approx(johnson_psd(10e3), rel=0.05)
+
+    def test_low_frequency_dominated_by_flicker(self, bridge):
+        psd_low = bridge.noise_psd(np.asarray([0.1]))[0]
+        psd_high = bridge.noise_psd(np.asarray([1e6]))[0]
+        assert psd_low > 2.0 * psd_high
+
+    def test_corner_frequency_positive(self, bridge):
+        assert bridge.corner_frequency() > 0.0
+
+    def test_mos_corner_far_above_diffused(self, element):
+        from repro.transduction import MOSBridgeTransistor
+
+        diffused = matched_bridge(element, hooge_alpha=HOOGE_ALPHA_DIFFUSED)
+        mos = matched_bridge(MOSBridgeTransistor(), hooge_alpha=HOOGE_ALPHA_MOS)
+        assert mos.corner_frequency() > 50.0 * diffused.corner_frequency()
+
+    def test_rms_grows_with_band(self, bridge):
+        narrow = bridge.noise_rms(1.0, 10.0)
+        wide = bridge.noise_rms(1.0, 1e4)
+        assert wide > narrow
+
+    def test_rms_band_validation(self, bridge):
+        with pytest.raises(CircuitError):
+            bridge.noise_rms(10.0, 1.0)
