@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples docs all clean
+.PHONY: install test bench bench-smoke examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,20 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast parallel-path check: the three engine-ported benches on tiny
+# grids, 2 workers, cache on (cold then warm — the warm runs must report
+# all hits).  The same coverage runs inside tier-1 via tests/engine/.
+bench-smoke:
+	rm -rf .repro_cache_smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ext_process_variation.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ext_resonance_curve.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_abl_placement.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	@echo "-- warm re-run (expect cache hits, no stores) --"
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ext_process_variation.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ext_resonance_curve.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_abl_placement.py --smoke --workers 2 --cache-dir .repro_cache_smoke
+	rm -rf .repro_cache_smoke
 
 examples:
 	@for ex in examples/*.py; do \
@@ -23,7 +37,7 @@ docs:
 	$(PYTHON) tools/gen_api_docs.py > docs/API.md
 	@echo "docs/API.md regenerated"
 
-all: test bench examples
+all: test bench-smoke bench examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

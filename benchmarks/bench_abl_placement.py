@@ -7,6 +7,11 @@ larger area".  This bench sweeps the placement for both operating modes
 and reports the signal each position collects, plus the area-dependent
 1/f-noise factor for the static mode.
 
+Ported to the batch engine: both tables are built with
+:func:`repro.analysis.run_parallel` (grid fan-out over the executor,
+optional result cache) and are element-for-element identical to the
+serial :func:`repro.analysis.sweep`.
+
 Shape targets:
 * resonant mode: clamped-edge placement collects several times the
   signal of mid-beam or tip placements of equal area;
@@ -16,44 +21,101 @@ Shape targets:
 
 from __future__ import annotations
 
+import functools
 import math
 
 import numpy as np
 import pytest
 
-from repro.analysis import sweep
+from repro.analysis import run_parallel, sweep
+from repro.engine import ResultCache, StageTimer
 from repro.transduction import BridgePlacement, bridge_average_stress
 
+RESONANT_STARTS = [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9]
+STATIC_EXTENTS = [0.1, 0.3, 0.5, 0.7, 0.9]
 
-def build_resonant_placement_table(geometry):
-    def evaluate(start):
-        placement = BridgePlacement(start=start, end=start + 0.1)
-        signal = abs(
-            bridge_average_stress(
-                geometry, placement, operation="resonant", tip_amplitude=100e-9
-            )
+
+def resonant_placement_point(start, geometry) -> dict[str, float]:
+    """Equal-area bridge at ``start`` in resonant mode (picklable task)."""
+    placement = BridgePlacement(start=start, end=start + 0.1)
+    signal = abs(
+        bridge_average_stress(
+            geometry, placement, operation="resonant", tip_amplitude=100e-9
         )
-        return {"signal_kPa": signal / 1e3}
+    )
+    return {"signal_kPa": signal / 1e3}
 
-    return sweep("start_xi", [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9], evaluate)
 
-
-def build_static_extent_table(geometry):
-    def evaluate(extent):
-        placement = BridgePlacement(start=0.0, end=extent)
-        signal = abs(
-            bridge_average_stress(
-                geometry, placement, operation="static", surface_stress=5e-3
-            )
+def static_extent_point(extent, geometry) -> dict[str, float]:
+    """Clamp-anchored bridge of ``extent`` in static mode (picklable task)."""
+    placement = BridgePlacement(start=0.0, end=extent)
+    signal = abs(
+        bridge_average_stress(
+            geometry, placement, operation="static", surface_stress=5e-3
         )
-        noise_factor = 1.0 / math.sqrt(extent / 0.1)
-        return {
-            "signal_kPa": signal / 1e3,
-            "rel_1f_noise": noise_factor,
-            "rel_snr": (signal / 1e3) / noise_factor,
-        }
+    )
+    noise_factor = 1.0 / math.sqrt(extent / 0.1)
+    return {
+        "signal_kPa": signal / 1e3,
+        "rel_1f_noise": noise_factor,
+        "rel_snr": (signal / 1e3) / noise_factor,
+    }
 
-    return sweep("extent_xi", [0.1, 0.3, 0.5, 0.7, 0.9], evaluate)
+
+def build_resonant_placement_table(
+    geometry, workers: int = 1, cache: ResultCache | None = None
+):
+    return run_parallel(
+        "start_xi",
+        RESONANT_STARTS,
+        functools.partial(resonant_placement_point, geometry=geometry),
+        workers=workers,
+        cache=cache,
+    )
+
+
+def build_static_extent_table(
+    geometry, workers: int = 1, cache: ResultCache | None = None
+):
+    return run_parallel(
+        "extent_xi",
+        STATIC_EXTENTS,
+        functools.partial(static_extent_point, geometry=geometry),
+        workers=workers,
+        cache=cache,
+    )
+
+
+def run_bench(
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    quiet: bool = False,
+) -> dict[str, float]:
+    """Both placement tables through the engine; returns headline numbers."""
+    from repro.core.presets import reference_cantilever
+
+    geometry = reference_cantilever().geometry
+    timer = StageTimer()
+    with timer.stage(f"placement tables (workers={workers})"):
+        resonant = build_resonant_placement_table(
+            geometry, workers=workers, cache=cache
+        )
+        static = build_static_extent_table(geometry, workers=workers, cache=cache)
+    res_signal = resonant.column("signal_kPa")
+    headline = {
+        "resonant_clamp_kPa": float(res_signal[0]),
+        "resonant_tip_kPa": float(res_signal[-1]),
+        "clamp_to_tip_ratio": float(res_signal[0] / res_signal[-1]),
+        "static_signal_kPa": float(static.column("signal_kPa")[0]),
+        "static_best_rel_snr": float(static.column("rel_snr")[-1]),
+    }
+    if not quiet:
+        print("\nABL1a: resonant mode — equal-area bridge at varying position")
+        print(resonant.format_table())
+        print("\nABL1b: static mode — bridge extent from the clamp (5 mN/m)")
+        print(static.format_table())
+        print(timer.format_report())
+    return headline
 
 
 def test_abl_placement(benchmark, reference_device):
@@ -86,9 +148,35 @@ def test_abl_placement(benchmark, reference_device):
     assert np.all(np.diff(snr) > 0.0)
 
 
-if __name__ == "__main__":
-    from repro.core.presets import reference_cantilever
+def test_abl_placement_parallel_matches_serial(reference_device):
+    """run_parallel == sweep, element-for-element, on the real tables."""
+    geometry = reference_device.geometry
+    serial = sweep(
+        "start_xi",
+        RESONANT_STARTS,
+        functools.partial(resonant_placement_point, geometry=geometry),
+    )
+    parallel = build_resonant_placement_table(geometry, workers=2)
+    assert parallel.parameters == serial.parameters
+    assert list(parallel.columns) == list(serial.columns)
+    for name in serial.columns:
+        np.testing.assert_array_equal(parallel.column(name), serial.column(name))
 
-    g = reference_cantilever().geometry
-    print(build_resonant_placement_table(g).format_table())
-    print(build_static_extent_table(g).format_table())
+
+def main(argv=None) -> int:
+    from _engine_cli import cache_from_args, engine_argument_parser, report_engine_stats
+
+    parser = engine_argument_parser(
+        "ABL1 bridge-placement tables through the batch engine"
+    )
+    args = parser.parse_args(argv)
+    cache = cache_from_args(args)
+    timer = StageTimer()
+    with timer.stage("bench"):
+        run_bench(workers=args.workers, cache=cache)
+    report_engine_stats(timer, cache)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

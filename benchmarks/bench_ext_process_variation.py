@@ -8,6 +8,12 @@ frequencies spread by percent (so every die needs a frequency search at
 bring-up — the open-loop sweep of EXT4), while the closed loop's
 auto-gain absorbs the same spread without reconfiguration.
 
+Ported to the batch engine: the three Monte-Carlo cases fan out over a
+:class:`repro.engine.BatchExecutor` and memoize through a
+:class:`repro.engine.ResultCache` (``--workers``/``--no-cache``), and
+the parallel results are bit-identical to the serial ones because every
+case carries its own seed.
+
 Shape targets:
 * frequency spread ~3% (sigma), matching the first-order analytic law
   ``sigma_f/f = sqrt(sigma_t^2 + (2 sigma_L)^2)``;
@@ -18,9 +24,12 @@ Shape targets:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 import pytest
 
+from repro.engine import BatchExecutor, ResultCache, StageTimer
 from repro.fabrication import (
     ProcessCorners,
     expected_frequency_spread,
@@ -28,24 +37,87 @@ from repro.fabrication import (
 )
 from repro.units import um
 
+#: The three wafer-spread cases, in reporting order.
+CASES: dict[str, ProcessCorners] = {
+    "nominal": ProcessCorners(),
+    "thickness_only": ProcessCorners(
+        nwell_depth_sigma=0.03, length_sigma=0.0, width_sigma=0.0
+    ),
+    "lithography_only": ProcessCorners(
+        nwell_depth_sigma=0.0, length_sigma=0.002, width_sigma=0.01
+    ),
+}
 
-def run_monte_carlo():
-    nominal = monte_carlo_devices(um(500), um(100), samples=80, seed=31)
-    thickness_only = monte_carlo_devices(
-        um(500),
-        um(100),
-        ProcessCorners(nwell_depth_sigma=0.03, length_sigma=0.0, width_sigma=0.0),
-        samples=80,
-        seed=31,
+
+def monte_carlo_case(case: str, samples: int = 80):
+    """One Monte-Carlo case of the reference beam (module-level: picklable)."""
+    return monte_carlo_devices(
+        um(500), um(100), CASES[case], samples=samples, seed=31
     )
-    litho_only = monte_carlo_devices(
-        um(500),
-        um(100),
-        ProcessCorners(nwell_depth_sigma=0.0, length_sigma=0.002, width_sigma=0.01),
-        samples=80,
-        seed=31,
+
+
+def run_monte_carlo(
+    workers: int = 1,
+    samples: int = 80,
+    cache: ResultCache | None = None,
+    timer: StageTimer | None = None,
+):
+    """All three cases through the engine; returns them in CASES order."""
+    task = functools.partial(monte_carlo_case, samples=samples)
+    timer = timer if timer is not None else StageTimer()
+    with timer.stage(f"monte-carlo x{len(CASES)} (workers={workers})"):
+        if cache is not None:
+            keys = [cache.key_for(task, case) for case in CASES]
+            cached = [cache.get(k) for k in keys]
+            pending = [c for c, v in zip(CASES, cached) if v is cache.MISS]
+            computed = iter(
+                BatchExecutor(workers=workers).map(task, pending).values()
+            )
+            results = []
+            for case, key, value in zip(CASES, keys, cached):
+                if value is cache.MISS:
+                    value = next(computed)
+                    cache.put(key, value)
+                results.append(value)
+        else:
+            results = BatchExecutor(workers=workers).map(task, CASES).values()
+    return tuple(results)
+
+
+def run_bench(
+    workers: int = 1,
+    samples: int = 80,
+    cache: ResultCache | None = None,
+    quiet: bool = False,
+) -> dict[str, float]:
+    """Full bench through the engine; returns the headline numbers."""
+    timer = StageTimer()
+    nominal, thickness_only, litho_only = run_monte_carlo(
+        workers=workers, samples=samples, cache=cache, timer=timer
     )
-    return nominal, thickness_only, litho_only
+    summary = nominal.summary()
+    headline = {
+        "f_mean_Hz": summary["f_mean_Hz"],
+        "f_sigma_Hz": summary["f_sigma_Hz"],
+        "f_spread_pct": summary["f_spread_ppm"] / 1e4,
+        "k_mean_N_per_m": summary["k_mean_N_per_m"],
+        "resp_sigma_pct": summary["resp_sigma_frac"] * 100,
+        "thickness_spread_pct": thickness_only.frequency_spread_ppm() / 1e4,
+        "litho_spread_pct": litho_only.frequency_spread_ppm() / 1e4,
+        "analytic_pct": expected_frequency_spread() * 100,
+    }
+    if not quiet:
+        print(f"\nEXT3: wafer-level device spread ({samples}-sample Monte Carlo)")
+        print(f"  f mean / sigma      : {headline['f_mean_Hz'] / 1e3:8.2f} kHz / "
+              f"{headline['f_sigma_Hz']:6.0f} Hz "
+              f"({headline['f_spread_pct']:.2f} %)")
+        print(f"  spring constant     : {headline['k_mean_N_per_m']:8.2f} N/m")
+        print(f"  static responsivity : {headline['resp_sigma_pct']:.1f} % sigma")
+        print(f"  thickness-only spread: {headline['thickness_spread_pct']:.2f} %")
+        print(f"  lithography-only     : {headline['litho_spread_pct']:.2f} %")
+        print(f"  analytic first order : {headline['analytic_pct']:.2f} %")
+        print(timer.format_report())
+    return headline
 
 
 def test_ext_process_variation(benchmark):
@@ -73,6 +145,20 @@ def test_ext_process_variation(benchmark):
         thickness_only.frequency_spread_ppm()
         > 3.0 * litho_only.frequency_spread_ppm()
     )
+
+
+def test_ext_process_variation_parallel_matches_serial(benchmark):
+    """The engine contract on real physics: workers>=2 is bit-identical."""
+    serial = run_monte_carlo(workers=1)
+    parallel = benchmark.pedantic(
+        run_monte_carlo, kwargs={"workers": 2}, rounds=1, iterations=1
+    )
+    for s, p in zip(serial, parallel):
+        np.testing.assert_array_equal(s.frequencies, p.frequencies)
+        np.testing.assert_array_equal(s.spring_constants, p.spring_constants)
+        np.testing.assert_array_equal(
+            s.static_responsivities, p.static_responsivities
+        )
 
 
 def startup_across_corners():
@@ -106,6 +192,21 @@ def test_ext_corners_all_start(benchmark):
         assert f_meas == pytest.approx(f_true, rel=0.02)
 
 
+def main(argv=None) -> int:
+    from _engine_cli import cache_from_args, engine_argument_parser, report_engine_stats
+
+    parser = engine_argument_parser(
+        "EXT3 Monte-Carlo process variation through the batch engine"
+    )
+    args = parser.parse_args(argv)
+    cache = cache_from_args(args)
+    timer = StageTimer()
+    samples = 12 if args.smoke else 80
+    with timer.stage("bench"):
+        run_bench(workers=args.workers, samples=samples, cache=cache)
+    report_engine_stats(timer, cache)
+    return 0
+
+
 if __name__ == "__main__":
-    nominal, _, _ = run_monte_carlo()
-    print(nominal.summary())
+    raise SystemExit(main())

@@ -6,6 +6,11 @@ with tones across the resonance, fits the Lorentzian, and
 cross-validates the extracted (f0, Q) against the Sader prediction and
 the closed-loop lock — three independent paths to the same numbers.
 
+Ported to the batch engine: each liquid's characterization is an
+independent grid point, fanned out over a
+:class:`repro.engine.BatchExecutor` and memoized through a
+:class:`repro.engine.ResultCache` (``--workers``/``--no-cache``).
+
 Shape targets:
 * swept-sine fit recovers the Sader-model f0 within 1% and Q within
   15% in water;
@@ -15,16 +20,19 @@ Shape targets:
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 import pytest
 
 from repro.analysis import measure_resonance
+from repro.engine import BatchExecutor, ResultCache, StageTimer
 from repro.fluidics import immersed_mode
 from repro.materials import get_liquid
 from repro.mechanics import ModalResonator, analyze_modes
 
 
-def characterize(device, liquid_name):
+def characterize(device, liquid_name, points: int = 31):
     geometry = device.geometry
     liquid = get_liquid(liquid_name)
     fl = immersed_mode(geometry, liquid)
@@ -36,8 +44,81 @@ def characterize(device, liquid_name):
         timestep=1.0 / (fl.frequency * 40),
     )
     span = 0.5 if fl.quality_factor < 20 else 0.05
-    fit = measure_resonance(resonator, span_factor=span, points=31)
+    fit = measure_resonance(resonator, span_factor=span, points=points)
     return fl, fit
+
+
+def characterize_reference(liquid_name: str, points: int = 31):
+    """Characterize the reference beam in one liquid (picklable task).
+
+    Rebuilds the (deterministic) reference cantilever inside the worker
+    so the task ships only its parameter, not a device object.
+    """
+    from repro.core.presets import reference_cantilever
+
+    return characterize(reference_cantilever(), liquid_name, points=points)
+
+
+def characterize_grid(
+    liquids,
+    workers: int = 1,
+    points: int = 31,
+    cache: ResultCache | None = None,
+) -> dict[str, tuple]:
+    """(fl, fit) per liquid through the engine, keyed by liquid name."""
+    task = functools.partial(characterize_reference, points=points)
+    liquids = list(liquids)
+    results: dict[str, tuple] = {}
+    pending = list(liquids)
+    keys = {}
+    if cache is not None:
+        keys = {name: cache.key_for(task, name) for name in liquids}
+        pending = []
+        for name in liquids:
+            value = cache.get(keys[name])
+            if value is cache.MISS:
+                pending.append(name)
+            else:
+                results[name] = value
+    if pending:
+        computed = BatchExecutor(workers=workers).map(task, pending).values()
+        for name, value in zip(pending, computed):
+            results[name] = value
+            if cache is not None:
+                cache.put(keys[name], value)
+    return {name: results[name] for name in liquids}
+
+
+def run_bench(
+    workers: int = 1,
+    points: int = 31,
+    cache: ResultCache | None = None,
+    quiet: bool = False,
+) -> dict[str, float]:
+    """Air + water bring-up through the engine; returns headline numbers."""
+    timer = StageTimer()
+    with timer.stage(f"characterize x2 (workers={workers})"):
+        grid = characterize_grid(
+            ["air", "water"], workers=workers, points=points, cache=cache
+        )
+    (air_fl, air_fit) = grid["air"]
+    (water_fl, water_fit) = grid["water"]
+    headline = {
+        "water_f0_Hz": water_fit.frequency,
+        "water_Q": water_fit.quality_factor,
+        "water_model_f0_Hz": water_fl.frequency,
+        "air_f0_Hz": air_fit.frequency,
+        "air_Q": air_fit.quality_factor,
+    }
+    if not quiet:
+        print("\nEXT4: swept-sine bring-up through the engine")
+        print(f"  water: f0 = {headline['water_f0_Hz']:8.1f} Hz "
+              f"(model {headline['water_model_f0_Hz']:8.1f} Hz), "
+              f"Q = {headline['water_Q']:6.2f}")
+        print(f"  air  : f0 = {headline['air_f0_Hz'] / 1e3:6.2f} kHz, "
+              f"Q = {headline['air_Q']:8.1f}")
+        print(timer.format_report())
+    return headline
 
 
 def test_ext_resonance_curve_water(benchmark, reference_device):
@@ -54,12 +135,10 @@ def test_ext_resonance_curve_water(benchmark, reference_device):
     assert fit.quality_factor == pytest.approx(fl.quality_factor, rel=0.15)
 
 
-def test_ext_resonance_curve_air_vs_water(benchmark, reference_device):
+def test_ext_resonance_curve_air_vs_water(benchmark):
     def both():
-        return (
-            characterize(reference_device, "air"),
-            characterize(reference_device, "water"),
-        )
+        grid = characterize_grid(["air", "water"], workers=2)
+        return grid["air"], grid["water"]
 
     (air_fl, air_fit), (water_fl, water_fit) = benchmark.pedantic(
         both, rounds=1, iterations=1
@@ -74,7 +153,31 @@ def test_ext_resonance_curve_air_vs_water(benchmark, reference_device):
     assert air_fit.quality_factor > 20.0 * water_fit.quality_factor
 
 
-if __name__ == "__main__":
-    from repro.core.presets import reference_cantilever
+def test_ext_resonance_grid_parallel_matches_serial():
+    """Engine contract: the fanned-out grid equals the serial one."""
+    serial = characterize_grid(["air", "water"], workers=1)
+    parallel = characterize_grid(["air", "water"], workers=2)
+    for name in ("air", "water"):
+        s_fit, p_fit = serial[name][1], parallel[name][1]
+        assert p_fit.frequency == s_fit.frequency
+        assert p_fit.quality_factor == s_fit.quality_factor
 
-    print(characterize(reference_cantilever(), "water"))
+
+def main(argv=None) -> int:
+    from _engine_cli import cache_from_args, engine_argument_parser, report_engine_stats
+
+    parser = engine_argument_parser(
+        "EXT4 swept-sine bring-up through the batch engine"
+    )
+    args = parser.parse_args(argv)
+    cache = cache_from_args(args)
+    timer = StageTimer()
+    with timer.stage("bench"):
+        run_bench(workers=args.workers, points=15 if args.smoke else 31,
+                  cache=cache)
+    report_engine_stats(timer, cache)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

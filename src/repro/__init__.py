@@ -17,6 +17,7 @@ The package mirrors the chip's architecture:
 * :mod:`repro.fabrication` — 0.8 um CMOS stack, post-CMOS etch, DRC
 * :mod:`repro.feedback` — the Fig. 5 closed oscillation loop
 * :mod:`repro.analysis` — frequency estimation, Allan deviation, LOD
+* :mod:`repro.engine` — parallel batch executor, result cache, timing
 * :mod:`repro.core` — the assembled static/resonant sensors and chip
 
 Quickstart::
@@ -42,6 +43,7 @@ from . import (
     circuits,
     constants,
     core,
+    engine,
     environment,
     errors,
     fabrication,
@@ -84,6 +86,7 @@ __all__ = [
     "circuits",
     "constants",
     "core",
+    "engine",
     "environment",
     "errors",
     "fabricate_cantilever",

@@ -50,7 +50,7 @@ from .freqest import (
     zero_crossing_frequency,
 )
 from .psd import band_power, band_rms, psd_slope, welch_psd
-from .sweep import SweepResult, geometric_space, sweep
+from .sweep import SweepResult, geometric_space, run_parallel, sweep
 
 __all__ = [
     "AllanCurve",
@@ -91,6 +91,7 @@ __all__ = [
     "limit_of_detection",
     "psd_slope",
     "ring_down_quality_factor",
+    "run_parallel",
     "snr_db",
     "sweep",
     "welch_psd",

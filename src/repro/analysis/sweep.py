@@ -4,6 +4,13 @@ Thin, dependency-free helpers that keep every bench's sweep loop
 identical: run a function over a parameter grid, collect named result
 columns, and render an aligned text table (the "same rows the paper
 reports" output format required of the benchmark harness).
+
+Two execution paths share one result format: :func:`sweep` is the
+serial loop, :func:`run_parallel` fans the same grid out through
+:class:`repro.engine.BatchExecutor` (optionally memoized through a
+:class:`repro.engine.ResultCache`) and must return element-for-element
+identical results — that determinism is the engine's contract and is
+pinned by ``tests/engine``.
 """
 
 from __future__ import annotations
@@ -86,6 +93,90 @@ def sweep(
         for key in expected:
             result.columns[key].append(outcome[key])
     return result
+
+
+def _collect(parameters: list, outcomes: list[Mapping], parameter_name: str) -> SweepResult:
+    """Assemble ordered (parameter, mapping) pairs into a SweepResult.
+
+    Applies the same same-keys-everywhere check as the serial loop so a
+    half-filled table never silently prints.
+    """
+    result = SweepResult(parameter_name=parameter_name, parameters=[])
+    expected: list[str] | None = None
+    for value, outcome in zip(parameters, outcomes):
+        if expected is None:
+            expected = list(outcome)
+            for key in expected:
+                result.columns[key] = []
+        if list(outcome) != expected:
+            raise KeyError(
+                f"sweep result keys changed: expected {expected}, "
+                f"got {list(outcome)}"
+            )
+        result.parameters.append(value)
+        for key in expected:
+            result.columns[key].append(outcome[key])
+    return result
+
+
+def run_parallel(
+    parameter_name: str,
+    values: Iterable,
+    evaluate: Callable[[object], Mapping[str, object]],
+    *,
+    workers: int | None = None,
+    backend: str = "process",
+    cache=None,
+    cache_extra=None,
+) -> SweepResult:
+    """Parallel :func:`sweep`: same grid, same result, fanned out.
+
+    Runs ``evaluate`` over ``values`` through a
+    :class:`repro.engine.BatchExecutor` and returns a
+    :class:`SweepResult` element-for-element identical to the serial
+    :func:`sweep` (results are collected in grid order; any task error
+    is re-raised exactly as the serial loop would have raised it).
+
+    Parameters
+    ----------
+    workers / backend:
+        Executor configuration; ``workers<=1`` degrades to the serial
+        path with zero pool overhead.  The ``process`` backend needs a
+        picklable ``evaluate`` (module-level function or a
+        ``functools.partial`` of one).
+    cache:
+        Optional :class:`repro.engine.ResultCache`.  Hits skip the
+        executor entirely; only the missing grid points are dispatched,
+        and their results are stored back.  Keys include ``evaluate``'s
+        qualified name and ``cache_extra`` (pass config objects the
+        function closes over, so context changes invalidate correctly).
+    """
+    from ..engine import BatchExecutor
+
+    grid = list(values)
+    outcomes: list = [None] * len(grid)
+
+    pending_indices = list(range(len(grid)))
+    if cache is not None:
+        keys = [cache.key_for(evaluate, v, cache_extra) for v in grid]
+        pending_indices = []
+        for i, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is cache.MISS:
+                pending_indices.append(i)
+            else:
+                outcomes[i] = hit
+
+    if pending_indices:
+        executor = BatchExecutor(workers=workers, backend=backend)
+        batch = executor.map(evaluate, [grid[i] for i in pending_indices])
+        for i, outcome in zip(pending_indices, batch.outcomes):
+            value = outcome.unwrap()  # re-raise task errors like the serial loop
+            outcomes[i] = value
+            if cache is not None:
+                cache.put(keys[i], value)
+
+    return _collect(grid, outcomes, parameter_name)
 
 
 def geometric_space(start: float, stop: float, count: int) -> np.ndarray:

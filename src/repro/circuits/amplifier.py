@@ -44,8 +44,10 @@ class Amplifier(Block):
     rails:
         Output saturation limits (low, high) [V]; ``None`` disables.
     rng:
-        Random generator for the noise realization; pass a seeded
-        generator for reproducible simulations.
+        Random generator for the noise realization.  ``None`` falls back
+        to a fixed-seed generator so simulations are reproducible (and
+        cacheable) by default; pass your own generator to decorrelate
+        instances.
     """
 
     def __init__(
@@ -73,7 +75,9 @@ class Amplifier(Block):
         if rails is not None and rails[1] <= rails[0]:
             raise CircuitError(f"rails must be (low, high), got {rails}")
         self.rails = rails
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # deterministic fallback: an unseeded generator here would make
+        # every noisy simulation unrepeatable (and uncacheable) by default
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         self._pole = RCLowPass(self.bandwidth) if gbw is not None else None
 
     @property

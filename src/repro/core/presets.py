@@ -108,8 +108,12 @@ def static_readout_blocks(
 
     Stage order: ``chopper`` -> ``lowpass`` -> ``offset_dac`` ->
     ``gain2`` -> ``gain3``.
+
+    The ``rng`` fallback is a *fixed-seed* generator: two chains built
+    without an explicit generator produce identical noise realizations,
+    which keeps sweeps deterministic and their results cacheable.
     """
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = rng if rng is not None else np.random.default_rng(2024)
     return {
         "chopper": ChopperAmplifier(first_stage_amplifier(rng), CHOP_FREQUENCY),
         "lowpass": LowPassFilter(cutoff=100.0, order=2),

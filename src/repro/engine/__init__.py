@@ -1,0 +1,36 @@
+"""Parallel batch-sweep engine: executor, result cache, stage timing.
+
+The scaling substrate under every sweep, bench, and array assay:
+
+* :class:`BatchExecutor` — fan a function out over a parameter grid
+  (serial / thread / process backends, ordered results, per-task error
+  capture);
+* :class:`ResultCache` — deterministic on-disk memoization keyed by a
+  stable content hash, with versioned invalidation and hit/miss
+  counters;
+* :class:`StageTimer` — per-stage wall-clock timing so benches report
+  real speedups.
+
+Entry points elsewhere in the library build on this module:
+:func:`repro.analysis.run_parallel` (grid sweeps) and
+:meth:`repro.core.chip.BiosensorChip.run_array_assay` (``workers=``)
+are the main consumers.
+"""
+
+from .cache import CACHE_VERSION, CacheInfo, ResultCache, stable_hash
+from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
+from .timing import StageTimer, StageTiming, speedup
+
+__all__ = [
+    "BACKENDS",
+    "CACHE_VERSION",
+    "BatchExecutor",
+    "BatchResult",
+    "CacheInfo",
+    "ResultCache",
+    "StageTimer",
+    "StageTiming",
+    "TaskOutcome",
+    "speedup",
+    "stable_hash",
+]

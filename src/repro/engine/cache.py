@@ -1,0 +1,269 @@
+"""Deterministic on-disk result cache for sweep and Monte-Carlo points.
+
+Every simulation in this library is a pure function of its explicit
+parameters (geometry, process knobs, seeds) — which makes results
+memoizable *if* the key is stable.  The cache keys an entry by a SHA-256
+content hash of
+
+* the task function's module-qualified name,
+* a canonical encoding of its parameters (dataclasses, dicts, numpy
+  arrays, partials — see :func:`stable_hash`),
+* the caller-supplied ``extra`` context (e.g. config dataclasses the
+  function closes over), and
+* the cache schema version, so bumping :data:`CACHE_VERSION` invalidates
+  every old entry at once.
+
+Entries are pickle files written atomically (temp file + ``os.replace``)
+so a killed run never leaves a half-written entry; a corrupted or
+unreadable file is treated as a miss and silently recomputed.  Hit/miss
+counters are exposed through :meth:`ResultCache.cache_info` so benches
+can *prove* a warm re-run skipped recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CacheError
+
+#: Bump to invalidate every previously written cache entry.
+CACHE_VERSION = 1
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Counters of one :class:`ResultCache` instance's activity."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    def __str__(self) -> str:
+        return (
+            f"CacheInfo(hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores})"
+        )
+
+
+def _encode(obj, out: list[bytes]) -> None:
+    """Append a canonical byte encoding of ``obj`` to ``out``.
+
+    The encoding is type-tagged so ``1`` and ``1.0`` and ``"1"`` hash
+    differently, and recursive so nested containers, dataclasses, and
+    partials all reduce to stable bytes.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        out.append(f"{type(obj).__name__}:{obj!r};".encode())
+    elif isinstance(obj, float):
+        # repr round-trips doubles exactly; hex would too but is less greppable
+        out.append(f"float:{obj!r};".encode())
+    elif isinstance(obj, complex):
+        out.append(f"complex:{obj!r};".encode())
+    elif isinstance(obj, np.ndarray):
+        out.append(f"ndarray:{obj.dtype.str}:{obj.shape};".encode())
+        out.append(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, np.generic):
+        _encode(obj.item(), out)
+    elif isinstance(obj, (list, tuple)):
+        out.append(f"{type(obj).__name__}[{len(obj)}]:".encode())
+        for item in obj:
+            _encode(item, out)
+    elif isinstance(obj, (set, frozenset)):
+        out.append(f"set[{len(obj)}]:".encode())
+        for item in sorted(obj, key=repr):
+            _encode(item, out)
+    elif isinstance(obj, dict):
+        out.append(f"dict[{len(obj)}]:".encode())
+        for key in sorted(obj, key=repr):
+            _encode(key, out)
+            _encode(obj[key], out)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        out.append(f"dataclass:{cls.__module__}.{cls.__qualname__};".encode())
+        for field in dataclasses.fields(obj):
+            out.append(f"field:{field.name};".encode())
+            _encode(getattr(obj, field.name), out)
+    elif isinstance(obj, functools.partial):
+        out.append(b"partial:")
+        _encode(obj.func, out)
+        _encode(obj.args, out)
+        _encode(obj.keywords, out)
+    elif callable(obj):
+        name = getattr(obj, "__qualname__", getattr(obj, "__name__", None))
+        module = getattr(obj, "__module__", None)
+        if name is None:
+            raise CacheError(f"cannot stably hash callable {obj!r}")
+        if "<locals>" in name or "<lambda>" in name:
+            raise CacheError(
+                f"cannot stably hash {module}.{name}: closures and lambdas "
+                "have no stable identity across runs — use a module-level "
+                "function or functools.partial of one"
+            )
+        out.append(f"callable:{module}.{name};".encode())
+    else:
+        # plain value objects (e.g. LayerStack): type identity + state.
+        # Deterministic as long as the state itself is encodable; objects
+        # carrying handles or memo caches will (correctly) raise below.
+        cls = type(obj)
+        state = getattr(obj, "__dict__", None)
+        if state is None and hasattr(cls, "__slots__"):
+            state = {
+                slot: getattr(obj, slot)
+                for slot in cls.__slots__
+                if hasattr(obj, slot)
+            }
+        if state is None:
+            raise CacheError(
+                f"cannot stably hash {type(obj).__name__!r} value {obj!r}; "
+                "supported: scalars, str/bytes, containers, numpy arrays, "
+                "dataclasses, plain value objects, module-level callables, "
+                "partials"
+            )
+        out.append(f"object:{cls.__module__}.{cls.__qualname__};".encode())
+        _encode(state, out)
+
+
+def stable_hash(*parts) -> str:
+    """Deterministic SHA-256 hex digest of the canonical part encoding.
+
+    Stable across processes and sessions (unlike ``hash()``, which is
+    salted per-interpreter for strings).
+    """
+    chunks: list[bytes] = []
+    for part in parts:
+        _encode(part, chunks)
+    return hashlib.sha256(b"".join(chunks)).hexdigest()
+
+
+class ResultCache:
+    """On-disk memo table keyed by stable content hashes.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (created on first store).  Defaults to the
+        ``REPRO_CACHE_DIR`` environment variable, else ``.repro_cache``
+        under the current working directory.
+    version:
+        Cache schema version folded into every key; defaults to
+        :data:`CACHE_VERSION`.  Bump to orphan all existing entries.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike | None = None,
+        version: int = CACHE_VERSION,
+    ) -> None:
+        root = directory or os.environ.get("REPRO_CACHE_DIR") or ".repro_cache"
+        self.directory = Path(root)
+        self.version = int(version)
+        self._hits = 0
+        self._misses = 0
+        self._stores = 0
+
+    # -- keys ----------------------------------------------------------------
+
+    def key_for(self, fn: Callable, parameter, extra=None) -> str:
+        """Cache key of one (function, parameter, context) evaluation."""
+        return stable_hash("repro-cache", self.version, fn, parameter, extra)
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # -- storage -------------------------------------------------------------
+
+    def get(self, key: str):
+        """Cached value for ``key``, or the ``MISS`` sentinel.
+
+        A missing, corrupted, or version-mismatched entry counts as a
+        miss; corrupted files are removed so the next store is clean.
+        """
+        path = self._path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != self.version
+                or payload.get("key") != key
+            ):
+                raise CacheError(f"stale or foreign cache entry {path.name}")
+            self._hits += 1
+            return payload["value"]
+        except FileNotFoundError:
+            self._misses += 1
+            return self.MISS
+        except Exception:
+            # corrupted / truncated / incompatible entry: recompute
+            self._misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return self.MISS
+
+    def put(self, key: str, value) -> None:
+        """Atomically persist ``value`` under ``key``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"version": self.version, "key": key, "value": value}
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._stores += 1
+
+    #: Sentinel returned by :meth:`get` for absent entries (never a value).
+    MISS = _MISSING
+
+    def get_or_compute(self, fn: Callable, parameter, extra=None):
+        """Memoized ``fn(parameter)``: load on hit, compute + store on miss."""
+        key = self.key_for(fn, parameter, extra)
+        value = self.get(key)
+        if value is not self.MISS:
+            return value
+        value = fn(parameter)
+        self.put(key, value)
+        return value
+
+    # -- introspection -------------------------------------------------------
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/store counters since this instance was created."""
+        return CacheInfo(hits=self._hits, misses=self._misses, stores=self._stores)
+
+    def clear(self) -> int:
+        """Delete every entry in the cache directory; returns the count."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

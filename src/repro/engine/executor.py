@@ -1,0 +1,188 @@
+"""Batch execution of a function over a parameter grid.
+
+Cantilever-array workloads are embarrassingly parallel: every sweep
+point, Monte-Carlo sample, and array channel is an independent device
+simulation.  :class:`BatchExecutor` is the one place that knows how to
+fan those tasks out — serially, over threads, or over processes — while
+keeping the contract every caller relies on:
+
+* **ordered results** — outcome ``i`` always belongs to parameter ``i``,
+  whatever order the workers finished in;
+* **per-task error capture** — one failing point does not kill the
+  batch; each :class:`TaskOutcome` carries either a value or the
+  exception, and callers decide whether to raise;
+* **determinism** — the executor adds no randomness of its own, so a
+  task function that is deterministic per-parameter produces
+  bit-identical results at any worker count.
+
+Process-pool tasks must be picklable: module-level functions (or
+:func:`functools.partial` of one) with picklable arguments.  Closures
+work with the ``thread`` and ``serial`` backends only.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..errors import ExecutorError
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one grid point: a value or a captured exception."""
+
+    index: int
+    parameter: object
+    value: object = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task completed without raising."""
+        return self.error is None
+
+    def unwrap(self) -> object:
+        """The value, re-raising the captured exception if there is one."""
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Ordered outcomes of a :meth:`BatchExecutor.map` call."""
+
+    outcomes: tuple[TaskOutcome, ...]
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        """True when every task completed."""
+        return all(o.ok for o in self.outcomes)
+
+    def errors(self) -> list[TaskOutcome]:
+        """The failed outcomes, in grid order."""
+        return [o for o in self.outcomes if not o.ok]
+
+    def values(self) -> list:
+        """All task values in grid order; raises the first captured error."""
+        return [o.unwrap() for o in self.outcomes]
+
+
+def _call_captured(fn: Callable, index: int, parameter: object) -> TaskOutcome:
+    """Run one task, converting any exception into data.
+
+    Module-level so process pools can pickle it.  Exceptions that cannot
+    themselves be pickled (rare, but e.g. ones holding open handles) are
+    replaced by an ``ExecutorError`` carrying their repr, so the outcome
+    always survives the trip back to the parent.
+    """
+    try:
+        return TaskOutcome(index=index, parameter=parameter, value=fn(parameter))
+    except Exception as exc:  # noqa: BLE001 - capture is the contract
+        try:
+            pickle.dumps(exc)
+            captured: BaseException = exc
+        except Exception:  # pragma: no cover - exotic unpicklable exception
+            captured = ExecutorError(f"task {index} failed: {exc!r}")
+        return TaskOutcome(index=index, parameter=parameter, error=captured)
+
+
+class _Task:
+    """Picklable (fn, index, parameter) bundle for pool submission."""
+
+    __slots__ = ("fn", "index", "parameter")
+
+    def __init__(self, fn: Callable, index: int, parameter: object) -> None:
+        self.fn = fn
+        self.index = index
+        self.parameter = parameter
+
+
+def _run_task(task: _Task) -> TaskOutcome:
+    return _call_captured(task.fn, task.index, task.parameter)
+
+
+class BatchExecutor:
+    """Run a function over a parameter grid with a configurable backend.
+
+    Parameters
+    ----------
+    workers:
+        Worker count.  ``None`` uses the CPU count; ``0`` or ``1`` runs
+        serially regardless of backend (no pool spin-up for tiny grids).
+    backend:
+        ``"serial"``, ``"thread"``, or ``"process"``.  Threads suit
+        tasks that release the GIL or share unpicklable state (e.g. live
+        sensor objects); processes suit pure-Python numeric tasks.
+    chunk_size:
+        Tasks handed to a process worker per dispatch.  ``None`` picks
+        ``ceil(n / (4 * workers))`` so each worker sees a few chunks —
+        large enough to amortize pickling, small enough to balance load.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "process",
+        chunk_size: int | None = None,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ExecutorError(
+                f"unknown backend {backend!r}; pick one of {BACKENDS}"
+            )
+        if workers is not None and workers < 0:
+            raise ExecutorError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ExecutorError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.backend = backend
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_size = chunk_size
+
+    def _effective_backend(self, task_count: int) -> str:
+        if self.backend == "serial" or self.workers <= 1 or task_count <= 1:
+            return "serial"
+        return self.backend
+
+    def _chunk_size_for(self, task_count: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, -(-task_count // (4 * max(self.workers, 1))))
+
+    def map(self, fn: Callable, parameters: Iterable) -> BatchResult:
+        """Evaluate ``fn`` at every parameter; ordered, error-capturing.
+
+        Returns a :class:`BatchResult` whose outcome ``i`` corresponds to
+        the ``i``-th parameter.  Errors are captured per task, never
+        raised here — call :meth:`BatchResult.values` for fail-on-first
+        semantics.
+        """
+        grid: Sequence = list(parameters)
+        tasks = [_Task(fn, i, p) for i, p in enumerate(grid)]
+        backend = self._effective_backend(len(tasks))
+
+        if backend == "serial":
+            outcomes = [_run_task(t) for t in tasks]
+        else:
+            workers = min(self.workers, len(tasks))
+            pool: Executor
+            if backend == "thread":
+                pool = ThreadPoolExecutor(max_workers=workers)
+                kwargs = {}
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers)
+                kwargs = {"chunksize": self._chunk_size_for(len(tasks))}
+            with pool:
+                outcomes = list(pool.map(_run_task, tasks, **kwargs))
+        return BatchResult(outcomes=tuple(outcomes))

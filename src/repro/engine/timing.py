@@ -1,0 +1,79 @@
+"""Wall-clock stage timing for benches and the batch engine.
+
+Minimal by design: a :class:`StageTimer` accumulates named wall-clock
+intervals (context-manager style), and :func:`speedup` turns a
+serial/parallel pair into the headline number a bench reports.  No
+threads, no global state — one timer per measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """One named wall-clock measurement [s]."""
+
+    name: str
+    seconds: float
+
+
+@dataclass
+class StageTimer:
+    """Accumulates per-stage wall-clock times in insertion order.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("serial"):
+            run_serial()
+        with timer.stage("parallel"):
+            run_parallel()
+        print(timer.format_report())
+    """
+
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time the enclosed block under ``name`` (perf_counter based)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append an externally measured interval."""
+        self.stages.append(StageTiming(name=name, seconds=float(seconds)))
+
+    def seconds(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 if absent)."""
+        return sum(s.seconds for s in self.stages if s.name == name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all recorded intervals [s]."""
+        return sum(s.seconds for s in self.stages)
+
+    def format_report(self) -> str:
+        """Aligned stage/seconds table with a total row."""
+        if not self.stages:
+            return "(no stages timed)"
+        width = max(len(s.name) for s in self.stages)
+        width = max(width, len("total"))
+        lines = [
+            f"{s.name:<{width}s}  {s.seconds:9.4f} s" for s in self.stages
+        ]
+        lines.append(f"{'total':<{width}s}  {self.total:9.4f} s")
+        return "\n".join(lines)
+
+
+def speedup(serial_seconds: float, parallel_seconds: float) -> float:
+    """Serial/parallel wall-clock ratio (inf for a 0-second parallel run)."""
+    if parallel_seconds <= 0.0:
+        return float("inf")
+    return serial_seconds / parallel_seconds

@@ -55,3 +55,11 @@ class OscillationError(ReproError, RuntimeError):
 
 class AssayError(ReproError, ValueError):
     """An assay protocol is malformed (bad step ordering or parameters)."""
+
+
+class ExecutorError(ReproError, ValueError):
+    """A batch executor was misconfigured or its task is unusable."""
+
+
+class CacheError(ReproError, RuntimeError):
+    """The result cache cannot hash a key or persist an entry."""

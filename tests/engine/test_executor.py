@@ -1,0 +1,128 @@
+"""BatchExecutor contract: ordering, backends, error capture, edge grids."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchExecutor, BatchResult
+from repro.errors import ExecutorError
+
+
+def square(x):
+    return x * x
+
+
+def flaky(x):
+    if x % 3 == 0:
+        raise ValueError(f"bad point {x}")
+    return 2 * x
+
+
+def noisy_point(seed):
+    """Deterministic-per-parameter pseudo-random task."""
+    rng = np.random.default_rng(seed)
+    return float(rng.standard_normal(8).sum())
+
+
+GRID = list(range(17))
+
+
+class TestConfiguration:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExecutorError):
+            BatchExecutor(backend="mpi")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ExecutorError):
+            BatchExecutor(workers=-1)
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ExecutorError):
+            BatchExecutor(chunk_size=0)
+
+    def test_default_workers_positive(self):
+        assert BatchExecutor().workers >= 1
+
+
+class TestBackendEquivalence:
+    def test_serial_vs_process_identical(self):
+        serial = BatchExecutor(workers=1).map(square, GRID).values()
+        parallel = (
+            BatchExecutor(workers=4, backend="process").map(square, GRID).values()
+        )
+        assert parallel == serial
+
+    def test_serial_vs_thread_identical(self):
+        serial = BatchExecutor(workers=1).map(square, GRID).values()
+        threaded = (
+            BatchExecutor(workers=4, backend="thread").map(square, GRID).values()
+        )
+        assert threaded == serial
+
+    def test_seeded_random_tasks_bit_identical(self):
+        serial = BatchExecutor(workers=1).map(noisy_point, GRID).values()
+        parallel = (
+            BatchExecutor(workers=3, backend="process").map(noisy_point, GRID).values()
+        )
+        assert parallel == serial  # exact float equality — same bits
+
+    def test_explicit_chunk_size_preserves_order(self):
+        result = (
+            BatchExecutor(workers=2, backend="process", chunk_size=5)
+            .map(square, GRID)
+            .values()
+        )
+        assert result == [square(x) for x in GRID]
+
+
+class TestOrdering:
+    def test_outcomes_carry_grid_index_and_parameter(self):
+        batch = BatchExecutor(workers=4, backend="thread").map(square, [5, 3, 8])
+        assert [o.index for o in batch.outcomes] == [0, 1, 2]
+        assert [o.parameter for o in batch.outcomes] == [5, 3, 8]
+        assert [o.value for o in batch.outcomes] == [25, 9, 64]
+
+
+class TestErrorCapture:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_per_task_errors_captured(self, backend):
+        batch = BatchExecutor(workers=2, backend=backend).map(flaky, range(7))
+        assert not batch.ok
+        failed = batch.errors()
+        assert [o.index for o in failed] == [0, 3, 6]
+        for outcome in failed:
+            assert isinstance(outcome.error, ValueError)
+            assert f"bad point {outcome.parameter}" in str(outcome.error)
+        # the healthy points still computed
+        good = [o for o in batch if o.ok]
+        assert [o.value for o in good] == [2, 4, 8, 10]
+
+    def test_values_raises_first_error(self):
+        batch = BatchExecutor(workers=1).map(flaky, range(7))
+        with pytest.raises(ValueError, match="bad point 0"):
+            batch.values()
+
+    def test_unwrap_reraises(self):
+        batch = BatchExecutor(workers=1).map(flaky, [3])
+        with pytest.raises(ValueError):
+            batch.outcomes[0].unwrap()
+
+
+class TestEdgeGrids:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_empty_grid(self, backend):
+        batch = BatchExecutor(workers=4, backend=backend).map(square, [])
+        assert isinstance(batch, BatchResult)
+        assert len(batch) == 0
+        assert batch.ok
+        assert batch.values() == []
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_single_point(self, backend):
+        batch = BatchExecutor(workers=4, backend=backend).map(square, [6])
+        assert batch.values() == [36]
+
+    def test_generator_input_materialized_in_order(self):
+        batch = BatchExecutor(workers=2, backend="thread").map(
+            square, (x for x in range(5))
+        )
+        assert batch.values() == [0, 1, 4, 9, 16]

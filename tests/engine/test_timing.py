@@ -1,0 +1,55 @@
+"""StageTimer and speedup helpers."""
+
+import time
+
+import pytest
+
+from repro.engine import StageTimer, speedup
+
+
+class TestStageTimer:
+    def test_stage_records_elapsed(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.01)
+        assert timer.seconds("work") >= 0.01
+        assert timer.total == pytest.approx(timer.seconds("work"))
+
+    def test_repeated_stage_accumulates(self):
+        timer = StageTimer()
+        timer.record("a", 0.5)
+        timer.record("a", 0.25)
+        timer.record("b", 1.0)
+        assert timer.seconds("a") == pytest.approx(0.75)
+        assert timer.total == pytest.approx(1.75)
+
+    def test_absent_stage_is_zero(self):
+        assert StageTimer().seconds("nope") == 0.0
+
+    def test_stage_recorded_even_on_error(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("task failed")
+        assert len(timer.stages) == 1
+
+    def test_report_lists_stages_and_total(self):
+        timer = StageTimer()
+        timer.record("serial", 2.0)
+        timer.record("parallel", 0.5)
+        report = timer.format_report()
+        assert "serial" in report
+        assert "parallel" in report
+        assert report.strip().endswith("s")
+        assert "total" in report
+
+    def test_empty_report(self):
+        assert "no stages" in StageTimer().format_report()
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(4.0, 1.0) == pytest.approx(4.0)
+
+    def test_zero_parallel_time_is_inf(self):
+        assert speedup(1.0, 0.0) == float("inf")

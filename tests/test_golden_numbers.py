@@ -90,6 +90,56 @@ class TestLoopGolden:
         assert loop.vga.gain_db == pytest.approx(10.7, abs=0.1)
 
 
+class TestEngineBenchGolden:
+    """Headline numbers of the engine-ported benches, pinned.
+
+    The three benches (EXT3 process variation, EXT4 resonance curve,
+    ABL1 placement) now run through the batch engine with ``workers=2``;
+    these pins prove the parallel/cached port did not move a single
+    physics result from the serial originals.
+    """
+
+    @pytest.fixture(scope="class")
+    def bench_modules(self):
+        import sys
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        if str(bench_dir) not in sys.path:
+            sys.path.insert(0, str(bench_dir))
+        import bench_abl_placement
+        import bench_ext_process_variation
+        import bench_ext_resonance_curve
+
+        return (
+            bench_ext_process_variation,
+            bench_ext_resonance_curve,
+            bench_abl_placement,
+        )
+
+    def test_process_variation_headline(self, bench_modules):
+        headline = bench_modules[0].run_bench(workers=2, quiet=True)
+        assert headline["f_mean_Hz"] == pytest.approx(27370.3, rel=1e-3)
+        assert headline["f_spread_pct"] == pytest.approx(2.930, rel=0.01)
+        assert headline["thickness_spread_pct"] == pytest.approx(2.966, rel=0.01)
+        assert headline["litho_spread_pct"] == pytest.approx(0.381, rel=0.01)
+        assert headline["analytic_pct"] == pytest.approx(3.027, rel=1e-3)
+
+    def test_resonance_curve_headline(self, bench_modules):
+        headline = bench_modules[1].run_bench(workers=2, quiet=True)
+        assert headline["water_f0_Hz"] == pytest.approx(8919.2, rel=1e-3)
+        assert headline["water_Q"] == pytest.approx(5.944, rel=0.01)
+        assert headline["air_f0_Hz"] == pytest.approx(27349.2, rel=1e-3)
+        assert headline["air_Q"] == pytest.approx(223.4, rel=0.02)
+
+    def test_placement_headline(self, bench_modules):
+        headline = bench_modules[2].run_bench(workers=2, quiet=True)
+        assert headline["resonant_clamp_kPa"] == pytest.approx(553.32, rel=1e-3)
+        assert headline["clamp_to_tip_ratio"] == pytest.approx(164.57, rel=1e-3)
+        assert headline["static_signal_kPa"] == pytest.approx(2.808, rel=1e-3)
+        assert headline["static_best_rel_snr"] == pytest.approx(8.424, rel=1e-3)
+
+
 class TestBiochemGolden:
     def test_igg_saturation_mass(self, igg_surface):
         assert igg_surface.saturation_mass * 1e15 == pytest.approx(104.6, rel=0.01)
