@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke examples docs all clean
+.PHONY: install test bench bench-smoke spec-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -27,6 +27,16 @@ bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_abl_placement.py --smoke --workers 2 --cache-dir .repro_cache_smoke
 	rm -rf .repro_cache_smoke
 
+# Spec-layer check: JSON round-trip + hash stability of every reference
+# spec, then a CLI `--set` override smoke.  The same coverage runs inside
+# tier-1 via tests/config/.
+spec-check:
+	PYTHONPATH=src $(PYTHON) -m repro.config.check
+	PYTHONPATH=src $(PYTHON) -m repro.cli info \
+		--set cantilever.length_um=350 --set bridge.mismatch_sigma=0.001 \
+		> /dev/null
+	@echo "spec-check: CLI --set override smoke ok"
+
 examples:
 	@for ex in examples/*.py; do \
 		echo "== $$ex =="; \
@@ -34,7 +44,7 @@ examples:
 	done
 
 docs:
-	$(PYTHON) tools/gen_api_docs.py > docs/API.md
+	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py > docs/API.md
 	@echo "docs/API.md regenerated"
 
 all: test bench-smoke bench examples

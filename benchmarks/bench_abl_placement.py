@@ -92,9 +92,13 @@ def run_bench(
     quiet: bool = False,
 ) -> dict[str, float]:
     """Both placement tables through the engine; returns headline numbers."""
-    from repro.core.presets import reference_cantilever
+    from repro.config import (
+        REFERENCE_CANTILEVER,
+        REFERENCE_PROCESS,
+        build_cantilever,
+    )
 
-    geometry = reference_cantilever().geometry
+    geometry = build_cantilever(REFERENCE_CANTILEVER, REFERENCE_PROCESS).geometry
     timer = StageTimer()
     with timer.stage(f"placement tables (workers={workers})"):
         resonant = build_resonant_placement_table(

@@ -29,6 +29,7 @@ import functools
 import numpy as np
 import pytest
 
+from repro.config import REFERENCE_CANTILEVER
 from repro.engine import BatchExecutor, ResultCache, StageTimer
 from repro.fabrication import (
     ProcessCorners,
@@ -52,7 +53,11 @@ CASES: dict[str, ProcessCorners] = {
 def monte_carlo_case(case: str, samples: int = 80):
     """One Monte-Carlo case of the reference beam (module-level: picklable)."""
     return monte_carlo_devices(
-        um(500), um(100), CASES[case], samples=samples, seed=31
+        um(REFERENCE_CANTILEVER.length_um),
+        um(REFERENCE_CANTILEVER.width_um),
+        CASES[case],
+        samples=samples,
+        seed=31,
     )
 
 
@@ -163,23 +168,17 @@ def test_ext_process_variation_parallel_matches_serial(benchmark):
 
 def startup_across_corners():
     """Every corner device must start in the loop with the same policy."""
-    from repro.biochem import FunctionalizedSurface, get_analyte
-    from repro.core import ResonantCantileverSensor
-    from repro.fabrication import PostCMOSFlow, fabricate_cantilever
-    from repro.materials import get_liquid
+    from repro.config import REFERENCE_RESONANT_SENSOR, build
 
-    water = get_liquid("water")
-    igg = get_analyte("igg")
     results = []
-    for depth in (4.7e-6, 5.0e-6, 5.3e-6):  # +/-2 sigma corners
-        device = fabricate_cantilever(
-            um(500), um(100), PostCMOSFlow(nwell_depth=depth)
-        )
-        sensor = ResonantCantileverSensor(
-            FunctionalizedSurface(igg, device.geometry), water
+    for depth_um in (4.7, 5.0, 5.3):  # +/-2 sigma corners
+        sensor = build(
+            REFERENCE_RESONANT_SENSOR.with_overrides(
+                {"process.nwell_depth_um": depth_um, "liquid": "water"}
+            )
         )
         mean_f, _ = sensor.measure_frequency(gate_time=0.05, gates=2)
-        results.append((depth, sensor.fluid_mode.frequency, mean_f))
+        results.append((um(depth_um), sensor.fluid_mode.frequency, mean_f))
     return results
 
 

@@ -51,12 +51,18 @@ def characterize(device, liquid_name, points: int = 31):
 def characterize_reference(liquid_name: str, points: int = 31):
     """Characterize the reference beam in one liquid (picklable task).
 
-    Rebuilds the (deterministic) reference cantilever inside the worker
-    so the task ships only its parameter, not a device object.
+    Rebuilds the (deterministic) reference cantilever from its spec
+    inside the worker so the task ships only its parameter, not a
+    device object.
     """
-    from repro.core.presets import reference_cantilever
+    from repro.config import (
+        REFERENCE_CANTILEVER,
+        REFERENCE_PROCESS,
+        build_cantilever,
+    )
 
-    return characterize(reference_cantilever(), liquid_name, points=points)
+    device = build_cantilever(REFERENCE_CANTILEVER, REFERENCE_PROCESS)
+    return characterize(device, liquid_name, points=points)
 
 
 def characterize_grid(

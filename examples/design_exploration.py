@@ -1,8 +1,11 @@
 """Design-space exploration: from process knobs to sensor performance.
 
 The library models the whole chain — process, mechanics, transduction,
-circuits — so design questions become one-line sweeps.  This example
-answers three the paper's designers faced:
+circuits — and describes any device variant with one typed spec, so
+design questions become one-line *spec sweeps*: pick a dotted path, give
+it a value grid, and every grid point is a complete, validated device
+description.  This example answers three questions the paper's designers
+faced:
 
 1. How does the n-well depth (the etch-stop knob) trade static
    sensitivity against resonant frequency?
@@ -14,11 +17,14 @@ answers three the paper's designers faced:
 Run:  python examples/design_exploration.py
 """
 
-from repro import FunctionalizedSurface, PostCMOSFlow, fabricate_cantilever, get_analyte
-from repro.analysis import sweep
-from repro.core import ResonantCantileverSensor
+from repro.analysis import run_spec_sweep
+from repro.config import (
+    REFERENCE_RESONANT_SENSOR,
+    REFERENCE_STATIC_SENSOR,
+    build,
+    build_cantilever,
+)
 from repro.fabrication import cantilever_layout, post_cmos_rule_deck
-from repro.materials import get_liquid
 from repro.mechanics import natural_frequency
 from repro.mechanics.surface_stress import tip_deflection
 from repro.units import um
@@ -27,10 +33,8 @@ from repro.units import um
 # 1. n-well depth: beam thickness is a pure process knob
 # ---------------------------------------------------------------------------
 
-def nwell_tradeoff(depth_um):
-    device = fabricate_cantilever(
-        um(500), um(100), PostCMOSFlow(nwell_depth=depth_um * 1e-6)
-    )
+def nwell_tradeoff(spec):
+    device = build_cantilever(spec.cantilever, spec.process)
     return {
         "f1_kHz": natural_frequency(device.geometry) / 1e3,
         "defl_nm_at_5mN/m": abs(tip_deflection(device.geometry, 5e-3)) * 1e9,
@@ -38,7 +42,14 @@ def nwell_tradeoff(depth_um):
     }
 
 
-table = sweep("nwell_um", [2.0, 3.0, 4.0, 5.0, 6.0], nwell_tradeoff)
+table = run_spec_sweep(
+    REFERENCE_STATIC_SENSOR,
+    "process.nwell_depth_um",
+    [2.0, 3.0, 4.0, 5.0, 6.0],
+    nwell_tradeoff,
+    parameter_name="nwell_um",
+    workers=1,
+)
 print("1. etch-stop depth trade-off (500 x 100 um beam):")
 print(table.format_table())
 print("   -> thin beams bend more (static wins), thick beams resonate "
@@ -48,14 +59,8 @@ print("   -> thin beams bend more (static wins), thick beams resonate "
 # 2. beam length vs in-liquid mass LOD
 # ---------------------------------------------------------------------------
 
-water = get_liquid("water")
-igg = get_analyte("igg")
-
-
-def length_tradeoff(length_um):
-    device = fabricate_cantilever(um(length_um), um(100))
-    surface = FunctionalizedSurface(igg, device.geometry)
-    sensor = ResonantCantileverSensor(surface, water)
+def length_tradeoff(spec):
+    sensor = build(spec)
     return {
         "f_wet_kHz": sensor.fluid_mode.frequency / 1e3,
         "Q_wet": sensor.fluid_mode.quality_factor,
@@ -64,7 +69,14 @@ def length_tradeoff(length_um):
     }
 
 
-table = sweep("length_um", [200.0, 300.0, 400.0, 500.0, 700.0], length_tradeoff)
+table = run_spec_sweep(
+    REFERENCE_RESONANT_SENSOR,  # reference liquid is water
+    "cantilever.length_um",
+    [200.0, 300.0, 400.0, 500.0, 700.0],
+    length_tradeoff,
+    parameter_name="length_um",
+    workers=1,
+)
 print("2. beam length vs in-water mass resolution (10 s counter gate):")
 print(table.format_table())
 best = min(table.rows(), key=lambda r: r[4])
@@ -74,10 +86,11 @@ print(f"   -> best LOD at L = {best[0]:.0f} um: {best[4]:.0f} pg\n")
 # 3. DRC and die-area cost of the backside mask
 # ---------------------------------------------------------------------------
 
-layout = cantilever_layout(um(500), um(100))
+beam = REFERENCE_STATIC_SENSOR.cantilever
+layout = cantilever_layout(um(beam.length_um), um(beam.width_um))
 violations = post_cmos_rule_deck().check(layout)
 opening = layout.bounding_box("backside_etch")
-beam_area = 500e-6 * 100e-6
+beam_area = um(beam.length_um) * um(beam.width_um)
 opening_area = opening.area
 print("3. physical verification of the three post-CMOS masks:")
 print(f"   DRC violations : {len(violations)}")

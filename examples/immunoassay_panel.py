@@ -12,21 +12,25 @@ Run:  python examples/immunoassay_panel.py
 
 import numpy as np
 
-from repro import AssayProtocol, BiosensorChip, ChannelConfig, get_analyte
+from repro import AssayProtocol
 from repro.analysis import limit_of_detection
+from repro.config import ChannelSpec, ChipSpec, build
 from repro.units import nM
 
-# 1. Build the chip: two assays + two references, with a realistic
-#    50 uV/s common thermal drift that referencing must remove.
-chip = BiosensorChip(
-    channels=[
-        ChannelConfig(analyte=get_analyte("crp"), label="anti-CRP"),
-        ChannelConfig(analyte=get_analyte("psa"), label="anti-PSA"),
-        ChannelConfig(analyte=None, label="reference-1"),
-        ChannelConfig(analyte=None, label="reference-2"),
-    ],
-    temperature_drift=50e-6,
+# 1. Describe the chip as one spec — two assays + two references, with a
+#    realistic 50 uV/s common thermal drift that referencing must remove
+#    — and build it.  Channels name their analyte by registry key;
+#    analyte=None marks a blocked reference beam.
+spec = ChipSpec(
+    channels=(
+        ChannelSpec(analyte="crp", label="anti-CRP"),
+        ChannelSpec(analyte="psa", label="anti-PSA"),
+        ChannelSpec(analyte=None, label="reference-1"),
+        ChannelSpec(analyte=None, label="reference-2"),
+    ),
+    temperature_drift_v_per_s=50e-6,
 )
+chip = build(spec)
 residuals = chip.calibrate()
 print("chip calibrated; per-channel residual offsets [mV]:",
       [f"{r * 1e3:+.2f}" for r in residuals])

@@ -1,19 +1,34 @@
 """Quickstart: detect an antibody with a CMOS cantilever biosensor.
 
-Builds the paper's reference device through the full fabrication model,
-functionalizes it for IgG capture, runs a 10 nM immunoassay on the
-static readout chain (Fig. 4), and prints the detection result.
+Starts from the paper's reference device *spec* (one typed, serializable
+description of the whole system), builds it through the full fabrication
+model, runs a 10 nM immunoassay on the static readout chain (Fig. 4),
+and prints the detection result.  Any field of the spec can be changed
+with a dotted-path override — the same syntax the CLI's ``--set`` flag
+uses (``repro assay --set cantilever.length_um=350``).
 
 Run:  python examples/quickstart.py
 """
 
-from repro import AssayProtocol, FunctionalizedSurface, StaticCantileverSensor, get_analyte
-from repro.core.presets import reference_cantilever
-from repro.units import nM, to_mN_per_m, to_nm
+from repro import AssayProtocol
+from repro.config import REFERENCE_STATIC_SENSOR, build, build_cantilever
+from repro.units import nM, to_mN_per_m
 
-# 1. Fabricate: 0.8 um CMOS + post-CMOS micromachining releases a
-#    500 x 100 x 5 um silicon beam (thickness set by the n-well etch stop).
-device = reference_cantilever()
+# 1. The device as published, as data.  Tweak anything by dotted path,
+#    e.g. REFERENCE_STATIC_SENSOR.with_overrides({"cantilever.length_um": 350}).
+spec = REFERENCE_STATIC_SENSOR
+print("device spec:")
+print(f"  beam     : {spec.cantilever.length_um:.0f} x "
+      f"{spec.cantilever.width_um:.0f} um, n-well etch stop at "
+      f"{spec.process.nwell_depth_um:.0f} um")
+print(f"  bridge   : {spec.bridge.kind}, {spec.bridge.bias_voltage_v:.1f} V bias")
+print(f"  readout  : chopper at {spec.readout.chop_frequency_hz / 1e3:.0f} kHz, "
+      f"gain {spec.readout.first_stage_gain:.0f} x {spec.readout.gain2:.0f} "
+      f"x {spec.readout.gain3:.0f}")
+
+# 2. Fabricate: 0.8 um CMOS + post-CMOS micromachining releases the beam
+#    (thickness set by the n-well etch stop).
+device = build_cantilever(spec.cantilever, spec.process)
 print("fabricated cantilever:")
 print(f"  geometry : {device.geometry.length * 1e6:.0f} x "
       f"{device.geometry.width * 1e6:.0f} x "
@@ -21,14 +36,11 @@ print(f"  geometry : {device.geometry.length * 1e6:.0f} x "
 print(f"  KOH etch : {device.process.koh_time / 3600:.1f} h "
       f"(electrochemical etch stop at the n-well)")
 
-# 2. Functionalize the top surface with anti-IgG probes.
-surface = FunctionalizedSurface(analyte=get_analyte("igg"), geometry=device.geometry)
-print(f"  probe sites: {surface.site_count:.3g} "
-      f"(saturation mass {surface.saturation_mass * 1e15:.0f} pg)")
-
-# 3. Assemble the static sensor (piezoresistive bridge + Fig. 4 chain)
-#    and auto-zero the offset DAC.
-sensor = StaticCantileverSensor(surface)
+# 3. Build the whole sensor from the spec — functionalized surface,
+#    piezoresistive bridge, Fig. 4 chain — and auto-zero the offset DAC.
+sensor = build(spec)
+print(f"  probe sites: {sensor.surface.site_count:.3g} "
+      f"(saturation mass {sensor.surface.saturation_mass * 1e15:.0f} pg)")
 residual = sensor.calibrate_offset()
 print("readout chain:")
 print(f"  DC gain {sensor.dc_gain:.0f} V/V, output noise "

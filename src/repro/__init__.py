@@ -18,17 +18,18 @@ The package mirrors the chip's architecture:
 * :mod:`repro.feedback` — the Fig. 5 closed oscillation loop
 * :mod:`repro.analysis` — frequency estimation, Allan deviation, LOD
 * :mod:`repro.engine` — parallel batch executor, result cache, timing
+* :mod:`repro.config` — typed device specs, overrides, builder registry
 * :mod:`repro.core` — the assembled static/resonant sensors and chip
 
 Quickstart::
 
-    from repro import StaticCantileverSensor, FunctionalizedSurface
-    from repro.biochem import get_analyte, AssayProtocol
-    from repro.core.presets import reference_geometry
+    from repro.biochem import AssayProtocol
+    from repro.config import REFERENCE_STATIC_SENSOR, build
     from repro.units import nM
 
-    surface = FunctionalizedSurface(get_analyte("igg"), reference_geometry())
-    sensor = StaticCantileverSensor(surface)
+    sensor = build(REFERENCE_STATIC_SENSOR.with_overrides(
+        {"cantilever.length_um": 350}
+    ))
     sensor.calibrate_offset()
     result = sensor.run_assay(AssayProtocol.injection(nM(10)))
     print(result.output_step())
@@ -41,6 +42,7 @@ from . import (
     analysis,
     biochem,
     circuits,
+    config,
     constants,
     core,
     engine,
@@ -66,7 +68,7 @@ from .fabrication import PostCMOSFlow, fabricate_cantilever
 from .materials import get_liquid, get_material
 from .mechanics import CantileverGeometry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Analyte",
@@ -84,6 +86,7 @@ __all__ = [
     "analysis",
     "biochem",
     "circuits",
+    "config",
     "constants",
     "core",
     "engine",

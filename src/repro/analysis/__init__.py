@@ -50,7 +50,14 @@ from .freqest import (
     zero_crossing_frequency,
 )
 from .psd import band_power, band_rms, psd_slope, welch_psd
-from .sweep import SweepResult, geometric_space, run_parallel, sweep
+from .sweep import (
+    SweepResult,
+    geometric_space,
+    override_grid,
+    run_parallel,
+    run_spec_sweep,
+    sweep,
+)
 
 __all__ = [
     "AllanCurve",
@@ -89,9 +96,11 @@ __all__ = [
     "frequency_noise_to_mass_noise",
     "geometric_space",
     "limit_of_detection",
+    "override_grid",
     "psd_slope",
     "ring_down_quality_factor",
     "run_parallel",
+    "run_spec_sweep",
     "snr_db",
     "sweep",
     "welch_psd",

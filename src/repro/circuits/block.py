@@ -82,9 +82,7 @@ class Chain(Block):
             raise CircuitError("a chain needs at least one block")
 
     def process(self, signal: Signal) -> Signal:
-        for block in self.blocks:
-            signal = block.process(signal)
-        return signal
+        return self.process_stagewise(signal)[-1]
 
     def step(self, x: float) -> float:
         for block in self.blocks:
@@ -96,7 +94,7 @@ class Chain(Block):
             block.reset()
 
     def process_stagewise(self, signal: Signal) -> list[Signal]:
-        """Outputs after each stage (for gain/noise-budget reporting)."""
+        """Outputs after each stage; :meth:`process` returns the last."""
         outputs = []
         for block in self.blocks:
             signal = block.process(signal)

@@ -8,36 +8,78 @@ Gives the library a tool face for quick, scriptable use:
 * ``assay``        — run a static immunoassay and print the trace
 * ``track``        — run a resonant tracking assay and print the trace
 
-Every command accepts ``--length/--width`` (um) for custom beams and
-prints plain text, one value per line where scripts want to parse it.
+Every command is rooted in a reference device spec
+(:data:`~repro.config.REFERENCE_STATIC_SENSOR` or
+:data:`~repro.config.REFERENCE_RESONANT_SENSOR`).  The legacy
+``--length/--width`` (um) flags still work and map onto spec fields; any
+spec field is reachable through the generic override flag::
+
+    repro assay --set cantilever.length_um=350 --set bridge.mismatch_sigma=0.001
+
+``--set`` accepts dotted spec paths (see ``docs/CONFIG.md``), may be
+repeated, and wins over the dedicated flags.  Output is plain text, one
+value per line where scripts want to parse it.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
+from .config.reference import (
+    REFERENCE_CANTILEVER,
+    REFERENCE_PROCESS,
+    REFERENCE_RESONANT_BRIDGE,
+    REFERENCE_RESONANT_SENSOR,
+    REFERENCE_STATIC_SENSOR,
+)
 from .units import nM, um
 
 
-def _build_device(args):
-    from .fabrication import PostCMOSFlow, fabricate_cantilever
+def _cli_overrides(args) -> dict[str, object]:
+    """Merged ``--set`` overrides (top-level flags, then subcommand's)."""
+    from .config import parse_value
+    from .errors import ConfigError
 
-    flow = PostCMOSFlow(
-        keep_dielectrics_on_beam=getattr(args, "coated", False),
-        nwell_depth=getattr(args, "nwell_um", 5.0) * 1e-6,
-    )
-    return fabricate_cantilever(um(args.length), um(args.width), flow)
+    pairs = list(getattr(args, "set_global", None) or [])
+    pairs += list(getattr(args, "set_cmd", None) or [])
+    overrides: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key.strip():
+            raise ConfigError(f"--set expects PATH=VALUE, got {pair!r}")
+        overrides[key.strip()] = parse_value(raw.strip())
+    return overrides
+
+
+def _root_spec(args, base):
+    """The command's device spec: geometry flags first, then ``--set``."""
+    overrides: dict[str, object] = {
+        "process.nwell_depth_um": args.nwell_um,
+        "process.keep_dielectrics": bool(args.coated),
+        "cantilever.length_um": args.length,
+        "cantilever.width_um": args.width,
+    }
+    overrides.update(_cli_overrides(args))
+    return base.with_overrides(overrides)
+
+
+def _build_device(spec):
+    from .config.builders import build_cantilever
+
+    return build_cantilever(spec.cantilever, spec.process)
 
 
 def cmd_info(args) -> int:
+    from .config.builders import build_bridge
     from .fluidics import immersed_mode
     from .materials import get_liquid
     from .mechanics import analyze_modes
     from .mechanics.beam import spring_constant
-    from .core.presets import resonant_bridge, static_bridge
 
-    device = _build_device(args)
+    spec = _root_spec(args, REFERENCE_STATIC_SENSOR)
+    device = _build_device(spec)
     g = device.geometry
     print(f"device: {g.length * 1e6:.0f} x {g.width * 1e6:.0f} x "
           f"{g.thickness * 1e6:.2f} um released silicon cantilever")
@@ -48,7 +90,9 @@ def cmd_info(args) -> int:
     wet = immersed_mode(g, get_liquid(args.liquid))
     print(f"in {args.liquid:<12s} : {wet.frequency / 1e3:.2f} kHz, "
           f"Q = {wet.quality_factor:.2f}")
-    sb, rb = static_bridge(mismatch_sigma=0.0), resonant_bridge(mismatch_sigma=0.0)
+    # datasheet bridges are nominal: mismatch zeroed, everything else spec'd
+    sb = build_bridge(replace(spec.bridge, mismatch_sigma=0.0))
+    rb = build_bridge(replace(REFERENCE_RESONANT_BRIDGE, mismatch_sigma=0.0))
     print(f"static bridge   : {sb.output_resistance() / 1e3:.1f} kOhm, "
           f"{sb.power_dissipation() * 1e3:.2f} mW")
     print(f"resonant bridge : {rb.output_resistance() / 1e3:.1f} kOhm, "
@@ -59,14 +103,17 @@ def cmd_info(args) -> int:
 def cmd_fabricate(args) -> int:
     from .fabrication import cantilever_layout, post_cmos_rule_deck
 
-    device = _build_device(args)
+    spec = _root_spec(args, REFERENCE_STATIC_SENSOR)
+    device = _build_device(spec)
     print("== before post-processing ==")
     print(device.process.before.describe())
     print("== after (beam site) ==")
     print(device.process.beam_site.describe())
     print(f"KOH etch time   : {device.process.koh_time / 3600:.2f} h")
     print(f"backside opening: {device.backside_opening * 1e6:.0f} um")
-    layout = cantilever_layout(um(args.length), um(args.width))
+    layout = cantilever_layout(
+        um(spec.cantilever.length_um), um(spec.cantilever.width_um)
+    )
     violations = post_cmos_rule_deck().check(layout)
     print(f"DRC             : {'clean' if not violations else violations}")
     return 0 if not violations else 1
@@ -78,8 +125,11 @@ def cmd_characterize(args) -> int:
     from .materials import get_liquid
     from .mechanics import ModalResonator, analyze_modes
 
-    device = _build_device(args)
-    liquid = get_liquid(args.liquid)
+    spec = _root_spec(args, REFERENCE_RESONANT_SENSOR).with_overrides(
+        {"liquid": args.liquid}
+    )
+    device = _build_device(spec)
+    liquid = get_liquid(spec.liquid)
     wet = immersed_mode(device.geometry, liquid)
     mode = analyze_modes(device.geometry, 1)[0]
     resonator = ModalResonator(
@@ -96,12 +146,13 @@ def cmd_characterize(args) -> int:
 
 
 def cmd_assay(args) -> int:
-    from .biochem import AssayProtocol, FunctionalizedSurface, get_analyte
-    from .core import StaticCantileverSensor
+    from .biochem import AssayProtocol
+    from .config import build
 
-    device = _build_device(args)
-    surface = FunctionalizedSurface(get_analyte(args.analyte), device.geometry)
-    sensor = StaticCantileverSensor(surface)
+    spec = _root_spec(
+        args, REFERENCE_STATIC_SENSOR.with_overrides({"analyte": args.analyte})
+    )
+    sensor = build(spec)
     sensor.calibrate_offset()
     protocol = AssayProtocol.injection(
         nM(args.conc_nm), baseline=300, exposure=args.exposure, wash=600
@@ -116,15 +167,18 @@ def cmd_assay(args) -> int:
 
 
 def cmd_track(args) -> int:
-    from .biochem import AssayProtocol, FunctionalizedSurface, get_analyte
-    from .core import ResonantCantileverSensor
-    from .materials import get_liquid
+    from .biochem import AssayProtocol
+    from .config import build
 
-    device = _build_device(args)
-    surface = FunctionalizedSurface(get_analyte(args.analyte), device.geometry)
-    sensor = ResonantCantileverSensor(
-        surface, get_liquid(args.liquid), mode=args.mode
+    spec = _root_spec(
+        args,
+        REFERENCE_RESONANT_SENSOR.with_overrides({
+            "analyte": args.analyte,
+            "liquid": args.liquid,
+            "loop.mode": args.mode,
+        }),
     )
+    sensor = build(spec)
     protocol = AssayProtocol.injection(
         nM(args.conc_nm), baseline=300, exposure=args.exposure, wash=600
     )
@@ -138,28 +192,50 @@ def cmd_track(args) -> int:
     return 0
 
 
+def _add_set_flag(parser: argparse.ArgumentParser, dest: str) -> None:
+    # the top-level and per-subcommand copies need *different* dests:
+    # argparse lets a subparser's defaults clobber already-parsed
+    # top-level values, so sharing one dest would drop `--set`s given
+    # before the command word.
+    parser.add_argument(
+        "--set", action="append", dest=dest, metavar="PATH=VALUE",
+        default=None,
+        help="override any spec field by dotted path "
+             "(e.g. cantilever.length_um=350); repeatable",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CMOS cantilever biosensor simulator (DATE 2005 repro)",
     )
-    parser.add_argument("--length", type=float, default=500.0, help="beam length [um]")
-    parser.add_argument("--width", type=float, default=100.0, help="beam width [um]")
-    parser.add_argument("--nwell-um", type=float, default=5.0, dest="nwell_um",
-                        help="n-well etch-stop depth [um]")
+    parser.add_argument("--length", type=float,
+                        default=REFERENCE_CANTILEVER.length_um,
+                        help="beam length [um]")
+    parser.add_argument("--width", type=float,
+                        default=REFERENCE_CANTILEVER.width_um,
+                        help="beam width [um]")
+    parser.add_argument("--nwell-um", type=float,
+                        default=REFERENCE_PROCESS.nwell_depth_um,
+                        dest="nwell_um", help="n-well etch-stop depth [um]")
     parser.add_argument("--coated", action="store_true",
                         help="keep CMOS dielectrics on the beam")
+    _add_set_flag(parser, "set_global")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("info", help="device datasheet")
     p.add_argument("--liquid", default="water")
+    _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("fabricate", help="run the post-CMOS flow + DRC")
+    _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_fabricate)
 
     p = sub.add_parser("characterize", help="swept-sine bring-up")
     p.add_argument("--liquid", default="water")
+    _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_characterize)
 
     p = sub.add_parser("assay", help="static immunoassay")
@@ -168,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exposure", type=float, default=1800.0)
     p.add_argument("--interval", type=float, default=5.0)
     p.add_argument("--stride", type=int, default=30)
+    _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_assay)
 
     p = sub.add_parser("track", help="resonant tracking assay")
@@ -178,14 +255,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gate", type=float, default=10.0)
     p.add_argument("--mode", type=int, default=1)
     p.add_argument("--stride", type=int, default=30)
+    _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_track)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from .errors import ConfigError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as err:
+        print(f"repro: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,86 @@
+"""Declarative device-spec layer: typed configs, builders, overrides.
+
+One typed, serializable, hashable spec describes any device variant this
+library can build; everything else — presets, the CLI, sweeps, the
+result cache — consumes specs instead of re-declaring magic numbers:
+
+* :mod:`repro.config.specs` — the frozen dataclass hierarchy
+  (:class:`ProcessSpec` ... :class:`ChipSpec`) with ``to_dict`` /
+  ``from_dict`` / JSON round-trip, eager field-path validation, and
+  dotted-path ``with_overrides``;
+* :mod:`repro.config.builders` — the ``build(spec)`` registry turning
+  specs into live device objects;
+* :mod:`repro.config.reference` — the paper's reference device as
+  ``REFERENCE_*`` spec constants (the single source of every default).
+
+>>> from repro.config import REFERENCE_STATIC_SENSOR, build   # doctest: +SKIP
+>>> sensor = build(REFERENCE_STATIC_SENSOR.with_overrides(
+...     {"cantilever.length_um": 350, "bridge.mismatch_sigma": 1e-3}
+... ))
+"""
+
+from .builders import (
+    build,
+    build_cantilever,
+    build_first_stage,
+    build_static_readout,
+    builder_for,
+    registered_spec_types,
+)
+from .reference import (
+    REFERENCE_CANTILEVER,
+    REFERENCE_CHIP,
+    REFERENCE_PROCESS,
+    REFERENCE_RESONANT_BRIDGE,
+    REFERENCE_RESONANT_LOOP,
+    REFERENCE_RESONANT_SENSOR,
+    REFERENCE_SPECS,
+    REFERENCE_STATIC_BRIDGE,
+    REFERENCE_STATIC_READOUT,
+    REFERENCE_STATIC_SENSOR,
+)
+from .specs import (
+    BridgeSpec,
+    CantileverSpec,
+    ChannelSpec,
+    ChipSpec,
+    ProcessSpec,
+    ResonantLoopSpec,
+    ResonantSensorSpec,
+    Spec,
+    StaticReadoutSpec,
+    StaticSensorSpec,
+    parse_value,
+    spec_hash,
+)
+
+__all__ = [
+    "BridgeSpec",
+    "CantileverSpec",
+    "ChannelSpec",
+    "ChipSpec",
+    "ProcessSpec",
+    "REFERENCE_CANTILEVER",
+    "REFERENCE_CHIP",
+    "REFERENCE_PROCESS",
+    "REFERENCE_RESONANT_BRIDGE",
+    "REFERENCE_RESONANT_LOOP",
+    "REFERENCE_RESONANT_SENSOR",
+    "REFERENCE_SPECS",
+    "REFERENCE_STATIC_BRIDGE",
+    "REFERENCE_STATIC_READOUT",
+    "REFERENCE_STATIC_SENSOR",
+    "ResonantLoopSpec",
+    "ResonantSensorSpec",
+    "Spec",
+    "StaticReadoutSpec",
+    "StaticSensorSpec",
+    "build",
+    "build_cantilever",
+    "build_first_stage",
+    "build_static_readout",
+    "builder_for",
+    "parse_value",
+    "registered_spec_types",
+    "spec_hash",
+]

@@ -1,0 +1,219 @@
+"""Builder registry: from declarative specs to live device objects.
+
+``build(spec)`` dispatches on the spec's concrete type and constructs
+the corresponding device object — a :class:`~repro.fabrication.release.
+ReleasedCantilever` from a :class:`CantileverSpec`, a Wheatstone bridge
+from a :class:`BridgeSpec`, a full :class:`~repro.core.StaticCantileverSensor`
+from a :class:`StaticSensorSpec`, and so on.  Construction is strictly
+deterministic: the same spec always builds a bit-identical device, which
+is what makes :func:`~repro.config.specs.spec_hash` a sound cache key.
+
+Heavy subsystem imports happen inside the builder bodies, never at
+module scope, so ``repro.config`` stays importable from anywhere in the
+package (``repro.core`` imports it for the ``from_spec`` constructors)
+without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+from ..errors import ConfigError
+from .specs import (
+    BridgeSpec,
+    CantileverSpec,
+    ChipSpec,
+    ProcessSpec,
+    ResonantSensorSpec,
+    Spec,
+    StaticReadoutSpec,
+    StaticSensorSpec,
+)
+
+__all__ = [
+    "build",
+    "build_cantilever",
+    "build_first_stage",
+    "build_static_readout",
+    "builder_for",
+    "registered_spec_types",
+]
+
+_BUILDERS: dict[type, Callable[[Spec], Any]] = {}
+
+S = TypeVar("S", bound=type)
+
+
+def builder_for(spec_type: type) -> Callable:
+    """Class decorator registering a build function for one spec type."""
+
+    def register(fn: Callable[[Spec], Any]) -> Callable[[Spec], Any]:
+        _BUILDERS[spec_type] = fn
+        return fn
+
+    return register
+
+
+def build(spec: Spec) -> Any:
+    """Construct the device object a spec describes.
+
+    Raises :class:`~repro.errors.ConfigError` for spec types without a
+    registered builder (e.g. the purely-parametric
+    :class:`ResonantLoopSpec`, which is consumed by its parent sensor
+    spec rather than built standalone).
+    """
+    builder = _BUILDERS.get(type(spec))
+    if builder is None:
+        known = ", ".join(sorted(t.__name__ for t in _BUILDERS))
+        raise ConfigError(
+            f"no builder registered for {type(spec).__name__}; "
+            f"buildable spec types: {known}"
+        )
+    return builder(spec)
+
+
+def registered_spec_types() -> tuple[type, ...]:
+    """Spec types ``build`` accepts, in registration order."""
+    return tuple(_BUILDERS)
+
+
+# ---------------------------------------------------------------------------
+# leaf builders
+# ---------------------------------------------------------------------------
+
+
+@builder_for(ProcessSpec)
+def build_process(spec: ProcessSpec):
+    """Post-CMOS flow of the spec'd etch-stop depth and beam coating."""
+    from ..fabrication.process import PostCMOSFlow
+    from ..units import um
+
+    return PostCMOSFlow(
+        keep_dielectrics_on_beam=spec.keep_dielectrics,
+        nwell_depth=um(spec.nwell_depth_um),
+    )
+
+
+def build_cantilever(
+    spec: CantileverSpec, process: ProcessSpec | None = None
+):
+    """Fabricate the spec'd beam through the (spec'd) post-CMOS flow."""
+    from ..fabrication.release import fabricate_cantilever
+    from ..units import um
+
+    flow = build_process(process if process is not None else ProcessSpec())
+    return fabricate_cantilever(
+        um(spec.length_um),
+        um(spec.width_um),
+        flow,
+        membrane_margin=um(spec.membrane_margin_um),
+    )
+
+
+@builder_for(CantileverSpec)
+def _build_cantilever_default_process(spec: CantileverSpec):
+    """``build(CantileverSpec)`` uses the default process; compose a
+    sensor/chip spec (or call :func:`build_cantilever`) for a custom one."""
+    return build_cantilever(spec)
+
+
+@builder_for(BridgeSpec)
+def build_bridge(spec: BridgeSpec):
+    """Matched four-element bridge of the spec'd technology."""
+    from ..transduction.mos_resistor import MOSBridgeTransistor
+    from ..transduction.noise import HOOGE_ALPHA_DIFFUSED, HOOGE_ALPHA_MOS
+    from ..transduction.piezoresistor import DiffusedResistor
+    from ..transduction.wheatstone import matched_bridge
+
+    if spec.kind == "diffused":
+        element = DiffusedResistor(
+            nominal_resistance=spec.nominal_resistance_ohm
+        )
+        hooge = HOOGE_ALPHA_DIFFUSED
+    else:  # "pmos" — the only other validated kind
+        element = MOSBridgeTransistor()
+        hooge = HOOGE_ALPHA_MOS
+    return matched_bridge(
+        element,
+        bias_voltage=spec.bias_voltage_v,
+        mismatch_sigma=spec.mismatch_sigma,
+        hooge_alpha=hooge,
+        seed=spec.seed,
+    )
+
+
+def build_first_stage(spec: StaticReadoutSpec, rng=None):
+    """The core amplifier inside the chopper stage of the Fig. 4 chain."""
+    from ..circuits.amplifier import Amplifier
+
+    return Amplifier(
+        gain=spec.first_stage_gain,
+        gbw=2e6,
+        input_offset=spec.first_stage_offset_v,
+        noise_density=25e-9,
+        noise_corner=2e3,
+        rails=(-2.5, 2.5),
+        rng=rng,
+    )
+
+
+@builder_for(StaticReadoutSpec)
+def build_static_readout(spec: StaticReadoutSpec, rng=None) -> dict:
+    """All blocks of the Fig. 4 chain, keyed by stage name.
+
+    ``rng`` defaults to a generator seeded with ``spec.rng_seed`` so two
+    chains built from equal specs produce identical noise realizations —
+    the property that keeps spec-keyed sweeps cacheable.
+    """
+    import numpy as np
+
+    from ..circuits.amplifier import Amplifier
+    from ..circuits.chopper import ChopperAmplifier
+    from ..circuits.filters import LowPassFilter
+    from ..circuits.offset_dac import OffsetCompensationDAC
+
+    rng = rng if rng is not None else np.random.default_rng(spec.rng_seed)
+    first_stage = build_first_stage(spec, rng=rng)
+    return {
+        "chopper": ChopperAmplifier(first_stage, spec.chop_frequency_hz),
+        "lowpass": LowPassFilter(
+            cutoff=spec.lowpass_cutoff_hz, order=spec.lowpass_order
+        ),
+        "offset_dac": OffsetCompensationDAC(
+            full_scale=spec.dac_full_scale_v, bits=spec.dac_bits
+        ),
+        "gain2": Amplifier(
+            gain=spec.gain2, gbw=2e6, input_offset=0.5e-3,
+            noise_density=15e-9, noise_corner=1e3, rng=rng,
+        ),
+        "gain3": Amplifier(
+            gain=spec.gain3, gbw=2e6, input_offset=0.5e-3,
+            noise_density=15e-9, noise_corner=1e3, rng=rng,
+        ),
+    }
+
+
+# ---------------------------------------------------------------------------
+# composite builders (delegate to the core classes' from_spec constructors)
+# ---------------------------------------------------------------------------
+
+
+@builder_for(StaticSensorSpec)
+def build_static_sensor(spec: StaticSensorSpec):
+    from ..core.static_sensor import StaticCantileverSensor
+
+    return StaticCantileverSensor.from_spec(spec)
+
+
+@builder_for(ResonantSensorSpec)
+def build_resonant_sensor(spec: ResonantSensorSpec):
+    from ..core.resonant_sensor import ResonantCantileverSensor
+
+    return ResonantCantileverSensor.from_spec(spec)
+
+
+@builder_for(ChipSpec)
+def build_chip(spec: ChipSpec):
+    from ..core.chip import BiosensorChip
+
+    return BiosensorChip.from_spec(spec)

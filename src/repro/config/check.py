@@ -1,0 +1,65 @@
+"""Spec self-check: ``python -m repro.config.check``.
+
+Walks every registered reference spec (``REFERENCE_SPECS``), JSON
+round-trips it, verifies the round-trip is exactly equal and hashes to
+the same key, and exercises a dotted-path override on each composite.
+``make spec-check`` runs this plus a CLI ``--set`` smoke; the same
+coverage runs inside tier-1 via ``tests/config/test_spec_check.py``.
+
+Exit code 0 when every spec passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .reference import REFERENCE_SPECS
+from .specs import Spec, spec_hash
+
+#: One cheap override per composite spec, proving the dotted paths work.
+SMOKE_OVERRIDES: dict[str, dict[str, object]] = {
+    "static_sensor": {"cantilever.length_um": 350,
+                      "bridge.mismatch_sigma": 0.001},
+    "resonant_sensor": {"loop.mode": 2, "liquid": "pbs"},
+    "chip": {"channels.2.label": "blank", "temperature_drift_v_per_s": 1e-5},
+}
+
+
+def check_spec(name: str, spec: Spec) -> list[str]:
+    """All failures of one reference spec (empty list = pass)."""
+    failures: list[str] = []
+    cls = type(spec)
+
+    round_tripped = cls.from_json(spec.to_json())
+    if round_tripped != spec:
+        failures.append(f"{name}: JSON round-trip is not equal")
+    if spec_hash(round_tripped) != spec_hash(spec):
+        failures.append(f"{name}: round-trip changed the spec hash")
+
+    for path, value in SMOKE_OVERRIDES.get(name, {}).items():
+        overridden = spec.with_overrides({path: value})
+        if overridden == spec:
+            failures.append(f"{name}: override {path}={value} was a no-op")
+        back = cls.from_dict(overridden.to_dict())
+        if back != overridden:
+            failures.append(f"{name}: overridden spec fails the round-trip")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    failures: list[str] = []
+    for name, spec in REFERENCE_SPECS.items():
+        spec_failures = check_spec(name, spec)
+        failures.extend(spec_failures)
+        status = "FAIL" if spec_failures else "ok"
+        print(f"  {name:<16s} {type(spec).__name__:<20s} "
+              f"{spec_hash(spec)[:12]}  {status}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    print(f"spec-check: {len(REFERENCE_SPECS)} reference specs, "
+          f"{len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

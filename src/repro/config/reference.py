@@ -1,0 +1,89 @@
+"""The paper's reference device, declared once as spec constants.
+
+Every preset factory, CLI default, bench, and example starts from these
+specs, so the "device as published" — the 0.8 um process with its 5 um
+n-well etch stop, the 500 x 100 um released beam, the diffused bridge of
+the static system and the PMOS bridge of the resonant one — exists in
+exactly one place and cannot drift between entry points.
+
+:data:`REFERENCE_SPECS` is the registry ``make spec-check`` and the
+tier-1 spec tests walk: every constant here must JSON-round-trip and
+(where a builder exists) build.
+"""
+
+from __future__ import annotations
+
+from .specs import (
+    BridgeSpec,
+    CantileverSpec,
+    ChannelSpec,
+    ChipSpec,
+    ProcessSpec,
+    ResonantLoopSpec,
+    ResonantSensorSpec,
+    Spec,
+    StaticReadoutSpec,
+    StaticSensorSpec,
+)
+
+__all__ = [
+    "REFERENCE_CANTILEVER",
+    "REFERENCE_CHIP",
+    "REFERENCE_PROCESS",
+    "REFERENCE_RESONANT_BRIDGE",
+    "REFERENCE_RESONANT_LOOP",
+    "REFERENCE_RESONANT_SENSOR",
+    "REFERENCE_SPECS",
+    "REFERENCE_STATIC_BRIDGE",
+    "REFERENCE_STATIC_READOUT",
+    "REFERENCE_STATIC_SENSOR",
+]
+
+#: The 0.8 um post-CMOS flow with the 5 um electrochemical etch stop.
+REFERENCE_PROCESS = ProcessSpec()
+
+#: The drawn 500 x 100 um cantilever of both systems.
+REFERENCE_CANTILEVER = CantileverSpec()
+
+#: Diffused-resistor bridge of the static system (0.2 % mismatch).
+REFERENCE_STATIC_BRIDGE = BridgeSpec()
+
+#: PMOS-in-triode bridge of the resonant system (0.5 % mismatch).
+REFERENCE_RESONANT_BRIDGE = BridgeSpec(
+    kind="pmos", mismatch_sigma=5e-3, seed=43
+)
+
+#: The Fig. 4 chopper-stabilized readout chain.
+REFERENCE_STATIC_READOUT = StaticReadoutSpec()
+
+#: The Fig. 5 closed-loop operating point.
+REFERENCE_RESONANT_LOOP = ResonantLoopSpec()
+
+#: Full static system: reference device, IgG chemistry, Fig. 4 chain.
+REFERENCE_STATIC_SENSOR = StaticSensorSpec()
+
+#: Full resonant system: reference device in water, Fig. 5 loop.
+REFERENCE_RESONANT_SENSOR = ResonantSensorSpec()
+
+#: The 4-channel array chip (two assays + two blocked references).
+REFERENCE_CHIP = ChipSpec(
+    channels=(
+        ChannelSpec(analyte="igg", label="anti-IgG"),
+        ChannelSpec(analyte="crp", label="anti-CRP"),
+        ChannelSpec(analyte=None, label="ref1"),
+        ChannelSpec(analyte=None, label="ref2"),
+    )
+)
+
+#: Name -> spec registry of every reference constant (spec-check walks it).
+REFERENCE_SPECS: dict[str, Spec] = {
+    "process": REFERENCE_PROCESS,
+    "cantilever": REFERENCE_CANTILEVER,
+    "static_bridge": REFERENCE_STATIC_BRIDGE,
+    "resonant_bridge": REFERENCE_RESONANT_BRIDGE,
+    "static_readout": REFERENCE_STATIC_READOUT,
+    "resonant_loop": REFERENCE_RESONANT_LOOP,
+    "static_sensor": REFERENCE_STATIC_SENSOR,
+    "resonant_sensor": REFERENCE_RESONANT_SENSOR,
+    "chip": REFERENCE_CHIP,
+}

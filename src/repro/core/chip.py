@@ -71,11 +71,12 @@ class BiosensorChip:
 
     Parameters
     ----------
+    channels:
+        Functionalization plan, one entry per channel.  Required — a
+        chip without a channel plan has no defined assay.
     cantilever:
         The fabricated beam replicated across the array (one mask, four
         copies — how the real chip is drawn).
-    channels:
-        Functionalization plan, one entry per channel.
     temperature_drift:
         Common-mode output drift rate [V/s] applied to *all* channels
         (what referencing exists to cancel).
@@ -85,8 +86,8 @@ class BiosensorChip:
 
     def __init__(
         self,
+        channels: list[ChannelConfig],
         cantilever: ReleasedCantilever | None = None,
-        channels: list[ChannelConfig] | None = None,
         temperature_drift: float = 0.0,
         seed: int = 99,
     ) -> None:
@@ -127,6 +128,34 @@ class BiosensorChip:
                     seed=seed + 10 * i,
                 )
             )
+
+    @classmethod
+    def from_spec(cls, spec) -> "BiosensorChip":
+        """Build the 4-channel array chip from a :class:`ChipSpec`.
+
+        Each :class:`~repro.config.specs.ChannelSpec` names its analyte
+        by registry key (``analyte=None`` marks a blocked reference
+        beam).  Deterministic: equal specs build bit-identical chips.
+        """
+        from ..biochem.analytes import get_analyte
+        from ..config.builders import build_cantilever
+
+        channels = [
+            ChannelConfig(
+                analyte=(
+                    get_analyte(ch.analyte) if ch.analyte is not None else None
+                ),
+                immobilization_efficiency=ch.immobilization_efficiency,
+                label=ch.label,
+            )
+            for ch in spec.channels
+        ]
+        return cls(
+            channels,
+            cantilever=build_cantilever(spec.cantilever, spec.process),
+            temperature_drift=spec.temperature_drift_v_per_s,
+            seed=spec.seed,
+        )
 
     @property
     def reference_channels(self) -> tuple[int, ...]:

@@ -1,49 +1,66 @@
-"""Paper-calibrated default configurations.
+"""Paper-calibrated default configurations (thin spec shims).
 
-One place holding the "device as published" parameter set: the 0.8 um
-process with its 5 um n-well etch stop, a 500 x 100 um released silicon
-cantilever, the diffused bridge of the static system, the PMOS bridge of
-the resonant system, and the two readout chains of Figs. 4 and 5.  Every
-example and bench starts from these factories so results are comparable
-across the repository.
+The "device as published" parameter set now lives in
+:mod:`repro.config.reference` as typed ``REFERENCE_*`` spec constants;
+this module keeps the historical factory API as thin shims that delegate
+to :func:`repro.config.build` on those specs.  New code should compose
+specs directly::
+
+    from repro.config import REFERENCE_STATIC_SENSOR, build
+    sensor = build(REFERENCE_STATIC_SENSOR.with_overrides(
+        {"cantilever.length_um": 350}
+    ))
+
+.. deprecated:: 1.1
+   The factories below are shims for backwards compatibility; they build
+   bit-identical devices to the spec path and will keep working, but the
+   spec constants are the single source of truth.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
-from ..circuits.amplifier import Amplifier
-from ..circuits.chopper import ChopperAmplifier
-from ..circuits.filters import LowPassFilter
-from ..circuits.offset_dac import OffsetCompensationDAC
-from ..fabrication.process import PostCMOSFlow
-from ..fabrication.release import ReleasedCantilever, fabricate_cantilever
+from ..config.builders import (
+    build_bridge,
+    build_cantilever,
+    build_first_stage,
+    build_static_readout,
+)
+from ..config.reference import (
+    REFERENCE_CANTILEVER,
+    REFERENCE_PROCESS,
+    REFERENCE_RESONANT_BRIDGE,
+    REFERENCE_STATIC_BRIDGE,
+    REFERENCE_STATIC_READOUT,
+)
+from ..fabrication.release import ReleasedCantilever
 from ..mechanics.geometry import CantileverGeometry
-from ..transduction.mos_resistor import MOSBridgeTransistor
-from ..transduction.noise import HOOGE_ALPHA_DIFFUSED, HOOGE_ALPHA_MOS
-from ..transduction.piezoresistor import DiffusedResistor
-from ..transduction.wheatstone import WheatstoneBridge, matched_bridge
+from ..transduction.wheatstone import WheatstoneBridge
+from ..units import um
 
-#: Drawn cantilever dimensions of the reference device [m].
-CANTILEVER_LENGTH: float = 500e-6
-CANTILEVER_WIDTH: float = 100e-6
+#: Drawn cantilever dimensions of the reference device [m] (from the spec).
+CANTILEVER_LENGTH: float = um(REFERENCE_CANTILEVER.length_um)
+CANTILEVER_WIDTH: float = um(REFERENCE_CANTILEVER.width_um)
 
-#: Supply/bridge bias of the 0.8 um chip [V].
-SUPPLY_VOLTAGE: float = 3.3
+#: Supply/bridge bias of the 0.8 um chip [V] (from the spec).
+SUPPLY_VOLTAGE: float = REFERENCE_STATIC_BRIDGE.bias_voltage_v
 
-#: Chopper carrier of the static first stage [Hz].
-CHOP_FREQUENCY: float = 10e3
+#: Chopper carrier of the static first stage [Hz] (from the spec).
+CHOP_FREQUENCY: float = REFERENCE_STATIC_READOUT.chop_frequency_hz
 
-#: Sample rate used for full-rate circuit simulation [Hz].
-CIRCUIT_SAMPLE_RATE: float = 200e3
+#: Sample rate used for full-rate circuit simulation [Hz] (from the spec).
+CIRCUIT_SAMPLE_RATE: float = REFERENCE_STATIC_READOUT.sample_rate_hz
 
 
 def reference_cantilever(
     keep_dielectrics: bool = False,
 ) -> ReleasedCantilever:
-    """Fabricate the reference 500 x 100 x 5 um cantilever."""
-    flow = PostCMOSFlow(keep_dielectrics_on_beam=keep_dielectrics)
-    return fabricate_cantilever(CANTILEVER_LENGTH, CANTILEVER_WIDTH, flow)
+    """Fabricate the reference 500 x 100 x 5 um cantilever (spec shim)."""
+    process = replace(REFERENCE_PROCESS, keep_dielectrics=keep_dielectrics)
+    return build_cantilever(REFERENCE_CANTILEVER, process)
 
 
 def reference_geometry() -> CantileverGeometry:
@@ -54,76 +71,50 @@ def reference_geometry() -> CantileverGeometry:
 def static_bridge(
     mismatch_sigma: float = 2e-3, seed: int | None = 42
 ) -> WheatstoneBridge:
-    """Diffused-resistor bridge of the static system.
+    """Diffused-resistor bridge of the static system (spec shim).
 
     2e-3 (0.2 %) per-element mismatch is a realistic matched-diffusion
     figure and produces the millivolt-scale offset the offset DAC of
     Fig. 4 is sized for.
     """
-    element = DiffusedResistor(nominal_resistance=10e3)
-    return matched_bridge(
-        element,
-        bias_voltage=SUPPLY_VOLTAGE,
-        mismatch_sigma=mismatch_sigma,
-        hooge_alpha=HOOGE_ALPHA_DIFFUSED,
-        seed=seed,
+    return build_bridge(
+        replace(
+            REFERENCE_STATIC_BRIDGE, mismatch_sigma=mismatch_sigma, seed=seed
+        )
     )
 
 
 def resonant_bridge(
     mismatch_sigma: float = 5e-3, seed: int | None = 43
 ) -> WheatstoneBridge:
-    """PMOS-in-triode bridge of the resonant system."""
-    element = MOSBridgeTransistor()
-    return matched_bridge(
-        element,
-        bias_voltage=SUPPLY_VOLTAGE,
-        mismatch_sigma=mismatch_sigma,
-        hooge_alpha=HOOGE_ALPHA_MOS,
-        seed=seed,
+    """PMOS-in-triode bridge of the resonant system (spec shim)."""
+    return build_bridge(
+        replace(
+            REFERENCE_RESONANT_BRIDGE, mismatch_sigma=mismatch_sigma, seed=seed
+        )
     )
 
 
-def first_stage_amplifier(rng: np.random.Generator | None = None) -> Amplifier:
-    """The core amplifier inside the chopper stage.
+def first_stage_amplifier(rng: np.random.Generator | None = None):
+    """The core amplifier inside the chopper stage (spec shim).
 
     Millivolt offset and a kilohertz-range 1/f corner — ordinary 0.8 um
     CMOS figures, i.e. exactly what makes chopping necessary.
     """
-    return Amplifier(
-        gain=100.0,
-        gbw=2e6,
-        input_offset=2e-3,
-        noise_density=25e-9,
-        noise_corner=2e3,
-        rails=(-2.5, 2.5),
-        rng=rng,
-    )
+    return build_first_stage(REFERENCE_STATIC_READOUT, rng=rng)
 
 
 def static_readout_blocks(
     rng: np.random.Generator | None = None,
 ) -> dict[str, object]:
-    """All blocks of the Fig. 4 chain, keyed by stage name.
+    """All blocks of the Fig. 4 chain, keyed by stage name (spec shim).
 
     Stage order: ``chopper`` -> ``lowpass`` -> ``offset_dac`` ->
     ``gain2`` -> ``gain3``.
 
-    The ``rng`` fallback is a *fixed-seed* generator: two chains built
-    without an explicit generator produce identical noise realizations,
-    which keeps sweeps deterministic and their results cacheable.
+    The ``rng`` fallback is a *fixed-seed* generator (the spec's
+    ``rng_seed``): two chains built without an explicit generator produce
+    identical noise realizations, which keeps sweeps deterministic and
+    their results cacheable.
     """
-    rng = rng if rng is not None else np.random.default_rng(2024)
-    return {
-        "chopper": ChopperAmplifier(first_stage_amplifier(rng), CHOP_FREQUENCY),
-        "lowpass": LowPassFilter(cutoff=100.0, order=2),
-        "offset_dac": OffsetCompensationDAC(full_scale=1.0, bits=10),
-        "gain2": Amplifier(
-            gain=10.0, gbw=2e6, input_offset=0.5e-3,
-            noise_density=15e-9, noise_corner=1e3, rng=rng,
-        ),
-        "gain3": Amplifier(
-            gain=5.0, gbw=2e6, input_offset=0.5e-3,
-            noise_density=15e-9, noise_corner=1e3, rng=rng,
-        ),
-    }
+    return build_static_readout(REFERENCE_STATIC_READOUT, rng=rng)

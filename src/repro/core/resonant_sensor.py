@@ -110,6 +110,34 @@ class ResonantCantileverSensor:
         self._loop: ResonantFeedbackLoop | None = None
         self._tracking_calibration: tuple[float, float] | None = None
 
+    @classmethod
+    def from_spec(cls, spec) -> "ResonantCantileverSensor":
+        """Build the full resonant system from a :class:`ResonantSensorSpec`.
+
+        Fabricates the spec'd beam, functionalizes it for the spec'd
+        analyte, immerses it in the spec'd liquid, and closes the Fig. 5
+        loop with the spec'd PMOS bridge and loop settings.
+        Deterministic: equal specs build bit-identical sensors.
+        """
+        from ..biochem.analytes import get_analyte
+        from ..config.builders import build_bridge, build_cantilever
+        from ..materials.liquids import get_liquid
+
+        cantilever = build_cantilever(spec.cantilever, spec.process)
+        surface = FunctionalizedSurface(
+            analyte=get_analyte(spec.analyte),
+            geometry=cantilever.geometry,
+            immobilization_efficiency=spec.immobilization_efficiency,
+        )
+        return cls(
+            surface,
+            liquid=get_liquid(spec.liquid),
+            bridge=build_bridge(spec.bridge),
+            steps_per_cycle=spec.loop.steps_per_cycle,
+            mode=spec.loop.mode,
+            seed=spec.loop.seed,
+        )
+
     # -- physics -----------------------------------------------------------------------
 
     def modal_added_mass(self, bound_mass: float) -> float:

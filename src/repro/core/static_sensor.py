@@ -93,6 +93,36 @@ class StaticCantileverSensor:
         self._dc_gain: float | None = None
         self._noise_rms: float | None = None
 
+    @classmethod
+    def from_spec(cls, spec) -> "StaticCantileverSensor":
+        """Build the full static system from a :class:`StaticSensorSpec`.
+
+        Fabricates the spec'd beam, functionalizes it for the spec'd
+        analyte, and assembles the spec'd bridge and Fig. 4 chain.
+        Deterministic: equal specs build bit-identical sensors.
+        """
+        from ..biochem.analytes import get_analyte
+        from ..biochem.functionalization import FunctionalizedSurface
+        from ..config.builders import (
+            build_bridge,
+            build_cantilever,
+            build_static_readout,
+        )
+
+        cantilever = build_cantilever(spec.cantilever, spec.process)
+        surface = FunctionalizedSurface(
+            analyte=get_analyte(spec.analyte),
+            geometry=cantilever.geometry,
+            immobilization_efficiency=spec.immobilization_efficiency,
+        )
+        return cls(
+            surface,
+            bridge=build_bridge(spec.bridge),
+            blocks=build_static_readout(spec.readout),
+            sample_rate=spec.readout.sample_rate_hz,
+            seed=spec.readout.rng_seed,
+        )
+
     # -- transduction -------------------------------------------------------------
 
     def bridge_voltage(self, surface_stress: float) -> float:

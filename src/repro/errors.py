@@ -63,3 +63,12 @@ class ExecutorError(ReproError, ValueError):
 
 class CacheError(ReproError, RuntimeError):
     """The result cache cannot hash a key or persist an entry."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A device spec is invalid, or an override path does not resolve.
+
+    Messages carry the dotted field path of the offending value
+    (e.g. ``cantilever.length_um: must be a positive finite number``)
+    so a failing sweep grid or ``--set`` flag points at itself.
+    """

@@ -1,0 +1,104 @@
+"""Golden equivalence: spec-built devices == presets-built, bit for bit.
+
+The refactor's acceptance bar: ``build(REFERENCE_*)`` must construct
+devices *bit-identical* to the historical ``repro.core.presets``
+factories — same fabricated geometry, same bridge mismatch draw, same
+chain noise realization, same golden numbers.  Any drift here would
+silently invalidate every pinned benchmark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.biochem import FunctionalizedSurface, get_analyte
+from repro.config import (
+    REFERENCE_CHIP,
+    REFERENCE_RESONANT_SENSOR,
+    REFERENCE_STATIC_SENSOR,
+    build,
+)
+from repro.core import StaticCantileverSensor
+from repro.core.presets import (
+    reference_cantilever,
+    resonant_bridge,
+    static_bridge,
+)
+
+
+@pytest.fixture(scope="module")
+def spec_sensor():
+    return build(REFERENCE_STATIC_SENSOR)
+
+
+@pytest.fixture(scope="module")
+def presets_sensor():
+    surface = FunctionalizedSurface(
+        get_analyte("igg"), reference_cantilever().geometry
+    )
+    return StaticCantileverSensor(surface)
+
+
+class TestDeviceEquivalence:
+    def test_geometry_is_identical(self, spec_sensor):
+        g_spec = spec_sensor.geometry
+        g_presets = reference_cantilever().geometry
+        assert g_spec.length == g_presets.length
+        assert g_spec.width == g_presets.width
+        assert g_spec.thickness == g_presets.thickness
+
+    def test_bridge_draw_is_identical(self, spec_sensor):
+        assert (
+            spec_sensor.bridge.offset_voltage()
+            == static_bridge().offset_voltage()
+        )
+
+    def test_resonant_bridge_draw_is_identical(self):
+        sensor = build(REFERENCE_RESONANT_SENSOR)
+        assert (
+            sensor.bridge.offset_voltage()
+            == resonant_bridge().offset_voltage()
+        )
+
+
+class TestChainEquivalence:
+    def test_characterization_is_bit_identical(
+        self, spec_sensor, presets_sensor
+    ):
+        spec_gain, spec_noise = spec_sensor.characterize_chain()
+        ref_gain, ref_noise = presets_sensor.characterize_chain()
+        assert spec_gain == ref_gain
+        assert spec_noise == ref_noise
+
+    def test_golden_dc_gain_still_holds(self, spec_sensor):
+        assert spec_sensor.dc_gain == pytest.approx(3858.0, rel=0.02)
+
+
+class TestSystemEquivalence:
+    def test_resonant_golden_frequency(self):
+        sensor = build(REFERENCE_RESONANT_SENSOR)
+        assert sensor.fluid_mode.frequency == pytest.approx(8919.7, rel=1e-3)
+
+    def test_chip_matches_channelconfig_path(self):
+        from repro.core import BiosensorChip, ChannelConfig
+
+        spec_chip = build(REFERENCE_CHIP)
+        manual = BiosensorChip(
+            channels=[
+                ChannelConfig(analyte=get_analyte("igg"), label="anti-IgG"),
+                ChannelConfig(analyte=get_analyte("crp"), label="anti-CRP"),
+                ChannelConfig(analyte=None, label="ref1"),
+                ChannelConfig(analyte=None, label="ref2"),
+            ],
+        )
+        assert spec_chip.reference_channels == manual.reference_channels
+        offsets_spec = [s.bridge.offset_voltage() for s in spec_chip.sensors]
+        offsets_manual = [s.bridge.offset_voltage() for s in manual.sensors]
+        np.testing.assert_array_equal(offsets_spec, offsets_manual)
+
+    def test_overridden_spec_builds_a_different_device(self):
+        short = build(
+            REFERENCE_STATIC_SENSOR.with_overrides(
+                {"cantilever.length_um": 350}
+            )
+        )
+        assert short.geometry.length == pytest.approx(350e-6)

@@ -1,0 +1,24 @@
+"""Fast tier-1 wrapper around the ``make spec-check`` self-check."""
+
+from repro.config import REFERENCE_SPECS
+from repro.config.check import SMOKE_OVERRIDES, check_spec, main
+
+
+def test_every_reference_spec_passes():
+    for name, spec in REFERENCE_SPECS.items():
+        assert check_spec(name, spec) == []
+
+
+def test_smoke_overrides_cover_all_composites():
+    # every buildable composite exercises at least one dotted override
+    for name in ("static_sensor", "resonant_sensor", "chip"):
+        assert name in SMOKE_OVERRIDES
+        assert SMOKE_OVERRIDES[name]
+
+
+def test_main_exit_code_and_report(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "0 failure(s)" in out
+    for name in REFERENCE_SPECS:
+        assert name in out

@@ -1,0 +1,69 @@
+"""spec_hash: the cache-key contract — stable across objects and processes."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import (
+    REFERENCE_SPECS,
+    REFERENCE_STATIC_SENSOR,
+    StaticSensorSpec,
+    spec_hash,
+)
+
+
+class TestWithinProcess:
+    def test_equal_specs_hash_equal(self):
+        assert spec_hash(StaticSensorSpec()) == spec_hash(StaticSensorSpec())
+
+    def test_round_trip_preserves_hash(self):
+        spec = REFERENCE_STATIC_SENSOR
+        back = StaticSensorSpec.from_json(spec.to_json())
+        assert spec_hash(back) == spec_hash(spec)
+
+    def test_any_field_change_changes_hash(self):
+        base = spec_hash(REFERENCE_STATIC_SENSOR)
+        for path, value in [
+            ("cantilever.length_um", 350),
+            ("bridge.mismatch_sigma", 1e-3),
+            ("readout.rng_seed", 7),
+            ("analyte", "crp"),
+        ]:
+            assert spec_hash(
+                REFERENCE_STATIC_SENSOR.with_overrides({path: value})
+            ) != base, f"override {path} did not change the hash"
+
+    def test_reference_hashes_are_distinct(self):
+        hashes = {spec_hash(s) for s in REFERENCE_SPECS.values()}
+        assert len(hashes) == len(REFERENCE_SPECS)
+
+    def test_int_and_float_hash_identically_after_round_trip(self):
+        # 350 and 350.0 normalize to the same float field value
+        a = StaticSensorSpec().with_overrides({"cantilever.length_um": 350})
+        b = StaticSensorSpec().with_overrides({"cantilever.length_um": 350.0})
+        assert spec_hash(a) == spec_hash(b)
+
+
+class TestAcrossProcesses:
+    def test_hash_is_stable_in_a_fresh_interpreter(self):
+        """The on-disk cache key must survive interpreter restarts.
+
+        Python salts ``hash()`` per process; ``spec_hash`` must not.  A
+        subprocess recomputes every reference hash from scratch and must
+        reproduce this process's values exactly.
+        """
+        expected = {
+            name: spec_hash(spec) for name, spec in REFERENCE_SPECS.items()
+        }
+        script = (
+            "from repro.config import REFERENCE_SPECS, spec_hash\n"
+            "for name in sorted(REFERENCE_SPECS):\n"
+            "    print(name, spec_hash(REFERENCE_SPECS[name]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        ).stdout
+        seen = dict(line.split() for line in out.strip().splitlines())
+        assert seen == expected

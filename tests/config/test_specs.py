@@ -1,0 +1,206 @@
+"""Spec hierarchy: round-trips, eager validation, dotted-path overrides."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    REFERENCE_SPECS,
+    BridgeSpec,
+    CantileverSpec,
+    ChannelSpec,
+    ChipSpec,
+    ProcessSpec,
+    ResonantSensorSpec,
+    StaticReadoutSpec,
+    StaticSensorSpec,
+    parse_value,
+)
+from repro.errors import ConfigError, ReproError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(REFERENCE_SPECS))
+    def test_dict_round_trip_is_equal(self, name):
+        spec = REFERENCE_SPECS[name]
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", sorted(REFERENCE_SPECS))
+    def test_json_round_trip_is_equal(self, name):
+        spec = REFERENCE_SPECS[name]
+        assert type(spec).from_json(spec.to_json()) == spec
+
+    def test_dict_records_node_kinds(self):
+        data = StaticSensorSpec().to_dict()
+        assert data["$spec"] == "static_sensor"
+        assert data["cantilever"]["$spec"] == "cantilever"
+        assert data["bridge"]["$spec"] == "bridge"
+
+    def test_channels_serialize_as_lists(self):
+        data = ChipSpec().to_dict()
+        assert isinstance(data["channels"], list)
+        assert data["channels"][2]["analyte"] is None
+        spec = ChipSpec.from_dict(data)
+        assert isinstance(spec.channels, tuple)
+        assert spec.channels[2].analyte is None
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            CantileverSpec.from_dict({"length_um": 300, "bogus": 1})
+
+    def test_from_dict_rejects_wrong_kind(self):
+        with pytest.raises(ConfigError, match=r"\$spec"):
+            CantileverSpec.from_dict({"$spec": "bridge"})
+
+    def test_from_json_rejects_bad_json(self):
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            CantileverSpec.from_json("{not json")
+
+    def test_nested_error_carries_full_path(self):
+        data = StaticSensorSpec().to_dict()
+        data["cantilever"]["length_um"] = -1.0
+        with pytest.raises(ConfigError, match="cantilever.length_um"):
+            StaticSensorSpec.from_dict(data)
+
+    def test_tuple_error_carries_index(self):
+        data = ChipSpec().to_dict()
+        data["channels"][1]["immobilization_efficiency"] = 2.0
+        with pytest.raises(
+            ConfigError, match="channels.1.immobilization_efficiency"
+        ):
+            ChipSpec.from_dict(data)
+
+
+class TestValidation:
+    def test_config_error_is_a_repro_error(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+    @pytest.mark.parametrize(
+        "kwargs, path",
+        [
+            ({"length_um": 0.0}, "length_um"),
+            ({"length_um": float("nan")}, "length_um"),
+            ({"width_um": -5.0}, "width_um"),
+        ],
+    )
+    def test_cantilever_rejects_bad_geometry(self, kwargs, path):
+        with pytest.raises(ConfigError, match=path):
+            CantileverSpec(**kwargs)
+
+    def test_bridge_rejects_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            BridgeSpec(kind="strain-gauge")
+
+    def test_bridge_allows_unseeded(self):
+        assert BridgeSpec(seed=None).seed is None
+
+    def test_process_rejects_non_bool_flag(self):
+        with pytest.raises(ConfigError, match="keep_dielectrics"):
+            ProcessSpec(keep_dielectrics=1)
+
+    def test_readout_rejects_chopping_above_nyquist(self):
+        with pytest.raises(ConfigError, match="chop_frequency_hz"):
+            StaticReadoutSpec(chop_frequency_hz=150e3, sample_rate_hz=200e3)
+
+    def test_sensor_rejects_empty_analyte(self):
+        with pytest.raises(ConfigError, match="analyte"):
+            StaticSensorSpec(analyte="")
+
+    def test_chip_needs_exactly_four_channels(self):
+        with pytest.raises(ConfigError, match="channels"):
+            ChipSpec(channels=(ChannelSpec(), ChannelSpec()))
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ConfigError, match="immobilization_efficiency"):
+            ChannelSpec(immobilization_efficiency=1.5)
+
+
+class TestOverrides:
+    def test_single_level(self):
+        spec = CantileverSpec().with_overrides({"length_um": 350})
+        assert spec.length_um == 350.0
+        assert isinstance(spec.length_um, float)  # int coerced for float field
+
+    def test_nested_path(self):
+        spec = StaticSensorSpec().with_overrides(
+            {"cantilever.length_um": 350, "bridge.mismatch_sigma": 1e-3}
+        )
+        assert spec.cantilever.length_um == 350.0
+        assert spec.bridge.mismatch_sigma == 1e-3
+
+    def test_original_is_untouched(self):
+        base = StaticSensorSpec()
+        base.with_overrides({"cantilever.length_um": 350})
+        assert base.cantilever.length_um == 500.0
+
+    def test_tuple_index_path(self):
+        spec = ChipSpec().with_overrides({"channels.2.label": "blank"})
+        assert spec.channels[2].label == "blank"
+        assert spec.channels[0].label == "anti-IgG"
+
+    def test_string_values_are_parsed(self):
+        spec = StaticSensorSpec().with_overrides(
+            {"cantilever.length_um": "350", "process.keep_dielectrics": "true"}
+        )
+        assert spec.cantilever.length_um == 350.0
+        assert spec.process.keep_dielectrics is True
+
+    def test_unknown_field_lists_known(self):
+        with pytest.raises(ConfigError, match="known:.*length_um"):
+            CantileverSpec().with_overrides({"lenght_um": 350})
+
+    def test_unknown_nested_field_names_level(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            StaticSensorSpec().with_overrides({"cantilever.bogus": 1})
+
+    def test_bad_value_carries_full_path(self):
+        with pytest.raises(ConfigError, match="cantilever.length_um"):
+            StaticSensorSpec().with_overrides({"cantilever.length_um": -1})
+
+    def test_tuple_index_out_of_range(self):
+        with pytest.raises(ConfigError, match="index out of range"):
+            ChipSpec().with_overrides({"channels.7.label": "x"})
+
+    def test_cannot_replace_whole_sub_spec(self):
+        with pytest.raises(ConfigError, match="sub-spec"):
+            StaticSensorSpec().with_overrides({"cantilever": CantileverSpec()})
+
+    def test_bool_field_rejects_non_bool(self):
+        with pytest.raises(ConfigError, match="keep_dielectrics"):
+            StaticSensorSpec().with_overrides({"process.keep_dielectrics": 3})
+
+    def test_override_none_for_optional_seed(self):
+        spec = BridgeSpec().with_overrides({"seed": "none"})
+        assert spec.seed is None
+
+    def test_describe_paths_cover_nested_leaves(self):
+        paths = ResonantSensorSpec().describe_paths()
+        assert "cantilever.length_um" in paths
+        assert "loop.mode" in paths
+        assert "liquid" in paths
+        chip_paths = ChipSpec().describe_paths()
+        assert "channels.2.label" in chip_paths
+
+
+class TestParseValue:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("true", True), ("FALSE", False), ("yes", True), ("off", False),
+            ("none", None), ("null", None),
+            ("42", 42), ("-3", -3), ("2.5e-3", 2.5e-3), ("350.0", 350.0),
+            ("water", "water"), ("", ""),
+        ],
+    )
+    def test_parsing(self, raw, expected):
+        assert parse_value(raw) == expected
+        if expected is not None:
+            assert isinstance(parse_value(raw), type(expected))
+
+
+class TestFrozen:
+    def test_specs_are_frozen(self):
+        spec = CantileverSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.length_um = 1.0

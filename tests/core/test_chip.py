@@ -41,6 +41,10 @@ class TestConstruction:
             )
 
     def test_channel_plan_mandatory(self, fabricated):
+        # channels is a required argument...
+        with pytest.raises(TypeError):
+            BiosensorChip(cantilever=fabricated)
+        # ...and an explicit None is rejected with a helpful message
         with pytest.raises(AssayError):
             BiosensorChip(cantilever=fabricated, channels=None)
 
