@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-smoke spec-check examples docs all clean
+.PHONY: install test bench bench-json bench-smoke kernel-check spec-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,17 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Machine-readable FIG5 performance report: samples/sec per closed-loop
+# backend + bench wall times, written to BENCH_fig5.json.
+bench-json:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py
+
+# Fused-kernel golden suite: every backend must reproduce the reference
+# closed-loop waveforms bit-for-bit across the reference specs, and
+# non-lowerable chains must fall back cleanly.  Tier-1.
+kernel-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/engine/test_kernel_equivalence.py tests/engine/test_kernel_lowering.py -q
 
 # Fast parallel-path check: the three engine-ported benches on tiny
 # grids, 2 workers, cache on (cold then warm — the warm runs must report

@@ -11,10 +11,14 @@ Shape targets:
 * the loop starts and locks within ~2% of the fluid-loaded resonance;
 * the measured amplitude matches the describing-function prediction;
 * more viscous liquids demand monotonically more VGA gain;
-* the counter tracks the oscillation to its +/-1-count resolution.
+* the counter tracks the oscillation to its +/-1-count resolution;
+* the fused kernel reproduces the reference waveform bit-for-bit at
+  >= 5x the samples/sec (>= 10x for numba, when installed).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +26,7 @@ import pytest
 from repro.biochem import FunctionalizedSurface, get_analyte
 from repro.circuits import FrequencyCounter
 from repro.core import ResonantCantileverSensor
+from repro.engine import numba_available
 from repro.feedback import analyze, predict_amplitude, predicted_startup_time
 from repro.materials import get_liquid
 
@@ -110,6 +115,84 @@ def test_fig5_vga_adapts_to_liquids(benchmark, reference_device):
     # steps from the discrete gain grid)
     assert all(a <= b for a, b in zip(gains, gains[1:]))
     assert gains[-1] > gains[0]
+
+
+def backend_speedup_experiment(device, duration=0.12, repeats=3):
+    """Wall-clock samples/sec of each closed-loop backend, same physics.
+
+    Every backend consumes the identical synthesized bridge-noise
+    record, so the waveforms must agree bit-for-bit — the speedup is
+    pure execution efficiency, not a model change.
+    """
+    surface = FunctionalizedSurface(get_analyte("igg"), device.geometry)
+    sensor = ResonantCantileverSensor(surface, get_liquid("water"))
+    loop = sensor.build_loop()
+    loop.run(0.002, backend="fused")  # warm the one-time compile cache
+
+    def reset_chain():
+        # run() re-seeds the noise but deliberately leaves block state
+        # alone; equal starting state is what makes the waveforms
+        # comparable across backends.
+        for block in (loop.dda, *loop.highpasses, loop.phase_lead,
+                      loop.vga, loop.limiter, loop.buffer):
+            block.reset()
+
+    backends = ["reference", "fused", "interp"]
+    if numba_available():  # pragma: no cover - numba-only
+        backends.append("numba")
+
+    rows = []
+    baseline = None
+    for backend in backends:
+        best, record = np.inf, None
+        for _ in range(repeats if backend != "interp" else 1):
+            reset_chain()
+            t0 = time.perf_counter()
+            record = loop.run(duration, backend=backend)
+            best = min(best, time.perf_counter() - t0)
+        n = len(record.bridge_voltage)
+        info = loop.last_kernel_info
+        rows.append(
+            {
+                "backend": backend,
+                "engine": info.engine if info else "python",
+                "samples": n,
+                "wall_s": best,
+                "samples_per_sec": n / best,
+                "kernel_samples_per_sec": (
+                    info.samples_per_second if info else n / best
+                ),
+            }
+        )
+        if backend == "reference":
+            baseline = record
+        else:
+            for name in ("displacement", "bridge_voltage", "drive_voltage"):
+                assert np.array_equal(
+                    getattr(baseline, name), getattr(record, name)
+                ), f"{backend}.{name} diverged from the reference waveform"
+    for r in rows:
+        r["speedup"] = r["samples_per_sec"] / rows[0]["samples_per_sec"]
+    return rows
+
+
+def test_fig5_backend_speedup(benchmark, reference_device):
+    rows = benchmark.pedantic(
+        backend_speedup_experiment, args=(reference_device,),
+        rounds=1, iterations=1,
+    )
+    print("\nFIG5: closed-loop backend throughput (identical waveforms)")
+    print(f"{'backend':>10s} {'engine':>8s} {'samples':>9s} "
+          f"{'wall [s]':>9s} {'samp/s':>12s} {'speedup':>8s}")
+    for r in rows:
+        print(f"{r['backend']:>10s} {r['engine']:>8s} {r['samples']:9d} "
+              f"{r['wall_s']:9.3f} {r['samples_per_sec']:12,.0f} "
+              f"{r['speedup']:7.1f}x")
+
+    by_backend = {r["backend"]: r for r in rows}
+    assert by_backend["fused"]["speedup"] >= 5.0
+    if "numba" in by_backend:  # pragma: no cover - numba-only
+        assert by_backend["numba"]["speedup"] >= 10.0
 
 
 def tracking_experiment(device):

@@ -129,6 +129,42 @@ class Amplifier(Block):
             raise CircuitError("call prepare(sample_rate) before stepping")
         return (rate / 2.0) ** 0.5
 
+    def lower_stage(self):
+        from ..engine.kernel import (
+            OP_BIAS,
+            OP_CLIP,
+            OP_GAIN,
+            KernelOp,
+            KernelStage,
+            compose_stages,
+        )
+        from ..errors import LoweringError
+
+        if self.noise_density > 0.0:
+            # per-sample RNG draws cannot be replayed by a coefficient
+            # program; the loop falls back to the reference path
+            raise LoweringError(
+                f"{type(self).__name__} draws per-sample noise "
+                "(noise_density > 0)"
+            )
+        head = KernelStage(
+            type(self).__name__,
+            [
+                KernelOp(OP_BIAS, (self.input_offset,)),
+                KernelOp(OP_GAIN, (self.gain,)),
+            ],
+        )
+        stages = [head]
+        if self._pole is not None:
+            stages.append(self._pole.lower_stage())
+        if self.rails is not None:
+            stages.append(
+                KernelStage(
+                    "rails", [KernelOp(OP_CLIP, (self.rails[0], self.rails[1]))]
+                )
+            )
+        return compose_stages(type(self).__name__, stages)
+
     def reset(self) -> None:
         if self._pole is not None:
             self._pole.reset()

@@ -41,6 +41,13 @@ class Block(ABC):
     def reset(self) -> None:
         """Clear internal state (filters, saturation latches).  Default: none."""
 
+    # Blocks that can run inside the fused loop kernel additionally
+    # export ``lower_stage() -> repro.engine.kernel.KernelStage``, the
+    # per-sample update as primitive ops.  The base class deliberately
+    # does NOT define it: a subclass that overrides ``step`` without a
+    # matching ``lower_stage`` must not inherit one that misrepresents
+    # its semantics (``repro.engine.kernel.lower_block`` enforces this).
+
     # -- characterization helpers ------------------------------------------------
 
     def small_signal_gain(
@@ -93,6 +100,12 @@ class Chain(Block):
         for block in self.blocks:
             block.reset()
 
+    def lower_stage(self):
+        """The chain as one fused stage (sub-blocks lowered in order)."""
+        from ..engine.kernel import compose_stages, lower_block
+
+        return compose_stages("Chain", [lower_block(b) for b in self.blocks])
+
     def process_stagewise(self, signal: Signal) -> list[Signal]:
         """Outputs after each stage; :meth:`process` returns the last."""
         outputs = []
@@ -117,6 +130,11 @@ class Gain(Block):
     def step(self, x: float) -> float:
         return x * self.gain
 
+    def lower_stage(self):
+        from ..engine.kernel import OP_GAIN, KernelOp, KernelStage
+
+        return KernelStage("Gain", [KernelOp(OP_GAIN, (self.gain,))])
+
 
 class Passthrough(Block):
     """Identity block (placeholder for ablations: 'remove this stage')."""
@@ -126,6 +144,11 @@ class Passthrough(Block):
 
     def step(self, x: float) -> float:
         return x
+
+    def lower_stage(self):
+        from ..engine.kernel import KernelStage
+
+        return KernelStage("Passthrough", [])
 
 
 class Saturation(Block):
@@ -144,3 +167,10 @@ class Saturation(Block):
 
     def step(self, x: float) -> float:
         return min(max(x, self.low), self.high)
+
+    def lower_stage(self):
+        from ..engine.kernel import OP_CLIP, KernelOp, KernelStage
+
+        return KernelStage(
+            "Saturation", [KernelOp(OP_CLIP, (self.low, self.high))]
+        )

@@ -102,6 +102,37 @@ class ClassABBuffer(Block):
     def reset(self) -> None:
         self._last_output = 0.0
 
+    def lower_stage(self):
+        from ..engine.kernel import (
+            OP_CLIP,
+            OP_DEADZONE,
+            OP_LATCH,
+            OP_SLEW,
+            KernelOp,
+            KernelStage,
+        )
+
+        if self._step_rate is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        ops = []
+        dz = self.crossover_deadzone
+        if dz > 0.0:
+            ops.append(KernelOp(OP_DEADZONE, (dz, -dz)))
+        vmax = self.max_output_voltage
+        ops.append(KernelOp(OP_CLIP, (-vmax, vmax)))
+        if self.slew_rate is not None:
+            max_step = self.slew_rate * (1.0 / self._step_rate)
+            ops.append(
+                KernelOp(OP_SLEW, (max_step, -max_step), (self._last_output,))
+            )
+        else:
+            ops.append(KernelOp(OP_LATCH, (), (self._last_output,)))
+
+        def sync(final) -> None:
+            self._last_output = float(final[0])
+
+        return KernelStage("ClassABBuffer", ops, sync)
+
     def coil_current(self, output_voltage: float | np.ndarray):
         """Current delivered into the coil [A] for a buffer output voltage."""
         return np.asarray(output_voltage) / self.load_resistance

@@ -39,7 +39,58 @@ def comparator_edges(signal: Signal, threshold: float = 0.0, hysteresis: float =
     double counting — a real counter front-end always has some.
     Edge times are refined by linear interpolation between samples, the
     equivalent of the comparator's continuous-time behaviour.
+
+    Implemented as a vectorized hysteresis scan: the armed/disarmed
+    state after each sample is a pure function of the *last* crossing
+    event before it, so a forward-fill (``np.maximum.accumulate``) plus
+    a toggle-parity cumsum reconstructs the whole state sequence without
+    a Python loop.  ``_comparator_edges_reference`` keeps the original
+    per-sample scan as the oracle for the equivalence test.
     """
+    x = signal.samples
+    hi = threshold + hysteresis / 2.0
+    lo = threshold - hysteresis / 2.0
+    n = len(x)
+    if n < 2:
+        return np.asarray([], dtype=float)
+
+    xi = x[1:]
+    up = xi >= hi       # would fire (or disarm) an armed comparator
+    down = xi <= lo     # would re-arm a disarmed comparator
+    # per-sample state transition: armed' = ¬up if armed else down.
+    # Classify: both up & down toggles the state (possible only when
+    # hi == lo), down-only forces armed, up-only forces disarmed,
+    # neither holds.  The state after sample i is then the forced value
+    # at the last set/reset before i, flipped once per toggle since.
+    toggle = up & down
+    set_ = down & ~up
+    reset = up & ~down
+    armed0 = bool(x[0] < lo)
+
+    pos = np.arange(n - 1)
+    last_forced = np.maximum.accumulate(np.where(set_ | reset, pos, -1))
+    tog_cum = np.cumsum(toggle)
+    forced_val = set_.astype(np.int64)
+    base = np.where(last_forced >= 0, forced_val[last_forced], int(armed0))
+    tog_ref = np.where(last_forced >= 0, tog_cum[last_forced], 0)
+    armed_after = base ^ ((tog_cum - tog_ref) & 1)
+    armed_before = np.concatenate(([int(armed0)], armed_after[:-1]))
+
+    fire = armed_before.astype(bool) & up
+    i = np.nonzero(fire)[0] + 1
+    x0 = x[i - 1]
+    x1 = x[i]
+    delta = x1 - x0
+    frac = np.where(delta == 0.0, 0.0,
+                    (hi - x0) / np.where(delta == 0.0, 1.0, delta))
+    return (i - 1 + frac) / signal.sample_rate
+
+
+def _comparator_edges_reference(
+    signal: Signal, threshold: float = 0.0, hysteresis: float = 0.0
+) -> np.ndarray:
+    """Original per-sample scan (the oracle :func:`comparator_edges`
+    is tested against)."""
     x = signal.samples
     hi = threshold + hysteresis / 2.0
     lo = threshold - hysteresis / 2.0

@@ -11,6 +11,14 @@ property that makes it the right in-amp for a kilo-ohm source.  The
 behavioral model is a :class:`~repro.circuits.amplifier.DifferenceAmplifier`
 whose gain is *set by the resistor ratio*, carrying the noise/offset/
 GBW/CMRR parameters of the underlying DDA.
+
+Kernel lowering is inherited from :class:`Amplifier` (``step`` and
+``lower_stage`` share the same defining class, so the override-parity
+check in :func:`repro.engine.kernel.lower_block` accepts the whole
+family): the loop's DDA lowers to bias + gain + GBW pole ops whenever
+``noise_density`` is zero — the Fig. 5 loop's case, where bridge and
+amplifier noise are synthesized as one input-referred record instead —
+and refuses (reference-path fallback) when per-sample noise is on.
 """
 
 from __future__ import annotations

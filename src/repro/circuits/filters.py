@@ -22,7 +22,14 @@ from .signal import Signal
 
 
 class _SOSFilter(Block):
-    """Shared machinery: an SOS-cascade IIR filter with stepping state."""
+    """Shared machinery: an SOS-cascade IIR filter with stepping state.
+
+    The design is kept twice: the scipy ``sos`` array for batch
+    :meth:`process` / :meth:`response`, and a flattened list of per
+    section ``(b0, b1, b2, a1, a2)`` Python-float tuples plus a flat
+    state list for :meth:`step`, so the per-sample path pays no numpy
+    row indexing.  Both views update the same state.
+    """
 
     def __init__(self, cutoff: float, order: int, kind: str) -> None:
         self.cutoff = require_positive("cutoff", cutoff)
@@ -31,7 +38,8 @@ class _SOSFilter(Block):
         self.order = int(order)
         self._kind = kind
         self._sos: np.ndarray | None = None
-        self._zi: np.ndarray | None = None
+        self._coeffs: list[tuple[float, float, float, float, float]] = []
+        self._state: list[float] = []
         self._design_rate: float | None = None
 
     def _ensure_designed(self, sample_rate: float) -> None:
@@ -45,12 +53,18 @@ class _SOSFilter(Block):
         self._sos = sps.butter(
             self.order, self.cutoff, btype=self._kind, fs=sample_rate, output="sos"
         )
-        self._zi = np.zeros((self._sos.shape[0], 2))
+        self._coeffs = [
+            (float(b0), float(b1), float(b2), float(a1), float(a2))
+            for b0, b1, b2, _, a1, a2 in self._sos
+        ]
+        self._state = [0.0] * (2 * self._sos.shape[0])
         self._design_rate = sample_rate
 
     def process(self, signal: Signal) -> Signal:
         self._ensure_designed(signal.sample_rate)
-        out, self._zi = sps.sosfilt(self._sos, signal.samples, zi=self._zi)
+        zi = np.asarray(self._state, dtype=float).reshape(-1, 2)
+        out, zi = sps.sosfilt(self._sos, signal.samples, zi=zi)
+        self._state = [float(z) for z in zi.ravel()]
         return Signal(out, signal.sample_rate)
 
     def step(self, x: float) -> float:
@@ -58,14 +72,15 @@ class _SOSFilter(Block):
             raise CircuitError(
                 "call prepare(sample_rate) or process() once before stepping"
             )
-        # transposed direct-form II per SOS section
-        for i in range(self._sos.shape[0]):
-            b0, b1, b2, _, a1, a2 = self._sos[i]
-            z = self._zi[i]
-            y = b0 * x + z[0]
-            z[0] = b1 * x - a1 * y + z[1]
-            z[1] = b2 * x - a2 * y
+        # transposed direct-form II per SOS section, flat state
+        st = self._state
+        p = 0
+        for b0, b1, b2, a1, a2 in self._coeffs:
+            y = b0 * x + st[p]
+            st[p] = b1 * x - a1 * y + st[p + 1]
+            st[p + 1] = b2 * x - a2 * y
             x = y
+            p += 2
         return x
 
     def prepare(self, sample_rate: float) -> None:
@@ -73,8 +88,24 @@ class _SOSFilter(Block):
         self._ensure_designed(sample_rate)
 
     def reset(self) -> None:
-        if self._zi is not None:
-            self._zi = np.zeros_like(self._zi)
+        self._state = [0.0] * len(self._state)
+
+    def lower_stage(self):
+        from ..engine.kernel import OP_SOS, KernelOp, KernelStage
+
+        if self._sos is None:
+            raise CircuitError(
+                "call prepare(sample_rate) or process() once before stepping"
+            )
+        ops = [
+            KernelOp(OP_SOS, coeffs, tuple(self._state[2 * i:2 * i + 2]))
+            for i, coeffs in enumerate(self._coeffs)
+        ]
+
+        def sync(final) -> None:
+            self._state = [float(z) for z in final]
+
+        return KernelStage(type(self).__name__, ops, sync)
 
     def response(self, frequency: np.ndarray, sample_rate: float) -> np.ndarray:
         """Complex frequency response at the given sample rate."""
@@ -150,3 +181,15 @@ class RCLowPass(Block):
 
     def reset(self) -> None:
         self._y = 0.0
+
+    def lower_stage(self):
+        from ..engine.kernel import OP_RC, KernelOp, KernelStage
+
+        if self._alpha is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        op = KernelOp(OP_RC, (self._alpha,), (self._y,))
+
+        def sync(final) -> None:
+            self._y = float(final[0])
+
+        return KernelStage("RCLowPass", [op], sync)

@@ -50,6 +50,14 @@ class LimitingAmplifier(Block):
         scaled = self.small_signal_gain * x / self.output_level
         return self.output_level * math.tanh(scaled)
 
+    def lower_stage(self):
+        from ..engine.kernel import OP_TANH, KernelOp, KernelStage
+
+        return KernelStage(
+            "LimitingAmplifier",
+            [KernelOp(OP_TANH, (self.small_signal_gain, self.output_level))],
+        )
+
     def describing_function(self, amplitude: float, harmonics: int = 1024) -> float:
         """Effective sinusoidal gain at a given input amplitude.
 

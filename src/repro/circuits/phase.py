@@ -73,6 +73,18 @@ class PhaseLead(Block):
     def reset(self) -> None:
         self._last = 0.0
 
+    def lower_stage(self):
+        from ..engine.kernel import OP_DIFF, KernelOp, KernelStage
+
+        if self._scale is None:
+            raise CircuitError("call prepare(sample_rate) before stepping")
+        op = KernelOp(OP_DIFF, (self._scale,), (self._last,))
+
+        def sync(final) -> None:
+            self._last = float(final[0])
+
+        return KernelStage("PhaseLead", [op], sync)
+
     def response(self, frequency: np.ndarray, sample_rate: float) -> np.ndarray:
         """Exact complex response of the first difference at sample rate."""
         self._ensure(sample_rate)

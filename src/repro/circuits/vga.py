@@ -101,3 +101,12 @@ class VariableGainAmplifier(Block):
 
     def step(self, x: float) -> float:
         return x * self.gain
+
+    def lower_stage(self):
+        # gain is read at lowering time, so reprogramming the setting
+        # between runs (the AGC search) re-lowers with the new value
+        from ..engine.kernel import OP_GAIN, KernelOp, KernelStage
+
+        return KernelStage(
+            "VariableGainAmplifier", [KernelOp(OP_GAIN, (self.gain,))]
+        )

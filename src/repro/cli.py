@@ -179,6 +179,7 @@ def cmd_track(args) -> int:
         }),
     )
     sensor = build(spec)
+    sensor.loop_backend = args.backend
     protocol = AssayProtocol.injection(
         nM(args.conc_nm), baseline=300, exposure=args.exposure, wash=600
     )
@@ -255,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gate", type=float, default=10.0)
     p.add_argument("--mode", type=int, default=1)
     p.add_argument("--stride", type=int, default=30)
+    p.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "reference", "fused", "numba", "interp"],
+        help="closed-loop execution backend (default: auto)",
+    )
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_track)
 

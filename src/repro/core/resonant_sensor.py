@@ -79,6 +79,11 @@ class ResonantCantileverSensor:
         liquid.
     seed:
         RNG seed for noise realizations.
+    loop_backend:
+        Execution backend for every closed-loop run this sensor makes
+        (see :func:`repro.engine.kernel.resolve_backend`); ``"auto"``
+        picks the fastest lowerable path and silently falls back to the
+        reference loop when the chain cannot lower.
     """
 
     def __init__(
@@ -90,6 +95,7 @@ class ResonantCantileverSensor:
         steps_per_cycle: int = 40,
         mode: int = 1,
         seed: int = 4321,
+        loop_backend: str = "auto",
     ) -> None:
         self.surface = surface
         self.geometry = surface.geometry
@@ -102,6 +108,7 @@ class ResonantCantileverSensor:
         self.steps_per_cycle = int(steps_per_cycle)
         self.mode = int(mode)
         self.seed = seed
+        self.loop_backend = loop_backend
 
         self.fluid_mode: FluidLoadedMode = immersed_mode(
             self.geometry, liquid, mode=self.mode
@@ -209,7 +216,7 @@ class ResonantCantileverSensor:
             raise OscillationError("need at least one measurement gate")
         loop = self.build_loop(bound_mass)
         duration = (gates + settle_gates) * gate_time
-        record = loop.run(duration)
+        record = loop.run(duration, backend=self.loop_backend)
         counter = FrequencyCounter(gate_time=gate_time)
         _, readings = counter.frequency_series(record.bridge_signal())
         readings = readings[settle_gates:]
@@ -233,7 +240,10 @@ class ResonantCantileverSensor:
 
         loop = self.build_loop(bound_mass=0.0)
         settle_gates, gates = 2, 6
-        record = loop.run(duration=(gates + settle_gates) * gate_time)
+        record = loop.run(
+            duration=(gates + settle_gates) * gate_time,
+            backend=self.loop_backend,
+        )
         # the reciprocal counter carries no +/-1-count grid, so the
         # reading spread is the loop's own jitter — the quantity the
         # tracking model must scale to long gates (the assay gates apply

@@ -9,28 +9,67 @@ The scaling substrate under every sweep, bench, and array assay:
   stable content hash, with versioned invalidation and hit/miss
   counters;
 * :class:`StageTimer` — per-stage wall-clock timing so benches report
-  real speedups.
+  real speedups;
+* :mod:`~repro.engine.kernel` — the fused closed-loop kernel: circuit
+  chains lowered to flat stage programs run by a compiled interpreter
+  (``KERNEL_BACKENDS`` names the execution paths; the executor's
+  ``BACKENDS`` names the *parallelism* backends — different axes).
 
 Entry points elsewhere in the library build on this module:
-:func:`repro.analysis.run_parallel` (grid sweeps) and
+:func:`repro.analysis.run_parallel` (grid sweeps),
 :meth:`repro.core.chip.BiosensorChip.run_array_assay` (``workers=``)
-are the main consumers.
+and :meth:`repro.feedback.loop.ResonantFeedbackLoop.run`
+(``backend=``) are the main consumers.
 """
 
 from .cache import CACHE_VERSION, CacheInfo, ResultCache, stable_hash
 from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
+from .kernel import (
+    BACKENDS as KERNEL_BACKENDS,
+    FusedLoopKernel,
+    KernelInfo,
+    KernelOp,
+    KernelRunInfo,
+    KernelRunResult,
+    KernelStage,
+    ModeLowering,
+    cc_available,
+    compose_stages,
+    kernel_info,
+    lower_block,
+    numba_available,
+    record_fallback,
+    reset_kernel_info,
+    resolve_backend,
+)
 from .timing import StageTimer, StageTiming, speedup
 
 __all__ = [
     "BACKENDS",
     "CACHE_VERSION",
+    "KERNEL_BACKENDS",
     "BatchExecutor",
     "BatchResult",
     "CacheInfo",
+    "FusedLoopKernel",
+    "KernelInfo",
+    "KernelOp",
+    "KernelRunInfo",
+    "KernelRunResult",
+    "KernelStage",
+    "ModeLowering",
     "ResultCache",
     "StageTimer",
     "StageTiming",
     "TaskOutcome",
+    "cc_available",
+    "compose_stages",
+    "kernel_info",
+    "lower_block",
+    "numba_available",
+    "record_fallback",
+    "reset_kernel_info",
+    "resolve_backend",
     "speedup",
     "stable_hash",
 ]

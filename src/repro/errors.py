@@ -65,6 +65,19 @@ class CacheError(ReproError, RuntimeError):
     """The result cache cannot hash a key or persist an entry."""
 
 
+class KernelError(ReproError, RuntimeError):
+    """The fused loop kernel was asked for an unavailable backend."""
+
+
+class LoweringError(KernelError):
+    """A loop block cannot be lowered to a fused kernel stage.
+
+    Raised during kernel construction; the closed-loop simulators catch
+    it and fall back to the per-sample reference path, so it is a
+    performance event, never a correctness failure.
+    """
+
+
 class ConfigError(ReproError, ValueError):
     """A device spec is invalid, or an override path does not resolve.
 

@@ -23,12 +23,23 @@ import numpy as np
 
 from ..actuation.lorentz import LorentzActuator
 from ..circuits.signal import Signal
-from ..errors import OscillationError
+from ..engine.kernel import (
+    FusedLoopKernel,
+    lower_block,
+    record_fallback,
+    resolve_backend,
+)
+from ..errors import LoweringError, OscillationError
 from ..mechanics.dynamics import ModalResonator
 from ..transduction.placement import CLAMPED_EDGE
 from ..transduction.wheatstone import WheatstoneBridge
 from ..units import require_positive
-from .loop import ResonantFeedbackLoop, displacement_to_stress_gain
+from .loop import (
+    ResonantFeedbackLoop,
+    _linear_actuator_constants,
+    displacement_to_stress_gain,
+    lower_resonator_mode,
+)
 
 
 class MultiModeLoop:
@@ -64,6 +75,9 @@ class MultiModeLoop:
         self.resonators = resonators
         self.mode_gains = [require_positive("mode_gain", abs(g)) for g in mode_gains]
         self.loop = loop
+        #: :class:`~repro.engine.kernel.KernelRunInfo` of the last
+        #: :meth:`run` (``None`` when the reference path executed).
+        self.last_kernel_info = None
 
     @classmethod
     def for_geometry(
@@ -95,16 +109,24 @@ class MultiModeLoop:
         ]
         return cls(resonators, gains, loop)
 
-    def run(self, duration: float, initial_kick: float = 1e-12) -> Signal:
+    def run(
+        self,
+        duration: float,
+        initial_kick: float = 1e-12,
+        backend: str = "auto",
+    ) -> Signal:
         """Close the loop; returns the bridge-output waveform.
 
         Every mode starts with the same tiny kick (broadband excitation,
-        like thermal motion); the filters decide who wins.
+        like thermal motion); the filters decide who wins.  ``backend``
+        selects the execution path exactly as in
+        :meth:`ResonantFeedbackLoop.run`.
         """
         require_positive("duration", duration)
         h = self.resonators[0].timestep
         sample_rate = 1.0 / h
         n = max(2, int(round(duration * sample_rate)))
+        resolved = resolve_backend(backend)
 
         loop = self.loop
         for hp in loop.highpasses:
@@ -121,6 +143,23 @@ class MultiModeLoop:
             r.reset(displacement=initial_kick)
 
         bridge_sens = abs(loop.bridge.sensitivity())
+
+        self.last_kernel_info = None
+        if resolved != "reference":
+            try:
+                kernel = self._lower_kernel(bridge_sens)
+            except LoweringError as err:
+                record_fallback(str(err))
+                resolved = "reference"
+            else:
+                result = kernel.run(n, np.zeros(n), backend=resolved)
+                for m, r in enumerate(self.resonators):
+                    r.state.displacement = result.mode_state[2 * m]
+                    r.state.velocity = result.mode_state[2 * m + 1]
+                self.last_kernel_info = result.info
+                return Signal(result.bridge_voltage, sample_rate)
+
+        act = _linear_actuator_constants(loop.actuator)
         out = np.empty(n)
         for i in range(n):
             v_bridge = sum(
@@ -134,12 +173,47 @@ class MultiModeLoop:
             v = loop.vga.step(v)
             v = loop.limiter.step(v)
             v_drive = loop.buffer.step(v)
-            force = float(loop.actuator.tip_force_from_voltage(v_drive))
+            if act is not None:
+                cur = v_drive / act[0]
+                if cur > act[1]:
+                    cur = act[1]
+                elif cur < -act[1]:
+                    cur = -act[1]
+                force = act[2] * cur
+            else:
+                force = float(loop.actuator.tip_force_from_voltage(v_drive))
             for r in self.resonators:
                 r.step(force)
             out[i] = v_bridge
 
         return Signal(out, sample_rate)
+
+    def _lower_kernel(self, bridge_sens: float) -> FusedLoopKernel:
+        """Lower the shared chain + every mode; raises LoweringError."""
+        loop = self.loop
+        act = _linear_actuator_constants(loop.actuator)
+        if act is None:
+            raise LoweringError(
+                f"{type(loop.actuator).__name__} is not a stock linear "
+                "LorentzActuator; not lowerable"
+            )
+        pre = [
+            lower_block(b)
+            for b in [loop.dda, *loop.highpasses, loop.phase_lead, loop.vga]
+        ]
+        modes = [
+            lower_resonator_mode(r, bridge_sens * g)
+            for g, r in zip(self.mode_gains, self.resonators)
+        ]
+        return FusedLoopKernel(
+            pre_stages=pre,
+            limiter_stages=[lower_block(loop.limiter)],
+            buffer_stages=[lower_block(loop.buffer)],
+            modes=modes,
+            act_r=act[0],
+            act_imax=act[1],
+            act_fpc=act[2],
+        )
 
     def modal_loop_gains(self, sample_rate: float) -> list[float]:
         """Small-signal |loop gain| at each mode's resonance.

@@ -69,6 +69,7 @@ class ModalResonator:
         self._h = require_positive("timestep", timestep)
         self.state = ResonatorState()
         self._propagator: tuple[np.ndarray, np.ndarray] | None = None
+        self._scalars: tuple[float, ...] | None = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -153,6 +154,7 @@ class ModalResonator:
         if quality_factor is not None:
             self._q = require_positive("quality_factor", quality_factor)
         self._propagator = None
+        self._scalars = None
 
     # -- integration ----------------------------------------------------------
 
@@ -174,15 +176,31 @@ class ModalResonator:
         bd = np.linalg.solve(a, (ad - np.eye(2)) @ b)
         return ad, bd
 
-    def step(self, force: float) -> float:
-        """Advance one timestep with the force held constant; return x."""
+    def propagator(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached exact-ZOH ``(Ad, Bd)``; rebuilt after parameter updates.
+
+        This is the public face of the discretization — the fused loop
+        kernel reads it to embed the mode as flat coefficients.
+        """
         if self._propagator is None:
             self._propagator = self._build_propagator()
-        ad, bd = self._propagator
-        s = np.array([self.state.displacement, self.state.velocity])
-        s = ad @ s + bd * force
-        self.state.displacement = float(s[0])
-        self.state.velocity = float(s[1])
+            ad, bd = self._propagator
+            self._scalars = (
+                float(ad[0, 0]), float(ad[0, 1]),
+                float(ad[1, 0]), float(ad[1, 1]),
+                float(bd[0]), float(bd[1]),
+            )
+        return self._propagator
+
+    def step(self, force: float) -> float:
+        """Advance one timestep with the force held constant; return x."""
+        if self._scalars is None:
+            self.propagator()
+        a11, a12, a21, a22, b1, b2 = self._scalars
+        x = self.state.displacement
+        v = self.state.velocity
+        self.state.displacement = a11 * x + a12 * v + b1 * force
+        self.state.velocity = a21 * x + a22 * v + b2 * force
         return self.state.displacement
 
     def run(self, force: np.ndarray) -> np.ndarray:

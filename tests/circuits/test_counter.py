@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.circuits import (
     FrequencyCounter,
@@ -9,6 +11,7 @@ from repro.circuits import (
     Signal,
     comparator_edges,
 )
+from repro.circuits.counter import _comparator_edges_reference
 from repro.errors import SignalError
 
 FS = 1e6
@@ -41,6 +44,81 @@ class TestComparator:
         edges = comparator_edges(s)
         f_est = (len(edges) - 1) / (edges[-1] - edges[0])
         assert f_est == pytest.approx(997.0, rel=1e-5)
+
+
+class TestComparatorVectorization:
+    """The vectorized scan must match the per-sample oracle exactly."""
+
+    def assert_matches(self, samples, threshold=0.0, hysteresis=0.0):
+        __tracebackhide__ = True
+        s = Signal(np.asarray(samples, dtype=float), FS)
+        fast = comparator_edges(s, threshold, hysteresis)
+        slow = _comparator_edges_reference(s, threshold, hysteresis)
+        assert np.array_equal(fast, slow)
+
+    def test_tone(self):
+        self.assert_matches(Signal.sine(997.0, 0.01, FS).samples)
+
+    def test_tone_with_hysteresis(self):
+        self.assert_matches(
+            Signal.sine(997.0, 0.01, FS).samples, hysteresis=0.4
+        )
+
+    def test_noisy_tone(self, rng):
+        t = np.arange(2000) / FS
+        x = np.sin(2 * np.pi * 5e3 * t) + 0.5 * rng.normal(size=len(t))
+        for hyst in (0.0, 0.3, 1.0):
+            self.assert_matches(x, hysteresis=hyst)
+
+    def test_zero_hysteresis_chatter(self):
+        # alternating samples around the threshold: every pair toggles
+        self.assert_matches([1.0, -1.0] * 50)
+
+    def test_samples_exactly_on_thresholds(self):
+        # landing exactly on hi/lo exercises the >=/<= boundary and the
+        # both-up-and-down toggle classification (hi == lo)
+        self.assert_matches([0.0, 0.0, 1.0, 0.0, -1.0, 0.0, 1.0])
+        self.assert_matches(
+            [0.2, -0.2, 0.2, -0.2, 0.0, 0.2], hysteresis=0.4
+        )
+
+    def test_flat_segments(self):
+        self.assert_matches([-1.0] * 10 + [1.0] * 10 + [-1.0] * 10)
+        self.assert_matches(np.zeros(20))
+        self.assert_matches(np.ones(20))
+
+    def test_degenerate_lengths(self):
+        self.assert_matches([0.5])
+        assert len(comparator_edges(Signal([0.5], FS))) == 0
+
+    def test_nonzero_threshold(self, rng):
+        x = rng.normal(size=500)
+        self.assert_matches(x, threshold=0.3, hysteresis=0.2)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=-10.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=2, max_size=120,
+        ),
+        threshold=st.floats(min_value=-2.0, max_value=2.0),
+        hysteresis=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_property_matches_oracle(self, samples, threshold, hysteresis):
+        self.assert_matches(samples, threshold, hysteresis)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        samples=st.lists(
+            st.sampled_from([-1.0, -0.5, 0.0, 0.5, 1.0]),
+            min_size=2, max_size=80,
+        ),
+        hysteresis=st.sampled_from([0.0, 0.5, 1.0, 2.0]),
+    )
+    def test_property_quantized_levels(self, samples, hysteresis):
+        """Discrete levels hammer the exact-threshold corner cases."""
+        self.assert_matches(samples, 0.0, hysteresis)
 
 
 class TestGatedCounter:

@@ -113,3 +113,66 @@ class TestRCLowPass:
     def test_step_without_prepare_raises(self):
         with pytest.raises(CircuitError):
             RCLowPass(100.0).step(1.0)
+
+
+FILTER_FACTORIES = {
+    "lowpass-2": lambda: LowPassFilter(1e3, order=2),
+    "lowpass-5": lambda: LowPassFilter(2e3, order=5),
+    "highpass-2": lambda: HighPassFilter(500.0, order=2),
+    "highpass-3": lambda: HighPassFilter(50.0, order=3),
+    "rc": lambda: RCLowPass(1e3),
+}
+
+
+class TestStepProcessEquivalence:
+    """N x step() is bit-identical to one process() for every filter.
+
+    The flattened per-sample path and the scipy batch path implement the
+    same transposed-direct-form-II recurrence in the same operation
+    order, so they must agree exactly — including the carried state, so
+    interleaving the two APIs is safe mid-stream.
+    """
+
+    @pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
+    def test_step_equals_process(self, name, rng):
+        x = rng.normal(size=4000) * 2.0
+        batch_f, step_f = FILTER_FACTORIES[name](), FILTER_FACTORIES[name]()
+        batch = batch_f.process(Signal(x, FS)).samples
+        step_f.prepare(FS)
+        stepped = np.asarray([step_f.step(float(v)) for v in x])
+        assert np.array_equal(batch, stepped)
+
+    @pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
+    def test_interleaved_state_carries(self, name, rng):
+        x = rng.normal(size=600)
+        ref, mixed = FILTER_FACTORIES[name](), FILTER_FACTORIES[name]()
+        expect = ref.process(Signal(x, FS)).samples
+        mixed.prepare(FS)
+        head = np.asarray([mixed.step(float(v)) for v in x[:200]])
+        mid = mixed.process(Signal(x[200:400], FS)).samples
+        tail = np.asarray([mixed.step(float(v)) for v in x[400:]])
+        assert np.array_equal(expect, np.concatenate([head, mid, tail]))
+
+    @pytest.mark.parametrize("name", sorted(FILTER_FACTORIES))
+    def test_property_random_waveforms(self, name):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=30, deadline=None)
+        @given(
+            samples=st.lists(
+                st.floats(min_value=-1e3, max_value=1e3,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200,
+            )
+        )
+        def check(samples):
+            x = np.asarray(samples, dtype=float)
+            batch_f = FILTER_FACTORIES[name]()
+            step_f = FILTER_FACTORIES[name]()
+            batch = batch_f.process(Signal(x, FS)).samples
+            step_f.prepare(FS)
+            stepped = np.asarray([step_f.step(float(v)) for v in x])
+            assert np.array_equal(batch, stepped)
+
+        check()

@@ -22,6 +22,13 @@ class TestParser:
         assert args.analyte == "igg"
         assert args.conc_nm == 10.0
 
+    def test_track_backend_flag(self):
+        args = build_parser().parse_args(["track", "--backend", "fused"])
+        assert args.backend == "fused"
+        assert build_parser().parse_args(["track"]).backend == "auto"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["track", "--backend", "turbo"])
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -60,3 +67,15 @@ class TestCommands:
         )
         assert code == 0
         assert "shift" in capsys.readouterr().err
+
+    def test_track_explicit_backends_agree(self, capsys):
+        outputs = {}
+        for backend in ("reference", "fused"):
+            code = main(
+                ["track", "--exposure", "900", "--gate", "10",
+                 "--stride", "40", "--backend", backend]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        # the kernel is bit-exact, so the printed trace is too
+        assert outputs["reference"] == outputs["fused"]

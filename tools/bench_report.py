@@ -1,0 +1,121 @@
+"""Machine-readable FIG5 performance report (``make bench-json``).
+
+Runs the closed-loop backend-throughput experiment plus the three FIG5
+bench experiments and writes ``BENCH_fig5.json``: samples/sec per
+backend, the fused/numba speedups over the reference path, and the
+wall time of each bench — the numbers the README performance table and
+the perf-trajectory tracking across PRs are built from.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [--output BENCH_fig5.json]
+                                                [--duration 0.12] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from repro.core.presets import reference_cantilever  # noqa: E402
+from repro.engine import cc_available, kernel_info, numba_available  # noqa: E402
+
+from bench_fig5_feedback_loop import (  # noqa: E402
+    backend_speedup_experiment,
+    startup_experiment,
+    tracking_experiment,
+    vga_adaptation_experiment,
+)
+
+BENCH_EXPERIMENTS = {
+    "fig5_startup_and_lock": startup_experiment,
+    "fig5_vga_adaptation": vga_adaptation_experiment,
+    "fig5_binding_tracking": tracking_experiment,
+}
+
+
+def build_report(duration: float, repeats: int, quick: bool) -> dict:
+    device = reference_cantilever()
+
+    backends = backend_speedup_experiment(
+        device, duration=duration, repeats=repeats
+    )
+
+    benches = {}
+    if not quick:
+        for name, experiment in BENCH_EXPERIMENTS.items():
+            t0 = time.perf_counter()
+            experiment(device)
+            benches[name] = round(time.perf_counter() - t0, 4)
+
+    info = kernel_info()
+    by_backend = {r["backend"]: r for r in backends}
+    return {
+        "report": "FIG5 closed-loop performance",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "numba_available": numba_available(),
+        "cc_available": cc_available(),
+        "loop_duration_s": duration,
+        "backends": [
+            {
+                "backend": r["backend"],
+                "engine": r["engine"],
+                "samples": r["samples"],
+                "wall_s": round(r["wall_s"], 5),
+                "samples_per_sec": round(r["samples_per_sec"]),
+                "kernel_samples_per_sec": round(r["kernel_samples_per_sec"]),
+                "speedup_vs_reference": round(r["speedup"], 2),
+            }
+            for r in backends
+        ],
+        "fused_speedup": round(by_backend["fused"]["speedup"], 2),
+        "bench_wall_s": benches,
+        "kernel_runs": dict(info.runs),
+        "kernel_fallbacks": info.fallbacks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", default=str(REPO / "BENCH_fig5.json"),
+        help="report path (default BENCH_fig5.json at the repo root)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.12,
+        help="simulated seconds per backend timing run (default 0.12)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per backend, best-of (default 3)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="skip the full FIG5 bench wall-time section",
+    )
+    args = parser.parse_args(argv)
+
+    report = build_report(args.duration, args.repeats, args.quick)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {args.output}")
+    for r in report["backends"]:
+        print(f"  {r['backend']:>10s} ({r['engine']:>7s}): "
+              f"{r['samples_per_sec']:>12,} samp/s  "
+              f"{r['speedup_vs_reference']:6.1f}x")
+    for name, wall in report["bench_wall_s"].items():
+        print(f"  {name:>26s}: {wall:.2f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
