@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-json bench-smoke kernel-check spec-check examples docs all clean
+.PHONY: install test bench bench-json bench-batch bench-smoke kernel-check spec-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -17,6 +17,12 @@ bench:
 # backend + bench wall times, written to BENCH_fig5.json.
 bench-json:
 	PYTHONPATH=src $(PYTHON) tools/bench_report.py
+
+# Batched-sweep report: 64-point resonance curve serial vs batched,
+# closed-loop spec sweep serial-fused vs kernel-batch, and the C-level
+# thread-scaling curve, written to BENCH_sweep.json.
+bench-batch:
+	PYTHONPATH=src $(PYTHON) tools/bench_report.py --sweep
 
 # Fused-kernel golden suite: every backend must reproduce the reference
 # closed-loop waveforms bit-for-bit across the reference specs, and

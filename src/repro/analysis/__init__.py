@@ -51,8 +51,10 @@ from .freqest import (
 )
 from .psd import band_power, band_rms, psd_slope, welch_psd
 from .sweep import (
+    LoopSweepTask,
     SweepResult,
     geometric_space,
+    loop_headline,
     override_grid,
     run_parallel,
     run_spec_sweep,
@@ -83,6 +85,7 @@ __all__ = [
     "measure_resonance",
     "swept_sine_response",
     "DetectionLimit",
+    "LoopSweepTask",
     "SweepResult",
     "allan_curve",
     "allan_deviation",
@@ -96,6 +99,7 @@ __all__ = [
     "frequency_noise_to_mass_noise",
     "geometric_space",
     "limit_of_detection",
+    "loop_headline",
     "override_grid",
     "psd_slope",
     "ring_down_quality_factor",

@@ -243,6 +243,119 @@ def run_spec_sweep(
     return result
 
 
+# -- batched sweep planner ---------------------------------------------------
+
+
+def loop_headline(spec, record) -> dict:
+    """Default per-point reduction of one closed-loop run.
+
+    Module-level on purpose: the reduce function is part of the cache
+    key (and must be picklable for process pools), so it needs a stable
+    qualified name — closures and lambdas are rejected by
+    :class:`repro.engine.ResultCache`.
+    """
+    return {
+        "amplitude_m": record.steady_amplitude(),
+        "drive_v_rms": float(np.sqrt(np.mean(np.square(record.drive_voltage)))),
+    }
+
+
+@dataclass(frozen=True)
+class LoopSweepTask:
+    """Spec -> headline-numbers task that knows how to run as one batch.
+
+    The sweep planner of the batched kernel path: pass an instance as
+    the ``evaluate`` of :func:`run_parallel`/:func:`run_spec_sweep` with
+    ``backend="kernel-batch"`` and the whole pending grid is handed to
+    :func:`repro.feedback.run_batch` in ONE call — specs whose loops
+    lower to the same program shape (:func:`repro.engine.batch_signature`)
+    share a single compiled kernel dispatch; non-lowerable specs fall
+    back per instance without poisoning the batch.
+
+    The planner composes with the cache contract for free:
+    :func:`run_parallel` consults the :class:`repro.engine.ResultCache`
+    *before* dispatching, so only uncached grid points ever enter the
+    batch, and results fan back under the same spec-keyed entries the
+    serial path writes.  A frozen dataclass (rather than a closure) so
+    the task itself — duration, reduce function, backend — is part of
+    each point's cache key.
+
+    Parameters
+    ----------
+    duration:
+        Seconds of closed-loop settling to simulate per point.
+    reduce:
+        ``(spec, record) -> mapping`` turning one
+        :class:`~repro.feedback.LoopRecord` into table columns.  Must be
+        a module-level function (cache keying + pickling).
+    initial_kick:
+        Initial tip displacement [m]; ``None`` uses the loop default.
+    backend:
+        Loop backend for solo calls and the batch (``"auto"`` resolves
+        per :data:`repro.engine.AUTO_ORDER`).
+    """
+
+    duration: float
+    reduce: Callable = loop_headline
+    initial_kick: float | None = None
+    backend: str = "auto"
+
+    def _loop_for(self, spec):
+        from ..config import build
+
+        return build(spec).build_loop()
+
+    def __call__(self, spec) -> Mapping[str, object]:
+        """One grid point, solo — the serial/thread/process path."""
+        loop = self._loop_for(spec)
+        record = loop.run(self.duration, self.initial_kick, backend=self.backend)
+        return self.reduce(spec, record)
+
+    def batch_call(self, specs, threads: int | None = None) -> list[tuple]:
+        """The whole grid as one batched kernel call.
+
+        The ``BatchExecutor(backend="kernel-batch")`` protocol: returns
+        one ``(value, error)`` pair per spec, in order.  Specs that fail
+        to *build* are captured per instance (the batch still runs for
+        the rest); specs that build but cannot *lower* are handled
+        inside :func:`repro.feedback.run_batch` (per-instance reference
+        fallback, reason logged and counted).
+        """
+        specs = list(specs)
+        loops: list = [None] * len(specs)
+        errors: dict[int, Exception] = {}
+        for i, spec in enumerate(specs):
+            try:
+                loops[i] = self._loop_for(spec)
+            except Exception as err:  # noqa: BLE001 - per-task capture
+                errors[i] = err
+
+        good = [i for i in range(len(specs)) if i not in errors]
+        records: dict[int, object] = {}
+        if good:
+            from ..feedback.loop import run_batch
+
+            batch_records = run_batch(
+                [loops[i] for i in good],
+                self.duration,
+                initial_kick=self.initial_kick,
+                backend=self.backend,
+                threads=threads,
+            )
+            records.update(zip(good, batch_records))
+
+        pairs: list[tuple] = []
+        for i, spec in enumerate(specs):
+            if i in errors:
+                pairs.append((None, errors[i]))
+                continue
+            try:
+                pairs.append((self.reduce(spec, records[i]), None))
+            except Exception as err:  # noqa: BLE001 - per-task capture
+                pairs.append((None, err))
+        return pairs
+
+
 def geometric_space(start: float, stop: float, count: int) -> np.ndarray:
     """Log-spaced grid including both endpoints."""
     if start <= 0.0 or stop <= 0.0:

@@ -51,6 +51,41 @@ class PLLReading:
         return float(np.std(self.frequency[int(n * (1.0 - tail_fraction)):]))
 
 
+def _run_tracking_loop(
+    x: np.ndarray, k_p: float, k_i: float, freq0: float, dt: float
+) -> np.ndarray:
+    """The per-sample PLL recurrence, optimized but bit-exact.
+
+    The recurrence is inherently serial (each phase depends on the last
+    frequency), so it cannot vectorize; this scalar path instead strips
+    the Python-level overhead — pure-float locals instead of numpy
+    scalars (``tolist``), attribute lookups hoisted out of the loop, a
+    list append instead of per-sample ndarray stores — while keeping
+    every arithmetic expression in the original evaluation order, so
+    the trajectory is bit-identical (``np.array_equal``) to the naive
+    loop.  ``2.0 * math.pi`` is hoisted too: it is a deterministic
+    product of two constants, so precomputing it changes no rounding.
+    """
+    two_pi = 2.0 * math.pi
+    cos = math.cos
+    phase = 0.0
+    freq = float(freq0)
+    log: list[float] = []
+    append = log.append
+    for sample in x.tolist():
+        pd = sample * cos(phase)
+        freq += k_i * pd * dt / two_pi
+        instantaneous = freq + k_p * pd / two_pi
+        phase += two_pi * instantaneous * dt
+        if phase > math.pi:
+            phase -= two_pi * round(phase / two_pi)
+        # report the integrator branch: the proportional branch carries
+        # the PD's 2f0 ripple, which is loop-internal, not measurement
+        # output
+        append(freq)
+    return np.asarray(log, dtype=float)
+
+
 class PhaseLockedLoop:
     """Second-order digital PLL frequency tracker.
 
@@ -102,21 +137,8 @@ class PhaseLockedLoop:
         k_i = wn**2 / pd_gain
 
         dt = 1.0 / fs
-        phase = 0.0
-        freq = self.center_frequency
         n = len(x)
-        freq_log = np.empty(n)
-        for i in range(n):
-            pd = x[i] * math.cos(phase)
-            freq += k_i * pd * dt / (2.0 * math.pi)
-            instantaneous = freq + k_p * pd / (2.0 * math.pi)
-            phase += 2.0 * math.pi * instantaneous * dt
-            if phase > math.pi:
-                phase -= 2.0 * math.pi * round(phase / (2.0 * math.pi))
-            # report the integrator branch: the proportional branch
-            # carries the PD's 2f0 ripple, which is loop-internal, not
-            # measurement output
-            freq_log[i] = freq
+        freq_log = _run_tracking_loop(x, k_p, k_i, self.center_frequency, dt)
 
         times = signal.times
         # settled when the frequency stays within 3x its final wander

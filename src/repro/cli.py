@@ -7,6 +7,8 @@ Gives the library a tool face for quick, scriptable use:
 * ``characterize`` — swept-sine bring-up of the resonant beam in a liquid
 * ``assay``        — run a static immunoassay and print the trace
 * ``track``        — run a resonant tracking assay and print the trace
+* ``sweep``        — spec-path sweep of the closed loop (``--batch`` runs
+  the whole grid as one batched kernel call)
 
 Every command is rooted in a reference device spec
 (:data:`~repro.config.REFERENCE_STATIC_SENSOR` or
@@ -193,6 +195,61 @@ def cmd_track(args) -> int:
     return 0
 
 
+def _sweep_values(raw: str) -> list[float]:
+    """Parse ``--values``: a comma list or a ``start:stop:count`` linspace."""
+    from .errors import ConfigError
+
+    import numpy as np
+
+    if ":" in raw:
+        parts = raw.split(":")
+        if len(parts) != 3:
+            raise ConfigError(
+                f"--values range expects start:stop:count, got {raw!r}"
+            )
+        try:
+            start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+        except ValueError as err:
+            raise ConfigError(f"bad --values range {raw!r}: {err}") from None
+        if count < 2:
+            raise ConfigError(f"--values range needs count >= 2, got {count}")
+        return [float(v) for v in np.linspace(start, stop, count)]
+    try:
+        return [float(v) for v in raw.split(",") if v.strip()]
+    except ValueError as err:
+        raise ConfigError(f"bad --values list {raw!r}: {err}") from None
+
+
+def cmd_sweep(args) -> int:
+    from .analysis import LoopSweepTask, run_spec_sweep
+    from .engine import kernel_info
+
+    spec = _root_spec(args, REFERENCE_RESONANT_SENSOR)
+    values = _sweep_values(args.values)
+    cache = None
+    if args.cache_dir:
+        from .engine import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+    result = run_spec_sweep(
+        spec,
+        args.path,
+        values,
+        LoopSweepTask(duration=args.duration),
+        workers=args.workers,
+        backend="kernel-batch" if args.batch else "serial",
+        cache=cache,
+    )
+    print(result.format_table())
+    info = kernel_info()
+    print(
+        f"# kernel: runs={info.runs} batch_runs={info.batch_runs} "
+        f"batch_instances={info.batch_instances} fallbacks={info.fallbacks}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _add_set_flag(parser: argparse.ArgumentParser, dest: str) -> None:
     # the top-level and per-subcommand copies need *different* dests:
     # argparse lets a subparser's defaults clobber already-parsed
@@ -264,6 +321,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser(
+        "sweep",
+        help="closed-loop spec sweep (batched kernel path with --batch)",
+    )
+    p.add_argument("--path", default="cantilever.length_um",
+                   help="dotted spec path to sweep")
+    p.add_argument("--values", default="160:260:6",
+                   help="comma list (a,b,c) or start:stop:count linspace")
+    p.add_argument("--duration", type=float, default=0.01,
+                   help="closed-loop settling time per point [s]")
+    batch_group = p.add_mutually_exclusive_group()
+    batch_group.add_argument(
+        "--batch", action="store_true", default=True,
+        help="run the whole sweep as one batched kernel call (default)",
+    )
+    batch_group.add_argument(
+        "--serial", action="store_false", dest="batch",
+        help="run each point solo (the pre-batching path)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="C-level threads for the batched call (default: CPU count, "
+             "capped by REPRO_KERNEL_THREADS)",
+    )
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="ResultCache directory (spec-keyed memoization)")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_sweep)
 
     return parser
 

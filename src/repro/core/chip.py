@@ -174,16 +174,21 @@ class BiosensorChip:
         sample_interval: float = 2.0,
         include_noise: bool = True,
         workers: int | None = None,
+        backend: str = "thread",
     ) -> ArrayAssayResult:
         """Run the protocol on all four channels through the shared chain.
 
-        ``workers`` > 1 batches the channels over a thread-backed
-        :class:`repro.engine.BatchExecutor` (the sensors are live
+        The channels always flow through ONE
+        :meth:`repro.engine.BatchExecutor.map` call — the batch; with
+        ``workers`` <= 1 (default) the executor degrades to its serial
+        path with zero pool overhead, ``workers`` > 1 fans the channels
+        out (``backend="thread"`` by default: the sensors are live
         objects, so threads — not processes — are the right pool).
         Every channel is seeded independently (``seed + 100 + i``), so
         the batched run is bit-identical to the serial one.
         """
         require_positive("sample_interval", sample_interval)
+        from ..engine import BatchExecutor
 
         def run_channel(index: int):
             return self.sensors[index].run_assay(
@@ -194,13 +199,10 @@ class BiosensorChip:
             )
 
         channel_indices = range(len(self.sensors))
-        if workers is not None and workers > 1:
-            from ..engine import BatchExecutor
-
-            batch = BatchExecutor(workers=workers, backend="thread")
-            results = batch.map(run_channel, channel_indices).values()
-        else:
-            results = [run_channel(i) for i in channel_indices]
+        executor = BatchExecutor(
+            workers=workers if workers is not None else 1, backend=backend
+        )
+        results = executor.map(run_channel, channel_indices).values()
 
         outputs: dict[int, np.ndarray] = {}
         labels: dict[int, str] = {}

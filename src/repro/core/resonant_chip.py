@@ -99,9 +99,29 @@ class ResonantArrayChip:
     # -- live measurement ----------------------------------------------------
 
     def measure_frequencies(
-        self, gate_time: float = 0.05, gates: int = 3
+        self, gate_time: float = 0.05, gates: int = 3, batch: bool = True
     ) -> tuple[float, float]:
-        """Run both loops and count both beams: (f_sensing, f_reference)."""
+        """Run both loops and count both beams: (f_sensing, f_reference).
+
+        With ``batch=True`` (default) the sensing and reference loops
+        run as ONE batched kernel call (see
+        :func:`repro.feedback.run_batch`) — bit-identical to the serial
+        pair of :meth:`ResonantCantileverSensor.measure_frequency`
+        runs, which the tests pin.
+        """
+        if batch:
+            from ..feedback.loop import run_batch
+
+            duration = ResonantCantileverSensor.measurement_duration(
+                gate_time, gates
+            )
+            loops = [self.sensing.build_loop(), self.reference.build_loop()]
+            rec_s, rec_r = run_batch(
+                loops, duration, backend=self.sensing.loop_backend
+            )
+            f_s, _ = self.sensing.count_record(rec_s, gate_time)
+            f_r, _ = self.reference.count_record(rec_r, gate_time)
+            return f_s, f_r
         f_s, _ = self.sensing.measure_frequency(gate_time=gate_time, gates=gates)
         f_r, _ = self.reference.measure_frequency(gate_time=gate_time, gates=gates)
         return f_s, f_r

@@ -215,8 +215,27 @@ class ResonantCantileverSensor:
         if gates < 1:
             raise OscillationError("need at least one measurement gate")
         loop = self.build_loop(bound_mass)
-        duration = (gates + settle_gates) * gate_time
+        duration = self.measurement_duration(gate_time, gates, settle_gates)
         record = loop.run(duration, backend=self.loop_backend)
+        return self.count_record(record, gate_time, settle_gates)
+
+    @staticmethod
+    def measurement_duration(
+        gate_time: float, gates: int = 4, settle_gates: int = 2
+    ) -> float:
+        """Loop-run length [s] covering settle + measurement gates."""
+        return (gates + settle_gates) * gate_time
+
+    @staticmethod
+    def count_record(
+        record, gate_time: float, settle_gates: int = 2
+    ) -> tuple[float, np.ndarray]:
+        """Gate-count a closed-loop record: (mean frequency, readings).
+
+        The counting half of :meth:`measure_frequency`, split out so
+        batched loop runs (:func:`repro.feedback.run_batch`) reduce to
+        the identical readings as solo measurement.
+        """
         counter = FrequencyCounter(gate_time=gate_time)
         _, readings = counter.frequency_series(record.bridge_signal())
         readings = readings[settle_gates:]

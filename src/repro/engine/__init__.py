@@ -25,16 +25,21 @@ and :meth:`repro.feedback.loop.ResonantFeedbackLoop.run`
 from .cache import CACHE_VERSION, CacheInfo, ResultCache, stable_hash
 from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
 from .kernel import (
+    AUTO_ORDER,
     BACKENDS as KERNEL_BACKENDS,
     FusedLoopKernel,
+    KERNEL_THREADS_ENV,
+    KernelBatch,
     KernelInfo,
     KernelOp,
     KernelRunInfo,
     KernelRunResult,
     KernelStage,
     ModeLowering,
+    batch_signature,
     cc_available,
     compose_stages,
+    kernel_batch_threads,
     kernel_info,
     lower_block,
     numba_available,
@@ -45,13 +50,16 @@ from .kernel import (
 from .timing import StageTimer, StageTiming, speedup
 
 __all__ = [
+    "AUTO_ORDER",
     "BACKENDS",
     "CACHE_VERSION",
     "KERNEL_BACKENDS",
+    "KERNEL_THREADS_ENV",
     "BatchExecutor",
     "BatchResult",
     "CacheInfo",
     "FusedLoopKernel",
+    "KernelBatch",
     "KernelInfo",
     "KernelOp",
     "KernelRunInfo",
@@ -62,8 +70,10 @@ __all__ = [
     "StageTimer",
     "StageTiming",
     "TaskOutcome",
+    "batch_signature",
     "cc_available",
     "compose_stages",
+    "kernel_batch_threads",
     "kernel_info",
     "lower_block",
     "numba_available",

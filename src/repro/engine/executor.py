@@ -29,8 +29,19 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..errors import ExecutorError
+from .kernel import KERNEL_THREADS_ENV
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "kernel-batch")
+
+
+def _limit_worker_kernel_threads() -> None:
+    """Process-pool worker initializer: cap C-level kernel threads at 1.
+
+    A batched kernel inside a process-pool sweep would otherwise
+    multiply parallelism (workers x pthreads); the env ceiling makes
+    each worker's batched calls single-threaded C.
+    """
+    os.environ[KERNEL_THREADS_ENV] = "1"
 
 
 @dataclass(frozen=True)
@@ -123,9 +134,14 @@ class BatchExecutor:
         Worker count.  ``None`` uses the CPU count; ``0`` or ``1`` runs
         serially regardless of backend (no pool spin-up for tiny grids).
     backend:
-        ``"serial"``, ``"thread"``, or ``"process"``.  Threads suit
-        tasks that release the GIL or share unpicklable state (e.g. live
-        sensor objects); processes suit pure-Python numeric tasks.
+        ``"serial"``, ``"thread"``, ``"process"``, or
+        ``"kernel-batch"``.  Threads suit tasks that release the GIL or
+        share unpicklable state (e.g. live sensor objects); processes
+        suit pure-Python numeric tasks.  ``"kernel-batch"`` hands the
+        *whole* grid to the task object's ``batch_call(parameters,
+        threads=)`` method in one call (the batched fused kernel:
+        C-level threads, one ctypes dispatch for the whole sweep);
+        task functions without ``batch_call`` degrade to serial.
     chunk_size:
         Tasks handed to a process worker per dispatch.  ``None`` picks
         ``ceil(n / (4 * workers))`` so each worker sees a few chunks —
@@ -151,6 +167,10 @@ class BatchExecutor:
         self.chunk_size = chunk_size
 
     def _effective_backend(self, task_count: int) -> str:
+        if self.backend == "kernel-batch":
+            # batching is one compiled call, not a worker pool: it pays
+            # off even with workers=1 or a single task
+            return "kernel-batch"
         if self.backend == "serial" or self.workers <= 1 or task_count <= 1:
             return "serial"
         return self.backend
@@ -172,7 +192,9 @@ class BatchExecutor:
         tasks = [_Task(fn, i, p) for i, p in enumerate(grid)]
         backend = self._effective_backend(len(tasks))
 
-        if backend == "serial":
+        if backend == "kernel-batch":
+            outcomes = self._map_kernel_batch(fn, grid, tasks)
+        elif backend == "serial":
             outcomes = [_run_task(t) for t in tasks]
         else:
             workers = min(self.workers, len(tasks))
@@ -181,8 +203,36 @@ class BatchExecutor:
                 pool = ThreadPoolExecutor(max_workers=workers)
                 kwargs = {}
             else:
-                pool = ProcessPoolExecutor(max_workers=workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_limit_worker_kernel_threads,
+                )
                 kwargs = {"chunksize": self._chunk_size_for(len(tasks))}
             with pool:
                 outcomes = list(pool.map(_run_task, tasks, **kwargs))
         return BatchResult(outcomes=tuple(outcomes))
+
+    def _map_kernel_batch(
+        self, fn: Callable, grid: Sequence, tasks: list[_Task]
+    ) -> list[TaskOutcome]:
+        """Hand the whole grid to ``fn.batch_call`` in one call.
+
+        ``batch_call(parameters, threads=)`` must return one
+        ``(value, error)`` pair per parameter, in order — per-task error
+        capture survives batching.  Task functions without
+        ``batch_call`` degrade to the serial loop (same results, no
+        batch speedup).
+        """
+        batch_call = getattr(fn, "batch_call", None)
+        if batch_call is None or not grid:
+            return [_run_task(t) for t in tasks]
+        pairs = batch_call(grid, threads=self.workers)
+        if len(pairs) != len(grid):  # pragma: no cover - defensive
+            raise ExecutorError(
+                f"batch_call returned {len(pairs)} results for "
+                f"{len(grid)} parameters"
+            )
+        return [
+            TaskOutcome(index=i, parameter=p, value=value, error=error)
+            for i, (p, (value, error)) in enumerate(zip(grid, pairs))
+        ]

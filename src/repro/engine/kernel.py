@@ -59,8 +59,11 @@ from .timing import StageTimer
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "AUTO_ORDER",
     "BACKENDS",
     "FusedLoopKernel",
+    "KERNEL_THREADS_ENV",
+    "KernelBatch",
     "KernelInfo",
     "KernelOp",
     "KernelRunInfo",
@@ -68,12 +71,16 @@ __all__ = [
     "KernelStage",
     "KernelError",
     "LoweringError",
+    "MAX_BATCH_THREADS",
     "ModeLowering",
+    "batch_signature",
     "cc_available",
     "compose_stages",
+    "kernel_batch_threads",
     "kernel_info",
     "lower_block",
     "numba_available",
+    "record_batch",
     "record_fallback",
     "reset_kernel_info",
     "resolve_backend",
@@ -103,6 +110,14 @@ _N_PARAMS = 5
 
 #: Loop-level backend choices accepted by ``run(..., backend=)``.
 BACKENDS = ("auto", "reference", "fused", "numba", "interp")
+
+#: Resolution order of ``backend="auto"``, pinned by regression tests:
+#: the C-compiled fused engine when a compiler exists, else numba when
+#: importable, else the generated-Python fused engine.  ``interp`` is
+#: *never* eligible — it exists to verify the interpreter's semantics
+#: and benches slower than the reference path it would replace
+#: (BENCH_fig5.json: 0.51x).
+AUTO_ORDER = ("fused:cc", "numba", "fused:codegen")
 
 
 @dataclass(frozen=True)
@@ -238,20 +253,28 @@ def cc_available() -> bool:
 def resolve_backend(backend: str) -> str:
     """Map a requested backend to the one that will execute.
 
-    ``auto`` prefers the fused path (C-compiled or generated Python),
-    falling back to numba only when it is importable and no C compiler
-    exists.  Requesting ``numba`` explicitly on a machine without numba
-    raises :class:`~repro.errors.KernelError` (the implicit ``auto``
-    never does).
+    ``auto`` follows :data:`AUTO_ORDER`: the fused path when a C
+    compiler exists, numba when it is importable and no compiler
+    exists, else the fused generated-Python engine.  ``auto`` can never
+    resolve to ``interp`` (slower than the reference path it would
+    replace).  Requesting ``numba`` explicitly on a machine without
+    numba raises :class:`~repro.errors.KernelError` (the implicit
+    ``auto`` never does).
     """
     if backend not in BACKENDS:
         raise KernelError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
         )
     if backend == "auto":
-        if not cc_available() and numba_available():
-            return "numba"
-        return "fused"
+        if cc_available():
+            chosen = "fused"          # AUTO_ORDER[0]: fused:cc
+        elif numba_available():
+            chosen = "numba"          # AUTO_ORDER[1]
+        else:
+            chosen = "fused"          # AUTO_ORDER[2]: fused:codegen
+        if chosen == "interp":  # pragma: no cover - defensive
+            raise KernelError("auto resolution must never pick 'interp'")
+        return chosen
     if backend == "numba" and not numba_available():
         raise KernelError(
             "backend 'numba' requested but numba is not installed; "
@@ -276,6 +299,9 @@ class KernelInfo:
     last_backend: str | None
     last_compile_seconds: float
     last_samples_per_second: float
+    batch_runs: int = 0
+    batch_instances: int = 0
+    last_batch_threads: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         runs = ", ".join(f"{k}={v}" for k, v in sorted(self.runs.items()))
@@ -300,6 +326,9 @@ def reset_kernel_info() -> None:
         last_backend=None,
         last_compile_seconds=0.0,
         last_samples_per_second=0.0,
+        batch_runs=0,
+        batch_instances=0,
+        last_batch_threads=0,
     )
 
 
@@ -318,6 +347,9 @@ def kernel_info() -> KernelInfo:
         last_backend=_STATS["last_backend"],
         last_compile_seconds=_STATS["last_compile_seconds"],
         last_samples_per_second=_STATS["last_samples_per_second"],
+        batch_runs=_STATS["batch_runs"],
+        batch_instances=_STATS["batch_instances"],
+        last_batch_threads=_STATS["last_batch_threads"],
     )
 
 
@@ -331,6 +363,18 @@ def record_run(
     _STATS["last_compile_seconds"] = float(compile_seconds)
     if run_seconds > 0.0:
         _STATS["last_samples_per_second"] = n_samples / run_seconds
+
+
+def record_batch(
+    n_instances: int, threads: int,
+    total_samples: int = 0, run_seconds: float = 0.0,
+) -> None:
+    """Account one batched kernel call (:class:`KernelBatch` internal)."""
+    _STATS["batch_runs"] += 1
+    _STATS["batch_instances"] += int(n_instances)
+    _STATS["last_batch_threads"] = int(threads)
+    if run_seconds > 0.0 and total_samples:
+        _STATS["last_samples_per_second"] = total_samples / run_seconds
 
 
 def record_fallback(reason: str) -> None:
@@ -414,6 +458,11 @@ class FusedLoopKernel:
     act_r / act_imax / act_fpc:
         Linear Lorentz actuator: coil resistance [Ohm], electromigration
         current limit [A], and force per ampere [N/A].
+    include_taps:
+        When False the limiter/drive tap ops are omitted — used by
+        open-loop (driven) programs that only need the displacement and
+        bridge waveforms; batched runs then skip allocating the three
+        unused tap output matrices.
     """
 
     def __init__(
@@ -425,6 +474,7 @@ class FusedLoopKernel:
         act_r: float,
         act_imax: float,
         act_fpc: float,
+        include_taps: bool = True,
     ) -> None:
         if not modes:
             raise KernelError("the kernel needs at least one mechanical mode")
@@ -457,13 +507,16 @@ class FusedLoopKernel:
 
         for stage in pre_stages:
             append_stage(stage)
-        append_tap(OP_TAP_LIMIN)
+        if include_taps:
+            append_tap(OP_TAP_LIMIN)
         for stage in limiter_stages:
             append_stage(stage)
-        append_tap(OP_TAP_LIMOUT)
+        if include_taps:
+            append_tap(OP_TAP_LIMOUT)
         for stage in buffer_stages:
             append_stage(stage)
-        append_tap(OP_TAP_DRIVE)
+        if include_taps:
+            append_tap(OP_TAP_DRIVE)
 
         self._kinds = kinds
         self._params = params
@@ -479,6 +532,13 @@ class FusedLoopKernel:
     @property
     def n_state(self) -> int:
         return len(self._state0)
+
+    @property
+    def has_taps(self) -> bool:
+        return any(
+            k in (OP_TAP_LIMIN, OP_TAP_LIMOUT, OP_TAP_DRIVE)
+            for k in self._kinds
+        )
 
     # -- execution ---------------------------------------------------------------
 
@@ -601,6 +661,246 @@ class FusedLoopKernel:
 
 def _allocate_lists(n: int):
     return tuple([0.0] * n for _ in range(5))
+
+
+# -- batched multi-instance execution ----------------------------------------------
+#
+# A whole sweep as ONE compiled call: N independent instances of the
+# same program *shape* (op kinds + state layout), each with its own
+# parameter/state/noise/actuator block, partitioned across C pthreads.
+# Per-instance arithmetic is the exact solo interpreter loop, so every
+# instance's waveforms are bit-identical to its solo fused run.
+
+#: Hard ceiling on C-level batch threads (matches the C entry point).
+MAX_BATCH_THREADS = 64
+
+#: Environment variable capping C-level batch threads.  Process-pool
+#: sweep workers set it to "1" so a batched kernel inside an outer
+#: ``BatchExecutor(backend="process")`` never multiplies parallelism.
+KERNEL_THREADS_ENV = "REPRO_KERNEL_THREADS"
+
+
+def kernel_batch_threads(
+    requested: int | None = None, n_instances: int | None = None
+) -> int:
+    """Resolve the C-level thread count for a batched kernel call.
+
+    ``requested`` wins when given; otherwise the CPU count.  The
+    ``REPRO_KERNEL_THREADS`` environment variable acts as a *ceiling*
+    on either (that is how process-pool workers force single-threaded
+    C, see :class:`~repro.engine.executor.BatchExecutor`).  The result
+    is clamped to ``[1, min(n_instances, MAX_BATCH_THREADS)]``.
+    """
+    threads = int(requested) if requested is not None else (os.cpu_count() or 1)
+    env = os.environ.get(KERNEL_THREADS_ENV, "").strip()
+    if env:
+        try:
+            threads = min(threads, int(env))
+        except ValueError:
+            logger.warning(
+                "ignoring non-integer %s=%r", KERNEL_THREADS_ENV, env
+            )
+    threads = max(1, threads)
+    if n_instances is not None:
+        threads = min(threads, max(1, int(n_instances)))
+    return min(threads, MAX_BATCH_THREADS)
+
+
+def batch_signature(kernel: FusedLoopKernel) -> tuple:
+    """The program *shape* a batch must share: op kinds, state-index
+    layout, mode count and state width.  Kernels with equal signatures
+    differ only in per-instance numeric blocks and can run in one
+    :class:`KernelBatch`."""
+    return (
+        tuple(kernel._kinds),
+        tuple(kernel._sidx),
+        len(kernel.modes),
+        kernel.n_state,
+    )
+
+
+class KernelBatch:
+    """N same-shape kernel instances executed as one compiled call.
+
+    Parameters
+    ----------
+    kernels:
+        The per-instance :class:`FusedLoopKernel` programs; all must
+        share one :func:`batch_signature` (group heterogeneous sweeps
+        by signature first).
+    ns:
+        Per-instance sample counts (durations may differ; shorter
+        instances are padded at the batch level and masked on return).
+    noises:
+        Per-instance bridge-noise (or drive-force) waveforms, each at
+        least ``ns[i]`` samples.
+
+    ``run()`` executes every instance through the C ``run_program_batch``
+    entry point when a compiler is available (pthread-partitioned, no
+    shared mutable state) and otherwise falls back to per-instance solo
+    fused runs — both bit-identical to solo execution, which the golden
+    suite pins with ``np.array_equal``.
+    """
+
+    def __init__(
+        self,
+        kernels: Sequence[FusedLoopKernel],
+        ns: Sequence[int],
+        noises: Sequence[np.ndarray],
+    ) -> None:
+        kernels = list(kernels)
+        if not kernels:
+            raise KernelError("a kernel batch needs at least one instance")
+        if not (len(kernels) == len(ns) == len(noises)):
+            raise KernelError(
+                f"mismatched batch lengths: {len(kernels)} kernels, "
+                f"{len(ns)} durations, {len(noises)} noise waveforms"
+            )
+        signature = batch_signature(kernels[0])
+        for k in kernels[1:]:
+            if batch_signature(k) != signature:
+                raise KernelError(
+                    "kernel batch mixes program shapes; group instances "
+                    "by batch_signature() first"
+                )
+        self.ns = [int(n) for n in ns]
+        self.noises = [np.ascontiguousarray(w, dtype=float) for w in noises]
+        for i, (n, w) in enumerate(zip(self.ns, self.noises)):
+            if n < 1:
+                raise KernelError(f"instance {i}: sample count must be >= 1")
+            if len(w) < n:
+                raise KernelError(
+                    f"instance {i}: noise waveform has {len(w)} samples, "
+                    f"needs {n}"
+                )
+        self.kernels = kernels
+        self.signature = signature
+
+    @property
+    def n_instances(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def n_max(self) -> int:
+        return max(self.ns)
+
+    def run(self, threads: int | None = None) -> list[KernelRunResult]:
+        """Execute all instances; one :class:`KernelRunResult` each, in
+        input order."""
+        threads_used = kernel_batch_threads(threads, self.n_instances)
+        timer = StageTimer()
+        batch_fn = None
+        if cc_available():
+            try:
+                with timer.stage("compile"):
+                    batch_fn = _cc_batch_interpreter()
+            except KernelError as err:
+                logger.warning(
+                    "C batch engine unavailable (%s); "
+                    "running instances solo", err,
+                )
+        if batch_fn is None:
+            results = [
+                kernel.run(n, noise, backend="fused")
+                for kernel, n, noise in zip(self.kernels, self.ns, self.noises)
+            ]
+            record_batch(self.n_instances, 1)
+            return results
+        return self._run_cc(batch_fn, threads_used, timer)
+
+    def _run_cc(self, batch_fn, threads_used: int, timer: StageTimer):
+        n_inst = self.n_instances
+        n_max = self.n_max
+        rep = self.kernels[0]
+        n_ops, n_modes, n_state = rep.n_ops, len(rep.modes), rep.n_state
+
+        kinds = np.asarray(rep._kinds, dtype=np.int64)
+        sidx = np.asarray(rep._sidx, dtype=np.int64)
+        params = np.asarray(
+            [k._params for k in self.kernels], dtype=float
+        ).reshape(n_inst, n_ops, _N_PARAMS)
+        p_cols = tuple(
+            np.ascontiguousarray(params[:, :, j]) for j in range(_N_PARAMS)
+        )
+        state = np.asarray(
+            [k._state0 for k in self.kernels], dtype=float
+        ).reshape(n_inst, n_state)
+        mode_coef = np.asarray(
+            [[c for m in k.modes
+              for c in (m.a11, m.a12, m.a21, m.a22, m.b1, m.b2, m.coef)]
+             for k in self.kernels], dtype=float,
+        ).reshape(n_inst, 7 * n_modes)
+        mode_state = np.asarray(
+            [[c for m in k.modes for c in (m.x0, m.v0)]
+             for k in self.kernels], dtype=float,
+        ).reshape(n_inst, 2 * n_modes)
+        act = np.asarray(
+            [[k.act_r, k.act_imax, k.act_fpc] for k in self.kernels],
+            dtype=float,
+        )
+        ns_arr = np.asarray(self.ns, dtype=np.int64)
+        noise = np.zeros((n_inst, n_max))
+        for i, w in enumerate(self.noises):
+            noise[i, :len(w)] = w
+
+        out_disp = np.empty((n_inst, n_max))
+        out_bridge = np.empty((n_inst, n_max))
+        if rep.has_taps:
+            aux_stride = n_max
+            aux = [np.empty((n_inst, n_max)) for _ in range(3)]
+        else:
+            aux_stride = 0
+            aux = [np.zeros(1) for _ in range(3)]
+
+        with timer.stage("run"):
+            batch_fn(
+                n_inst, threads_used, n_max, aux_stride,
+                n_modes, n_ops, n_state,
+                ns_arr, kinds, sidx, *p_cols,
+                state, mode_coef, mode_state, noise, act,
+                out_disp, out_bridge, *aux,
+            )
+
+        run_seconds = timer.seconds("run")
+        compile_seconds = timer.seconds("compile")
+        total = sum(self.ns)
+        results = []
+        for i, kernel in enumerate(self.kernels):
+            n_i = self.ns[i]
+            kernel._sync_stages([float(s) for s in state[i]])
+            if rep.has_taps:
+                limin = aux[0][i, :n_i]
+                limout = aux[1][i, :n_i]
+                drive = aux[2][i, :n_i]
+            else:
+                # tapless program: the taps were never computed — one
+                # shared zero row stands in for all three waveforms
+                limin = limout = drive = np.zeros(n_i)
+            info = KernelRunInfo(
+                backend="fused",
+                engine="cc-batch",
+                n_samples=n_i,
+                n_ops=n_ops,
+                n_state=n_state,
+                lower_seconds=0.0,
+                compile_seconds=compile_seconds if i == 0 else 0.0,
+                run_seconds=run_seconds if i == 0 else 0.0,
+            )
+            record_run("fused", n_i, 0.0, 0.0)
+            # row slices are views into the batch matrices (no copy);
+            # they keep the matrices alive, which callers slicing a few
+            # instances out of a huge batch may np.ascontiguousarray()
+            results.append(KernelRunResult(
+                displacement=out_disp[i, :n_i],
+                bridge_voltage=out_bridge[i, :n_i],
+                limiter_input=limin,
+                limiter_output=limout,
+                drive_voltage=drive,
+                mode_state=[float(s) for s in mode_state[i]],
+                info=info,
+            ))
+        record_batch(n_inst, threads_used, total, run_seconds)
+        return results
 
 
 # -- code generation ---------------------------------------------------------------
@@ -956,9 +1256,97 @@ void run_program(
         out_disp[i] = mode_state[0];
     }
 }
+
+/* -- batched execution: N independent instances of one program shape --
+ *
+ * All instances share the op-kind/state-index layout (kinds, sidx) but
+ * carry per-instance parameter, state, mode, noise and actuator blocks,
+ * laid out as C-contiguous rows.  Each worker thread owns a strided
+ * partition of the instances; instances never share mutable memory, so
+ * there is no locking and the per-instance arithmetic is the exact
+ * run_program() loop above (bit-identity with solo runs).
+ *
+ * aux_stride is the row stride of the limiter/drive tap outputs; a
+ * tapless program passes aux_stride == 0 with 1-element dummies (the
+ * taps are never written).
+ */
+
+#include <pthread.h>
+
+typedef struct {
+    long start, step;
+    long n_instances, n_max, aux_stride;
+    long n_modes, n_ops, n_state;
+    const long *ns; const long *kinds; const long *sidx;
+    const double *p0; const double *p1; const double *p2;
+    const double *p3; const double *p4;
+    double *state; const double *mode_coef; double *mode_state;
+    const double *noise; const double *act;
+    double *out_disp; double *out_bridge;
+    double *out_limin; double *out_limout; double *out_drive;
+} batch_args;
+
+static void *batch_worker(void *arg)
+{
+    batch_args *a = (batch_args *)arg;
+    for (long i = a->start; i < a->n_instances; i += a->step) {
+        long aux = i * a->aux_stride;
+        run_program(
+            a->ns[i], a->n_modes, a->n_ops,
+            a->kinds,
+            a->p0 + i * a->n_ops, a->p1 + i * a->n_ops,
+            a->p2 + i * a->n_ops, a->p3 + i * a->n_ops,
+            a->p4 + i * a->n_ops,
+            a->sidx,
+            a->state + i * a->n_state,
+            a->mode_coef + i * 7 * a->n_modes,
+            a->mode_state + i * 2 * a->n_modes,
+            a->noise + i * a->n_max,
+            a->act[3*i], a->act[3*i + 1], a->act[3*i + 2],
+            a->out_disp + i * a->n_max,
+            a->out_bridge + i * a->n_max,
+            a->out_limin + aux, a->out_limout + aux, a->out_drive + aux);
+    }
+    return 0;
+}
+
+void run_program_batch(
+    long n_instances, long n_threads, long n_max, long aux_stride,
+    long n_modes, long n_ops, long n_state,
+    const long *ns, const long *kinds, const long *sidx,
+    const double *p0, const double *p1, const double *p2,
+    const double *p3, const double *p4,
+    double *state, const double *mode_coef, double *mode_state,
+    const double *noise, const double *act,
+    double *out_disp, double *out_bridge, double *out_limin,
+    double *out_limout, double *out_drive)
+{
+    if (n_threads > n_instances) n_threads = n_instances;
+    if (n_threads > 64) n_threads = 64;
+    if (n_threads < 1) n_threads = 1;
+    batch_args args[64];
+    pthread_t tids[64];
+    for (long t = 0; t < n_threads; t++) {
+        batch_args a = { t, n_threads, n_instances, n_max, aux_stride,
+            n_modes, n_ops, n_state, ns, kinds, sidx, p0, p1, p2, p3, p4,
+            state, mode_coef, mode_state, noise, act,
+            out_disp, out_bridge, out_limin, out_limout, out_drive };
+        args[t] = a;
+    }
+    long launched = 0;
+    for (long t = 1; t < n_threads; t++) {
+        if (pthread_create(&tids[launched], 0, batch_worker, &args[t]) != 0)
+            batch_worker(&args[t]);   /* spawn failed: run inline */
+        else
+            launched++;
+    }
+    batch_worker(&args[0]);
+    for (long t = 0; t < launched; t++)
+        pthread_join(tids[t], 0);
+}
 """
 
-_CC_FLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off"]
+_CC_FLAGS = ["-O2", "-fPIC", "-shared", "-ffp-contract=off", "-pthread"]
 
 
 def _cc_cache_dir() -> str:
@@ -1009,8 +1397,30 @@ def _cc_build() -> Callable:
             state, mode_coef, mode_state, noise,
             act_r, act_imax, act_fpc, *outs)
 
+    lib.run_program_batch.restype = None
+    lib.run_program_batch.argtypes = (
+        [ctypes.c_long] * 7     # n_instances/threads/n_max/aux_stride/modes/ops/state
+        + [idx] * 3             # ns, kinds, sidx
+        + [dbl] * 5             # p0..p4 (rows per instance)
+        + [dbl] * 5             # state, mode_coef, mode_state, noise, act
+        + [dbl] * 5             # the five output waveform matrices
+    )
+    run._batch = lib.run_program_batch
+
     run._lib = lib  # keep the CDLL alive alongside the wrapper
     return run
+
+
+def _cc_batch_interpreter() -> Callable:
+    """The C batched entry point (``run_program_batch``), built with the
+    solo interpreter.  Raises :class:`KernelError` when no compiler is
+    on PATH or the build fails; :class:`KernelBatch` then falls back to
+    per-instance solo runs (bit-identical by construction)."""
+    fn = _cc_interpreter()
+    batch = getattr(fn, "_batch", None)
+    if batch is None:  # pragma: no cover - defensive
+        raise KernelError("C batch entry point unavailable")
+    return batch
 
 
 def _cc_interpreter() -> Callable:

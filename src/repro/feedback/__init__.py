@@ -8,8 +8,13 @@ from .agc import (
     predicted_startup_time,
 )
 from .barkhausen import BarkhausenResult, analyze, loop_gain
-from .loop import LoopRecord, ResonantFeedbackLoop, displacement_to_stress_gain
-from .multimode import MultiModeLoop
+from .loop import (
+    LoopRecord,
+    ResonantFeedbackLoop,
+    displacement_to_stress_gain,
+    run_batch,
+)
+from .multimode import MultiModeLoop, run_multimode_batch
 
 __all__ = [
     "AmplitudePrediction",
@@ -24,4 +29,6 @@ __all__ = [
     "loop_gain",
     "predict_amplitude",
     "predicted_startup_time",
+    "run_batch",
+    "run_multimode_batch",
 ]

@@ -38,7 +38,9 @@ from ..circuits.signal import Signal
 from ..circuits.vga import VariableGainAmplifier
 from ..engine.kernel import (
     FusedLoopKernel,
+    KernelBatch,
     ModeLowering,
+    batch_signature,
     lower_block,
     record_fallback,
     resolve_backend,
@@ -84,6 +86,19 @@ class LoopRecord:
         n = len(self.displacement)
         tail = self.displacement[int(n * (1.0 - tail_fraction)):]
         return float(np.sqrt(2.0) * np.std(tail))
+
+
+@dataclass(frozen=True)
+class _PreparedRun:
+    """The deterministic prelude of one closed-loop run: sample grid,
+    synthesized bridge noise, and the signed bridge coefficient —
+    identical whether the run then executes solo or inside a batch."""
+
+    n: int
+    sample_rate: float
+    times: np.ndarray
+    bridge_noise: np.ndarray
+    signed_coefficient: float
 
 
 class ResonantFeedbackLoop:
@@ -246,63 +261,24 @@ class ResonantFeedbackLoop:
             unless ``"numba"``/``"fused"`` was requested on a machine
             that cannot provide it.  See ``docs/FASTPATH.md``.
         """
-        require_positive("duration", duration)
-        h = self.resonator.timestep
-        sample_rate = 1.0 / h
-        n = max(2, int(round(duration * sample_rate)))
         resolved = resolve_backend(backend)
-
-        for hp in self.highpasses:
-            hp.prepare(sample_rate)
-        self.phase_lead.prepare(sample_rate)
-        self.dda.prepare(sample_rate)
-        self.buffer.prepare(sample_rate)
-
-        if initial_kick is None:
-            initial_kick = 1e-12
-        self.resonator.reset(displacement=initial_kick)
-
-        if self.include_bridge_noise:
-            rng = np.random.default_rng(self.seed)
-            psd_white = float(
-                self.bridge.noise_psd(np.asarray([self.resonator.natural_frequency]))[0]
-            )
-            corner = self.bridge.corner_frequency()
-            bridge_noise = amplifier_input_noise(
-                psd_white / (1.0 + corner / self.resonator.natural_frequency),
-                corner,
-                n,
-                sample_rate,
-                rng,
-            )
-        else:
-            bridge_noise = np.zeros(n)
-
-        k_dv = self.displacement_to_voltage
-        sign = 1.0 if self.bridge.sensitivity() >= 0.0 else -1.0
-        times = np.arange(n) * h
+        prep = self._prepare_run(duration, initial_kick)
+        n = prep.n
+        sample_rate = prep.sample_rate
+        bridge_noise = prep.bridge_noise
+        times = prep.times
 
         self.last_kernel_info = None
         if resolved != "reference":
             try:
-                kernel = self._lower_kernel(sign * k_dv)
+                kernel = self._lower_kernel(prep.signed_coefficient)
             except LoweringError as err:
                 record_fallback(str(err))
                 resolved = "reference"
             else:
                 result = kernel.run(n, bridge_noise, backend=resolved)
-                self.resonator.state.displacement = result.mode_state[0]
-                self.resonator.state.velocity = result.mode_state[1]
-                self.last_kernel_info = result.info
-                return LoopRecord(
-                    times=times,
-                    displacement=result.displacement,
-                    bridge_voltage=result.bridge_voltage,
-                    limiter_input=result.limiter_input,
-                    limiter_output=result.limiter_output,
-                    drive_voltage=result.drive_voltage,
-                    sample_rate=sample_rate,
-                )
+                self._absorb_kernel_result(result)
+                return _record_from_result(prep, result)
 
         displacement = np.empty(n)
         bridge_voltage = np.empty(n)
@@ -313,10 +289,11 @@ class ResonantFeedbackLoop:
         # a stock linear actuator is three constants; hoist them so the
         # inner loop skips the per-sample property lookups and np.clip
         act = _linear_actuator_constants(self.actuator)
+        coef = prep.signed_coefficient
 
         x = self.resonator.state.displacement
         for i in range(n):
-            v_bridge = sign * k_dv * x + bridge_noise[i]
+            v_bridge = coef * x + bridge_noise[i]
             v = self.dda.step(v_bridge)
             for hp in self.highpasses:
                 v = hp.step(v)
@@ -351,6 +328,62 @@ class ResonantFeedbackLoop:
             sample_rate=sample_rate,
         )
 
+    def _prepare_run(
+        self, duration: float, initial_kick: float | None = None
+    ) -> _PreparedRun:
+        """Run the deterministic prelude shared by solo and batched
+        execution: validate the duration, prepare the discrete-time
+        blocks, reset the resonator to the initial kick, and synthesize
+        the bridge-noise realization.  The same floating-point sequence
+        as the body of :meth:`run` once produced inline — extracted so
+        :func:`run_batch` is bit-identical to solo runs."""
+        require_positive("duration", duration)
+        h = self.resonator.timestep
+        sample_rate = 1.0 / h
+        n = max(2, int(round(duration * sample_rate)))
+
+        for hp in self.highpasses:
+            hp.prepare(sample_rate)
+        self.phase_lead.prepare(sample_rate)
+        self.dda.prepare(sample_rate)
+        self.buffer.prepare(sample_rate)
+
+        if initial_kick is None:
+            initial_kick = 1e-12
+        self.resonator.reset(displacement=initial_kick)
+
+        if self.include_bridge_noise:
+            rng = np.random.default_rng(self.seed)
+            psd_white = float(
+                self.bridge.noise_psd(np.asarray([self.resonator.natural_frequency]))[0]
+            )
+            corner = self.bridge.corner_frequency()
+            bridge_noise = amplifier_input_noise(
+                psd_white / (1.0 + corner / self.resonator.natural_frequency),
+                corner,
+                n,
+                sample_rate,
+                rng,
+            )
+        else:
+            bridge_noise = np.zeros(n)
+
+        k_dv = self.displacement_to_voltage
+        sign = 1.0 if self.bridge.sensitivity() >= 0.0 else -1.0
+        return _PreparedRun(
+            n=n,
+            sample_rate=sample_rate,
+            times=np.arange(n) * h,
+            bridge_noise=bridge_noise,
+            signed_coefficient=sign * k_dv,
+        )
+
+    def _absorb_kernel_result(self, result) -> None:
+        """Write a kernel run's final mechanical state + run info back."""
+        self.resonator.state.displacement = result.mode_state[0]
+        self.resonator.state.velocity = result.mode_state[1]
+        self.last_kernel_info = result.info
+
     def _lower_kernel(self, bridge_coefficient: float) -> FusedLoopKernel:
         """Lower the whole loop; :class:`LoweringError` if any piece can't."""
         act = _linear_actuator_constants(self.actuator)
@@ -383,6 +416,102 @@ class ResonantFeedbackLoop:
         self.limiter.reset()
         self.buffer.reset()
         self.resonator.reset()
+
+
+def _record_from_result(prep: _PreparedRun, result) -> LoopRecord:
+    return LoopRecord(
+        times=prep.times,
+        displacement=result.displacement,
+        bridge_voltage=result.bridge_voltage,
+        limiter_input=result.limiter_input,
+        limiter_output=result.limiter_output,
+        drive_voltage=result.drive_voltage,
+        sample_rate=prep.sample_rate,
+    )
+
+
+def run_batch(
+    loops,
+    duration,
+    initial_kick: float | None = None,
+    backend: str = "auto",
+    threads: int | None = None,
+) -> list[LoopRecord]:
+    """Run N independent closed loops as batched kernel calls.
+
+    Loops whose chains lower to the same program *shape* (see
+    :func:`~repro.engine.kernel.batch_signature`) are grouped into one
+    :class:`~repro.engine.kernel.KernelBatch` — a single compiled call,
+    pthread-partitioned across instances — so a whole sweep pays one
+    ctypes dispatch instead of N.  Every record is bit-identical
+    (``np.array_equal``) to the loop's solo fused run.
+
+    Parameters
+    ----------
+    loops:
+        The :class:`ResonantFeedbackLoop` instances.
+    duration:
+        Seconds to simulate — one float for all loops, or a sequence
+        with one entry per loop (shorter instances are padded inside
+        the batch and masked on return).
+    initial_kick:
+        Initial tip displacement [m] applied to every loop (default:
+        the same 1 pm thermal kick as :meth:`ResonantFeedbackLoop.run`).
+    backend:
+        Loop backend; ``"auto"``/``"fused"`` batch through the kernel,
+        anything else runs each loop solo through :meth:`run`.
+    threads:
+        C-level threads for the batched call (default: CPU count,
+        capped by the ``REPRO_KERNEL_THREADS`` environment variable —
+        see ``docs/FASTPATH.md`` on double-parallelism).
+
+    Loops that cannot lower (patched ``step``, custom actuators, noisy
+    amplifiers) fall back *per instance* to the reference path with the
+    reason logged and counted — they never poison the rest of the
+    batch.
+    """
+    loops = list(loops)
+    if np.isscalar(duration):
+        durations = [float(duration)] * len(loops)
+    else:
+        durations = [float(d) for d in duration]
+        if len(durations) != len(loops):
+            raise ValueError(
+                f"{len(loops)} loops but {len(durations)} durations"
+            )
+    resolved = resolve_backend(backend)
+    records: list[LoopRecord | None] = [None] * len(loops)
+    if resolved != "fused":
+        for i, loop in enumerate(loops):
+            records[i] = loop.run(durations[i], initial_kick, backend=backend)
+        return records
+
+    groups: dict[tuple, list[int]] = {}
+    kernels: list[FusedLoopKernel | None] = [None] * len(loops)
+    preps: list[_PreparedRun | None] = [None] * len(loops)
+    for i, loop in enumerate(loops):
+        prep = loop._prepare_run(durations[i], initial_kick)
+        loop.last_kernel_info = None
+        try:
+            kernels[i] = loop._lower_kernel(prep.signed_coefficient)
+        except LoweringError as err:
+            record_fallback(str(err))
+            records[i] = loop.run(durations[i], initial_kick,
+                                  backend="reference")
+        else:
+            preps[i] = prep
+            groups.setdefault(batch_signature(kernels[i]), []).append(i)
+
+    for indices in groups.values():
+        batch = KernelBatch(
+            [kernels[i] for i in indices],
+            [preps[i].n for i in indices],
+            [preps[i].bridge_noise for i in indices],
+        )
+        for i, result in zip(indices, batch.run(threads=threads)):
+            loops[i]._absorb_kernel_result(result)
+            records[i] = _record_from_result(preps[i], result)
+    return records
 
 
 def _linear_actuator_constants(actuator) -> tuple[float, float, float] | None:

@@ -25,6 +25,8 @@ from ..actuation.lorentz import LorentzActuator
 from ..circuits.signal import Signal
 from ..engine.kernel import (
     FusedLoopKernel,
+    KernelBatch,
+    batch_signature,
     lower_block,
     record_fallback,
     resolve_backend,
@@ -122,27 +124,9 @@ class MultiModeLoop:
         selects the execution path exactly as in
         :meth:`ResonantFeedbackLoop.run`.
         """
-        require_positive("duration", duration)
-        h = self.resonators[0].timestep
-        sample_rate = 1.0 / h
-        n = max(2, int(round(duration * sample_rate)))
         resolved = resolve_backend(backend)
-
+        n, sample_rate, bridge_sens = self._prepare_run(duration, initial_kick)
         loop = self.loop
-        for hp in loop.highpasses:
-            hp.reset()
-            hp.prepare(sample_rate)
-        loop.phase_lead.reset()
-        loop.phase_lead.prepare(sample_rate)
-        loop.dda.reset()
-        loop.dda.prepare(sample_rate)
-        loop.buffer.reset()
-        loop.buffer.prepare(sample_rate)
-
-        for r in self.resonators:
-            r.reset(displacement=initial_kick)
-
-        bridge_sens = abs(loop.bridge.sensitivity())
 
         self.last_kernel_info = None
         if resolved != "reference":
@@ -153,10 +137,7 @@ class MultiModeLoop:
                 resolved = "reference"
             else:
                 result = kernel.run(n, np.zeros(n), backend=resolved)
-                for m, r in enumerate(self.resonators):
-                    r.state.displacement = result.mode_state[2 * m]
-                    r.state.velocity = result.mode_state[2 * m + 1]
-                self.last_kernel_info = result.info
+                self._absorb_kernel_result(result)
                 return Signal(result.bridge_voltage, sample_rate)
 
         act = _linear_actuator_constants(loop.actuator)
@@ -187,6 +168,39 @@ class MultiModeLoop:
             out[i] = v_bridge
 
         return Signal(out, sample_rate)
+
+    def _prepare_run(
+        self, duration: float, initial_kick: float
+    ) -> tuple[int, float, float]:
+        """Deterministic run prelude (shared by solo and batched paths):
+        validate, prepare+reset the chain, kick every mode; returns
+        ``(n, sample_rate, bridge_sens)``."""
+        require_positive("duration", duration)
+        h = self.resonators[0].timestep
+        sample_rate = 1.0 / h
+        n = max(2, int(round(duration * sample_rate)))
+
+        loop = self.loop
+        for hp in loop.highpasses:
+            hp.reset()
+            hp.prepare(sample_rate)
+        loop.phase_lead.reset()
+        loop.phase_lead.prepare(sample_rate)
+        loop.dda.reset()
+        loop.dda.prepare(sample_rate)
+        loop.buffer.reset()
+        loop.buffer.prepare(sample_rate)
+
+        for r in self.resonators:
+            r.reset(displacement=initial_kick)
+
+        return n, sample_rate, abs(loop.bridge.sensitivity())
+
+    def _absorb_kernel_result(self, result) -> None:
+        for m, r in enumerate(self.resonators):
+            r.state.displacement = result.mode_state[2 * m]
+            r.state.velocity = result.mode_state[2 * m + 1]
+        self.last_kernel_info = result.info
 
     def _lower_kernel(self, bridge_sens: float) -> FusedLoopKernel:
         """Lower the shared chain + every mode; raises LoweringError."""
@@ -235,3 +249,64 @@ class MultiModeLoop:
             )
             gains.append(float(total))
         return gains
+
+
+def run_multimode_batch(
+    loops,
+    duration,
+    initial_kick: float = 1e-12,
+    backend: str = "auto",
+    threads: int | None = None,
+) -> list[Signal]:
+    """Run N :class:`MultiModeLoop` instances as batched kernel calls.
+
+    The multi-mode analogue of :func:`repro.feedback.loop.run_batch`:
+    instances sharing one program shape run in one compiled call; each
+    returned bridge waveform is bit-identical to the instance's solo
+    fused run; non-lowerable instances fall back per-instance to the
+    reference path without poisoning the batch.  ``duration`` may be a
+    float or a per-instance sequence.
+    """
+    loops = list(loops)
+    if np.isscalar(duration):
+        durations = [float(duration)] * len(loops)
+    else:
+        durations = [float(d) for d in duration]
+        if len(durations) != len(loops):
+            raise ValueError(
+                f"{len(loops)} loops but {len(durations)} durations"
+            )
+    resolved = resolve_backend(backend)
+    signals: list[Signal | None] = [None] * len(loops)
+    if resolved != "fused":
+        for i, mm in enumerate(loops):
+            signals[i] = mm.run(durations[i], initial_kick, backend=backend)
+        return signals
+
+    groups: dict[tuple, list[int]] = {}
+    kernels = [None] * len(loops)
+    ns = [0] * len(loops)
+    rates = [0.0] * len(loops)
+    for i, mm in enumerate(loops):
+        n, sample_rate, bridge_sens = mm._prepare_run(durations[i], initial_kick)
+        mm.last_kernel_info = None
+        try:
+            kernels[i] = mm._lower_kernel(bridge_sens)
+        except LoweringError as err:
+            record_fallback(str(err))
+            signals[i] = mm.run(durations[i], initial_kick,
+                                backend="reference")
+        else:
+            ns[i], rates[i] = n, sample_rate
+            groups.setdefault(batch_signature(kernels[i]), []).append(i)
+
+    for indices in groups.values():
+        batch = KernelBatch(
+            [kernels[i] for i in indices],
+            [ns[i] for i in indices],
+            [np.zeros(ns[i]) for i in indices],
+        )
+        for i, result in zip(indices, batch.run(threads=threads)):
+            loops[i]._absorb_kernel_result(result)
+            signals[i] = Signal(result.bridge_voltage, rates[i])
+    return signals

@@ -68,6 +68,51 @@ class TestResolutionTradeoff:
         assert reading.frequency_noise() < 0.1
 
 
+class TestOptimizedLoopBitExact:
+    """The optimized scalar tracking loop == the naive recurrence, bit for bit."""
+
+    @staticmethod
+    def naive_loop(x, k_p, k_i, freq0, dt):
+        """Verbatim copy of the pre-optimization per-sample loop."""
+        import math
+
+        phase = 0.0
+        freq = freq0
+        n = len(x)
+        freq_log = np.empty(n)
+        for i in range(n):
+            pd = x[i] * math.cos(phase)
+            freq += k_i * pd * dt / (2.0 * math.pi)
+            instantaneous = freq + k_p * pd / (2.0 * math.pi)
+            phase += 2.0 * math.pi * instantaneous * dt
+            if phase > math.pi:
+                phase -= 2.0 * math.pi * round(phase / (2.0 * math.pi))
+            freq_log[i] = freq
+        return freq_log
+
+    @pytest.mark.parametrize("bandwidth", [50.0, 400.0])
+    def test_trajectory_bit_identical(self, bandwidth):
+        import math
+
+        from repro.circuits.pll import _run_tracking_loop
+
+        tone = Signal.sine(F_TRUE, 0.05, FS, amplitude=0.5)
+        pll = PhaseLockedLoop(8800.0, bandwidth, amplitude=0.5)
+        wn = 2.0 * math.pi * pll.loop_bandwidth
+        pd_gain = pll.amplitude / 2.0
+        k_p = 2.0 * pll.damping * wn / pd_gain
+        k_i = wn**2 / pd_gain
+        dt = 1.0 / FS
+
+        reference = self.naive_loop(
+            tone.samples, k_p, k_i, pll.center_frequency, dt
+        )
+        optimized = _run_tracking_loop(
+            tone.samples, k_p, k_i, pll.center_frequency, dt
+        )
+        assert np.array_equal(reference, optimized)
+
+
 class TestValidation:
     def test_bandwidth_guard(self):
         with pytest.raises(CircuitError):

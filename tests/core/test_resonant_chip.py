@@ -33,6 +33,12 @@ class TestConstruction:
 
 
 class TestLiveMeasurement:
+    def test_batched_equals_serial_pair(self, chip):
+        """Both loops as ONE kernel batch == two solo runs, exactly."""
+        batched = chip.measure_frequencies(gate_time=0.02, gates=2, batch=True)
+        serial = chip.measure_frequencies(gate_time=0.02, gates=2, batch=False)
+        assert batched == serial
+
     def test_both_loops_lock(self, chip):
         f_s, f_r = chip.measure_frequencies(gate_time=0.02, gates=2)
         assert f_s == pytest.approx(

@@ -1,15 +1,21 @@
-"""Machine-readable FIG5 performance report (``make bench-json``).
+"""Machine-readable performance reports (``make bench-json`` / ``bench-batch``).
 
-Runs the closed-loop backend-throughput experiment plus the three FIG5
-bench experiments and writes ``BENCH_fig5.json``: samples/sec per
-backend, the fused/numba speedups over the reference path, and the
+Default mode runs the closed-loop backend-throughput experiment plus the
+three FIG5 bench experiments and writes ``BENCH_fig5.json``: samples/sec
+per backend, the fused/numba speedups over the reference path, and the
 wall time of each bench — the numbers the README performance table and
 the perf-trajectory tracking across PRs are built from.
+
+``--sweep`` instead writes ``BENCH_sweep.json``: the batched-kernel
+sweep report — a 64-point resonance curve timed serial-fused vs batched
+(points/sec, speedup, bit-identical flag), a closed-loop spec sweep
+serial-fused vs ``kernel-batch``, and the C-level thread-scaling curve.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [--output BENCH_fig5.json]
                                                 [--duration 0.12] [--quick]
+    PYTHONPATH=src python tools/bench_report.py --sweep [--points 64]
 """
 
 from __future__ import annotations
@@ -84,11 +90,137 @@ def build_report(duration: float, repeats: int, quick: bool) -> dict:
     }
 
 
+def _reference_wet_resonator():
+    """The reference resonant sensor's in-liquid bring-up resonator."""
+    from repro.config import REFERENCE_RESONANT_SENSOR, build
+
+    return build(REFERENCE_RESONANT_SENSOR).build_resonator()
+
+
+def _best_of(repeats: int, fn):
+    """(best wall seconds, last result) of ``repeats`` timed calls."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def build_sweep_report(points: int, loop_points: int, repeats: int) -> dict:
+    """The batched-kernel sweep report (``BENCH_sweep.json``)."""
+    import os
+
+    import numpy as np
+
+    from repro.analysis import LoopSweepTask, run_spec_sweep, swept_sine_response
+    from repro.config import REFERENCE_RESONANT_SENSOR
+    from repro.engine import kernel_batch_threads, reset_kernel_info
+
+    # -- 64-point resonance curve: serial fused vs one batched call ----------
+    resonator = _reference_wet_resonator()
+    f0 = resonator.natural_frequency
+    frequencies = np.linspace(0.6 * f0, 1.4 * f0, points)
+    force = 1e-9
+
+    serial_wall, serial_amps = _best_of(
+        repeats,
+        lambda: swept_sine_response(
+            resonator, frequencies, force, backend="reference"
+        ),
+    )
+    reset_kernel_info()
+    batch_wall, batch_amps = _best_of(
+        repeats,
+        lambda: swept_sine_response(resonator, frequencies, force, backend="auto"),
+    )
+    curve_info = kernel_info()
+    identical = bool(np.array_equal(serial_amps, batch_amps))
+
+    # -- thread-scaling curve (C-level pthreads across instances) ------------
+    scaling = []
+    n_cpu = os.cpu_count() or 1
+    thread_counts = sorted({t for t in (1, 2, 4, 8, n_cpu) if t <= n_cpu})
+    for t in thread_counts:
+        wall, _ = _best_of(
+            repeats,
+            lambda t=t: swept_sine_response(
+                resonator, frequencies, force, backend="auto", threads=t
+            ),
+        )
+        scaling.append({
+            "threads": t,
+            "wall_s": round(wall, 5),
+            "points_per_sec": round(points / wall, 1),
+        })
+
+    # -- closed-loop spec sweep: serial fused vs kernel-batch ----------------
+    task = LoopSweepTask(duration=0.01)
+    lengths = [float(v) for v in np.linspace(170.0, 260.0, loop_points)]
+
+    def sweep_with(backend):
+        return run_spec_sweep(
+            REFERENCE_RESONANT_SENSOR, "cantilever.length_um", lengths,
+            task, backend=backend, workers=1 if backend == "serial" else None,
+        )
+
+    loop_serial_wall, loop_serial = _best_of(
+        repeats, lambda: sweep_with("serial")
+    )
+    reset_kernel_info()
+    loop_batch_wall, loop_batch = _best_of(
+        repeats, lambda: sweep_with("kernel-batch")
+    )
+    loop_info = kernel_info()
+    loop_identical = bool(all(
+        loop_serial.columns[k] == loop_batch.columns[k]
+        for k in loop_serial.columns
+    ))
+
+    return {
+        "report": "batched multi-instance kernel sweeps",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": n_cpu,
+        "cc_available": cc_available(),
+        "numba_available": numba_available(),
+        "default_batch_threads": kernel_batch_threads(),
+        "resonance_curve": {
+            "points": points,
+            "serial_fused_wall_s": round(serial_wall, 5),
+            "batched_wall_s": round(batch_wall, 5),
+            "serial_points_per_sec": round(points / serial_wall, 1),
+            "batched_points_per_sec": round(points / batch_wall, 1),
+            "speedup": round(serial_wall / batch_wall, 2),
+            "waveforms_identical": identical,
+            "batch_runs": curve_info.batch_runs,
+            "batch_instances": curve_info.batch_instances,
+            "fallbacks": curve_info.fallbacks,
+        },
+        "thread_scaling": scaling,
+        "closed_loop_sweep": {
+            "points": loop_points,
+            "loop_duration_s": task.duration,
+            "serial_fused_wall_s": round(loop_serial_wall, 5),
+            "kernel_batch_wall_s": round(loop_batch_wall, 5),
+            "serial_points_per_sec": round(loop_points / loop_serial_wall, 2),
+            "batched_points_per_sec": round(loop_points / loop_batch_wall, 2),
+            "speedup": round(loop_serial_wall / loop_batch_wall, 2),
+            "columns_identical": loop_identical,
+            "batch_runs": loop_info.batch_runs,
+            "batch_instances": loop_info.batch_instances,
+            "fallbacks": loop_info.fallbacks,
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--output", default=str(REPO / "BENCH_fig5.json"),
-        help="report path (default BENCH_fig5.json at the repo root)",
+        "--output", default=None,
+        help="report path (default BENCH_fig5.json, or BENCH_sweep.json "
+             "with --sweep, at the repo root)",
     )
     parser.add_argument(
         "--duration", type=float, default=0.12,
@@ -102,12 +234,46 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="skip the full FIG5 bench wall-time section",
     )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="write the batched-sweep report (BENCH_sweep.json) instead",
+    )
+    parser.add_argument(
+        "--points", type=int, default=64,
+        help="resonance-curve points for --sweep (default 64)",
+    )
+    parser.add_argument(
+        "--loop-points", type=int, default=16, dest="loop_points",
+        help="closed-loop sweep points for --sweep (default 16)",
+    )
     args = parser.parse_args(argv)
 
-    report = build_report(args.duration, args.repeats, args.quick)
-    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    if args.sweep:
+        output = args.output or str(REPO / "BENCH_sweep.json")
+        report = build_sweep_report(args.points, args.loop_points, args.repeats)
+        Path(output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {output}")
+        curve = report["resonance_curve"]
+        print(f"  resonance curve ({curve['points']} pts): "
+              f"{curve['serial_points_per_sec']:,.0f} -> "
+              f"{curve['batched_points_per_sec']:,.0f} pts/s  "
+              f"{curve['speedup']:.1f}x  "
+              f"identical={curve['waveforms_identical']}")
+        for s in report["thread_scaling"]:
+            print(f"  threads={s['threads']}: {s['points_per_sec']:,.0f} pts/s")
+        loop = report["closed_loop_sweep"]
+        print(f"  closed-loop sweep ({loop['points']} pts): "
+              f"{loop['serial_points_per_sec']:,.2f} -> "
+              f"{loop['batched_points_per_sec']:,.2f} pts/s  "
+              f"{loop['speedup']:.1f}x  "
+              f"identical={loop['columns_identical']}")
+        return 0
 
-    print(f"wrote {args.output}")
+    output = args.output or str(REPO / "BENCH_fig5.json")
+    report = build_report(args.duration, args.repeats, args.quick)
+    Path(output).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"wrote {output}")
     for r in report["backends"]:
         print(f"  {r['backend']:>10s} ({r['engine']:>7s}): "
               f"{r['samples_per_sec']:>12,} samp/s  "
