@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-json bench-batch bench-smoke kernel-check spec-check examples docs all clean
+.PHONY: install test bench bench-json bench-batch bench-smoke kernel-check spec-check fault-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -53,6 +53,22 @@ spec-check:
 		--set cantilever.length_um=350 --set bridge.mismatch_sigma=0.001 \
 		> /dev/null
 	@echo "spec-check: CLI --set override smoke ok"
+
+# Resilience suite: every injected fault either recovers bit-identically
+# or comes back as a flagged degraded channel.  The second pass breaks
+# the C compiler (CC=/bin/false) under a fresh TMPDIR (so no cached .so
+# can hide the failure) and re-runs the golden equivalence suites: the
+# fallback chain must still reproduce every waveform bit-for-bit.
+fault-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/engine/test_resilience.py tests/engine/test_cache.py -q
+	@echo "-- no-compiler pass: CC=/bin/false, fallback chain must stay bit-identical --"
+	CC=/bin/false TMPDIR=$$(mktemp -d) PYTHONPATH=src $(PYTHON) -m pytest \
+		tests/engine/test_kernel_equivalence.py tests/engine/test_kernel_batch.py -q \
+		--deselect tests/engine/test_kernel_equivalence.py::TestFusedEngines::test_cc_engine_selected_when_compiler_present \
+		--deselect tests/engine/test_kernel_equivalence.py::TestFusedEngines::test_codegen_engine_matches \
+		--deselect tests/engine/test_kernel_batch.py::TestClosedLoopBatch::test_batch_runs_compiled_engine \
+		--deselect tests/engine/test_kernel_batch.py::TestAutoResolution::test_resolution_order
+	@echo "fault-check: all injected faults recovered or flagged"
 
 examples:
 	@for ex in examples/*.py; do \

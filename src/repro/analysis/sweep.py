@@ -143,6 +143,8 @@ def run_parallel(
     backend: str = "process",
     cache=None,
     cache_extra=None,
+    timeout: float | None = None,
+    retry=None,
 ) -> SweepResult:
     """Parallel :func:`sweep`: same grid, same result, fanned out.
 
@@ -165,6 +167,12 @@ def run_parallel(
         and their results are stored back.  Keys include ``evaluate``'s
         qualified name and ``cache_extra`` (pass config objects the
         function closes over, so context changes invalidate correctly).
+    timeout / retry:
+        Per-task watchdog [s] and retry policy
+        (:class:`repro.engine.RetryPolicy` or an int), forwarded to the
+        executor: a hung point is killed, a crashed point re-dispatched
+        with deterministic backoff, and only a point that *stays* dead
+        after its retry budget re-raises here.
     """
     from ..engine import BatchExecutor
 
@@ -186,7 +194,9 @@ def run_parallel(
                 outcomes[i] = hit
 
     if pending_indices:
-        executor = BatchExecutor(workers=workers, backend=backend)
+        executor = BatchExecutor(
+            workers=workers, backend=backend, timeout=timeout, retry=retry
+        )
         batch = executor.map(evaluate, [grid[i] for i in pending_indices])
         for i, outcome in zip(pending_indices, batch.outcomes):
             value = outcome.unwrap()  # re-raise task errors like the serial loop
@@ -219,6 +229,8 @@ def run_spec_sweep(
     backend: str = "process",
     cache=None,
     cache_extra=None,
+    timeout: float | None = None,
+    retry=None,
 ) -> SweepResult:
     """Sweep one dotted spec path over ``values``.
 
@@ -228,6 +240,8 @@ def run_spec_sweep(
     like a plain :func:`sweep`.  With a ``cache``, each point is keyed
     by the spec's dict form — the full device description — so a warm
     re-run of the same grid is 100 % hits with zero stores.
+    ``timeout``/``retry`` forward to the executor (see
+    :func:`run_parallel`).
     """
     raw = list(values)
     result = run_parallel(
@@ -238,6 +252,8 @@ def run_spec_sweep(
         backend=backend,
         cache=cache,
         cache_extra=cache_extra,
+        timeout=timeout,
+        retry=retry,
     )
     result.parameters = raw
     return result

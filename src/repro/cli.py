@@ -8,7 +8,10 @@ Gives the library a tool face for quick, scriptable use:
 * ``assay``        — run a static immunoassay and print the trace
 * ``track``        — run a resonant tracking assay and print the trace
 * ``sweep``        — spec-path sweep of the closed loop (``--batch`` runs
-  the whole grid as one batched kernel call)
+  the whole grid as one batched kernel call; ``--retries``/``--timeout``
+  arm the resilient executor)
+* ``health``       — execution-engine health: kernel backend state,
+  circuit breakers, degrade counters, optional cache integrity scan
 
 Every command is rooted in a reference device spec
 (:data:`~repro.config.REFERENCE_STATIC_SENSOR` or
@@ -239,6 +242,8 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         backend="kernel-batch" if args.batch else "serial",
         cache=cache,
+        timeout=args.timeout,
+        retry=args.retries,
     )
     print(result.format_table())
     info = kernel_info()
@@ -247,6 +252,42 @@ def cmd_sweep(args) -> int:
         f"batch_instances={info.batch_instances} fallbacks={info.fallbacks}",
         file=sys.stderr,
     )
+    return 0
+
+
+def cmd_health(args) -> int:
+    from .engine import breaker_report, cc_available, kernel_info, numba_available
+
+    info = kernel_info()
+    print(f"compiler        : {'available' if cc_available() else 'absent'}")
+    if info.cc_build_error:
+        print(f"compiler error  : {info.cc_build_error}")
+    print(f"numba           : {'available' if numba_available() else 'absent'}")
+    print(f"cc quarantined  : {'yes' if info.cc_quarantined else 'no'}")
+    runs = " ".join(f"{k}={v}" for k, v in sorted(info.runs.items())) or "none"
+    print(f"kernel runs     : {runs} (batch {info.batch_runs} / "
+          f"{info.batch_instances} instances)")
+    print(f"fallbacks       : {info.fallbacks}"
+          + (f" (last: {info.last_fallback_reason})"
+             if info.last_fallback_reason else ""))
+    print(f"degrades        : {info.degrades}"
+          + (f" (last: {info.last_degrade_reason})"
+             if info.last_degrade_reason else ""))
+    breakers = breaker_report()
+    if not breakers:
+        print("breakers        : none registered")
+    for b in breakers.values():
+        state = "OPEN" if b.open else "closed"
+        print(f"breaker {b.name:<12s}: {state} "
+              f"(failures {b.failures}, trips {b.trips})")
+    if args.cache_dir:
+        from .engine import ResultCache
+
+        cache = ResultCache(args.cache_dir)
+        intact, damaged = cache.verify(evict=args.evict)
+        verb = "evicted" if args.evict else "found"
+        print(f"cache           : {intact} intact, {damaged} damaged ({verb})")
+        return 0 if damaged == 0 else 1
     return 0
 
 
@@ -348,19 +389,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--cache-dir", default=None, dest="cache_dir",
                    help="ResultCache directory (spec-keyed memoization)")
+    p.add_argument(
+        "--retries", type=int, default=None,
+        help="re-dispatch a crashed point up to N times "
+             "(deterministic seeded backoff)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-point watchdog [s]; a hung point is killed and retried",
+    )
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "health",
+        help="engine health: kernel state, breakers, cache integrity",
+    )
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="also integrity-scan this ResultCache directory")
+    p.add_argument("--evict", action="store_true",
+                   help="evict damaged cache entries found by the scan")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_health)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    from .errors import ConfigError
+    from .errors import ConfigError, LoweringError
 
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ConfigError as err:
+    except (ConfigError, LoweringError) as err:
+        # user-facing configuration/lowering problems get a one-line
+        # message and a nonzero exit, never a traceback
         print(f"repro: {err}", file=sys.stderr)
         return 2
 

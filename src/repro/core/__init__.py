@@ -1,7 +1,16 @@
 """The paper's systems, assembled from the substrate packages."""
 
 from . import presets
-from .chip import ArrayAssayResult, BiosensorChip, ChannelConfig
+from .chip import SUPPLY_RAIL, ArrayAssayResult, BiosensorChip, ChannelConfig
+from .health import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    ChannelHealth,
+    HealthReport,
+    diagnose_loop_record,
+    diagnose_trace,
+)
 from .interference import (
     EXTERNAL_PATH,
     MONOLITHIC_PATH,
@@ -18,6 +27,14 @@ __all__ = [
     "ArrayAssayResult",
     "BiosensorChip",
     "ChannelConfig",
+    "ChannelHealth",
+    "HealthReport",
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "SUPPLY_RAIL",
+    "diagnose_loop_record",
+    "diagnose_trace",
     "EXTERNAL_PATH",
     "InterferenceResult",
     "MONOLITHIC_PATH",

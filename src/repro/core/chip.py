@@ -23,11 +23,22 @@ from ..biochem.assay import AssayProtocol
 from ..biochem.functionalization import FunctionalizedSurface
 from ..circuits.mux import AnalogMultiplexer
 from ..circuits.signal import Signal
-from ..errors import AssayError
+from ..engine.resilience import poll_fault
+from ..errors import AssayError, WatchdogTimeout
 from ..fabrication.release import ReleasedCantilever
 from ..units import require_positive
 from . import presets
+from .health import (
+    STATUS_FAILED,
+    ChannelHealth,
+    HealthReport,
+    diagnose_trace,
+)
 from .static_sensor import StaticCantileverSensor
+
+#: CMOS supply rail [V] an open bridge resistor pins a channel against
+#: (the readout saturates when one bridge arm floats).
+SUPPLY_RAIL = 3.3
 
 
 @dataclass(frozen=True)
@@ -44,12 +55,19 @@ class ChannelConfig:
 
 @dataclass(frozen=True)
 class ArrayAssayResult:
-    """Per-channel and differential outputs of an array assay."""
+    """Per-channel and differential outputs of an array assay.
+
+    ``health`` classifies every channel (see
+    :class:`~repro.core.health.HealthReport`); a failed channel's trace
+    is NaN-poisoned, a degraded channel's trace keeps its (symptomatic)
+    data.  ``None`` only for results built by old callers.
+    """
 
     times: np.ndarray
     channel_outputs: dict[int, np.ndarray]
     channel_labels: dict[int, str]
     reference_channels: tuple[int, ...]
+    health: HealthReport | None = None
 
     def referenced(self, channel: int) -> np.ndarray:
         """Channel output minus the mean of the reference channels.
@@ -175,6 +193,8 @@ class BiosensorChip:
         include_noise: bool = True,
         workers: int | None = None,
         backend: str = "thread",
+        timeout: float | None = None,
+        retry=None,
     ) -> ArrayAssayResult:
         """Run the protocol on all four channels through the shared chain.
 
@@ -186,6 +206,14 @@ class BiosensorChip:
         objects, so threads — not processes — are the right pool).
         Every channel is seeded independently (``seed + 100 + i``), so
         the batched run is bit-identical to the serial one.
+
+        One sick channel never kills the assay: a channel whose task
+        crashed or overran ``timeout`` (after exhausting ``retry``, a
+        :class:`~repro.engine.resilience.RetryPolicy` or int) comes
+        back NaN-poisoned and flagged ``failed`` in ``result.health``;
+        a channel with a recognized device symptom (railed against the
+        supply, frozen flat) keeps its trace and is flagged
+        ``degraded``.  The other channels' data is untouched.
         """
         require_positive("sample_interval", sample_interval)
         from ..engine import BatchExecutor
@@ -200,25 +228,76 @@ class BiosensorChip:
 
         channel_indices = range(len(self.sensors))
         executor = BatchExecutor(
-            workers=workers if workers is not None else 1, backend=backend
+            workers=workers if workers is not None else 1,
+            backend=backend,
+            timeout=timeout,
+            retry=retry,
         )
-        results = executor.map(run_channel, channel_indices).values()
+        outcomes = executor.map(run_channel, channel_indices)
+
+        times = next(
+            (o.value.times for o in outcomes if o.ok), None
+        )
+        if times is None:
+            # every channel failed: synthesize the protocol's sample grid
+            # so the NaN traces still have the right shape
+            end = protocol.step_boundaries()[-1]
+            n = max(2, int(round(end / sample_interval)) + 1)
+            times = np.linspace(0.0, end, n)
 
         outputs: dict[int, np.ndarray] = {}
         labels: dict[int, str] = {}
-        times: np.ndarray | None = None
-        for i, result in enumerate(results):
-            drifted = result.output_voltage + self.temperature_drift * result.times
-            outputs[i] = drifted
+        verdicts: list[ChannelHealth] = []
+        for outcome in outcomes:
+            i = outcome.index
             labels[i] = self.channels[i].label or f"ch{i}"
-            times = result.times
-        assert times is not None
+            if not outcome.ok:
+                outputs[i] = np.full(len(times), np.nan)
+                reason = (
+                    "timeout"
+                    if isinstance(outcome.error, WatchdogTimeout)
+                    else "task-error"
+                )
+                verdicts.append(ChannelHealth(
+                    channel=i, status=STATUS_FAILED, reason=reason,
+                    detail=str(outcome.error), label=labels[i],
+                    retries=outcome.retries,
+                ))
+                continue
+            result = outcome.value
+            drifted = result.output_voltage + self.temperature_drift * result.times
+            drifted = self._apply_device_fault(drifted)
+            outputs[i] = drifted
+            verdicts.append(diagnose_trace(
+                drifted, channel=i, label=labels[i], rail=SUPPLY_RAIL,
+                expect_variation=include_noise, retries=outcome.retries,
+            ))
         return ArrayAssayResult(
             times=times,
             channel_outputs=outputs,
             channel_labels=labels,
             reference_channels=self.reference_channels,
+            health=HealthReport(channels=tuple(verdicts)),
         )
+
+    @staticmethod
+    def _apply_device_fault(trace: np.ndarray) -> np.ndarray:
+        """Inject armed array device faults as their electrical symptoms.
+
+        Both sites are polled once per channel, in channel order, so a
+        :class:`~repro.engine.resilience.FaultSpec` with ``at=k``
+        targets channel ``k``.  An open bridge resistor floats one
+        bridge arm, saturating the readout against the supply (the
+        whole trace pins at :data:`SUPPLY_RAIL`); a stuck/unreleased
+        beam never transduces, freezing the channel at its first
+        reading.  The diagnostics must recognize the *symptom* — the
+        injection carries no out-of-band marker.
+        """
+        if poll_fault("chip.bridge-open") is not None:
+            return np.full_like(trace, SUPPLY_RAIL)
+        if poll_fault("chip.stuck") is not None:
+            return np.full_like(trace, trace[0] if len(trace) else 0.0)
+        return trace
 
     def scan_bridges(
         self, dwell_time: float = 5e-3, duration: float = 0.05

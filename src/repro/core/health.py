@@ -1,0 +1,240 @@
+"""Per-channel health classification for array measurements.
+
+Real monolithic arrays ship with dead channels — open bridge resistors,
+unreleased (stuck) beams, loops that never satisfy Barkhausen — and a
+four-channel assay with one broken beam is still three good channels of
+data.  This module is the vocabulary the array front-ends
+(:meth:`~repro.core.chip.BiosensorChip.run_array_assay`,
+:meth:`~repro.core.resonant_chip.ResonantArrayChip.measure_frequencies`)
+use to *keep going*: instead of raising on the first sick channel they
+classify every channel and return a :class:`HealthReport` alongside the
+data, with failed channels' traces poisoned to NaN so nothing downstream
+can mistake them for measurements.
+
+Classification works on observable symptoms, not fault-injection
+oracles: a railed trace is railed whether a test injected the open
+bridge or the silicon really has one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "ChannelHealth",
+    "HealthReport",
+    "diagnose_loop_record",
+    "diagnose_trace",
+]
+
+#: Channel delivered a trustworthy measurement.
+STATUS_OK = "ok"
+#: Channel produced data, but a recognized failure symptom taints it.
+STATUS_DEGRADED = "degraded"
+#: Channel produced no usable data (its trace is NaN-poisoned).
+STATUS_FAILED = "failed"
+
+_STATUS_RANK = {STATUS_OK: 0, STATUS_DEGRADED: 1, STATUS_FAILED: 2}
+
+
+@dataclass(frozen=True)
+class ChannelHealth:
+    """Verdict for one array channel.
+
+    Parameters
+    ----------
+    channel:
+        Array index of the channel.
+    status:
+        :data:`STATUS_OK`, :data:`STATUS_DEGRADED`, or
+        :data:`STATUS_FAILED`.
+    reason:
+        Symptom slug for non-ok channels — ``"diverged"``, ``"railed"``,
+        ``"stuck"``, ``"no-oscillation"``, ``"task-error"``,
+        ``"timeout"``.
+    detail:
+        Human-readable elaboration (captured error message, metric).
+    label:
+        The channel's assay label, when the front-end has one.
+    retries:
+        How many retry attempts the channel consumed before this
+        verdict.
+    """
+
+    channel: int
+    status: str = STATUS_OK
+    reason: str | None = None
+    detail: str = ""
+    label: str = ""
+    retries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.status not in _STATUS_RANK:
+            raise ValueError(
+                f"unknown health status {self.status!r}; expected one of "
+                f"{tuple(_STATUS_RANK)}"
+            )
+
+    @property
+    def ok(self) -> bool:
+        """True when the channel's data is fully trustworthy."""
+        return self.status == STATUS_OK
+
+    def describe(self) -> str:
+        """One-line rendering: ``ch2: degraded (railed)``."""
+        name = self.label or f"ch{self.channel}"
+        if self.ok:
+            return f"{name}: ok"
+        text = f"{name}: {self.status} ({self.reason})"
+        if self.detail:
+            text += f" — {self.detail}"
+        return text
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """All channel verdicts of one array measurement, in channel order."""
+
+    channels: tuple[ChannelHealth, ...]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    def __iter__(self):
+        return iter(self.channels)
+
+    def __getitem__(self, channel: int) -> ChannelHealth:
+        for h in self.channels:
+            if h.channel == channel:
+                return h
+        raise KeyError(f"no health entry for channel {channel}")
+
+    @property
+    def ok(self) -> bool:
+        """True when every channel is healthy."""
+        return all(h.ok for h in self.channels)
+
+    @property
+    def worst(self) -> str:
+        """The most severe status present (``"ok"`` for an empty report)."""
+        if not self.channels:
+            return STATUS_OK
+        return max((h.status for h in self.channels), key=_STATUS_RANK.get)
+
+    def sick(self) -> tuple[ChannelHealth, ...]:
+        """The non-ok channels, in channel order."""
+        return tuple(h for h in self.channels if not h.ok)
+
+    def ok_channels(self) -> tuple[int, ...]:
+        """Indices of the healthy channels."""
+        return tuple(h.channel for h in self.channels if h.ok)
+
+    def summary(self) -> str:
+        """``"4 channels: 3 ok, 1 degraded (ch2: railed)"``-style line."""
+        n = len(self.channels)
+        counts = []
+        for status in (STATUS_OK, STATUS_DEGRADED, STATUS_FAILED):
+            k = sum(1 for h in self.channels if h.status == status)
+            if k:
+                counts.append(f"{k} {status}")
+        text = f"{n} channel{'s' if n != 1 else ''}: {', '.join(counts) or 'none'}"
+        sick = self.sick()
+        if sick:
+            text += f" ({'; '.join(h.describe() for h in sick)})"
+        return text
+
+
+def diagnose_trace(
+    values: np.ndarray,
+    *,
+    channel: int = 0,
+    label: str = "",
+    rail: float | None = None,
+    rail_tolerance: float = 1e-6,
+    expect_variation: bool = False,
+    retries: int = 0,
+) -> ChannelHealth:
+    """Classify one slow assay trace (e.g. a static channel's output).
+
+    Symptoms checked, most severe first:
+
+    * non-finite samples → ``failed (diverged)``;
+    * every sample pinned within ``rail_tolerance`` of ``±rail`` →
+      ``degraded (railed)`` — the open-bridge-resistor signature, the
+      readout saturated against a supply;
+    * exactly zero variation across the trace, when
+      ``expect_variation`` says a live channel cannot be flat (noise
+      enabled, stimulus applied) → ``degraded (stuck)`` — the
+      unreleased-beam signature.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0 or not np.isfinite(values).all():
+        bad = int(values.size - np.isfinite(values).sum()) if values.size else 0
+        return ChannelHealth(
+            channel=channel, status=STATUS_FAILED, reason="diverged",
+            detail=f"{bad}/{values.size} non-finite samples",
+            label=label, retries=retries,
+        )
+    if rail is not None and np.all(
+        np.abs(np.abs(values) - abs(rail)) <= rail_tolerance
+    ):
+        return ChannelHealth(
+            channel=channel, status=STATUS_DEGRADED, reason="railed",
+            detail=f"output pinned at {values[0]:+.3g} V supply rail",
+            label=label, retries=retries,
+        )
+    if expect_variation and values.size > 1 and np.ptp(values) == 0.0:
+        return ChannelHealth(
+            channel=channel, status=STATUS_DEGRADED, reason="stuck",
+            detail=f"zero variation across {values.size} samples",
+            label=label, retries=retries,
+        )
+    return ChannelHealth(channel=channel, label=label, retries=retries)
+
+
+def diagnose_loop_record(
+    record,
+    *,
+    channel: int = 0,
+    label: str = "",
+    min_amplitude: float = 1e-10,
+    retries: int = 0,
+) -> ChannelHealth:
+    """Classify one closed-loop run (a :class:`LoopRecord`).
+
+    * non-finite displacement or bridge samples → ``failed (diverged)``
+      (a blown-up integration or NaN-poisoned record);
+    * steady tip amplitude below ``min_amplitude`` metres →
+      ``degraded (no-oscillation)`` — the loop never satisfied
+      Barkhausen (gain starved, overdamped liquid);
+    * otherwise ok.
+
+    The 1e-10 m floor sits four orders below any real oscillation
+    amplitude and three above numerical dust, so the verdict does not
+    wobble with backend rounding.
+    """
+    displacement = np.asarray(record.displacement, dtype=float)
+    bridge = np.asarray(record.bridge_voltage, dtype=float)
+    if not (np.isfinite(displacement).all() and np.isfinite(bridge).all()):
+        bad = int(
+            (~np.isfinite(displacement)).sum() + (~np.isfinite(bridge)).sum()
+        )
+        return ChannelHealth(
+            channel=channel, status=STATUS_FAILED, reason="diverged",
+            detail=f"{bad} non-finite samples in recorded waveforms",
+            label=label, retries=retries,
+        )
+    amplitude = float(record.steady_amplitude())
+    if amplitude < min_amplitude:
+        return ChannelHealth(
+            channel=channel, status=STATUS_DEGRADED, reason="no-oscillation",
+            detail=f"steady amplitude {amplitude:.2e} m below "
+                   f"{min_amplitude:.0e} m floor",
+            label=label, retries=retries,
+        )
+    return ChannelHealth(channel=channel, label=label, retries=retries)

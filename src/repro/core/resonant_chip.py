@@ -22,9 +22,17 @@ import numpy as np
 
 from ..biochem.assay import AssayProtocol
 from ..biochem.functionalization import FunctionalizedSurface
+from ..engine.resilience import poll_fault
 from ..environment.temperature import frequency_temperature_coefficient
+from ..errors import OscillationError
 from ..materials.liquids import Liquid
 from ..units import require_positive
+from .health import (
+    STATUS_DEGRADED,
+    ChannelHealth,
+    HealthReport,
+    diagnose_loop_record,
+)
 from .resonant_sensor import ResonantCantileverSensor
 
 
@@ -95,6 +103,10 @@ class ResonantArrayChip:
             immobilization_efficiency=0.0,
         )
         self.reference = ResonantCantileverSensor(blocked, liquid, seed=seed + 1)
+        #: :class:`~repro.core.health.HealthReport` of the last
+        #: :meth:`measure_frequencies` call (channel 0 = sensing,
+        #: channel 1 = reference); ``None`` before the first call.
+        self.last_health: HealthReport | None = None
 
     # -- live measurement ----------------------------------------------------
 
@@ -108,6 +120,12 @@ class ResonantArrayChip:
         :func:`repro.feedback.run_batch`) — bit-identical to the serial
         pair of :meth:`ResonantCantileverSensor.measure_frequency`
         runs, which the tests pin.
+
+        A beam that fails to oscillate (gain starvation, heavy damping,
+        an injected ``loop.no-startup`` fault) or returns a damaged
+        record does not raise: its frequency comes back NaN and the
+        verdict lands in :attr:`last_health` — the other beam's reading
+        stays valid, exactly like a yield-limited real array.
         """
         if batch:
             from ..feedback.loop import run_batch
@@ -116,15 +134,70 @@ class ResonantArrayChip:
                 gate_time, gates
             )
             loops = [self.sensing.build_loop(), self.reference.build_loop()]
+            for loop in loops:
+                # polled in channel order (0 = sensing, 1 = reference), so
+                # a FaultSpec with at=k starves channel k's loop gain —
+                # the physically honest no-startup symptom: Barkhausen
+                # unsatisfied, amplitude never grows past noise
+                if poll_fault("loop.no-startup") is not None:
+                    loop.limiter.small_signal_gain = 1e-6
             rec_s, rec_r = run_batch(
                 loops, duration, backend=self.sensing.loop_backend
             )
-            f_s, _ = self.sensing.count_record(rec_s, gate_time)
-            f_r, _ = self.reference.count_record(rec_r, gate_time)
+            f_s, h_s = self._count_channel(
+                self.sensing, rec_s, gate_time, 0, "sensing"
+            )
+            f_r, h_r = self._count_channel(
+                self.reference, rec_r, gate_time, 1, "reference"
+            )
+            self.last_health = HealthReport(channels=(h_s, h_r))
             return f_s, f_r
-        f_s, _ = self.sensing.measure_frequency(gate_time=gate_time, gates=gates)
-        f_r, _ = self.reference.measure_frequency(gate_time=gate_time, gates=gates)
+        f_s, h_s = self._measure_solo(self.sensing, gate_time, gates, 0, "sensing")
+        f_r, h_r = self._measure_solo(
+            self.reference, gate_time, gates, 1, "reference"
+        )
+        self.last_health = HealthReport(channels=(h_s, h_r))
         return f_s, f_r
+
+    @staticmethod
+    def _count_channel(
+        sensor: ResonantCantileverSensor,
+        record,
+        gate_time: float,
+        channel: int,
+        label: str,
+    ) -> tuple[float, ChannelHealth]:
+        """Count one beam's record, degrading instead of raising."""
+        verdict = diagnose_loop_record(record, channel=channel, label=label)
+        if not verdict.ok:
+            return float("nan"), verdict
+        try:
+            frequency, _ = sensor.count_record(record, gate_time)
+        except OscillationError as err:
+            return float("nan"), ChannelHealth(
+                channel=channel, status=STATUS_DEGRADED,
+                reason="no-oscillation", detail=str(err), label=label,
+            )
+        return frequency, verdict
+
+    @staticmethod
+    def _measure_solo(
+        sensor: ResonantCantileverSensor,
+        gate_time: float,
+        gates: int,
+        channel: int,
+        label: str,
+    ) -> tuple[float, ChannelHealth]:
+        try:
+            frequency, _ = sensor.measure_frequency(
+                gate_time=gate_time, gates=gates
+            )
+        except OscillationError as err:
+            return float("nan"), ChannelHealth(
+                channel=channel, status=STATUS_DEGRADED,
+                reason="no-oscillation", detail=str(err), label=label,
+            )
+        return frequency, ChannelHealth(channel=channel, label=label)
 
     # -- compensated assay -----------------------------------------------------
 

@@ -10,6 +10,10 @@ The scaling substrate under every sweep, bench, and array assay:
   counters;
 * :class:`StageTimer` — per-stage wall-clock timing so benches report
   real speedups;
+* :mod:`~repro.engine.resilience` — deterministic fault injection
+  (:func:`inject_faults`), seeded retry backoff (:class:`RetryPolicy`),
+  and the circuit breakers that quarantine a misbehaving compiled
+  backend (:func:`get_breaker`, :func:`breaker_report`);
 * :mod:`~repro.engine.kernel` — the fused closed-loop kernel: circuit
   chains lowered to flat stage programs run by a compiled interpreter
   (``KERNEL_BACKENDS`` names the execution paths; the executor's
@@ -27,6 +31,7 @@ from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
 from .kernel import (
     AUTO_ORDER,
     BACKENDS as KERNEL_BACKENDS,
+    CC_ENV,
     FusedLoopKernel,
     KERNEL_THREADS_ENV,
     KernelBatch,
@@ -38,14 +43,33 @@ from .kernel import (
     ModeLowering,
     batch_signature,
     cc_available,
+    cc_usable,
     compose_stages,
     kernel_batch_threads,
     kernel_info,
     lower_block,
     numba_available,
+    record_degrade,
     record_fallback,
+    reset_compiler_probe,
     reset_kernel_info,
     resolve_backend,
+)
+from .resilience import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    BreakerInfo,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    breaker_report,
+    get_breaker,
+    inject_faults,
+    poll_fault,
+    quarantined_backends,
+    reset_breakers,
 )
 from .timing import StageTimer, StageTiming, speedup
 
@@ -53,11 +77,19 @@ __all__ = [
     "AUTO_ORDER",
     "BACKENDS",
     "CACHE_VERSION",
+    "CC_ENV",
+    "FAULT_KINDS",
+    "FAULT_SITES",
     "KERNEL_BACKENDS",
     "KERNEL_THREADS_ENV",
     "BatchExecutor",
     "BatchResult",
+    "BreakerInfo",
     "CacheInfo",
+    "CircuitBreaker",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FusedLoopKernel",
     "KernelBatch",
     "KernelInfo",
@@ -67,17 +99,27 @@ __all__ = [
     "KernelStage",
     "ModeLowering",
     "ResultCache",
+    "RetryPolicy",
     "StageTimer",
     "StageTiming",
     "TaskOutcome",
     "batch_signature",
+    "breaker_report",
     "cc_available",
+    "cc_usable",
     "compose_stages",
+    "get_breaker",
+    "inject_faults",
     "kernel_batch_threads",
     "kernel_info",
     "lower_block",
     "numba_available",
+    "poll_fault",
+    "quarantined_backends",
+    "record_degrade",
     "record_fallback",
+    "reset_breakers",
+    "reset_compiler_probe",
     "reset_kernel_info",
     "resolve_backend",
     "speedup",

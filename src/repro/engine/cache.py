@@ -14,10 +14,14 @@ content hash of
   every old entry at once.
 
 Entries are pickle files written atomically (temp file + ``os.replace``)
-so a killed run never leaves a half-written entry; a corrupted or
-unreadable file is treated as a miss and silently recomputed.  Hit/miss
-counters are exposed through :meth:`ResultCache.cache_info` so benches
-can *prove* a warm re-run skipped recomputation.
+so a killed run never leaves a half-written entry.  The value itself is
+stored as an inner pickle blob with a SHA-256 integrity checksum, so a
+bit-flipped or truncated file — whether it breaks the outer pickle or
+silently damages the payload — is *detected*, counted, evicted, and
+treated as a miss, never returned as data and never raised.  Hit/miss/
+corruption counters are exposed through :meth:`ResultCache.cache_info`
+so benches can *prove* a warm re-run skipped recomputation and fault
+tests can prove a corrupt entry was recomputed.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -35,9 +40,13 @@ from typing import Callable
 import numpy as np
 
 from ..errors import CacheError
+from .resilience import active_injector, corruption_offsets, poll_fault
+
+logger = logging.getLogger(__name__)
 
 #: Bump to invalidate every previously written cache entry.
-CACHE_VERSION = 1
+#: 2: checksummed inner-blob payload layout (integrity verification).
+CACHE_VERSION = 2
 
 _MISSING = object()
 
@@ -49,6 +58,10 @@ class CacheInfo:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries found damaged (checksum or format) and evicted; every
+    #: corruption is also counted as a miss, so hits+misses still totals
+    #: the requests.
+    corruptions: int = 0
 
     @property
     def requests(self) -> int:
@@ -58,7 +71,7 @@ class CacheInfo:
     def __str__(self) -> str:
         return (
             f"CacheInfo(hits={self.hits}, misses={self.misses}, "
-            f"stores={self.stores})"
+            f"stores={self.stores}, corruptions={self.corruptions})"
         )
 
 
@@ -152,6 +165,30 @@ def stable_hash(*parts) -> str:
     return hashlib.sha256(b"".join(chunks)).hexdigest()
 
 
+def _damage_file(path: Path, fault) -> None:
+    """Apply one injected ``cache.entry`` fault to the on-disk entry.
+
+    ``"corrupt"`` XOR-flips a handful of deterministically chosen bytes
+    (plan-seeded, so the same plan always injures the same bytes);
+    anything else truncates the file to half — the killed-mid-write
+    shape.  Both damages must be caught by the read path's checksum or
+    unpickling, never surfaced to the caller.
+    """
+    raw = path.read_bytes()
+    if not raw:
+        return
+    if fault.kind == "corrupt":
+        injector = active_injector()
+        seed = injector.plan.seed if injector is not None else 0
+        n = max(1, int(fault.payload)) if fault.payload else 8
+        damaged = bytearray(raw)
+        for offset in corruption_offsets(seed, len(raw), n, path.name):
+            damaged[offset] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+    else:
+        path.write_bytes(raw[: len(raw) // 2])
+
+
 class ResultCache:
     """On-disk memo table keyed by stable content hashes.
 
@@ -176,6 +213,7 @@ class ResultCache:
         self._hits = 0
         self._misses = 0
         self._stores = 0
+        self._corruptions = 0
 
     # -- keys ----------------------------------------------------------------
 
@@ -192,36 +230,61 @@ class ResultCache:
         """Cached value for ``key``, or the ``MISS`` sentinel.
 
         A missing, corrupted, or version-mismatched entry counts as a
-        miss; corrupted files are removed so the next store is clean.
+        miss; damaged files (broken pickle, wrong key, failed checksum)
+        additionally count as corruptions and are evicted so the next
+        store is clean.  The ``cache.entry`` fault site damages the
+        on-disk file *before* the read, so injection exercises exactly
+        this recovery path.
         """
         path = self._path_for(key)
+        fault = poll_fault("cache.entry")
+        if fault is not None and path.is_file():
+            _damage_file(path, fault)
         try:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
-            if (
-                not isinstance(payload, dict)
-                or payload.get("version") != self.version
-                or payload.get("key") != key
-            ):
-                raise CacheError(f"stale or foreign cache entry {path.name}")
-            self._hits += 1
-            return payload["value"]
+            value = self._decode_payload(payload, key, path)
         except FileNotFoundError:
             self._misses += 1
             return self.MISS
-        except Exception:
-            # corrupted / truncated / incompatible entry: recompute
+        except Exception as err:
+            # corrupted / truncated / incompatible entry: evict + recompute
             self._misses += 1
+            self._corruptions += 1
+            logger.warning("evicting corrupt cache entry %s: %s", path.name, err)
             try:
                 path.unlink()
             except OSError:
                 pass
             return self.MISS
+        self._hits += 1
+        return value
+
+    def _decode_payload(self, payload, key: str, path: Path):
+        """Validate one loaded payload dict; raises CacheError on damage."""
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.version
+            or payload.get("key") != key
+        ):
+            raise CacheError(f"stale or foreign cache entry {path.name}")
+        blob = payload.get("blob")
+        if not isinstance(blob, bytes):
+            raise CacheError(f"malformed cache entry {path.name}")
+        if hashlib.sha256(blob).hexdigest() != payload.get("sha256"):
+            raise CacheError(f"checksum mismatch in cache entry {path.name}")
+        return pickle.loads(blob)
 
     def put(self, key: str, value) -> None:
-        """Atomically persist ``value`` under ``key``."""
+        """Atomically persist ``value`` under ``key`` (checksummed)."""
         self.directory.mkdir(parents=True, exist_ok=True)
-        payload = {"version": self.version, "key": key, "value": value}
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "version": self.version,
+            "key": key,
+            "blob": blob,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        }
         fd, tmp = tempfile.mkstemp(
             dir=self.directory, prefix=f".{key[:16]}-", suffix=".tmp"
         )
@@ -254,7 +317,39 @@ class ResultCache:
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss/store counters since this instance was created."""
-        return CacheInfo(hits=self._hits, misses=self._misses, stores=self._stores)
+        return CacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            corruptions=self._corruptions,
+        )
+
+    def verify(self, evict: bool = True) -> tuple[int, int]:
+        """Integrity-scan every entry: ``(intact, damaged)`` counts.
+
+        Damaged entries (unreadable pickle, checksum mismatch, wrong
+        schema version) are evicted when ``evict`` is true, so the next
+        lookup recomputes them.  Does not touch the hit/miss counters —
+        this is an audit, not a lookup.
+        """
+        intact = damaged = 0
+        if not self.directory.is_dir():
+            return (0, 0)
+        for path in sorted(self.directory.glob("*.pkl")):
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+                self._decode_payload(payload, path.stem, path)
+                intact += 1
+            except Exception as err:
+                damaged += 1
+                logger.warning("cache entry %s is damaged: %s", path.name, err)
+                if evict:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return (intact, damaged)
 
     def clear(self) -> int:
         """Delete every entry in the cache directory; returns the count."""

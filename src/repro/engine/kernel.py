@@ -54,6 +54,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import KernelError, LoweringError
+from .resilience import get_breaker, poll_fault
 from .timing import StageTimer
 
 logger = logging.getLogger(__name__)
@@ -61,6 +62,7 @@ logger = logging.getLogger(__name__)
 __all__ = [
     "AUTO_ORDER",
     "BACKENDS",
+    "CC_ENV",
     "FusedLoopKernel",
     "KERNEL_THREADS_ENV",
     "KernelBatch",
@@ -75,13 +77,16 @@ __all__ = [
     "ModeLowering",
     "batch_signature",
     "cc_available",
+    "cc_usable",
     "compose_stages",
     "kernel_batch_threads",
     "kernel_info",
     "lower_block",
     "numba_available",
     "record_batch",
+    "record_degrade",
     "record_fallback",
+    "reset_compiler_probe",
     "reset_kernel_info",
     "resolve_backend",
 ]
@@ -236,37 +241,102 @@ def numba_available() -> bool:
 _CC_CHECKED = False
 _CC: str | None = None
 _CC_INTERPRET = None
+_CC_BUILD_ERROR: str | None = None
 _CC_LOCK = threading.Lock()
+
+#: Environment variable overriding compiler discovery (``CC=/bin/false``
+#: is the canonical way to force the build to fail and exercise the
+#: fallback chain end-to-end).
+CC_ENV = "CC"
 
 
 def cc_available() -> bool:
-    """True when a system C compiler is on PATH (checked once, lazily)."""
+    """True when a system C compiler is available (checked once, lazily).
+
+    Honors the ``CC`` environment variable: when set, it names the only
+    compiler tried; otherwise ``cc``/``gcc``/``clang`` are searched on
+    PATH.  The probe is memoized for the process — a missing compiler
+    costs one lookup, not one per lowering attempt.
+    """
     global _CC_CHECKED, _CC
     if not _CC_CHECKED:
-        _CC = next(
-            (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
-        )
+        override = os.environ.get(CC_ENV)
+        if override:
+            _CC = shutil.which(override)
+        else:
+            _CC = next(
+                (c for c in ("cc", "gcc", "clang") if shutil.which(c)), None
+            )
         _CC_CHECKED = True
     return _CC is not None
+
+
+def reset_compiler_probe() -> None:
+    """Forget the memoized compiler probe, build error, and loaded engine.
+
+    For tests that flip the ``CC`` override mid-process; production code
+    never needs this.  The on-disk ``.so`` cache is untouched — only the
+    in-process memoization resets.
+    """
+    global _CC_CHECKED, _CC, _CC_INTERPRET, _CC_BUILD_ERROR
+    with _CC_LOCK:
+        _CC_CHECKED = False
+        _CC = None
+        _CC_INTERPRET = None
+        _CC_BUILD_ERROR = None
+
+
+def _cc_engine_blocked() -> str | None:
+    """Why the compiled C engine must not even be *tried*, else ``None``.
+
+    Distinct from :func:`cc_available` (no compiler at all — a static
+    platform fact): these are runtime verdicts.  A memoized build
+    failure means the compiler exists but cannot build the kernel
+    (probed once per process, never retried); an open ``kernel-cc``
+    circuit breaker means the engine failed repeatedly and is
+    quarantined until :func:`~repro.engine.resilience.reset_breakers`.
+    """
+    if _CC_BUILD_ERROR is not None:
+        return f"compiler previously failed: {_CC_BUILD_ERROR}"
+    breaker = get_breaker("kernel-cc")
+    if not breaker.allow():
+        return (
+            f"quarantined after {breaker.consecutive} consecutive "
+            f"failures ({breaker.last_failure_reason})"
+        )
+    return None
+
+
+def cc_usable() -> bool:
+    """True when the compiled C engine is available *and* trusted.
+
+    ``cc_available() and`` no memoized build failure ``and`` the
+    ``kernel-cc`` circuit breaker is closed — the condition ``auto``
+    resolution uses, so a quarantined engine degrades down
+    :data:`AUTO_ORDER` instead of being retried forever.
+    """
+    return cc_available() and _cc_engine_blocked() is None
 
 
 def resolve_backend(backend: str) -> str:
     """Map a requested backend to the one that will execute.
 
     ``auto`` follows :data:`AUTO_ORDER`: the fused path when a C
-    compiler exists, numba when it is importable and no compiler
-    exists, else the fused generated-Python engine.  ``auto`` can never
-    resolve to ``interp`` (slower than the reference path it would
-    replace).  Requesting ``numba`` explicitly on a machine without
-    numba raises :class:`~repro.errors.KernelError` (the implicit
-    ``auto`` never does).
+    compiler exists *and is trusted* (see :func:`cc_usable` — a
+    memoized build failure or an open ``kernel-cc`` circuit breaker
+    degrades past it), numba when it is importable, else the fused
+    generated-Python engine.  ``auto`` can never resolve to ``interp``
+    (slower than the reference path it would replace).  Requesting
+    ``numba`` explicitly on a machine without numba raises
+    :class:`~repro.errors.KernelError` (the implicit ``auto`` never
+    does).
     """
     if backend not in BACKENDS:
         raise KernelError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
         )
     if backend == "auto":
-        if cc_available():
+        if cc_usable():
             chosen = "fused"          # AUTO_ORDER[0]: fused:cc
         elif numba_available():
             chosen = "numba"          # AUTO_ORDER[1]
@@ -302,6 +372,15 @@ class KernelInfo:
     batch_runs: int = 0
     batch_instances: int = 0
     last_batch_threads: int = 0
+    #: Memoized build failure of the C engine (probed once per process).
+    cc_build_error: str | None = None
+    #: True while the ``kernel-cc`` circuit breaker quarantines the C engine.
+    cc_quarantined: bool = False
+    #: Runs that executed below the compiled C engine for a *runtime*
+    #: reason (build failure, quarantine) — platform facts like "no
+    #: compiler installed" are not degrades.
+    degrades: int = 0
+    last_degrade_reason: str | None = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         runs = ", ".join(f"{k}={v}" for k, v in sorted(self.runs.items()))
@@ -329,6 +408,8 @@ def reset_kernel_info() -> None:
         batch_runs=0,
         batch_instances=0,
         last_batch_threads=0,
+        degrades=0,
+        last_degrade_reason=None,
     )
 
 
@@ -350,6 +431,10 @@ def kernel_info() -> KernelInfo:
         batch_runs=_STATS["batch_runs"],
         batch_instances=_STATS["batch_instances"],
         last_batch_threads=_STATS["last_batch_threads"],
+        cc_build_error=_CC_BUILD_ERROR,
+        cc_quarantined=not get_breaker("kernel-cc").allow(),
+        degrades=_STATS["degrades"],
+        last_degrade_reason=_STATS["last_degrade_reason"],
     )
 
 
@@ -382,6 +467,18 @@ def record_fallback(reason: str) -> None:
     _STATS["fallbacks"] += 1
     _STATS["last_fallback_reason"] = str(reason)
     logger.info("fused kernel fallback to reference path: %s", reason)
+
+
+def record_degrade(reason: str) -> None:
+    """Account one run that degraded below the compiled C engine.
+
+    Counted whenever a run wanted AUTO_ORDER[0] (``fused:cc``) but
+    executed further down the order for a *runtime* reason — a failed
+    build, an injected compile fault, or a quarantined engine.
+    """
+    _STATS["degrades"] += 1
+    _STATS["last_degrade_reason"] = str(reason)
+    logger.info("kernel degraded down AUTO_ORDER: %s", reason)
 
 
 # -- block lowering ---------------------------------------------------------------
@@ -568,14 +665,26 @@ class FusedLoopKernel:
         fn_arrays = None
         if backend == "fused":
             if cc_available():
-                try:
-                    with timer.stage("compile"):
-                        fn_arrays = _cc_interpreter()
-                    engine = "cc"
-                except KernelError as err:
-                    logger.warning(
-                        "C kernel engine unavailable (%s); "
-                        "using generated Python", err,
+                breaker = get_breaker("kernel-cc")
+                blocked = _cc_engine_blocked()
+                if blocked is None:
+                    try:
+                        with timer.stage("compile"):
+                            fn_arrays = _cc_interpreter()
+                        engine = "cc"
+                        breaker.record_success()
+                    except KernelError as err:
+                        breaker.record_failure(str(err))
+                        record_degrade(str(err))
+                        logger.warning(
+                            "C kernel engine unavailable (%s); "
+                            "using generated Python", err,
+                        )
+                else:
+                    record_degrade(blocked)
+                    logger.info(
+                        "C kernel engine skipped (%s); "
+                        "using generated Python", blocked,
                     )
         elif backend == "numba":
             with timer.stage("compile"):
@@ -791,13 +900,25 @@ class KernelBatch:
         timer = StageTimer()
         batch_fn = None
         if cc_available():
-            try:
-                with timer.stage("compile"):
-                    batch_fn = _cc_batch_interpreter()
-            except KernelError as err:
-                logger.warning(
-                    "C batch engine unavailable (%s); "
-                    "running instances solo", err,
+            breaker = get_breaker("kernel-cc")
+            blocked = _cc_engine_blocked()
+            if blocked is None:
+                try:
+                    with timer.stage("compile"):
+                        batch_fn = _cc_batch_interpreter()
+                    breaker.record_success()
+                except KernelError as err:
+                    breaker.record_failure(str(err))
+                    record_degrade(str(err))
+                    logger.warning(
+                        "C batch engine unavailable (%s); "
+                        "running instances solo", err,
+                    )
+            else:
+                record_degrade(blocked)
+                logger.info(
+                    "C batch engine skipped (%s); "
+                    "running instances solo", blocked,
                 )
         if batch_fn is None:
             results = [
@@ -1030,7 +1151,8 @@ def _generate_source(kinds, params, sidx, n_state, modes, act_r, act_imax, act_f
 def _compile_source(source: str) -> Callable:
     fn = _SOURCE_CACHE.get(source)
     if fn is None:
-        namespace = {"tanh": math.tanh}
+        # repr(float("inf")) in _lit() emits the bare names inf/nan
+        namespace = {"tanh": math.tanh, "inf": math.inf, "nan": math.nan}
         exec(compile(source, "<repro.engine.kernel generated>", "exec"), namespace)
         fn = namespace["_fused"]
         if len(_SOURCE_CACHE) >= _SOURCE_CACHE_MAX:
@@ -1428,13 +1550,25 @@ def _cc_interpreter() -> Callable:
 
     Raises :class:`KernelError` when no compiler is on PATH or the
     build fails; ``FusedLoopKernel.run`` then falls back to the
-    generated-Python engine.
+    generated-Python engine.  A real build failure is memoized for the
+    process (the broken compiler is invoked once, not per run); an
+    injected ``kernel.compile`` fault is *not* memoized — it fires per
+    its plan and lets later runs recover, which is what the fault suite
+    asserts.
     """
-    global _CC_INTERPRET
+    global _CC_INTERPRET, _CC_BUILD_ERROR
+    if poll_fault("kernel.compile") is not None:
+        raise KernelError("injected fault at kernel.compile")
+    if _CC_BUILD_ERROR is not None:
+        raise KernelError(_CC_BUILD_ERROR)
     if _CC_INTERPRET is None:
         if not cc_available():
             raise KernelError("no C compiler on PATH")
         with _CC_LOCK:
             if _CC_INTERPRET is None:
-                _CC_INTERPRET = _cc_build()
+                try:
+                    _CC_INTERPRET = _cc_build()
+                except KernelError as err:
+                    _CC_BUILD_ERROR = str(err)
+                    raise
     return _CC_INTERPRET

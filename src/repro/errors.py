@@ -78,6 +78,27 @@ class LoweringError(KernelError):
     """
 
 
+class FaultInjectionError(ReproError, RuntimeError):
+    """A deliberately injected fault fired (see :mod:`repro.engine.resilience`).
+
+    Never raised in normal operation — only when a
+    :class:`~repro.engine.resilience.FaultPlan` is active.  Recovery
+    machinery (retries, fallbacks, channel health) treats it like any
+    other task failure, which is the point: the fault-injection suite
+    proves the recovery paths with a distinguishable error type.
+    """
+
+
+class WatchdogTimeout(ExecutorError):
+    """A task exceeded its per-task watchdog timeout.
+
+    The executor kills (process backend) or abandons (thread backend)
+    the hung worker and captures this error as the task's outcome; with
+    a retry policy the task is re-dispatched.  A sweep never stalls
+    past its watchdog.
+    """
+
+
 class ConfigError(ReproError, ValueError):
     """A device spec is invalid, or an override path does not resolve.
 

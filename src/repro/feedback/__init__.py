@@ -7,7 +7,7 @@ from .agc import (
     predict_amplitude,
     predicted_startup_time,
 )
-from .barkhausen import BarkhausenResult, analyze, loop_gain
+from .barkhausen import BarkhausenResult, analyze, loop_gain, startup_check
 from .loop import (
     LoopRecord,
     ResonantFeedbackLoop,
@@ -31,4 +31,5 @@ __all__ = [
     "predicted_startup_time",
     "run_batch",
     "run_multimode_batch",
+    "startup_check",
 ]

@@ -91,3 +91,28 @@ def analyze(
         will_oscillate=magnitude > 1.0,
         gain_margin_db=20.0 * math.log10(magnitude) if magnitude > 0.0 else -math.inf,
     )
+
+
+def startup_check(
+    loop: ResonantFeedbackLoop,
+    sample_rate: float,
+    span_factor: float = 0.2,
+    points: int = 4001,
+) -> tuple[bool, str | None]:
+    """Non-raising startup verdict: ``(will_start, reason_if_not)``.
+
+    The health-layer companion to :func:`analyze`: a loop that cannot
+    satisfy Barkhausen is a *channel diagnosis* during an array
+    measurement, not an exception — the array keeps measuring its other
+    channels.  Returns ``(True, None)`` for a healthy loop,
+    ``(False, "no-zero-phase-crossing")`` when the phase condition is
+    unsatisfiable, ``(False, "insufficient-loop-gain")`` when the
+    crossing exists but |gain| <= 1.
+    """
+    try:
+        result = analyze(loop, sample_rate, span_factor, points)
+    except OscillationError:
+        return (False, "no-zero-phase-crossing")
+    if not result.will_oscillate:
+        return (False, "insufficient-loop-gain")
+    return (True, None)

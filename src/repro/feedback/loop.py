@@ -45,6 +45,7 @@ from ..engine.kernel import (
     record_fallback,
     resolve_backend,
 )
+from ..engine.resilience import active_injector, corruption_offsets, poll_fault
 from ..errors import LoweringError, OscillationError
 from ..mechanics.dynamics import ModalResonator
 from ..transduction.placement import BridgePlacement, CLAMPED_EDGE, bridge_average_stress
@@ -318,7 +319,7 @@ class ResonantFeedbackLoop:
             limiter_output[i] = v_lim
             drive_voltage[i] = v_drive
 
-        return LoopRecord(
+        return _poison_record(LoopRecord(
             times=times,
             displacement=displacement,
             bridge_voltage=bridge_voltage,
@@ -326,7 +327,7 @@ class ResonantFeedbackLoop:
             limiter_output=limiter_output,
             drive_voltage=drive_voltage,
             sample_rate=sample_rate,
-        )
+        ))
 
     def _prepare_run(
         self, duration: float, initial_kick: float | None = None
@@ -386,6 +387,8 @@ class ResonantFeedbackLoop:
 
     def _lower_kernel(self, bridge_coefficient: float) -> FusedLoopKernel:
         """Lower the whole loop; :class:`LoweringError` if any piece can't."""
+        if poll_fault("kernel.lower") is not None:
+            raise LoweringError("injected fault at kernel.lower")
         act = _linear_actuator_constants(self.actuator)
         if act is None:
             raise LoweringError(
@@ -419,7 +422,7 @@ class ResonantFeedbackLoop:
 
 
 def _record_from_result(prep: _PreparedRun, result) -> LoopRecord:
-    return LoopRecord(
+    return _poison_record(LoopRecord(
         times=prep.times,
         displacement=result.displacement,
         bridge_voltage=result.bridge_voltage,
@@ -427,7 +430,30 @@ def _record_from_result(prep: _PreparedRun, result) -> LoopRecord:
         limiter_output=result.limiter_output,
         drive_voltage=result.drive_voltage,
         sample_rate=prep.sample_rate,
-    )
+    ))
+
+
+def _poison_record(record: LoopRecord) -> LoopRecord:
+    """Apply an armed ``loop.record`` fault: non-finite recorded samples.
+
+    Models an acquisition glitch (ADC dropout, DMA corruption): a few
+    plan-seeded sample positions of the displacement and bridge
+    waveforms turn NaN (or Inf for ``kind="inf"``).  Downstream the
+    health layer must flag the channel as diverged — the injection
+    proves nothing averages NaN into a "measurement".
+    """
+    spec = poll_fault("loop.record")
+    if spec is None:
+        return record
+    injector = active_injector()
+    seed = injector.plan.seed if injector is not None else 0
+    n = len(record.displacement)
+    bad = float("inf") if spec.kind == "inf" else float("nan")
+    count = max(1, int(spec.payload)) if spec.payload else 4
+    for idx in corruption_offsets(seed, n, count, "loop.record"):
+        record.displacement[idx] = bad
+        record.bridge_voltage[idx] = bad
+    return record
 
 
 def run_batch(

@@ -31,6 +31,7 @@ from ..engine.kernel import (
     record_fallback,
     resolve_backend,
 )
+from ..engine.resilience import poll_fault
 from ..errors import LoweringError, OscillationError
 from ..mechanics.dynamics import ModalResonator
 from ..transduction.placement import CLAMPED_EDGE
@@ -204,6 +205,8 @@ class MultiModeLoop:
 
     def _lower_kernel(self, bridge_sens: float) -> FusedLoopKernel:
         """Lower the shared chain + every mode; raises LoweringError."""
+        if poll_fault("kernel.lower") is not None:
+            raise LoweringError("injected fault at kernel.lower")
         loop = self.loop
         act = _linear_actuator_constants(loop.actuator)
         if act is None:

@@ -105,6 +105,24 @@ class TestCorruption:
             pickle.dump({"version": cache.version, "key": "someone-else"}, fh)
         assert cache.get(key) is cache.MISS
 
+    def test_hand_corrupted_blob_counted_evicted_recomputed(self, cache):
+        # flip one byte mid-file: the outer pickle still loads, but the
+        # blob's sha256 no longer matches — the checksum is the only
+        # thing standing between this and silently wrong numbers
+        key = cache.key_for(expensive, 4)
+        cache.get_or_compute(expensive, 4)
+        path = cache._path_for(key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.get(key) is cache.MISS
+        info = cache.cache_info()
+        assert info.corruptions == 1
+        assert not path.exists()  # evicted, not left to fail again
+        assert cache.get_or_compute(expensive, 4) == 40
+        assert CALLS == [4, 4]
+        assert cache.get(key) == 40  # clean entry back on disk
+
 
 class TestStableHash:
     def test_stable_across_instances(self):
