@@ -58,6 +58,7 @@ from .sweep import (
     override_grid,
     run_parallel,
     run_spec_sweep,
+    run_sweep_outcomes,
     sweep,
 )
 
@@ -105,6 +106,7 @@ __all__ = [
     "ring_down_quality_factor",
     "run_parallel",
     "run_spec_sweep",
+    "run_sweep_outcomes",
     "snr_db",
     "sweep",
     "welch_psd",

@@ -134,6 +134,103 @@ def _cache_parameter(value):
     return value
 
 
+def run_sweep_outcomes(
+    values: Iterable,
+    evaluate: Callable[[object], Mapping[str, object]],
+    *,
+    workers: int | None = None,
+    backend: str = "process",
+    cache=None,
+    cache_extra=None,
+    timeout: float | None = None,
+    retry=None,
+    progress=None,
+    cancel=None,
+) -> list:
+    """Outcome-level sweep: one :class:`~repro.engine.TaskOutcome` per point.
+
+    The JobStore-routed execution path of the service layer
+    (:mod:`repro.service`): unlike :func:`run_parallel` it never raises
+    on a failed point — every grid point settles as a
+    :class:`~repro.engine.TaskOutcome` in grid order, cache hits marked
+    ``cached=True`` (with ``retries=0`` and no executor dispatch), and
+    the caller decides what a failure means.  :func:`run_parallel` is a
+    thin unwrap of this function, so both paths share one cache-keying
+    and dispatch implementation.
+
+    Parameters
+    ----------
+    progress:
+        Optional per-outcome hook (see
+        :meth:`repro.engine.BatchExecutor.map`).  Also called for cache
+        hits, so a job's progress feed covers every point; outcome
+        indices are always *grid* indices, even for the dispatched
+        subset.
+    cancel:
+        Optional cooperative cancellation probe, polled between tasks;
+        cancelled points settle as :class:`~repro.errors.TaskCancelled`
+        outcomes.  Cache hits are served even when cancellation fires
+        first — a hit costs one read and keeps resumed jobs monotonic.
+    """
+    from ..engine import BatchExecutor, TaskOutcome
+
+    grid = list(values)
+    outcomes: list = [None] * len(grid)
+
+    pending_indices = list(range(len(grid)))
+    keys = None
+    if cache is not None:
+        keys = [
+            cache.key_for(evaluate, _cache_parameter(v), cache_extra)
+            for v in grid
+        ]
+        pending_indices = []
+        for i, key in enumerate(keys):
+            hit = cache.get(key)
+            if hit is cache.MISS:
+                pending_indices.append(i)
+            else:
+                outcomes[i] = TaskOutcome(
+                    index=i, parameter=grid[i], value=hit, cached=True
+                )
+                if progress is not None:
+                    progress(outcomes[i])
+
+    if pending_indices:
+        executor = BatchExecutor(
+            workers=workers, backend=backend, timeout=timeout, retry=retry
+        )
+
+        def regrid(outcome):
+            """An executor outcome re-indexed into the full grid."""
+            return TaskOutcome(
+                index=pending_indices[outcome.index],
+                parameter=outcome.parameter,
+                value=outcome.value,
+                error=outcome.error,
+                retries=outcome.retries,
+            )
+
+        hook = None
+        if progress is not None:
+            def hook(outcome):
+                progress(regrid(outcome))
+
+        batch = executor.map(
+            evaluate,
+            [grid[i] for i in pending_indices],
+            progress=hook,
+            cancel=cancel,
+        )
+        for outcome in batch.outcomes:
+            full = regrid(outcome)
+            outcomes[full.index] = full
+            if cache is not None and full.ok:
+                cache.put(keys[full.index], full.value)
+
+    return outcomes
+
+
 def run_parallel(
     parameter_name: str,
     values: Iterable,
@@ -174,37 +271,19 @@ def run_parallel(
         with deterministic backoff, and only a point that *stays* dead
         after its retry budget re-raises here.
     """
-    from ..engine import BatchExecutor
-
     grid = list(values)
-    outcomes: list = [None] * len(grid)
-
-    pending_indices = list(range(len(grid)))
-    if cache is not None:
-        keys = [
-            cache.key_for(evaluate, _cache_parameter(v), cache_extra)
-            for v in grid
-        ]
-        pending_indices = []
-        for i, key in enumerate(keys):
-            hit = cache.get(key)
-            if hit is cache.MISS:
-                pending_indices.append(i)
-            else:
-                outcomes[i] = hit
-
-    if pending_indices:
-        executor = BatchExecutor(
-            workers=workers, backend=backend, timeout=timeout, retry=retry
-        )
-        batch = executor.map(evaluate, [grid[i] for i in pending_indices])
-        for i, outcome in zip(pending_indices, batch.outcomes):
-            value = outcome.unwrap()  # re-raise task errors like the serial loop
-            outcomes[i] = value
-            if cache is not None:
-                cache.put(keys[i], value)
-
-    return _collect(grid, outcomes, parameter_name)
+    outcomes = run_sweep_outcomes(
+        grid,
+        evaluate,
+        workers=workers,
+        backend=backend,
+        cache=cache,
+        cache_extra=cache_extra,
+        timeout=timeout,
+        retry=retry,
+    )
+    # re-raise the first (grid-order) task error, like the serial loop
+    return _collect(grid, [o.unwrap() for o in outcomes], parameter_name)
 
 
 def override_grid(base_spec, path: str, values: Iterable) -> list:

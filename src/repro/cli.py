@@ -12,6 +12,14 @@ Gives the library a tool face for quick, scriptable use:
   arm the resilient executor)
 * ``health``       — execution-engine health: kernel backend state,
   circuit breakers, degrade counters, optional cache integrity scan
+  (``--json`` prints the machine-readable snapshot probes consume)
+* ``serve``        — run the simulation service: durable SQLite job
+  store + HTTP API (``--port 0`` binds an ephemeral port and prints it)
+* ``submit``       — submit a sweep to a running service (``--wait``
+  polls to completion and prints the result table)
+* ``status``       — one job's status, or the job listing without an id
+* ``results``      — fetch a finished job's sweep table
+* ``cancel``       — request cancellation of a queued/running job
 
 Every command is rooted in a reference device spec
 (:data:`~repro.config.REFERENCE_STATIC_SENSOR` or
@@ -258,6 +266,15 @@ def cmd_sweep(args) -> int:
 def cmd_health(args) -> int:
     from .engine import breaker_report, cc_available, kernel_info, numba_available
 
+    if args.json:
+        import json
+
+        from .service import health_snapshot
+
+        snapshot = health_snapshot(cache_dir=args.cache_dir, evict=args.evict)
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0 if snapshot["ok"] else 1
+
     info = kernel_info()
     print(f"compiler        : {'available' if cc_available() else 'absent'}")
     if info.cc_build_error:
@@ -288,6 +305,140 @@ def cmd_health(args) -> int:
         verb = "evicted" if args.evict else "found"
         print(f"cache           : {intact} intact, {damaged} damaged ({verb})")
         return 0 if damaged == 0 else 1
+    return 0
+
+
+def _print_result_table(payload: dict) -> None:
+    """Render a service result payload as the familiar sweep table."""
+    names = list(payload.get("columns", {}))
+    name = payload.get("parameter_name", "parameter")
+    print("  ".join([f"{name:>24s}"] + [f"{n:>14s}" for n in names]))
+    for i, parameter in enumerate(payload.get("parameters", [])):
+        cells = [f"{parameter:>24.6g}"]
+        for n in names:
+            value = payload["columns"][n][i]
+            cells.append(f"{'failed':>14s}" if value is None
+                         else f"{value:>14.6g}")
+        print("  ".join(cells))
+
+
+def cmd_serve(args) -> int:
+    from .engine import ResultCache
+    from .service import (
+        ReproHTTPServer,
+        ReproService,
+        SchedulerPolicy,
+        open_job_store,
+    )
+
+    store = open_job_store(args.db)
+    cache = ResultCache(args.cache_dir)
+    service = ReproService(
+        store,
+        cache,
+        SchedulerPolicy(tenant_quota=args.tenant_quota),
+        pump_workers=args.pump_workers,
+    )
+    server = ReproHTTPServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    # scripts (make serve-check) parse this line to find an ephemeral port
+    print(f"listening on http://{host}:{port}", flush=True)
+    print(f"job store: {args.db} (schema v{store.schema_version()})",
+          file=sys.stderr)
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        server.server_close()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from .service import JobSpec, ServiceClient
+
+    spec = JobSpec(
+        base=_root_spec(args, REFERENCE_RESONANT_SENSOR).to_dict(),
+        path=args.path,
+        values=tuple(_sweep_values(args.values)),
+        duration=args.duration,
+        tenant=args.tenant,
+        priority=args.priority,
+        backend=args.backend,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    client = ServiceClient(args.url)
+    record = client.submit(spec)
+    job_id = record["job_id"]
+    dedup = record.get("dedup_of")
+    print(f"job {job_id} queued"
+          + (f" (deduplicated against {dedup})" if dedup else ""))
+    if not args.wait:
+        return 0
+    payload = client.wait(job_id, timeout=args.wait_timeout)
+    phase = payload["state"]["phase"]
+    print(f"job {job_id} {phase} "
+          f"({payload['progress']['completed']}/{payload['progress']['total']} "
+          f"points, {payload['progress']['failed']} failed, "
+          f"{payload['progress']['cache_hits']} cache hits)",
+          file=sys.stderr)
+    if phase == "done":
+        _print_result_table(client.results(job_id))
+        return 0
+    return 1
+
+
+def cmd_status(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job_id:
+        print(json.dumps(client.status(args.job_id), indent=2))
+        return 0
+    rows = client.list_jobs(tenant=args.tenant)
+    if not rows:
+        print("no jobs")
+        return 0
+    print(f"{'job':<18s} {'tenant':<10s} {'phase':<10s} "
+          f"{'progress':>9s}  dedup")
+    for row in rows:
+        progress = f"{row['completed']}/{row['total']}"
+        print(f"{row['job_id']:<18s} {row['tenant']:<10s} "
+              f"{row['phase']:<10s} {progress:>9s}  "
+              f"{row['dedup_of'] or '-'}")
+    return 0
+
+
+def cmd_results(args) -> int:
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.ndjson:
+        for row in client.results_ndjson(args.job_id):
+            print(json.dumps(row))
+        return 0
+    _print_result_table(client.results(args.job_id))
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    from .service import ServiceClient
+
+    record = ServiceClient(args.url).cancel(args.job_id)
+    phase = record["state"]["phase"]
+    if phase == "cancelled":
+        print(f"job {args.job_id} cancelled")
+    elif phase in ("done", "failed"):
+        print(f"job {args.job_id} already {phase}; nothing to cancel")
+    else:
+        print(f"job {args.job_id} {phase} (cancellation requested)")
     return 0
 
 
@@ -409,21 +560,91 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also integrity-scan this ResultCache directory")
     p.add_argument("--evict", action="store_true",
                    help="evict damaged cache entries found by the scan")
+    p.add_argument("--json", action="store_true",
+                   help="print the machine-readable health snapshot "
+                        "(what the serve layer's /healthz probe embeds)")
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation service (durable job store + HTTP API)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="TCP port (0 binds an ephemeral port and prints it)")
+    p.add_argument("--db", default=".repro_service/jobs.sqlite",
+                   help="job-store location (path or sqlite:///path)")
+    p.add_argument("--cache-dir", default=".repro_service/cache",
+                   dest="cache_dir", help="ResultCache directory shared by "
+                                          "all jobs (the dedup substrate)")
+    p.add_argument("--pump-workers", type=int, default=1, dest="pump_workers",
+                   help="concurrent jobs (per-job parallelism is separate)")
+    p.add_argument("--tenant-quota", type=int, default=2, dest="tenant_quota",
+                   help="max running jobs per tenant")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a sweep to a running service")
+    p.add_argument("--url", default="http://127.0.0.1:8765",
+                   help="service base URL")
+    p.add_argument("--path", default="cantilever.length_um",
+                   help="dotted spec path to sweep")
+    p.add_argument("--values", default="160:260:6",
+                   help="comma list (a,b,c) or start:stop:count linspace")
+    p.add_argument("--duration", type=float, default=0.01,
+                   help="closed-loop settling time per point [s]")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is accounted to")
+    p.add_argument("--priority", type=int, default=0,
+                   help="scheduling priority (higher runs first)")
+    p.add_argument("--backend", default="kernel-batch",
+                   help="executor backend for the sweep")
+    p.add_argument("--retries", type=int, default=None,
+                   help="per-point retry budget")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-point watchdog [s]")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until terminal and print the result table")
+    p.add_argument("--wait-timeout", type=float, default=300.0,
+                   dest="wait_timeout", help="--wait polling deadline [s]")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="job status (or listing without an id)")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--tenant", default=None,
+                   help="filter the listing to one tenant")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser("results", help="fetch a finished job's sweep table")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    p.add_argument("--ndjson", action="store_true",
+                   help="print one JSON line per grid point")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_results)
+
+    p = sub.add_parser("cancel", help="cancel a queued/running job")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8765")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_cancel)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    from .errors import ConfigError, LoweringError
+    from .errors import ConfigError, LoweringError, ServiceError
 
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except (ConfigError, LoweringError) as err:
-        # user-facing configuration/lowering problems get a one-line
-        # message and a nonzero exit, never a traceback
+    except (ConfigError, LoweringError, ServiceError) as err:
+        # user-facing configuration/lowering/service problems get a
+        # one-line message and a nonzero exit, never a traceback
         print(f"repro: {err}", file=sys.stderr)
         return 2
 

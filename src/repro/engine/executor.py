@@ -36,11 +36,24 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
-from ..errors import ExecutorError, FaultInjectionError, WatchdogTimeout
+from ..errors import (
+    ExecutorError,
+    FaultInjectionError,
+    TaskCancelled,
+    WatchdogTimeout,
+)
 from .kernel import KERNEL_THREADS_ENV
 from .resilience import RetryPolicy, poll_fault
 
 BACKENDS = ("serial", "thread", "process", "kernel-batch")
+
+#: Signature of the per-outcome progress hook: called once per settled
+#: task (success, failure, timeout, or cancellation), in settlement
+#: order within a dispatch round.
+ProgressFn = Callable[["TaskOutcome"], None]
+#: Signature of the cooperative cancellation probe: return True to stop
+#: dispatching further tasks (e.g. ``threading.Event.is_set``).
+CancelFn = Callable[[], bool]
 
 
 def _limit_worker_kernel_threads() -> None:
@@ -63,6 +76,9 @@ class TaskOutcome:
     error: BaseException | None = None
     #: Retry attempts this task consumed before settling (0 = first try).
     retries: int = 0
+    #: True when the value was served from a :class:`ResultCache` rather
+    #: than computed (set by cache-aware callers, never by the executor).
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
@@ -258,7 +274,14 @@ class BatchExecutor:
             return self.chunk_size
         return max(1, -(-task_count // (4 * max(self.workers, 1))))
 
-    def map(self, fn: Callable, parameters: Iterable) -> BatchResult:
+    def map(
+        self,
+        fn: Callable,
+        parameters: Iterable,
+        *,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
+    ) -> BatchResult:
         """Evaluate ``fn`` at every parameter; ordered, error-capturing.
 
         Returns a :class:`BatchResult` whose outcome ``i`` corresponds to
@@ -268,6 +291,20 @@ class BatchExecutor:
         re-dispatched (same backend, deterministic backoff between
         rounds) until they succeed or the retry budget is spent; the
         final outcome reflects the last attempt.
+
+        Parameters
+        ----------
+        progress:
+            Optional hook called with each :class:`TaskOutcome` as it
+            settles (the service pump's live-status feed).  Called in
+            settlement order, which for pooled backends is submission
+            order within a round; exceptions it raises propagate.
+        cancel:
+            Optional zero-argument probe polled between tasks and
+            between retry rounds.  Once it returns True, undispached
+            tasks settle as :class:`~repro.errors.TaskCancelled`
+            outcomes (in-flight process tasks are terminated with the
+            pool) and no further retry rounds run.
         """
         grid: Sequence = list(parameters)
         pending = [_Task(fn, i, p) for i, p in enumerate(grid)]
@@ -275,13 +312,18 @@ class BatchExecutor:
 
         attempt = 0
         while True:
-            for outcome in self._run_round(fn, pending, attempt):
+            for outcome in self._run_round(fn, pending, attempt, progress, cancel):
                 outcomes[outcome.index] = outcome
-            failed = [t for t in pending if not outcomes[t.index].ok]
+            failed = [
+                t for t in pending
+                if not outcomes[t.index].ok
+                and not isinstance(outcomes[t.index].error, TaskCancelled)
+            ]
             if (
                 not failed
                 or self.retry is None
                 or attempt >= self.retry.retries
+                or (cancel is not None and cancel())
             ):
                 break
             self._sleep(self.retry.delay(attempt, key=len(failed)))
@@ -294,23 +336,59 @@ class BatchExecutor:
     # -- one dispatch round ----------------------------------------------------
 
     def _run_round(
-        self, fn: Callable, tasks: list[_Task], attempt: int
+        self,
+        fn: Callable,
+        tasks: list[_Task],
+        attempt: int,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[TaskOutcome]:
         """Dispatch ``tasks`` once over the configured backend."""
         tasks = [self._apply_fault(t) for t in tasks]
         backend = self._effective_backend(len(tasks))
         if backend == "kernel-batch":
-            return self._map_kernel_batch(fn, tasks)
+            if cancel is not None and cancel():
+                return self._settle(
+                    [self._cancelled_outcome(t) for t in tasks], progress
+                )
+            return self._settle(self._map_kernel_batch(fn, tasks), progress)
         if backend == "serial" and self.timeout is None:
-            return [_run_task(t) for t in tasks]
+            return self._run_serial(tasks, progress, cancel)
         if backend == "process":
-            if self.timeout is None:
+            if self.timeout is None and progress is None and cancel is None:
                 return self._run_process_pool(tasks)
-            return self._run_process_watchdog(tasks)
+            return self._run_process_async(tasks, progress, cancel)
         # thread backend, and serial-with-watchdog (a 1-thread pool so the
         # parent can time out and abandon a hung task)
         workers = 1 if backend == "serial" else min(self.workers, len(tasks))
-        return self._run_thread_pool(tasks, workers)
+        return self._run_thread_pool(tasks, workers, progress, cancel)
+
+    def _settle(
+        self, outcomes: list[TaskOutcome], progress: ProgressFn | None
+    ) -> list[TaskOutcome]:
+        """Feed already-collected outcomes through the progress hook."""
+        if progress is not None:
+            for outcome in outcomes:
+                progress(outcome)
+        return outcomes
+
+    def _run_serial(
+        self,
+        tasks: list[_Task],
+        progress: ProgressFn | None,
+        cancel: CancelFn | None,
+    ) -> list[TaskOutcome]:
+        outcomes: list[TaskOutcome] = []
+        cancelled = False
+        for task in tasks:
+            cancelled = cancelled or (cancel is not None and cancel())
+            outcome = (
+                self._cancelled_outcome(task) if cancelled else _run_task(task)
+            )
+            if progress is not None:
+                progress(outcome)
+            outcomes.append(outcome)
+        return outcomes
 
     def _apply_fault(self, task: _Task) -> _Task:
         """Poll the ``executor.task`` site for this dispatch.
@@ -331,18 +409,32 @@ class BatchExecutor:
         )
 
     def _run_thread_pool(
-        self, tasks: list[_Task], workers: int
+        self,
+        tasks: list[_Task],
+        workers: int,
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
     ) -> list[TaskOutcome]:
         pool = ThreadPoolExecutor(max_workers=workers)
         futures = [pool.submit(_run_task, t) for t in tasks]
         outcomes: list[TaskOutcome] = []
         timed_out = False
+        cancelled = False
         for task, future in zip(tasks, futures):
-            try:
-                outcomes.append(future.result(self.timeout))
-            except FutureTimeoutError:
-                timed_out = True
-                outcomes.append(self._timeout_outcome(task))
+            cancelled = cancelled or (cancel is not None and cancel())
+            # a queued future can still be withdrawn; a running one is
+            # collected normally (threads cannot be killed)
+            if cancelled and future.cancel():
+                outcome = self._cancelled_outcome(task)
+            else:
+                try:
+                    outcome = future.result(self.timeout)
+                except FutureTimeoutError:
+                    timed_out = True
+                    outcome = self._timeout_outcome(task)
+            if progress is not None:
+                progress(outcome)
+            outcomes.append(outcome)
         # cancel_futures stops queued tasks; an actually-hung thread is
         # abandoned (daemonic exit at interpreter shutdown)
         pool.shutdown(wait=not timed_out, cancel_futures=timed_out)
@@ -357,15 +449,21 @@ class BatchExecutor:
                 _run_task, tasks, chunksize=self._chunk_size_for(len(tasks))
             )
 
-    def _run_process_watchdog(self, tasks: list[_Task]) -> list[TaskOutcome]:
-        """Process round with per-task watchdog: hung workers get killed.
+    def _run_process_async(
+        self,
+        tasks: list[_Task],
+        progress: ProgressFn | None = None,
+        cancel: CancelFn | None = None,
+    ) -> list[TaskOutcome]:
+        """Process round with watchdog / progress / cancellation support.
 
         Tasks are dispatched individually (no chunking — a chunk would
         make one hung task time out its innocent chunk-mates) and
         collected in order with a per-task deadline; every task has been
         in flight at least ``timeout`` seconds before being declared
         hung.  The pool is terminated afterwards whenever anything timed
-        out, which is what actually kills the stuck worker process.
+        out or was cancelled, which is what actually kills stuck or
+        no-longer-wanted worker processes.
         """
         workers = min(self.workers, len(tasks))
         pool = multiprocessing.Pool(
@@ -373,16 +471,24 @@ class BatchExecutor:
         )
         outcomes: list[TaskOutcome] = []
         timed_out = False
+        cancelled = False
         try:
             handles = [pool.apply_async(_run_task, (t,)) for t in tasks]
             for task, handle in zip(tasks, handles):
-                try:
-                    outcomes.append(handle.get(self.timeout))
-                except multiprocessing.TimeoutError:
-                    timed_out = True
-                    outcomes.append(self._timeout_outcome(task))
+                cancelled = cancelled or (cancel is not None and cancel())
+                if cancelled:
+                    outcome = self._cancelled_outcome(task)
+                else:
+                    try:
+                        outcome = handle.get(self.timeout)
+                    except multiprocessing.TimeoutError:
+                        timed_out = True
+                        outcome = self._timeout_outcome(task)
+                if progress is not None:
+                    progress(outcome)
+                outcomes.append(outcome)
         finally:
-            if timed_out:
+            if timed_out or cancelled:
                 pool.terminate()
             else:
                 pool.close()
@@ -396,6 +502,14 @@ class BatchExecutor:
             error=WatchdogTimeout(
                 f"task {task.index} exceeded its {self.timeout}s watchdog"
             ),
+            retries=task.retries,
+        )
+
+    def _cancelled_outcome(self, task: _Task) -> TaskOutcome:
+        return TaskOutcome(
+            index=task.index,
+            parameter=task.parameter,
+            error=TaskCancelled(f"task {task.index} cancelled before it ran"),
             retries=task.retries,
         )
 

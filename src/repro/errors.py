@@ -99,6 +99,35 @@ class WatchdogTimeout(ExecutorError):
     """
 
 
+class TaskCancelled(ExecutorError):
+    """A task was cancelled before (or while) it ran.
+
+    Captured as the task's outcome when a ``cancel`` callback handed to
+    :meth:`repro.engine.BatchExecutor.map` fires mid-batch: tasks not
+    yet dispatched are skipped, in-flight process tasks are terminated
+    with the pool.  Never retried — cancellation is a decision, not a
+    failure.
+    """
+
+
+class ServiceError(ReproError, RuntimeError):
+    """The simulation service refused or could not complete a request.
+
+    Raised by the job store, scheduler, HTTP front end, and client for
+    malformed job specs, unknown job ids, transport failures, and
+    illegal job-state transitions (see :mod:`repro.service`).
+    """
+
+
+class JobError(ServiceError):
+    """A submitted job spec is invalid or references an unknown job.
+
+    Messages carry the offending dotted field path (the
+    :class:`ConfigError` convention), so a bad submission points at
+    itself.
+    """
+
+
 class ConfigError(ReproError, ValueError):
     """A device spec is invalid, or an override path does not resolve.
 

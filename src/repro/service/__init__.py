@@ -1,0 +1,71 @@
+"""Simulation-as-a-service: durable jobs, a scheduler, and an HTTP face.
+
+The service layer turns the repo's sweep machinery into a long-running
+multi-tenant facility:
+
+* :mod:`repro.service.jobs` — the job model (:class:`JobSpec`,
+  :class:`JobState`, :class:`JobRecord`): frozen dataclasses with JSON
+  round-trips and a content-addressed ``work_hash`` idempotency key.
+* :mod:`repro.service.store` — the durable :class:`JobStore` (SQLite
+  behind an abstract interface, versioned schema + migrations).
+* :mod:`repro.service.scheduler` — pure multi-tenant scheduling:
+  priorities, per-tenant quotas, dedup holds.
+* :mod:`repro.service.pump` — worker threads claiming jobs and driving
+  them through :func:`repro.analysis.run_sweep_outcomes`.
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  stdlib HTTP front end (``repro serve``) and its urllib client
+  (``repro submit|status|results|cancel``).
+* :mod:`repro.service.health` — the machine-readable health snapshot
+  shared by ``/healthz`` and ``repro health --json``.
+
+Everything is stdlib + the repo's own engine: no new dependencies.
+"""
+
+from .client import ServiceClient
+from .health import health_snapshot, resilience_snapshot
+from .jobs import (
+    JOB_PHASES,
+    JOB_TERMINAL_PHASES,
+    JobRecord,
+    JobSpec,
+    JobState,
+    device_spec_from_dict,
+    new_job_id,
+)
+from .pump import WorkerPump, execute_job, sweep_result_key
+from .scheduler import SchedulerPolicy, eligible_jobs, select_next
+from .server import ReproHTTPServer, ReproService, serve
+from .store import (
+    SCHEMA_VERSION,
+    JobStore,
+    PointOutcome,
+    SQLiteJobStore,
+    open_job_store,
+)
+
+__all__ = [
+    "JOB_PHASES",
+    "JOB_TERMINAL_PHASES",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "PointOutcome",
+    "ReproHTTPServer",
+    "ReproService",
+    "SCHEMA_VERSION",
+    "SQLiteJobStore",
+    "SchedulerPolicy",
+    "ServiceClient",
+    "WorkerPump",
+    "device_spec_from_dict",
+    "eligible_jobs",
+    "execute_job",
+    "health_snapshot",
+    "new_job_id",
+    "open_job_store",
+    "resilience_snapshot",
+    "select_next",
+    "serve",
+    "sweep_result_key",
+]

@@ -1,0 +1,127 @@
+"""Stdlib HTTP client for the simulation service.
+
+A thin, dependency-free (urllib) wrapper over the ``/v1/jobs`` API so
+scripts, tests, and the ``repro submit|status|results|cancel`` CLI
+commands share one request path.  Server-side errors come back as the
+same exception types the service raises locally: a 400 is a
+:class:`~repro.errors.JobError`, any other error status a
+:class:`~repro.errors.ServiceError` carrying the server's message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from ..errors import JobError, ServiceError
+from .jobs import JOB_TERMINAL_PHASES, JobSpec
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Talk to a running ``repro serve`` instance.
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://127.0.0.1:8347`` (trailing slash ok).
+    timeout:
+        Per-request socket timeout [s].
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- raw request ---------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        body = json.dumps(payload).encode() if payload is not None else None
+        request = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read() or b"null")
+        except urllib.error.HTTPError as err:
+            raw = err.read()
+            try:
+                message = json.loads(raw)["error"]
+            except Exception:  # noqa: BLE001 - body may be anything
+                message = raw.decode(errors="replace") or str(err)
+            if err.code == 400:
+                raise JobError(message) from None
+            raise ServiceError(
+                f"HTTP {err.code} from {method} {path}: {message}"
+            ) from None
+        except urllib.error.URLError as err:
+            raise ServiceError(
+                f"cannot reach service at {self.url}: {err.reason}"
+            ) from None
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> dict[str, Any]:
+        """Submit a job spec; returns the queued job record."""
+        return self._request("POST", "/v1/jobs", spec.to_dict())
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def results_ndjson(self, job_id: str) -> list[dict[str, Any]]:
+        """The streaming fetch: one decoded dict per grid point."""
+        request = urllib.request.Request(
+            f"{self.url}/v1/jobs/{job_id}/results?format=ndjson"
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return [
+                    json.loads(line)
+                    for line in response.read().splitlines()
+                    if line.strip()
+                ]
+        except urllib.error.HTTPError as err:
+            raise ServiceError(
+                f"HTTP {err.code} fetching ndjson results for {job_id}"
+            ) from None
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def list_jobs(self, tenant: str | None = None,
+                  phase: str | None = None) -> list[dict[str, Any]]:
+        query = "&".join(
+            f"{k}={v}" for k, v in
+            (("tenant", tenant), ("phase", phase)) if v
+        )
+        path = "/v1/jobs" + (f"?{query}" if query else "")
+        return self._request("GET", path)["jobs"]
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll_interval: float = 0.1) -> dict[str, Any]:
+        """Poll until the job reaches a terminal phase; returns its status."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.status(job_id)
+            if payload["state"]["phase"] in JOB_TERMINAL_PHASES:
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['state']['phase']!r} "
+                    f"after {timeout}s"
+                )
+            time.sleep(poll_interval)

@@ -1,0 +1,342 @@
+"""The worker pump: claims queued jobs and drives them to a terminal phase.
+
+The glue between the durable :class:`~repro.service.store.JobStore`
+and the execution stack: each pump worker thread snapshots the store,
+asks the scheduler (:func:`~repro.service.scheduler.select_next`) for
+the best claimable job, wins it with the store's atomic claim, and
+executes the sweep through
+:func:`repro.analysis.run_sweep_outcomes` — the same cache-first,
+batched-kernel path the CLI uses — streaming per-point outcomes back
+into the store as they settle, so a status poll mid-job shows live
+progress and a crash loses at most the points not yet cached.
+
+Result blobs are written through the checksummed
+:class:`~repro.engine.ResultCache` under a key derived from the job's
+``work_hash``; a deduplicated follower job therefore finds both its
+per-point values *and* its finished table already cached, and
+completes with zero recomputes.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import replace
+from typing import Any
+
+from ..errors import TaskCancelled, WatchdogTimeout
+from .health import resilience_snapshot
+from .jobs import JobRecord
+from .scheduler import SchedulerPolicy, select_next
+from .store import JobStore, PointOutcome
+
+__all__ = ["WorkerPump", "execute_job", "sweep_result_key"]
+
+logger = logging.getLogger(__name__)
+
+
+def sweep_result_key(work_hash: str) -> str:
+    """Result-cache key of a job's finished sweep table.
+
+    A pure function of the idempotency key, so every job asking for the
+    same computation — resubmissions, other tenants — reads and writes
+    one blob.
+    """
+    from ..engine.cache import stable_hash
+
+    return stable_hash("repro-job-result", work_hash)
+
+
+def _point_health(outcome) -> dict[str, Any]:
+    """PR-5 channel-health verdict for one settled grid point."""
+    from ..core.health import STATUS_FAILED, STATUS_OK, ChannelHealth
+
+    if outcome.ok:
+        health = ChannelHealth(channel=outcome.index, status=STATUS_OK,
+                               retries=outcome.retries)
+    else:
+        if isinstance(outcome.error, WatchdogTimeout):
+            reason = "timeout"
+        elif isinstance(outcome.error, TaskCancelled):
+            reason = "cancelled"
+        else:
+            reason = "task-error"
+        health = ChannelHealth(
+            channel=outcome.index, status=STATUS_FAILED, reason=reason,
+            detail=str(outcome.error), retries=outcome.retries,
+        )
+    return {
+        "channel": health.channel,
+        "status": health.status,
+        "reason": health.reason,
+        "detail": health.detail,
+        "retries": health.retries,
+    }
+
+
+def _assemble_result(spec, outcomes) -> dict[str, Any]:
+    """The job's result payload: a JSON-ready sweep table + point verdicts.
+
+    Failed points hold ``None`` in every column (the NaN-poisoning
+    idea from array assays: a sick point can never be mistaken for a
+    measurement), and the per-point section says why.
+    """
+    columns: dict[str, list] = {}
+    names: list[str] | None = None
+    for outcome in outcomes:
+        if outcome.ok:
+            names = list(outcome.value)
+            break
+    if names is not None:
+        for name in names:
+            columns[name] = [
+                (None if not o.ok else _json_number(o.value[name]))
+                for o in outcomes
+            ]
+    return {
+        "parameter_name": spec.path,
+        "parameters": list(spec.values),
+        "columns": columns,
+        "points": [
+            {
+                "index": o.index,
+                "ok": o.ok,
+                "cached": o.cached,
+                "retries": o.retries,
+                "error": "" if o.ok else str(o.error),
+            }
+            for o in outcomes
+        ],
+    }
+
+
+def _json_number(value):
+    """Coerce numpy scalars to plain JSON numbers; leave the rest alone."""
+    try:
+        import numpy as np
+
+        if isinstance(value, np.generic):
+            return value.item()
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+    return value
+
+
+def execute_job(
+    record: JobRecord,
+    store: JobStore,
+    cache,
+    cancel_event: threading.Event | None = None,
+) -> JobRecord:
+    """Run one claimed job to a terminal phase; returns the final record.
+
+    The record must already be in phase ``running`` (claimed).  Every
+    grid point settles as a persisted
+    :class:`~repro.service.store.PointOutcome`; the finished table goes
+    through the result cache; the final state carries progress
+    counters, the engine resilience snapshot, and — on unexpected
+    infrastructure errors — the captured exception text under phase
+    ``failed``.  Per-point task errors are *not* job failures: the
+    per-task error-capture ethos of the executor carries through, and
+    a job with sick points finishes ``done`` with its casualties
+    flagged.
+    """
+    from ..analysis import LoopSweepTask, override_grid, run_sweep_outcomes
+    from .jobs import device_spec_from_dict
+
+    spec = record.spec
+    state_lock = threading.Lock()
+    counters = {"completed": 0, "failed": 0, "cache_hits": 0, "retries": 0}
+
+    def on_point(outcome) -> None:
+        store.record_outcome(
+            record.job_id,
+            PointOutcome(
+                index=outcome.index, ok=outcome.ok, cached=outcome.cached,
+                retries=outcome.retries,
+                error="" if outcome.ok else str(outcome.error),
+                health=_point_health(outcome),
+            ),
+        )
+        with state_lock:
+            counters["completed"] += 1
+            counters["retries"] += outcome.retries
+            if outcome.cached:
+                counters["cache_hits"] += 1
+            if not outcome.ok:
+                counters["failed"] += 1
+            live = record.advanced(
+                total=len(spec.values), **counters
+            )
+        store.update(live)
+
+    def cancelled() -> bool:
+        return cancel_event is not None and cancel_event.is_set()
+
+    try:
+        base = device_spec_from_dict(spec.base)
+        grid = override_grid(base, spec.path, list(spec.values))
+        task = LoopSweepTask(duration=spec.duration)
+        outcomes = run_sweep_outcomes(
+            grid,
+            task,
+            workers=spec.workers,
+            backend=spec.backend,
+            cache=cache,
+            timeout=spec.timeout,
+            retry=spec.retries,
+            progress=on_point,
+            cancel=cancelled if cancel_event is not None else None,
+        )
+    except Exception as err:  # noqa: BLE001 - a job must always settle
+        logger.exception("job %s failed", record.job_id)
+        final = record.advanced(
+            phase="failed", error=f"{type(err).__name__}: {err}",
+            finished_at=time.time(), total=len(spec.values), **counters,
+        )
+        final = _with_resilience(final)
+        store.update(final)
+        return final
+
+    was_cancelled = any(
+        isinstance(o.error, TaskCancelled) for o in outcomes if not o.ok
+    )
+
+    result_key = sweep_result_key(record.work_hash)
+    final = record
+    if not was_cancelled:
+        # idempotent result write: dedup followers find the blob cached
+        if cache.get(result_key) is cache.MISS:
+            cache.put(result_key, _assemble_result(spec, outcomes))
+        final = replace(record, result_key=result_key)
+
+    final = final.advanced(
+        phase="cancelled" if was_cancelled else "done",
+        finished_at=time.time(),
+        total=len(spec.values),
+        **counters,
+    )
+    final = _with_resilience(final)
+    store.update(final)
+    return final
+
+
+def _with_resilience(record: JobRecord) -> JobRecord:
+    """Attach the engine's current resilience snapshot to the record."""
+    return replace(record, resilience=resilience_snapshot())
+
+
+class WorkerPump:
+    """Background workers turning queued jobs into finished ones.
+
+    Parameters
+    ----------
+    store / cache:
+        The durable job store and the result cache every execution
+        flows through.
+    policy:
+        Scheduler fairness knobs (tenant quotas).
+    workers:
+        Pump worker *threads* (job-level concurrency).  Each job's
+        internal parallelism is the executor's business; the default of
+        1 keeps a small box from multiplying parallelism.
+    poll_interval:
+        Idle sleep between store snapshots [s].
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache,
+        policy: SchedulerPolicy | None = None,
+        workers: int = 1,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.policy = policy or SchedulerPolicy()
+        self.workers = max(1, int(workers))
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._cancel_events: dict[str, threading.Event] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Re-queue orphans and launch the worker threads (idempotent)."""
+        if self._threads:
+            return
+        orphans = self.store.requeue_running()
+        if orphans:
+            logger.info("re-queued %d job(s) orphaned by a previous process",
+                        orphans)
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-pump-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Signal the workers and wait for in-flight jobs to settle."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    @property
+    def alive(self) -> bool:
+        """True while at least one worker thread is running."""
+        return any(t.is_alive() for t in self._threads)
+
+    def request_cancel(self, job_id: str) -> None:
+        """Flip the in-process cancel flag of a running job (if ours)."""
+        with self._lock:
+            event = self._cancel_events.get(job_id)
+        if event is not None:
+            event.set()
+
+    # -- the loop ------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            record = self._claim_next()
+            if record is None:
+                self._stop.wait(self.poll_interval)
+                continue
+            event = threading.Event()
+            if record.state.cancel_requested:
+                event.set()
+            with self._lock:
+                self._cancel_events[record.job_id] = event
+            try:
+                execute_job(record, self.store, self.cache, event)
+            except Exception:  # pragma: no cover - execute_job settles jobs
+                logger.exception("pump worker crashed on job %s",
+                                 record.job_id)
+            finally:
+                with self._lock:
+                    self._cancel_events.pop(record.job_id, None)
+
+    def _claim_next(self) -> JobRecord | None:
+        queued = self.store.list_jobs(phase="queued")
+        if not queued:
+            return None
+        running = self.store.list_jobs(phase="running")
+        phase_of = {
+            r.job_id: r.state.phase for r in self.store.list_jobs()
+        }
+        # walk the eligible ranking until a CAS claim wins (another
+        # worker may take the front-runner between snapshot and claim)
+        while True:
+            best = select_next(queued, running, self.policy, phase_of)
+            if best is None:
+                return None
+            claimed = self.store.claim(best.job_id)
+            if claimed is not None:
+                return claimed
+            queued = [r for r in queued if r.job_id != best.job_id]

@@ -1,0 +1,110 @@
+"""Multi-tenant job scheduling: quotas, priorities, dedup holds.
+
+Pure decision logic — no threads, no SQL.  The pump snapshots the
+store's queued/running jobs and asks :func:`select_next` which job to
+claim; keeping the policy side-effect-free makes every scheduling
+decision unit-testable as a plain function of its inputs.
+
+Ordering within the eligible set is priority first (higher wins), then
+submission time, then job id (a total order, so scheduling is
+deterministic under equal timestamps).  Two fairness gates remove jobs
+from the eligible set without reordering it:
+
+* **tenant quota** — a tenant already running ``tenant_quota`` jobs
+  contributes nothing more until one finishes, so one noisy tenant
+  cannot monopolize the pump;
+* **dedup hold** — a job marked ``dedup_of`` waits until its primary
+  reaches a terminal phase: once the primary is done, every point of
+  the follower is a result-cache hit (the shared computation), and
+  running it earlier would recompute the very work dedup exists to
+  share.  A failed or cancelled primary releases the follower to run
+  for real.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ServiceError
+from .jobs import JOB_TERMINAL_PHASES, JobRecord
+
+__all__ = ["SchedulerPolicy", "eligible_jobs", "select_next"]
+
+
+@dataclass(frozen=True)
+class SchedulerPolicy:
+    """Tunable fairness knobs of the pump's scheduler.
+
+    Parameters
+    ----------
+    tenant_quota:
+        Maximum jobs one tenant may have running at once (>= 1).
+    """
+
+    tenant_quota: int = 2
+
+    def __post_init__(self) -> None:
+        if self.tenant_quota < 1:
+            raise ServiceError(
+                f"tenant_quota must be >= 1, got {self.tenant_quota}"
+            )
+
+
+def _order_key(record: JobRecord):
+    return (-record.spec.priority, record.state.submitted_at, record.job_id)
+
+
+def eligible_jobs(
+    queued: Sequence[JobRecord],
+    running: Sequence[JobRecord],
+    policy: SchedulerPolicy,
+    phase_of: Mapping[str, str] | None = None,
+) -> list[JobRecord]:
+    """The queued jobs the pump may claim right now, best first.
+
+    Parameters
+    ----------
+    queued / running:
+        Store snapshots of the two live phases.
+    policy:
+        Fairness knobs.
+    phase_of:
+        Phase lookup for dedup primaries (``job_id -> phase``).  Jobs in
+        ``queued``/``running`` are known implicitly; primaries outside
+        both (already terminal) default to released unless listed here.
+    """
+    load: dict[str, int] = {}
+    for record in running:
+        load[record.spec.tenant] = load.get(record.spec.tenant, 0) + 1
+
+    phases = dict(phase_of or {})
+    for record in queued:
+        phases.setdefault(record.job_id, record.state.phase)
+    for record in running:
+        phases.setdefault(record.job_id, record.state.phase)
+
+    chosen = []
+    for record in sorted(queued, key=_order_key):
+        if load.get(record.spec.tenant, 0) >= policy.tenant_quota:
+            continue
+        if record.dedup_of is not None:
+            primary_phase = phases.get(record.dedup_of)
+            # a primary still queued/running holds its followers; an
+            # unknown or terminal primary releases them
+            if primary_phase is not None \
+                    and primary_phase not in JOB_TERMINAL_PHASES:
+                continue
+        chosen.append(record)
+    return chosen
+
+
+def select_next(
+    queued: Sequence[JobRecord],
+    running: Sequence[JobRecord],
+    policy: SchedulerPolicy,
+    phase_of: Mapping[str, str] | None = None,
+) -> JobRecord | None:
+    """The single best claimable job, or None when nothing is eligible."""
+    ranked = eligible_jobs(queued, running, policy, phase_of)
+    return ranked[0] if ranked else None

@@ -1,0 +1,404 @@
+"""Async HTTP front end: submit sweeps, poll status, fetch results.
+
+Stdlib only — a :class:`http.server.ThreadingHTTPServer` (one thread
+per connection) in front of a :class:`ReproService` facade, with the
+:class:`~repro.service.pump.WorkerPump` doing the actual computing in
+the background.  Submission is asynchronous by construction: ``POST
+/v1/jobs`` returns as soon as the job row is durable, and clients poll
+(or long-poll by re-requesting) until the job reaches a terminal
+phase.
+
+Endpoints (all JSON; errors are ``{"error": "..."}`` with a 4xx/5xx
+status):
+
+===========================================  =================================
+``GET  /healthz``                            readiness probe (health snapshot
+                                             + job counts + pump liveness)
+``POST /v1/jobs``                            submit a :class:`JobSpec`; 201 +
+                                             the job record (dedup happens
+                                             here: same ``work_hash`` joins
+                                             the earlier job's computation)
+``GET  /v1/jobs``                            list jobs (``?tenant=``,
+                                             ``?phase=`` filters)
+``GET  /v1/jobs/<id>``                       status payload: state, progress,
+                                             per-point outcomes, resilience
+``GET  /v1/jobs/<id>/results``               finished table (404 until done;
+                                             ``?format=ndjson`` streams one
+                                             row per line)
+``POST /v1/jobs/<id>/cancel``                request cancellation (also
+``DELETE /v1/jobs/<id>``                     honored for queued jobs)
+===========================================  =================================
+
+The facade is deliberately transport-free: tests and in-process
+embedders call :class:`ReproService` directly; the HTTP layer only
+parses, dispatches, and serializes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from ..errors import JobError, ServiceError
+from .health import health_snapshot, resilience_snapshot
+from .jobs import JobRecord, JobSpec, JobState, new_job_id
+from .pump import WorkerPump
+from .scheduler import SchedulerPolicy
+from .store import JobStore
+
+__all__ = ["ReproHTTPServer", "ReproService", "serve"]
+
+logger = logging.getLogger(__name__)
+
+
+class ReproService:
+    """The service facade: everything the HTTP layer (or a test) calls.
+
+    Owns the durable store, the shared result cache, and the worker
+    pump.  All public methods speak JSON-ready dicts (except
+    :meth:`submit`, which takes the typed :class:`JobSpec`), so the
+    transport layer never reaches around the facade.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache,
+        policy: SchedulerPolicy | None = None,
+        pump_workers: int = 1,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.policy = policy or SchedulerPolicy()
+        self.pump = WorkerPump(
+            store, cache, self.policy,
+            workers=pump_workers, poll_interval=poll_interval,
+        )
+        self._started_at = time.time()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the pump (re-queues jobs orphaned by a previous process)."""
+        self.pump.start()
+
+    def stop(self) -> None:
+        self.pump.stop()
+
+    # -- commands ------------------------------------------------------------
+
+    def submit(self, spec: JobSpec) -> JobRecord:
+        """Durably enqueue a job; cross-tenant dedup happens here.
+
+        If an earlier, non-failed job asked for the same computation
+        (equal ``work_hash``), the new job is linked to it via
+        ``dedup_of``: the scheduler holds it until the primary settles,
+        after which every point — and the finished table itself — is a
+        result-cache hit.  The link is metadata, not a shortcut: the
+        follower still reports its own per-tenant record and status.
+        """
+        work_hash = spec.work_hash()
+        primary = None
+        for candidate in self.store.find_by_work_hash(work_hash):
+            if candidate.dedup_of is None and candidate.state.phase not in (
+                "failed", "cancelled"
+            ):
+                primary = candidate
+                break
+        record = JobRecord(
+            job_id=new_job_id(),
+            spec=spec,
+            state=JobState(
+                phase="queued",
+                total=len(spec.values),
+                submitted_at=time.time(),
+            ),
+            work_hash=work_hash,
+            dedup_of=primary.job_id if primary is not None else None,
+        )
+        self.store.put(record)
+        return record
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """Full status payload of one job (raises JobError on unknown id)."""
+        record = self._get(job_id)
+        payload = record.to_dict()
+        state = record.state
+        payload["progress"] = {
+            "total": state.total,
+            "completed": state.completed,
+            "failed": state.failed,
+            "cache_hits": state.cache_hits,
+            "retries": state.retries,
+            "fraction": (state.completed / state.total) if state.total else 0.0,
+        }
+        payload["outcomes"] = [
+            o.to_dict() for o in self.store.outcomes(job_id)
+        ]
+        if payload["resilience"] is None and not state.terminal:
+            # a live job reports the engine's *current* resilience state;
+            # finished jobs keep the snapshot taken at completion
+            payload["resilience"] = resilience_snapshot()
+        return payload
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        """The finished sweep table (raises until the job is done)."""
+        record = self._get(job_id)
+        if record.state.phase != "done" or record.result_key is None:
+            raise ServiceError(
+                f"job {job_id} has no results yet (phase "
+                f"{record.state.phase!r})"
+            )
+        payload = self.cache.get(record.result_key)
+        if payload is self.cache.MISS:
+            raise ServiceError(
+                f"result blob for job {job_id} is no longer in the cache; "
+                "resubmit the job to recompute it"
+            )
+        return dict(payload)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Request cancellation; immediate for queued jobs."""
+        record = self.store.request_cancel(job_id)
+        if record is None:
+            raise JobError(f"unknown job {job_id!r}")
+        self.pump.request_cancel(job_id)
+        return record.to_dict()
+
+    def jobs(self, tenant: str | None = None,
+             phase: str | None = None) -> list[dict[str, Any]]:
+        """Compact listing rows (id, tenant, phase, progress)."""
+        rows = []
+        for record in self.store.list_jobs(tenant=tenant, phase=phase):
+            state = record.state
+            rows.append({
+                "job_id": record.job_id,
+                "tenant": record.spec.tenant,
+                "priority": record.spec.priority,
+                "phase": state.phase,
+                "completed": state.completed,
+                "total": state.total,
+                "work_hash": record.work_hash,
+                "dedup_of": record.dedup_of,
+                "submitted_at": state.submitted_at,
+            })
+        return rows
+
+    def health(self) -> dict[str, Any]:
+        """Readiness payload: engine snapshot + service vitals."""
+        snapshot = health_snapshot()
+        info = self.cache.cache_info()
+        snapshot["service"] = {
+            "pump_alive": self.pump.alive,
+            "pump_workers": self.pump.workers,
+            "tenant_quota": self.policy.tenant_quota,
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "jobs": self.store.counts(),
+            "cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "stores": info.stores,
+                "corruptions": info.corruptions,
+            },
+        }
+        snapshot["ok"] = bool(snapshot["ok"] and self.pump.alive)
+        return snapshot
+
+    def _get(self, job_id: str) -> JobRecord:
+        record = self.store.get(job_id)
+        if record is None:
+            raise JobError(f"unknown job {job_id!r}")
+        return record
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route/parse/serialize; all decisions live in :class:`ReproService`."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ReproService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        logger.debug("%s - %s", self.address_string(), fmt % args)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise JobError("request body: expected a JSON job spec")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as err:
+            raise JobError(f"request body: invalid JSON: {err}") from None
+
+    def _dispatch(self, method: str) -> None:
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        try:
+            handled = self._route(method, parts, query)
+        except JobError as err:
+            self._send_error(400, str(err))
+            return
+        except ServiceError as err:
+            self._send_error(409, str(err))
+            return
+        except Exception as err:  # noqa: BLE001 - a request must answer
+            logger.exception("unhandled error serving %s %s",
+                             method, self.path)
+            self._send_error(500, f"{type(err).__name__}: {err}")
+            return
+        if not handled:
+            self._send_error(404, f"no route for {method} {url.path}")
+
+    # -- routes --------------------------------------------------------------
+
+    def _route(self, method: str, parts: list[str], query: dict) -> bool:
+        service = self.service
+        if method == "GET" and parts == ["healthz"]:
+            payload = service.health()
+            self._send_json(200 if payload["ok"] else 503, payload)
+            return True
+        if len(parts) < 2 or parts[0] != "v1" or parts[1] != "jobs":
+            return False
+        rest = parts[2:]
+
+        if not rest:
+            if method == "POST":
+                spec = JobSpec.from_dict(self._read_body())
+                record = service.submit(spec)
+                self._send_json(201, record.to_dict())
+                return True
+            if method == "GET":
+                self._send_json(200, {
+                    "jobs": service.jobs(
+                        tenant=query.get("tenant"), phase=query.get("phase")
+                    )
+                })
+                return True
+            return False
+
+        job_id = rest[0]
+        action = rest[1] if len(rest) > 1 else None
+        if action is None:
+            if method == "GET":
+                try:
+                    self._send_json(200, service.status(job_id))
+                except JobError as err:
+                    self._send_error(404, str(err))
+                return True
+            if method == "DELETE":
+                self._send_json(200, service.cancel(job_id))
+                return True
+            return False
+        if action == "results" and method == "GET":
+            try:
+                payload = service.results(job_id)
+            except JobError as err:
+                self._send_error(404, str(err))
+                return True
+            if query.get("format") == "ndjson":
+                self._stream_ndjson(payload)
+            else:
+                self._send_json(200, payload)
+            return True
+        if action == "cancel" and method == "POST":
+            self._send_json(200, service.cancel(job_id))
+            return True
+        return False
+
+    def _stream_ndjson(self, payload: dict) -> None:
+        """One JSON line per grid point (the streaming fetch path)."""
+        names = list(payload.get("columns", {}))
+        points = payload.get("points", [])
+        lines = []
+        for i, parameter in enumerate(payload.get("parameters", [])):
+            row = {"index": i, payload.get("parameter_name", "parameter"):
+                   parameter}
+            for name in names:
+                row[name] = payload["columns"][name][i]
+            if i < len(points):
+                row["ok"] = points[i]["ok"]
+            lines.append(json.dumps(row))
+        body = ("\n".join(lines) + "\n").encode() if lines else b""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- verbs ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+class ReproHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service facade for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ReproService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def serve(
+    host: str,
+    port: int,
+    service: ReproService,
+    *,
+    background: bool = False,
+) -> ReproHTTPServer:
+    """Bind, start the pump, and serve.
+
+    With ``background=True`` the accept loop runs in a daemon thread and
+    the bound server is returned immediately (``server.server_address``
+    has the ephemeral port when ``port=0``) — the embedding used by
+    tests and ``make serve-check``.  Otherwise the call blocks until
+    interrupted.
+    """
+    server = ReproHTTPServer((host, port), service)
+    service.start()
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        return server
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        service.stop()
+        server.server_close()
+    return server

@@ -1,0 +1,478 @@
+"""Durable job store: SQLite today, Postgres-shaped on purpose.
+
+The store is the service's source of truth: every job submission,
+state transition, and per-point outcome lands here before the HTTP
+layer acknowledges it, so a killed server process loses nothing — on
+restart the pump re-queues orphaned ``running`` jobs and the result
+cache makes the replay all hits.
+
+Two layers:
+
+* :class:`JobStore` — the abstract interface the scheduler, pump, and
+  HTTP front end program against.  Nothing above this module may issue
+  SQL.
+* :class:`SQLiteJobStore` — the stdlib implementation.  Schema changes
+  ship as ordered :data:`MIGRATIONS` recorded in a
+  ``schema_migrations`` table (version + applied-at timestamp), so a
+  store created by an older build upgrades in place at open — and a
+  Postgres backend can replay the same ordered DDL.  Every call opens
+  its own connection (WAL journal, busy timeout), which makes the
+  store thread-safe for the pump's workers and process-safe for a
+  sibling CLI poking at the same file.
+
+Result *blobs* do not live here: finished sweep tables are written
+through the checksummed :class:`~repro.engine.ResultCache` and the row
+keeps only the cache key (``result_key``) — the store stays small and
+the blobs inherit the cache's corruption detection.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import ServiceError
+from .jobs import JobRecord, JobSpec, JobState
+
+__all__ = [
+    "MIGRATIONS",
+    "SCHEMA_VERSION",
+    "JobStore",
+    "PointOutcome",
+    "SQLiteJobStore",
+    "open_job_store",
+]
+
+#: Ordered, append-only schema history.  Never edit a shipped entry —
+#: add a new version; existing stores apply only what they are missing.
+MIGRATIONS: tuple[tuple[int, tuple[str, ...]], ...] = (
+    (
+        1,
+        (
+            """
+            CREATE TABLE IF NOT EXISTS jobs (
+                job_id        TEXT PRIMARY KEY,
+                tenant        TEXT NOT NULL,
+                priority      INTEGER NOT NULL DEFAULT 0,
+                phase         TEXT NOT NULL,
+                work_hash     TEXT NOT NULL,
+                dedup_of      TEXT,
+                result_key    TEXT,
+                spec_json     TEXT NOT NULL,
+                state_json    TEXT NOT NULL,
+                submitted_at  REAL NOT NULL,
+                updated_at    REAL NOT NULL
+            )
+            """,
+            "CREATE INDEX IF NOT EXISTS idx_jobs_phase ON jobs (phase)",
+            "CREATE INDEX IF NOT EXISTS idx_jobs_work ON jobs (work_hash)",
+            "CREATE INDEX IF NOT EXISTS idx_jobs_tenant ON jobs (tenant)",
+            """
+            CREATE TABLE IF NOT EXISTS outcomes (
+                job_id   TEXT NOT NULL,
+                idx      INTEGER NOT NULL,
+                ok       INTEGER NOT NULL,
+                cached   INTEGER NOT NULL DEFAULT 0,
+                retries  INTEGER NOT NULL DEFAULT 0,
+                error    TEXT NOT NULL DEFAULT '',
+                health_json TEXT,
+                PRIMARY KEY (job_id, idx)
+            )
+            """,
+        ),
+    ),
+    (
+        2,
+        (
+            # per-job resilience snapshot (kernel degrades, breaker trips)
+            # surfaced in status payloads since the serve front end landed
+            "ALTER TABLE jobs ADD COLUMN resilience_json TEXT",
+        ),
+    ),
+)
+
+#: The schema version a fresh store is created at.
+SCHEMA_VERSION = MIGRATIONS[-1][0]
+
+
+class PointOutcome:
+    """One persisted grid-point outcome row (plain value object).
+
+    The durable twin of :class:`~repro.engine.TaskOutcome`: keeps the
+    verdict (ok/cached/retries/error) and the PR-5
+    :class:`~repro.core.health.ChannelHealth` dict, not the value — the
+    value lives in the result cache.
+    """
+
+    __slots__ = ("index", "ok", "cached", "retries", "error", "health")
+
+    def __init__(self, index: int, ok: bool, cached: bool = False,
+                 retries: int = 0, error: str = "",
+                 health: Mapping | None = None) -> None:
+        self.index = int(index)
+        self.ok = bool(ok)
+        self.cached = bool(cached)
+        self.retries = int(retries)
+        self.error = str(error)
+        self.health = dict(health) if health is not None else None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "cached": self.cached,
+            "retries": self.retries,
+            "error": self.error,
+            "health": self.health,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        verdict = "ok" if self.ok else f"error={self.error!r}"
+        return f"PointOutcome(index={self.index}, {verdict})"
+
+
+class JobStore:
+    """Abstract durable job store (see :class:`SQLiteJobStore`).
+
+    Implementations must make :meth:`claim` atomic — two pump workers
+    claiming the same queued job must see exactly one winner — and make
+    every mutation durable before returning.
+    """
+
+    def put(self, record: JobRecord) -> None:
+        """Insert a new job row; raises on duplicate id."""
+        raise NotImplementedError
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """The current record for ``job_id``, or None."""
+        raise NotImplementedError
+
+    def update(self, record: JobRecord) -> None:
+        """Replace the stored row for ``record.job_id``."""
+        raise NotImplementedError
+
+    def list_jobs(self, tenant: str | None = None,
+                  phase: str | None = None) -> list[JobRecord]:
+        """All matching jobs, oldest submission first."""
+        raise NotImplementedError
+
+    def claim(self, job_id: str) -> JobRecord | None:
+        """Atomic ``queued -> running`` transition; None if lost the race."""
+        raise NotImplementedError
+
+    def find_by_work_hash(self, work_hash: str) -> list[JobRecord]:
+        """Jobs sharing an idempotency key, oldest first (dedup lookup)."""
+        raise NotImplementedError
+
+    def request_cancel(self, job_id: str) -> JobRecord | None:
+        """Durably flag a job for cancellation; returns the new record."""
+        raise NotImplementedError
+
+    def requeue_running(self) -> int:
+        """Re-queue jobs orphaned mid-run by a dead process; returns count."""
+        raise NotImplementedError
+
+    def record_outcome(self, job_id: str, outcome: PointOutcome) -> None:
+        """Upsert one per-point outcome row."""
+        raise NotImplementedError
+
+    def outcomes(self, job_id: str) -> list[PointOutcome]:
+        """All persisted point outcomes of a job, in grid order."""
+        raise NotImplementedError
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per phase (zero-phases omitted)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources (per-call-connection stores: no-op)."""
+
+
+def open_job_store(url: str | Path) -> JobStore:
+    """Open a job store from a location string.
+
+    Accepts a filesystem path or a ``sqlite:///path`` URL.  Other URL
+    schemes (``postgres://...``) name backends the interface is shaped
+    for but this build does not ship; they raise :class:`ServiceError`
+    eagerly rather than half-working.
+    """
+    text = str(url)
+    if text.startswith("sqlite:///"):
+        return SQLiteJobStore(text[len("sqlite:///"):])
+    if "://" in text:
+        scheme = text.split("://", 1)[0]
+        raise ServiceError(
+            f"job-store backend {scheme!r} is not available in this build; "
+            "use a filesystem path or sqlite:///path"
+        )
+    return SQLiteJobStore(text)
+
+
+class SQLiteJobStore(JobStore):
+    """Stdlib SQLite implementation of :class:`JobStore`.
+
+    Parameters
+    ----------
+    path:
+        Database file (parent directories are created).  ``":memory:"``
+        is rejected — a memory store cannot honor the durability
+        contract (and each call opens a fresh connection anyway).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        if str(path) == ":memory:":
+            raise ServiceError(
+                "SQLiteJobStore needs a file path; ':memory:' would not "
+                "survive the process, which defeats the durable-store contract"
+            )
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._conn() as conn:
+            self._migrate(conn)
+
+    # -- connection & schema -------------------------------------------------
+
+    @contextmanager
+    def _conn(self) -> Iterator[sqlite3.Connection]:
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        conn.row_factory = sqlite3.Row
+        try:
+            conn.execute("PRAGMA busy_timeout = 30000")
+            # WAL lets the pump write while a status poll reads; harmless
+            # to re-request, quietly ignored on filesystems that refuse it
+            conn.execute("PRAGMA journal_mode = WAL")
+            yield conn
+            conn.commit()
+        except BaseException:
+            conn.rollback()
+            raise
+        finally:
+            conn.close()
+
+    def _migrate(self, conn: sqlite3.Connection) -> None:
+        """Apply every migration newer than the store's recorded version."""
+        conn.execute(
+            """
+            CREATE TABLE IF NOT EXISTS schema_migrations (
+                version    INTEGER PRIMARY KEY,
+                applied_at TEXT NOT NULL
+            )
+            """
+        )
+        applied = {
+            row[0]
+            for row in conn.execute("SELECT version FROM schema_migrations")
+        }
+        for version, statements in MIGRATIONS:
+            if version in applied:
+                continue
+            for statement in statements:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT INTO schema_migrations (version, applied_at) "
+                "VALUES (?, ?)",
+                (version, time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())),
+            )
+
+    def schema_version(self) -> int:
+        """Highest applied migration version."""
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT MAX(version) FROM schema_migrations"
+            ).fetchone()
+        return int(row[0] or 0)
+
+    # -- row mapping ---------------------------------------------------------
+
+    @staticmethod
+    def _to_row(record: JobRecord) -> dict:
+        return {
+            "job_id": record.job_id,
+            "tenant": record.spec.tenant,
+            "priority": record.spec.priority,
+            "phase": record.state.phase,
+            "work_hash": record.work_hash,
+            "dedup_of": record.dedup_of,
+            "result_key": record.result_key,
+            "spec_json": record.spec.to_json(),
+            "state_json": json.dumps(record.state.to_dict()),
+            "resilience_json": json.dumps(dict(record.resilience))
+            if record.resilience is not None else None,
+            "submitted_at": record.state.submitted_at,
+            "updated_at": time.time(),
+        }
+
+    @staticmethod
+    def _from_row(row: sqlite3.Row) -> JobRecord:
+        resilience = None
+        if row["resilience_json"]:
+            resilience = json.loads(row["resilience_json"])
+        return JobRecord(
+            job_id=row["job_id"],
+            spec=JobSpec.from_json(row["spec_json"]),
+            state=JobState.from_dict(json.loads(row["state_json"])),
+            work_hash=row["work_hash"],
+            dedup_of=row["dedup_of"],
+            result_key=row["result_key"],
+            resilience=resilience,
+        )
+
+    # -- JobStore interface --------------------------------------------------
+
+    def put(self, record: JobRecord) -> None:
+        row = self._to_row(record)
+        columns = ", ".join(row)
+        holes = ", ".join(f":{c}" for c in row)
+        try:
+            with self._conn() as conn:
+                conn.execute(
+                    f"INSERT INTO jobs ({columns}) VALUES ({holes})", row
+                )
+        except sqlite3.IntegrityError:
+            raise ServiceError(
+                f"job {record.job_id!r} already exists"
+            ) from None
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._from_row(row) if row is not None else None
+
+    def update(self, record: JobRecord) -> None:
+        row = self._to_row(record)
+        assignments = ", ".join(f"{c} = :{c}" for c in row if c != "job_id")
+        with self._conn() as conn:
+            cur = conn.execute(
+                f"UPDATE jobs SET {assignments} WHERE job_id = :job_id", row
+            )
+            if cur.rowcount != 1:
+                raise ServiceError(f"job {record.job_id!r} not found")
+
+    def list_jobs(self, tenant: str | None = None,
+                  phase: str | None = None) -> list[JobRecord]:
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if phase is not None:
+            clauses.append("phase = ?")
+            params.append(phase)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._conn() as conn:
+            rows = conn.execute(
+                f"SELECT * FROM jobs{where} "
+                "ORDER BY submitted_at, job_id", params
+            ).fetchall()
+        return [self._from_row(r) for r in rows]
+
+    def claim(self, job_id: str) -> JobRecord | None:
+        """CAS on the phase column: exactly one claimer wins."""
+        now = time.time()
+        with self._conn() as conn:
+            cur = conn.execute(
+                "UPDATE jobs SET phase = 'running', updated_at = ? "
+                "WHERE job_id = ? AND phase = 'queued'",
+                (now, job_id),
+            )
+            if cur.rowcount != 1:
+                return None
+        record = self.get(job_id)
+        if record is None:  # pragma: no cover - deleted between statements
+            return None
+        record = record.advanced(phase="running", started_at=now)
+        self.update(record)
+        return record
+
+    def find_by_work_hash(self, work_hash: str) -> list[JobRecord]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT * FROM jobs WHERE work_hash = ? "
+                "ORDER BY submitted_at, job_id",
+                (work_hash,),
+            ).fetchall()
+        return [self._from_row(r) for r in rows]
+
+    def request_cancel(self, job_id: str) -> JobRecord | None:
+        record = self.get(job_id)
+        if record is None:
+            return None
+        if record.state.terminal:
+            return record
+        if record.state.phase == "queued":
+            record = record.advanced(
+                phase="cancelled", cancel_requested=True,
+                finished_at=time.time(),
+            )
+        else:
+            record = record.advanced(cancel_requested=True)
+        self.update(record)
+        return record
+
+    def requeue_running(self) -> int:
+        requeued = 0
+        for record in self.list_jobs(phase="running"):
+            self.update(record.advanced(phase="queued", started_at=None))
+            requeued += 1
+        return requeued
+
+    def record_outcome(self, job_id: str, outcome: PointOutcome) -> None:
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO outcomes "
+                "(job_id, idx, ok, cached, retries, error, health_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    job_id, outcome.index, int(outcome.ok),
+                    int(outcome.cached), outcome.retries, outcome.error,
+                    json.dumps(outcome.health)
+                    if outcome.health is not None else None,
+                ),
+            )
+
+    def record_outcomes(self, job_id: str,
+                        outcomes: Sequence[PointOutcome]) -> None:
+        """Bulk upsert (one transaction) for batch completions."""
+        with self._conn() as conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO outcomes "
+                "(job_id, idx, ok, cached, retries, error, health_json) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        job_id, o.index, int(o.ok), int(o.cached), o.retries,
+                        o.error,
+                        json.dumps(o.health) if o.health is not None else None,
+                    )
+                    for o in outcomes
+                ],
+            )
+
+    def outcomes(self, job_id: str) -> list[PointOutcome]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT * FROM outcomes WHERE job_id = ? ORDER BY idx",
+                (job_id,),
+            ).fetchall()
+        return [
+            PointOutcome(
+                index=row["idx"], ok=bool(row["ok"]),
+                cached=bool(row["cached"]), retries=row["retries"],
+                error=row["error"],
+                health=json.loads(row["health_json"])
+                if row["health_json"] else None,
+            )
+            for row in rows
+        ]
+
+    def counts(self) -> dict[str, int]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT phase, COUNT(*) AS n FROM jobs GROUP BY phase"
+            ).fetchall()
+        return {row["phase"]: row["n"] for row in rows}

@@ -1,0 +1,104 @@
+"""Scheduler policy: pure-function tests for ordering, quotas, dedup holds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    SchedulerPolicy,
+    eligible_jobs,
+    new_job_id,
+    select_next,
+)
+
+
+def job(tenant="default", priority=0, submitted_at=1000.0, phase="queued",
+        dedup_of=None, job_id=None) -> JobRecord:
+    return JobRecord(
+        job_id=job_id or new_job_id(),
+        spec=JobSpec(
+            base={"$spec": "unit-test"}, path="p", values=(1.0,),
+            tenant=tenant, priority=priority,
+        ),
+        state=JobState(phase=phase, total=1, submitted_at=submitted_at),
+        dedup_of=dedup_of,
+    )
+
+
+class TestOrdering:
+    def test_higher_priority_first_then_fifo(self):
+        low_early = job(priority=0, submitted_at=1.0)
+        low_late = job(priority=0, submitted_at=2.0)
+        high_late = job(priority=5, submitted_at=3.0)
+        ranked = eligible_jobs([low_late, high_late, low_early], [],
+                               SchedulerPolicy())
+        assert [r.job_id for r in ranked] == [
+            high_late.job_id, low_early.job_id, low_late.job_id
+        ]
+
+    def test_equal_timestamps_break_ties_by_job_id(self):
+        a = job(submitted_at=1.0, job_id="job-aaa")
+        b = job(submitted_at=1.0, job_id="job-bbb")
+        assert select_next([b, a], [], SchedulerPolicy()).job_id == "job-aaa"
+
+    def test_empty_queue_selects_nothing(self):
+        assert select_next([], [], SchedulerPolicy()) is None
+
+
+class TestTenantQuota:
+    def test_tenant_at_quota_is_skipped(self):
+        policy = SchedulerPolicy(tenant_quota=1)
+        running = [job(tenant="noisy", phase="running")]
+        noisy = job(tenant="noisy", submitted_at=1.0, priority=9)
+        quiet = job(tenant="quiet", submitted_at=2.0)
+        assert select_next([noisy, quiet], running,
+                           policy).job_id == quiet.job_id
+
+    def test_quota_counts_per_tenant_not_globally(self):
+        policy = SchedulerPolicy(tenant_quota=2)
+        running = [job(tenant="noisy", phase="running")]
+        noisy = job(tenant="noisy")
+        assert select_next([noisy], running, policy).job_id == noisy.job_id
+
+    def test_everyone_at_quota_selects_nothing(self):
+        policy = SchedulerPolicy(tenant_quota=1)
+        running = [job(tenant="a", phase="running")]
+        assert select_next([job(tenant="a")], running, policy) is None
+
+    def test_policy_rejects_nonpositive_quota(self):
+        with pytest.raises(ServiceError, match="tenant_quota"):
+            SchedulerPolicy(tenant_quota=0)
+
+
+class TestDedupHold:
+    def test_follower_waits_for_running_primary(self):
+        primary = job(phase="running")
+        follower = job(tenant="other", dedup_of=primary.job_id)
+        assert select_next([follower], [primary], SchedulerPolicy()) is None
+
+    def test_follower_waits_for_queued_primary(self):
+        primary = job(submitted_at=1.0)
+        follower = job(tenant="other", submitted_at=2.0,
+                       dedup_of=primary.job_id)
+        ranked = eligible_jobs([follower, primary], [], SchedulerPolicy())
+        assert [r.job_id for r in ranked] == [primary.job_id]
+
+    def test_done_primary_releases_follower(self):
+        follower = job(dedup_of="job-primary")
+        ranked = eligible_jobs([follower], [], SchedulerPolicy(),
+                               phase_of={"job-primary": "done"})
+        assert [r.job_id for r in ranked] == [follower.job_id]
+
+    def test_failed_primary_releases_follower_to_run_for_real(self):
+        follower = job(dedup_of="job-primary")
+        assert select_next([follower], [], SchedulerPolicy(),
+                           phase_of={"job-primary": "failed"}) is follower
+
+    def test_unknown_primary_releases_follower(self):
+        # a primary purged from the store must not wedge its followers
+        follower = job(dedup_of="job-vanished")
+        assert select_next([follower], [], SchedulerPolicy()) is follower

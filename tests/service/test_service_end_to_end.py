@@ -1,0 +1,227 @@
+"""End-to-end service tests: real HTTP, real store, real pump.
+
+Each test boots an actual :class:`ThreadingHTTPServer` on an ephemeral
+port and talks to it through the urllib :class:`ServiceClient` — the
+same wire path ``repro submit`` uses.  The acceptance criteria from the
+service PR live here:
+
+* a sweep submitted over HTTP persists, executes, and serves results
+  that match a direct in-process run;
+* a server killed mid-flight resumes/reports jobs from the SQLite
+  store on restart (orphaned ``running`` rows re-queue and finish);
+* a second tenant submitting the identical grid performs **zero**
+  recomputes — every point is a result-cache hit and the cache's
+  store counter does not move.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from types import SimpleNamespace
+
+import pytest
+
+from repro.analysis import LoopSweepTask, override_grid
+from repro.config import REFERENCE_RESONANT_SENSOR
+from repro.engine import ResultCache
+from repro.errors import ServiceError
+from repro.service import (
+    JobSpec,
+    ReproService,
+    SchedulerPolicy,
+    ServiceClient,
+    open_job_store,
+    serve,
+)
+
+DURATION = 0.004
+VALUES = (150.0, 200.0, 250.0)
+
+
+def make_spec(tenant="alice", values=VALUES, **overrides) -> JobSpec:
+    kwargs = dict(
+        base=REFERENCE_RESONANT_SENSOR.to_dict(),
+        path="cantilever.length_um",
+        values=values,
+        duration=DURATION,
+        tenant=tenant,
+    )
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+@contextlib.contextmanager
+def running_service(tmp_path, **service_kwargs):
+    """A live server on an ephemeral port + its client and internals."""
+    store = open_job_store(tmp_path / "jobs.sqlite")
+    cache = ResultCache(str(tmp_path / "cache"))
+    service = ReproService(
+        store, cache, SchedulerPolicy(tenant_quota=2),
+        pump_workers=1, poll_interval=0.02, **service_kwargs,
+    )
+    server = serve("127.0.0.1", 0, service, background=True)
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30)
+    try:
+        yield SimpleNamespace(
+            client=client, service=service, store=store, cache=cache,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+class TestSubmitToResults:
+    def test_http_submit_persists_executes_and_serves_results(self, tmp_path):
+        with running_service(tmp_path) as box:
+            record = box.client.submit(make_spec())
+            job_id = record["job_id"]
+            assert record["state"]["phase"] == "queued"
+            # durable before acknowledged: the row is in SQLite already
+            assert box.store.get(job_id) is not None
+
+            final = box.client.wait(job_id, timeout=120)
+            assert final["state"]["phase"] == "done"
+            assert final["progress"]["completed"] == len(VALUES)
+            assert final["progress"]["failed"] == 0
+            assert len(final["outcomes"]) == len(VALUES)
+            assert all(o["ok"] for o in final["outcomes"])
+            assert final["resilience"] is not None  # snapshot at completion
+
+            table = box.client.results(job_id)
+            assert table["parameters"] == list(VALUES)
+
+            # the served numbers must equal a direct in-process run
+            grid = override_grid(
+                REFERENCE_RESONANT_SENSOR, "cantilever.length_um",
+                list(VALUES),
+            )
+            task = LoopSweepTask(duration=DURATION)
+            expected = [task(point) for point in grid]
+            for name, column in table["columns"].items():
+                assert column == pytest.approx(
+                    [row[name] for row in expected], rel=0, abs=0
+                )
+
+    def test_results_refused_until_done(self, tmp_path):
+        with running_service(tmp_path) as box:
+            box.service.pump.stop()  # freeze execution: job stays queued
+            record = box.client.submit(make_spec())
+            with pytest.raises(ServiceError, match="no results yet"):
+                box.client.results(record["job_id"])
+
+    def test_ndjson_stream_one_line_per_point(self, tmp_path):
+        with running_service(tmp_path) as box:
+            record = box.client.submit(make_spec())
+            box.client.wait(record["job_id"], timeout=120)
+            rows = box.client.results_ndjson(record["job_id"])
+            assert len(rows) == len(VALUES)
+            assert [r["cantilever.length_um"] for r in rows] == list(VALUES)
+            assert all(r["ok"] for r in rows)
+
+    def test_invalid_spec_is_a_400_job_error(self, tmp_path):
+        from repro.errors import JobError
+
+        with running_service(tmp_path) as box:
+            with pytest.raises(JobError, match="values"):
+                box.client._request("POST", "/v1/jobs", {
+                    "base": {"$spec": "resonant_sensor"},
+                    "path": "cantilever.length_um", "values": [],
+                })
+
+    def test_unknown_job_is_a_404(self, tmp_path):
+        with running_service(tmp_path) as box:
+            with pytest.raises(ServiceError, match="404"):
+                box.client.status("job-missing")
+
+    def test_healthz_reports_ok_and_service_vitals(self, tmp_path):
+        with running_service(tmp_path) as box:
+            health = box.client.health()
+            assert health["ok"] is True
+            assert health["service"]["pump_alive"] is True
+            assert health["service"]["tenant_quota"] == 2
+            assert "cache" in health["service"]
+
+
+class TestRestartResume:
+    def test_new_server_on_same_store_reports_finished_jobs(self, tmp_path):
+        with running_service(tmp_path) as first:
+            record = first.client.submit(make_spec())
+            job_id = record["job_id"]
+            first.client.wait(job_id, timeout=120)
+
+        # a brand-new server process (fresh store/cache handles, same
+        # files) must see and serve the finished job
+        with running_service(tmp_path) as second:
+            status = second.client.status(job_id)
+            assert status["state"]["phase"] == "done"
+            table = second.client.results(job_id)
+            assert table["parameters"] == list(VALUES)
+
+    def test_orphaned_running_job_requeues_and_completes(self, tmp_path):
+        store = open_job_store(tmp_path / "jobs.sqlite")
+        from repro.service import JobRecord, JobState, new_job_id
+
+        spec = make_spec(values=(170.0, 210.0))
+        orphan = JobRecord(
+            job_id=new_job_id(), spec=spec,
+            state=JobState(phase="queued", total=2, submitted_at=1.0),
+        )
+        store.put(orphan)
+        claimed = store.claim(orphan.job_id)  # simulate a crash mid-run
+        assert claimed.state.phase == "running"
+        store.close()
+
+        with running_service(tmp_path) as box:
+            final = box.client.wait(orphan.job_id, timeout=120)
+            assert final["state"]["phase"] == "done"
+            assert final["progress"]["completed"] == 2
+            table = box.client.results(orphan.job_id)
+            assert table["parameters"] == [170.0, 210.0]
+
+
+class TestCrossTenantDedup:
+    def test_identical_grid_from_second_tenant_recomputes_nothing(
+        self, tmp_path
+    ):
+        with running_service(tmp_path) as box:
+            primary = box.client.submit(make_spec(tenant="alice"))
+            box.client.wait(primary["job_id"], timeout=120)
+
+            stores_before = box.cache.cache_info().stores
+            twin = box.client.submit(make_spec(tenant="bob"))
+            assert twin["dedup_of"] == primary["job_id"]
+
+            final = box.client.wait(twin["job_id"], timeout=120)
+            assert final["state"]["phase"] == "done"
+            # zero recomputes: every point a cache hit, store counter flat
+            assert (final["progress"]["cache_hits"]
+                    == final["progress"]["total"])
+            assert all(o["cached"] for o in final["outcomes"])
+            assert box.cache.cache_info().stores == stores_before
+
+            # both tenants read the same table
+            assert (box.client.results(twin["job_id"])
+                    == box.client.results(primary["job_id"]))
+
+    def test_different_grid_is_not_deduplicated(self, tmp_path):
+        with running_service(tmp_path) as box:
+            first = box.client.submit(make_spec(tenant="alice"))
+            other = box.client.submit(
+                make_spec(tenant="bob", values=(151.0, 201.0, 251.0))
+            )
+            assert other["dedup_of"] is None
+            box.client.wait(first["job_id"], timeout=120)
+            box.client.wait(other["job_id"], timeout=120)
+
+
+class TestCancellation:
+    def test_queued_job_cancels_before_running(self, tmp_path):
+        with running_service(tmp_path) as box:
+            box.service.pump.stop()  # nothing will claim the job
+            record = box.client.submit(make_spec())
+            cancelled = box.client.cancel(record["job_id"])
+            assert cancelled["state"]["phase"] == "cancelled"
+            status = box.client.status(record["job_id"])
+            assert status["state"]["phase"] == "cancelled"

@@ -1,0 +1,253 @@
+"""Durable store: CRUD, atomic claims, persistence, schema migrations."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    SCHEMA_VERSION,
+    JobRecord,
+    JobSpec,
+    JobState,
+    PointOutcome,
+    SQLiteJobStore,
+    new_job_id,
+    open_job_store,
+)
+from repro.service.store import MIGRATIONS
+
+
+def make_record(tenant="default", priority=0, values=(1.0, 2.0),
+                submitted_at=1000.0, **record_kwargs) -> JobRecord:
+    spec = JobSpec(
+        base={"$spec": "unit-test", "knob": len(values)},
+        path="cantilever.length_um",
+        values=values, duration=0.01, tenant=tenant, priority=priority,
+    )
+    return JobRecord(
+        job_id=new_job_id(), spec=spec,
+        state=JobState(total=len(values), submitted_at=submitted_at),
+        **record_kwargs,
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SQLiteJobStore(tmp_path / "jobs.sqlite")
+
+
+class TestCrud:
+    def test_put_get_round_trip(self, store):
+        record = make_record(tenant="alice", priority=2,
+                             resilience={"fallbacks": 1})
+        store.put(record)
+        assert store.get(record.job_id) == record
+
+    def test_get_unknown_returns_none(self, store):
+        assert store.get("job-missing") is None
+
+    def test_duplicate_put_raises(self, store):
+        record = make_record()
+        store.put(record)
+        with pytest.raises(ServiceError, match="already exists"):
+            store.put(record)
+
+    def test_update_unknown_raises(self, store):
+        with pytest.raises(ServiceError, match="not found"):
+            store.update(make_record())
+
+    def test_update_replaces_state(self, store):
+        record = make_record()
+        store.put(record)
+        store.update(record.advanced(phase="running", started_at=5.0))
+        reread = store.get(record.job_id)
+        assert reread.state.phase == "running"
+        assert reread.state.started_at == 5.0
+
+    def test_list_filters_by_tenant_and_phase(self, store):
+        a = make_record(tenant="alice", submitted_at=1.0)
+        b = make_record(tenant="bob", submitted_at=2.0)
+        store.put(a)
+        store.put(b)
+        store.update(b.advanced(phase="running"))
+        assert [r.job_id for r in store.list_jobs()] == [a.job_id, b.job_id]
+        assert [r.job_id for r in store.list_jobs(tenant="alice")] == [a.job_id]
+        assert [r.job_id for r in store.list_jobs(phase="running")] == [b.job_id]
+
+    def test_find_by_work_hash_oldest_first(self, store):
+        a = make_record(values=(7.0,), submitted_at=1.0)
+        b = make_record(values=(7.0,), submitted_at=2.0, tenant="bob")
+        other = make_record(values=(9.0,))
+        for r in (b, a, other):
+            store.put(r)
+        assert a.work_hash == b.work_hash  # same grid, different tenant
+        found = store.find_by_work_hash(a.work_hash)
+        assert [r.job_id for r in found] == [a.job_id, b.job_id]
+
+    def test_counts(self, store):
+        a, b = make_record(), make_record()
+        store.put(a)
+        store.put(b)
+        store.update(b.advanced(phase="done"))
+        assert store.counts() == {"queued": 1, "done": 1}
+
+
+class TestClaim:
+    def test_claim_wins_exactly_once(self, store):
+        record = make_record()
+        store.put(record)
+        claimed = store.claim(record.job_id)
+        assert claimed.state.phase == "running"
+        assert claimed.state.started_at is not None
+        assert store.claim(record.job_id) is None  # second claimer loses
+
+    def test_claim_refuses_non_queued(self, store):
+        record = make_record()
+        store.put(record)
+        store.update(record.advanced(phase="cancelled"))
+        assert store.claim(record.job_id) is None
+
+
+class TestCancel:
+    def test_queued_job_cancels_immediately(self, store):
+        record = make_record()
+        store.put(record)
+        cancelled = store.request_cancel(record.job_id)
+        assert cancelled.state.phase == "cancelled"
+        assert cancelled.state.cancel_requested
+
+    def test_running_job_gets_durable_flag(self, store):
+        record = make_record()
+        store.put(record)
+        store.claim(record.job_id)
+        flagged = store.request_cancel(record.job_id)
+        assert flagged.state.phase == "running"
+        assert flagged.state.cancel_requested
+
+    def test_terminal_job_is_untouched(self, store):
+        record = make_record()
+        store.put(record)
+        store.update(record.advanced(phase="done"))
+        assert store.request_cancel(record.job_id).state.phase == "done"
+
+    def test_unknown_job_returns_none(self, store):
+        assert store.request_cancel("job-missing") is None
+
+
+class TestRequeue:
+    def test_orphaned_running_jobs_requeue(self, store):
+        a, b = make_record(), make_record()
+        store.put(a)
+        store.put(b)
+        store.claim(a.job_id)
+        assert store.requeue_running() == 1
+        assert store.get(a.job_id).state.phase == "queued"
+        assert store.get(a.job_id).state.started_at is None
+        assert store.counts() == {"queued": 2}
+
+
+class TestOutcomes:
+    def test_record_and_read_back_in_grid_order(self, store):
+        record = make_record(values=(1.0, 2.0, 3.0))
+        store.put(record)
+        for i in (2, 0, 1):
+            store.record_outcome(record.job_id, PointOutcome(
+                index=i, ok=(i != 1), error="" if i != 1 else "boom",
+                health={"channel": i, "status": "ok" if i != 1 else "failed"},
+            ))
+        outcomes = store.outcomes(record.job_id)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert not outcomes[1].ok
+        assert outcomes[1].error == "boom"
+        assert outcomes[2].health["channel"] == 2
+
+    def test_upsert_replaces_a_point(self, store):
+        record = make_record(values=(1.0,))
+        store.put(record)
+        store.record_outcome(record.job_id,
+                             PointOutcome(index=0, ok=False, error="retry me"))
+        store.record_outcome(record.job_id,
+                             PointOutcome(index=0, ok=True, retries=1))
+        (outcome,) = store.outcomes(record.job_id)
+        assert outcome.ok
+        assert outcome.retries == 1
+
+
+class TestPersistence:
+    def test_reopen_sees_everything(self, tmp_path):
+        path = tmp_path / "jobs.sqlite"
+        first = SQLiteJobStore(path)
+        record = make_record(resilience={"degrades": 2})
+        first.put(record)
+        first.record_outcome(record.job_id, PointOutcome(index=0, ok=True))
+
+        second = SQLiteJobStore(path)
+        assert second.get(record.job_id) == record
+        assert len(second.outcomes(record.job_id)) == 1
+        assert second.schema_version() == SCHEMA_VERSION
+
+
+class TestMigrations:
+    def test_fresh_store_is_at_latest_version(self, store):
+        assert store.schema_version() == SCHEMA_VERSION
+        assert SCHEMA_VERSION == MIGRATIONS[-1][0]
+
+    def test_v1_store_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE schema_migrations ("
+            "version INTEGER PRIMARY KEY, applied_at TEXT NOT NULL)"
+        )
+        for statement in MIGRATIONS[0][1]:
+            conn.execute(statement)
+        conn.execute(
+            "INSERT INTO schema_migrations VALUES (1, '2025-01-01T00:00:00Z')"
+        )
+        conn.commit()
+        conn.close()
+
+        store = SQLiteJobStore(path)  # opening migrates
+        assert store.schema_version() == SCHEMA_VERSION
+
+        with sqlite3.connect(path) as conn:
+            versions = [
+                row[0] for row in conn.execute(
+                    "SELECT version FROM schema_migrations ORDER BY version"
+                )
+            ]
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(jobs)")
+            }
+        assert versions == [version for version, _ in MIGRATIONS]
+        assert "resilience_json" in columns  # the v2 column is usable
+
+        record = make_record(resilience={"fallbacks": 0})
+        store.put(record)
+        assert store.get(record.job_id).resilience == {"fallbacks": 0}
+
+    def test_migration_history_is_append_only_shape(self):
+        versions = [version for version, _ in MIGRATIONS]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+        assert all(statements for _, statements in MIGRATIONS)
+
+
+class TestOpenJobStore:
+    def test_accepts_path_and_sqlite_url(self, tmp_path):
+        by_path = open_job_store(tmp_path / "a.sqlite")
+        by_url = open_job_store(f"sqlite:///{tmp_path}/b.sqlite")
+        assert isinstance(by_path, SQLiteJobStore)
+        assert isinstance(by_url, SQLiteJobStore)
+        assert by_url.path == tmp_path / "b.sqlite"
+
+    def test_unknown_scheme_raises_eagerly(self, tmp_path):
+        with pytest.raises(ServiceError, match="postgres"):
+            open_job_store("postgres://db/jobs")
+
+    def test_memory_store_is_rejected(self):
+        with pytest.raises(ServiceError, match="memory"):
+            SQLiteJobStore(":memory:")

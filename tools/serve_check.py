@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Smoke-check the simulation service end to end (``make serve-check``).
+
+Boots a real ``repro serve`` subprocess on an ephemeral port with a
+throwaway store/cache, then over plain HTTP:
+
+1. probes ``/healthz`` and requires ``ok``;
+2. submits a tiny sweep and polls it to completion;
+3. fetches the result table and sanity-checks its shape;
+4. submits the same grid as a second tenant and requires the dedup
+   link plus an all-cache-hits completion;
+5. shuts the server down and requires a clean exit.
+
+Exit code 0 means the serve/submit/results path works on this box.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    from repro.service import JobSpec, ServiceClient
+    from repro.config import REFERENCE_RESONANT_SENSOR
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-serve-check-"))
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+            "--db", str(workdir / "jobs.sqlite"),
+            "--cache-dir", str(workdir / "cache"),
+        ],
+        cwd=REPO,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if not match:
+            print(f"serve-check: no listening line, got {line!r}")
+            return 1
+        url = match.group(1)
+        print(f"serve-check: server up at {url}")
+        client = ServiceClient(url, timeout=30)
+
+        health = client.health()
+        assert health["ok"], f"unhealthy at boot: {health}"
+        print("serve-check: /healthz ok "
+              f"(pump_alive={health['service']['pump_alive']})")
+
+        base = REFERENCE_RESONANT_SENSOR.to_dict()
+        spec = JobSpec(
+            base=base, path="cantilever.length_um",
+            values=(150.0, 200.0, 250.0), duration=0.004, tenant="smoke-a",
+        )
+        record = client.submit(spec)
+        job_id = record["job_id"]
+        final = client.wait(job_id, timeout=120)
+        phase = final["state"]["phase"]
+        assert phase == "done", f"job {job_id} ended {phase}: {final}"
+        assert final["progress"]["failed"] == 0
+        print(f"serve-check: job {job_id} done "
+              f"({final['progress']['completed']} points)")
+
+        table = client.results(job_id)
+        assert table["parameters"] == [150.0, 200.0, 250.0]
+        assert table["columns"], "result table has no columns"
+        for name, column in table["columns"].items():
+            assert len(column) == 3, f"column {name} has {len(column)} rows"
+        print(f"serve-check: results ok (columns: {sorted(table['columns'])})")
+
+        twin = client.submit(JobSpec(
+            base=base, path="cantilever.length_um",
+            values=(150.0, 200.0, 250.0), duration=0.004, tenant="smoke-b",
+        ))
+        assert twin["dedup_of"] == job_id, (
+            f"expected dedup against {job_id}, got {twin['dedup_of']!r}"
+        )
+        twin_final = client.wait(twin["job_id"], timeout=120)
+        assert twin_final["state"]["phase"] == "done"
+        assert (twin_final["progress"]["cache_hits"]
+                == twin_final["progress"]["total"]), (
+            f"dedup follower recomputed: {twin_final['progress']}"
+        )
+        print(f"serve-check: dedup ok (job {twin['job_id']} all cache hits)")
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+        shutil.rmtree(workdir, ignore_errors=True)
+    print("serve-check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
