@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint serve-check bench bench-json bench-batch bench-smoke kernel-check spec-check fault-check examples docs all clean
+.PHONY: install test lint serve-check bench bench-json bench-batch bench-smoke kernel-check vector-check spec-check fault-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,19 @@ bench-batch:
 # non-lowerable chains must fall back cleanly.  Tier-1.
 kernel-check:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/engine/test_kernel_equivalence.py tests/engine/test_kernel_lowering.py -q
+
+# Columnar SoA engine golden suite, both legs: once with the compiler
+# present (compiled engine + specialized megakernels) and once with CC
+# pointed at a *nonexistent* binary under a fresh TMPDIR (no cached .so
+# can hide the failure), which drives every batch through the NumPy
+# twin.  Note CC=/bin/false would not do: the probe only checks that
+# the compiler exists, so a present-but-broken CC exercises the build
+# *failure* path, not the no-compiler path.
+vector-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/engine/test_kernel_columnar.py -q
+	@echo "-- no-compiler pass: CC=no-such-compiler, NumPy twin must carry the suite --"
+	CC=no-such-compiler TMPDIR=$$(mktemp -d) PYTHONPATH=src $(PYTHON) -m pytest \
+		tests/engine/test_kernel_columnar.py -q
 
 # Fast parallel-path check: the three engine-ported benches on tiny
 # grids, 2 workers, cache on (cold then warm — the warm runs must report
@@ -96,7 +109,7 @@ docs:
 	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py > docs/API.md
 	@echo "docs/API.md regenerated"
 
-all: test bench-smoke bench examples
+all: test vector-check bench-smoke bench examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

@@ -31,7 +31,12 @@ from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
 from .kernel import (
     AUTO_ORDER,
     BACKENDS as KERNEL_BACKENDS,
+    BATCH_AUTO_ORDER,
+    BATCH_DECLINE_MIN_SAMPLES,
+    BATCH_ENGINES,
     CC_ENV,
+    COLUMNAR_ENV,
+    COLUMNAR_MIN_ENV,
     FusedLoopKernel,
     KERNEL_THREADS_ENV,
     KernelBatch,
@@ -76,8 +81,13 @@ from .timing import StageTimer, StageTiming, speedup
 __all__ = [
     "AUTO_ORDER",
     "BACKENDS",
+    "BATCH_AUTO_ORDER",
+    "BATCH_DECLINE_MIN_SAMPLES",
+    "BATCH_ENGINES",
     "CACHE_VERSION",
     "CC_ENV",
+    "COLUMNAR_ENV",
+    "COLUMNAR_MIN_ENV",
     "FAULT_KINDS",
     "FAULT_SITES",
     "KERNEL_BACKENDS",

@@ -62,7 +62,12 @@ logger = logging.getLogger(__name__)
 __all__ = [
     "AUTO_ORDER",
     "BACKENDS",
+    "BATCH_AUTO_ORDER",
+    "BATCH_DECLINE_MIN_SAMPLES",
+    "BATCH_ENGINES",
     "CC_ENV",
+    "COLUMNAR_ENV",
+    "COLUMNAR_MIN_INSTANCES",
     "FusedLoopKernel",
     "KERNEL_THREADS_ENV",
     "KernelBatch",
@@ -84,6 +89,7 @@ __all__ = [
     "lower_block",
     "numba_available",
     "record_batch",
+    "record_batch_declined",
     "record_degrade",
     "record_fallback",
     "reset_compiler_probe",
@@ -123,6 +129,61 @@ BACKENDS = ("auto", "reference", "fused", "numba", "interp")
 #: and benches slower than the reference path it would replace
 #: (BENCH_fig5.json: 0.51x).
 AUTO_ORDER = ("fused:cc", "numba", "fused:codegen")
+
+#: Batch-level engine choices accepted by ``KernelBatch.run(engine=)``.
+#: ``row`` is the PR-4 pthreaded per-instance interpreter (bit-identical
+#: to solo fused runs); ``columnar`` is the vectorized structure-of-arrays
+#: engine in :mod:`~repro.engine.kernel_columnar` (its own tolerance
+#: contract, see ``docs/FASTPATH.md``).
+BATCH_ENGINES = ("auto", "columnar", "row")
+
+#: Resolution order of batch ``engine="auto"``: the columnar SoA C
+#: engine when a compiler is trusted and the batch is wide enough
+#: (``COLUMNAR_MIN_INSTANCES``, or forced via ``REPRO_COLUMNAR``), the
+#: row-major pthread batch otherwise, per-instance solo fused runs
+#: without a compiler.  ``auto`` never picks the NumPy columnar twin —
+#: it relaxes bit-exactness and is only reachable by explicit request.
+BATCH_AUTO_ORDER = ("columnar:cc", "row:cc", "fused:solo")
+
+#: ``REPRO_COLUMNAR=1`` forces the columnar batch engine everywhere
+#: (degrading to its NumPy twin without a compiler);
+#: ``REPRO_COLUMNAR=0`` disables it.  Unset: the auto heuristic.
+COLUMNAR_ENV = "REPRO_COLUMNAR"
+
+#: Minimum batch width before ``auto`` routes to the columnar engine —
+#: below this the stride-1 instance sweeps are too narrow to pay for
+#: the SoA transposes.  Override with ``REPRO_COLUMNAR_MIN``.
+COLUMNAR_MIN_INSTANCES = 8
+COLUMNAR_MIN_ENV = "REPRO_COLUMNAR_MIN"
+
+#: Decline heuristic for the row batch: a narrow batch of programs at
+#: least this long, at one C thread, gains nothing from batch dispatch
+#: (the padded matrices and strided partition cost more than the serial
+#: fused loop) — ``KernelBatch.run`` then falls through to solo fused
+#: runs and counts it in ``kernel_info().batch_declined``.
+BATCH_DECLINE_MIN_SAMPLES = 8192
+
+
+def _columnar_override() -> bool | None:
+    """The ``REPRO_COLUMNAR`` verdict: True/False when set, else None."""
+    env = os.environ.get(COLUMNAR_ENV, "").strip().lower()
+    if env in ("1", "on", "always", "force", "true"):
+        return True
+    if env in ("0", "off", "never", "false"):
+        return False
+    return None
+
+
+def _columnar_min_instances() -> int:
+    env = os.environ.get(COLUMNAR_MIN_ENV, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            logger.warning(
+                "ignoring non-integer %s=%r", COLUMNAR_MIN_ENV, env
+            )
+    return COLUMNAR_MIN_INSTANCES
 
 
 @dataclass(frozen=True)
@@ -284,6 +345,9 @@ def reset_compiler_probe() -> None:
         _CC = None
         _CC_INTERPRET = None
         _CC_BUILD_ERROR = None
+    from . import kernel_columnar
+
+    kernel_columnar._reset_engine()
 
 
 def _cc_engine_blocked() -> str | None:
@@ -381,6 +445,21 @@ class KernelInfo:
     #: compiler installed" are not degrades.
     degrades: int = 0
     last_degrade_reason: str | None = None
+    #: Row batches declined by the overhead heuristic (the instances ran
+    #: serial fused instead; ``batch_runs`` does not count them).
+    batch_declined: int = 0
+    last_decline_reason: str | None = None
+    #: Batch dispatch counts per engine family: columnar (SoA C engine
+    #: or its NumPy twin) vs row (the PR-4 pthreaded interpreter).
+    batch_columnar_runs: int = 0
+    batch_row_runs: int = 0
+    last_batch_engine: str | None = None
+    #: Per-op profile histogram: op name -> instance-samples executed
+    #: (one instance running one op for n samples adds n).
+    op_samples: dict[str, int] | None = None
+    #: Columnar stage-fusion decisions, newest last (one entry per
+    #: distinct program shape / fusion mode / hotness verdict).
+    fusion_decisions: tuple = ()
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         runs = ", ".join(f"{k}={v}" for k, v in sorted(self.runs.items()))
@@ -410,6 +489,13 @@ def reset_kernel_info() -> None:
         last_batch_threads=0,
         degrades=0,
         last_degrade_reason=None,
+        batch_declined=0,
+        last_decline_reason=None,
+        batch_columnar_runs=0,
+        batch_row_runs=0,
+        last_batch_engine=None,
+        op_samples={},
+        fusion_decisions=[],
     )
 
 
@@ -435,6 +521,13 @@ def kernel_info() -> KernelInfo:
         cc_quarantined=not get_breaker("kernel-cc").allow(),
         degrades=_STATS["degrades"],
         last_degrade_reason=_STATS["last_degrade_reason"],
+        batch_declined=_STATS["batch_declined"],
+        last_decline_reason=_STATS["last_decline_reason"],
+        batch_columnar_runs=_STATS["batch_columnar_runs"],
+        batch_row_runs=_STATS["batch_row_runs"],
+        last_batch_engine=_STATS["last_batch_engine"],
+        op_samples=dict(_STATS["op_samples"]),
+        fusion_decisions=tuple(_STATS["fusion_decisions"]),
     )
 
 
@@ -453,13 +546,69 @@ def record_run(
 def record_batch(
     n_instances: int, threads: int,
     total_samples: int = 0, run_seconds: float = 0.0,
+    engine: str = "row",
 ) -> None:
-    """Account one batched kernel call (:class:`KernelBatch` internal)."""
+    """Account one batched kernel call (:class:`KernelBatch` internal).
+
+    ``engine`` is the batch machinery that dispatched: ``"row"``,
+    ``"columnar"``/``"columnar-np"``, or ``"solo"`` (the no-compiler
+    per-instance fallback, which still counts as a batch run).
+    """
     _STATS["batch_runs"] += 1
     _STATS["batch_instances"] += int(n_instances)
     _STATS["last_batch_threads"] = int(threads)
+    _STATS["last_batch_engine"] = str(engine)
+    if engine in ("columnar", "columnar-np"):
+        _STATS["batch_columnar_runs"] += 1
+    elif engine == "row":
+        _STATS["batch_row_runs"] += 1
     if run_seconds > 0.0 and total_samples:
         _STATS["last_samples_per_second"] = total_samples / run_seconds
+
+
+def record_batch_declined(n_instances: int, reason: str) -> None:
+    """Account one batch the overhead heuristic sent to serial fused."""
+    _STATS["batch_declined"] += 1
+    _STATS["last_decline_reason"] = str(reason)
+    logger.info(
+        "kernel batch declined for %d instances (%s); running serial fused",
+        n_instances, reason,
+    )
+
+
+#: Op-kind index -> display name (order matches the OP_* constants).
+OP_NAMES = (
+    "BIAS", "GAIN", "SOS", "RC", "CLIP", "TANH", "DIFF",
+    "DEADZONE", "SLEW", "LATCH", "TAP_LIMIN", "TAP_LIMOUT", "TAP_DRIVE",
+)
+
+#: Per-program-shape instance-sample counters (never reset by
+#: :func:`reset_kernel_info` — like the ``.so`` cache, the profile is a
+#: process-lifetime memo, and it drives the columnar fusion pass).
+_PROGRAM_PROFILE: dict[tuple, int] = {}
+
+
+def record_op_profile(kinds: Sequence[int], samples: int) -> None:
+    """Add ``samples`` instance-samples to each op's profile counter."""
+    hist = _STATS["op_samples"]
+    for k in kinds:
+        name = OP_NAMES[k]
+        hist[name] = hist.get(name, 0) + int(samples)
+
+
+def _note_program_samples(signature: tuple, samples: int) -> int:
+    """Accumulate a program shape's lifetime sample count; return it."""
+    total = _PROGRAM_PROFILE.get(signature, 0) + int(samples)
+    _PROGRAM_PROFILE[signature] = total
+    return total
+
+
+def record_fusion_decision(decision: dict) -> None:
+    """Append one columnar fusion decision (capped, newest last)."""
+    decisions = _STATS["fusion_decisions"]
+    decisions.append(dict(decision))
+    if len(decisions) > 32:
+        del decisions[0]
 
 
 def record_fallback(reason: str) -> None:
@@ -732,6 +881,8 @@ class FusedLoopKernel:
             compile_seconds=timer.seconds("compile"),
             run_seconds=timer.seconds("run"),
         )
+        record_op_profile(self._kinds, n)
+        _note_program_samples(batch_signature(self), n)
         record_run(backend, n, timer.seconds("run"), timer.seconds("compile"))
         return KernelRunResult(
             displacement=arrays[0],
@@ -893,10 +1044,122 @@ class KernelBatch:
     def n_max(self) -> int:
         return max(self.ns)
 
-    def run(self, threads: int | None = None) -> list[KernelRunResult]:
+    def run(
+        self, threads: int | None = None, engine: str = "auto"
+    ) -> list[KernelRunResult]:
         """Execute all instances; one :class:`KernelRunResult` each, in
-        input order."""
+        input order.
+
+        ``engine`` picks the batch machinery: ``"row"`` is the
+        pthreaded per-instance interpreter (bit-identical to solo fused
+        runs), ``"columnar"`` the vectorized structure-of-arrays engine
+        (within-tolerance contract — see ``docs/FASTPATH.md``), and
+        ``"auto"`` follows :data:`BATCH_AUTO_ORDER`: columnar for wide
+        batches when the C engine is trusted (or ``REPRO_COLUMNAR=1``),
+        the row engine otherwise, with the decline heuristic sending
+        narrow batches of long programs straight to serial fused.
+        """
+        if engine not in BATCH_ENGINES:
+            raise KernelError(
+                f"unknown batch engine {engine!r}; "
+                f"choose one of {BATCH_ENGINES}"
+            )
         threads_used = kernel_batch_threads(threads, self.n_instances)
+        override = _columnar_override()
+        explicit = engine == "columnar" or override is True
+        if engine == "auto":
+            choice, reason = self._resolve_engine(threads_used, override)
+        else:
+            choice, reason = engine, "requested"
+
+        if choice == "columnar":
+            results = self._run_columnar(threads_used, explicit)
+            if results is not None:
+                return results
+            choice = "row"  # columnar C engine degraded: row path next
+
+        if choice == "declined":
+            record_batch_declined(self.n_instances, reason)
+            return [
+                kernel.run(n, noise, backend="fused")
+                for kernel, n, noise in zip(self.kernels, self.ns, self.noises)
+            ]
+
+        return self._run_row(threads_used)
+
+    def _resolve_engine(
+        self, threads_used: int, override: bool | None
+    ) -> tuple[str, str]:
+        """``engine="auto"`` resolution (see :data:`BATCH_AUTO_ORDER`)."""
+        if override is True:
+            return "columnar", f"forced by {COLUMNAR_ENV}"
+        cc = cc_usable()
+        if (
+            override is not False
+            and cc
+            and self.n_instances >= _columnar_min_instances()
+        ):
+            return "columnar", (
+                f"{self.n_instances} instances >= "
+                f"{_columnar_min_instances()}"
+            )
+        if (
+            cc
+            and threads_used == 1
+            and self.n_instances < _columnar_min_instances()
+            and min(self.ns) >= BATCH_DECLINE_MIN_SAMPLES
+        ):
+            return "declined", (
+                f"{self.n_instances} instances x >= {min(self.ns)} "
+                "samples at 1 thread: batch dispatch would not beat "
+                "serial fused"
+            )
+        return "row", "default"
+
+    def _run_columnar(
+        self, threads_used: int, explicit: bool
+    ) -> list[KernelRunResult] | None:
+        """Dispatch through the columnar SoA engine.
+
+        Returns ``None`` when the compiled columnar engine is
+        unavailable and the request was implicit (``auto``) — the
+        caller then degrades to the bit-identical row path.  An
+        explicit request (``engine="columnar"`` / ``REPRO_COLUMNAR=1``)
+        falls back to the NumPy columnar twin instead, keeping the
+        columnar tolerance contract rather than silently switching it.
+        """
+        from . import kernel_columnar
+
+        timer = StageTimer()
+        fn = None
+        if cc_available():
+            blocked = _cc_engine_blocked()
+            if blocked is None:
+                breaker = get_breaker("kernel-cc")
+                try:
+                    with timer.stage("compile"):
+                        fn = kernel_columnar.columnar_interpreter()
+                    breaker.record_success()
+                except KernelError as err:
+                    breaker.record_failure(str(err))
+                    record_degrade(str(err))
+                    logger.warning(
+                        "columnar C engine unavailable (%s); using %s",
+                        err, "NumPy twin" if explicit else "row batch",
+                    )
+            else:
+                record_degrade(blocked)
+                logger.info("columnar C engine skipped (%s)", blocked)
+        if fn is not None:
+            return kernel_columnar.run_columnar_cc(
+                self, fn, threads_used, timer
+            )
+        if explicit:
+            return kernel_columnar.run_columnar_numpy(self, timer)
+        return None
+
+    def _run_row(self, threads_used: int) -> list[KernelRunResult]:
+        """The PR-4 row-major pthreaded batch (bit-identical to solo)."""
         timer = StageTimer()
         batch_fn = None
         if cc_available():
@@ -925,7 +1188,7 @@ class KernelBatch:
                 kernel.run(n, noise, backend="fused")
                 for kernel, n, noise in zip(self.kernels, self.ns, self.noises)
             ]
-            record_batch(self.n_instances, 1)
+            record_batch(self.n_instances, 1, engine="solo")
             return results
         return self._run_cc(batch_fn, threads_used, timer)
 
@@ -985,6 +1248,8 @@ class KernelBatch:
         run_seconds = timer.seconds("run")
         compile_seconds = timer.seconds("compile")
         total = sum(self.ns)
+        record_op_profile(rep._kinds, total)
+        _note_program_samples(self.signature, total)
         results = []
         for i, kernel in enumerate(self.kernels):
             n_i = self.ns[i]
@@ -1477,21 +1742,33 @@ def _cc_cache_dir() -> str:
     )
 
 
-def _cc_build() -> Callable:
+def _cc_compile_so(
+    source: str, flags: Sequence[str], stem: str,
+    libs: Sequence[str] = ("-lm",),
+) -> ctypes.CDLL:
+    """Compile a C source to a sha-keyed cached ``.so`` and dlopen it.
+
+    The shared object lands in the per-user cache directory keyed by
+    ``sha256(source + flags)`` with an atomic replace, so concurrent
+    builders agree and a cache hit makes "compile time" a dlopen.  The
+    solo/row interpreter (``stem="kernel"``) and the columnar engine
+    (``stem="columnar"``, :mod:`~repro.engine.kernel_columnar`) share
+    this machinery.  Raises :class:`KernelError` on build failure.
+    """
     digest = hashlib.sha256(
-        (_C_SOURCE + " ".join(_CC_FLAGS)).encode()
+        (source + " ".join(flags) + " ".join(libs)).encode()
     ).hexdigest()[:16]
     cache_dir = _cc_cache_dir()
     os.makedirs(cache_dir, mode=0o700, exist_ok=True)
-    so_path = os.path.join(cache_dir, f"kernel-{digest}.so")
+    so_path = os.path.join(cache_dir, f"{stem}-{digest}.so")
     if not os.path.exists(so_path):
-        c_path = os.path.join(cache_dir, f"kernel-{digest}.c")
+        c_path = os.path.join(cache_dir, f"{stem}-{digest}.c")
         tmp_so = f"{so_path}.tmp{os.getpid()}"
         with open(c_path, "w") as fh:
-            fh.write(_C_SOURCE)
+            fh.write(source)
         try:
             subprocess.run(
-                [_CC, *_CC_FLAGS, "-o", tmp_so, c_path, "-lm"],
+                [_CC, *flags, "-o", tmp_so, c_path, *libs],
                 check=True, capture_output=True, text=True, timeout=120,
             )
         except (subprocess.SubprocessError, OSError) as err:
@@ -1500,8 +1777,12 @@ def _cc_build() -> Callable:
                 f"C kernel compilation failed: {detail.strip()}"
             ) from err
         os.replace(tmp_so, so_path)  # atomic: concurrent builders agree
-        logger.info("C kernel interpreter compiled to %s", so_path)
-    lib = ctypes.CDLL(so_path)
+        logger.info("C kernel engine compiled to %s", so_path)
+    return ctypes.CDLL(so_path)
+
+
+def _cc_build() -> Callable:
+    lib = _cc_compile_so(_C_SOURCE, _CC_FLAGS, "kernel")
     dbl = np.ctypeslib.ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
     idx = np.ctypeslib.ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
     lib.run_program.restype = None

@@ -31,6 +31,11 @@ def resilience_snapshot() -> dict[str, Any]:
         "kernel_runs": dict(info.runs),
         "batch_runs": info.batch_runs,
         "batch_instances": info.batch_instances,
+        "batch_declined": info.batch_declined,
+        "batch_columnar_runs": info.batch_columnar_runs,
+        "batch_row_runs": info.batch_row_runs,
+        "op_samples": dict(info.op_samples or {}),
+        "fusion_decisions": [dict(d) for d in info.fusion_decisions],
         "fallbacks": info.fallbacks,
         "last_fallback_reason": info.last_fallback_reason or None,
         "degrades": info.degrades,

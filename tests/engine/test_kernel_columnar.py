@@ -1,0 +1,490 @@
+"""Golden-tolerance suite for the columnar SoA batch engine.
+
+The columnar engine trades the row path's bit-identity for speed under
+an explicit numerical contract (``docs/FASTPATH.md``): every waveform
+of every instance must agree with its solo fused run within
+``RTOL = 1e-9`` relative / ``ATOL_SCALE * max|ref|`` absolute.  This
+suite pins that contract across reference-spec variants, liquids,
+modes, noise on/off, multimode stacks, heterogeneous durations,
+per-instance lowering fallbacks, the no-compiler NumPy twin, and a
+property-based sweep — plus the ``auto`` engine-resolution order, the
+batch-declined heuristic (bit-exact serial fused), and the
+profile/fusion counters surfaced through ``kernel_info()`` and
+``repro health``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+import repro.engine.kernel_columnar as columnar
+from repro.config import REFERENCE_RESONANT_SENSOR
+from repro.core import ResonantCantileverSensor
+from repro.engine import (
+    BATCH_AUTO_ORDER,
+    BATCH_DECLINE_MIN_SAMPLES,
+    BATCH_ENGINES,
+    COLUMNAR_ENV,
+    COLUMNAR_MIN_ENV,
+    KernelBatch,
+    cc_available,
+    kernel_info,
+    reset_breakers,
+    reset_compiler_probe,
+    reset_kernel_info,
+)
+from repro.engine.kernel import OP_NAMES, _cc_cache_dir
+from repro.errors import KernelError
+from repro.feedback import run_batch
+from repro.service.health import resilience_snapshot
+
+DURATION = 0.004
+LENGTHS = (170.0, 185.0, 200.0, 215.0, 230.0)
+WAVEFORMS = (
+    "displacement",
+    "bridge_voltage",
+    "limiter_input",
+    "limiter_output",
+    "drive_voltage",
+)
+
+#: Same grid as the fused-kernel equivalence suite: geometry is swept
+#: separately (LENGTHS); these change the medium, mode, and sampling.
+SPEC_VARIANTS = {
+    "reference": {},
+    "serum": {"liquid": "serum"},
+    "glycerol": {"liquid": "glycerol_40pct"},
+    "mode2": {"loop.mode": 2},
+    "fast-sampling": {"loop.steps_per_cycle": 80},
+}
+
+#: Mode 2 runs ~6x higher in frequency: short beams push the Reynolds
+#: number past the hydrodynamic fit's validity range, so that variant
+#: sweeps longer geometries.
+VARIANT_LENGTHS = {"mode2": (280.0, 290.0, 300.0, 310.0, 320.0)}
+
+needs_cc = pytest.mark.skipif(not cc_available(), reason="needs a C compiler")
+
+
+def build_loop(length_um: float = 200.0, variant: str = "reference"):
+    spec = REFERENCE_RESONANT_SENSOR.with_overrides(
+        {"cantilever.length_um": length_um, **SPEC_VARIANTS[variant]}
+    )
+    return ResonantCantileverSensor.from_spec(spec).build_loop()
+
+
+def lowered(loop, duration=DURATION):
+    prep = loop._prepare_run(duration, None)
+    return loop._lower_kernel(prep.signed_coefficient), prep
+
+
+def assert_arrays_within(a, b, label):
+    """``b`` agrees with reference ``a`` under the columnar contract."""
+    __tracebackhide__ = True
+    a, b = np.asarray(a), np.asarray(b)
+    if a.shape != b.shape:
+        pytest.fail(f"{label}: shape {b.shape} != reference {a.shape}")
+    atol = columnar.ATOL_SCALE * float(np.abs(a).max(initial=0.0))
+    if not np.allclose(b, a, rtol=columnar.RTOL, atol=atol):
+        worst = float(np.max(np.abs(a - b)))
+        ulp = columnar.max_ulp_distance(a, b)
+        pytest.fail(
+            f"{label} outside the columnar tolerance contract "
+            f"(max abs diff {worst:.3e}, max ulp distance {ulp})"
+        )
+
+
+def assert_within_contract(ref, rec, label):
+    __tracebackhide__ = True
+    for name in WAVEFORMS:
+        assert_arrays_within(
+            getattr(ref, name), getattr(rec, name), f"{label}.{name}"
+        )
+
+
+def assert_records_equal(ref, rec, label):
+    """Bit-exactness (the declined path re-runs serial fused)."""
+    __tracebackhide__ = True
+    for name in WAVEFORMS:
+        a = np.asarray(getattr(ref, name))
+        b = np.asarray(getattr(rec, name))
+        assert np.array_equal(a, b), f"{label}.{name} not bit-identical"
+
+
+@pytest.fixture
+def columnar_forced(monkeypatch):
+    """Route every batch through the columnar engine (REPRO_COLUMNAR=1).
+
+    With a compiler that is the C SoA engine; without one the explicit
+    request keeps the columnar contract via the NumPy twin.
+    """
+    monkeypatch.setenv(COLUMNAR_ENV, "1")
+
+
+@contextmanager
+def broken_compiler(tmp_path):
+    """CC=/bin/false with every disk-cached ``.so`` stashed away.
+
+    Unlike the resilience suite's kernel-only variant this also stashes
+    the ``columnar-*.so`` artifacts (their cache key does not include
+    the CC path), so the columnar engine genuinely cannot load.
+    """
+    cache = pathlib.Path(_cc_cache_dir())
+    stashed = []
+    if cache.is_dir():
+        for so in cache.glob("*.so"):
+            target = tmp_path / so.name
+            shutil.move(str(so), str(target))
+            stashed.append((so, target))
+    saved = os.environ.get("CC")
+    os.environ["CC"] = "/bin/false"
+    reset_compiler_probe()
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop("CC", None)
+        else:
+            os.environ["CC"] = saved
+        for so, target in stashed:
+            shutil.move(str(target), str(so))
+        reset_compiler_probe()
+        reset_breakers()
+
+
+class TestToleranceContract:
+    """The contract's constants and its ulp-distance reporter."""
+
+    def test_tolerances_pinned(self):
+        assert columnar.RTOL == 1e-9
+        assert columnar.ATOL_SCALE == 1e-12
+
+    def test_ulp_distance_identical_is_zero(self):
+        a = np.array([0.0, 1.0, -3.5e-9])
+        assert columnar.max_ulp_distance(a, a.copy()) == 0
+
+    def test_ulp_distance_counts_representable_steps(self):
+        a = np.array([1.0])
+        b = np.nextafter(a, np.inf)
+        assert columnar.max_ulp_distance(a, b) == 1
+        c = np.nextafter(b, np.inf)
+        assert columnar.max_ulp_distance(a, c) == 2
+
+
+class TestColumnarGolden:
+    """Columnar vs solo fused, within tolerance, instance for instance."""
+
+    @pytest.mark.parametrize("variant", sorted(SPEC_VARIANTS))
+    def test_spec_variants(self, variant, columnar_forced):
+        lengths = VARIANT_LENGTHS.get(variant, LENGTHS)
+        solos = [
+            build_loop(length, variant).run(DURATION, backend="fused")
+            for length in lengths
+        ]
+        reset_kernel_info()
+        records = run_batch(
+            [build_loop(length, variant) for length in lengths], DURATION
+        )
+        assert len(records) == len(lengths)
+        for length, solo, rec in zip(lengths, solos, records):
+            assert_within_contract(solo, rec, f"{variant}[{length}]")
+            assert np.array_equal(solo.times, rec.times)
+            assert solo.sample_rate == rec.sample_rate
+        info = kernel_info()
+        assert info.fallbacks == 0
+        assert info.batch_columnar_runs == 1
+        assert info.batch_instances == len(lengths)
+
+    def test_noise_disabled(self, make_loop, columnar_forced):
+        solos = [
+            make_loop(include_noise=False).run(DURATION, backend="fused")
+            for _ in range(3)
+        ]
+        records = run_batch(
+            [make_loop(include_noise=False) for _ in range(3)], DURATION
+        )
+        for i, (solo, rec) in enumerate(zip(solos, records)):
+            assert_within_contract(solo, rec, f"quiet[{i}]")
+
+    def test_heterogeneous_durations(self, columnar_forced):
+        durations = (0.003, 0.005, 0.002, 0.004)
+        lengths = LENGTHS[: len(durations)]
+        solos = [
+            build_loop(length).run(d, backend="fused")
+            for length, d in zip(lengths, durations)
+        ]
+        records = run_batch(
+            [build_loop(length) for length in lengths], durations
+        )
+        assert len({len(r.displacement) for r in records}) == len(durations)
+        for solo, rec in zip(solos, records):
+            assert len(solo.displacement) == len(rec.displacement)
+            assert_within_contract(solo, rec, "hetero")
+
+    def test_multimode_batch(self, geometry, make_loop, columnar_forced):
+        from repro.feedback import run_multimode_batch
+        from repro.feedback.multimode import MultiModeLoop
+
+        def make_mm():
+            mm = MultiModeLoop.for_geometry(geometry, [20.0, 10.0], make_loop())
+            mm.loop.auto_gain(1.0 / mm.resonators[0].timestep)
+            return mm
+
+        solos = [make_mm().run(0.002, backend="fused") for _ in range(2)]
+        records = run_multimode_batch([make_mm(), make_mm()], 0.002)
+        for i, (solo, rec) in enumerate(zip(solos, records)):
+            assert_arrays_within(solo.samples, rec.samples, f"multimode[{i}]")
+            assert solo.sample_rate == rec.sample_rate
+
+    def test_per_instance_fallback(self, columnar_forced):
+        solo_ref = build_loop(LENGTHS[1]).run(DURATION, backend="reference")
+        solos = [
+            build_loop(length).run(DURATION, backend="fused")
+            for length in (LENGTHS[0], LENGTHS[2])
+        ]
+        loops = [build_loop(length) for length in LENGTHS[:3]]
+        original = loops[1].vga.step
+        loops[1].vga.step = lambda x: original(x)  # instance patch: refuses
+
+        reset_kernel_info()
+        records = run_batch(loops, DURATION)
+        info = kernel_info()
+        assert info.fallbacks == 1
+        assert "patched" in info.last_fallback_reason
+        assert info.batch_instances == 2
+        assert_within_contract(solos[0], records[0], "columnar[0]")
+        assert_records_equal(solo_ref, records[1], "fallback[1]")
+        assert_within_contract(solos[1], records[2], "columnar[2]")
+
+    @needs_cc
+    def test_compiled_engine_tag_recorded(self, columnar_forced):
+        loops = [build_loop(length) for length in LENGTHS]
+        run_batch(loops, DURATION)
+        for loop in loops:
+            assert loop.last_kernel_info is not None
+            assert loop.last_kernel_info.engine.startswith("cc-columnar")
+
+
+class TestEngineSelection:
+    """``auto`` resolution order, env gates, and the declined pin."""
+
+    def test_batch_engines_pinned(self):
+        assert BATCH_ENGINES == ("auto", "columnar", "row")
+        assert BATCH_AUTO_ORDER == ("columnar:cc", "row:cc", "fused:solo")
+        assert BATCH_DECLINE_MIN_SAMPLES == 8192
+
+    def test_unknown_engine_raises(self):
+        kern, prep = lowered(build_loop())
+        batch = KernelBatch([kern], [prep.n], [prep.bridge_noise])
+        with pytest.raises(KernelError, match="unknown batch engine"):
+            batch.run(engine="sideways")
+
+    @needs_cc
+    def test_wide_auto_batch_selects_columnar(self, monkeypatch):
+        monkeypatch.delenv(COLUMNAR_ENV, raising=False)
+        monkeypatch.delenv(COLUMNAR_MIN_ENV, raising=False)
+        loops = [build_loop(length) for length in np.linspace(170, 230, 8)]
+        reset_kernel_info()
+        run_batch(loops, 0.002)
+        info = kernel_info()
+        assert info.batch_columnar_runs == 1
+        assert info.batch_row_runs == 0
+        for loop in loops:
+            assert loop.last_kernel_info.engine.startswith("cc-columnar")
+
+    @needs_cc
+    def test_columnar_min_env_gates_auto(self, monkeypatch):
+        monkeypatch.delenv(COLUMNAR_ENV, raising=False)
+        monkeypatch.setenv(COLUMNAR_MIN_ENV, "99")
+        loops = [build_loop(length) for length in np.linspace(170, 230, 8)]
+        reset_kernel_info()
+        # 0.002 s keeps every instance under BATCH_DECLINE_MIN_SAMPLES,
+        # so a 1-thread box routes to the row engine, not "declined"
+        run_batch(loops, 0.002)
+        info = kernel_info()
+        assert info.batch_columnar_runs == 0
+        assert info.batch_runs == 1
+
+    @needs_cc
+    def test_env_off_disables_columnar(self, monkeypatch):
+        monkeypatch.setenv(COLUMNAR_ENV, "0")
+        loops = [build_loop(length) for length in np.linspace(170, 230, 8)]
+        reset_kernel_info()
+        run_batch(loops, 0.002)
+        assert kernel_info().batch_columnar_runs == 0
+
+    @needs_cc
+    def test_batch_declined_runs_serial_fused(self, monkeypatch):
+        """Narrow batch of long programs at 1 thread: serial fused,
+        bit-exact, counted in ``batch_declined`` — the regression pin
+        for the overhead heuristic."""
+        monkeypatch.delenv(COLUMNAR_ENV, raising=False)
+        monkeypatch.delenv(COLUMNAR_MIN_ENV, raising=False)
+        lengths = LENGTHS[:3]
+        solos = [
+            build_loop(length).run(DURATION, backend="fused")
+            for length in lengths
+        ]
+        assert all(len(s.displacement) >= BATCH_DECLINE_MIN_SAMPLES
+                   for s in solos)
+        reset_kernel_info()
+        records = run_batch(
+            [build_loop(length) for length in lengths], DURATION, threads=1
+        )
+        info = kernel_info()
+        assert info.batch_declined == 1
+        assert info.batch_runs == 0
+        assert info.runs.get("fused", 0) == len(lengths)
+        for length, solo, rec in zip(lengths, solos, records):
+            assert_records_equal(solo, rec, f"declined[{length}]")
+        assert resilience_snapshot()["batch_declined"] == 1
+
+
+class TestNumpyTwin:
+    """No compiler: an explicit columnar request keeps the contract."""
+
+    def test_twin_matches_fused_without_compiler(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(COLUMNAR_ENV, "1")
+        lengths = LENGTHS[:3]
+        with broken_compiler(tmp_path):
+            solos = [
+                build_loop(length).run(0.002, backend="fused")
+                for length in lengths
+            ]
+            loops = [build_loop(length) for length in lengths]
+            records = run_batch(loops, 0.002)
+            for length, solo, rec in zip(lengths, solos, records):
+                assert_within_contract(solo, rec, f"twin[{length}]")
+            for loop in loops:
+                assert loop.last_kernel_info.engine == "columnar-np"
+
+    def test_explicit_engine_twin_at_kernel_level(self, tmp_path):
+        kern_solo, prep_solo = lowered(build_loop(), 0.002)
+        solo = kern_solo.run(prep_solo.n, prep_solo.bridge_noise,
+                             backend="fused")
+        with broken_compiler(tmp_path):
+            kern, prep = lowered(build_loop(), 0.002)
+            batch = KernelBatch([kern], [prep.n], [prep.bridge_noise])
+            (rec,) = batch.run(engine="columnar")
+            assert_within_contract(solo, rec, "twin-kernel")
+            assert rec.info.engine == "columnar-np"
+
+
+class TestFusionProfile:
+    """Profile counters and the profile-guided fusion decisions."""
+
+    def test_op_samples_histogram(self):
+        reset_kernel_info()
+        build_loop().run(DURATION, backend="fused")
+        hist = kernel_info().op_samples
+        assert hist, "solo fused runs must feed the op profile"
+        assert set(hist) <= set(OP_NAMES)
+        assert all(v > 0 for v in hist.values())
+        assert hist.get("SOS", 0) > 0  # every loop has biquad sections
+
+    def test_hot_plan_fuses_sos_pairs(self, columnar_forced, monkeypatch):
+        monkeypatch.setenv(columnar.FUSION_THRESHOLD_ENV, "0")
+        columnar._SEGMENT_CACHE.clear()
+        reset_kernel_info()
+        run_batch([build_loop(length) for length in LENGTHS], 0.002)
+        decisions = kernel_info().fusion_decisions
+        plan = [d for d in decisions if d.get("engine") == "columnar"
+                and "fused_segments" in d]
+        assert plan, "hot batch must record a fusion decision"
+        assert plan[-1]["hot"] is True
+        assert plan[-1]["mode"] == "safe"
+        assert any(seg[0] == "sos2" for seg in plan[-1]["fused_segments"])
+
+    def test_cold_plan_stays_generic(self, columnar_forced, monkeypatch):
+        monkeypatch.setenv(columnar.FUSION_THRESHOLD_ENV, str(10**15))
+        columnar._SEGMENT_CACHE.clear()
+        reset_kernel_info()
+        loops = [build_loop(length) for length in LENGTHS]
+        run_batch(loops, 0.002)
+        decisions = kernel_info().fusion_decisions
+        plan = [d for d in decisions if d.get("engine") == "columnar"
+                and "fused_segments" in d]
+        assert plan and plan[-1]["hot"] is False
+        assert plan[-1]["fused_segments"] == []
+        if cc_available():
+            for loop in loops:
+                assert loop.last_kernel_info.engine == "cc-columnar"
+
+    def test_fusion_off_env(self, columnar_forced, monkeypatch):
+        monkeypatch.setenv(columnar.FUSION_ENV, "off")
+        columnar._SEGMENT_CACHE.clear()
+        solos = [
+            build_loop(length).run(0.002, backend="fused")
+            for length in LENGTHS
+        ]
+        reset_kernel_info()
+        records = run_batch(
+            [build_loop(length) for length in LENGTHS], 0.002
+        )
+        plan = [d for d in kernel_info().fusion_decisions
+                if d.get("engine") == "columnar" and "fused_segments" in d]
+        assert plan and plan[-1]["mode"] == "off"
+        assert plan[-1]["fused_segments"] == []
+        for solo, rec in zip(solos, records):
+            assert_within_contract(solo, rec, "fusion-off")
+
+    @needs_cc
+    def test_specialize_decision_recorded(self, columnar_forced, monkeypatch):
+        monkeypatch.setenv(columnar.FUSION_THRESHOLD_ENV, "0")
+        columnar._SEGMENT_CACHE.clear()
+        columnar._SPECIALIZED.clear()
+        reset_kernel_info()
+        loops = [build_loop(length) for length in LENGTHS]
+        run_batch(loops, 0.002)
+        spec = [d for d in kernel_info().fusion_decisions
+                if d.get("stage") == "specialize"]
+        assert spec, "first hot run must record the specialize attempt"
+        if spec[-1]["built"]:
+            for loop in loops:
+                assert loop.last_kernel_info.engine == "cc-columnar-fused"
+
+    def test_health_snapshot_surfaces_columnar_counters(self, columnar_forced):
+        reset_kernel_info()
+        run_batch([build_loop(length) for length in LENGTHS], 0.002)
+        snap = resilience_snapshot()
+        for key in ("batch_declined", "batch_columnar_runs",
+                    "batch_row_runs", "op_samples", "fusion_decisions"):
+            assert key in snap
+        assert snap["batch_columnar_runs"] == 1
+        json.dumps(snap)  # the whole snapshot must stay JSON-clean
+
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+
+class TestPropertyAgreement:
+    """Any geometry mix: columnar within contract of solo fused."""
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.floats(min_value=165.0, max_value=235.0,
+                              allow_nan=False),
+                    min_size=2, max_size=4))
+    def test_columnar_agrees_with_fused(self, lengths):
+        solos = []
+        for length in lengths:
+            kern, prep = lowered(build_loop(length), 0.0015)
+            solos.append(kern.run(prep.n, prep.bridge_noise, backend="fused"))
+        kernels, ns, noises = [], [], []
+        for length in lengths:
+            kern, prep = lowered(build_loop(length), 0.0015)
+            kernels.append(kern)
+            ns.append(prep.n)
+            noises.append(prep.bridge_noise)
+        records = KernelBatch(kernels, ns, noises).run(engine="columnar")
+        for length, solo, rec in zip(lengths, solos, records):
+            assert_within_contract(solo, rec, f"prop[{length:.1f}]")
