@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint serve-check bench bench-json bench-batch bench-smoke kernel-check vector-check spec-check fault-check examples docs all clean
+.PHONY: install test lint serve-check fabric-check bench bench-json bench-batch bench-smoke kernel-check vector-check spec-check fault-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,13 @@ lint:
 # over HTTP, and assert completion + cross-tenant dedup.
 serve-check:
 	PYTHONPATH=src $(PYTHON) tools/serve_check.py
+
+# Kill a fabric worker subprocess mid-grid (os._exit, lease still
+# held), resume with two fresh workers against the real SQLite store,
+# and assert zero recomputed points (per-tier cache counters) plus a
+# bit-identical final table.
+fabric-check:
+	PYTHONPATH=src $(PYTHON) tools/fabric_check.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -109,7 +116,7 @@ docs:
 	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py > docs/API.md
 	@echo "docs/API.md regenerated"
 
-all: test vector-check bench-smoke bench examples
+all: test vector-check bench-smoke fabric-check bench examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

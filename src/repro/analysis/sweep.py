@@ -15,6 +15,9 @@ pinned by ``tests/engine``.
 
 from __future__ import annotations
 
+import copy
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
@@ -341,6 +344,46 @@ def run_spec_sweep(
 # -- batched sweep planner ---------------------------------------------------
 
 
+def plan_chunks(n_points: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` grid slices covering ``n_points``.
+
+    The fabric's unit of leasing: a worker leases one chunk, runs its
+    points as one batched kernel call, and completes or requeues it
+    atomically.  Chunk boundaries never affect results — every point is
+    cached under its own spec-keyed entry — so the planner is free to
+    pick any partition; contiguous slices keep the store rows readable
+    and the per-chunk batches shape-coherent.
+    """
+    if n_points < 0:
+        raise ValueError(f"n_points must be >= 0, got {n_points}")
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [
+        (start, min(start + chunk_size, n_points))
+        for start in range(0, n_points, chunk_size)
+    ]
+
+
+#: Pristine built-loop templates, keyed by (device spec hash).  Building
+#: a loop from a spec is the dominant whole-pipeline cost of a batched
+#: closed-loop sweep (mode-shape integrals, Butterworth design inside
+#: auto-gain) and is a pure function of the spec — so the batch path
+#: builds each distinct device once and deep-copies the never-run
+#: template per evaluation.  Copies are bit-identical to fresh builds
+#: (same floats, same pristine state), preserving the engine's
+#: bit-exactness contract; the serial ``__call__`` path stays
+#: memo-free as the reference.
+_LOOP_TEMPLATES: OrderedDict[str, object] = OrderedDict()
+_LOOP_TEMPLATES_LOCK = threading.Lock()
+_LOOP_TEMPLATE_ENTRIES = 128
+
+
+def _reset_loop_templates() -> None:
+    """Drop all memoized loop templates (test isolation)."""
+    with _LOOP_TEMPLATES_LOCK:
+        _LOOP_TEMPLATES.clear()
+
+
 def loop_headline(spec, record) -> dict:
     """Default per-point reduction of one closed-loop run.
 
@@ -400,6 +443,39 @@ class LoopSweepTask:
 
         return build(spec).build_loop()
 
+    def _amortized_loop_for(self, spec):
+        """A fresh loop via the pristine-template memo (batch path only).
+
+        Falls back to a plain build when the spec cannot hash or the
+        template cannot deep-copy (exotic custom blocks) — amortization
+        must never change which sweeps succeed.
+        """
+        from ..config import spec_hash
+
+        try:
+            key = spec_hash(spec)
+        except Exception:  # noqa: BLE001 - unhashable spec: no memo
+            return self._loop_for(spec)
+        with _LOOP_TEMPLATES_LOCK:
+            template = _LOOP_TEMPLATES.get(key)
+            if template is not None:
+                _LOOP_TEMPLATES.move_to_end(key)
+        if template is None:
+            loop = self._loop_for(spec)
+            try:
+                template = copy.deepcopy(loop)
+            except Exception:  # noqa: BLE001 - uncopyable loop: no memo
+                return loop
+            with _LOOP_TEMPLATES_LOCK:
+                _LOOP_TEMPLATES[key] = template
+                while len(_LOOP_TEMPLATES) > _LOOP_TEMPLATE_ENTRIES:
+                    _LOOP_TEMPLATES.popitem(last=False)
+            return loop
+        try:
+            return copy.deepcopy(template)
+        except Exception:  # noqa: BLE001 - uncopyable loop: no memo
+            return self._loop_for(spec)
+
     def __call__(self, spec) -> Mapping[str, object]:
         """One grid point, solo — the serial/thread/process path."""
         loop = self._loop_for(spec)
@@ -421,7 +497,7 @@ class LoopSweepTask:
         errors: dict[int, Exception] = {}
         for i, spec in enumerate(specs):
             try:
-                loops[i] = self._loop_for(spec)
+                loops[i] = self._amortized_loop_for(spec)
             except Exception as err:  # noqa: BLE001 - per-task capture
                 errors[i] = err
 

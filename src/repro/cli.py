@@ -237,6 +237,27 @@ def cmd_sweep(args) -> int:
 
     spec = _root_spec(args, REFERENCE_RESONANT_SENSOR)
     values = _sweep_values(args.values)
+    if args.fabric:
+        from .engine import TieredCache, run_fabric_sweep
+
+        cache_dir = args.cache_dir or ".repro_fabric/cache"
+        cache = TieredCache(cache_dir)
+        result = run_fabric_sweep(
+            spec, args.path, values,
+            db=args.db, cache_dir=cache_dir,
+            duration=args.duration,
+            workers=args.fabric_workers,
+            chunk_size=args.chunk_size,
+            cache=cache,
+        )
+        print(result.format_table())
+        info = cache.cache_info()
+        tiers = " ".join(
+            f"{t.name}[hits={t.hits} stores={t.stores}]" for t in info.tiers
+        )
+        print(f"# fabric: workers={args.fabric_workers} "
+              f"chunk_size={args.chunk_size} {tiers}", file=sys.stderr)
+        return 0
     cache = None
     if args.cache_dir:
         from .engine import ResultCache
@@ -263,9 +284,74 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """One fabric worker node: lease chunks until the queue runs dry."""
+    import json
+
+    from .engine import HTTPRemoteStore, TieredCache
+    from .engine.fabric import FabricWorker
+
+    if bool(args.url) == bool(args.db):
+        print("worker: give exactly one of --url or --db", file=sys.stderr)
+        return 2
+    if args.url:
+        from .service import RemoteFabricStore, ServiceClient
+
+        store = RemoteFabricStore(ServiceClient(args.url))
+        remote = HTTPRemoteStore(args.url)
+    else:
+        from .service import open_job_store
+
+        store = open_job_store(args.db)
+        remote = None
+    cache = TieredCache(args.cache_dir, remote=remote)
+    worker = FabricWorker(
+        store, cache,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease_seconds,
+        max_attempts=args.max_attempts,
+        job_id=args.job_id,
+        points_limit=args.points_limit,
+    )
+    print(f"worker {worker.worker_id} leasing "
+          f"({'url ' + args.url if args.url else 'db ' + args.db})",
+          file=sys.stderr)
+    stats = worker.run(
+        max_chunks=args.max_chunks,
+        idle_exit=None if args.once else args.idle_exit,
+    )
+    payload = {"stats": stats.to_dict(),
+               "cache": _cache_info_dict(cache)}
+    if args.stats_json:
+        with open(args.stats_json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+    print(f"worker {worker.worker_id}: {stats.chunks_done} chunk(s) done, "
+          f"{stats.points_computed} computed, {stats.points_cached} cached"
+          + (", QUARANTINED" if stats.quarantined else ""), file=sys.stderr)
+    return 3 if stats.quarantined else 0
+
+
+def _cache_info_dict(cache) -> dict:
+    info = cache.cache_info()
+    payload = {
+        "hits": info.hits, "misses": info.misses, "stores": info.stores,
+        "corruptions": info.corruptions,
+    }
+    payload["tiers"] = [t.as_dict() for t in getattr(info, "tiers", ())]
+    return payload
+
+
 def cmd_health(args) -> int:
     from .engine import breaker_report, cc_available, kernel_info, numba_available
 
+    if args.url:
+        import json
+
+        from .service import ServiceClient
+
+        snapshot = ServiceClient(args.url).health()
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0 if snapshot.get("ok") else 1
     if args.json:
         import json
 
@@ -298,12 +384,17 @@ def cmd_health(args) -> int:
         print(f"breaker {b.name:<12s}: {state} "
               f"(failures {b.failures}, trips {b.trips})")
     if args.cache_dir:
-        from .engine import ResultCache
+        from .engine import TieredCache
 
-        cache = ResultCache(args.cache_dir)
+        cache = TieredCache(args.cache_dir)
         intact, damaged = cache.verify(evict=args.evict)
         verb = "evicted" if args.evict else "found"
         print(f"cache           : {intact} intact, {damaged} damaged ({verb})")
+        for tier in cache.cache_info().tiers:
+            print(f"cache tier {tier.name:<6s}: hits {tier.hits}, "
+                  f"misses {tier.misses}, stores {tier.stores}, "
+                  f"promotions {tier.promotions}, "
+                  f"evictions {tier.evictions}, errors {tier.errors}")
         return 0 if damaged == 0 else 1
     return 0
 
@@ -323,7 +414,7 @@ def _print_result_table(payload: dict) -> None:
 
 
 def cmd_serve(args) -> int:
-    from .engine import ResultCache
+    from .engine import TieredCache
     from .service import (
         ReproHTTPServer,
         ReproService,
@@ -332,7 +423,8 @@ def cmd_serve(args) -> int:
     )
 
     store = open_job_store(args.db)
-    cache = ResultCache(args.cache_dir)
+    # tiered so remote fabric workers can push/pull raw cache payloads
+    cache = TieredCache(args.cache_dir)
     service = ReproService(
         store,
         cache,
@@ -549,6 +641,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="per-point watchdog [s]; a hung point is killed and retried",
     )
+    p.add_argument(
+        "--fabric", action="store_true",
+        help="distribute the grid over chunk-leasing worker processes "
+             "(crash-resumable via the tiered cache)",
+    )
+    p.add_argument("--fabric-workers", type=int, default=2,
+                   dest="fabric_workers",
+                   help="worker processes to spawn (0 = run in-process)")
+    p.add_argument("--chunk-size", type=int, default=8, dest="chunk_size",
+                   help="grid points per leased chunk")
+    p.add_argument("--db", default=".repro_fabric/jobs.sqlite",
+                   help="fabric job/lease store (shared by resumed runs)")
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_sweep)
 
@@ -563,8 +667,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="print the machine-readable health snapshot "
                         "(what the serve layer's /healthz probe embeds)")
+    p.add_argument("--url", default=None,
+                   help="query a running service's /healthz instead "
+                        "(includes live per-tier cache counters)")
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_health)
+
+    p = sub.add_parser(
+        "worker",
+        help="fabric worker node: lease sweep chunks from a store or server",
+    )
+    p.add_argument("--url", default=None,
+                   help="coordinator base URL (remote node; results travel "
+                        "through the cache's HTTP tier)")
+    p.add_argument("--db", default=None,
+                   help="shared job-store path (local node)")
+    p.add_argument("--cache-dir", default=".repro_fabric/cache",
+                   dest="cache_dir", help="tiered cache directory")
+    p.add_argument("--worker-id", default=None, dest="worker_id",
+                   help="stable identity (default: host-pid-hex)")
+    p.add_argument("--job-id", default=None, dest="job_id",
+                   help="only lease chunks of this job")
+    p.add_argument("--lease-seconds", type=float, default=30.0,
+                   dest="lease_seconds",
+                   help="chunk lease TTL; heartbeats extend it")
+    p.add_argument("--max-attempts", type=int, default=3, dest="max_attempts",
+                   help="chunk attempts before it is parked failed")
+    p.add_argument("--max-chunks", type=int, default=None, dest="max_chunks",
+                   help="stop after this many chunks")
+    p.add_argument("--idle-exit", type=float, default=5.0, dest="idle_exit",
+                   help="exit after this many idle seconds")
+    p.add_argument("--once", action="store_true",
+                   help="exit on the first idle poll (drain mode)")
+    p.add_argument("--points-limit", type=int, default=None,
+                   dest="points_limit",
+                   help="crash rehearsal: hard-exit after computing N points")
+    p.add_argument("--stats-json", default=None, dest="stats_json",
+                   help="write worker stats + cache counters to this file")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "serve",

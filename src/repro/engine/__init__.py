@@ -7,7 +7,12 @@ The scaling substrate under every sweep, bench, and array assay:
   capture);
 * :class:`ResultCache` — deterministic on-disk memoization keyed by a
   stable content hash, with versioned invalidation and hit/miss
-  counters;
+  counters — and :class:`TieredCache`, its memory → sharded-disk →
+  remote-store extension with per-tier counters;
+* :mod:`~repro.engine.fabric` — the distributed sweep fabric:
+  :class:`FabricWorker` nodes lease grid chunks from the service job
+  store and stream results through the tiered cache
+  (:func:`run_fabric_sweep` is the one-call coordinator);
 * :class:`StageTimer` — per-stage wall-clock timing so benches report
   real speedups;
 * :mod:`~repro.engine.resilience` — deterministic fault injection
@@ -26,8 +31,25 @@ and :meth:`repro.feedback.loop.ResonantFeedbackLoop.run`
 (``backend=``) are the main consumers.
 """
 
-from .cache import CACHE_VERSION, CacheInfo, ResultCache, stable_hash
+from .cache import (
+    CACHE_VERSION,
+    CacheInfo,
+    FilesystemRemoteStore,
+    HTTPRemoteStore,
+    ResultCache,
+    TieredCache,
+    TieredCacheInfo,
+    TierInfo,
+    stable_hash,
+)
 from .executor import BACKENDS, BatchExecutor, BatchResult, TaskOutcome
+from .fabric import (
+    FabricWorker,
+    WorkerStats,
+    fabric_worker_id,
+    run_fabric_sweep,
+    submit_fabric_job,
+)
 from .kernel import (
     AUTO_ORDER,
     BACKENDS as KERNEL_BACKENDS,
@@ -97,10 +119,13 @@ __all__ = [
     "BreakerInfo",
     "CacheInfo",
     "CircuitBreaker",
+    "FabricWorker",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FilesystemRemoteStore",
     "FusedLoopKernel",
+    "HTTPRemoteStore",
     "KernelBatch",
     "KernelInfo",
     "KernelOp",
@@ -113,11 +138,16 @@ __all__ = [
     "StageTimer",
     "StageTiming",
     "TaskOutcome",
+    "TierInfo",
+    "TieredCache",
+    "TieredCacheInfo",
+    "WorkerStats",
     "batch_signature",
     "breaker_report",
     "cc_available",
     "cc_usable",
     "compose_stages",
+    "fabric_worker_id",
     "get_breaker",
     "inject_faults",
     "kernel_batch_threads",
@@ -132,6 +162,8 @@ __all__ = [
     "reset_compiler_probe",
     "reset_kernel_info",
     "resolve_backend",
+    "run_fabric_sweep",
     "speedup",
+    "submit_fabric_job",
     "stable_hash",
 ]

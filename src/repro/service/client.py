@@ -17,9 +17,9 @@ import urllib.request
 from typing import Any
 
 from ..errors import JobError, ServiceError
-from .jobs import JOB_TERMINAL_PHASES, JobSpec
+from .jobs import JOB_TERMINAL_PHASES, JobRecord, JobSpec
 
-__all__ = ["ServiceClient"]
+__all__ = ["RemoteFabricStore", "ServiceClient"]
 
 
 class ServiceClient:
@@ -125,3 +125,113 @@ class ServiceClient:
                     f"after {timeout}s"
                 )
             time.sleep(poll_interval)
+
+    # -- fabric (chunk-lease protocol) ---------------------------------------
+
+    def fabric_lease(self, worker_id: str, lease_seconds: float = 30.0,
+                     job_id: str | None = None) -> dict[str, Any] | None:
+        payload = self._request("POST", "/v1/fabric/lease", {
+            "worker_id": worker_id, "lease_seconds": lease_seconds,
+            "job_id": job_id,
+        })
+        return payload["chunk"]
+
+    def fabric_heartbeat(self, job_id: str, chunk_id: int, worker_id: str,
+                         lease_seconds: float = 30.0) -> bool:
+        return bool(self._request("POST", "/v1/fabric/heartbeat", {
+            "job_id": job_id, "chunk_id": chunk_id,
+            "worker_id": worker_id, "lease_seconds": lease_seconds,
+        })["ok"])
+
+    def fabric_complete(self, job_id: str, chunk_id: int,
+                        worker_id: str) -> bool:
+        return bool(self._request("POST", "/v1/fabric/complete", {
+            "job_id": job_id, "chunk_id": chunk_id, "worker_id": worker_id,
+        })["ok"])
+
+    def fabric_fail(self, job_id: str, chunk_id: int, worker_id: str,
+                    error: str, max_attempts: int = 3) -> str | None:
+        return self._request("POST", "/v1/fabric/fail", {
+            "job_id": job_id, "chunk_id": chunk_id, "worker_id": worker_id,
+            "error": error, "max_attempts": max_attempts,
+        })["state"]
+
+    def fabric_outcomes(self, job_id: str,
+                        outcomes: list[dict]) -> dict[str, Any]:
+        return self._request("POST", "/v1/fabric/outcomes", {
+            "job_id": job_id, "outcomes": outcomes,
+        })
+
+    def fabric_chunks(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/fabric/chunks/{job_id}")
+
+    def job_record(self, job_id: str) -> JobRecord:
+        """The typed job record (status payload minus view-only keys)."""
+        payload = self.status(job_id)
+        fields = set(JobRecord.__dataclass_fields__)
+        return JobRecord.from_dict(
+            {k: v for k, v in payload.items() if k in fields}
+        )
+
+
+class RemoteFabricStore:
+    """The :class:`~repro.service.store.JobStore` face of a remote server.
+
+    Adapts a :class:`ServiceClient` to the exact method subset
+    :class:`repro.engine.fabric.FabricWorker` calls, so ``repro worker
+    --url http://coordinator:8347`` runs the same leasing loop as a
+    local worker — chunk leases travel as JSON, result values travel
+    through the tiered cache's HTTP remote tier
+    (:class:`repro.engine.HTTPRemoteStore`), and the server's store
+    stays the single source of truth.
+
+    Lease expiry is the server's duty (every ``/v1/fabric/lease`` call
+    sweeps stale leases first), so :meth:`expire_chunk_leases` is a
+    deliberate no-op here.
+    """
+
+    def __init__(self, client: ServiceClient) -> None:
+        from .store import ChunkRow
+
+        self.client = client
+        self._chunk_row = ChunkRow
+
+    def get(self, job_id: str):
+        try:
+            return self.client.job_record(job_id)
+        except JobError:
+            return None
+
+    def expire_chunk_leases(self, now: float | None = None) -> int:
+        return 0
+
+    def lease_chunk(self, worker_id: str, lease_seconds: float,
+                    job_id: str | None = None):
+        chunk = self.client.fabric_lease(worker_id, lease_seconds, job_id)
+        return self._chunk_row.from_dict(chunk) if chunk is not None else None
+
+    def heartbeat_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                        lease_seconds: float) -> bool:
+        return self.client.fabric_heartbeat(job_id, chunk_id, worker_id,
+                                            lease_seconds)
+
+    def complete_chunk(self, job_id: str, chunk_id: int,
+                       worker_id: str) -> bool:
+        return self.client.fabric_complete(job_id, chunk_id, worker_id)
+
+    def fail_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                   error: str, max_attempts: int = 3) -> str | None:
+        return self.client.fabric_fail(job_id, chunk_id, worker_id, error,
+                                       max_attempts)
+
+    def record_outcomes(self, job_id: str, outcomes) -> None:
+        self.client.fabric_outcomes(
+            job_id, [o.to_dict() for o in outcomes]
+        )
+
+    def chunk_counts(self, job_id: str) -> dict[str, int]:
+        return self.client.fabric_chunks(job_id)["counts"]
+
+    def chunks(self, job_id: str):
+        return [self._chunk_row.from_dict(c)
+                for c in self.client.fabric_chunks(job_id)["chunks"]]

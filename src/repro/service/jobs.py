@@ -116,6 +116,12 @@ class JobSpec:
         :func:`repro.analysis.run_sweep_outcomes`; results are
         backend-independent (the engine's bit-exactness contract), so
         none of these enter :meth:`work_hash` either.
+    fabric / chunk_size:
+        Distribution knobs: ``fabric=True`` splits the grid into
+        ``chunk_size``-point lease chunks executed by ``repro worker``
+        nodes instead of the in-process pump.  Pure executor knobs —
+        the fabric keeps bit-exactness, so neither enters
+        :meth:`work_hash`.
     """
 
     base: Mapping[str, Any]
@@ -128,6 +134,8 @@ class JobSpec:
     workers: int | None = None
     retries: int | None = None
     timeout: float | None = None
+    fabric: bool = False
+    chunk_size: int = 8
 
     def __post_init__(self) -> None:
         from ..engine.executor import BACKENDS
@@ -170,6 +178,11 @@ class JobSpec:
             isinstance(self.timeout, (int, float)) and self.timeout > 0
         ):
             _fail("timeout", f"must be > 0, got {self.timeout!r}")
+        if not isinstance(self.fabric, bool):
+            _fail("fabric", f"expected a bool, got {self.fabric!r}")
+        if not isinstance(self.chunk_size, int) \
+                or isinstance(self.chunk_size, bool) or self.chunk_size < 1:
+            _fail("chunk_size", f"must be an int >= 1, got {self.chunk_size!r}")
 
     # -- idempotency ---------------------------------------------------------
 
@@ -204,6 +217,8 @@ class JobSpec:
             "workers": self.workers,
             "retries": self.retries,
             "timeout": self.timeout,
+            "fabric": self.fabric,
+            "chunk_size": self.chunk_size,
         }
 
     @classmethod

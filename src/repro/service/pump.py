@@ -304,6 +304,10 @@ class WorkerPump:
 
     def _worker_loop(self) -> None:
         while not self._stop.is_set():
+            try:
+                self._fabric_tick()
+            except Exception:  # pragma: no cover - tick must never kill pump
+                logger.exception("fabric tick failed")
             record = self._claim_next()
             if record is None:
                 self._stop.wait(self.poll_interval)
@@ -322,8 +326,48 @@ class WorkerPump:
                 with self._lock:
                     self._cancel_events.pop(record.job_id, None)
 
+    def _fabric_tick(self) -> None:
+        """Watchdog + finalizer duty for chunk-leased fabric jobs.
+
+        Fabric jobs are executed by leased :class:`~repro.engine.fabric`
+        workers, not by this pump — but the pump is the always-on
+        process, so it plays coordinator: expire stale chunk leases
+        (dead worker ⇒ chunks requeue), move a queued fabric job to
+        ``running`` once workers may lease it, and settle the job when
+        every chunk is done (assemble the result blob from the cache)
+        or permanently failed.
+        """
+        from ..engine.fabric import finalize_fabric_job
+
+        self.store.expire_chunk_leases()
+        fabric = [
+            r for r in self.store.list_jobs()
+            if r.spec.fabric and r.state.phase in ("queued", "running")
+        ]
+        for record in fabric:
+            counts = self.store.chunk_counts(record.job_id)
+            total = sum(counts.values())
+            if not total:
+                continue
+            if record.state.phase == "queued":
+                claimed = self.store.claim(record.job_id)
+                if claimed is None:
+                    continue
+                record = claimed
+            if counts.get("done", 0) == total:
+                finalize_fabric_job(self.store, self.cache, record)
+            elif counts.get("failed", 0) and \
+                    counts.get("done", 0) + counts["failed"] == total:
+                first = next(c for c in self.store.chunks(record.job_id)
+                             if c.state == "failed")
+                self.store.update(record.advanced(
+                    phase="failed", finished_at=time.time(),
+                    error=first.error,
+                ))
+
     def _claim_next(self) -> JobRecord | None:
-        queued = self.store.list_jobs(phase="queued")
+        queued = [r for r in self.store.list_jobs(phase="queued")
+                  if not r.spec.fabric]
         if not queued:
             return None
         running = self.store.list_jobs(phase="running")

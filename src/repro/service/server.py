@@ -27,6 +27,14 @@ status):
                                              row per line)
 ``POST /v1/jobs/<id>/cancel``                request cancellation (also
 ``DELETE /v1/jobs/<id>``                     honored for queued jobs)
+``POST /v1/fabric/lease``                    lease one sweep chunk for a
+                                             ``repro worker`` node
+``POST /v1/fabric/heartbeat|complete|fail``  chunk lease lifecycle
+``POST /v1/fabric/outcomes``                 bulk per-point outcome upsert
+``GET  /v1/fabric/chunks/<id>``              chunk table + counts of a job
+``GET|PUT /v1/cache/<key>``                  raw checksummed cache payloads
+                                             (the remote tier transport;
+                                             PUT re-validates the checksum)
 ===========================================  =================================
 
 The facade is deliberately transport-free: tests and in-process
@@ -123,6 +131,13 @@ class ReproService:
             dedup_of=primary.job_id if primary is not None else None,
         )
         self.store.put(record)
+        if spec.fabric:
+            from ..analysis import plan_chunks
+
+            self.store.create_chunks(
+                record.job_id,
+                plan_chunks(len(spec.values), spec.chunk_size),
+            )
         return record
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -207,8 +222,71 @@ class ReproService:
                 "corruptions": info.corruptions,
             },
         }
+        tiers = getattr(info, "tiers", ())
+        if tiers:
+            snapshot["service"]["cache"]["tiers"] = [
+                tier.as_dict() for tier in tiers
+            ]
         snapshot["ok"] = bool(snapshot["ok"] and self.pump.alive)
         return snapshot
+
+    # -- fabric (chunk-leasing workers) --------------------------------------
+
+    def fabric_lease(self, worker_id: str, lease_seconds: float,
+                     job_id: str | None = None) -> dict[str, Any] | None:
+        """Expire stale leases, then lease one chunk for ``worker_id``."""
+        self.store.expire_chunk_leases()
+        chunk = self.store.lease_chunk(worker_id, lease_seconds, job_id)
+        return chunk.to_dict() if chunk is not None else None
+
+    def fabric_heartbeat(self, job_id: str, chunk_id: int, worker_id: str,
+                         lease_seconds: float) -> dict[str, Any]:
+        ok = self.store.heartbeat_chunk(job_id, chunk_id, worker_id,
+                                        lease_seconds)
+        return {"ok": ok}
+
+    def fabric_complete(self, job_id: str, chunk_id: int,
+                        worker_id: str) -> dict[str, Any]:
+        ok = self.store.complete_chunk(job_id, chunk_id, worker_id)
+        return {"ok": ok}
+
+    def fabric_fail(self, job_id: str, chunk_id: int, worker_id: str,
+                    error: str, max_attempts: int = 3) -> dict[str, Any]:
+        state = self.store.fail_chunk(job_id, chunk_id, worker_id, error,
+                                      max_attempts)
+        return {"state": state}
+
+    def fabric_outcomes(self, job_id: str,
+                        outcomes: list[dict]) -> dict[str, Any]:
+        from .store import PointOutcome
+
+        self._get(job_id)
+        rows = [PointOutcome(**{k: o[k] for k in
+                                ("index", "ok", "cached", "retries",
+                                 "error", "health") if k in o})
+                for o in outcomes]
+        self.store.record_outcomes(job_id, rows)
+        return {"ok": True, "recorded": len(rows)}
+
+    def fabric_chunks(self, job_id: str) -> dict[str, Any]:
+        self._get(job_id)
+        return {
+            "counts": self.store.chunk_counts(job_id),
+            "chunks": [c.to_dict() for c in self.store.chunks(job_id)],
+        }
+
+    def cache_export(self, key: str) -> bytes | None:
+        """Raw checksummed cache payload, or None (needs a TieredCache)."""
+        export = getattr(self.cache, "export_entry", None)
+        if export is None:
+            raise ServiceError("cache tier transport needs a TieredCache")
+        return export(key)
+
+    def cache_import(self, key: str, raw: bytes) -> bool:
+        imp = getattr(self.cache, "import_entry", None)
+        if imp is None:
+            raise ServiceError("cache tier transport needs a TieredCache")
+        return imp(key, raw)
 
     def _get(self, job_id: str) -> JobRecord:
         record = self.store.get(job_id)
@@ -242,6 +320,17 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_error(self, status: int, message: str) -> None:
         self._send_json(status, {"error": message})
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_raw(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
 
     def _read_body(self):
         length = int(self.headers.get("Content-Length") or 0)
@@ -281,6 +370,10 @@ class _Handler(BaseHTTPRequestHandler):
             payload = service.health()
             self._send_json(200 if payload["ok"] else 503, payload)
             return True
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "cache":
+            return self._route_cache(method, parts[2:])
+        if len(parts) >= 2 and parts[0] == "v1" and parts[1] == "fabric":
+            return self._route_fabric(method, parts[2:])
         if len(parts) < 2 or parts[0] != "v1" or parts[1] != "jobs":
             return False
         rest = parts[2:]
@@ -329,6 +422,76 @@ class _Handler(BaseHTTPRequestHandler):
             return True
         return False
 
+    def _route_cache(self, method: str, rest: list[str]) -> bool:
+        """``GET|PUT /v1/cache/<key>`` — the tier-transport blob API.
+
+        Raw octet streams, not JSON: the body is the cache's
+        checksummed payload verbatim, and PUT re-validates checksum and
+        key before accepting (a corrupt or mislabeled blob gets a 400,
+        never a cache entry).
+        """
+        if len(rest) != 1 or not rest[0]:
+            return False
+        key = rest[0]
+        if method == "GET":
+            raw = self.service.cache_export(key)
+            if raw is None:
+                self._send_error(404, f"no cache entry {key!r}")
+            else:
+                self._send_bytes(200, raw)
+            return True
+        if method == "PUT":
+            if self.service.cache_import(key, self._read_raw()):
+                self._send_json(200, {"ok": True})
+            else:
+                self._send_error(400, f"rejected cache payload for {key!r}")
+            return True
+        return False
+
+    def _route_fabric(self, method: str, rest: list[str]) -> bool:
+        """``POST /v1/fabric/<verb>`` — the chunk-lease wire protocol."""
+        service = self.service
+        if method == "GET" and len(rest) == 2 and rest[0] == "chunks":
+            self._send_json(200, service.fabric_chunks(rest[1]))
+            return True
+        if method != "POST" or len(rest) != 1:
+            return False
+        body = self._read_body()
+        if rest[0] == "lease":
+            chunk = service.fabric_lease(
+                str(body["worker_id"]),
+                float(body.get("lease_seconds", 30.0)),
+                body.get("job_id"),
+            )
+            self._send_json(200, {"chunk": chunk})
+            return True
+        if rest[0] == "heartbeat":
+            self._send_json(200, service.fabric_heartbeat(
+                str(body["job_id"]), int(body["chunk_id"]),
+                str(body["worker_id"]),
+                float(body.get("lease_seconds", 30.0)),
+            ))
+            return True
+        if rest[0] == "complete":
+            self._send_json(200, service.fabric_complete(
+                str(body["job_id"]), int(body["chunk_id"]),
+                str(body["worker_id"]),
+            ))
+            return True
+        if rest[0] == "fail":
+            self._send_json(200, service.fabric_fail(
+                str(body["job_id"]), int(body["chunk_id"]),
+                str(body["worker_id"]), str(body.get("error", "")),
+                int(body.get("max_attempts", 3)),
+            ))
+            return True
+        if rest[0] == "outcomes":
+            self._send_json(200, service.fabric_outcomes(
+                str(body["job_id"]), list(body.get("outcomes", ())),
+            ))
+            return True
+        return False
+
     def _stream_ndjson(self, payload: dict) -> None:
         """One JSON line per grid point (the streaming fetch path)."""
         names = list(payload.get("columns", {}))
@@ -359,6 +522,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_DELETE(self) -> None:  # noqa: N802
         self._dispatch("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._dispatch("PUT")
 
 
 class ReproHTTPServer(ThreadingHTTPServer):

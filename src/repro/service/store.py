@@ -39,8 +39,10 @@ from ..errors import ServiceError
 from .jobs import JobRecord, JobSpec, JobState
 
 __all__ = [
+    "CHUNK_STATES",
     "MIGRATIONS",
     "SCHEMA_VERSION",
+    "ChunkRow",
     "JobStore",
     "PointOutcome",
     "SQLiteJobStore",
@@ -93,7 +95,36 @@ MIGRATIONS: tuple[tuple[int, tuple[str, ...]], ...] = (
             "ALTER TABLE jobs ADD COLUMN resilience_json TEXT",
         ),
     ),
+    (
+        3,
+        (
+            # sweep-fabric chunk leases: a fabric job's grid is split
+            # into contiguous [start, stop) slices that workers lease,
+            # heartbeat, and complete.  Lease expiry requeues the chunk;
+            # attempts accumulate across leases so repeated failure can
+            # park a chunk as 'failed' instead of looping forever.
+            """
+            CREATE TABLE IF NOT EXISTS chunks (
+                job_id            TEXT NOT NULL,
+                chunk_id          INTEGER NOT NULL,
+                start             INTEGER NOT NULL,
+                stop              INTEGER NOT NULL,
+                state             TEXT NOT NULL DEFAULT 'queued',
+                worker_id         TEXT,
+                lease_expires_at  REAL,
+                attempts          INTEGER NOT NULL DEFAULT 0,
+                error             TEXT NOT NULL DEFAULT '',
+                updated_at        REAL NOT NULL,
+                PRIMARY KEY (job_id, chunk_id)
+            )
+            """,
+            "CREATE INDEX IF NOT EXISTS idx_chunks_state ON chunks (state)",
+        ),
+    ),
 )
+
+#: Lifecycle of one fabric chunk row.
+CHUNK_STATES = ("queued", "leased", "done", "failed")
 
 #: The schema version a fresh store is created at.
 SCHEMA_VERSION = MIGRATIONS[-1][0]
@@ -133,6 +164,54 @@ class PointOutcome:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         verdict = "ok" if self.ok else f"error={self.error!r}"
         return f"PointOutcome(index={self.index}, {verdict})"
+
+
+class ChunkRow:
+    """One fabric chunk: a leased ``[start, stop)`` slice of a job's grid."""
+
+    __slots__ = ("job_id", "chunk_id", "start", "stop", "state",
+                 "worker_id", "lease_expires_at", "attempts", "error")
+
+    def __init__(self, job_id: str, chunk_id: int, start: int, stop: int,
+                 state: str = "queued", worker_id: str | None = None,
+                 lease_expires_at: float | None = None, attempts: int = 0,
+                 error: str = "") -> None:
+        self.job_id = str(job_id)
+        self.chunk_id = int(chunk_id)
+        self.start = int(start)
+        self.stop = int(stop)
+        self.state = str(state)
+        self.worker_id = worker_id
+        self.lease_expires_at = lease_expires_at
+        self.attempts = int(attempts)
+        self.error = str(error)
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "chunk_id": self.chunk_id,
+            "start": self.start,
+            "stop": self.stop,
+            "state": self.state,
+            "worker_id": self.worker_id,
+            "lease_expires_at": self.lease_expires_at,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ChunkRow":
+        return cls(**{slot: data[slot] for slot in cls.__slots__})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChunkRow({self.job_id}/{self.chunk_id} "
+            f"[{self.start}:{self.stop}) {self.state})"
+        )
 
 
 class JobStore:
@@ -180,12 +259,75 @@ class JobStore:
         """Upsert one per-point outcome row."""
         raise NotImplementedError
 
+    def record_outcomes(self, job_id: str,
+                        outcomes: Sequence[PointOutcome]) -> None:
+        """Bulk upsert; backends may override with one transaction."""
+        for outcome in outcomes:
+            self.record_outcome(job_id, outcome)
+
     def outcomes(self, job_id: str) -> list[PointOutcome]:
         """All persisted point outcomes of a job, in grid order."""
         raise NotImplementedError
 
     def counts(self) -> dict[str, int]:
         """Jobs per phase (zero-phases omitted)."""
+        raise NotImplementedError
+
+    # -- fabric chunk leases -------------------------------------------------
+
+    def create_chunks(self, job_id: str,
+                      bounds: Sequence[tuple[int, int]]) -> int:
+        """Insert queued chunk rows (idempotent); returns rows created.
+
+        Re-submitting the same job's chunk plan is a no-op for rows that
+        already exist, so resume-after-crash never duplicates work.
+        """
+        raise NotImplementedError
+
+    def lease_chunk(self, worker_id: str, lease_seconds: float,
+                    job_id: str | None = None) -> ChunkRow | None:
+        """Atomically lease the oldest queued chunk; None when idle.
+
+        Exactly one worker wins each chunk (CAS on state); the lease
+        expires at ``now + lease_seconds`` unless heartbeat-extended.
+        """
+        raise NotImplementedError
+
+    def heartbeat_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                        lease_seconds: float) -> bool:
+        """Extend a held lease; False when it was lost (expired/requeued)."""
+        raise NotImplementedError
+
+    def complete_chunk(self, job_id: str, chunk_id: int,
+                       worker_id: str) -> bool:
+        """Mark a held lease done; False when the lease was lost."""
+        raise NotImplementedError
+
+    def fail_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                   error: str, max_attempts: int = 3) -> str | None:
+        """Record a chunk failure; the chunk's new state, or None.
+
+        Requeues the chunk until its accumulated attempts reach
+        ``max_attempts``, then parks it as ``'failed'``.  Returns None
+        when the caller no longer held the lease.
+        """
+        raise NotImplementedError
+
+    def expire_chunk_leases(self, now: float | None = None) -> int:
+        """Requeue every leased chunk whose lease expired; returns count.
+
+        The fabric's watchdog: a worker that died (or lost its network)
+        stops heartbeating, its leases lapse, and the chunks go back in
+        the queue for a live worker.
+        """
+        raise NotImplementedError
+
+    def chunks(self, job_id: str) -> list[ChunkRow]:
+        """All chunk rows of a job, in chunk order."""
+        raise NotImplementedError
+
+    def chunk_counts(self, job_id: str) -> dict[str, int]:
+        """Chunks per state for one job (zero-states omitted)."""
         raise NotImplementedError
 
     def close(self) -> None:
@@ -476,3 +618,141 @@ class SQLiteJobStore(JobStore):
                 "SELECT phase, COUNT(*) AS n FROM jobs GROUP BY phase"
             ).fetchall()
         return {row["phase"]: row["n"] for row in rows}
+
+    # -- fabric chunk leases -------------------------------------------------
+
+    @staticmethod
+    def _chunk_from_row(row: sqlite3.Row) -> ChunkRow:
+        return ChunkRow(
+            job_id=row["job_id"], chunk_id=row["chunk_id"],
+            start=row["start"], stop=row["stop"], state=row["state"],
+            worker_id=row["worker_id"],
+            lease_expires_at=row["lease_expires_at"],
+            attempts=row["attempts"], error=row["error"],
+        )
+
+    def create_chunks(self, job_id: str,
+                      bounds: Sequence[tuple[int, int]]) -> int:
+        now = time.time()
+        with self._conn() as conn:
+            cur = conn.executemany(
+                "INSERT OR IGNORE INTO chunks "
+                "(job_id, chunk_id, start, stop, state, updated_at) "
+                "VALUES (?, ?, ?, ?, 'queued', ?)",
+                [
+                    (job_id, i, int(start), int(stop), now)
+                    for i, (start, stop) in enumerate(bounds)
+                ],
+            )
+            return max(cur.rowcount, 0)
+
+    def lease_chunk(self, worker_id: str, lease_seconds: float,
+                    job_id: str | None = None) -> ChunkRow | None:
+        """Select-then-CAS loop: the UPDATE's state guard picks one winner."""
+        where = "state = 'queued'"
+        params: list = []
+        if job_id is not None:
+            where += " AND job_id = ?"
+            params.append(job_id)
+        for _ in range(8):
+            now = time.time()
+            with self._conn() as conn:
+                row = conn.execute(
+                    f"SELECT job_id, chunk_id FROM chunks WHERE {where} "
+                    "ORDER BY job_id, chunk_id LIMIT 1", params
+                ).fetchone()
+                if row is None:
+                    return None
+                cur = conn.execute(
+                    "UPDATE chunks SET state = 'leased', worker_id = ?, "
+                    "lease_expires_at = ?, attempts = attempts + 1, "
+                    "updated_at = ? "
+                    "WHERE job_id = ? AND chunk_id = ? AND state = 'queued'",
+                    (worker_id, now + float(lease_seconds), now,
+                     row["job_id"], row["chunk_id"]),
+                )
+                if cur.rowcount == 1:
+                    full = conn.execute(
+                        "SELECT * FROM chunks "
+                        "WHERE job_id = ? AND chunk_id = ?",
+                        (row["job_id"], row["chunk_id"]),
+                    ).fetchone()
+                    return self._chunk_from_row(full)
+        return None  # pragma: no cover - 8 straight lost races
+
+    def heartbeat_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                        lease_seconds: float) -> bool:
+        now = time.time()
+        with self._conn() as conn:
+            cur = conn.execute(
+                "UPDATE chunks SET lease_expires_at = ?, updated_at = ? "
+                "WHERE job_id = ? AND chunk_id = ? AND state = 'leased' "
+                "AND worker_id = ?",
+                (now + float(lease_seconds), now, job_id, chunk_id,
+                 worker_id),
+            )
+            return cur.rowcount == 1
+
+    def complete_chunk(self, job_id: str, chunk_id: int,
+                       worker_id: str) -> bool:
+        now = time.time()
+        with self._conn() as conn:
+            cur = conn.execute(
+                "UPDATE chunks SET state = 'done', lease_expires_at = NULL, "
+                "error = '', updated_at = ? "
+                "WHERE job_id = ? AND chunk_id = ? AND state = 'leased' "
+                "AND worker_id = ?",
+                (now, job_id, chunk_id, worker_id),
+            )
+            return cur.rowcount == 1
+
+    def fail_chunk(self, job_id: str, chunk_id: int, worker_id: str,
+                   error: str, max_attempts: int = 3) -> str | None:
+        now = time.time()
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT attempts FROM chunks "
+                "WHERE job_id = ? AND chunk_id = ? AND state = 'leased' "
+                "AND worker_id = ?",
+                (job_id, chunk_id, worker_id),
+            ).fetchone()
+            if row is None:
+                return None
+            state = "failed" if row["attempts"] >= int(max_attempts) \
+                else "queued"
+            conn.execute(
+                "UPDATE chunks SET state = ?, worker_id = NULL, "
+                "lease_expires_at = NULL, error = ?, updated_at = ? "
+                "WHERE job_id = ? AND chunk_id = ? AND state = 'leased' "
+                "AND worker_id = ?",
+                (state, str(error), now, job_id, chunk_id, worker_id),
+            )
+            return state
+
+    def expire_chunk_leases(self, now: float | None = None) -> int:
+        now = time.time() if now is None else float(now)
+        with self._conn() as conn:
+            cur = conn.execute(
+                "UPDATE chunks SET state = 'queued', worker_id = NULL, "
+                "lease_expires_at = NULL, updated_at = ? "
+                "WHERE state = 'leased' AND lease_expires_at < ?",
+                (now, now),
+            )
+            return max(cur.rowcount, 0)
+
+    def chunks(self, job_id: str) -> list[ChunkRow]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT * FROM chunks WHERE job_id = ? ORDER BY chunk_id",
+                (job_id,),
+            ).fetchall()
+        return [self._chunk_from_row(r) for r in rows]
+
+    def chunk_counts(self, job_id: str) -> dict[str, int]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) AS n FROM chunks "
+                "WHERE job_id = ? GROUP BY state",
+                (job_id,),
+            ).fetchall()
+        return {row["state"]: row["n"] for row in rows}

@@ -18,7 +18,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import pickle
 
-from repro.engine import ResultCache
+from repro.engine import FilesystemRemoteStore, ResultCache, TieredCache
 
 
 def _writer(cache_dir, worker, keys_per_worker, barrier, results):
@@ -131,3 +131,76 @@ def test_payloads_survive_pickling_boundary(tmp_path):
     payload = {"cols": {"a": [1.5, None, 3.25]}, "n": 3}
     cache.put("k", payload)
     assert cache.get("k") == pickle.loads(pickle.dumps(payload))
+
+
+# -- tiered path --------------------------------------------------------------
+
+
+def _tiered_writer(cache_dir, worker, keys_per_worker, barrier, results):
+    """Hammer one shared *tiered* directory + one shared remote store.
+
+    Both processes write disjoint keys through all three tiers, then
+    read back their own keys and a sample of the sibling's (which must
+    arrive via disk or the shared remote, never torn).
+    """
+    shared = FilesystemRemoteStore(cache_dir + "-remote")
+    cache = TieredCache(cache_dir, memory_entries=8, remote=shared)
+    barrier.wait()
+    wrote, read_back = 0, 0
+    for i in range(keys_per_worker):
+        cache.put(f"worker{worker}-key{i}", {"worker": worker, "i": i})
+        wrote += 1
+    for i in range(keys_per_worker):
+        value = cache.get(f"worker{worker}-key{i}")
+        if value is not cache.MISS and value["i"] == i:
+            read_back += 1
+    sibling_seen = 0
+    for i in range(keys_per_worker):
+        value = cache.get(f"worker{1 - worker}-key{i}")
+        if value is not cache.MISS:
+            assert value == {"worker": 1 - worker, "i": i}
+            sibling_seen += 1
+    results.put((worker, wrote, read_back, sibling_seen))
+
+
+def test_two_processes_tiered_shared_directory_no_corruption(tmp_path):
+    """The fabric path: two nodes, one sharded dir, one remote store."""
+    cache_dir = str(tmp_path / "cache")
+    keys = 25
+    ctx = mp.get_context("spawn")
+    results = ctx.Queue()
+    barrier = ctx.Barrier(2)
+    workers = [
+        ctx.Process(target=_tiered_writer,
+                    args=(cache_dir, w, keys, barrier, results))
+        for w in range(2)
+    ]
+    for p in workers:
+        p.start()
+    for p in workers:
+        p.join(timeout=120)
+        assert p.exitcode == 0, f"worker crashed with exit code {p.exitcode}"
+    reports = [results.get(timeout=10) for _ in workers]
+    for _worker, wrote, read_back, _sibling in reports:
+        assert wrote == keys
+        assert read_back == keys
+
+    # a third process sees every entry intact through every tier
+    cache = TieredCache(cache_dir, remote=FilesystemRemoteStore(
+        cache_dir + "-remote"))
+    intact, damaged = cache.verify(evict=False)
+    assert damaged == 0
+    assert intact == 2 * keys
+    for worker in (0, 1):
+        for i in range(keys):
+            assert cache.get(f"worker{worker}-key{i}") == {
+                "worker": worker, "i": i,
+            }
+    info = cache.cache_info()
+    assert info.misses == 0
+
+    # a node with a cold local disk still sees everything via the remote
+    cold = TieredCache(str(tmp_path / "cold"),
+                       remote=FilesystemRemoteStore(cache_dir + "-remote"))
+    assert cold.get("worker0-key0") == {"worker": 0, "i": 0}
+    assert cold.cache_info().tier("remote").hits == 1

@@ -1,0 +1,253 @@
+"""TieredCache semantics: memory LRU, sharded disk, remote store.
+
+The distributed fabric hangs its zero-recompute guarantee on this
+cache, so the tier mechanics are pinned here:
+
+* shard-by-hash-prefix disk layout (and transparent migration of
+  legacy flat-layout entries);
+* promotion on hit — a disk hit lands in memory, a remote hit lands on
+  disk *and* in memory — observable through per-tier counters;
+* bounded memory with LRU eviction (evictions counted, never lost
+  data: the disk copy remains);
+* checksummed raw import/export (the HTTP tier transport) rejecting
+  tampered or mislabeled payloads;
+* aggregate ``CacheInfo`` counters staying backward-compatible
+  (``hits + misses == requests`` regardless of which tier answered).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.engine import (
+    CACHE_VERSION,
+    FilesystemRemoteStore,
+    ResultCache,
+    TieredCache,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TieredCache(tmp_path / "cache", memory_entries=4)
+
+
+def tier(cache, name):
+    return cache.cache_info().tier(name)
+
+
+class TestShardLayout:
+    def test_entries_land_in_prefix_shards(self, cache):
+        cache.put("abcdef", {"v": 1})
+        path = cache.directory / "ab" / "abcdef.pkl"
+        assert path.is_file()
+
+    def test_shard_width_is_respected(self, tmp_path):
+        wide = TieredCache(tmp_path / "w", shard_width=3)
+        wide.put("abcdef", {"v": 1})
+        assert (wide.directory / "abc" / "abcdef.pkl").is_file()
+
+    def test_bad_shard_width_rejected(self, tmp_path):
+        from repro.errors import CacheError
+
+        with pytest.raises(CacheError, match="shard_width"):
+            TieredCache(tmp_path / "bad", shard_width=0)
+
+    def test_verify_walks_sharded_layout(self, cache):
+        for i in range(6):
+            cache.put(f"key-{i}", {"i": i})
+        intact, damaged = cache.verify(evict=False)
+        assert (intact, damaged) == (6, 0)
+
+    def test_clear_empties_shards_and_memory(self, cache):
+        cache.put("abcdef", {"v": 1})
+        assert cache.clear() == 1
+        assert cache.get("abcdef") is cache.MISS
+        assert tier(cache, "memory").hits == 0
+
+
+class TestLegacyFlatLayout:
+    def test_flat_entry_is_found_and_resharded(self, tmp_path):
+        flat = ResultCache(tmp_path / "cache")
+        flat.put("abcdef", {"v": 42})
+        assert (tmp_path / "cache" / "abcdef.pkl").is_file()
+
+        tiered = TieredCache(tmp_path / "cache")
+        assert tiered.get("abcdef") == {"v": 42}
+        # transparently migrated into its shard; flat copy gone
+        assert (tmp_path / "cache" / "ab" / "abcdef.pkl").is_file()
+        assert not (tmp_path / "cache" / "abcdef.pkl").exists()
+        # and still a hit afterwards
+        assert tiered.get("abcdef") == {"v": 42}
+
+
+class TestPromotion:
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        TieredCache(tmp_path / "cache").put("k", {"v": 1})
+        cache = TieredCache(tmp_path / "cache", memory_entries=4)
+        assert cache.get("k") == {"v": 1}          # disk hit, promoted
+        assert cache.get("k") == {"v": 1}          # memory hit
+        info = cache.cache_info()
+        assert info.tier("disk").hits == 1
+        assert info.tier("memory").hits == 1
+        assert info.tier("memory").promotions == 1
+
+    def test_put_populates_memory(self, cache):
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert tier(cache, "memory").hits == 1
+        assert tier(cache, "disk").hits == 0
+
+    def test_memory_hit_returns_fresh_object(self, cache):
+        cache.put("k", {"v": [1, 2]})
+        first = cache.get("k")
+        first["v"].append(3)  # caller mutates its copy
+        assert cache.get("k") == {"v": [1, 2]}
+
+    def test_memory_disabled_with_zero_entries(self, tmp_path):
+        cache = TieredCache(tmp_path / "cache", memory_entries=0)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        assert cache.cache_info().tier("memory").hits == 0
+
+
+class TestLruEviction:
+    def test_overflow_evicts_oldest_and_counts(self, cache):
+        for i in range(6):                       # memory_entries=4
+            cache.put(f"key-{i}", {"i": i})
+        info = cache.cache_info()
+        assert info.tier("memory").evictions == 2
+        # evicted keys still served (from disk) and re-promoted
+        assert cache.get("key-0") == {"i": 0}
+        assert cache.cache_info().tier("disk").hits == 1
+
+    def test_lru_order_is_recency_not_insertion(self, cache):
+        for i in range(4):
+            cache.put(f"key-{i}", {"i": i})
+        assert cache.get("key-0") == {"i": 0}    # refresh key-0
+        cache.put("key-4", {"i": 4})             # evicts key-1, not key-0
+        info_before = cache.cache_info().tier("disk").hits
+        assert cache.get("key-0") == {"i": 0}    # still in memory
+        assert cache.cache_info().tier("disk").hits == info_before
+
+
+class TestRemoteTier:
+    def make_pair(self, tmp_path):
+        shared = FilesystemRemoteStore(tmp_path / "shared")
+        a = TieredCache(tmp_path / "node-a", remote=shared)
+        b = TieredCache(tmp_path / "node-b", remote=shared)
+        return a, b
+
+    def test_put_replicates_to_remote(self, tmp_path):
+        a, b = self.make_pair(tmp_path)
+        a.put("k", {"v": 7})
+        assert a.cache_info().tier("remote").stores == 1
+        assert b.get("k") == {"v": 7}
+        info = b.cache_info()
+        assert info.tier("remote").hits == 1
+        assert info.hits == 1 and info.misses == 0
+
+    def test_remote_hit_promotes_to_local_disk(self, tmp_path):
+        a, b = self.make_pair(tmp_path)
+        a.put("abcdef", {"v": 7})
+        assert b.get("abcdef") == {"v": 7}
+        assert (b.directory / "ab" / "abcdef.pkl").is_file()
+        assert b.cache_info().tier("disk").promotions == 1
+        # and the next read never touches the remote again
+        assert b.get("abcdef") == {"v": 7}
+        assert b.cache_info().tier("remote").hits == 1
+
+    def test_corrupt_remote_payload_is_a_miss_not_a_crash(self, tmp_path):
+        a, b = self.make_pair(tmp_path)
+        a.put("k", {"v": 7})
+        # tamper with the shared copy
+        store = FilesystemRemoteStore(tmp_path / "shared")
+        path = store._path_for("k")
+        path.write_bytes(path.read_bytes()[:-7] + b"garbage")
+        assert b.get("k") is b.MISS
+        info = b.cache_info()
+        assert info.tier("remote").errors == 1
+        assert info.misses == 1
+
+    def test_remote_write_failure_is_best_effort(self, tmp_path):
+        class Broken:
+            def get(self, key):
+                raise OSError("down")
+
+            def put(self, key, raw):
+                raise OSError("down")
+
+        cache = TieredCache(tmp_path / "cache", remote=Broken())
+        cache.put("k", {"v": 1})                  # must not raise
+        assert cache.get("k") == {"v": 1}
+        cache2 = TieredCache(tmp_path / "cache2", remote=Broken())
+        assert cache2.get("k") is cache2.MISS     # must not raise either
+        assert cache2.cache_info().tier("remote").errors >= 1
+
+
+class TestRawTransport:
+    def test_export_import_round_trip(self, tmp_path):
+        a = TieredCache(tmp_path / "a")
+        b = TieredCache(tmp_path / "b")
+        a.put("k", {"v": [1, 2, 3]})
+        raw = a.export_entry("k")
+        assert raw is not None
+        assert b.import_entry("k", raw)
+        assert b.get("k") == {"v": [1, 2, 3]}
+
+    def test_export_unknown_key_is_none(self, cache):
+        assert cache.export_entry("nope") is None
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        a = TieredCache(tmp_path / "a")
+        b = TieredCache(tmp_path / "b")
+        a.put("k", {"v": 1})
+        raw = bytearray(a.export_entry("k"))
+        raw[-3] ^= 0xFF
+        assert not b.import_entry("k", bytes(raw))
+        assert b.get("k") is b.MISS
+
+    def test_mislabeled_key_rejected(self, tmp_path):
+        a = TieredCache(tmp_path / "a")
+        b = TieredCache(tmp_path / "b")
+        a.put("k", {"v": 1})
+        raw = a.export_entry("k")
+        # replaying a valid payload under a different key must fail
+        assert not b.import_entry("other", raw)
+
+    def test_garbage_bytes_rejected(self, cache):
+        assert not cache.import_entry("k", b"not a pickle")
+        assert not cache.import_entry("k", pickle.dumps(["wrong", "shape"]))
+
+
+class TestCounterCompat:
+    def test_hits_plus_misses_equals_requests(self, tmp_path):
+        shared = FilesystemRemoteStore(tmp_path / "shared")
+        seed = TieredCache(tmp_path / "seed", remote=shared)
+        seed.put("remote-only", {"v": 3})
+
+        cache = TieredCache(tmp_path / "cache", memory_entries=2,
+                            remote=shared)
+        cache.put("local", {"v": 1})
+        assert cache.get("local") == {"v": 1}          # memory hit
+        assert cache.get("missing") is cache.MISS      # full miss
+        assert cache.get("remote-only") == {"v": 3}    # remote hit
+        info = cache.cache_info()
+        assert info.hits == 2 and info.misses == 1
+        assert info.hits + info.misses == info.requests
+        assert info.stores >= 1
+
+    def test_version_bump_still_invalidates(self, tmp_path):
+        old = TieredCache(tmp_path / "cache", version=CACHE_VERSION)
+        old.put("k", {"v": 1})
+        newer = TieredCache(tmp_path / "cache", version=CACHE_VERSION + 1)
+        assert newer.get("k") is newer.MISS
+
+    def test_is_a_result_cache(self, cache):
+        # drop-in for every cache= parameter in the library
+        assert isinstance(cache, ResultCache)
+        assert cache.get_or_compute(len, "abc") == 3
+        assert cache.get_or_compute(len, "abc") == 3
+        assert cache.cache_info().hits == 1

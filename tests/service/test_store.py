@@ -251,3 +251,127 @@ class TestOpenJobStore:
     def test_memory_store_is_rejected(self):
         with pytest.raises(ServiceError, match="memory"):
             SQLiteJobStore(":memory:")
+
+
+class TestChunks:
+    """Schema v3: the fabric's chunk-lease table."""
+
+    def make_job_with_chunks(self, store, bounds=((0, 4), (4, 8), (8, 12))):
+        record = make_record(values=tuple(float(v) for v in range(12)))
+        store.put(record)
+        assert store.create_chunks(record.job_id, bounds) == len(bounds)
+        return record
+
+    def test_create_is_idempotent(self, store):
+        record = self.make_job_with_chunks(store)
+        # resubmitting the same plan creates nothing new
+        assert store.create_chunks(
+            record.job_id, ((0, 4), (4, 8), (8, 12))) == 0
+        assert store.chunk_counts(record.job_id) == {"queued": 3}
+
+    def test_lease_wins_each_chunk_exactly_once(self, store):
+        record = self.make_job_with_chunks(store)
+        seen = set()
+        for _ in range(3):
+            chunk = store.lease_chunk("w1", 30.0, record.job_id)
+            assert chunk is not None and chunk.worker_id == "w1"
+            seen.add((chunk.start, chunk.stop))
+        assert seen == {(0, 4), (4, 8), (8, 12)}
+        assert store.lease_chunk("w2", 30.0, record.job_id) is None
+        assert store.chunk_counts(record.job_id) == {"leased": 3}
+
+    def test_lease_filters_by_job(self, store):
+        a = self.make_job_with_chunks(store, ((0, 2),))
+        b = self.make_job_with_chunks(store, ((0, 2),))
+        chunk = store.lease_chunk("w1", 30.0, b.job_id)
+        assert chunk.job_id == b.job_id
+        assert store.lease_chunk("w1", 30.0, b.job_id) is None
+        assert store.lease_chunk("w1", 30.0, a.job_id).job_id == a.job_id
+
+    def test_heartbeat_extends_only_for_the_holder(self, store):
+        record = self.make_job_with_chunks(store, ((0, 4),))
+        chunk = store.lease_chunk("w1", 30.0, record.job_id)
+        assert store.heartbeat_chunk(record.job_id, chunk.chunk_id,
+                                     "w1", 30.0)
+        assert not store.heartbeat_chunk(record.job_id, chunk.chunk_id,
+                                         "intruder", 30.0)
+
+    def test_complete_requires_the_lease(self, store):
+        record = self.make_job_with_chunks(store, ((0, 4),))
+        chunk = store.lease_chunk("w1", 30.0, record.job_id)
+        assert not store.complete_chunk(record.job_id, chunk.chunk_id,
+                                        "intruder")
+        assert store.complete_chunk(record.job_id, chunk.chunk_id, "w1")
+        assert store.chunk_counts(record.job_id) == {"done": 1}
+        # done chunks are never leased again
+        assert store.lease_chunk("w2", 30.0, record.job_id) is None
+
+    def test_fail_requeues_until_attempts_exhausted(self, store):
+        record = self.make_job_with_chunks(store, ((0, 4),))
+        chunk = store.lease_chunk("w1", 30.0, record.job_id)
+        # attempt 1 of 2: back to the queue
+        assert store.fail_chunk(record.job_id, chunk.chunk_id, "w1",
+                                "boom", max_attempts=2) == "queued"
+        chunk = store.lease_chunk("w2", 30.0, record.job_id)
+        assert chunk is not None
+        # attempt 2 of 2: parked failed
+        assert store.fail_chunk(record.job_id, chunk.chunk_id, "w2",
+                                "boom again", max_attempts=2) == "failed"
+        rows = store.chunks(record.job_id)
+        assert rows[0].state == "failed"
+        assert rows[0].error == "boom again"
+        assert store.lease_chunk("w3", 30.0, record.job_id) is None
+
+    def test_fail_by_non_holder_is_ignored(self, store):
+        record = self.make_job_with_chunks(store, ((0, 4),))
+        chunk = store.lease_chunk("w1", 30.0, record.job_id)
+        assert store.fail_chunk(record.job_id, chunk.chunk_id, "intruder",
+                                "nope") is None
+        assert store.chunk_counts(record.job_id) == {"leased": 1}
+
+    def test_expired_leases_requeue(self, store):
+        record = self.make_job_with_chunks(store, ((0, 4), (4, 8)))
+        store.lease_chunk("w1", 0.0, record.job_id)   # expires immediately
+        store.lease_chunk("w2", 60.0, record.job_id)  # still live
+        assert store.expire_chunk_leases() == 1
+        counts = store.chunk_counts(record.job_id)
+        assert counts == {"queued": 1, "leased": 1}
+        # the requeued chunk is leasable again and keeps its attempt count
+        chunk = store.lease_chunk("w3", 30.0, record.job_id)
+        assert chunk is not None
+        assert chunk.attempts == 2
+
+    def test_chunks_survive_reopen(self, tmp_path):
+        store = SQLiteJobStore(tmp_path / "jobs.sqlite")
+        record = self.make_job_with_chunks(store, ((0, 4),))
+        store.lease_chunk("w1", 60.0, record.job_id)
+        store.close()
+        reopened = SQLiteJobStore(tmp_path / "jobs.sqlite")
+        rows = reopened.chunks(record.job_id)
+        assert len(rows) == 1
+        assert rows[0].state == "leased"
+        assert rows[0].worker_id == "w1"
+
+    def test_v2_store_gains_chunks_table_on_open(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE schema_migrations ("
+            "version INTEGER PRIMARY KEY, applied_at TEXT NOT NULL)"
+        )
+        for version, statements in MIGRATIONS[:2]:
+            for statement in statements:
+                conn.execute(statement)
+            conn.execute(
+                "INSERT INTO schema_migrations VALUES "
+                f"({version}, '2025-01-01T00:00:00Z')"
+            )
+        conn.commit()
+        conn.close()
+
+        store = SQLiteJobStore(path)  # opening migrates v2 -> v3
+        assert store.schema_version() == SCHEMA_VERSION
+        record = make_record()
+        store.put(record)
+        assert store.create_chunks(record.job_id, ((0, 2),)) == 1
+        assert store.chunk_counts(record.job_id) == {"queued": 1}
