@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test lint serve-check fabric-check bench bench-json bench-batch bench-smoke kernel-check vector-check spec-check fault-check examples docs all clean
+.PHONY: install test lint serve-check fabric-check chaos-check bench bench-json bench-batch bench-smoke kernel-check vector-check spec-check fault-check examples docs all clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
@@ -32,6 +32,14 @@ serve-check:
 # bit-identical final table.
 fabric-check:
 	PYTHONPATH=src $(PYTHON) tools/fabric_check.py
+
+# Kill-anything-anytime chaos harness: six seeded fault schedules, each
+# against a real `repro serve` + `repro worker` subprocesses (SIGKILL
+# mid-chunk, remote-tier brownout, transport faults, lease skew, store
+# contention, crash-between-cache-and-complete).  Every schedule must
+# end bit-identical to the clean serial sweep with zero recomputes.
+chaos-check:
+	PYTHONPATH=src $(PYTHON) tools/chaos_check.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -116,7 +124,7 @@ docs:
 	PYTHONPATH=src $(PYTHON) tools/gen_api_docs.py > docs/API.md
 	@echo "docs/API.md regenerated"
 
-all: test vector-check bench-smoke fabric-check bench examples
+all: test vector-check bench-smoke fabric-check chaos-check bench examples
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true

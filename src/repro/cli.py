@@ -290,7 +290,9 @@ def cmd_worker(args) -> int:
 
     from .engine import HTTPRemoteStore, TieredCache
     from .engine.fabric import FabricWorker
+    from .engine.resilience import arm_env_fault_plan
 
+    arm_env_fault_plan()  # chaos harness: seeded fault plan via env
     if bool(args.url) == bool(args.db):
         print("worker: give exactly one of --url or --db", file=sys.stderr)
         return 2
@@ -320,8 +322,11 @@ def cmd_worker(args) -> int:
         max_chunks=args.max_chunks,
         idle_exit=None if args.once else args.idle_exit,
     )
+    from .service.transport import transport_report
+
     payload = {"stats": stats.to_dict(),
-               "cache": _cache_info_dict(cache)}
+               "cache": _cache_info_dict(cache),
+               "transport": transport_report()}
     if args.stats_json:
         with open(args.stats_json, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
@@ -383,6 +388,13 @@ def cmd_health(args) -> int:
         state = "OPEN" if b.open else "closed"
         print(f"breaker {b.name:<12s}: {state} "
               f"(failures {b.failures}, trips {b.trips})")
+    from .service.transport import transport_counters
+
+    t = transport_counters().snapshot()
+    print(f"transport       : {t['requests']} requests, "
+          f"{t['retries']} retries, {t['errors']} errors, "
+          f"{t['deadline_sheds']} deadline sheds, "
+          f"{t['backpressure_rejections']} backpressure rejections")
     if args.cache_dir:
         from .engine import TieredCache
 
@@ -397,6 +409,29 @@ def cmd_health(args) -> int:
                   f"evictions {tier.evictions}, errors {tier.errors}")
         return 0 if damaged == 0 else 1
     return 0
+
+
+def cmd_chaos(args) -> int:
+    """Seeded chaos schedules against a real server + worker processes."""
+    import json
+
+    from .service.chaos import run_chaos_suite
+
+    echo = (lambda _msg: None) if args.json else \
+        (lambda msg: print(msg, file=sys.stderr))
+    reports = run_chaos_suite(
+        args.workdir, seed=args.seed,
+        schedules=args.schedules.split(",") if args.schedules else None,
+        points=args.points, chunk_size=args.chunk_size,
+        duration=args.duration, keep=args.keep, echo=echo,
+    )
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    else:
+        for r in reports:
+            verdict = "PASS" if r.passed else f"FAIL  {r.error}"
+            print(f"{r.schedule:<18s} {r.duration_s:6.1f}s  {verdict}")
+    return 0 if all(r.passed for r in reports) else 1
 
 
 def _print_result_table(payload: dict) -> None:
@@ -415,6 +450,7 @@ def _print_result_table(payload: dict) -> None:
 
 def cmd_serve(args) -> int:
     from .engine import TieredCache
+    from .engine.resilience import arm_env_fault_plan
     from .service import (
         ReproHTTPServer,
         ReproService,
@@ -422,6 +458,7 @@ def cmd_serve(args) -> int:
         open_job_store,
     )
 
+    arm_env_fault_plan()  # chaos harness: seeded fault plan via env
     store = open_job_store(args.db)
     # tiered so remote fabric workers can push/pull raw cache payloads
     cache = TieredCache(args.cache_dir)
@@ -725,6 +762,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max running jobs per tenant")
     _add_set_flag(p, "set_cmd")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault schedules against a real server + workers "
+             "(kill -9, brownouts, lost heartbeats); proves bit-exact "
+             "results with zero recomputes",
+    )
+    p.add_argument("--seed", type=int, default=2026,
+                   help="suite seed; every schedule derives its own")
+    p.add_argument("--schedules", default=None,
+                   help="comma-separated subset (default: all)")
+    p.add_argument("--points", type=int, default=12,
+                   help="grid points per schedule")
+    p.add_argument("--chunk-size", type=int, default=4, dest="chunk_size",
+                   help="points per lease chunk")
+    p.add_argument("--duration", type=float, default=0.004,
+                   help="closed-loop seconds per point")
+    p.add_argument("--workdir", default=None,
+                   help="artifact directory (default: fresh temp dir)")
+    p.add_argument("--keep", action="store_true",
+                   help="keep stores/caches/stats dumps for post-mortems")
+    p.add_argument("--json", action="store_true",
+                   help="print the report list as JSON")
+    _add_set_flag(p, "set_cmd")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("submit", help="submit a sweep to a running service")
     p.add_argument("--url", default="http://127.0.0.1:8765",

@@ -84,6 +84,7 @@ from .kernel import (
 )
 from .resilience import (
     FAULT_KINDS,
+    FAULT_PLAN_ENV,
     FAULT_SITES,
     BreakerInfo,
     CircuitBreaker,
@@ -91,6 +92,7 @@ from .resilience import (
     FaultPlan,
     FaultSpec,
     RetryPolicy,
+    arm_env_fault_plan,
     breaker_report,
     get_breaker,
     inject_faults,
@@ -111,6 +113,7 @@ __all__ = [
     "COLUMNAR_ENV",
     "COLUMNAR_MIN_ENV",
     "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
     "FAULT_SITES",
     "KERNEL_BACKENDS",
     "KERNEL_THREADS_ENV",
@@ -143,6 +146,7 @@ __all__ = [
     "TieredCacheInfo",
     "WorkerStats",
     "batch_signature",
+    "arm_env_fault_plan",
     "breaker_report",
     "cc_available",
     "cc_usable",

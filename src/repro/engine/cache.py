@@ -47,6 +47,7 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 import urllib.error
 import urllib.request
 from collections import OrderedDict
@@ -56,8 +57,13 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import CacheError
-from .resilience import active_injector, corruption_offsets, poll_fault
+from ..errors import CacheError, FaultInjectionError
+from .resilience import (
+    RetryPolicy,
+    active_injector,
+    corruption_offsets,
+    poll_fault,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -396,6 +402,13 @@ class TierInfo:
     gains one on every remote hit).  ``evictions`` counts LRU drops
     (memory tier only).  ``errors`` counts failed remote round-trips —
     the remote tier is best-effort and never fails a lookup or store.
+
+    The brownout counters are remote-tier only: ``trips`` counts
+    error-threshold trips into local-only mode, ``skips`` counts remote
+    round-trips elided while tripped, ``probes`` counts the periodic
+    recovery attempts, and ``pending`` is the current depth of the
+    write-behind queue holding entries stranded by the brownout (see
+    :meth:`TieredCache.flush_remote`).
     """
 
     name: str
@@ -405,6 +418,10 @@ class TierInfo:
     promotions: int = 0
     evictions: int = 0
     errors: int = 0
+    trips: int = 0
+    skips: int = 0
+    probes: int = 0
+    pending: int = 0
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -444,18 +461,21 @@ class _TierCounters:
     """Mutable counter block behind one :class:`TierInfo` snapshot."""
 
     __slots__ = ("name", "hits", "misses", "stores", "promotions",
-                 "evictions", "errors")
+                 "evictions", "errors", "trips", "skips", "probes")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.hits = self.misses = self.stores = 0
         self.promotions = self.evictions = self.errors = 0
+        self.trips = self.skips = self.probes = 0
 
-    def info(self) -> TierInfo:
+    def info(self, pending: int = 0) -> TierInfo:
         return TierInfo(
             name=self.name, hits=self.hits, misses=self.misses,
             stores=self.stores, promotions=self.promotions,
             evictions=self.evictions, errors=self.errors,
+            trips=self.trips, skips=self.skips, probes=self.probes,
+            pending=pending,
         )
 
 
@@ -513,20 +533,68 @@ class HTTPRemoteStore:
     miss); ``PUT /v1/cache/<key>`` uploads them.  The server validates
     the checksum before accepting a blob, so a worker can never poison
     the shared store with a damaged entry.
+
+    Transient transport failures (connection refused/reset, 5xx) are
+    retried under ``retry`` — a deterministic :class:`RetryPolicy` with
+    seeded jitter.  With ``deadline`` set, every request carries an
+    absolute ``X-Repro-Deadline`` header ``deadline`` seconds in the
+    future; the server sheds (503) work it cannot start in time, and
+    this store stops retrying once the deadline has passed.
     """
 
-    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+    #: Absolute-epoch deadline header (mirrors service.transport).
+    DEADLINE_HEADER = "X-Repro-Deadline"
+
+    def __init__(
+        self, base_url: str, timeout: float = 10.0, *,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        self.retry = retry if retry is not None else RetryPolicy(
+            retries=2, base_delay=0.05, max_delay=0.5)
+        self.deadline = deadline
 
     def _url(self, key: str) -> str:
         return f"{self.base_url}/v1/cache/{key}"
 
+    def _send(self, request: urllib.request.Request) -> bytes:
+        """One logical request, retried on transient transport faults."""
+        deadline_at = None
+        if self.deadline is not None:
+            deadline_at = time.time() + self.deadline
+            request.add_header(self.DEADLINE_HEADER, f"{deadline_at:.6f}")
+        last_err: Exception | None = None
+        for attempt in range(self.retry.retries + 1):
+            try:
+                fault = poll_fault("http.request")
+                if fault is not None:
+                    if fault.kind == "hang":          # slow response
+                        time.sleep(fault.payload or 0.05)
+                    else:                             # refused / reset / 5xx
+                        raise urllib.error.URLError(
+                            ConnectionRefusedError("injected refusal"))
+                with urllib.request.urlopen(
+                        request, timeout=self.timeout) as resp:
+                    return resp.read()
+            except urllib.error.HTTPError as err:
+                if err.code < 500:
+                    raise                              # 404 etc.: not transient
+                last_err = err
+            except urllib.error.URLError as err:
+                last_err = err
+            if attempt >= self.retry.retries:
+                break
+            if deadline_at is not None and time.time() >= deadline_at:
+                break
+            time.sleep(self.retry.delay(attempt, key=request.full_url))
+        raise last_err  # type: ignore[misc]
+
     def get(self, key: str) -> bytes | None:
         request = urllib.request.Request(self._url(key), method="GET")
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-                return resp.read()
+            return self._send(request)
         except urllib.error.HTTPError as err:
             if err.code == 404:
                 return None
@@ -537,8 +605,7 @@ class HTTPRemoteStore:
             self._url(key), data=raw, method="PUT",
             headers={"Content-Type": "application/octet-stream"},
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as resp:
-            resp.read()
+        self._send(request)
 
 
 class TieredCache(ResultCache):
@@ -569,6 +636,19 @@ class TieredCache(ResultCache):
         ``tier("remote").errors``, and never raises into a sweep.
     shard_width:
         Hash-prefix length of the disk shard directories.
+    remote_trip_threshold / remote_probe_interval:
+        Brownout protection for the remote tier.  After
+        ``remote_trip_threshold`` *consecutive* remote errors the tier
+        trips to local-only mode: remote round-trips are skipped
+        (counted under ``tier("remote").skips``) except every
+        ``remote_probe_interval``-th one, which goes through as a
+        recovery probe.  Writes made while tripped queue in a bounded
+        write-behind buffer and drain on recovery or via
+        :meth:`flush_remote`.
+    pending_limit:
+        Capacity of the write-behind queue (oldest entries drop first;
+        a drop only costs a future remote miss, never correctness —
+        the local disk tier already holds the entry).
     """
 
     def __init__(
@@ -577,6 +657,9 @@ class TieredCache(ResultCache):
         memory_entries: int = 256,
         remote=None,
         shard_width: int = 2,
+        remote_trip_threshold: int = 3,
+        remote_probe_interval: int = 4,
+        pending_limit: int = 1024,
     ) -> None:
         super().__init__(directory, version)
         if memory_entries < 0:
@@ -585,11 +668,27 @@ class TieredCache(ResultCache):
             )
         if not 1 <= int(shard_width) <= 8:
             raise CacheError(f"shard_width must be in 1..8, got {shard_width}")
+        if remote_trip_threshold < 1:
+            raise CacheError(
+                f"remote_trip_threshold must be >= 1, got {remote_trip_threshold}"
+            )
+        if remote_probe_interval < 1:
+            raise CacheError(
+                f"remote_probe_interval must be >= 1, got {remote_probe_interval}"
+            )
         self.memory_entries = int(memory_entries)
         self.shard_width = int(shard_width)
         self.remote = remote
+        self.remote_trip_threshold = int(remote_trip_threshold)
+        self.remote_probe_interval = int(remote_probe_interval)
+        self.pending_limit = int(pending_limit)
         self._mem: OrderedDict[str, bytes] = OrderedDict()
         self._mem_lock = threading.Lock()
+        self._remote_lock = threading.Lock()
+        self._remote_open = False          # True while in local-only mode
+        self._remote_consecutive = 0       # consecutive remote errors
+        self._remote_skipped = 0           # gated calls since the trip
+        self._pending_remote: OrderedDict[str, bytes] = OrderedDict()
         self._tiers = {
             "memory": _TierCounters("memory"),
             "disk": _TierCounters("disk"),
@@ -681,7 +780,7 @@ class TieredCache(ResultCache):
                 value = self._decode_payload(payload, key, Path(f"{key}.pkl"))
             except Exception as err:
                 self._corruptions += 1
-                remote.errors += 1
+                self._remote_failed(key, err)
                 logger.warning("damaged remote cache entry %s: %s", key, err)
             else:
                 remote.hits += 1
@@ -711,14 +810,7 @@ class TieredCache(ResultCache):
         self._stores += 1
         self._mem_insert(key, blob, promotion=False)
         if self.remote is not None:
-            remote = self._tiers["remote"]
-            try:
-                self.remote.put(key, raw)
-            except Exception as err:
-                remote.errors += 1
-                logger.warning("remote cache store failed for %s: %s", key, err)
-            else:
-                remote.stores += 1
+            self._remote_put(key, raw)
 
     def _write_raw(self, key: str, raw: bytes) -> None:
         """Atomically place outer payload bytes at the sharded path."""
@@ -738,15 +830,149 @@ class TieredCache(ResultCache):
                 pass
             raise
 
+    # -- remote tier: brownout gate + write-behind queue ----------------------
+
+    def remote_degraded(self) -> bool:
+        """True while the remote tier is tripped to local-only mode."""
+        with self._remote_lock:
+            return self._remote_open
+
+    def _remote_gate(self) -> bool:
+        """May this operation attempt a remote round-trip right now?
+
+        Untripped: always.  Tripped (brownout): every
+        ``remote_probe_interval``-th gated call goes through as a
+        recovery probe; the rest are skipped and counted.
+        """
+        remote = self._tiers["remote"]
+        with self._remote_lock:
+            if not self._remote_open:
+                return True
+            self._remote_skipped += 1
+            if self._remote_skipped % self.remote_probe_interval == 0:
+                remote.probes += 1
+                return True
+            remote.skips += 1
+            return False
+
+    def _remote_failed(self, key: str, err: Exception) -> None:
+        """Count one remote error; trips to local-only at the threshold."""
+        remote = self._tiers["remote"]
+        remote.errors += 1
+        with self._remote_lock:
+            self._remote_consecutive += 1
+            if (not self._remote_open
+                    and self._remote_consecutive >= self.remote_trip_threshold):
+                self._remote_open = True
+                self._remote_skipped = 0
+                remote.trips += 1
+                logger.warning(
+                    "remote cache tier tripped to local-only after %d "
+                    "consecutive errors (last: %s: %s)",
+                    self._remote_consecutive, key, err,
+                )
+
+    def _remote_recovered(self) -> None:
+        """A remote round-trip succeeded: close the brownout, if open."""
+        with self._remote_lock:
+            self._remote_consecutive = 0
+            if self._remote_open:
+                self._remote_open = False
+                self._remote_skipped = 0
+                logger.info(
+                    "remote cache tier recovered; resuming write-through")
+
+    def _stash_pending(self, key: str, raw: bytes) -> None:
+        with self._remote_lock:
+            self._pending_remote[key] = raw
+            self._pending_remote.move_to_end(key)
+            while len(self._pending_remote) > self.pending_limit:
+                dropped, _ = self._pending_remote.popitem(last=False)
+                logger.warning(
+                    "pending-remote queue full; dropping %s "
+                    "(local tiers still hold it)", dropped,
+                )
+
     def _remote_get(self, key: str) -> bytes | None:
-        if self.remote is None:
+        if self.remote is None or not self._remote_gate():
+            return None
+        fault = poll_fault("cache.remote")
+        if fault is not None and fault.kind != "corrupt":
+            self._remote_failed(
+                key, FaultInjectionError("injected remote-tier fault"))
             return None
         try:
-            return self.remote.get(key)
+            raw = self.remote.get(key)
         except Exception as err:
-            self._tiers["remote"].errors += 1
+            self._remote_failed(key, err)
             logger.warning("remote cache lookup failed for %s: %s", key, err)
             return None
+        if fault is not None and raw:
+            # "corrupt": the blob was truncated in flight; the caller's
+            # checksum check catches it and counts the failure.
+            return raw[: max(1, len(raw) // 2)]
+        self._remote_recovered()
+        return raw
+
+    def _remote_put(self, key: str, raw: bytes) -> None:
+        """Best-effort write-through; failures queue for later flush."""
+        if not self._remote_gate():
+            self._stash_pending(key, raw)
+            return
+        fault = poll_fault("cache.remote")
+        if fault is not None:
+            self._remote_failed(
+                key, FaultInjectionError("injected remote-tier fault"))
+            self._stash_pending(key, raw)
+            return
+        try:
+            self.remote.put(key, raw)
+        except Exception as err:
+            self._remote_failed(key, err)
+            self._stash_pending(key, raw)
+            logger.warning("remote cache store failed for %s: %s", key, err)
+            return
+        self._tiers["remote"].stores += 1
+        self._remote_recovered()
+        self.flush_remote()
+
+    def flush_remote(self, force: bool = False) -> int:
+        """Drain the write-behind queue; returns the depth still pending.
+
+        Called automatically when a remote round-trip succeeds after a
+        brownout, and explicitly by the fabric worker before completing
+        a chunk (a chunk is only *done* once its points are visible to
+        every other worker).  ``force=True`` bypasses the probe gate so
+        recovery is attempted immediately rather than on the next
+        scheduled probe.
+        """
+        if self.remote is None:
+            return 0
+        while True:
+            with self._remote_lock:
+                if not self._pending_remote:
+                    return 0
+                key, raw = next(iter(self._pending_remote.items()))
+            if not force and not self._remote_gate():
+                break
+            fault = poll_fault("cache.remote")
+            if fault is not None:
+                self._remote_failed(
+                    key, FaultInjectionError("injected remote-tier fault"))
+                break
+            try:
+                self.remote.put(key, raw)
+            except Exception as err:
+                self._remote_failed(key, err)
+                logger.warning(
+                    "remote cache flush failed for %s: %s", key, err)
+                break
+            self._tiers["remote"].stores += 1
+            self._remote_recovered()
+            with self._remote_lock:
+                self._pending_remote.pop(key, None)
+        with self._remote_lock:
+            return len(self._pending_remote)
 
     def _reshard(self, key: str, flat_path: Path) -> None:
         """Migrate a legacy flat entry into its shard directory."""
@@ -791,13 +1017,16 @@ class TieredCache(ResultCache):
 
     def cache_info(self) -> TieredCacheInfo:
         """Aggregate + per-tier counters since this instance was created."""
+        with self._remote_lock:
+            pending = len(self._pending_remote)
         return TieredCacheInfo(
             hits=self._hits,
             misses=self._misses,
             stores=self._stores,
             corruptions=self._corruptions,
             tiers=tuple(
-                self._tiers[name].info()
+                self._tiers[name].info(
+                    pending=pending if name == "remote" else 0)
                 for name in ("memory", "disk", "remote")
             ),
         )

@@ -51,7 +51,13 @@ from dataclasses import dataclass, field
 
 from ..errors import FabricError
 from .cache import TieredCache
-from .resilience import CircuitBreaker, RetryPolicy, get_breaker
+from .resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    arm_env_fault_plan,
+    get_breaker,
+    poll_fault,
+)
 
 __all__ = [
     "FabricWorker",
@@ -73,6 +79,15 @@ CRASH_EXIT_CODE = 43
 def fabric_worker_id() -> str:
     """A collision-resistant worker identity (``host-pid-hex4``)."""
     return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:4]}"
+
+
+def _fault_seconds(payload, default: float) -> float:
+    """A positive seconds value out of a fault payload, else default."""
+    try:
+        seconds = float(payload)
+    except (TypeError, ValueError):
+        return default
+    return seconds if seconds > 0 else default
 
 
 @dataclass
@@ -222,7 +237,21 @@ class FabricWorker:
     def _execute_chunk(self, lease) -> None:
         try:
             context = self._context_for(lease.job_id)
-            self._run_points(context, lease)
+            # lease-clock-skew fault: this worker's heartbeats extend
+            # the lease by almost nothing, so the watchdog's expiry
+            # sweep races every slow point
+            ttl = self.lease_seconds
+            skew = poll_fault("fabric.lease")
+            if skew is not None:
+                ttl = _fault_seconds(skew.payload, 0.05)
+                logger.warning(
+                    "worker %s lease clock skew injected on %s/%d: "
+                    "heartbeat TTL collapsed to %.3fs",
+                    self.worker_id, lease.job_id, lease.chunk_id, ttl,
+                )
+            held = self._run_points(context, lease, ttl)
+            if held:
+                self._flush_cache_barrier(lease)
         except Exception as err:  # noqa: BLE001 - chunk-level capture
             reason = f"{type(err).__name__}: {err}"
             logger.warning("worker %s failed chunk %s/%d: %s",
@@ -239,6 +268,24 @@ class FabricWorker:
             except Exception:  # noqa: BLE001 - lease will expire instead
                 logger.exception("could not report chunk failure")
             return
+        if not held:
+            # lease lost mid-chunk (counted in _run_points): never ack
+            # a chunk someone else may be re-running — the cached
+            # points stand and the next owner gets hits
+            return
+        if poll_fault("fabric.complete") is not None:
+            # lost-ack fault: the completion lands but the worker never
+            # hears back, so it retries — the store's idempotent
+            # complete_chunk must acknowledge the duplicate
+            self._store_call(
+                self.store.complete_chunk, lease.job_id, lease.chunk_id,
+                self.worker_id,
+            )
+            logger.warning(
+                "worker %s completion ack lost for %s/%d: retrying "
+                "(duplicate completion)",
+                self.worker_id, lease.job_id, lease.chunk_id,
+            )
         completed = self._store_call(
             self.store.complete_chunk, lease.job_id, lease.chunk_id,
             self.worker_id,
@@ -263,10 +310,19 @@ class FabricWorker:
             self._contexts[job_id] = context
         return context
 
-    def _run_points(self, context: _JobContext, lease) -> None:
+    def _run_points(self, context: _JobContext, lease,
+                    lease_ttl: float | None = None) -> bool:
+        """Compute/serve the chunk's points; True while the lease held.
+
+        A False return means the lease was lost mid-chunk (heartbeat
+        refused, or the heartbeat itself vanished) — the caller must
+        NOT complete the chunk: every point reached is already cached,
+        and whoever re-leases the chunk re-serves them as hits.
+        """
         from ..analysis.sweep import _cache_parameter
         from ..service.store import PointOutcome
 
+        ttl = self.lease_seconds if lease_ttl is None else lease_ttl
         task, grid = context.task, context.grid
         if not 0 <= lease.start <= lease.stop <= len(grid):
             raise FabricError(
@@ -286,24 +342,57 @@ class FabricWorker:
                 value = task(spec)
                 self.cache.put(key, value)
                 self.stats.points_computed += 1
+                if poll_fault("fabric.crash") is not None:
+                    # die in the worst window: point cached, chunk not
+                    # completed — resume must serve it as a hit
+                    logger.warning(
+                        "worker %s injected crash after caching point %d",
+                        self.worker_id, index,
+                    )
+                    os._exit(CRASH_EXIT_CODE)
                 if self.points_limit is not None and \
                         self.stats.points_computed >= self.points_limit:
                     logger.warning("worker %s crash rehearsal after %d points",
                                    self.worker_id, self.stats.points_computed)
                     os._exit(CRASH_EXIT_CODE)
             outcomes.append(PointOutcome(index=index, ok=True, cached=cached))
-            if not self._store_call(
-                self.store.heartbeat_chunk, lease.job_id, lease.chunk_id,
-                self.worker_id, self.lease_seconds,
-            ):
+            beat_lost = poll_fault("fabric.heartbeat") is not None
+            if not beat_lost:
+                beat_lost = not self._store_call(
+                    self.store.heartbeat_chunk, lease.job_id, lease.chunk_id,
+                    self.worker_id, ttl,
+                )
+            if beat_lost:
                 # lease lost: stop touching the chunk; cached points stand
                 self.stats.leases_lost += 1
                 logger.info("worker %s lost lease on %s/%d mid-chunk",
                             self.worker_id, lease.job_id, lease.chunk_id)
-                return
+                return False
         self._store_call(
             self.store.record_outcomes, lease.job_id, outcomes
         )
+        return True
+
+    def _flush_cache_barrier(self, lease) -> None:
+        """Push write-behind remote-cache entries before completing.
+
+        During a remote-tier brownout the :class:`TieredCache` parks
+        blobs in its pending queue; a chunk may only be acked ``done``
+        once every point it computed is visible to the rest of the
+        fabric.  Entries that still cannot be pushed fail the chunk —
+        it requeues, and the re-run serves local hits and retries the
+        push on a (hopefully) recovered tier.
+        """
+        flush = getattr(self.cache, "flush_remote", None)
+        if flush is None:
+            return
+        pending = flush(force=True)
+        if pending:
+            raise FabricError(
+                f"{pending} cached point(s) still unpushed to the remote "
+                f"tier; refusing to complete chunk "
+                f"{lease.job_id}/{lease.chunk_id}"
+            )
 
 
 # -- coordinator --------------------------------------------------------------
@@ -349,6 +438,7 @@ def _worker_process_main(db_path, cache_dir, worker_kwargs) -> None:
     from ..service.store import open_job_store
 
     os.environ.setdefault("REPRO_KERNEL_THREADS", "1")
+    arm_env_fault_plan()  # chaos harness: plan rides in on the env
     store = open_job_store(db_path)
     cache = TieredCache(cache_dir)
     worker = FabricWorker(store, cache, **worker_kwargs)

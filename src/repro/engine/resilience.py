@@ -29,7 +29,9 @@ recovery semantics.
 from __future__ import annotations
 
 import hashlib
+import json
 import logging
+import os
 import threading
 import time
 from contextlib import contextmanager
@@ -41,6 +43,7 @@ from ..errors import FaultInjectionError
 logger = logging.getLogger(__name__)
 
 __all__ = [
+    "FAULT_PLAN_ENV",
     "FAULT_SITES",
     "BreakerInfo",
     "CircuitBreaker",
@@ -49,6 +52,7 @@ __all__ = [
     "FaultSpec",
     "RetryPolicy",
     "active_injector",
+    "arm_env_fault_plan",
     "breaker_report",
     "get_breaker",
     "inject_faults",
@@ -68,6 +72,15 @@ FAULT_SITES = (
     "chip.bridge-open",   # core.chip: open bridge resistor rails a channel
     "chip.stuck",         # core.chip: stuck/unreleased beam, flat channel
     "loop.no-startup",    # core.resonant_chip: loop fails Barkhausen start-up
+    # -- distributed plane (service + fabric) --------------------------------
+    "http.request",       # service.client: refused / slow / truncated / 5xx
+    "cache.remote",       # engine.cache: remote tier error or truncated blob
+    "store.op",           # service.store: SQLITE_BUSY ("database is locked")
+    "store.claim",        # service.store: chunk-lease CAS race lost
+    "fabric.lease",       # engine.fabric: lease clock skew, TTL collapses
+    "fabric.heartbeat",   # engine.fabric: heartbeat lost mid-chunk
+    "fabric.complete",    # engine.fabric: completion ack lost -> duplicate
+    "fabric.crash",       # engine.fabric: die between cache-write and complete
 )
 
 #: Fault kinds with stack-wide meaning; sites may define extras.
@@ -134,6 +147,43 @@ class FaultPlan:
         """A one-fault plan (the common test-case shape)."""
         seed = kwargs.pop("seed", 0)
         return cls(faults=(FaultSpec(site=site, kind=kind, **kwargs),), seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (the :data:`FAULT_PLAN_ENV` wire format)."""
+        return {
+            "seed": self.seed,
+            "faults": [
+                {
+                    "site": spec.site,
+                    "kind": spec.kind,
+                    "at": spec.at,
+                    "count": spec.count,
+                    "payload": spec.payload,
+                }
+                for spec in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        faults = tuple(
+            FaultSpec(
+                site=item["site"],
+                kind=item.get("kind", "raise"),
+                at=item.get("at"),
+                count=int(item.get("count", 1)),
+                payload=float(item.get("payload", 0.0)),
+            )
+            for item in payload.get("faults", ())
+        )
+        return cls(faults=faults, seed=int(payload.get("seed", 0)))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, raw: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(raw))
 
 
 class FaultInjector:
@@ -244,6 +294,37 @@ def inject_faults(plan: FaultPlan | FaultInjector):
         yield injector
     finally:
         _ACTIVE = None
+
+
+#: Env var carrying a JSON :class:`FaultPlan` into subprocesses — the
+#: chaos harness arms server/worker processes it cannot reach in-process.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+
+def arm_env_fault_plan() -> FaultInjector | None:
+    """Activate the :data:`FAULT_PLAN_ENV` plan for the process lifetime.
+
+    Called at entry by ``repro worker`` / ``repro serve`` (and the
+    spawn-mode fabric worker main) so the chaos harness can injure real
+    subprocesses with the same seeded determinism as in-process tests.
+    No-op (returns ``None``) when the variable is unset; refuses to
+    stack on an already-active injector.
+    """
+    global _ACTIVE
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    injector = FaultInjector(FaultPlan.from_json(raw))
+    with _ACTIVE_LOCK:
+        if _ACTIVE is not None:
+            raise FaultInjectionError(
+                "a fault plan is already active; cannot arm the env plan")
+        _ACTIVE = injector
+    logger.warning(
+        "fault plan armed from %s: %d fault(s), seed %d",
+        FAULT_PLAN_ENV, len(injector.plan.faults), injector.plan.seed,
+    )
+    return injector
 
 
 # -- deterministic retry ------------------------------------------------------

@@ -17,10 +17,17 @@ multi-tenant facility:
   (``repro submit|status|results|cancel``).
 * :mod:`repro.service.health` — the machine-readable health snapshot
   shared by ``/healthz`` and ``repro health --json``.
+* :mod:`repro.service.transport` — the wire protocol the client and
+  server share: deadline/shed headers and the process-global transport
+  counters (retries, deadline sheds, backpressure rejections).
+* :mod:`repro.service.chaos` — the kill-anything-anytime chaos
+  harness (``repro chaos`` / ``make chaos-check``): seeded fault
+  schedules against real server + worker subprocesses.
 
 Everything is stdlib + the repo's own engine: no new dependencies.
 """
 
+from .chaos import ChaosReport, run_chaos_suite
 from .client import RemoteFabricStore, ServiceClient
 from .health import health_snapshot, resilience_snapshot
 from .jobs import (
@@ -44,9 +51,16 @@ from .store import (
     SQLiteJobStore,
     open_job_store,
 )
+from .transport import (
+    TransportCounters,
+    reset_transport,
+    transport_counters,
+    transport_report,
+)
 
 __all__ = [
     "CHUNK_STATES",
+    "ChaosReport",
     "ChunkRow",
     "JOB_PHASES",
     "JOB_TERMINAL_PHASES",
@@ -62,6 +76,7 @@ __all__ = [
     "SQLiteJobStore",
     "SchedulerPolicy",
     "ServiceClient",
+    "TransportCounters",
     "WorkerPump",
     "device_spec_from_dict",
     "eligible_jobs",
@@ -69,8 +84,12 @@ __all__ = [
     "health_snapshot",
     "new_job_id",
     "open_job_store",
+    "reset_transport",
     "resilience_snapshot",
+    "run_chaos_suite",
     "select_next",
     "serve",
     "sweep_result_key",
+    "transport_counters",
+    "transport_report",
 ]

@@ -6,6 +6,17 @@ commands share one request path.  Server-side errors come back as the
 same exception types the service raises locally: a 400 is a
 :class:`~repro.errors.JobError`, any other error status a
 :class:`~repro.errors.ServiceError` carrying the server's message.
+
+Transient transport failures — connection refused/reset, 5xx, a
+truncated response body — are absorbed by a deterministic
+:class:`~repro.engine.resilience.RetryPolicy` before any exception
+escapes, and every retry is counted in the process-global transport
+counters (``repro health --json`` → ``transport``).  A client created
+with a ``deadline`` stamps each request with an absolute
+:data:`~repro.service.transport.DEADLINE_HEADER`; the server sheds
+(503) work it cannot start in time, which the client maps to a
+non-retryable :class:`~repro.errors.ServiceError` — retrying a missed
+deadline only misses it harder.
 """
 
 from __future__ import annotations
@@ -16,10 +27,25 @@ import urllib.error
 import urllib.request
 from typing import Any
 
+from ..engine.resilience import RetryPolicy, get_breaker, poll_fault
 from ..errors import JobError, ServiceError
 from .jobs import JOB_TERMINAL_PHASES, JobRecord, JobSpec
+from .transport import (
+    DEADLINE_HEADER,
+    RETRY_AFTER_HEADER,
+    SHED_HEADER,
+    transport_counters,
+)
 
 __all__ = ["RemoteFabricStore", "ServiceClient"]
+
+
+class _TransientError(Exception):
+    """Internal: a failed attempt the retry loop may absorb."""
+
+    def __init__(self, message: str, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class ServiceClient:
@@ -31,25 +57,58 @@ class ServiceClient:
         Base URL, e.g. ``http://127.0.0.1:8347`` (trailing slash ok).
     timeout:
         Per-request socket timeout [s].
+    retry:
+        Backoff schedule for transient transport faults.  ``None``
+        (default) uses 3 retries of seeded-jitter exponential backoff;
+        pass ``RetryPolicy(retries=0)`` to fail fast.
+    deadline:
+        Per-request time budget [s].  Each request carries an absolute
+        ``X-Repro-Deadline`` header this many seconds in the future;
+        retries stop once it passes, and a server-side deadline shed is
+        surfaced immediately instead of retried.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    #: Consecutive *final* (post-retry) failures before the client
+    #: breaker quarantines the transport and fails fast.
+    BREAKER_THRESHOLD = 6
+
+    def __init__(self, url: str, timeout: float = 30.0, *,
+                 retry: RetryPolicy | None = None,
+                 deadline: float | None = None) -> None:
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy(
+            retries=3, base_delay=0.05, max_delay=1.0, jitter=0.1)
+        self.deadline = deadline
+        self.breaker = get_breaker(
+            "transport:client", threshold=self.BREAKER_THRESHOLD)
 
     # -- raw request ---------------------------------------------------------
 
-    def _request(self, method: str, path: str,
-                 payload: dict | None = None) -> Any:
-        body = json.dumps(payload).encode() if payload is not None else None
+    def _request_once(self, method: str, path: str,
+                      body: bytes | None, deadline_at: float | None) -> Any:
+        """One attempt; transient failures raise :class:`_TransientError`."""
+        counters = transport_counters()
+        fault = poll_fault("http.request")
+        if fault is not None:
+            if fault.kind == "hang":       # slow response
+                time.sleep(fault.payload or 0.05)
+                fault = None
+            elif fault.kind == "raise":    # connection refused
+                raise _TransientError(
+                    f"cannot reach service at {self.url}: injected refusal")
+            elif fault.kind == "device":   # server-side 5xx
+                raise _TransientError("injected HTTP 500 from server")
+        headers = {"Content-Type": "application/json"}
+        if deadline_at is not None:
+            headers[DEADLINE_HEADER] = f"{deadline_at:.6f}"
         request = urllib.request.Request(
-            self.url + path, data=body, method=method,
-            headers={"Content-Type": "application/json"},
+            self.url + path, data=body, method=method, headers=headers,
         )
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
-                return json.loads(response.read() or b"null")
+                raw = response.read()
         except urllib.error.HTTPError as err:
             raw = err.read()
             try:
@@ -58,13 +117,83 @@ class ServiceClient:
                 message = raw.decode(errors="replace") or str(err)
             if err.code == 400:
                 raise JobError(message) from None
+            if err.code == 503:
+                shed = err.headers.get(SHED_HEADER, "")
+                retry_after = float(
+                    err.headers.get(RETRY_AFTER_HEADER) or 0.0)
+                if shed == "deadline":
+                    counters.note("deadline_sheds")
+                    raise ServiceError(
+                        f"deadline exceeded: server shed {method} {path}"
+                    ) from None
+                if shed == "backpressure":
+                    counters.note("backpressure_rejections")
+                    raise _TransientError(
+                        f"server at capacity for {method} {path}",
+                        retry_after=retry_after,
+                    ) from None
+                raise _TransientError(
+                    f"HTTP 503 from {method} {path}: {message}") from None
+            if err.code >= 500:
+                raise _TransientError(
+                    f"HTTP {err.code} from {method} {path}: {message}"
+                ) from None
             raise ServiceError(
                 f"HTTP {err.code} from {method} {path}: {message}"
             ) from None
         except urllib.error.URLError as err:
-            raise ServiceError(
+            raise _TransientError(
                 f"cannot reach service at {self.url}: {err.reason}"
             ) from None
+        if fault is not None and fault.kind == "corrupt":
+            # mid-body disconnect: the JSON below fails to parse and the
+            # retry loop re-issues the request
+            raw = raw[: max(1, len(raw) // 2)]
+        try:
+            return json.loads(raw or b"null")
+        except ValueError:
+            raise _TransientError(
+                f"truncated response body from {method} {path}"
+            ) from None
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> Any:
+        counters = transport_counters()
+        counters.note("requests")
+        if not self.breaker.allow():
+            counters.note("errors")
+            raise ServiceError(
+                f"transport breaker open after "
+                f"{self.breaker.consecutive} consecutive failures "
+                f"(last: {self.breaker.last_failure_reason})"
+            )
+        body = json.dumps(payload).encode() if payload is not None else None
+        deadline_at = (
+            time.time() + self.deadline if self.deadline is not None else None
+        )
+        last: _TransientError | None = None
+        for attempt in range(self.retry.retries + 1):
+            try:
+                result = self._request_once(method, path, body, deadline_at)
+            except _TransientError as err:
+                last = err
+                if attempt >= self.retry.retries:
+                    break
+                if deadline_at is not None and time.time() >= deadline_at:
+                    break
+                counters.note("retries")
+                time.sleep(max(self.retry.delay(attempt, key=path),
+                               err.retry_after))
+                continue
+            except (JobError, ServiceError):
+                # definitive server answer: the transport itself worked
+                self.breaker.record_success()
+                raise
+            self.breaker.record_success()
+            return result
+        counters.note("errors")
+        self.breaker.record_failure(str(last))
+        raise ServiceError(str(last)) from None
 
     # -- API -----------------------------------------------------------------
 
@@ -188,12 +317,23 @@ class RemoteFabricStore:
     Lease expiry is the server's duty (every ``/v1/fabric/lease`` call
     sweeps stale leases first), so :meth:`expire_chunk_leases` is a
     deliberate no-op here.
+
+    Retries stack deliberately: the wrapped :class:`ServiceClient`
+    absorbs *transport* faults (refused connections, 5xx, truncated
+    bodies) under its own :class:`RetryPolicy`, while the
+    :class:`~repro.engine.fabric.FabricWorker` retries whole *store
+    calls* on top — the same division of labor a local worker gets from
+    SQLite's busy handler below the store-level retry.  Pass ``retry``
+    to override the transport schedule without rebuilding the client.
     """
 
-    def __init__(self, client: ServiceClient) -> None:
+    def __init__(self, client: ServiceClient, *,
+                 retry: RetryPolicy | None = None) -> None:
         from .store import ChunkRow
 
         self.client = client
+        if retry is not None:
+            self.client.retry = retry
         self._chunk_row = ChunkRow
 
     def get(self, job_id: str):

@@ -72,6 +72,7 @@ def health_snapshot(
     scan found damage it was not allowed to evict.
     """
     from ..engine import cc_available, kernel_info, numba_available
+    from .transport import transport_report
 
     info = kernel_info()
     resilience = resilience_snapshot()
@@ -80,6 +81,9 @@ def health_snapshot(
         "compiler_error": info.cc_build_error or None,
         "numba_available": bool(numba_available()),
         **resilience,
+        # outbound HTTP vitals: retry / deadline-shed / breaker counters
+        # for this process's ServiceClient + HTTPRemoteStore traffic
+        "transport": transport_report(),
     }
 
     ok = not resilience["cc_quarantined"] and not any(

@@ -262,6 +262,11 @@ class WorkerPump:
         self._threads: list[threading.Thread] = []
         self._cancel_events: dict[str, threading.Event] = {}
         self._lock = threading.Lock()
+        # coordinator-duty counters, surfaced in /healthz ("fabric")
+        self.fabric_stats: dict[str, int] = {
+            "ticks": 0, "leases_expired": 0,
+            "jobs_finalized": 0, "jobs_failed": 0,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -339,7 +344,12 @@ class WorkerPump:
         """
         from ..engine.fabric import finalize_fabric_job
 
-        self.store.expire_chunk_leases()
+        self.fabric_stats["ticks"] += 1
+        expired = self.store.expire_chunk_leases()
+        if expired:
+            self.fabric_stats["leases_expired"] += expired
+            logger.info("fabric tick requeued %d expired chunk lease(s)",
+                        expired)
         fabric = [
             r for r in self.store.list_jobs()
             if r.spec.fabric and r.state.phase in ("queued", "running")
@@ -356,6 +366,7 @@ class WorkerPump:
                 record = claimed
             if counts.get("done", 0) == total:
                 finalize_fabric_job(self.store, self.cache, record)
+                self.fabric_stats["jobs_finalized"] += 1
             elif counts.get("failed", 0) and \
                     counts.get("done", 0) + counts["failed"] == total:
                 first = next(c for c in self.store.chunks(record.job_id)
@@ -364,6 +375,7 @@ class WorkerPump:
                     phase="failed", finished_at=time.time(),
                     error=first.error,
                 ))
+                self.fabric_stats["jobs_failed"] += 1
 
     def _claim_next(self) -> JobRecord | None:
         queued = [r for r in self.store.list_jobs(phase="queued")

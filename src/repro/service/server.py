@@ -58,6 +58,12 @@ from .jobs import JobRecord, JobSpec, JobState, new_job_id
 from .pump import WorkerPump
 from .scheduler import SchedulerPolicy
 from .store import JobStore
+from .transport import (
+    DEADLINE_HEADER,
+    RETRY_AFTER_HEADER,
+    SHED_HEADER,
+    TransportCounters,
+)
 
 __all__ = ["ReproHTTPServer", "ReproService", "serve"]
 
@@ -80,6 +86,8 @@ class ReproService:
         policy: SchedulerPolicy | None = None,
         pump_workers: int = 1,
         poll_interval: float = 0.05,
+        max_inflight: int = 32,
+        shed_retry_after: float = 0.25,
     ) -> None:
         self.store = store
         self.cache = cache
@@ -89,6 +97,40 @@ class ReproService:
             workers=pump_workers, poll_interval=poll_interval,
         )
         self._started_at = time.time()
+        # -- backpressure + deadline shedding --------------------------------
+        # max_inflight bounds the requests being served at once (the
+        # ThreadingHTTPServer would otherwise grow a thread per socket
+        # without limit); the 33rd gets 503 + Retry-After instead of a
+        # seat.  /healthz is exempt so probes always answer.
+        if max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = int(max_inflight)
+        self.shed_retry_after = float(shed_retry_after)
+        self.transport = TransportCounters()
+        self._inflight = 0
+        self._peak_inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    # -- admission control ---------------------------------------------------
+
+    def begin_request(self) -> bool:
+        """Admit one request; False when the inflight bound is hit."""
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                self.transport.note("backpressure_rejections")
+                return False
+            self._inflight += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+        self.transport.note("requests")
+        return True
+
+    def end_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight = max(0, self._inflight - 1)
+
+    def note_deadline_shed(self) -> None:
+        self.transport.note("deadline_sheds")
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -227,6 +269,14 @@ class ReproService:
             snapshot["service"]["cache"]["tiers"] = [
                 tier.as_dict() for tier in tiers
             ]
+        transport = self.transport.snapshot()
+        with self._inflight_lock:
+            transport["inflight"] = self._inflight
+            transport["peak_inflight"] = self._peak_inflight
+        transport["max_inflight"] = self.max_inflight
+        transport["shed_retry_after_s"] = self.shed_retry_after
+        snapshot["service"]["transport"] = transport
+        snapshot["service"]["fabric"] = dict(self.pump.fabric_stats)
         snapshot["ok"] = bool(snapshot["ok"] and self.pump.alive)
         return snapshot
 
@@ -342,10 +392,45 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as err:
             raise JobError(f"request body: invalid JSON: {err}") from None
 
+    def _send_shed(self, why: str) -> None:
+        """503 a request the service refuses to start (shed, not failed)."""
+        service = self.service
+        body = json.dumps({"error": f"request shed: {why}"}).encode()
+        self.send_response(503)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header(SHED_HEADER, why)
+        self.send_header(RETRY_AFTER_HEADER,
+                         f"{service.shed_retry_after:g}")
+        self.end_headers()
+        self.wfile.write(body)
+
     def _dispatch(self, method: str) -> None:
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        service = self.service
+        admitted = False
+        # /healthz bypasses shedding and the inflight bound: the probe
+        # that reports overload must keep answering while overloaded
+        probe = parts == ["healthz"]
+        if not probe:
+            deadline = self.headers.get(DEADLINE_HEADER)
+            if deadline is not None:
+                try:
+                    deadline_at = float(deadline)
+                except ValueError:
+                    self._send_error(
+                        400, f"bad {DEADLINE_HEADER} header: {deadline!r}")
+                    return
+                if time.time() >= deadline_at:
+                    service.note_deadline_shed()
+                    self._send_shed("deadline")
+                    return
+            if not service.begin_request():
+                self._send_shed("backpressure")
+                return
+            admitted = True
         try:
             handled = self._route(method, parts, query)
         except JobError as err:
@@ -359,6 +444,9 @@ class _Handler(BaseHTTPRequestHandler):
                              method, self.path)
             self._send_error(500, f"{type(err).__name__}: {err}")
             return
+        finally:
+            if admitted:
+                service.end_request()
         if not handled:
             self._send_error(404, f"no route for {method} {url.path}")
 

@@ -28,15 +28,20 @@ the blobs inherit the cache's corruption detection.
 
 from __future__ import annotations
 
+import functools
 import json
+import logging
 import sqlite3
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Mapping, Sequence
 
+from ..engine.resilience import RetryPolicy, poll_fault
 from ..errors import ServiceError
 from .jobs import JobRecord, JobSpec, JobState
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CHUNK_STATES",
@@ -354,6 +359,52 @@ def open_job_store(url: str | Path) -> JobStore:
     return SQLiteJobStore(text)
 
 
+#: Bounded, deterministic backoff for SQLITE_BUSY contention.  SQLite's
+#: own ``busy_timeout`` blocks *inside* one statement; this retries the
+#: whole store call, covering the "database is locked" errors the busy
+#: handler cannot (e.g. a write colliding with a lagging WAL checkpoint).
+_LOCK_RETRY = RetryPolicy(
+    retries=5, base_delay=0.01, multiplier=2.0, max_delay=0.25, jitter=0.1,
+)
+
+
+def _is_locked(err: sqlite3.OperationalError) -> bool:
+    msg = str(err).lower()
+    return "locked" in msg or "busy" in msg
+
+
+def _retry_locked(fn):
+    """Retry a store call on ``sqlite3.OperationalError: database is locked``.
+
+    Every public :class:`SQLiteJobStore` method wears this, so two
+    workers hammering one ``--db`` never surface a raw lock error.  The
+    ``store.op`` fault site injects the lock at the top of each attempt,
+    which exercises exactly this loop.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        for attempt in range(_LOCK_RETRY.retries + 1):
+            try:
+                fault = poll_fault("store.op")
+                if fault is not None:
+                    raise sqlite3.OperationalError(
+                        "database is locked (injected)")
+                return fn(self, *args, **kwargs)
+            except sqlite3.OperationalError as err:
+                if not _is_locked(err) or attempt >= _LOCK_RETRY.retries:
+                    raise
+                delay = _LOCK_RETRY.delay(attempt, key=fn.__name__)
+                logger.warning(
+                    "store %s hit %s; retry %d/%d in %.3fs",
+                    fn.__name__, err, attempt + 1, _LOCK_RETRY.retries, delay,
+                )
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    return wrapper
+
+
 class SQLiteJobStore(JobStore):
     """Stdlib SQLite implementation of :class:`JobStore`.
 
@@ -465,6 +516,7 @@ class SQLiteJobStore(JobStore):
 
     # -- JobStore interface --------------------------------------------------
 
+    @_retry_locked
     def put(self, record: JobRecord) -> None:
         row = self._to_row(record)
         columns = ", ".join(row)
@@ -479,6 +531,7 @@ class SQLiteJobStore(JobStore):
                 f"job {record.job_id!r} already exists"
             ) from None
 
+    @_retry_locked
     def get(self, job_id: str) -> JobRecord | None:
         with self._conn() as conn:
             row = conn.execute(
@@ -486,6 +539,7 @@ class SQLiteJobStore(JobStore):
             ).fetchone()
         return self._from_row(row) if row is not None else None
 
+    @_retry_locked
     def update(self, record: JobRecord) -> None:
         row = self._to_row(record)
         assignments = ", ".join(f"{c} = :{c}" for c in row if c != "job_id")
@@ -496,6 +550,7 @@ class SQLiteJobStore(JobStore):
             if cur.rowcount != 1:
                 raise ServiceError(f"job {record.job_id!r} not found")
 
+    @_retry_locked
     def list_jobs(self, tenant: str | None = None,
                   phase: str | None = None) -> list[JobRecord]:
         clauses, params = [], []
@@ -513,6 +568,7 @@ class SQLiteJobStore(JobStore):
             ).fetchall()
         return [self._from_row(r) for r in rows]
 
+    @_retry_locked
     def claim(self, job_id: str) -> JobRecord | None:
         """CAS on the phase column: exactly one claimer wins."""
         now = time.time()
@@ -531,6 +587,7 @@ class SQLiteJobStore(JobStore):
         self.update(record)
         return record
 
+    @_retry_locked
     def find_by_work_hash(self, work_hash: str) -> list[JobRecord]:
         with self._conn() as conn:
             rows = conn.execute(
@@ -540,6 +597,7 @@ class SQLiteJobStore(JobStore):
             ).fetchall()
         return [self._from_row(r) for r in rows]
 
+    @_retry_locked
     def request_cancel(self, job_id: str) -> JobRecord | None:
         record = self.get(job_id)
         if record is None:
@@ -556,6 +614,7 @@ class SQLiteJobStore(JobStore):
         self.update(record)
         return record
 
+    @_retry_locked
     def requeue_running(self) -> int:
         requeued = 0
         for record in self.list_jobs(phase="running"):
@@ -563,6 +622,7 @@ class SQLiteJobStore(JobStore):
             requeued += 1
         return requeued
 
+    @_retry_locked
     def record_outcome(self, job_id: str, outcome: PointOutcome) -> None:
         with self._conn() as conn:
             conn.execute(
@@ -577,6 +637,7 @@ class SQLiteJobStore(JobStore):
                 ),
             )
 
+    @_retry_locked
     def record_outcomes(self, job_id: str,
                         outcomes: Sequence[PointOutcome]) -> None:
         """Bulk upsert (one transaction) for batch completions."""
@@ -595,6 +656,7 @@ class SQLiteJobStore(JobStore):
                 ],
             )
 
+    @_retry_locked
     def outcomes(self, job_id: str) -> list[PointOutcome]:
         with self._conn() as conn:
             rows = conn.execute(
@@ -612,6 +674,7 @@ class SQLiteJobStore(JobStore):
             for row in rows
         ]
 
+    @_retry_locked
     def counts(self) -> dict[str, int]:
         with self._conn() as conn:
             rows = conn.execute(
@@ -631,6 +694,7 @@ class SQLiteJobStore(JobStore):
             attempts=row["attempts"], error=row["error"],
         )
 
+    @_retry_locked
     def create_chunks(self, job_id: str,
                       bounds: Sequence[tuple[int, int]]) -> int:
         now = time.time()
@@ -646,6 +710,7 @@ class SQLiteJobStore(JobStore):
             )
             return max(cur.rowcount, 0)
 
+    @_retry_locked
     def lease_chunk(self, worker_id: str, lease_seconds: float,
                     job_id: str | None = None) -> ChunkRow | None:
         """Select-then-CAS loop: the UPDATE's state guard picks one winner."""
@@ -663,6 +728,10 @@ class SQLiteJobStore(JobStore):
                 ).fetchone()
                 if row is None:
                     return None
+                if poll_fault("store.claim") is not None:
+                    # injected CAS race: another worker "won" this row
+                    # between our SELECT and UPDATE; go around again
+                    continue
                 cur = conn.execute(
                     "UPDATE chunks SET state = 'leased', worker_id = ?, "
                     "lease_expires_at = ?, attempts = attempts + 1, "
@@ -680,6 +749,7 @@ class SQLiteJobStore(JobStore):
                     return self._chunk_from_row(full)
         return None  # pragma: no cover - 8 straight lost races
 
+    @_retry_locked
     def heartbeat_chunk(self, job_id: str, chunk_id: int, worker_id: str,
                         lease_seconds: float) -> bool:
         now = time.time()
@@ -693,8 +763,17 @@ class SQLiteJobStore(JobStore):
             )
             return cur.rowcount == 1
 
+    @_retry_locked
     def complete_chunk(self, job_id: str, chunk_id: int,
                        worker_id: str) -> bool:
+        """CAS the chunk to ``done``; idempotent for the completing worker.
+
+        A worker retrying a completion whose first ack was lost finds
+        the chunk already ``done`` under its own ``worker_id`` and gets
+        ``True`` back (nothing rewritten).  A worker whose lease was
+        reassigned gets ``False`` — the stale completion is logged and
+        dropped without touching the new owner's attempt counter.
+        """
         now = time.time()
         with self._conn() as conn:
             cur = conn.execute(
@@ -704,8 +783,28 @@ class SQLiteJobStore(JobStore):
                 "AND worker_id = ?",
                 (now, job_id, chunk_id, worker_id),
             )
-            return cur.rowcount == 1
+            if cur.rowcount == 1:
+                return True
+            row = conn.execute(
+                "SELECT state, worker_id FROM chunks "
+                "WHERE job_id = ? AND chunk_id = ?",
+                (job_id, chunk_id),
+            ).fetchone()
+        if (row is not None and row["state"] == "done"
+                and row["worker_id"] == worker_id):
+            logger.info(
+                "duplicate completion of chunk %s/%d by %s acknowledged "
+                "(first ack lost)", job_id, chunk_id, worker_id,
+            )
+            return True
+        logger.warning(
+            "dropping stale completion of chunk %s/%d by %s "
+            "(row now %s)", job_id, chunk_id, worker_id,
+            dict(row) if row is not None else None,
+        )
+        return False
 
+    @_retry_locked
     def fail_chunk(self, job_id: str, chunk_id: int, worker_id: str,
                    error: str, max_attempts: int = 3) -> str | None:
         now = time.time()
@@ -729,6 +828,7 @@ class SQLiteJobStore(JobStore):
             )
             return state
 
+    @_retry_locked
     def expire_chunk_leases(self, now: float | None = None) -> int:
         now = time.time() if now is None else float(now)
         with self._conn() as conn:
@@ -740,6 +840,7 @@ class SQLiteJobStore(JobStore):
             )
             return max(cur.rowcount, 0)
 
+    @_retry_locked
     def chunks(self, job_id: str) -> list[ChunkRow]:
         with self._conn() as conn:
             rows = conn.execute(
@@ -748,6 +849,7 @@ class SQLiteJobStore(JobStore):
             ).fetchall()
         return [self._chunk_from_row(r) for r in rows]
 
+    @_retry_locked
     def chunk_counts(self, job_id: str) -> dict[str, int]:
         with self._conn() as conn:
             rows = conn.execute(

@@ -1,0 +1,124 @@
+"""Transport telemetry + deadline protocol shared by client and server.
+
+One small module owns the wire-level resilience vocabulary:
+
+* :data:`DEADLINE_HEADER` — every :class:`~repro.service.client.ServiceClient`
+  request (and :class:`~repro.engine.cache.HTTPRemoteStore` round-trip)
+  may carry an absolute-epoch deadline.  The server refuses — *sheds* —
+  work it cannot even start before the deadline with a ``503`` +
+  ``Retry-After`` instead of burning cycles on an answer nobody is
+  waiting for.
+* :data:`SHED_HEADER` — tags a 503 with *why* it was shed
+  (``"deadline"`` or ``"backpressure"``) so clients count the two
+  separately and only retry the one that can succeed.
+* :class:`TransportCounters` — a thread-safe counter block.  The
+  process-global client-side instance (:func:`transport_counters`)
+  feeds the ``transport`` section of ``repro health --json``; the
+  server keeps its own per-service instance surfaced in ``/healthz``.
+
+Everything here is counters and constants — no sockets — so the module
+imports in microseconds and never drags urllib into the engine layer.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "RETRY_AFTER_HEADER",
+    "SHED_HEADER",
+    "TransportCounters",
+    "reset_transport",
+    "transport_counters",
+    "transport_report",
+]
+
+#: Absolute unix-epoch deadline (seconds, float) a request must start by.
+DEADLINE_HEADER = "X-Repro-Deadline"
+
+#: Why a 503 was shed: ``"deadline"`` or ``"backpressure"``.
+SHED_HEADER = "X-Repro-Shed"
+
+#: Standard header carrying the suggested backoff on a shed response.
+RETRY_AFTER_HEADER = "Retry-After"
+
+
+class TransportCounters:
+    """Thread-safe transport counters (client- or server-side).
+
+    ``requests``
+        Logical operations attempted (one per call, not per retry).
+    ``retries``
+        Extra attempts spent absorbing transient faults.
+    ``errors``
+        Logical operations that failed after exhausting retries.
+    ``deadline_sheds``
+        Requests refused because their deadline had already passed —
+        observed 503s on the client, refusals issued on the server.
+    ``backpressure_rejections``
+        Requests refused because the server was at its inflight bound.
+    """
+
+    _FIELDS = (
+        "requests", "retries", "errors",
+        "deadline_sheds", "backpressure_rejections",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def note(self, field: str, n: int = 1) -> None:
+        if field not in self._FIELDS:
+            raise ValueError(f"unknown transport counter {field!r}")
+        with self._lock:
+            setattr(self, field, getattr(self, field) + n)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in self._FIELDS:
+                setattr(self, name, 0)
+
+
+_CLIENT = TransportCounters()
+
+
+def transport_counters() -> TransportCounters:
+    """The process-global client-side counter block."""
+    return _CLIENT
+
+
+def transport_report() -> dict:
+    """Client-side transport snapshot plus transport breaker states.
+
+    The ``transport`` section of ``repro health --json``: retry and
+    deadline-shed counters from this process's outbound requests, and
+    every circuit breaker registered under a ``transport:`` name.
+    """
+    from ..engine.resilience import breaker_report
+
+    breakers = {
+        name: {
+            "open": info.open,
+            "failures": info.failures,
+            "consecutive_failures": info.consecutive_failures,
+            "trips": info.trips,
+            "threshold": info.threshold,
+        }
+        for name, info in breaker_report().items()
+        if name.startswith("transport:")
+    }
+    report = _CLIENT.snapshot()
+    report["breakers"] = breakers
+    return report
+
+
+def reset_transport() -> None:
+    """Zero the client-side counters (test isolation)."""
+    _CLIENT.reset()

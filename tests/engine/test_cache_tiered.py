@@ -251,3 +251,90 @@ class TestCounterCompat:
         assert cache.get_or_compute(len, "abc") == 3
         assert cache.get_or_compute(len, "abc") == 3
         assert cache.cache_info().hits == 1
+
+
+class TestRemoteBrownout:
+    """Injected remote-tier faults: trip to local-only, probe, drain."""
+
+    def make_cache(self, tmp_path, **kwargs):
+        shared = FilesystemRemoteStore(tmp_path / "shared")
+        return TieredCache(tmp_path / "node", remote=shared, **kwargs), shared
+
+    def test_consecutive_errors_trip_to_local_only(self, tmp_path):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        cache, _ = self.make_cache(tmp_path, remote_trip_threshold=3)
+        with inject_faults(
+            FaultPlan.single("cache.remote", count=3)
+        ) as inj:
+            for i in range(5):
+                cache.put(f"key-{i}", {"i": i})
+        assert inj.fired["cache.remote"] == 3
+        assert cache.remote_degraded()
+        remote = tier(cache, "remote")
+        assert remote.trips == 1
+        assert remote.errors == 3
+        assert remote.skips >= 1          # post-trip puts never hit the wire
+        assert remote.pending == 5        # everything parked write-behind
+        # local service is unimpaired throughout
+        assert all(cache.get(f"key-{i}") == {"i": i} for i in range(5))
+
+    def test_recovery_probe_reopens_and_drains(self, tmp_path):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        cache, shared = self.make_cache(
+            tmp_path, remote_trip_threshold=2, remote_probe_interval=2,
+        )
+        with inject_faults(FaultPlan.single("cache.remote", count=2)):
+            cache.put("k0", {"v": 0})
+            cache.put("k1", {"v": 1})     # second error trips the tier
+            assert cache.remote_degraded()
+            # faults exhausted: the second gated call is a probe, it
+            # succeeds, the tier reopens and the pending queue drains
+            cache.put("k2", {"v": 2})     # gated call 1: skip
+            cache.put("k3", {"v": 3})     # gated call 2: probe -> recover
+        assert not cache.remote_degraded()
+        remote = tier(cache, "remote")
+        assert remote.probes >= 1
+        assert remote.pending == 0
+        # every blob is on the shared store, visible to a fresh node
+        other = TieredCache(tmp_path / "other", remote=shared)
+        assert all(other.get(f"k{i}") == {"v": i} for i in range(4))
+
+    def test_flush_remote_force_drains_while_tripped(self, tmp_path):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        cache, shared = self.make_cache(tmp_path, remote_trip_threshold=1)
+        with inject_faults(FaultPlan.single("cache.remote", count=1)):
+            cache.put("k", {"v": 7})
+            assert cache.remote_degraded()
+            assert tier(cache, "remote").pending == 1
+            assert cache.flush_remote(force=True) == 0
+        other = TieredCache(tmp_path / "other", remote=shared)
+        assert other.get("k") == {"v": 7}
+
+    def test_pending_queue_is_bounded(self, tmp_path):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        cache, _ = self.make_cache(
+            tmp_path, remote_trip_threshold=1, pending_limit=2,
+        )
+        with inject_faults(FaultPlan.single("cache.remote", count=1)):
+            for i in range(4):
+                cache.put(f"key-{i}", {"i": i})
+        assert tier(cache, "remote").pending == 2   # oldest were dropped
+
+    def test_truncated_remote_blob_is_caught_by_checksum(self, tmp_path):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        cache, shared = self.make_cache(tmp_path)
+        cache.put("k", {"v": 7})
+        reader = TieredCache(tmp_path / "reader", remote=shared)
+        with inject_faults(
+            FaultPlan.single("cache.remote", kind="corrupt")
+        ) as inj:
+            assert reader.get("k") is reader.MISS
+        assert inj.fired["cache.remote"] == 1
+        assert tier(reader, "remote").errors == 1
+        # the clean retry still serves the blob
+        assert reader.get("k") == {"v": 7}

@@ -375,3 +375,44 @@ class TestChunks:
         store.put(record)
         assert store.create_chunks(record.job_id, ((0, 2),)) == 1
         assert store.chunk_counts(record.job_id) == {"queued": 1}
+
+
+class TestLockRetry:
+    """Injected SQLITE_BUSY storms: every write path retries through them."""
+
+    def test_locked_errors_are_absorbed(self, store):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        record = make_record()
+        with inject_faults(FaultPlan.single("store.op", count=2)) as inj:
+            store.put(record)
+        assert inj.fired["store.op"] == 2
+        assert store.get(record.job_id) is not None
+
+    def test_reads_retry_too(self, store):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        store.put(make_record())
+        with inject_faults(FaultPlan.single("store.op", count=3)) as inj:
+            assert store.counts() == {"queued": 1}
+        assert inj.fired["store.op"] == 3
+
+    def test_exhausted_retries_reraise(self, store):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        with inject_faults(FaultPlan.single("store.op", count=20)):
+            with pytest.raises(sqlite3.OperationalError, match="locked"):
+                store.put(make_record())
+
+    def test_lost_cas_race_reselects_a_chunk(self, store):
+        from repro.engine.resilience import FaultPlan, inject_faults
+
+        record = make_record(values=tuple(float(v) for v in range(4)))
+        store.put(record)
+        store.create_chunks(record.job_id, ((0, 2), (2, 4)))
+        # the first CAS iteration loses its race; the loop tries again
+        with inject_faults(FaultPlan.single("store.claim", count=1)) as inj:
+            chunk = store.lease_chunk("w1", 30.0, record.job_id)
+        assert inj.fired["store.claim"] == 1
+        assert chunk is not None and chunk.worker_id == "w1"
+        assert store.chunk_counts(record.job_id) == {"queued": 1, "leased": 1}

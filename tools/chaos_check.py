@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Kill-anything-anytime chaos check (``make chaos-check``).
+
+Runs every seeded chaos schedule in
+:mod:`repro.service.chaos` — a real ``repro serve`` subprocess plus
+``repro worker`` nodes per schedule, injured by fault plans shipped
+through the environment (or a literal ``kill -9``):
+
+* ``kill`` — SIGKILL a worker mid-chunk, resume with two fresh ones;
+* ``crashpoint`` — die between cache-write and chunk completion;
+* ``brownout`` — remote cache tier errors until the breaker trips;
+* ``transport`` — refused / hung / 5xx HTTP absorbed by retries;
+* ``lease_skew`` — collapsed lease TTL + a vanished heartbeat;
+* ``store_contention`` — SQLITE_BUSY storms, CAS races, lost acks.
+
+Each schedule must end with the job ``done``, its chunk table
+exactly-once ``done``, the result table ``np.array_equal`` to the
+clean serial sweep, and the per-worker stats proving zero recomputed
+points.  Exit code 0 means the fabric survives all of it on this box.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def main() -> int:
+    sys.path.insert(0, str(SRC))
+    from repro.service.chaos import run_chaos_suite
+
+    reports = run_chaos_suite(
+        seed=2026, echo=lambda msg: print(f"chaos-check: {msg}")
+    )
+    failed = [r for r in reports if not r.passed]
+    for report in reports:
+        verdict = "PASS" if report.passed else f"FAIL  {report.error}"
+        print(f"chaos-check: {report.schedule:<18s} "
+              f"{report.duration_s:6.1f}s  {verdict}")
+    if failed:
+        print(f"chaos-check: {len(failed)}/{len(reports)} schedule(s) FAILED")
+        return 1
+    print(f"chaos-check: PASS ({len(reports)} schedules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

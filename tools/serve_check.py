@@ -60,6 +60,30 @@ def main() -> int:
         print("serve-check: /healthz ok "
               f"(pump_alive={health['service']['pump_alive']})")
 
+        # transport vitals: outbound counters in the engine snapshot,
+        # inbound counters + inflight bounds in the service section
+        counter_keys = ("requests", "retries", "errors",
+                        "deadline_sheds", "backpressure_rejections")
+        outbound = health["transport"]
+        assert all(isinstance(outbound[k], int) for k in counter_keys), (
+            f"malformed outbound transport section: {outbound}"
+        )
+        assert isinstance(outbound["breakers"], dict)
+        inbound = health["service"]["transport"]
+        assert all(isinstance(inbound[k], int) for k in counter_keys), (
+            f"malformed service transport section: {inbound}"
+        )
+        assert inbound["max_inflight"] >= 1
+        assert 0 <= inbound["inflight"] <= inbound["max_inflight"]
+        from repro.service import health_snapshot
+
+        local = health_snapshot()["transport"]
+        assert local["requests"] >= 1, (
+            f"local snapshot missed this client's traffic: {local}"
+        )
+        print("serve-check: transport vitals present "
+              f"(client requests={local['requests']})")
+
         base = REFERENCE_RESONANT_SENSOR.to_dict()
         spec = JobSpec(
             base=base, path="cantilever.length_um",
@@ -95,6 +119,16 @@ def main() -> int:
             f"dedup follower recomputed: {twin_final['progress']}"
         )
         print(f"serve-check: dedup ok (job {twin['job_id']} all cache hits)")
+
+        # after real traffic the server-side admission counter must move
+        after = client.health()["service"]["transport"]
+        assert after["requests"] >= 4, (
+            f"server admitted {after['requests']} requests, expected the "
+            f"submit/status/results traffic to be counted"
+        )
+        print(f"serve-check: server admission counter ok "
+              f"(requests={after['requests']}, "
+              f"peak_inflight={after['peak_inflight']})")
     finally:
         server.terminate()
         try:
